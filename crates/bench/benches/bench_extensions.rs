@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the extension surface: the exact Steiner oracle
+//! vs KMB, PageRank, item-kNN model build and query, hop-bounded
+//! path-free explanation generation, and k-means user clustering.
+//!
+//! These quantify the cost of the §VII future-work features so a
+//! downstream adopter knows what each knob spends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::user_centric_inputs;
+use xsum_core::{
+    optimality_gap, pcst_summary_with_policy, steiner_summary, PathGenConfig, PcstConfig,
+    PrizePolicy, SteinerConfig,
+};
+use xsum_core::pathfree::generate_explanations;
+use xsum_graph::{pagerank, NodeId, PageRankConfig};
+use xsum_rec::{cluster_users, ItemKnn, ItemKnnConfig, KMeansConfig, PathRecommender};
+
+fn bench(c: &mut Criterion) {
+    let ctx = Ctx::build(CtxConfig {
+        scale: 0.02,
+        users_per_gender: 8,
+        items_per_extreme: 5,
+        ..CtxConfig::default()
+    });
+    let g = &ctx.ds.kg.graph;
+    let input = user_centric_inputs(&ctx, Baseline::Pgpr, 6)
+        .into_iter()
+        .next()
+        .expect("input");
+    let st_cfg = SteinerConfig::default();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+
+    group.bench_function("kmb_summary_k6", |b| {
+        b.iter(|| steiner_summary(g, &input, &st_cfg))
+    });
+    group.bench_function("exact_vs_kmb_gap_k6", |b| {
+        b.iter(|| optimality_gap(g, &input, &st_cfg))
+    });
+    group.bench_function("pagerank_full_graph", |b| {
+        b.iter(|| pagerank(g, &PageRankConfig::default()))
+    });
+    group.bench_function("pcst_pagerank_prizes", |b| {
+        b.iter(|| {
+            pcst_summary_with_policy(
+                g,
+                &input,
+                &PcstConfig::default(),
+                PrizePolicy::PageRank { weight: 1.0 },
+            )
+        })
+    });
+    group.bench_function("itemknn_build", |b| {
+        b.iter(|| ItemKnn::new(&ctx.ds.kg, &ctx.ds.ratings, &ItemKnnConfig::default()))
+    });
+    {
+        let knn = ItemKnn::new(&ctx.ds.kg, &ctx.ds.ratings, &ItemKnnConfig::default());
+        group.bench_function("itemknn_recommend_k10", |b| {
+            b.iter(|| knn.recommend(ctx.users[0], 10))
+        });
+    }
+    {
+        let user = ctx.ds.kg.user_node(ctx.users[0]);
+        let items: Vec<NodeId> = (0..8).map(|i| ctx.ds.kg.item_node(i)).collect();
+        group.bench_function("pathfree_generate_8_items", |b| {
+            b.iter(|| generate_explanations(g, user, &items, &PathGenConfig::default()))
+        });
+    }
+    group.bench_function("kmeans_k4_users", |b| {
+        b.iter(|| cluster_users(&ctx.mf, &KMeansConfig::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

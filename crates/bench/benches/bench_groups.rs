@@ -1,0 +1,47 @@
+//! Fig. 10 micro-benchmark: summarization time as the user-group size
+//! grows — ST's |T|-dependence vs PCST's flat profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::group_inputs_for_users;
+use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig};
+
+fn bench(c: &mut Criterion) {
+    let ctx = Ctx::build(CtxConfig {
+        scale: 0.02,
+        users_per_gender: 16,
+        items_per_extreme: 5,
+        ..CtxConfig::default()
+    });
+    let g = &ctx.ds.kg.graph;
+
+    let mut group = c.benchmark_group("group_size");
+    group.sample_size(10);
+    for size in [4usize, 8, 16, 32] {
+        let members: Vec<usize> = ctx.users.iter().copied().take(size).collect();
+        if members.len() < size {
+            continue;
+        }
+        let inputs = group_inputs_for_users(&ctx, Baseline::Pgpr, 10, &[members]);
+        let Some(input) = inputs.first() else { continue };
+        group.bench_with_input(BenchmarkId::new("st", size), input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |input| steiner_summary(g, &input, &SteinerConfig::default()),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pcst", size), input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |input| pcst_summary(g, &input, &PcstConfig::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

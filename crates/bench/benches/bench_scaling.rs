@@ -1,0 +1,46 @@
+//! Fig. 11 micro-benchmark: summarization time across the synthetic
+//! Table III graphs (scaled), with random 3-hop explanation paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
+use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
+use xsum_graph::LoosePath;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_size");
+    group.sample_size(10);
+    for level in [ScalingLevel::G1, ScalingLevel::G3, ScalingLevel::G5] {
+        let ds = scaling_graph_scaled(level, 7, 0.02);
+        // One user-centric input of k = 10 random 3-hop paths.
+        let mut paths = Vec::new();
+        for i in 0..10u64 {
+            if let Some(p) = random_explanation_path(&ds, 0, 3, 1000 + i, 50) {
+                paths.push(LoosePath::from_path(&p));
+            }
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_centric(ds.kg.user_node(0), paths);
+        let g = &ds.kg.graph;
+        group.bench_with_input(BenchmarkId::new("st", level.name()), &input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |input| steiner_summary(g, &input, &SteinerConfig::default()),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("pcst", level.name()), &input, |b, input| {
+            b.iter_batched(
+                || input.clone(),
+                |input| pcst_summary(g, &input, &PcstConfig::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Substrate micro-benchmarks: the primitives whose costs dominate the
+//! summarizers (Dijkstra, Kruskal, Eq. 1 weighting) and the baseline
+//! recommenders' query path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::user_centric_inputs;
+use xsum_core::adjusted_weights;
+use xsum_graph::{dijkstra, EdgeCosts};
+use xsum_rec::{Cafe, CafeConfig, PathRecommender, Pgpr, PgprConfig};
+
+fn bench(c: &mut Criterion) {
+    let ctx = Ctx::build(CtxConfig {
+        scale: 0.02,
+        users_per_gender: 8,
+        items_per_extreme: 5,
+        ..CtxConfig::default()
+    });
+    let g = &ctx.ds.kg.graph;
+    let costs = EdgeCosts::uniform(g, 1.0);
+    let source = ctx.ds.kg.user_node(ctx.users[0]);
+    let input = user_centric_inputs(&ctx, Baseline::Pgpr, 10)
+        .into_iter()
+        .next()
+        .expect("input");
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+    group.bench_function("dijkstra_full", |b| {
+        b.iter(|| dijkstra(g, &costs, source, &[]))
+    });
+    group.bench_function("dijkstra_targets", |b| {
+        b.iter(|| dijkstra(g, &costs, source, &input.terminals))
+    });
+    group.bench_function("eq1_adjusted_weights", |b| {
+        b.iter(|| adjusted_weights(g, &input, 1.0))
+    });
+    group.bench_function("pgpr_recommend_k10", |b| {
+        let rec = Pgpr::new(&ctx.ds.kg, &ctx.ds.ratings, &ctx.mf, PgprConfig::default());
+        b.iter(|| rec.recommend(ctx.users[0], 10))
+    });
+    group.bench_function("cafe_recommend_k10", |b| {
+        let rec = Cafe::new(&ctx.ds.kg, &ctx.ds.ratings, &ctx.mf, CafeConfig::default());
+        b.iter(|| rec.recommend(ctx.users[0], 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

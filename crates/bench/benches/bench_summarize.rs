@@ -1,0 +1,64 @@
+//! Fig. 9 micro-benchmark: one summarization call per method, on a
+//! user-centric (k = 10) and a user-group input.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::{user_centric_inputs, user_group_inputs};
+use xsum_core::{gw_pcst_summary, pcst_summary, steiner_summary, PcstConfig, SteinerConfig};
+
+fn bench(c: &mut Criterion) {
+    let ctx = Ctx::build(CtxConfig {
+        scale: 0.02,
+        users_per_gender: 8,
+        items_per_extreme: 5,
+        ..CtxConfig::default()
+    });
+    let g = &ctx.ds.kg.graph;
+    let uc = user_centric_inputs(&ctx, Baseline::Pgpr, 10);
+    let ug = user_group_inputs(&ctx, Baseline::Pgpr, 10);
+    let uc_input = uc.first().expect("at least one user-centric input");
+    let ug_input = ug.first().expect("at least one user-group input");
+
+    let mut group = c.benchmark_group("summarize");
+    group.sample_size(20);
+    group.bench_function("st_user_centric_k10", |b| {
+        b.iter_batched(
+            || uc_input.clone(),
+            |input| steiner_summary(g, &input, &SteinerConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pcst_user_centric_k10", |b| {
+        b.iter_batched(
+            || uc_input.clone(),
+            |input| pcst_summary(g, &input, &PcstConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("gw_pcst_user_centric_k10", |b| {
+        b.iter_batched(
+            || uc_input.clone(),
+            |input| gw_pcst_summary(g, &input, &PcstConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("st_user_group_k10", |b| {
+        b.iter_batched(
+            || ug_input.clone(),
+            |input| steiner_summary(g, &input, &SteinerConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pcst_user_group_k10", |b| {
+        b.iter_batched(
+            || ug_input.clone(),
+            |input| pcst_summary(g, &input, &PcstConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <artifact> [--scale F] [--seed N] [--users N] [--items N] [--k N] [--plot]
+//!
+//! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!            userstudy ablation fairness all
+//! ```
+//!
+//! Output is TSV (scenario, baseline, method, x, metric, value) matching
+//! the series each paper figure plots. The default `--scale 0.05` runs in
+//! seconds; `--scale 1.0` is the paper's Table II scale.
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::{ablation, ancillary, fairness, perf, quality, tables, userstudy};
+use xsum_bench::table::{print_rows, Row};
+use xsum_metrics::TrackingAllocator;
+
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+struct Args {
+    artifact: String,
+    scale: f64,
+    seed: u64,
+    users_per_gender: usize,
+    items_per_extreme: usize,
+    top_k: usize,
+    plot: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        artifact: argv.first().cloned().unwrap_or_else(|| "all".to_string()),
+        scale: 0.05,
+        seed: 42,
+        users_per_gender: 20,
+        items_per_extreme: 10,
+        top_k: 10,
+        plot: false,
+    };
+    let mut i = 1;
+    while i + 1 < argv.len() + 1 {
+        match argv.get(i).map(|s| s.as_str()) {
+            Some("--scale") => {
+                args.scale = argv[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            Some("--seed") => {
+                args.seed = argv[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            Some("--users") => {
+                args.users_per_gender = argv[i + 1].parse().expect("--users takes an integer");
+                i += 2;
+            }
+            Some("--items") => {
+                args.items_per_extreme = argv[i + 1].parse().expect("--items takes an integer");
+                i += 2;
+            }
+            Some("--k") => {
+                args.top_k = argv[i + 1].parse().expect("--k takes an integer");
+                i += 2;
+            }
+            Some("--plot") => {
+                args.plot = true;
+                i += 1;
+            }
+            Some(other) => panic!("unknown flag {other}"),
+            None => break,
+        }
+    }
+    args
+}
+
+fn ctx_config(a: &Args) -> CtxConfig {
+    CtxConfig {
+        scale: a.scale,
+        seed: a.seed,
+        users_per_gender: a.users_per_gender,
+        items_per_extreme: a.items_per_extreme,
+        top_k: a.top_k,
+        ..CtxConfig::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = ctx_config(&args);
+
+    let quality_fig = |metric: &str| {
+        let ctx = Ctx::build(cfg);
+        let rows = quality::run(&ctx, &Baseline::MAIN);
+        let filtered = quality::filter_metric(&rows, metric);
+        if args.plot {
+            print!("{}", xsum_bench::plot::sparklines(&filtered, metric));
+        } else {
+            print_rows(&filtered);
+        }
+    };
+
+    match args.artifact.as_str() {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => {
+            let ctx = Ctx::build(cfg);
+            print!("{}", tables::table2(&ctx));
+        }
+        "table3" => print_rows(&tables::table3_rows()),
+        "fig2" => quality_fig("comprehensibility"),
+        "fig3" => quality_fig("actionability"),
+        "fig4" => quality_fig("diversity"),
+        "fig5" => quality_fig("redundancy"),
+        "fig6" => quality_fig("consistency"),
+        "fig7" => quality_fig("relevance"),
+        "fig8" => quality_fig("privacy"),
+        "fig9" => {
+            let ctx = Ctx::build(cfg);
+            let mut rows = Vec::new();
+            for b in Baseline::MAIN {
+                rows.extend(perf::fig9(&ctx, b));
+            }
+            print_rows(&rows);
+        }
+        "fig10" => {
+            let ctx = Ctx::build(cfg);
+            let n = ctx.users.len();
+            let sizes: Vec<usize> = [n / 8, n / 4, n / 2, n]
+                .into_iter()
+                .filter(|s| *s > 0)
+                .collect();
+            print_rows(&perf::fig10(&ctx, Baseline::Pgpr, &sizes));
+        }
+        "fig11" => {
+            print_rows(&perf::fig11(
+                args.scale,
+                args.seed,
+                2 * args.users_per_gender,
+                args.users_per_gender,
+                args.top_k,
+            ));
+        }
+        "fig12" | "fig13" => {
+            let mut ctx = Ctx::build(cfg);
+            let rows = ancillary::fig12_13(&mut ctx);
+            let metric = if args.artifact == "fig12" {
+                "comprehensibility"
+            } else {
+                "diversity"
+            };
+            let rows: Vec<Row> = rows.into_iter().filter(|r| r.metric == metric).collect();
+            print_rows(&rows);
+        }
+        "fig14" | "fig15" => {
+            let rows = ancillary::fig14_15(cfg);
+            let metric = if args.artifact == "fig14" {
+                "comprehensibility"
+            } else {
+                "diversity"
+            };
+            let rows: Vec<Row> = rows.into_iter().filter(|r| r.metric == metric).collect();
+            print_rows(&rows);
+        }
+        "fig16" => {
+            let ctx = Ctx::build(cfg);
+            print_rows(&ancillary::fig16(ctx));
+        }
+        "fig17" => {
+            let ctx = Ctx::build(cfg);
+            print_rows(&ancillary::fig17(&ctx));
+        }
+        "userstudy" => {
+            let ctx = Ctx::build(cfg);
+            print!("{}", userstudy::report(&ctx, 5));
+        }
+        "ablation" => {
+            let ctx = Ctx::build(cfg);
+            print_rows(&ablation::run(&ctx));
+        }
+        "fairness" => {
+            let ctx = Ctx::build(cfg);
+            let mut rows = Vec::new();
+            for b in Baseline::MAIN {
+                rows.extend(fairness::run(&ctx, b));
+            }
+            print_rows(&rows);
+        }
+        "all" => {
+            println!("== table1 ==\n{}", tables::table1());
+            let ctx = Ctx::build(cfg);
+            println!("== table2 ==\n{}", tables::table2(&ctx));
+            println!("== table3 ==");
+            print_rows(&tables::table3_rows());
+            println!("== figs 2-8 (quality sweep) ==");
+            let rows = quality::run(&ctx, &Baseline::MAIN);
+            print_rows(&rows);
+            println!("== fig9 ==");
+            let mut perf_rows = Vec::new();
+            for b in Baseline::MAIN {
+                perf_rows.extend(perf::fig9(&ctx, b));
+            }
+            print_rows(&perf_rows);
+            println!("== fig10 ==");
+            let n = ctx.users.len();
+            let sizes: Vec<usize> = [n / 8, n / 4, n / 2, n]
+                .into_iter()
+                .filter(|s| *s > 0)
+                .collect();
+            print_rows(&perf::fig10(&ctx, Baseline::Pgpr, &sizes));
+            println!("== fig11 ==");
+            print_rows(&perf::fig11(
+                args.scale,
+                args.seed,
+                2 * args.users_per_gender,
+                args.users_per_gender,
+                args.top_k,
+            ));
+            println!("== figs 12-13 ==");
+            let mut ctx_lm = Ctx::build(cfg);
+            print_rows(&ancillary::fig12_13(&mut ctx_lm));
+            println!("== figs 14-15 (LFM1M) ==");
+            print_rows(&ancillary::fig14_15(cfg));
+            println!("== fig16 ==");
+            print_rows(&ancillary::fig16(Ctx::build(cfg)));
+            println!("== fig17 ==");
+            print_rows(&ancillary::fig17(&ctx));
+            println!("== userstudy ==");
+            print!("{}", userstudy::report(&ctx, 3));
+            println!("== ablation ==");
+            print_rows(&ablation::run(&ctx));
+            println!("== fairness ==");
+            let mut fair_rows = Vec::new();
+            for b in Baseline::MAIN {
+                fair_rows.extend(fairness::run(&ctx, b));
+            }
+            print_rows(&fair_rows);
+        }
+        other => {
+            eprintln!("unknown artifact '{other}'");
+            eprintln!(
+                "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared experiment context: dataset, trained scorer, §V-A samples, and
+//! cached baseline outputs.
+
+use xsum_datasets::{
+    lfm1m_scaled, ml1m_scaled, popular_unpopular_items, sample_users_by_gender, Dataset,
+};
+use xsum_graph::FxHashMap;
+use xsum_rec::{
+    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig, Pearlm, Plm, PlmConfig,
+    RecOutput,
+};
+
+/// The four baseline path sources of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// RL path reasoning (main experiments).
+    Pgpr,
+    /// Coarse-to-fine neural-symbolic reasoning (main experiments).
+    Cafe,
+    /// Path language model, unconstrained (Figs. 12–13).
+    Plm,
+    /// Path language model, edge-faithful (Figs. 12–13).
+    Pearlm,
+}
+
+impl Baseline {
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Pgpr => "PGPR",
+            Baseline::Cafe => "CAFE",
+            Baseline::Plm => "PLM",
+            Baseline::Pearlm => "PEARLM",
+        }
+    }
+
+    /// The pair used in the main experiments.
+    pub const MAIN: [Baseline; 2] = [Baseline::Pgpr, Baseline::Cafe];
+    /// The language-model pair of Figs. 12–13.
+    pub const LM: [Baseline; 2] = [Baseline::Plm, Baseline::Pearlm];
+}
+
+/// Context parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CtxConfig {
+    /// Which corpus to build ("ml1m" or "lfm1m").
+    pub dataset: DatasetChoice,
+    /// Fraction of the full corpus (1.0 = Table II scale).
+    pub scale: f64,
+    /// Seed for generation, training, and decoding.
+    pub seed: u64,
+    /// Users sampled per gender (paper: 100).
+    pub users_per_gender: usize,
+    /// Items sampled per popularity extreme (paper: 50).
+    pub items_per_extreme: usize,
+    /// Recommendations requested per user (paper: k ≤ 10).
+    pub top_k: usize,
+    /// Baselines whose outputs to precompute.
+    pub baselines: &'static [Baseline],
+}
+
+/// Which corpus the context is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// ML1M + DBpedia-like (Table II).
+    Ml1m,
+    /// LFM1M + DBpedia-like (§V Additional Dataset).
+    Lfm1m,
+}
+
+impl Default for CtxConfig {
+    fn default() -> Self {
+        CtxConfig {
+            dataset: DatasetChoice::Ml1m,
+            scale: 0.05,
+            seed: 42,
+            users_per_gender: 20,
+            items_per_extreme: 10,
+            top_k: 10,
+            baselines: &Baseline::MAIN,
+        }
+    }
+}
+
+impl CtxConfig {
+    /// The paper's full-scale configuration (§V-A): 100 users per gender,
+    /// 50 items per extreme, ML1M at Table II scale.
+    pub fn paper() -> Self {
+        CtxConfig {
+            scale: 1.0,
+            users_per_gender: 100,
+            items_per_extreme: 50,
+            ..CtxConfig::default()
+        }
+    }
+}
+
+/// Everything an experiment needs, built once.
+pub struct Ctx {
+    /// Context parameters used to build this context.
+    pub cfg: CtxConfig,
+    /// The synthetic corpus.
+    pub ds: Dataset,
+    /// Trained BPR-MF scorer shared by the baselines.
+    pub mf: MfModel,
+    /// Sampled user indices (gender-balanced, activity-preserving).
+    pub users: Vec<usize>,
+    /// The 50-most-popular item sample (scaled).
+    pub popular_items: Vec<usize>,
+    /// The 50-least-popular item sample (scaled).
+    pub unpopular_items: Vec<usize>,
+    /// Cached ranked outputs: (baseline, user) → recommendations.
+    outputs: FxHashMap<(Baseline, usize), RecOutput>,
+}
+
+impl Ctx {
+    /// Build the context: generate the corpus, train MF, draw the samples,
+    /// and precompute every baseline's top-k output for the sampled users.
+    pub fn build(cfg: CtxConfig) -> Self {
+        let ds = match cfg.dataset {
+            DatasetChoice::Ml1m => ml1m_scaled(cfg.seed, cfg.scale),
+            DatasetChoice::Lfm1m => lfm1m_scaled(cfg.seed, cfg.scale),
+        };
+        let mf = MfModel::train(
+            &ds.kg,
+            &ds.ratings,
+            &MfConfig {
+                seed: cfg.seed ^ 0xAB,
+                ..MfConfig::default()
+            },
+        );
+        let users = sample_users_by_gender(&ds, cfg.users_per_gender);
+        let (popular_items, unpopular_items) =
+            popular_unpopular_items(&ds.ratings, cfg.items_per_extreme);
+
+        let mut ctx = Ctx {
+            cfg,
+            ds,
+            mf,
+            users,
+            popular_items,
+            unpopular_items,
+            outputs: FxHashMap::default(),
+        };
+        ctx.precompute(cfg.baselines);
+        ctx
+    }
+
+    /// Precompute outputs of additional baselines (no-op if cached).
+    pub fn precompute(&mut self, baselines: &[Baseline]) {
+        for &b in baselines {
+            if self
+                .outputs
+                .contains_key(&(b, *self.users.first().unwrap_or(&0)))
+            {
+                continue;
+            }
+            let users = self.users.clone();
+            match b {
+                Baseline::Pgpr => {
+                    let rec = Pgpr::new(&self.ds.kg, &self.ds.ratings, &self.mf, PgprConfig::default());
+                    for u in users {
+                        let out = rec.recommend(u, self.cfg.top_k);
+                        self.outputs.insert((b, u), out);
+                    }
+                }
+                Baseline::Cafe => {
+                    let rec = Cafe::new(&self.ds.kg, &self.ds.ratings, &self.mf, CafeConfig::default());
+                    for u in users {
+                        let out = rec.recommend(u, self.cfg.top_k);
+                        self.outputs.insert((b, u), out);
+                    }
+                }
+                Baseline::Plm => {
+                    let rec = Plm::new(
+                        &self.ds.kg,
+                        &self.ds.ratings,
+                        &self.mf,
+                        PlmConfig {
+                            seed: self.cfg.seed ^ 0xB1,
+                            ..PlmConfig::default()
+                        },
+                    );
+                    for u in users {
+                        let out = rec.recommend(u, self.cfg.top_k);
+                        self.outputs.insert((b, u), out);
+                    }
+                }
+                Baseline::Pearlm => {
+                    let rec = Pearlm::new(
+                        &self.ds.kg,
+                        &self.ds.ratings,
+                        &self.mf,
+                        PlmConfig {
+                            seed: self.cfg.seed ^ 0xE2,
+                            ..PlmConfig::default()
+                        },
+                    );
+                    for u in users {
+                        let out = rec.recommend(u, self.cfg.top_k);
+                        self.outputs.insert((b, u), out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cached output of `baseline` for `user`.
+    ///
+    /// # Panics
+    /// Panics if the pair was not precomputed.
+    pub fn output(&self, baseline: Baseline, user: usize) -> &RecOutput {
+        self.outputs
+            .get(&(baseline, user))
+            .expect("baseline output not precomputed for user")
+    }
+}

@@ -1,0 +1,187 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * ST cost-transform `δ` (edge-count pressure vs weight pressure);
+//! * PCST growth scope (union-of-paths / expanded / full graph);
+//! * PCST leaf pruning on/off;
+//! * PCST prize policy (uniform §V-A vs the §VII future-work policies);
+//! * PCST solver: Algorithm 2 greedy vs Goemans–Williamson.
+//!
+//! Each variant reports summary size, comprehensibility, diversity and
+//! per-call time on the same user-centric inputs, so the effect of every
+//! knob is directly comparable.
+
+use xsum_core::{
+    gw_pcst_summary, optimality_gap, pcst_summary, pcst_summary_with_policy, steiner_summary,
+    PcstConfig, PcstScope, PrizePolicy, SteinerConfig, SummaryInput,
+};
+use xsum_graph::Graph;
+use xsum_metrics::{measure, ExplanationView, MetricReport};
+
+use crate::ctx::{Baseline, Ctx};
+use crate::experiments::user_centric_inputs;
+use crate::table::Row;
+
+fn record(
+    rows: &mut Vec<Row>,
+    g: &Graph,
+    variant: &str,
+    inputs: &[SummaryInput],
+    f: impl Fn(&Graph, &SummaryInput) -> xsum_core::Summary,
+) {
+    if inputs.is_empty() {
+        return;
+    }
+    let mut size = 0.0;
+    let mut comp = 0.0;
+    let mut div = 0.0;
+    let (_, m) = measure(|| {
+        for input in inputs {
+            let s = f(g, input);
+            let v = ExplanationView::from_subgraph(g, &s.subgraph);
+            let r = MetricReport::evaluate(g, &v);
+            size += r.size as f64;
+            comp += r.comprehensibility;
+            div += r.diversity;
+        }
+    });
+    let n = inputs.len() as f64;
+    rows.push(Row::new("user-centric", "PGPR", variant, 10, "size", size / n));
+    rows.push(Row::new(
+        "user-centric",
+        "PGPR",
+        variant,
+        10,
+        "comprehensibility",
+        comp / n,
+    ));
+    rows.push(Row::new("user-centric", "PGPR", variant, 10, "diversity", div / n));
+    rows.push(Row::new(
+        "user-centric",
+        "PGPR",
+        variant,
+        10,
+        "time_ms",
+        m.elapsed.as_secs_f64() * 1e3 / n,
+    ));
+}
+
+/// Run every ablation on the context's user-centric inputs at k = top_k.
+pub fn run(ctx: &Ctx) -> Vec<Row> {
+    let g = &ctx.ds.kg.graph;
+    let inputs = user_centric_inputs(ctx, Baseline::Pgpr, ctx.cfg.top_k);
+    let mut rows = Vec::new();
+
+    // --- ST δ sweep -----------------------------------------------------
+    for delta in [0.1, 1.0, 10.0] {
+        record(&mut rows, g, &format!("ST δ={delta}"), &inputs, move |g, i| {
+            steiner_summary(g, i, &SteinerConfig { lambda: 1.0, delta })
+        });
+    }
+
+    // --- PCST scope -------------------------------------------------------
+    for (label, scope) in [
+        ("PCST scope=union", PcstScope::UnionOfPaths),
+        ("PCST scope=expanded(1)", PcstScope::ExpandedUnion(1)),
+    ] {
+        record(&mut rows, g, label, &inputs, move |g, i| {
+            pcst_summary(
+                g,
+                i,
+                &PcstConfig {
+                    scope,
+                    ..PcstConfig::default()
+                },
+            )
+        });
+    }
+
+    // --- PCST pruning -----------------------------------------------------
+    for (label, prune) in [("PCST prune=off", false), ("PCST prune=on", true)] {
+        record(&mut rows, g, label, &inputs, move |g, i| {
+            pcst_summary(
+                g,
+                i,
+                &PcstConfig {
+                    prune,
+                    ..PcstConfig::default()
+                },
+            )
+        });
+    }
+
+    // --- PCST prize policies (§VII future work) ---------------------------
+    for (label, policy) in [
+        ("PCST prize=uniform", PrizePolicy::Uniform),
+        (
+            "PCST prize=path-frequency",
+            PrizePolicy::PathFrequency { weight: 1.0 },
+        ),
+        (
+            "PCST prize=degree",
+            PrizePolicy::DegreeCentrality { weight: 1.0 },
+        ),
+        ("PCST prize=pagerank", PrizePolicy::PageRank { weight: 1.0 }),
+    ] {
+        record(&mut rows, g, label, &inputs, move |g, i| {
+            pcst_summary_with_policy(g, i, &PcstConfig::default(), policy)
+        });
+    }
+
+    // --- PCST solver: greedy Algorithm 2 vs Goemans–Williamson ------------
+    // Under the §V-A policy (prize 1, unit costs) the *optimal* PCST of
+    // terminals ≥2 hops apart is empty — connecting costs more than the
+    // prizes are worth — and GW correctly returns it. That exactness is
+    // the ablation's finding: Algorithm 2's greedy over-connects relative
+    // to the true prize-collecting optimum. With prizes that cover a
+    // 3-hop connection (α = 4) GW becomes a real competitor.
+    record(&mut rows, g, "PCST solver=greedy", &inputs, |g, i| {
+        pcst_summary(g, i, &PcstConfig::default())
+    });
+    record(&mut rows, g, "PCST solver=GW α=1", &inputs, |g, i| {
+        gw_pcst_summary(g, i, &PcstConfig::default())
+    });
+    record(&mut rows, g, "PCST solver=GW α=4", &inputs, |g, i| {
+        gw_pcst_summary(
+            g,
+            i,
+            &PcstConfig {
+                terminal_prize: 4.0,
+                ..PcstConfig::default()
+            },
+        )
+    });
+
+    // --- ST solver quality: KMB vs Dreyfus–Wagner optimum ------------------
+    // Empirical check of the §IV-A "ratio at most 2" claim on real
+    // summarization inputs (both solvers on the same scope graph).
+    let st_cfg = SteinerConfig::default();
+    let mut ratios: Vec<f64> = Vec::new();
+    for input in &inputs {
+        if let Some(gap) = optimality_gap(g, input, &st_cfg) {
+            ratios.push(gap.ratio());
+        }
+    }
+    if !ratios.is_empty() {
+        let n = ratios.len() as f64;
+        let mean = ratios.iter().sum::<f64>() / n;
+        let worst = ratios.iter().fold(1.0f64, |a, &b| a.max(b));
+        rows.push(Row::new(
+            "user-centric",
+            "PGPR",
+            "ST KMB/optimal ratio (mean)",
+            10,
+            "ratio",
+            mean,
+        ));
+        rows.push(Row::new(
+            "user-centric",
+            "PGPR",
+            "ST KMB/optimal ratio (worst)",
+            10,
+            "ratio",
+            worst,
+        ));
+    }
+
+    rows
+}

@@ -1,0 +1,196 @@
+//! Figs. 12–17: the ancillary experiments.
+//!
+//! * Figs. 12–13: comprehensibility and diversity over the PLM / PEARLM
+//!   baselines (user-centric and user-group) — the LM paths are more
+//!   diverse than PGPR/CAFE's, and the summaries behave as in Figs. 2/4;
+//! * Figs. 14–15: the same pair of metrics on the LFM1M corpus;
+//! * Fig. 16: the recency ablation over `(β1, β2)` combinations;
+//! * Fig. 17: explanation (comprehensibility) fairness for popular vs
+//!   unpopular items.
+
+use xsum_kg::WeightConfig;
+use xsum_metrics::MetricReport;
+
+use crate::ctx::{Baseline, Ctx, CtxConfig, DatasetChoice};
+use crate::experiments::{item_centric_inputs, user_centric_inputs, user_group_inputs};
+use crate::methods::Method;
+use crate::table::Row;
+
+/// Figs. 12–13: run the quality sweep for the LM baselines on the two
+/// user scenarios, keeping comprehensibility and diversity.
+pub fn fig12_13(ctx: &mut Ctx) -> Vec<Row> {
+    ctx.precompute(&Baseline::LM);
+    let rows = super::quality::run_scenarios(
+        ctx,
+        &Baseline::LM,
+        &["user-centric", "user-group"],
+    );
+    rows.into_iter()
+        .filter(|r| r.metric == "comprehensibility" || r.metric == "diversity")
+        .collect()
+}
+
+/// Figs. 14–15: comprehensibility and diversity on an LFM1M context.
+pub fn fig14_15(cfg: CtxConfig) -> Vec<Row> {
+    let ctx = Ctx::build(CtxConfig {
+        dataset: DatasetChoice::Lfm1m,
+        ..cfg
+    });
+    let rows = super::quality::run_scenarios(
+        &ctx,
+        &Baseline::MAIN,
+        &["user-centric", "user-group"],
+    );
+    rows.into_iter()
+        .filter(|r| r.metric == "comprehensibility" || r.metric == "diversity")
+        .collect()
+}
+
+/// The five `(β1, β2)` combinations of Fig. 16.
+pub const BETA_COMBOS: [(f64, f64); 5] = [
+    (1.0, 0.0),
+    (0.75, 0.25),
+    (0.5, 0.5),
+    (0.25, 0.75),
+    (0.0, 1.0),
+];
+
+/// Fig. 16: ST comprehensibility and diversity at k = top_k under each
+/// rating/recency balance, user-centric and user-group, PGPR paths.
+///
+/// Reweighting mutates the KG, so this driver owns its context.
+pub fn fig16(mut ctx: Ctx) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let k = ctx.cfg.top_k;
+    let t0 = ctx.ds.kg.weight_config().t0;
+    // A γ that makes the recency term discriminative across the corpus's
+    // timestamp span.
+    let span = t0 - ctx.ds.config.t_start;
+    let gamma = if span > 0.0 { 3.0 / span } else { 0.0 };
+
+    for (b1, b2) in BETA_COMBOS {
+        let cfg = WeightConfig {
+            beta1: b1,
+            beta2: b2,
+            gamma,
+            t0,
+            attribute_weight: 0.0,
+        };
+        ctx.ds.kg.reweight(cfg);
+        let combo = format!("β1={b1},β2={b2}");
+        let method = Method::St { lambda: 1.0 };
+        for (scenario, inputs) in [
+            ("user-centric", user_centric_inputs(&ctx, Baseline::Pgpr, k)),
+            ("user-group", user_group_inputs(&ctx, Baseline::Pgpr, k)),
+        ] {
+            if inputs.is_empty() {
+                continue;
+            }
+            let g = &ctx.ds.kg.graph;
+            let mut comp = 0.0;
+            let mut div = 0.0;
+            for input in &inputs {
+                let v = method.view(g, input);
+                let r = MetricReport::evaluate(g, &v);
+                comp += r.comprehensibility;
+                div += r.diversity;
+            }
+            let n = inputs.len() as f64;
+            rows.push(Row::new(scenario, "PGPR", "ST λ=1", combo.clone(), "comprehensibility", comp / n));
+            rows.push(Row::new(scenario, "PGPR", "ST λ=1", combo.clone(), "diversity", div / n));
+        }
+    }
+    // Restore the paper-default weighting for any later use.
+    ctx.ds.kg.reweight(WeightConfig::paper_default(t0));
+    rows
+}
+
+/// Fig. 17: item-centric comprehensibility for popular vs unpopular
+/// items under CAFE paths, baseline vs summaries.
+///
+/// The paper splits on the 50 most / 50 least popular catalogue items; on
+/// down-scaled corpora the bottom extreme is never recommended at all, so
+/// the split falls back to the median rating-count *among the items that
+/// were actually recommended* — the same question (are less popular items
+/// explained worse?) with guaranteed coverage of both strata.
+pub fn fig17(ctx: &Ctx) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let g = &ctx.ds.kg.graph;
+    let popularity = ctx.ds.ratings.item_popularity();
+    let pop_of = |node: xsum_graph::NodeId| -> u32 {
+        ctx.ds
+            .kg
+            .item_index(node)
+            .map(|i| popularity[i])
+            .unwrap_or(0)
+    };
+    let extreme_pop: std::collections::HashSet<_> = ctx
+        .popular_items
+        .iter()
+        .map(|i| ctx.ds.kg.item_node(*i))
+        .collect();
+    let extreme_unpop: std::collections::HashSet<_> = ctx
+        .unpopular_items
+        .iter()
+        .map(|i| ctx.ds.kg.item_node(*i))
+        .collect();
+
+    for k in 1..=ctx.cfg.top_k {
+        let inputs = item_centric_inputs(ctx, Baseline::Cafe, k);
+        // Median popularity of the focus items, for the fallback split.
+        let mut pops: Vec<u32> = inputs
+            .iter()
+            .filter_map(|i| i.paths.first().map(|p| pop_of(p.target())))
+            .collect();
+        pops.sort_unstable();
+        let both_extremes_present = inputs.iter().any(|i| {
+            i.paths
+                .first()
+                .is_some_and(|p| extreme_unpop.contains(&p.target()))
+        }) && inputs.iter().any(|i| {
+            i.paths
+                .first()
+                .is_some_and(|p| extreme_pop.contains(&p.target()))
+        });
+        let median = pops.get(pops.len() / 2).copied().unwrap_or(0);
+
+        for m in Method::FIGURE_SET {
+            let mut acc: [f64; 2] = [0.0, 0.0];
+            let mut cnt: [usize; 2] = [0, 0];
+            for input in &inputs {
+                // The focus item of an item-centric input is the unique
+                // item its paths end at.
+                let Some(item) = input.paths.first().map(|p| p.target()) else {
+                    continue;
+                };
+                let bucket = if both_extremes_present {
+                    if extreme_pop.contains(&item) {
+                        0
+                    } else if extreme_unpop.contains(&item) {
+                        1
+                    } else {
+                        continue;
+                    }
+                } else {
+                    usize::from(pop_of(item) < median)
+                };
+                let v = m.view(g, input);
+                acc[bucket] += MetricReport::evaluate(g, &v).comprehensibility;
+                cnt[bucket] += 1;
+            }
+            for (bucket, label) in [(0usize, "popular"), (1usize, "unpopular")] {
+                if cnt[bucket] > 0 {
+                    rows.push(Row::new(
+                        label,
+                        "CAFE",
+                        m.label(),
+                        k,
+                        "comprehensibility",
+                        acc[bucket] / cnt[bucket] as f64,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}

@@ -1,0 +1,153 @@
+//! Experiment drivers, one per paper artifact (see DESIGN.md §4).
+
+pub mod ablation;
+pub mod ancillary;
+pub mod fairness;
+pub mod perf;
+pub mod quality;
+pub mod tables;
+pub mod userstudy;
+
+use xsum_core::SummaryInput;
+use xsum_datasets::Gender;
+use xsum_graph::{FxHashMap, LoosePath, NodeId};
+
+use crate::ctx::{Baseline, Ctx};
+
+/// One user-centric input per sampled user with a non-empty top-k output.
+pub fn user_centric_inputs(ctx: &Ctx, b: Baseline, k: usize) -> Vec<SummaryInput> {
+    ctx.users
+        .iter()
+        .filter_map(|&u| {
+            let out = ctx.output(b, u);
+            if out.is_empty() {
+                return None;
+            }
+            Some(SummaryInput::user_centric(
+                ctx.ds.kg.user_node(u),
+                out.paths(k),
+            ))
+        })
+        .collect()
+}
+
+/// One item-centric input per sampled item that at least one sampled user
+/// received within their top-k.
+pub fn item_centric_inputs(ctx: &Ctx, b: Baseline, k: usize) -> Vec<SummaryInput> {
+    let mut per_item: FxHashMap<NodeId, Vec<LoosePath>> = FxHashMap::default();
+    for &u in &ctx.users {
+        for r in ctx.output(b, u).top_k(k) {
+            per_item.entry(r.item).or_default().push(r.path.clone());
+        }
+    }
+    let mut items: Vec<usize> = ctx
+        .popular_items
+        .iter()
+        .chain(ctx.unpopular_items.iter())
+        .copied()
+        .collect();
+    items.sort_unstable();
+    items.dedup();
+    items
+        .into_iter()
+        .filter_map(|i| {
+            let node = ctx.ds.kg.item_node(i);
+            per_item
+                .get(&node)
+                .map(|paths| SummaryInput::item_centric(node, paths.clone()))
+        })
+        .collect()
+}
+
+/// The two §V-A user groups (male sample, female sample) as user-group
+/// inputs over the union of the members' top-k paths.
+pub fn user_group_inputs(ctx: &Ctx, b: Baseline, k: usize) -> Vec<SummaryInput> {
+    group_inputs_for_users(
+        ctx,
+        b,
+        k,
+        &[
+            ctx.users
+                .iter()
+                .copied()
+                .filter(|u| ctx.ds.genders[*u] == Gender::Male)
+                .collect::<Vec<_>>(),
+            ctx.users
+                .iter()
+                .copied()
+                .filter(|u| ctx.ds.genders[*u] == Gender::Female)
+                .collect::<Vec<_>>(),
+        ],
+    )
+}
+
+/// User-group inputs for explicit groups (Fig. 10's size sweep).
+pub fn group_inputs_for_users(
+    ctx: &Ctx,
+    b: Baseline,
+    k: usize,
+    groups: &[Vec<usize>],
+) -> Vec<SummaryInput> {
+    groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|group| {
+            let nodes: Vec<NodeId> = group.iter().map(|u| ctx.ds.kg.user_node(*u)).collect();
+            let mut paths = Vec::new();
+            for &u in group {
+                paths.extend(ctx.output(b, u).paths(k));
+            }
+            SummaryInput::user_group(&nodes, paths)
+        })
+        .filter(|input| !input.paths.is_empty())
+        .collect()
+}
+
+/// The two §V-A item groups (popular, unpopular) as item-group inputs.
+pub fn item_group_inputs(ctx: &Ctx, b: Baseline, k: usize) -> Vec<SummaryInput> {
+    [&ctx.popular_items, &ctx.unpopular_items]
+        .into_iter()
+        .filter_map(|items| item_group_input_for_items(ctx, b, k, items))
+        .collect()
+}
+
+/// Item-group input for an explicit item set; `None` when no sampled user
+/// received any of the items.
+pub fn item_group_input_for_items(
+    ctx: &Ctx,
+    b: Baseline,
+    k: usize,
+    items: &[usize],
+) -> Option<SummaryInput> {
+    let nodes: Vec<NodeId> = items.iter().map(|i| ctx.ds.kg.item_node(*i)).collect();
+    let set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut paths = Vec::new();
+    for &u in &ctx.users {
+        for r in ctx.output(b, u).top_k(k) {
+            if set.contains(&r.item) {
+                paths.push(r.path.clone());
+            }
+        }
+    }
+    if paths.is_empty() {
+        return None;
+    }
+    // Terminals: only the items that actually appear, plus their users.
+    let present: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = paths.iter().map(|p| p.target()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    Some(SummaryInput::item_group(&present, paths))
+}
+
+/// All four scenario input builders, labelled.
+pub fn scenario_inputs(ctx: &Ctx, b: Baseline, k: usize) -> Vec<(&'static str, Vec<SummaryInput>)> {
+    vec![
+        ("user-centric", user_centric_inputs(ctx, b, k)),
+        ("item-centric", item_centric_inputs(ctx, b, k)),
+        ("user-group", user_group_inputs(ctx, b, k)),
+        ("item-group", item_group_inputs(ctx, b, k)),
+    ]
+}

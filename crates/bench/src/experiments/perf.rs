@@ -1,0 +1,183 @@
+//! Figs. 9–11: performance experiments (time and memory).
+//!
+//! * Fig. 9: summarization time/allocation vs k per scenario;
+//! * Fig. 10: time vs group size (ST's |T|-dependence vs PCST's
+//!   independence);
+//! * Fig. 11: time/allocation vs synthetic graph size G1–G5 on random
+//!   3-hop paths, user-centric and user-group.
+
+use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
+use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
+use xsum_graph::NodeId;
+use xsum_metrics::measure;
+
+use crate::ctx::{Baseline, Ctx};
+use crate::experiments::{group_inputs_for_users, scenario_inputs};
+use crate::table::Row;
+
+fn time_methods(g: &xsum_graph::Graph, inputs: &[SummaryInput]) -> Vec<(&'static str, f64, f64)> {
+    let mut out = Vec::new();
+    for (name, f) in [
+        (
+            "ST λ=1",
+            Box::new(|g: &xsum_graph::Graph, i: &SummaryInput| {
+                steiner_summary(g, i, &SteinerConfig::default());
+            }) as Box<dyn Fn(&xsum_graph::Graph, &SummaryInput)>,
+        ),
+        (
+            "PCST",
+            Box::new(|g: &xsum_graph::Graph, i: &SummaryInput| {
+                pcst_summary(g, i, &PcstConfig::default());
+            }),
+        ),
+    ] {
+        let (_, m) = measure(|| {
+            for input in inputs {
+                f(g, input);
+            }
+        });
+        let per = inputs.len().max(1) as f64;
+        out.push((
+            name,
+            m.elapsed.as_secs_f64() * 1e3 / per,
+            m.allocated_bytes as f64 / per / 1024.0,
+        ));
+    }
+    out
+}
+
+/// Fig. 9: per-k time (ms) and allocation (KiB) for each scenario.
+pub fn fig9(ctx: &Ctx, baseline: Baseline) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let g = &ctx.ds.kg.graph;
+    for k in 1..=ctx.cfg.top_k {
+        for (scenario, inputs) in scenario_inputs(ctx, baseline, k) {
+            if inputs.is_empty() {
+                continue;
+            }
+            for (method, ms, kib) in time_methods(g, &inputs) {
+                rows.push(Row::new(scenario, baseline.name(), method, k, "time_ms", ms));
+                rows.push(Row::new(
+                    scenario,
+                    baseline.name(),
+                    method,
+                    k,
+                    "alloc_kib",
+                    kib,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 10: time vs group size at k = top_k for user groups and item
+/// groups.
+pub fn fig10(ctx: &Ctx, baseline: Baseline, sizes: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let g = &ctx.ds.kg.graph;
+    let k = ctx.cfg.top_k;
+    for &size in sizes {
+        // User groups: prefixes of the sample.
+        let group: Vec<usize> = ctx.users.iter().copied().take(size).collect();
+        if !group.is_empty() {
+            let inputs = group_inputs_for_users(ctx, baseline, k, &[group]);
+            for (method, ms, _) in time_methods(g, &inputs) {
+                rows.push(Row::new(
+                    "user-group",
+                    baseline.name(),
+                    method,
+                    size,
+                    "time_ms",
+                    ms,
+                ));
+            }
+        }
+        // Item groups: prefixes of the popular+unpopular sample.
+        let items: Vec<usize> = ctx
+            .popular_items
+            .iter()
+            .chain(ctx.unpopular_items.iter())
+            .copied()
+            .take(size)
+            .collect();
+        if let Some(input) = super::item_group_input_for_items(ctx, baseline, k, &items) {
+            for (method, ms, _) in time_methods(g, std::slice::from_ref(&input)) {
+                rows.push(Row::new(
+                    "item-group",
+                    baseline.name(),
+                    method,
+                    size,
+                    "time_ms",
+                    ms,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 11: time/allocation vs graph size G1–G5 on synthetic random
+/// 3-hop paths (k = 10 per user, user-centric and one group per run).
+///
+/// `scale` shrinks the Table III graphs for laptop runs; `users` is the
+/// per-graph user sample size, `group_size` the user-group size.
+pub fn fig11(scale: f64, seed: u64, users: usize, group_size: usize, k: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for level in ScalingLevel::ALL {
+        let ds = scaling_graph_scaled(level, seed, scale);
+        let g = &ds.kg.graph;
+        let n_users = ds.kg.n_users();
+        let sample: Vec<usize> = (0..users.min(n_users)).collect();
+
+        // Synthetic explanation paths: k random 3-hop walks per user.
+        let mut per_user_inputs = Vec::new();
+        let mut all_paths = Vec::new();
+        let mut group_nodes: Vec<NodeId> = Vec::new();
+        for (j, &u) in sample.iter().enumerate() {
+            let mut paths = Vec::new();
+            for i in 0..k {
+                if let Some(p) =
+                    random_explanation_path(&ds, u, 3, seed ^ (u as u64) << 8 ^ i as u64, 30)
+                {
+                    paths.push(xsum_graph::LoosePath::from_path(&p));
+                }
+            }
+            if paths.is_empty() {
+                continue;
+            }
+            if j < group_size {
+                group_nodes.push(ds.kg.user_node(u));
+                all_paths.extend(paths.iter().cloned());
+            }
+            per_user_inputs.push(SummaryInput::user_centric(ds.kg.user_node(u), paths));
+        }
+
+        for (method, ms, kib) in time_methods(g, &per_user_inputs) {
+            rows.push(Row::new("user-centric", "random", method, level.name(), "time_ms", ms));
+            rows.push(Row::new(
+                "user-centric",
+                "random",
+                method,
+                level.name(),
+                "alloc_kib",
+                kib,
+            ));
+        }
+        if !group_nodes.is_empty() {
+            let group_input = SummaryInput::user_group(&group_nodes, all_paths);
+            for (method, ms, kib) in time_methods(g, &[group_input]) {
+                rows.push(Row::new("user-group", "random", method, level.name(), "time_ms", ms));
+                rows.push(Row::new(
+                    "user-group",
+                    "random",
+                    method,
+                    level.name(),
+                    "alloc_kib",
+                    kib,
+                ));
+            }
+        }
+    }
+    rows
+}

@@ -1,0 +1,139 @@
+//! Figs. 2–8: the quality-metric sweep.
+//!
+//! For every scenario × baseline × method × k, evaluate the §V-B metrics
+//! averaged over the scenario's units (users / items / groups); Fig. 6's
+//! consistency is the Jaccard of consecutive k summaries, averaged over
+//! units and emitted at each k.
+
+use xsum_metrics::{ExplanationView, MetricReport};
+
+use crate::ctx::{Baseline, Ctx};
+use crate::experiments::scenario_inputs;
+use crate::methods::Method;
+use crate::table::Row;
+
+/// Which figure each metric belongs to.
+pub const METRIC_FIGS: [(&str, &str); 6] = [
+    ("comprehensibility", "fig2"),
+    ("actionability", "fig3"),
+    ("diversity", "fig4"),
+    ("redundancy", "fig5"),
+    ("relevance", "fig7"),
+    ("privacy", "fig8"),
+];
+
+/// Run the full sweep for the given baselines over all four scenarios,
+/// producing the rows of Figs. 2–5 and 7–8 (per-k metric means) plus
+/// Fig. 6 (consistency).
+pub fn run(ctx: &Ctx, baselines: &[Baseline]) -> Vec<Row> {
+    run_scenarios(
+        ctx,
+        baselines,
+        &["user-centric", "item-centric", "user-group", "item-group"],
+    )
+}
+
+/// [`run`] restricted to a scenario subset (Figs. 12–15 only plot the two
+/// user scenarios).
+pub fn run_scenarios(ctx: &Ctx, baselines: &[Baseline], scenarios: &[&str]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let g = &ctx.ds.kg.graph;
+    let k_max = ctx.cfg.top_k;
+
+    for &b in baselines {
+        // Per scenario, the per-unit view series over k are needed for
+        // consistency; metrics per k come from the same pass.
+        for (scenario, _) in scenario_inputs(ctx, b, 1) {
+            if !scenarios.contains(&scenario) {
+                continue;
+            }
+            // views[method][k-1][unit]
+            let mut per_method: Vec<(String, Vec<Vec<ExplanationView>>)> = Method::FIGURE_SET
+                .iter()
+                .map(|m| (m.label(), vec![Vec::new(); k_max]))
+                .collect();
+
+            for k in 1..=k_max {
+                let inputs = match scenario {
+                    "user-centric" => super::user_centric_inputs(ctx, b, k),
+                    "item-centric" => super::item_centric_inputs(ctx, b, k),
+                    "user-group" => super::user_group_inputs(ctx, b, k),
+                    "item-group" => super::item_group_inputs(ctx, b, k),
+                    _ => unreachable!(),
+                };
+                for input in &inputs {
+                    for (mi, m) in Method::FIGURE_SET.iter().enumerate() {
+                        per_method[mi].1[k - 1].push(m.view(g, input));
+                    }
+                }
+            }
+
+            for (label, views_per_k) in &per_method {
+                // Figs. 2–5, 7–8: per-k means.
+                for (ki, views) in views_per_k.iter().enumerate() {
+                    if views.is_empty() {
+                        continue;
+                    }
+                    let mut acc = [0.0f64; 7];
+                    for v in views {
+                        let r = MetricReport::evaluate(g, v);
+                        acc[0] += r.comprehensibility;
+                        acc[1] += r.actionability;
+                        acc[2] += r.diversity;
+                        acc[3] += r.redundancy;
+                        acc[4] += r.relevance;
+                        acc[5] += r.privacy;
+                        acc[6] += r.faithfulness;
+                    }
+                    let n = views.len() as f64;
+                    for (ai, (metric, _)) in METRIC_FIGS.iter().enumerate() {
+                        rows.push(Row::new(
+                            scenario,
+                            b.name(),
+                            label.clone(),
+                            ki + 1,
+                            *metric,
+                            acc[ai] / n,
+                        ));
+                    }
+                    // Extension metric (no paper figure): fraction of
+                    // hops backed by real KG edges — separates PLM from
+                    // PEARLM in the Figs. 12-13 sweep.
+                    rows.push(Row::new(
+                        scenario,
+                        b.name(),
+                        label.clone(),
+                        ki + 1,
+                        "faithfulness",
+                        acc[6] / n,
+                    ));
+                }
+                // Fig. 6: consistency J(S_k, S_{k+1}) per k, averaged over
+                // units present at both k and k+1 (paired by position —
+                // unit order is deterministic per k).
+                for k in 1..k_max {
+                    let (a, bviews) = (&views_per_k[k - 1], &views_per_k[k]);
+                    let n = a.len().min(bviews.len());
+                    if n == 0 {
+                        continue;
+                    }
+                    let total: f64 = (0..n).map(|i| a[i].node_jaccard(&bviews[i])).sum();
+                    rows.push(Row::new(
+                        scenario,
+                        b.name(),
+                        label.clone(),
+                        k,
+                        "consistency",
+                        total / n as f64,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Filter the sweep output to one figure's metric.
+pub fn filter_metric(rows: &[Row], metric: &str) -> Vec<Row> {
+    rows.iter().filter(|r| r.metric == metric).cloned().collect()
+}

@@ -1,0 +1,24 @@
+//! # xsum-bench
+//!
+//! The reproduction harness: one experiment driver per table/figure of the
+//! paper's evaluation (§V), all runnable through the `repro` binary and
+//! re-benchable through the Criterion targets.
+//!
+//! Every experiment consumes a shared [`Ctx`] — dataset, trained MF model,
+//! the §V-A user/item samples, and the cached per-user recommendation
+//! outputs of each baseline — and emits [`Row`]s that the binary prints
+//! as TSV in the same shape the paper's figures plot.
+//!
+//! The default context scale is 5% of ML1M, which runs every figure in
+//! seconds on a laptop; `--scale 1.0` reproduces the full Table II graph.
+
+pub mod ctx;
+pub mod experiments;
+pub mod methods;
+pub mod plot;
+pub mod table;
+
+pub use ctx::{Baseline, Ctx, CtxConfig};
+pub use methods::{summarize_views, Method};
+pub use plot::{chart, sparklines};
+pub use table::{print_rows, Row};

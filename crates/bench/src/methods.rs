@@ -1,0 +1,64 @@
+//! The explanation methods compared in every figure: the raw baseline
+//! paths, ST at the three λ settings, and PCST.
+
+use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
+use xsum_graph::Graph;
+use xsum_metrics::ExplanationView;
+
+/// A method column of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// The unsummarized explanation paths.
+    BaselinePaths,
+    /// ST summary with the given λ.
+    St {
+        /// Eq. 1 boost (paper sweeps 0.01, 1, 100).
+        lambda: f64,
+    },
+    /// PCST summary with §V-A policy (1/0 prizes, unit costs).
+    Pcst,
+}
+
+impl Method {
+    /// The method columns of Figs. 2–8.
+    pub const FIGURE_SET: [Method; 5] = [
+        Method::BaselinePaths,
+        Method::St { lambda: 0.01 },
+        Method::St { lambda: 1.0 },
+        Method::St { lambda: 100.0 },
+        Method::Pcst,
+    ];
+
+    /// Label as printed in the harness output.
+    pub fn label(self) -> String {
+        match self {
+            Method::BaselinePaths => "baseline".to_string(),
+            Method::St { lambda } => format!("ST λ={lambda}"),
+            Method::Pcst => "PCST".to_string(),
+        }
+    }
+
+    /// Produce the metric view of this method for one summarization input.
+    pub fn view(self, g: &Graph, input: &SummaryInput) -> ExplanationView {
+        match self {
+            Method::BaselinePaths => ExplanationView::from_paths(&input.paths),
+            Method::St { lambda } => {
+                let s = steiner_summary(g, input, &SteinerConfig { lambda, delta: 1.0 });
+                ExplanationView::from_subgraph(g, &s.subgraph)
+            }
+            Method::Pcst => {
+                let s = pcst_summary(g, input, &PcstConfig::default());
+                ExplanationView::from_subgraph(g, &s.subgraph)
+            }
+        }
+    }
+}
+
+/// Views of every figure method for one input, in [`Method::FIGURE_SET`]
+/// order.
+pub fn summarize_views(g: &Graph, input: &SummaryInput) -> Vec<(String, ExplanationView)> {
+    Method::FIGURE_SET
+        .iter()
+        .map(|m| (m.label(), m.view(g, input)))
+        .collect()
+}

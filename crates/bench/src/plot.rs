@@ -1,0 +1,278 @@
+//! Terminal plots of experiment series.
+//!
+//! The reproduction is judged on *shape* — who wins, how trends move with
+//! `k` — so the harness can render its own figures in the terminal
+//! instead of round-tripping TSV through a plotting stack:
+//!
+//! * [`sparklines`] — one block-character strip per (scenario, baseline,
+//!   method) series, grouped into panels like the paper's figure grids;
+//! * [`chart`] — a full axis-labelled ASCII line chart of one panel,
+//!   one symbol per method.
+//!
+//! Output is plain UTF-8, deterministic, and row-order independent
+//! (series are sorted before rendering).
+
+use std::fmt::Write as _;
+
+use crate::table::Row;
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const SYMBOLS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// One extracted series: panel key, method, and (x, value) points
+/// sorted by x.
+#[derive(Debug, Clone, PartialEq)]
+struct Series {
+    scenario: String,
+    baseline: String,
+    method: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// Group rows of one metric into per-(scenario, baseline, method) series.
+///
+/// Rows whose `x` does not parse as a number are skipped (tables and
+/// categorical axes don't plot).
+fn extract_series(rows: &[Row], metric: &str) -> Vec<Series> {
+    let mut series: Vec<Series> = Vec::new();
+    for r in rows {
+        if r.metric != metric {
+            continue;
+        }
+        let Ok(x) = r.x.parse::<f64>() else { continue };
+        match series.iter_mut().find(|s| {
+            s.scenario == r.scenario && s.baseline == r.baseline && s.method == r.method
+        }) {
+            Some(s) => s.points.push((x, r.value)),
+            None => series.push(Series {
+                scenario: r.scenario.clone(),
+                baseline: r.baseline.clone(),
+                method: r.method.clone(),
+                points: vec![(x, r.value)],
+            }),
+        }
+    }
+    for s in &mut series {
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    series.sort_by(|a, b| {
+        (&a.scenario, &a.baseline, &a.method).cmp(&(&b.scenario, &b.baseline, &b.method))
+    });
+    series
+}
+
+fn block_for(v: f64, lo: f64, hi: f64) -> char {
+    if !v.is_finite() {
+        return ' ';
+    }
+    let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+    let idx = ((t * (BLOCKS.len() - 1) as f64).round() as usize).min(BLOCKS.len() - 1);
+    BLOCKS[idx]
+}
+
+/// Render every (scenario, baseline) panel of `metric` as sparkline
+/// strips, scaled per panel so methods are visually comparable (the way
+/// each sub-figure of the paper shares its y-axis).
+pub fn sparklines(rows: &[Row], metric: &str) -> String {
+    let series = extract_series(rows, metric);
+    if series.is_empty() {
+        return format!("(no plottable series for metric '{metric}')\n");
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    while i < series.len() {
+        let panel_key = (series[i].scenario.clone(), series[i].baseline.clone());
+        let panel: Vec<&Series> = series[i..]
+            .iter()
+            .take_while(|s| (s.scenario.clone(), s.baseline.clone()) == panel_key)
+            .collect();
+        let n = panel.len();
+
+        // Shared y-range over the panel.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &panel {
+            for &(_, v) in &s.points {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} / {} — {} (y: {:.4}..{:.4})",
+            panel_key.0, panel_key.1, metric, lo, hi
+        );
+        let width = panel.iter().map(|s| s.method.len()).max().unwrap_or(0);
+        for s in &panel {
+            let strip: String = s.points.iter().map(|&(_, v)| block_for(v, lo, hi)).collect();
+            let last = s.points.last().map(|p| p.1).unwrap_or(f64::NAN);
+            let _ = writeln!(out, "  {:width$}  {strip}  last={last:.4}", s.method);
+        }
+        out.push('\n');
+        i += n;
+    }
+    out
+}
+
+/// Full ASCII line chart of one (scenario, baseline) panel.
+///
+/// `height` terminal rows of plot area (y-axis labels added on the
+/// left); the x-axis spans the union of series x-values. Methods get
+/// distinct symbols; collisions show the later (alphabetically greater)
+/// method's symbol.
+pub fn chart(rows: &[Row], metric: &str, scenario: &str, baseline: &str, height: usize) -> String {
+    let all = extract_series(rows, metric);
+    let panel: Vec<&Series> = all
+        .iter()
+        .filter(|s| s.scenario == scenario && s.baseline == baseline)
+        .collect();
+    if panel.is_empty() {
+        return format!("(no series for {scenario}/{baseline}/{metric})\n");
+    }
+    let height = height.max(2);
+
+    let mut xs: Vec<f64> = panel.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.dedup();
+    let width = xs.len().max(1);
+
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &panel {
+        for &(_, v) in &s.points {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !(lo.is_finite() && hi.is_finite()) {
+        return format!("(no finite values for {scenario}/{baseline}/{metric})\n");
+    }
+    if hi <= lo {
+        hi = lo + 1.0;
+    }
+
+    // Grid of (height × width) cells; row 0 is the top.
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in panel.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, v) in &s.points {
+            let col = xs
+                .iter()
+                .position(|&gx| (gx - x).abs() < 1e-12)
+                .unwrap_or(0);
+            let t = (v - lo) / (hi - lo);
+            let row = height - 1 - ((t * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = sym;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{scenario} / {baseline} — {metric}");
+    for (ri, line) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{hi:9.4}")
+        } else if ri == height - 1 {
+            format!("{lo:9.4}")
+        } else {
+            " ".repeat(9)
+        };
+        let body: String = line.iter().flat_map(|&c| [c, ' ']).collect();
+        let _ = writeln!(out, "{label} |{}", body.trim_end());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "--".repeat(width));
+    let first = xs.first().copied().unwrap_or(0.0);
+    let last = xs.last().copied().unwrap_or(0.0);
+    let _ = writeln!(out, "{}  x: {first:.0}..{last:.0}", " ".repeat(9));
+    for (si, s) in panel.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", SYMBOLS[si % SYMBOLS.len()], s.method);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for k in 1..=5 {
+            rows.push(Row::new("user-centric", "PGPR", "baseline", k, "comp", 1.0 / k as f64));
+            rows.push(Row::new("user-centric", "PGPR", "ST", k, "comp", 2.0 / k as f64));
+            rows.push(Row::new("item-centric", "PGPR", "ST", k, "comp", 0.5));
+        }
+        rows
+    }
+
+    #[test]
+    fn sparklines_group_panels_and_series() {
+        let s = sparklines(&rows(), "comp");
+        assert!(s.contains("user-centric / PGPR"));
+        assert!(s.contains("item-centric / PGPR"));
+        assert!(s.contains("baseline"));
+        assert!(s.contains("ST"));
+        // 5 points per strip.
+        let strip_line = s.lines().find(|l| l.contains("baseline")).unwrap();
+        let blocks: usize = strip_line.chars().filter(|c| BLOCKS.contains(c)).count();
+        assert_eq!(blocks, 5);
+    }
+
+    #[test]
+    fn sparkline_monotone_series_descends() {
+        let s = sparklines(&rows(), "comp");
+        let line = s.lines().find(|l| l.trim_start().starts_with("ST ") || l.contains("ST  ")).unwrap();
+        let strip: Vec<char> = line.chars().filter(|c| BLOCKS.contains(c)).collect();
+        let levels: Vec<usize> = strip
+            .iter()
+            .map(|c| BLOCKS.iter().position(|b| b == c).unwrap())
+            .collect();
+        assert!(levels.windows(2).all(|w| w[0] >= w[1]), "1/k must descend: {levels:?}");
+    }
+
+    #[test]
+    fn unknown_metric_reports_cleanly() {
+        let s = sparklines(&rows(), "nope");
+        assert!(s.contains("no plottable series"));
+    }
+
+    #[test]
+    fn non_numeric_x_is_skipped() {
+        let mut r = rows();
+        r.push(Row::new("user-centric", "PGPR", "baseline", "G3", "comp", 9.0));
+        let s = sparklines(&r, "comp");
+        // The G3 row must not blow up the y-range of the panel.
+        assert!(!s.contains("9.0000"));
+    }
+
+    #[test]
+    fn chart_has_axes_and_legend() {
+        let c = chart(&rows(), "comp", "user-centric", "PGPR", 8);
+        assert!(c.contains("user-centric / PGPR"));
+        assert!(c.contains("x: 1..5"));
+        // Series sort lexicographically ("ST" < "baseline" in ASCII).
+        assert!(c.contains("* ST"));
+        assert!(c.contains("o baseline"));
+        assert!(c.lines().count() >= 8);
+    }
+
+    #[test]
+    fn chart_empty_panel_reports() {
+        let c = chart(&rows(), "comp", "user-group", "PGPR", 8);
+        assert!(c.contains("no series"));
+    }
+
+    #[test]
+    fn chart_flat_series_does_not_divide_by_zero() {
+        let c = chart(&rows(), "comp", "item-centric", "PGPR", 6);
+        assert!(c.contains("o ST") || c.contains("* ST"));
+    }
+
+    #[test]
+    fn deterministic_regardless_of_row_order() {
+        let mut shuffled = rows();
+        shuffled.reverse();
+        assert_eq!(sparklines(&rows(), "comp"), sparklines(&shuffled, "comp"));
+        assert_eq!(
+            chart(&rows(), "comp", "user-centric", "PGPR", 8),
+            chart(&shuffled, "comp", "user-centric", "PGPR", 8)
+        );
+    }
+}

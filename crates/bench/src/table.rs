@@ -1,0 +1,80 @@
+//! TSV output rows — the harness's figure/table interchange format.
+
+use std::fmt::Write as _;
+
+/// One data point of a figure: (scenario, baseline, method, x, metric,
+/// value). Tables reuse the shape with empty fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Scenario label ("user-centric", ...; empty for tables).
+    pub scenario: String,
+    /// Baseline explanation source ("PGPR", "CAFE", "PLM", "PEARLM").
+    pub baseline: String,
+    /// Explanation method ("baseline", "ST λ=1", "PCST", ...).
+    pub method: String,
+    /// X-axis value (k, group size, graph name, ...).
+    pub x: String,
+    /// Metric name ("comprehensibility", "time_ms", ...).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(
+        scenario: impl Into<String>,
+        baseline: impl Into<String>,
+        method: impl Into<String>,
+        x: impl ToString,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Row {
+            scenario: scenario.into(),
+            baseline: baseline.into(),
+            method: method.into(),
+            x: x.to_string(),
+            metric: metric.into(),
+            value,
+        }
+    }
+}
+
+/// Render rows as TSV with a header.
+pub fn rows_to_tsv(rows: &[Row]) -> String {
+    let mut out = String::from("scenario\tbaseline\tmethod\tx\tmetric\tvalue\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{:.6}",
+            r.scenario, r.baseline, r.method, r.x, r.metric, r.value
+        );
+    }
+    out
+}
+
+/// Print rows to stdout as TSV.
+pub fn print_rows(rows: &[Row]) {
+    print!("{}", rows_to_tsv(rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_shape() {
+        let rows = vec![
+            Row::new("user-centric", "PGPR", "ST λ=1", 3, "comprehensibility", 0.25),
+            Row::new("", "", "", "G1", "time_ms", 12.5),
+        ];
+        let tsv = rows_to_tsv(&rows);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("scenario\t"));
+        assert!(lines[1].contains("0.250000"));
+        assert!(lines[2].contains("G1"));
+        assert_eq!(lines[1].split('\t').count(), 6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Harness correctness tests: the experiment drivers must produce
+//! well-formed inputs and figure rows on a miniature context.
+
+use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
+use xsum_bench::experiments::{
+    ablation, ancillary, item_centric_inputs, item_group_inputs, perf, quality, tables,
+    user_centric_inputs, user_group_inputs, userstudy,
+};
+use xsum_core::Scenario;
+
+fn tiny_ctx() -> Ctx {
+    Ctx::build(CtxConfig {
+        scale: 0.02,
+        seed: 3,
+        users_per_gender: 5,
+        items_per_extreme: 4,
+        top_k: 6,
+        ..CtxConfig::default()
+    })
+}
+
+#[test]
+fn context_builds_with_samples_and_outputs() {
+    let ctx = tiny_ctx();
+    assert!(ctx.users.len() >= 6, "gender sample too small");
+    assert!(!ctx.popular_items.is_empty());
+    assert!(!ctx.unpopular_items.is_empty());
+    // Outputs cached for every sampled user and main baseline.
+    for &u in &ctx.users {
+        for b in Baseline::MAIN {
+            let _ = ctx.output(b, u); // would panic if missing
+        }
+    }
+}
+
+#[test]
+fn input_builders_produce_consistent_scenarios() {
+    let ctx = tiny_ctx();
+    let uc = user_centric_inputs(&ctx, Baseline::Pgpr, 6);
+    assert!(!uc.is_empty());
+    for i in &uc {
+        assert_eq!(i.scenario, Scenario::UserCentric);
+        assert!(!i.paths.is_empty());
+        assert!(i.terminal_count() >= 2);
+    }
+    let ic = item_centric_inputs(&ctx, Baseline::Pgpr, 6);
+    for i in &ic {
+        assert_eq!(i.scenario, Scenario::ItemCentric);
+        // All paths of an item-centric input end at the same item.
+        let target = i.paths[0].target();
+        assert!(i.paths.iter().all(|p| p.target() == target));
+    }
+    let ug = user_group_inputs(&ctx, Baseline::Pgpr, 6);
+    assert!(ug.len() <= 2, "male + female groups at most");
+    for i in &ug {
+        assert_eq!(i.scenario, Scenario::UserGroup);
+    }
+    let ig = item_group_inputs(&ctx, Baseline::Pgpr, 6);
+    for i in &ig {
+        assert_eq!(i.scenario, Scenario::ItemGroup);
+    }
+}
+
+#[test]
+fn quality_sweep_emits_all_metrics_and_methods() {
+    let ctx = tiny_ctx();
+    let rows = quality::run_scenarios(&ctx, &[Baseline::Pgpr], &["user-centric"]);
+    let metrics: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.metric.as_str()).collect();
+    for m in [
+        "comprehensibility",
+        "actionability",
+        "diversity",
+        "redundancy",
+        "relevance",
+        "privacy",
+        "consistency",
+    ] {
+        assert!(metrics.contains(m), "metric {m} missing from sweep");
+    }
+    let methods: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.method.as_str()).collect();
+    assert!(methods.contains("baseline"));
+    assert!(methods.contains("ST λ=1"));
+    assert!(methods.contains("PCST"));
+    // k ranges over 1..=top_k for non-consistency metrics.
+    let ks: std::collections::HashSet<&str> = rows
+        .iter()
+        .filter(|r| r.metric == "comprehensibility")
+        .map(|r| r.x.as_str())
+        .collect();
+    assert_eq!(ks.len(), 6);
+    // Values are finite.
+    assert!(rows.iter().all(|r| r.value.is_finite()));
+}
+
+#[test]
+fn perf_rows_are_positive() {
+    let ctx = tiny_ctx();
+    let rows = perf::fig9(&ctx, Baseline::Pgpr);
+    assert!(!rows.is_empty());
+    assert!(rows
+        .iter()
+        .filter(|r| r.metric == "time_ms")
+        .all(|r| r.value >= 0.0));
+    let rows = perf::fig10(&ctx, Baseline::Pgpr, &[2, 4]);
+    assert!(rows.iter().any(|r| r.scenario == "user-group"));
+}
+
+#[test]
+fn fig11_covers_all_levels() {
+    let rows = perf::fig11(0.01, 5, 6, 3, 5);
+    let graphs: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.x.as_str()).collect();
+    assert_eq!(graphs.len(), 5, "G1..G5 expected, got {graphs:?}");
+}
+
+#[test]
+fn ablation_rows_cover_every_variant() {
+    let ctx = tiny_ctx();
+    let rows = ablation::run(&ctx);
+    let variants: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.method.as_str()).collect();
+    for v in [
+        "ST δ=0.1",
+        "ST δ=1",
+        "ST δ=10",
+        "PCST scope=union",
+        "PCST scope=expanded(1)",
+        "PCST prune=off",
+        "PCST prune=on",
+        "PCST prize=uniform",
+        "PCST prize=path-frequency",
+        "PCST prize=degree",
+        "PCST prize=pagerank",
+        "PCST solver=greedy",
+        "PCST solver=GW α=1",
+        "PCST solver=GW α=4",
+    ] {
+        assert!(variants.contains(v), "variant {v} missing");
+    }
+    // The KMB-vs-optimum probe reports a mean and worst ratio, both
+    // within the 2-approximation guarantee.
+    for label in ["ST KMB/optimal ratio (mean)", "ST KMB/optimal ratio (worst)"] {
+        let row = rows
+            .iter()
+            .find(|r| r.method == label)
+            .unwrap_or_else(|| panic!("missing {label}"));
+        assert!(
+            row.value >= 1.0 - 1e-9 && row.value <= 2.0 + 1e-9,
+            "{label} = {} outside [1, 2]",
+            row.value
+        );
+    }
+}
+
+#[test]
+fn fig16_sweeps_all_beta_combos() {
+    let ctx = tiny_ctx();
+    let rows = ancillary::fig16(ctx);
+    let combos: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.x.as_str()).collect();
+    assert_eq!(combos.len(), ancillary::BETA_COMBOS.len());
+}
+
+#[test]
+fn fig17_has_both_strata() {
+    let ctx = tiny_ctx();
+    let rows = ancillary::fig17(&ctx);
+    assert!(rows.iter().any(|r| r.scenario == "popular"));
+    assert!(rows.iter().any(|r| r.scenario == "unpopular"));
+}
+
+#[test]
+fn tables_render() {
+    let t1 = tables::table1();
+    assert!(t1.contains("13 edges"));
+    assert!(t1.contains("Summary (6 edges)"));
+    let ctx = tiny_ctx();
+    let t2 = tables::table2(&ctx);
+    assert!(t2.contains("Number of nodes"));
+    let t3 = tables::table3_rows();
+    assert_eq!(t3.len(), 25); // 5 graphs × 5 properties
+}
+
+#[test]
+fn userstudy_report_compresses() {
+    let ctx = tiny_ctx();
+    let report = userstudy::report(&ctx, 2);
+    assert!(report.contains("Original ("));
+    assert!(report.contains("Summarized ("));
+    assert!(report.contains("reduction"));
+}
+
+#[test]
+fn fairness_rows_cover_axes_and_reduce_to_valid_ranges() {
+    use xsum_bench::experiments::fairness;
+    let ctx = tiny_ctx();
+    let rows = fairness::run(&ctx, Baseline::Pgpr);
+    assert!(!rows.is_empty());
+    for axis in ["gender", "popularity", "clusters"] {
+        assert!(
+            rows.iter().any(|r| r.scenario == axis),
+            "fairness axis {axis} missing"
+        );
+    }
+    // Every disparity row pairs with a gap row for the same key.
+    let gaps = rows.iter().filter(|r| r.metric.ends_with(":gap")).count();
+    let disparities = rows
+        .iter()
+        .filter(|r| r.metric.ends_with(":disparity"))
+        .count();
+    assert_eq!(gaps, disparities);
+}
+
+#[test]
+fn quality_rows_plot_as_sparklines() {
+    use xsum_bench::plot::sparklines;
+    let ctx = tiny_ctx();
+    let rows = quality::run(&ctx, &[Baseline::Pgpr]);
+    let comp = quality::filter_metric(&rows, "comprehensibility");
+    let plot = sparklines(&comp, "comprehensibility");
+    // Four scenario panels for the one baseline.
+    assert_eq!(plot.matches("/ PGPR — comprehensibility").count(), 4);
+    // Baseline strip plus ST λ-sweep and PCST in every panel.
+    assert!(plot.matches("baseline").count() >= 4);
+}

@@ -1,0 +1,285 @@
+//! Export summaries and explanation paths to standard graph formats.
+//!
+//! The paper presents summaries visually (Fig. 1 draws the individual
+//! paths in red and the summary in green over the grey knowledge graph).
+//! This module produces that artifact for downstream users:
+//!
+//! * [`summary_to_dot`] — Graphviz DOT of a [`Summary`], node kinds
+//!   shaped/coloured, terminal nodes emphasized (`dot -Tsvg` renders the
+//!   paper-style figure);
+//! * [`overlay_to_dot`] — the full Fig. 1 overlay: the input explanation
+//!   paths plus the summary on one canvas, summary edges bold;
+//! * [`summary_to_tsv`] — a plain `src \t dst \t weight \t kind` edge
+//!   list for spreadsheet / pandas post-processing.
+//!
+//! Output is deterministic (nodes and edges emitted in sorted-id order),
+//! so golden tests and diffs are stable.
+
+use std::fmt::Write as _;
+
+use xsum_graph::{Graph, LoosePath, NodeId, NodeKind, Subgraph};
+
+use crate::summary::Summary;
+
+/// Escape a label for a double-quoted DOT string.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Display label of a node: its graph label when set, otherwise the id.
+fn node_label(g: &Graph, n: NodeId) -> String {
+    let l = g.label(n);
+    if l.is_empty() {
+        n.to_string()
+    } else {
+        l.to_string()
+    }
+}
+
+fn kind_attrs(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::User => "shape=box, fillcolor=\"#cfe2ff\"",
+        NodeKind::Item => "shape=ellipse, fillcolor=\"#d1e7dd\"",
+        NodeKind::Entity => "shape=diamond, fillcolor=\"#fff3cd\"",
+    }
+}
+
+fn write_node(out: &mut String, g: &Graph, n: NodeId, terminal: bool) {
+    let extra = if terminal {
+        ", penwidth=2.5, color=\"#b02a37\""
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "  {} [label=\"{}\", {}, style=filled{}];",
+        n.index(),
+        dot_escape(&node_label(g, n)),
+        kind_attrs(g.kind(n)),
+        extra
+    );
+}
+
+/// Graphviz DOT of a summary subgraph.
+///
+/// Terminal nodes get a bold red outline; users are boxes, items
+/// ellipses, external entities diamonds. Edges carry their `w_M` weight
+/// as label when non-zero.
+pub fn summary_to_dot(g: &Graph, summary: &Summary) -> String {
+    let terminals: std::collections::HashSet<NodeId> =
+        summary.terminals.iter().copied().collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph summary {{\n  // method={} scenario={}",
+        summary.method,
+        summary.scenario.name()
+    );
+    out.push_str("  graph [overlap=false];\n  node [fontsize=10];\n");
+    for n in summary.subgraph.sorted_nodes() {
+        write_node(&mut out, g, n, terminals.contains(&n));
+    }
+    for e in summary.subgraph.sorted_edges() {
+        let edge = g.edge(e);
+        if edge.weight != 0.0 {
+            let _ = writeln!(
+                out,
+                "  {} -- {} [label=\"{:.2}\"];",
+                edge.src.index(),
+                edge.dst.index(),
+                edge.weight
+            );
+        } else {
+            let _ = writeln!(out, "  {} -- {};", edge.src.index(), edge.dst.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Fig. 1-style overlay: input paths (thin, red) and the summary
+/// (bold, green) on one DOT canvas.
+///
+/// An edge on both layers is drawn once, bold green — matching the
+/// paper's figure where the summary supersedes the path edges it kept.
+pub fn overlay_to_dot(g: &Graph, paths: &[LoosePath], summary: &Summary) -> String {
+    let terminals: std::collections::HashSet<NodeId> =
+        summary.terminals.iter().copied().collect();
+    let mut path_edges = Subgraph::new();
+    for p in paths {
+        for e in p.grounded_edges() {
+            path_edges.insert_edge(g, e);
+        }
+        for &n in p.nodes() {
+            path_edges.insert_node(n);
+        }
+    }
+
+    let mut nodes = path_edges.sorted_nodes();
+    nodes.extend(summary.subgraph.sorted_nodes());
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph overlay {{");
+    out.push_str("  graph [overlap=false];\n  node [fontsize=10];\n");
+    for n in nodes {
+        write_node(&mut out, g, n, terminals.contains(&n));
+    }
+    // Summary edges (bold green), then path-only edges (thin red).
+    for e in summary.subgraph.sorted_edges() {
+        let edge = g.edge(e);
+        let _ = writeln!(
+            out,
+            "  {} -- {} [color=\"#198754\", penwidth=2.5];",
+            edge.src.index(),
+            edge.dst.index()
+        );
+    }
+    for e in path_edges.sorted_edges() {
+        if summary.subgraph.contains_edge(e) {
+            continue;
+        }
+        let edge = g.edge(e);
+        let _ = writeln!(
+            out,
+            "  {} -- {} [color=\"#dc3545\", style=dashed];",
+            edge.src.index(),
+            edge.dst.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Tab-separated edge list of a summary:
+/// `src_label \t dst_label \t weight \t edge_kind`, one row per edge,
+/// sorted by edge id, with a header row.
+pub fn summary_to_tsv(g: &Graph, summary: &Summary) -> String {
+    let mut out = String::from("src\tdst\tweight\tkind\n");
+    for e in summary.subgraph.sorted_edges() {
+        let edge = g.edge(e);
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{:?}",
+            node_label(g, edge.src),
+            node_label(g, edge.dst),
+            edge.weight,
+            edge.kind
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::Scenario;
+    use xsum_graph::EdgeKind;
+
+    fn fixture() -> (Graph, Summary, Vec<LoosePath>) {
+        let mut g = Graph::new();
+        let u = g.add_labeled_node(NodeKind::User, "User 1");
+        let i0 = g.add_labeled_node(NodeKind::Item, "Ulysses\" Gaze"); // quote on purpose
+        let e0 = g.add_labeled_node(NodeKind::Entity, "Theo Angelopoulos");
+        let i1 = g.add_labeled_node(NodeKind::Item, "The Beekeeper");
+        let e1 = g.add_edge(u, i0, 4.0, EdgeKind::Interaction);
+        let e2 = g.add_edge(i0, e0, 0.0, EdgeKind::Attribute);
+        let e3 = g.add_edge(e0, i1, 0.0, EdgeKind::Attribute);
+        let path = LoosePath::ground(&g, vec![u, i0, e0, i1]);
+        let sub = Subgraph::from_edges(&g, [e1, e2, e3]);
+        let summary = Summary {
+            method: "ST",
+            scenario: Scenario::UserCentric,
+            subgraph: sub,
+            terminals: vec![u, i1],
+        };
+        (g, summary, vec![path])
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let (g, s, _) = fixture();
+        let dot = summary_to_dot(&g, &s);
+        assert!(dot.starts_with("graph summary {"));
+        assert!(dot.contains("User 1"));
+        assert!(dot.contains("The Beekeeper"));
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_labels() {
+        let (g, s, _) = fixture();
+        let dot = summary_to_dot(&g, &s);
+        assert!(dot.contains("Ulysses\\\" Gaze"), "quote must be escaped");
+    }
+
+    #[test]
+    fn terminals_are_emphasized() {
+        let (g, s, _) = fixture();
+        let dot = summary_to_dot(&g, &s);
+        assert_eq!(dot.matches("penwidth=2.5").count(), 2); // u and i1
+    }
+
+    #[test]
+    fn weighted_edges_carry_labels() {
+        let (g, s, _) = fixture();
+        let dot = summary_to_dot(&g, &s);
+        assert!(dot.contains("label=\"4.00\""));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (g, s, _) = fixture();
+        assert_eq!(summary_to_dot(&g, &s), summary_to_dot(&g, &s));
+        assert_eq!(summary_to_tsv(&g, &s), summary_to_tsv(&g, &s));
+    }
+
+    #[test]
+    fn overlay_marks_summary_edges_green() {
+        let (g, s, paths) = fixture();
+        let dot = overlay_to_dot(&g, &paths, &s);
+        // All three edges are in the summary, so no dashed red remains.
+        assert_eq!(dot.matches("#198754").count(), 3);
+        assert_eq!(dot.matches("#dc3545").count(), 0);
+    }
+
+    #[test]
+    fn overlay_shows_path_only_edges_dashed() {
+        let (mut g, mut s, mut paths) = fixture();
+        // Extend the KG with a path edge the summary does not keep.
+        let extra = g.add_labeled_node(NodeKind::Item, "Landscape in the Mist");
+        let u = paths[0].nodes()[0];
+        g.add_edge(u, extra, 3.0, EdgeKind::Interaction);
+        paths.push(LoosePath::ground(&g, vec![u, extra]));
+        s.terminals.push(extra);
+        let dot = overlay_to_dot(&g, &paths, &s);
+        assert_eq!(dot.matches("#dc3545").count(), 1);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let (g, s, _) = fixture();
+        let tsv = summary_to_tsv(&g, &s);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 edges
+        assert_eq!(lines[0], "src\tdst\tweight\tkind");
+        assert!(lines[1].contains('\t'));
+    }
+
+    #[test]
+    fn empty_summary_exports_cleanly() {
+        let g = Graph::new();
+        let s = Summary {
+            method: "ST",
+            scenario: Scenario::UserCentric,
+            subgraph: Subgraph::new(),
+            terminals: Vec::new(),
+        };
+        let dot = summary_to_dot(&g, &s);
+        assert!(dot.contains("graph summary {"));
+        assert!(dot.trim_end().ends_with('}'));
+        let tsv = summary_to_tsv(&g, &s);
+        assert_eq!(tsv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Goemans–Williamson moat-growing 2-approximation for the
+//! prize-collecting Steiner tree — the algorithm behind the paper's
+//! complexity claim for Algorithm 2 ("a 2-approximation \[54\] ... in
+//! O((|V|+|E|) log |V|)").
+//!
+//! This is the classical unrooted GW scheme:
+//!
+//! 1. **Growth.** Every node starts as a singleton cluster with potential
+//!    equal to its prize. Active clusters grow a dual `y` uniformly; an
+//!    edge becomes *tight* when the duals loaded on it reach its cost
+//!    (merging the two clusters), and a cluster *deactivates* when its
+//!    dual spend exhausts its total prize.
+//! 2. **Strong pruning.** Each tree of the resulting forest is pruned
+//!    bottom-up: a subtree survives only if its net worth
+//!    (prize − connection cost) is positive.
+//!
+//! The implementation is event-driven over the scope subgraph (the same
+//! [`PcstScope`](crate::PcstScope) machinery as Algorithm 2) and entirely
+//! deterministic. It serves as the ablation-grade alternative PCST solver
+//! in the benches and as a differential-testing oracle for Algorithm 2's
+//! greedy (both must cover terminals on connected scopes with the 1/0
+//! prize policy).
+
+use xsum_graph::{EdgeId, FxHashMap, FxHashSet, Graph, NodeId, Subgraph, UnionFind};
+
+use crate::input::SummaryInput;
+use crate::pcst::{build_scope, PcstConfig};
+use crate::summary::Summary;
+
+/// Compute a GW-PCST summary explanation using the configuration's scope,
+/// prizes, and edge costs.
+pub fn gw_pcst_summary(g: &Graph, input: &SummaryInput, cfg: &PcstConfig) -> Summary {
+    let scope = build_scope(g, input, cfg.scope);
+
+    let term_set: FxHashSet<NodeId> = input.terminals.iter().copied().collect();
+    let prize = |n: NodeId| -> f64 {
+        if term_set.contains(&n) {
+            cfg.terminal_prize
+        } else {
+            cfg.nonterminal_prize
+        }
+    };
+    let cost = |e: EdgeId| -> f64 {
+        if cfg.use_edge_weights {
+            g.weight(e).max(0.0)
+        } else {
+            1.0
+        }
+    };
+
+    // Dense-index scope nodes.
+    let mut nodes: Vec<NodeId> = scope.nodes.iter().copied().collect();
+    nodes.sort_unstable();
+    let index: FxHashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut edges: Vec<EdgeId> = scope.edges.iter().copied().collect();
+    edges.sort_unstable();
+
+    let forest = gw_growth(g, &nodes, &index, &edges, &prize, &cost);
+    let kept = strong_prune(g, &nodes, &index, &forest, &prize, &cost);
+
+    let mut out = Subgraph::from_edges(g, kept);
+    for t in &input.terminals {
+        out.insert_node(*t);
+    }
+    Summary {
+        method: "GW-PCST",
+        scenario: input.scenario,
+        subgraph: out,
+        terminals: input.terminals.clone(),
+    }
+}
+
+/// Growth phase: returns the merged (tight) edges.
+fn gw_growth(
+    g: &Graph,
+    nodes: &[NodeId],
+    index: &FxHashMap<NodeId, usize>,
+    edges: &[EdgeId],
+    prize: &dyn Fn(NodeId) -> f64,
+    cost: &dyn Fn(EdgeId) -> f64,
+) -> Vec<EdgeId> {
+    let n = nodes.len();
+    let mut uf = UnionFind::new(n);
+    // Per-cluster (by representative) state.
+    let mut potential: Vec<f64> = nodes.iter().map(|v| prize(*v)).collect();
+    let mut active: Vec<bool> = potential.iter().map(|p| *p > 1e-12).collect();
+    // Per-node accumulated dual (moat radius around the node's cluster
+    // side of each incident edge). We track per-edge load from each side.
+    let mut load: FxHashMap<EdgeId, f64> = FxHashMap::default();
+    let mut forest = Vec::new();
+
+    // Upper bound on events: each merges or deactivates a cluster.
+    for _ in 0..2 * n + 1 {
+        let any_active = (0..n).any(|i| uf.find(i) == i && active[i]);
+        if !any_active {
+            break;
+        }
+
+        // Find the minimal feasible growth delta.
+        let mut best_edge: Option<(f64, EdgeId)> = None;
+        for &e in edges {
+            let edge = g.edge(e);
+            let (Some(&ia), Some(&ib)) = (index.get(&edge.src), index.get(&edge.dst)) else {
+                continue;
+            };
+            let (ra, rb) = (uf.find(ia), uf.find(ib));
+            if ra == rb {
+                continue;
+            }
+            let growing = active[ra] as u32 + active[rb] as u32;
+            if growing == 0 {
+                continue;
+            }
+            let slack = cost(e) - load.get(&e).copied().unwrap_or(0.0);
+            let dt = slack.max(0.0) / growing as f64;
+            if best_edge.is_none_or(|(bd, be)| dt < bd - 1e-15 || (dt <= bd + 1e-15 && e < be)) {
+                best_edge = Some((dt, e));
+            }
+        }
+        let mut best_cluster: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if uf.find(i) == i && active[i] {
+                let dt = potential[i];
+                if best_cluster.is_none_or(|(bd, bi)| dt < bd - 1e-15 || (dt <= bd + 1e-15 && i < bi))
+                {
+                    best_cluster = Some((dt, i));
+                }
+            }
+        }
+
+        let delta = match (best_edge, best_cluster) {
+            (Some((de, _)), Some((dc, _))) => de.min(dc),
+            (Some((de, _)), None) => de,
+            (None, Some((dc, _))) => dc,
+            (None, None) => break,
+        };
+
+        // Grow: charge active clusters, load edges on active frontiers.
+        for i in 0..n {
+            if uf.find(i) == i && active[i] {
+                potential[i] -= delta;
+            }
+        }
+        for &e in edges {
+            let edge = g.edge(e);
+            let (Some(&ia), Some(&ib)) = (index.get(&edge.src), index.get(&edge.dst)) else {
+                continue;
+            };
+            let (ra, rb) = (uf.find(ia), uf.find(ib));
+            if ra == rb {
+                continue;
+            }
+            let growing = active[ra] as u32 + active[rb] as u32;
+            if growing > 0 {
+                *load.entry(e).or_insert(0.0) += delta * growing as f64;
+            }
+        }
+
+        // Fire one event (ties: edge events first for connectivity).
+        let edge_fired = if let Some((_, e)) = best_edge {
+            let edge = g.edge(e);
+            let ia = index[&edge.src];
+            let ib = index[&edge.dst];
+            let (ra, rb) = (uf.find(ia), uf.find(ib));
+            let slack = cost(e) - load.get(&e).copied().unwrap_or(0.0);
+            if ra != rb && slack <= 1e-9 {
+                let (pa, pb) = (potential[ra], potential[rb]);
+                let (aa, ab) = (active[ra], active[rb]);
+                uf.union(ra, rb);
+                let root = uf.find(ra);
+                potential[root] = pa + pb;
+                active[root] = (aa || ab) && potential[root] > 1e-12;
+                forest.push(e);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if !edge_fired {
+            // Deactivate the exhausted cluster.
+            let mut fired = false;
+            for i in 0..n {
+                if uf.find(i) == i && active[i] && potential[i] <= 1e-9 {
+                    active[i] = false;
+                    fired = true;
+                    break;
+                }
+            }
+            if !fired {
+                break; // numerical stalemate; stop growing
+            }
+        }
+    }
+    forest
+}
+
+/// Strong pruning: per tree, keep the subtrees whose prize exceeds their
+/// connection cost.
+fn strong_prune(
+    g: &Graph,
+    nodes: &[NodeId],
+    index: &FxHashMap<NodeId, usize>,
+    forest: &[EdgeId],
+    prize: &dyn Fn(NodeId) -> f64,
+    cost: &dyn Fn(EdgeId) -> f64,
+) -> Vec<EdgeId> {
+    // Adjacency over forest edges.
+    let mut adj: FxHashMap<usize, Vec<(usize, EdgeId)>> = FxHashMap::default();
+    for &e in forest {
+        let edge = g.edge(e);
+        let (ia, ib) = (index[&edge.src], index[&edge.dst]);
+        adj.entry(ia).or_default().push((ib, e));
+        adj.entry(ib).or_default().push((ia, e));
+    }
+
+    let mut kept: Vec<EdgeId> = Vec::new();
+    let mut visited = vec![false; nodes.len()];
+    for root in 0..nodes.len() {
+        if visited[root] || !adj.contains_key(&root) {
+            continue;
+        }
+        // Iterative post-order rooted at `root`.
+        let mut order: Vec<(usize, Option<(usize, EdgeId)>)> = Vec::new();
+        let mut stack = vec![(root, None)];
+        visited[root] = true;
+        while let Some((v, parent)) = stack.pop() {
+            order.push((v, parent));
+            for &(c, e) in adj.get(&v).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !visited[c] {
+                    visited[c] = true;
+                    stack.push((c, Some((v, e))));
+                }
+            }
+        }
+        // Net value bottom-up; record which child edges survive.
+        let mut value: FxHashMap<usize, f64> = FxHashMap::default();
+        for &(v, _) in &order {
+            value.insert(v, prize(nodes[v]));
+        }
+        let mut survives: FxHashSet<EdgeId> = FxHashSet::default();
+        for &(v, parent) in order.iter().rev() {
+            if let Some((p, e)) = parent {
+                let net = value[&v] - cost(e);
+                if net > 1e-12 {
+                    *value.get_mut(&p).expect("parent visited") += net;
+                    survives.insert(e);
+                }
+            }
+        }
+        // Keep surviving edges whose entire path to the root survives:
+        // walk down from root again.
+        let mut keep_stack = vec![root];
+        let mut reachable: FxHashSet<usize> = FxHashSet::default();
+        reachable.insert(root);
+        while let Some(v) = keep_stack.pop() {
+            for &(c, e) in adj.get(&v).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !reachable.contains(&c) && survives.contains(&e) {
+                    reachable.insert(c);
+                    kept.push(e);
+                    keep_stack.push(c);
+                }
+            }
+        }
+    }
+    kept.sort_unstable();
+    kept.dedup();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcst::PcstScope;
+    use xsum_graph::LoosePath;
+    use xsum_kg::{KgBuilder, KnowledgeGraph, RatingMatrix, WeightConfig};
+
+    fn fixture() -> (KnowledgeGraph, Vec<LoosePath>) {
+        let mut m = RatingMatrix::new(1, 3);
+        m.rate(0, 0, 5.0, 1.0);
+        let mut b = KgBuilder::new(1, 3, 2, WeightConfig::paper_default(1.0));
+        b.link_item(0, 0).link_item(1, 0).link_item(2, 0);
+        b.link_item(2, 1);
+        let kg = b.build(&m);
+        let g = &kg.graph;
+        let (u, i0, i1, i2) = (
+            kg.user_node(0),
+            kg.item_node(0),
+            kg.item_node(1),
+            kg.item_node(2),
+        );
+        let hub = kg.entity_node(0);
+        let p1 = LoosePath::ground(g, vec![u, i0, hub, i1]);
+        let p2 = LoosePath::ground(g, vec![u, i0, hub, i2]);
+        (kg, vec![p1, p2])
+    }
+
+    #[test]
+    fn gw_covers_terminals_on_connected_scope() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let s = gw_pcst_summary(&kg.graph, &input, &PcstConfig::default());
+        assert_eq!(s.method, "GW-PCST");
+        assert_eq!(s.terminal_coverage(), 1.0, "uniform prizes, unit costs: all connected");
+    }
+
+    #[test]
+    fn gw_output_is_acyclic() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let s = gw_pcst_summary(&kg.graph, &input, &PcstConfig::default());
+        // Forest: edges ≤ nodes − components; a tree per component.
+        assert!(s.subgraph.edge_count() < s.subgraph.node_count());
+    }
+
+    #[test]
+    fn zero_prizes_yield_no_edges() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig {
+            terminal_prize: 0.0,
+            nonterminal_prize: 0.0,
+            ..PcstConfig::default()
+        };
+        let s = gw_pcst_summary(&kg.graph, &input, &cfg);
+        assert_eq!(s.subgraph.edge_count(), 0, "nothing is worth connecting");
+        // Terminals still reported as isolated nodes.
+        assert_eq!(s.terminal_coverage(), 1.0);
+    }
+
+    #[test]
+    fn expensive_edges_are_forgone() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        // Edge weights as costs: interaction edge costs 5 ≫ prize 1, so
+        // connecting through it cannot pay off.
+        let cfg = PcstConfig {
+            use_edge_weights: true,
+            scope: PcstScope::UnionOfPaths,
+            ..PcstConfig::default()
+        };
+        let s = gw_pcst_summary(&kg.graph, &input, &cfg);
+        let interaction = kg
+            .graph
+            .find_edge(kg.user_node(0), kg.item_node(0))
+            .unwrap();
+        assert!(
+            !s.subgraph.contains_edge(interaction),
+            "a cost-5 edge cannot be bought with prize-2 moats"
+        );
+    }
+
+    #[test]
+    fn agrees_with_algorithm2_on_coverage() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig::default();
+        let gw = gw_pcst_summary(&kg.graph, &input, &cfg);
+        let greedy = crate::pcst::pcst_summary(&kg.graph, &input, &cfg);
+        assert_eq!(gw.terminal_coverage(), greedy.terminal_coverage());
+    }
+}

@@ -1,0 +1,195 @@
+//! Summarization scenarios and their inputs (§III).
+//!
+//! | Scenario | Terminals `T` | Paths `P` | Eq. 1 anchor `S` |
+//! |---|---|---|---|
+//! | user-centric | `{u} ∪ R_u` | `E_u` | `R_u` |
+//! | item-centric | `{i} ∪ C_i` | `E_i` | `C_i` |
+//! | user-group   | `D ∪ R_D`   | `E_D` | `R_D` |
+//! | item-group   | `F ∪ C_F`   | `E_F` | `C_F` |
+
+use xsum_graph::{FxHashSet, LoosePath, NodeId};
+
+/// The four summarization granularities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Summarize why one user receives their recommended items.
+    UserCentric,
+    /// Summarize why one item is recommended to its users.
+    ItemCentric,
+    /// Summarize a group of users' recommendations.
+    UserGroup,
+    /// Summarize a group of items' recommendations.
+    ItemGroup,
+}
+
+impl Scenario {
+    /// Figure-label name ("user-centric", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::UserCentric => "user-centric",
+            Scenario::ItemCentric => "item-centric",
+            Scenario::UserGroup => "user-group",
+            Scenario::ItemGroup => "item-group",
+        }
+    }
+}
+
+/// The assembled input of one summarization problem.
+#[derive(Debug, Clone)]
+pub struct SummaryInput {
+    /// Which scenario this input encodes.
+    pub scenario: Scenario,
+    /// The terminal set `T` (deduplicated, deterministic order).
+    pub terminals: Vec<NodeId>,
+    /// The individual explanation paths `P`.
+    pub paths: Vec<LoosePath>,
+    /// `|S|` of Eq. 1 (the recommended-item / receiving-user count).
+    pub anchor_count: usize,
+}
+
+fn dedup_sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+impl SummaryInput {
+    /// User-centric: terminals `{u} ∪ R_u`, where `R_u` are the path
+    /// targets; `|S| = |R_u|`.
+    pub fn user_centric(user: NodeId, paths: Vec<LoosePath>) -> Self {
+        let items: FxHashSet<NodeId> = paths.iter().map(|p| p.target()).collect();
+        let anchor_count = items.len();
+        let mut terminals: Vec<NodeId> = items.into_iter().collect();
+        terminals.push(user);
+        SummaryInput {
+            scenario: Scenario::UserCentric,
+            terminals: dedup_sorted(terminals),
+            paths,
+            anchor_count,
+        }
+    }
+
+    /// Item-centric: terminals `{i} ∪ C_i`, where `C_i` are the path
+    /// sources; `|S| = |C_i|`.
+    pub fn item_centric(item: NodeId, paths: Vec<LoosePath>) -> Self {
+        let users: FxHashSet<NodeId> = paths.iter().map(|p| p.source()).collect();
+        let anchor_count = users.len();
+        let mut terminals: Vec<NodeId> = users.into_iter().collect();
+        terminals.push(item);
+        SummaryInput {
+            scenario: Scenario::ItemCentric,
+            terminals: dedup_sorted(terminals),
+            paths,
+            anchor_count,
+        }
+    }
+
+    /// User-group: terminals `D ∪ R_D` over the union of the group
+    /// members' paths; `|S| = |R_D|`.
+    pub fn user_group(users: &[NodeId], paths: Vec<LoosePath>) -> Self {
+        let items: FxHashSet<NodeId> = paths.iter().map(|p| p.target()).collect();
+        let anchor_count = items.len();
+        let mut terminals: Vec<NodeId> = items.into_iter().collect();
+        terminals.extend_from_slice(users);
+        SummaryInput {
+            scenario: Scenario::UserGroup,
+            terminals: dedup_sorted(terminals),
+            paths,
+            anchor_count,
+        }
+    }
+
+    /// Item-group: terminals `F ∪ C_F`; `|S| = |C_F|`.
+    pub fn item_group(items: &[NodeId], paths: Vec<LoosePath>) -> Self {
+        let users: FxHashSet<NodeId> = paths.iter().map(|p| p.source()).collect();
+        let anchor_count = users.len();
+        let mut terminals: Vec<NodeId> = users.into_iter().collect();
+        terminals.extend_from_slice(items);
+        SummaryInput {
+            scenario: Scenario::ItemGroup,
+            terminals: dedup_sorted(terminals),
+            paths,
+            anchor_count,
+        }
+    }
+
+    /// Number of terminals `|T|`.
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, Graph, NodeKind};
+
+    fn fixture() -> (Graph, Vec<NodeId>, Vec<LoosePath>) {
+        let mut g = Graph::new();
+        let u1 = g.add_node(NodeKind::User);
+        let u2 = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let i2 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        g.add_edge(u1, i1, 5.0, EdgeKind::Interaction);
+        g.add_edge(u2, i1, 4.0, EdgeKind::Interaction);
+        g.add_edge(i1, a, 0.0, EdgeKind::Attribute);
+        g.add_edge(i2, a, 0.0, EdgeKind::Attribute);
+        let p1 = LoosePath::ground(&g, vec![u1, i1, a, i2]); // u1 → i2
+        let p2 = LoosePath::ground(&g, vec![u2, i1, a, i2]); // u2 → i2
+        (g, vec![u1, u2, i1, i2, a], vec![p1, p2])
+    }
+
+    #[test]
+    fn user_centric_terminals() {
+        let (_, n, paths) = fixture();
+        let input = SummaryInput::user_centric(n[0], vec![paths[0].clone()]);
+        assert_eq!(input.scenario, Scenario::UserCentric);
+        // {u1} ∪ {i2}
+        assert_eq!(input.terminals, vec![n[0], n[3]]);
+        assert_eq!(input.anchor_count, 1);
+    }
+
+    #[test]
+    fn item_centric_terminals() {
+        let (_, n, paths) = fixture();
+        let input = SummaryInput::item_centric(n[3], paths.clone());
+        // {i2} ∪ {u1, u2}
+        assert_eq!(input.terminals, vec![n[0], n[1], n[3]]);
+        assert_eq!(input.anchor_count, 2);
+    }
+
+    #[test]
+    fn user_group_terminals_dedup() {
+        let (_, n, paths) = fixture();
+        let input = SummaryInput::user_group(&[n[0], n[1]], paths.clone());
+        // D = {u1, u2}, R_D = {i2}
+        assert_eq!(input.terminals, vec![n[0], n[1], n[3]]);
+        assert_eq!(input.anchor_count, 1);
+        assert_eq!(input.terminal_count(), 3);
+    }
+
+    #[test]
+    fn item_group_terminals() {
+        let (_, n, paths) = fixture();
+        let input = SummaryInput::item_group(&[n[3]], paths.clone());
+        assert_eq!(input.terminals, vec![n[0], n[1], n[3]]);
+        assert_eq!(input.anchor_count, 2);
+        assert_eq!(input.scenario.name(), "item-group");
+    }
+
+    #[test]
+    fn duplicate_targets_counted_once() {
+        let (_, n, paths) = fixture();
+        // Same item recommended through two paths → R_u = {i2}, |S| = 1.
+        let input = SummaryInput::user_centric(n[0], paths.clone());
+        assert_eq!(input.anchor_count, 1);
+    }
+
+    #[test]
+    fn scenario_names() {
+        assert_eq!(Scenario::UserCentric.name(), "user-centric");
+        assert_eq!(Scenario::ItemCentric.name(), "item-centric");
+        assert_eq!(Scenario::UserGroup.name(), "user-group");
+    }
+}

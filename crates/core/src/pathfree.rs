@@ -1,0 +1,327 @@
+//! Generate explanation paths for recommenders that output items only.
+//!
+//! §II of the paper: *"for methods that do not output paths but provide
+//! recommended items and access to underlying graph data, our approach
+//! can generate new path explanations based on the graph structure"* —
+//! and §VII lists summaries for non-graph recommenders as future work.
+//! This module is that bridge: any black-box model (a plain
+//! matrix-factorization scorer, a remote service, a non-graph
+//! collaborative filter) becomes summarizable by grounding its top-k
+//! items into hop-bounded, weight-preferring paths over the knowledge
+//! graph.
+//!
+//! Paths are found with a layered (hop-bounded) Bellman–Ford over the
+//! §IV-A weight→cost transform, so within the hop budget the generated
+//! path maximizes interaction weight — the same preference the weighted
+//! summarizers apply. The paper's baselines reach items "within a
+//! maximum of three edges", which is the default budget.
+
+use xsum_graph::{EdgeCosts, Graph, LoosePath, NodeId};
+
+use crate::input::SummaryInput;
+
+/// Parameters for path generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PathGenConfig {
+    /// Maximum number of edges per generated path (paper baselines: 3).
+    pub max_hops: usize,
+    /// Base edge cost of the weight→cost transform (see
+    /// [`Graph::cost_transform`]).
+    pub delta: f64,
+    /// When an item is unreachable within `max_hops`, fall back to the
+    /// unbounded shortest path instead of skipping it.
+    pub fallback_unbounded: bool,
+}
+
+impl Default for PathGenConfig {
+    fn default() -> Self {
+        PathGenConfig {
+            max_hops: 3,
+            delta: 1.0,
+            fallback_unbounded: true,
+        }
+    }
+}
+
+/// Layered Bellman–Ford from `source`: `dist[h][v]` = cheapest cost of a
+/// walk source→v using exactly ≤ h edges; parents reconstruct nodes.
+struct HopSearch {
+    /// `dist[h * n + v]`.
+    dist: Vec<f64>,
+    /// Predecessor node choice per (h, v).
+    parent: Vec<Option<NodeId>>,
+    n: usize,
+    max_hops: usize,
+}
+
+impl HopSearch {
+    fn run(g: &Graph, costs: &EdgeCosts, source: NodeId, max_hops: usize) -> Self {
+        let n = g.node_count();
+        let layers = max_hops + 1;
+        let mut dist = vec![f64::INFINITY; layers * n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; layers * n];
+        dist[source.index()] = 0.0;
+        for h in 1..layers {
+            let (prev, cur) = (h - 1, h);
+            // Start each layer from the previous one (a walk of ≤ h hops
+            // is at least as good as one of ≤ h−1 hops).
+            for v in 0..n {
+                dist[cur * n + v] = dist[prev * n + v];
+                parent[cur * n + v] = parent[prev * n + v];
+            }
+            for v in 0..n {
+                let dv = dist[prev * n + v];
+                if !dv.is_finite() {
+                    continue;
+                }
+                for &(nb, e) in g.neighbors(NodeId(v as u32)) {
+                    let nd = dv + costs.get(e);
+                    if nd < dist[cur * n + nb.index()] {
+                        dist[cur * n + nb.index()] = nd;
+                        parent[cur * n + nb.index()] = Some(NodeId(v as u32));
+                    }
+                }
+            }
+        }
+        HopSearch {
+            dist,
+            parent,
+            n,
+            max_hops,
+        }
+    }
+
+    /// Node sequence source→t of the cheapest ≤ max_hops walk, if any.
+    fn path_to(&self, source: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        let h = self.max_hops;
+        if !self.dist[h * self.n + t.index()].is_finite() {
+            return None;
+        }
+        // Walk parents back through the layers. The parent stored at
+        // layer h is the best predecessor for the ≤ h-hop walk; stepping
+        // back one layer per hop terminates in ≤ max_hops steps.
+        let mut nodes = vec![t];
+        let mut cur = t;
+        let mut layer = h;
+        while cur != source {
+            let p = self.parent[layer * self.n + cur.index()]?;
+            nodes.push(p);
+            cur = p;
+            layer = layer.saturating_sub(1);
+            if nodes.len() > self.max_hops + 1 {
+                return None; // defensive: malformed parent chain
+            }
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+}
+
+/// Generate one explanation path per reachable item for `user`.
+///
+/// Items unreachable within the hop budget are skipped unless
+/// `fallback_unbounded` is set (then the plain weighted shortest path is
+/// used, whatever its length). Items with no path at all are always
+/// skipped — the caller can compare the output length with `items.len()`.
+pub fn generate_explanations(
+    g: &Graph,
+    user: NodeId,
+    items: &[NodeId],
+    cfg: &PathGenConfig,
+) -> Vec<LoosePath> {
+    let costs = g.cost_transform_own(cfg.delta);
+    let search = HopSearch::run(g, &costs, user, cfg.max_hops);
+    let mut out = Vec::with_capacity(items.len());
+    let mut fallback: Option<xsum_graph::DijkstraResult> = None;
+    for &item in items {
+        if let Some(nodes) = search.path_to(user, item) {
+            out.push(LoosePath::ground(g, nodes));
+            continue;
+        }
+        if cfg.fallback_unbounded {
+            let run = fallback
+                .get_or_insert_with(|| xsum_graph::dijkstra(g, &costs, user, &[]));
+            if let Some(edges) = run.path_to(g, item) {
+                let mut nodes = vec![user];
+                let mut cur = user;
+                for e in edges {
+                    cur = g.edge(e).other(cur);
+                    nodes.push(cur);
+                }
+                out.push(LoosePath::ground(g, nodes));
+            }
+        }
+    }
+    out
+}
+
+/// A user-centric [`SummaryInput`] for a path-free recommender: paths
+/// are generated from the graph, then fed to the summarizers unchanged.
+pub fn path_free_user_centric(
+    g: &Graph,
+    user: NodeId,
+    items: &[NodeId],
+    cfg: &PathGenConfig,
+) -> SummaryInput {
+    SummaryInput::user_centric(user, generate_explanations(g, user, items, cfg))
+}
+
+/// A user-group [`SummaryInput`] for a path-free recommender: each
+/// member's recommended items are grounded into generated paths, then
+/// pooled (the §III group construction over `E_D`).
+pub fn path_free_user_group(
+    g: &Graph,
+    members: &[(NodeId, Vec<NodeId>)],
+    cfg: &PathGenConfig,
+) -> SummaryInput {
+    let users: Vec<NodeId> = members.iter().map(|(u, _)| *u).collect();
+    let mut paths = Vec::new();
+    for (u, items) in members {
+        paths.extend(generate_explanations(g, *u, items, cfg));
+    }
+    SummaryInput::user_group(&users, paths)
+}
+
+/// An item-centric [`SummaryInput`] for a path-free recommender: one
+/// generated path per recommended-to user.
+pub fn path_free_item_centric(
+    g: &Graph,
+    item: NodeId,
+    users: &[NodeId],
+    cfg: &PathGenConfig,
+) -> SummaryInput {
+    let mut paths = Vec::with_capacity(users.len());
+    for &u in users {
+        paths.extend(generate_explanations(g, u, &[item], cfg));
+    }
+    SummaryInput::item_centric(item, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, NodeKind};
+
+    /// u —5— i0 —0— e —0— i1, plus a long detour u—1—i2—0—e.
+    fn fixture() -> (Graph, NodeId, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i0 = g.add_node(NodeKind::Item);
+        let i1 = g.add_node(NodeKind::Item);
+        let i2 = g.add_node(NodeKind::Item);
+        let e = g.add_node(NodeKind::Entity);
+        g.add_edge(u, i0, 5.0, EdgeKind::Interaction);
+        g.add_edge(i0, e, 0.0, EdgeKind::Attribute);
+        g.add_edge(e, i1, 0.0, EdgeKind::Attribute);
+        g.add_edge(u, i2, 1.0, EdgeKind::Interaction);
+        g.add_edge(i2, e, 0.0, EdgeKind::Attribute);
+        (g, u, vec![i0, i1, i2])
+    }
+
+    #[test]
+    fn generates_one_path_per_reachable_item() {
+        let (g, u, items) = fixture();
+        let paths = generate_explanations(&g, u, &items, &PathGenConfig::default());
+        assert_eq!(paths.len(), 3);
+        for (p, &i) in paths.iter().zip(items.iter()) {
+            assert_eq!(p.nodes()[0], u);
+            assert_eq!(*p.nodes().last().unwrap(), i);
+            assert!(p.nodes().len() - 1 <= 3, "hop budget respected");
+        }
+    }
+
+    #[test]
+    fn paths_are_fully_grounded() {
+        let (g, u, items) = fixture();
+        for p in generate_explanations(&g, u, &items, &PathGenConfig::default()) {
+            assert!(p.hops().iter().all(|h| h.is_some()));
+        }
+    }
+
+    #[test]
+    fn prefers_heavier_route_within_budget() {
+        let (g, u, items) = fixture();
+        // i1 is reachable via i0 (weight 5) or i2 (weight 1), both 3
+        // hops; the cheaper transform cost is through i0.
+        let paths = generate_explanations(&g, u, &[items[1]], &PathGenConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].nodes().contains(&items[0]), "route via the 5-star item");
+    }
+
+    #[test]
+    fn hop_budget_excludes_far_items() {
+        let (g, u, items) = fixture();
+        let cfg = PathGenConfig {
+            max_hops: 1,
+            fallback_unbounded: false,
+            ..PathGenConfig::default()
+        };
+        let paths = generate_explanations(&g, u, &items, &cfg);
+        // Only the directly-rated items are within one hop.
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn fallback_reaches_far_items() {
+        let (g, u, items) = fixture();
+        let cfg = PathGenConfig {
+            max_hops: 1,
+            fallback_unbounded: true,
+            ..PathGenConfig::default()
+        };
+        let paths = generate_explanations(&g, u, &items, &cfg);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_items_are_skipped() {
+        let (mut g, u, mut items) = fixture();
+        let island = g.add_node(NodeKind::Item);
+        items.push(island);
+        let paths = generate_explanations(&g, u, &items, &PathGenConfig::default());
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn path_free_input_feeds_summarizers() {
+        use crate::steiner::{steiner_summary, SteinerConfig};
+        let (g, u, items) = fixture();
+        let input = path_free_user_centric(&g, u, &items, &PathGenConfig::default());
+        assert_eq!(input.terminal_count(), 4); // u + 3 items
+        let s = steiner_summary(&g, &input, &SteinerConfig::default());
+        assert_eq!(s.terminal_coverage(), 1.0);
+    }
+
+    #[test]
+    fn user_group_generation_pools_member_paths() {
+        use crate::input::Scenario;
+        let (g, u, items) = fixture();
+        let mut g = g;
+        let u2 = g.add_node(NodeKind::User);
+        g.add_edge(u2, items[2], 4.0, EdgeKind::Interaction);
+        let input = path_free_user_group(
+            &g,
+            &[
+                (u, vec![items[0], items[1]]),
+                (u2, vec![items[2]]),
+            ],
+            &PathGenConfig::default(),
+        );
+        assert_eq!(input.scenario, Scenario::UserGroup);
+        assert_eq!(input.paths.len(), 3);
+        // Terminals: both users plus the three recommended items.
+        assert_eq!(input.terminal_count(), 5);
+    }
+
+    #[test]
+    fn item_centric_generation() {
+        let (g, u, items) = fixture();
+        let mut g = g;
+        let u2 = g.add_node(NodeKind::User);
+        g.add_edge(u2, items[1], 4.0, EdgeKind::Interaction);
+        let input =
+            path_free_item_centric(&g, items[1], &[u, u2], &PathGenConfig::default());
+        assert_eq!(input.paths.len(), 2);
+        assert_eq!(input.terminal_count(), 3); // item + 2 users
+    }
+}

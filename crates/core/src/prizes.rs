@@ -1,0 +1,224 @@
+//! Alternative PCST prize-assignment policies.
+//!
+//! §VII lists as future work "testing additional PCST prize assignment
+//! policies and considering incorporating node centrality measures". This
+//! module implements that extension:
+//!
+//! * [`PrizePolicy::Uniform`] — the §V-A experimental policy (`α` for
+//!   terminals, `β` otherwise);
+//! * [`PrizePolicy::PathFrequency`] — non-terminals earn prize
+//!   proportional to how many input explanation paths traverse them, so
+//!   the growth prefers the hubs the individual explanations already
+//!   agree on (the same intuition as Eq. 1, moved from edges to nodes);
+//! * [`PrizePolicy::DegreeCentrality`] / [`PrizePolicy::Betweenness`] /
+//!   [`PrizePolicy::PageRank`] — non-terminals earn prize proportional
+//!   to an importance score, following the importance-driven
+//!   summarization line the paper cites (\[45\]).
+
+use xsum_graph::{
+    betweenness_centrality, degree_centrality, pagerank, FxHashMap, FxHashSet, Graph, NodeId,
+    PageRankConfig,
+};
+
+use crate::input::SummaryInput;
+use crate::pcst::{build_scope, pcst_grow_with_prizes, PcstConfig};
+use crate::summary::Summary;
+
+/// How node prizes are assigned during PCST growth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrizePolicy {
+    /// `p(v) = α` for terminals, `β` otherwise (the paper's experiments).
+    Uniform,
+    /// Terminals keep `α`; a non-terminal `v` earns
+    /// `β + weight · freq(v) / |P|` where `freq(v)` counts the input
+    /// paths traversing `v`.
+    PathFrequency {
+        /// Scale of the frequency bonus.
+        weight: f64,
+    },
+    /// Terminals keep `α`; non-terminals earn `β + weight · degree-centrality`.
+    DegreeCentrality {
+        /// Scale of the centrality bonus.
+        weight: f64,
+    },
+    /// Terminals keep `α`; non-terminals earn `β + weight · betweenness`
+    /// (sampled Brandes with `sources` BFS sources).
+    Betweenness {
+        /// Scale of the centrality bonus.
+        weight: f64,
+        /// BFS source budget for the Brandes estimate.
+        sources: usize,
+    },
+    /// Terminals keep `α`; non-terminals earn `β + weight · n · PR(v)`
+    /// (PageRank scaled by the node count so the bonus is comparable to
+    /// the degree-centrality policy on graphs of any size).
+    PageRank {
+        /// Scale of the importance bonus.
+        weight: f64,
+    },
+}
+
+/// Materialized per-node prizes for one summarization input.
+pub fn node_prizes(
+    g: &Graph,
+    input: &SummaryInput,
+    cfg: &PcstConfig,
+    policy: PrizePolicy,
+) -> FxHashMap<NodeId, f64> {
+    let term_set: FxHashSet<NodeId> = input.terminals.iter().copied().collect();
+    let mut prizes: FxHashMap<NodeId, f64> = FxHashMap::default();
+    for &t in &input.terminals {
+        prizes.insert(t, cfg.terminal_prize);
+    }
+    match policy {
+        PrizePolicy::Uniform => {}
+        PrizePolicy::PathFrequency { weight } => {
+            let mut freq: FxHashMap<NodeId, usize> = FxHashMap::default();
+            for p in &input.paths {
+                let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+                for &n in p.nodes() {
+                    if seen.insert(n) {
+                        *freq.entry(n).or_default() += 1;
+                    }
+                }
+            }
+            let denom = input.paths.len().max(1) as f64;
+            for (n, f) in freq {
+                if !term_set.contains(&n) {
+                    prizes.insert(n, cfg.nonterminal_prize + weight * f as f64 / denom);
+                }
+            }
+        }
+        PrizePolicy::DegreeCentrality { weight } => {
+            let dc = degree_centrality(g);
+            for n in g.node_ids() {
+                if !term_set.contains(&n) && dc[n.index()] > 0.0 {
+                    prizes.insert(n, cfg.nonterminal_prize + weight * dc[n.index()]);
+                }
+            }
+        }
+        PrizePolicy::Betweenness { weight, sources } => {
+            let bc = betweenness_centrality(g, sources);
+            for n in g.node_ids() {
+                if !term_set.contains(&n) && bc[n.index()] > 0.0 {
+                    prizes.insert(n, cfg.nonterminal_prize + weight * bc[n.index()]);
+                }
+            }
+        }
+        PrizePolicy::PageRank { weight } => {
+            let pr = pagerank(g, &PageRankConfig::default());
+            let scale = g.node_count() as f64;
+            for n in g.node_ids() {
+                let bonus = weight * scale * pr[n.index()];
+                if !term_set.contains(&n) && bonus > 0.0 {
+                    prizes.insert(n, cfg.nonterminal_prize + bonus);
+                }
+            }
+        }
+    }
+    prizes
+}
+
+/// [`crate::pcst_summary`] under an alternative prize policy.
+pub fn pcst_summary_with_policy(
+    g: &Graph,
+    input: &SummaryInput,
+    cfg: &PcstConfig,
+    policy: PrizePolicy,
+) -> Summary {
+    let scope = build_scope(g, input, cfg.scope);
+    let prizes = node_prizes(g, input, cfg, policy);
+    let default = cfg.nonterminal_prize;
+    let prize = move |n: NodeId| -> f64 { prizes.get(&n).copied().unwrap_or(default) };
+    let subgraph = pcst_grow_with_prizes(g, &scope, input, cfg, &prize);
+    Summary {
+        method: match policy {
+            PrizePolicy::Uniform => "PCST",
+            PrizePolicy::PathFrequency { .. } => "PCST-freq",
+            PrizePolicy::DegreeCentrality { .. } => "PCST-degree",
+            PrizePolicy::Betweenness { .. } => "PCST-betweenness",
+            PrizePolicy::PageRank { .. } => "PCST-pagerank",
+        },
+        scenario: input.scenario,
+        subgraph,
+        terminals: input.terminals.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcst::pcst_summary;
+    use xsum_graph::LoosePath;
+    use xsum_kg::{KgBuilder, KnowledgeGraph, RatingMatrix, WeightConfig};
+
+    fn fixture() -> (KnowledgeGraph, Vec<LoosePath>) {
+        let mut m = RatingMatrix::new(1, 3);
+        m.rate(0, 0, 5.0, 1.0);
+        let mut b = KgBuilder::new(1, 3, 2, WeightConfig::paper_default(1.0));
+        b.link_item(0, 0).link_item(1, 0).link_item(2, 0);
+        b.link_item(2, 1);
+        let kg = b.build(&m);
+        let g = &kg.graph;
+        let hub = kg.entity_node(0);
+        let p1 = LoosePath::ground(g, vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(1)]);
+        let p2 = LoosePath::ground(g, vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(2)]);
+        (kg, vec![p1, p2])
+    }
+
+    #[test]
+    fn uniform_policy_matches_default_pcst() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig::default();
+        let a = pcst_summary(&kg.graph, &input, &cfg);
+        let b = pcst_summary_with_policy(&kg.graph, &input, &cfg, PrizePolicy::Uniform);
+        assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+    }
+
+    #[test]
+    fn frequency_policy_rewards_shared_nodes() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig::default();
+        let prizes = node_prizes(&kg.graph, &input, &cfg, PrizePolicy::PathFrequency { weight: 1.0 });
+        let hub = kg.entity_node(0);
+        let shared_item = kg.item_node(0);
+        // Hub and the shared anchor item appear on both paths → prize 1.0.
+        assert!((prizes[&hub] - 1.0).abs() < 1e-12);
+        assert!(prizes.contains_key(&shared_item)); // terminal? item 0 is not a target
+        // Terminals keep the terminal prize.
+        assert!((prizes[&kg.user_node(0)] - cfg.terminal_prize).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centrality_policies_produce_valid_summaries() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig::default();
+        for policy in [
+            PrizePolicy::DegreeCentrality { weight: 0.5 },
+            PrizePolicy::Betweenness { weight: 0.5, sources: usize::MAX },
+            PrizePolicy::PathFrequency { weight: 0.5 },
+            PrizePolicy::PageRank { weight: 0.5 },
+        ] {
+            let s = pcst_summary_with_policy(&kg.graph, &input, &cfg, policy);
+            assert_eq!(s.terminal_coverage(), 1.0, "{:?}", policy);
+            assert!(s.subgraph.edge_count() < s.subgraph.node_count().max(1));
+        }
+    }
+
+    #[test]
+    fn method_labels_distinguish_policies() {
+        let (kg, paths) = fixture();
+        let input = SummaryInput::user_centric(kg.user_node(0), paths);
+        let cfg = PcstConfig::default();
+        let s = pcst_summary_with_policy(
+            &kg.graph,
+            &input,
+            &cfg,
+            PrizePolicy::PathFrequency { weight: 1.0 },
+        );
+        assert_eq!(s.method, "PCST-freq");
+    }
+}

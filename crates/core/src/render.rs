@@ -1,0 +1,321 @@
+//! Verbalization of explanations — the paper's Table I and user-study
+//! stimuli.
+//!
+//! * [`render_path`] verbalizes an individual explanation path:
+//!   `"u94 watched item 612 related to external 81 related to item 2405"`;
+//! * [`render_summary`] verbalizes a summary subgraph from a focus node:
+//!   `"u94 connects to item 2215 via u2772; is directly connected to
+//!   item 682"`;
+//! * [`table1_example`] reconstructs the paper's worked example — User 1,
+//!   the Theo Angelopoulos filmography, and the three explanation paths of
+//!   Table I whose 13 edges summarize to 6.
+
+use std::collections::VecDeque;
+
+use xsum_graph::{EdgeKind, FxHashMap, Graph, LoosePath, NodeId, NodeKind, Subgraph};
+
+use crate::input::SummaryInput;
+use crate::steiner::steiner_tree;
+use crate::weighting::adjusted_weights_of_paths;
+
+fn node_name(g: &Graph, n: NodeId) -> String {
+    let label = g.label(n);
+    if label.is_empty() {
+        format!("{} {}", g.kind(n).label(), n.0)
+    } else {
+        label.to_string()
+    }
+}
+
+/// Verb of a hop: user→item interactions read "watched", item→user
+/// "watched by", attribute hops "related to", hallucinated hops are
+/// flagged as unverified. `from` is the node the walk leaves through this
+/// hop, so direction-sensitive verbs read naturally either way.
+fn hop_verb(g: &Graph, from: NodeId, hop: Option<xsum_graph::EdgeId>) -> &'static str {
+    match hop {
+        Some(e) => {
+            let edge = g.edge(e);
+            match edge.kind {
+                EdgeKind::Interaction if from == edge.src => "watched",
+                EdgeKind::Interaction => "watched by",
+                EdgeKind::Attribute => "related to",
+            }
+        }
+        None => "linked to (unverified)",
+    }
+}
+
+/// One sentence per explanation path, in the paper's user-study phrasing.
+pub fn render_path(g: &Graph, p: &LoosePath) -> String {
+    let mut s = node_name(g, p.nodes()[0]);
+    for (idx, hop) in p.hops().iter().enumerate() {
+        s.push(' ');
+        s.push_str(hop_verb(g, p.nodes()[idx], *hop));
+        s.push(' ');
+        s.push_str(&node_name(g, p.nodes()[idx + 1]));
+    }
+    s
+}
+
+/// Verbalize a summary subgraph as seen from `focus` (the user of a
+/// user-centric summary, the item of an item-centric one).
+///
+/// Every other *terminal-like* node of interest — by default every item
+/// node in the subgraph — is reported with its BFS route from the focus:
+/// `"connects to X via A, B"`, or `"is directly connected to X"`, or
+/// `"also mentions X (not connected)"` for isolated nodes.
+pub fn render_summary(g: &Graph, sub: &Subgraph, focus: NodeId) -> String {
+    // BFS tree over the subgraph's edges.
+    let mut parent: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    let mut depth: FxHashMap<NodeId, usize> = FxHashMap::default();
+    if sub.contains_node(focus) {
+        depth.insert(focus, 0);
+        let mut q = VecDeque::new();
+        q.push_back(focus);
+        while let Some(v) = q.pop_front() {
+            let d = depth[&v];
+            let mut nexts: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .filter(|(nb, e)| sub.contains_edge(*e) && !depth.contains_key(nb))
+                .map(|(nb, _)| *nb)
+                .collect();
+            nexts.sort_unstable();
+            nexts.dedup();
+            for nb in nexts {
+                depth.insert(nb, d + 1);
+                parent.insert(nb, v);
+                q.push_back(nb);
+            }
+        }
+    }
+
+    let mut clauses: Vec<String> = Vec::new();
+    let mut targets: Vec<NodeId> = sub
+        .sorted_nodes()
+        .into_iter()
+        .filter(|n| *n != focus && g.kind(*n) == NodeKind::Item)
+        .collect();
+    targets.sort_unstable();
+    for t in targets {
+        match depth.get(&t) {
+            Some(1) => clauses.push(format!("is directly connected to {}", node_name(g, t))),
+            Some(_) => {
+                // Intermediate nodes on the BFS route, nearest-first.
+                let mut via = Vec::new();
+                let mut cur = parent[&t];
+                while cur != focus {
+                    via.push(node_name(g, cur));
+                    cur = parent[&cur];
+                }
+                via.reverse();
+                clauses.push(format!(
+                    "connects to {} via {}",
+                    node_name(g, t),
+                    via.join(", ")
+                ));
+            }
+            None => clauses.push(format!("also mentions {} (not connected)", node_name(g, t))),
+        }
+    }
+    if clauses.is_empty() {
+        return format!("{} has no summarized connections", node_name(g, focus));
+    }
+    format!("{} {}", node_name(g, focus), clauses.join("; "))
+}
+
+/// The reconstructed Table I scenario.
+#[derive(Debug, Clone)]
+pub struct Table1Example {
+    /// The mini knowledge graph of Fig. 1 (users, Angelopoulos movies,
+    /// Drama genre, the director entity).
+    pub graph: Graph,
+    /// User 1 — the explainee.
+    pub user1: NodeId,
+    /// Items A, B, C (Eternity and a Day / The Beekeeper / The Suspended
+    /// Step of the Stork).
+    pub items: [NodeId; 3],
+    /// The three explanation paths `P_{1,A}`, `P_{1,B}`, `P_{1,C}`.
+    pub paths: Vec<LoosePath>,
+}
+
+impl Table1Example {
+    /// The assembled user-centric summarization input.
+    pub fn input(&self) -> SummaryInput {
+        SummaryInput::user_centric(self.user1, self.paths.clone())
+    }
+
+    /// Run the ST summarizer exactly as in the paper's example (λ = 1,
+    /// δ = 1) and return the summary subgraph.
+    pub fn summarize(&self) -> Subgraph {
+        let input = self.input();
+        let weights = adjusted_weights_of_paths(&self.graph, &input.paths, input.anchor_count, 1.0);
+        let costs = Graph::cost_transform(&weights, 1.0);
+        steiner_tree(&self.graph, &costs, &input.terminals)
+    }
+
+    /// Total length of the individual explanations (13 in the paper).
+    pub fn total_input_length(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Build the Table I / Fig. 1 example.
+pub fn table1_example() -> Table1Example {
+    let mut g = Graph::new();
+    let user1 = g.add_labeled_node(NodeKind::User, "User 1");
+    let user2 = g.add_labeled_node(NodeKind::User, "User 2");
+    let landscape = g.add_labeled_node(NodeKind::Item, "Landscape in the Mist");
+    let travelling = g.add_labeled_node(NodeKind::Item, "The Travelling Players");
+    let eternity = g.add_labeled_node(NodeKind::Item, "Eternity and a Day");
+    let beekeeper = g.add_labeled_node(NodeKind::Item, "The Beekeeper");
+    let suspended = g.add_labeled_node(NodeKind::Item, "The Suspended Step of the Stork");
+    let ulysses = g.add_labeled_node(NodeKind::Item, "Ulysses' Gaze");
+    let weeping = g.add_labeled_node(NodeKind::Item, "The Weeping Meadow");
+    let dust = g.add_labeled_node(NodeKind::Item, "The Dust of Time");
+    let drama = g.add_labeled_node(NodeKind::Entity, "Drama");
+    let theo = g.add_labeled_node(NodeKind::Entity, "Theo Angelopoulos");
+
+    let rate = 5.0;
+    // User 1's history.
+    g.add_edge(user1, landscape, rate, EdgeKind::Interaction);
+    g.add_edge(user1, ulysses, rate, EdgeKind::Interaction);
+    g.add_edge(user1, weeping, rate, EdgeKind::Interaction);
+    // User 2's history (the collaborative hop of P_{1,A}).
+    g.add_edge(user2, landscape, rate, EdgeKind::Interaction);
+    g.add_edge(user2, travelling, rate, EdgeKind::Interaction);
+    // Attribute edges (w_A = 0, as in the paper's setup).
+    g.add_edge(travelling, drama, 0.0, EdgeKind::Attribute);
+    g.add_edge(eternity, drama, 0.0, EdgeKind::Attribute);
+    g.add_edge(suspended, drama, 0.0, EdgeKind::Attribute);
+    g.add_edge(ulysses, drama, 0.0, EdgeKind::Attribute);
+    g.add_edge(ulysses, theo, 0.0, EdgeKind::Attribute);
+    g.add_edge(beekeeper, theo, 0.0, EdgeKind::Attribute);
+    g.add_edge(weeping, theo, 0.0, EdgeKind::Attribute);
+    g.add_edge(dust, theo, 0.0, EdgeKind::Attribute);
+    g.add_edge(dust, drama, 0.0, EdgeKind::Attribute);
+
+    // Table I's explanation paths (total length 13).
+    let p_a = LoosePath::ground(
+        &g,
+        vec![user1, landscape, user2, travelling, drama, eternity],
+    );
+    let p_b = LoosePath::ground(&g, vec![user1, ulysses, theo, beekeeper]);
+    let p_c = LoosePath::ground(&g, vec![user1, weeping, theo, dust, drama, suspended]);
+    debug_assert!(p_a.is_faithful() && p_b.is_faithful() && p_c.is_faithful());
+
+    Table1Example {
+        graph: g,
+        user1,
+        items: [eternity, beekeeper, suspended],
+        paths: vec![p_a, p_b, p_c],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_paths_total_13_edges() {
+        let ex = table1_example();
+        assert_eq!(ex.total_input_length(), 13);
+        assert_eq!(ex.paths[0].len(), 5);
+        assert_eq!(ex.paths[1].len(), 3);
+        assert_eq!(ex.paths[2].len(), 5);
+    }
+
+    #[test]
+    fn table1_summary_achieves_length_6() {
+        let ex = table1_example();
+        let sub = ex.summarize();
+        assert_eq!(
+            sub.edge_count(),
+            6,
+            "the paper's summarization reduces 13 edges to 6"
+        );
+        // All terminals covered.
+        assert!(sub.contains_node(ex.user1));
+        for i in ex.items {
+            assert!(sub.contains_node(i));
+        }
+        assert!(sub.is_tree(&ex.graph));
+    }
+
+    #[test]
+    fn table1_summary_keeps_the_key_entities() {
+        let ex = table1_example();
+        let sub = ex.summarize();
+        // "Drama and Theo Angelopoulos are key nodes" (§III).
+        let names: Vec<String> = sub
+            .sorted_nodes()
+            .iter()
+            .map(|n| ex.graph.label(*n).to_string())
+            .collect();
+        assert!(names.iter().any(|s| s == "Drama"));
+        assert!(names.iter().any(|s| s == "Theo Angelopoulos"));
+        // The clutter of P_{1,C} is gone.
+        assert!(!names.iter().any(|s| s == "The Dust of Time"));
+        assert!(!names.iter().any(|s| s == "The Weeping Meadow"));
+    }
+
+    #[test]
+    fn path_rendering_matches_paper_phrasing() {
+        let ex = table1_example();
+        let text = render_path(&ex.graph, &ex.paths[1]);
+        assert_eq!(
+            text,
+            "User 1 watched Ulysses' Gaze related to Theo Angelopoulos related to The Beekeeper"
+        );
+    }
+
+    #[test]
+    fn summary_rendering_mentions_all_items() {
+        let ex = table1_example();
+        let sub = ex.summarize();
+        let text = render_summary(&ex.graph, &sub, ex.user1);
+        assert!(text.starts_with("User 1"));
+        for i in ex.items {
+            assert!(
+                text.contains(ex.graph.label(i)),
+                "summary text must mention {}",
+                ex.graph.label(i)
+            );
+        }
+        assert!(text.contains("via"));
+    }
+
+    #[test]
+    fn rendering_handles_unlabeled_nodes_and_hallucinations() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        // No edge between them → hallucinated hop.
+        let p = LoosePath::ground(&g, vec![u, i]);
+        let text = render_path(&g, &p);
+        assert_eq!(text, "user 0 linked to (unverified) item 1");
+    }
+
+    #[test]
+    fn empty_summary_text() {
+        let mut g = Graph::new();
+        let u = g.add_labeled_node(NodeKind::User, "solo");
+        let sub = Subgraph::new();
+        assert_eq!(render_summary(&g, &sub, u), "solo has no summarized connections");
+        let _ = g.add_node(NodeKind::Item);
+    }
+
+    #[test]
+    fn disconnected_item_reported_as_mention() {
+        let mut g = Graph::new();
+        let u = g.add_labeled_node(NodeKind::User, "u");
+        let i1 = g.add_labeled_node(NodeKind::Item, "near");
+        let i2 = g.add_labeled_node(NodeKind::Item, "far");
+        let e = g.add_edge(u, i1, 1.0, EdgeKind::Interaction);
+        let mut sub = Subgraph::from_edges(&g, [e]);
+        sub.insert_node(i2);
+        let text = render_summary(&g, &sub, u);
+        assert!(text.contains("is directly connected to near"));
+        assert!(text.contains("also mentions far (not connected)"));
+    }
+}

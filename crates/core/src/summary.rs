@@ -1,0 +1,103 @@
+//! The summary-explanation output type.
+
+use xsum_graph::{Graph, NodeId, NodeKind, Subgraph};
+
+use crate::input::Scenario;
+
+/// A computed summary explanation `S = (V_S, E_S, w)`.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Which algorithm produced it ("ST", "PCST", "GW-PCST").
+    pub method: &'static str,
+    /// Scenario of the generating input.
+    pub scenario: Scenario,
+    /// The summary subgraph.
+    pub subgraph: Subgraph,
+    /// The terminal set the summary was asked to cover.
+    pub terminals: Vec<NodeId>,
+}
+
+impl Summary {
+    /// Terminals actually covered by the subgraph.
+    pub fn covered_terminals(&self) -> usize {
+        self.terminals
+            .iter()
+            .filter(|t| self.subgraph.contains_node(**t))
+            .count()
+    }
+
+    /// Fraction of terminals covered (1.0 when all of `T ⊆ V_S`).
+    pub fn terminal_coverage(&self) -> f64 {
+        if self.terminals.is_empty() {
+            return 1.0;
+        }
+        self.covered_terminals() as f64 / self.terminals.len() as f64
+    }
+
+    /// `|E_S|` — the size the comprehensibility metric is based on.
+    pub fn size(&self) -> usize {
+        self.subgraph.edge_count()
+    }
+
+    /// Steiner (non-terminal) nodes included for connectivity.
+    pub fn steiner_nodes(&self, _g: &Graph) -> usize {
+        let term: std::collections::HashSet<_> = self.terminals.iter().collect();
+        self.subgraph
+            .nodes()
+            .iter()
+            .filter(|n| !term.contains(n))
+            .count()
+    }
+
+    /// Item nodes in the summary (actionability numerator).
+    pub fn item_nodes(&self, g: &Graph) -> usize {
+        self.subgraph.count_kind(g, NodeKind::Item)
+    }
+
+    /// User nodes in the summary (privacy numerator).
+    pub fn user_nodes(&self, g: &Graph) -> usize {
+        self.subgraph.count_kind(g, NodeKind::User)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, Graph};
+
+    #[test]
+    fn coverage_accounting() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        let x = g.add_node(NodeKind::Item);
+        let e = g.add_edge(u, i, 1.0, EdgeKind::Interaction);
+        let sub = Subgraph::from_edges(&g, [e]);
+        let s = Summary {
+            method: "ST",
+            scenario: Scenario::UserCentric,
+            subgraph: sub,
+            terminals: vec![u, i, x],
+        };
+        assert_eq!(s.covered_terminals(), 2);
+        assert!((s.terminal_coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.size(), 1);
+        assert_eq!(s.item_nodes(&g), 1);
+        assert_eq!(s.user_nodes(&g), 1);
+        assert_eq!(s.steiner_nodes(&g), 0);
+    }
+
+    #[test]
+    fn empty_terminals_full_coverage() {
+        let g = Graph::new();
+        let s = Summary {
+            method: "PCST",
+            scenario: Scenario::ItemGroup,
+            subgraph: Subgraph::new(),
+            terminals: vec![],
+        };
+        assert_eq!(s.terminal_coverage(), 1.0);
+        assert_eq!(s.size(), 0);
+        let _ = g;
+    }
+}

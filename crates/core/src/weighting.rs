@@ -1,0 +1,125 @@
+//! Eq. 1 — path-aware weight adjustment.
+//!
+//! `w(e) = w_M(e) · (1 + λ · Σ_{x∈S} 1_{e∈P} / |S|)`
+//!
+//! Without the boost, the summarizer would "create entirely new
+//! explanations instead of summarizing the individual ones" (§IV-A): the
+//! λ term raises the weight (and therefore lowers the search cost) of
+//! edges that appear in the input explanation paths, proportionally to how
+//! many paths use them. `λ = 0` reduces to the raw graph weights, which
+//! the paper explicitly calls out as "generating a new explanation".
+
+use xsum_graph::{Graph, LoosePath};
+
+use crate::input::SummaryInput;
+
+/// Per-edge adjusted weights (aligned with the graph's edge ids).
+///
+/// Only *grounded* hops of the input paths contribute to the frequency
+/// term — a hallucinated PLM hop names no edge of `G` to boost.
+pub fn adjusted_weights(g: &Graph, input: &SummaryInput, lambda: f64) -> Vec<f64> {
+    adjusted_weights_of_paths(g, &input.paths, input.anchor_count, lambda)
+}
+
+/// [`adjusted_weights`] over an explicit path set and `|S|`.
+pub fn adjusted_weights_of_paths(
+    g: &Graph,
+    paths: &[LoosePath],
+    anchor_count: usize,
+    lambda: f64,
+) -> Vec<f64> {
+    let mut freq = vec![0u32; g.edge_count()];
+    for p in paths {
+        for e in p.grounded_edges() {
+            freq[e.index()] += 1;
+        }
+    }
+    let denom = anchor_count.max(1) as f64;
+    g.edge_ids()
+        .map(|e| {
+            let boost = 1.0 + lambda * freq[e.index()] as f64 / denom;
+            g.weight(e) * boost
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SummaryInput;
+    use xsum_graph::{EdgeKind, Graph, NodeKind};
+
+    fn fixture() -> (Graph, Vec<xsum_graph::NodeId>, Vec<LoosePath>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        let i3 = g.add_node(NodeKind::Item);
+        g.add_edge(u, i1, 4.0, EdgeKind::Interaction); // e0: on both paths
+        g.add_edge(i1, a, 2.0, EdgeKind::Attribute); // e1: on both paths
+        g.add_edge(i2, a, 2.0, EdgeKind::Attribute); // e2: on path 1
+        g.add_edge(i3, a, 2.0, EdgeKind::Attribute); // e3: on path 2
+        let p1 = LoosePath::ground(&g, vec![u, i1, a, i2]);
+        let p2 = LoosePath::ground(&g, vec![u, i1, a, i3]);
+        (g, vec![u, i1, a, i2, i3], vec![p1, p2])
+    }
+
+    #[test]
+    fn shared_edges_get_double_boost() {
+        let (g, n, paths) = fixture();
+        let input = SummaryInput::user_centric(n[0], paths);
+        assert_eq!(input.anchor_count, 2); // R_u = {i2, i3}
+        let w = adjusted_weights(&g, &input, 1.0);
+        // e0: 4 · (1 + 1·2/2) = 8; e1: 2 · 2 = 4; e2: 2 · 1.5 = 3.
+        assert!((w[0] - 8.0).abs() < 1e-12);
+        assert!((w[1] - 4.0).abs() < 1e-12);
+        assert!((w[2] - 3.0).abs() < 1e-12);
+        assert!((w[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_returns_raw_weights() {
+        let (g, n, paths) = fixture();
+        let input = SummaryInput::user_centric(n[0], paths);
+        let w = adjusted_weights(&g, &input, 0.0);
+        for e in g.edge_ids() {
+            assert!((w[e.index()] - g.weight(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_lambda_dominates() {
+        let (g, n, paths) = fixture();
+        let input = SummaryInput::user_centric(n[0], paths);
+        let w = adjusted_weights(&g, &input, 100.0);
+        // Path edges dwarf non-path weights by ~λ.
+        assert!(w[0] > 100.0);
+        // Zero-weight edges stay zero regardless of λ (multiplicative).
+        let (mut g2, _, _) = fixture();
+        g2.edge_mut(xsum_graph::EdgeId(1)).weight = 0.0;
+        let w2 = adjusted_weights_of_paths(&g2, &input.paths, input.anchor_count, 100.0);
+        assert_eq!(w2[1], 0.0);
+    }
+
+    #[test]
+    fn hallucinated_hops_do_not_boost() {
+        let (g, n, _) = fixture();
+        // A loose path with a fabricated hop u→i2 (no such edge).
+        let fake = LoosePath::ground(&g, vec![n[0], n[3]]);
+        assert!(!fake.is_faithful());
+        let w = adjusted_weights_of_paths(&g, &[fake], 1, 10.0);
+        for e in g.edge_ids() {
+            assert!((w[e.index()] - g.weight(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_paths_mean_no_boost() {
+        let (g, _, _) = fixture();
+        let w = adjusted_weights_of_paths(&g, &[], 0, 5.0);
+        for e in g.edge_ids() {
+            assert!((w[e.index()] - g.weight(e)).abs() < 1e-12);
+        }
+    }
+}

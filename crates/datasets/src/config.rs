@@ -1,0 +1,130 @@
+//! Generator configuration and user demographics.
+
+/// User gender attribute, used by the paper's user sampling ("100 male and
+/// 100 female users, preserving the original rating distribution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gender {
+    /// Male user.
+    Male,
+    /// Female user.
+    Female,
+}
+
+/// Full parameterization of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Dataset name (used in harness output).
+    pub name: &'static str,
+    /// `|U|`.
+    pub n_users: usize,
+    /// `|I|`.
+    pub n_items: usize,
+    /// `|V_A|`.
+    pub n_entities: usize,
+    /// Target number of ratings (actual count may fall slightly short
+    /// because duplicate user–item draws are skipped).
+    pub n_ratings: usize,
+    /// Target number of item→entity attribute edges.
+    pub n_item_attributes: usize,
+    /// Zipf exponent of item popularity (≈0.9 matches ML1M's skew).
+    pub item_zipf: f64,
+    /// Zipf exponent of entity popularity ("Drama" style hubs).
+    pub entity_zipf: f64,
+    /// Rating value distribution over 1..=5 stars (must sum to ~1).
+    pub rating_probs: [f64; 5],
+    /// Fraction of users labelled [`Gender::Male`].
+    pub male_fraction: f64,
+    /// Timestamp range `[t_start, t0]` for interactions.
+    pub t_start: f64,
+    /// "Current time" `t0` (also the weight-config default).
+    pub t0: f64,
+    /// RNG seed; every derived structure is deterministic in it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Scale every population and edge target by `f` (≥ 0), keeping the
+    /// distributional parameters. Used to produce laptop-scale variants of
+    /// the full corpora for tests.
+    pub fn scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale factor must be positive");
+        let s = |x: usize| ((x as f64 * f).round() as usize).max(1);
+        self.n_users = s(self.n_users);
+        self.n_items = s(self.n_items);
+        self.n_entities = s(self.n_entities);
+        self.n_ratings = s(self.n_ratings);
+        self.n_item_attributes = s(self.n_item_attributes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_preserves_ratios_roughly() {
+        let cfg = DatasetConfig {
+            name: "x",
+            n_users: 1000,
+            n_items: 500,
+            n_entities: 2000,
+            n_ratings: 10000,
+            n_item_attributes: 4000,
+            item_zipf: 0.9,
+            entity_zipf: 1.0,
+            rating_probs: [0.06, 0.11, 0.26, 0.35, 0.22],
+            male_fraction: 0.7,
+            t_start: 0.0,
+            t0: 1.0,
+            seed: 1,
+        };
+        let half = cfg.clone().scaled(0.5);
+        assert_eq!(half.n_users, 500);
+        assert_eq!(half.n_items, 250);
+        assert_eq!(half.n_ratings, 5000);
+        assert_eq!(half.seed, cfg.seed);
+    }
+
+    #[test]
+    fn scaling_never_zeroes_populations() {
+        let cfg = DatasetConfig {
+            name: "x",
+            n_users: 3,
+            n_items: 3,
+            n_entities: 3,
+            n_ratings: 3,
+            n_item_attributes: 3,
+            item_zipf: 1.0,
+            entity_zipf: 1.0,
+            rating_probs: [0.2; 5],
+            male_fraction: 0.5,
+            t_start: 0.0,
+            t0: 1.0,
+            seed: 0,
+        };
+        let tiny = cfg.scaled(0.01);
+        assert!(tiny.n_users >= 1 && tiny.n_items >= 1 && tiny.n_entities >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let cfg = DatasetConfig {
+            name: "x",
+            n_users: 1,
+            n_items: 1,
+            n_entities: 1,
+            n_ratings: 1,
+            n_item_attributes: 1,
+            item_zipf: 1.0,
+            entity_zipf: 1.0,
+            rating_probs: [0.2; 5],
+            male_fraction: 0.5,
+            t_start: 0.0,
+            t0: 1.0,
+            seed: 0,
+        };
+        let _ = cfg.scaled(0.0);
+    }
+}

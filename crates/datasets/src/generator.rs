@@ -1,0 +1,330 @@
+//! The core synthetic-corpus generator.
+//!
+//! Produces a [`Dataset`] — rating matrix, knowledge graph, demographics —
+//! from a [`DatasetConfig`]:
+//!
+//! * item popularity and entity popularity follow truncated Zipf laws
+//!   (sampled in O(log n) via a cumulative table + binary search);
+//! * per-user activity is proportional to a Zipf draw as well, scaled so
+//!   total ratings hit the configured target (matching the heavy-tailed
+//!   activity of ML1M);
+//! * rating values follow the configured star distribution, timestamps are
+//!   uniform over `[t_start, t0]`;
+//! * every item receives at least one attribute link so that 3-hop
+//!   item–entity–item explanation paths exist for all items.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xsum_graph::FxHashSet;
+use xsum_kg::{KgBuilder, KnowledgeGraph, RatingMatrix, WeightConfig};
+
+use crate::config::{DatasetConfig, Gender};
+
+/// A fully generated corpus.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name ("ml1m", "lfm1m", ...).
+    pub name: &'static str,
+    /// The rating matrix `M` the graph was built from.
+    pub ratings: RatingMatrix,
+    /// The knowledge-based graph `G`.
+    pub kg: KnowledgeGraph,
+    /// Per-user gender labels.
+    pub genders: Vec<Gender>,
+    /// The generating configuration (for provenance/reporting).
+    pub config: DatasetConfig,
+}
+
+/// Cumulative-probability table for truncated Zipf sampling.
+#[derive(Debug, Clone)]
+pub(crate) struct ZipfTable {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfTable {
+    pub(crate) fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        // Normalize.
+        if total > 0.0 {
+            for c in &mut cumulative {
+                *c /= total;
+            }
+        }
+        ZipfTable { cumulative }
+    }
+
+    /// Draw an index in `0..n`; lower indices are more popular.
+    pub(crate) fn sample(&self, rng: &mut impl Rng) -> usize {
+        if self.cumulative.is_empty() {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Draw a star rating (1..=5) from the configured distribution.
+fn sample_rating(probs: &[f64; 5], rng: &mut impl Rng) -> f32 {
+    let u: f64 = rng.gen::<f64>() * probs.iter().sum::<f64>();
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if u <= acc {
+            return (i + 1) as f32;
+        }
+    }
+    5.0
+}
+
+/// Generate the full corpus for `cfg`.
+pub fn generate(cfg: &DatasetConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- demographics -----------------------------------------------------
+    let genders: Vec<Gender> = (0..cfg.n_users)
+        .map(|_| {
+            if rng.gen::<f64>() < cfg.male_fraction {
+                Gender::Male
+            } else {
+                Gender::Female
+            }
+        })
+        .collect();
+
+    // --- per-user activity (heavy-tailed, normalized to n_ratings) --------
+    let mut activity: Vec<f64> = (0..cfg.n_users)
+        .map(|u| 1.0 / ((u % 97 + 1) as f64).powf(0.35) * (0.5 + rng.gen::<f64>()))
+        .collect();
+    let act_total: f64 = activity.iter().sum();
+    if act_total > 0.0 {
+        for a in &mut activity {
+            *a *= cfg.n_ratings as f64 / act_total;
+        }
+    }
+
+    // --- ratings -----------------------------------------------------------
+    let item_pop = ZipfTable::new(cfg.n_items, cfg.item_zipf);
+    let mut ratings = RatingMatrix::new(cfg.n_users, cfg.n_items);
+    let span = (cfg.t0 - cfg.t_start).max(0.0);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    // A user cannot rate more than ~half the catalogue without the Zipf
+    // rejection loop thrashing. Down-scaled corpora (where configured
+    // activity can exceed the item count) are rescaled — dividing every
+    // activity by the same factor preserves the heavy-tailed spread, where
+    // a hard per-user clamp would flatten it.
+    let per_user_cap = (cfg.n_items / 2).max(1) as f64;
+    let max_activity = activity.iter().cloned().fold(0.0, f64::max);
+    if max_activity > per_user_cap {
+        let shrink = per_user_cap / max_activity;
+        for a in &mut activity {
+            *a *= shrink;
+        }
+    }
+    for (u, act) in activity.iter().enumerate() {
+        // At least one rating per user so every user node is connected.
+        let quota = act.round().max(1.0) as usize;
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < quota && attempts < quota * 4 {
+            attempts += 1;
+            let i = item_pop.sample(&mut rng);
+            let key = (u as u64) << 32 | i as u64;
+            if !seen.insert(key) {
+                continue; // duplicate user–item pair
+            }
+            let r = sample_rating(&cfg.rating_probs, &mut rng);
+            let t = cfg.t_start + rng.gen::<f64>() * span;
+            ratings.rate(u, i, r, t);
+            placed += 1;
+        }
+    }
+
+    // --- attributes ----------------------------------------------------------
+    let entity_pop = ZipfTable::new(cfg.n_entities, cfg.entity_zipf);
+    let mut builder = KgBuilder::new(
+        cfg.n_users,
+        cfg.n_items,
+        cfg.n_entities,
+        WeightConfig::paper_default(cfg.t0),
+    );
+    let mut linked: FxHashSet<u64> = FxHashSet::default();
+    // Guarantee one attribute per item first (3-hop paths need them)...
+    for i in 0..cfg.n_items {
+        let a = entity_pop.sample(&mut rng);
+        linked.insert((i as u64) << 32 | a as u64);
+        builder.link_item(i, a);
+    }
+    // ...then fill to the target, skewed toward popular items & entities.
+    let remaining = cfg.n_item_attributes.saturating_sub(cfg.n_items);
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < remaining && attempts < remaining * 4 + 16 {
+        attempts += 1;
+        let i = item_pop.sample(&mut rng);
+        let a = entity_pop.sample(&mut rng);
+        if !linked.insert((i as u64) << 32 | a as u64) {
+            continue;
+        }
+        builder.link_item(i, a);
+        placed += 1;
+    }
+
+    let kg = builder.build(&ratings);
+    Dataset {
+        name: cfg.name,
+        ratings,
+        kg,
+        genders,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DatasetConfig {
+        DatasetConfig {
+            name: "tiny",
+            n_users: 50,
+            n_items: 40,
+            n_entities: 30,
+            n_ratings: 600,
+            n_item_attributes: 120,
+            item_zipf: 0.9,
+            entity_zipf: 1.0,
+            rating_probs: [0.06, 0.11, 0.26, 0.35, 0.22],
+            male_fraction: 0.7,
+            t_start: 0.0,
+            t0: 1_000_000.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn populations_match_config() {
+        let ds = generate(&tiny_cfg());
+        assert_eq!(ds.kg.n_users(), 50);
+        assert_eq!(ds.kg.n_items(), 40);
+        assert_eq!(ds.kg.n_entities(), 30);
+        assert_eq!(ds.genders.len(), 50);
+    }
+
+    #[test]
+    fn rating_count_near_target() {
+        let ds = generate(&tiny_cfg());
+        // The 600-rating target over a 50×40 matrix triggers the activity
+        // rescale (cap 20/user), so the realized count lands below target
+        // but well above the 1-per-user floor.
+        let n = ds.ratings.n_ratings();
+        assert!((150..=700).contains(&n), "got {n} ratings for target 600");
+    }
+
+    #[test]
+    fn every_user_and_item_connected() {
+        let ds = generate(&tiny_cfg());
+        for u in 0..ds.kg.n_users() {
+            assert!(
+                !ds.ratings.user_interactions(u).is_empty(),
+                "user {u} has no ratings"
+            );
+        }
+        // Every item has at least one attribute edge by construction.
+        for i in 0..ds.kg.n_items() {
+            let node = ds.kg.item_node(i);
+            let has_attr = ds.kg.graph.neighbors(node).iter().any(|(n, _)| {
+                ds.kg.graph.kind(*n) == xsum_graph::NodeKind::Entity
+            });
+            assert!(has_attr, "item {i} has no attribute link");
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let ds = generate(&tiny_cfg());
+        let pop = ds.ratings.item_popularity();
+        let max = *pop.iter().max().unwrap();
+        let mean = pop.iter().sum::<u32>() as f64 / pop.len() as f64;
+        assert!(
+            (max as f64) > 2.0 * mean,
+            "Zipf head should dominate: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&tiny_cfg());
+        let b = generate(&tiny_cfg());
+        assert_eq!(a.ratings.n_ratings(), b.ratings.n_ratings());
+        assert_eq!(a.kg.graph.edge_count(), b.kg.graph.edge_count());
+        assert_eq!(a.genders, b.genders);
+        // Spot-check edge weights agree.
+        for e in 0..a.kg.graph.edge_count().min(100) {
+            let id = xsum_graph::EdgeId(e as u32);
+            assert_eq!(a.kg.graph.weight(id), b.kg.graph.weight(id));
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut cfg2 = tiny_cfg();
+        cfg2.seed = 43;
+        let a = generate(&tiny_cfg());
+        let b = generate(&cfg2);
+        // Aggregate counts may coincide (they chase the same targets);
+        // the actual draws must not.
+        let a_sig: Vec<f64> = (0..a.kg.graph.edge_count().min(200))
+            .map(|e| a.kg.graph.weight(xsum_graph::EdgeId(e as u32)))
+            .collect();
+        let b_sig: Vec<f64> = (0..b.kg.graph.edge_count().min(200))
+            .map(|e| b.kg.graph.weight(xsum_graph::EdgeId(e as u32)))
+            .collect();
+        assert_ne!(a_sig, b_sig);
+    }
+
+    #[test]
+    fn gender_fraction_tracks_config() {
+        let ds = generate(&tiny_cfg());
+        let males = ds.genders.iter().filter(|g| **g == Gender::Male).count();
+        // 70% of 50 = 35 ± sampling noise.
+        assert!((20..=48).contains(&males), "males = {males}");
+    }
+
+    #[test]
+    fn ratings_are_valid_stars() {
+        let ds = generate(&tiny_cfg());
+        for (_, x) in ds.ratings.iter() {
+            assert!((1.0..=5.0).contains(&x.rating));
+            assert_eq!(x.rating.fract(), 0.0);
+            assert!(x.timestamp >= 0.0 && x.timestamp <= 1_000_000.0);
+        }
+    }
+
+    #[test]
+    fn zipf_table_sampling_in_range() {
+        let t = ZipfTable::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(t.sample(&mut rng) < 10);
+        }
+        // Rank 0 must be the most frequent.
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[9]);
+    }
+}

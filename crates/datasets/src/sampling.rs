@@ -1,0 +1,197 @@
+//! Experiment sampling utilities (§V-A).
+//!
+//! * "we selected 100 male and 100 female users, preserving the original
+//!   rating distribution to reduce bias" → [`sample_users_by_gender`]
+//!   stratifies each gender's users by activity and picks evenly across
+//!   strata;
+//! * "we chose 100 items, split equally between the 50 most and 50 least
+//!   popular items" → [`popular_unpopular_items`];
+//! * Fig. 11 runs "on synthetic paths connecting users to items via random
+//!   paths of length 3 as in the baselines" → [`random_explanation_path`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xsum_graph::{NodeKind, Path};
+use xsum_kg::RatingMatrix;
+
+use crate::config::Gender;
+use crate::generator::Dataset;
+
+/// Select `n_per_gender` users of each gender, preserving the activity
+/// (rating-count) distribution: users of each gender are sorted by rating
+/// count and picked at even quantiles.
+///
+/// Returns fewer than requested when the population is too small.
+pub fn sample_users_by_gender(ds: &Dataset, n_per_gender: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2 * n_per_gender);
+    for gender in [Gender::Male, Gender::Female] {
+        let mut pool: Vec<usize> = (0..ds.kg.n_users())
+            .filter(|u| ds.genders[*u] == gender)
+            .collect();
+        pool.sort_by_key(|u| {
+            (
+                ds.ratings.user_interactions(*u).len(),
+                *u, // tie-break for determinism
+            )
+        });
+        let take = n_per_gender.min(pool.len());
+        if take == 0 {
+            continue;
+        }
+        // Even quantiles over the sorted pool preserve the distribution.
+        for j in 0..take {
+            let idx = j * pool.len() / take;
+            out.push(pool[idx]);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The `n_each` most popular and `n_each` least popular items (among items
+/// with at least one rating, so explanation paths exist), as
+/// `(popular, unpopular)`.
+pub fn popular_unpopular_items(ratings: &RatingMatrix, n_each: usize) -> (Vec<usize>, Vec<usize>) {
+    let pop = ratings.item_popularity();
+    let mut rated: Vec<usize> = (0..ratings.n_items()).filter(|i| pop[*i] > 0).collect();
+    rated.sort_by_key(|i| (std::cmp::Reverse(pop[*i]), *i));
+    let top: Vec<usize> = rated.iter().take(n_each).copied().collect();
+    let bottom: Vec<usize> = rated.iter().rev().take(n_each).copied().collect();
+    (top, bottom)
+}
+
+/// A random user→item walk of exactly `len` edges through the knowledge
+/// graph, used as the synthetic baseline path of the Fig. 11 experiment.
+/// The walk must *end on an item node*; up to `retries` restarts are
+/// attempted before giving up.
+pub fn random_explanation_path(
+    ds: &Dataset,
+    user: usize,
+    len: usize,
+    seed: u64,
+    retries: usize,
+) -> Option<Path> {
+    let g = &ds.kg.graph;
+    let start = ds.kg.user_node(user);
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..retries.max(1) {
+        let mut nodes = vec![start];
+        let mut edges = Vec::with_capacity(len);
+        let mut cur = start;
+        for step in 0..len {
+            let neigh = g.neighbors(cur);
+            if neigh.is_empty() {
+                continue 'attempt;
+            }
+            // On the final hop, prefer neighbors that are items.
+            let candidates: Vec<&(xsum_graph::NodeId, xsum_graph::EdgeId)> = if step + 1 == len {
+                let items: Vec<_> = neigh
+                    .iter()
+                    .filter(|(n, _)| g.kind(*n) == NodeKind::Item)
+                    .collect();
+                if items.is_empty() {
+                    continue 'attempt;
+                }
+                items
+            } else {
+                neigh.iter().collect()
+            };
+            let (next, e) = *candidates[rng.gen_range(0..candidates.len())];
+            nodes.push(next);
+            edges.push(e);
+            cur = next;
+        }
+        if g.kind(cur) == NodeKind::Item {
+            return Path::new(g, nodes, edges).ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml1m::ml1m_scaled;
+
+    fn ds() -> Dataset {
+        ml1m_scaled(7, 0.02)
+    }
+
+    #[test]
+    fn gender_sample_is_balanced_and_sorted() {
+        let ds = ds();
+        let sample = sample_users_by_gender(&ds, 10);
+        assert!(sample.len() >= 15, "expected ~20 users, got {}", sample.len());
+        assert!(sample.windows(2).all(|w| w[0] < w[1]));
+        let males = sample
+            .iter()
+            .filter(|u| ds.genders[**u] == Gender::Male)
+            .count();
+        let females = sample.len() - males;
+        assert!(males >= 5 && females >= 5);
+    }
+
+    #[test]
+    fn gender_sample_preserves_activity_spread() {
+        let ds = ds();
+        let sample = sample_users_by_gender(&ds, 20);
+        let counts: Vec<usize> = sample
+            .iter()
+            .map(|u| ds.ratings.user_interactions(*u).len())
+            .collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max > min, "quantile sampling must span the activity range");
+    }
+
+    #[test]
+    fn popular_items_more_popular_than_unpopular() {
+        let ds = ds();
+        let (top, bottom) = popular_unpopular_items(&ds.ratings, 5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(bottom.len(), 5);
+        let pop = ds.ratings.item_popularity();
+        let min_top = top.iter().map(|i| pop[*i]).min().unwrap();
+        let max_bottom = bottom.iter().map(|i| pop[*i]).max().unwrap();
+        assert!(min_top >= max_bottom);
+        assert!(bottom.iter().all(|i| pop[*i] > 0), "unpopular items still rated");
+    }
+
+    #[test]
+    fn random_path_ends_on_item_with_exact_length() {
+        let ds = ds();
+        let mut found = 0;
+        for u in 0..ds.kg.n_users().min(20) {
+            if let Some(p) = random_explanation_path(&ds, u, 3, 99, 50) {
+                assert_eq!(p.len(), 3);
+                assert_eq!(p.source(), ds.kg.user_node(u));
+                assert_eq!(ds.kg.graph.kind(p.target()), NodeKind::Item);
+                found += 1;
+            }
+        }
+        assert!(found > 10, "random paths should usually exist, found {found}");
+    }
+
+    #[test]
+    fn random_path_deterministic_in_seed() {
+        let ds = ds();
+        let a = random_explanation_path(&ds, 0, 3, 5, 50);
+        let b = random_explanation_path(&ds, 0, 3, 5, 50);
+        assert_eq!(a.is_some(), b.is_some());
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_eq!(a.nodes(), b.nodes());
+        }
+    }
+
+    #[test]
+    fn small_population_degrades_gracefully() {
+        let ds = ml1m_scaled(7, 0.005);
+        let sample = sample_users_by_gender(&ds, 1000);
+        assert!(sample.len() <= ds.kg.n_users());
+        let (top, bottom) = popular_unpopular_items(&ds.ratings, 10_000);
+        assert!(top.len() <= ds.kg.n_items());
+        assert!(bottom.len() <= ds.kg.n_items());
+    }
+}

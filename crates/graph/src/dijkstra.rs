@@ -1,0 +1,294 @@
+//! Single-source shortest paths over the undirected view of the graph.
+//!
+//! Algorithm 1 of the paper computes "shortest paths between all pairs of
+//! terminal nodes"; with |T| terminals that is |T| Dijkstra runs, giving the
+//! quoted `O(|T|(|E| + |V| log |V|))` Steiner approximation. This module
+//! provides the single run, with optional early termination once a set of
+//! targets has been settled (the common case: terminals are a tiny fraction
+//! of the ML1M graph's 19,844 nodes).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeCosts, Graph};
+use crate::ids::{EdgeId, NodeId};
+
+/// Max-heap entry inverted into a min-heap on cost.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; ties broken on node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Output of a Dijkstra run: distances and the parent edge of each settled
+/// node, from which paths are reconstructed.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// Source node of the run.
+    pub source: NodeId,
+    /// `dist[v]` = cost of the cheapest path source→v (∞ if unreached).
+    pub dist: Vec<f64>,
+    /// Edge through which each node was settled (`None` for source/unreached).
+    pub parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl DijkstraResult {
+    /// Distance to `t`, or `None` if unreachable.
+    pub fn distance(&self, t: NodeId) -> Option<f64> {
+        let d = self.dist[t.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Reconstruct the edge sequence of the shortest path source→t.
+    ///
+    /// Returns `None` if `t` is unreachable; the path is empty when
+    /// `t == source`.
+    pub fn path_to(&self, g: &Graph, t: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.dist[t.index()].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = t;
+        while cur != self.source {
+            let e = self.parent_edge[cur.index()]?;
+            edges.push(e);
+            cur = g.edge(e).other(cur);
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Dijkstra from `source` using `costs`; stops early once every node in
+/// `targets` (if non-empty) has been settled.
+///
+/// # Panics
+/// Panics (debug) if any edge cost is negative — the §IV-A transform
+/// guarantees positivity.
+pub fn dijkstra(g: &Graph, costs: &EdgeCosts, source: NodeId, targets: &[NodeId]) -> DijkstraResult {
+    debug_assert_eq!(costs.len(), g.edge_count(), "cost table must cover all edges");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut remaining = if targets.is_empty() {
+        usize::MAX
+    } else {
+        // Count distinct unsettled targets (the source may be a target).
+        let mut uniq: Vec<NodeId> = targets.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq.len()
+    };
+
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        if remaining != usize::MAX && targets.contains(&node) {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for &(next, e) in g.neighbors(node) {
+            if settled[next.index()] {
+                continue;
+            }
+            let w = costs.get(e);
+            debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
+            let nd = cost + w;
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                parent_edge[next.index()] = Some(e);
+                heap.push(HeapEntry {
+                    cost: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    DijkstraResult {
+        source,
+        dist,
+        parent_edge,
+    }
+}
+
+/// Cheapest path `s → t`: `(total cost, edge sequence)`.
+pub fn shortest_path(
+    g: &Graph,
+    costs: &EdgeCosts,
+    s: NodeId,
+    t: NodeId,
+) -> Option<(f64, Vec<EdgeId>)> {
+    let res = dijkstra(g, costs, s, &[t]);
+    let d = res.distance(t)?;
+    let path = res.path_to(g, t)?;
+    Some((d, path))
+}
+
+/// Bellman–Ford oracle used by the property tests to cross-check Dijkstra.
+/// O(V·E); only run on small graphs.
+pub fn bellman_ford_distances(g: &Graph, costs: &EdgeCosts, source: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source.index()] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let w = costs.get(e);
+            // Undirected relaxation, both ways.
+            let (a, b) = (edge.src.index(), edge.dst.index());
+            if dist[a] + w < dist[b] {
+                dist[b] = dist[a] + w;
+                changed = true;
+            }
+            if dist[b] + w < dist[a] {
+                dist[a] = dist[b] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    /// Line graph u - i1 - a - i2 with unit costs.
+    fn line() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        g.add_edge(u, i1, 1.0, EdgeKind::Interaction);
+        g.add_edge(i1, a, 1.0, EdgeKind::Attribute);
+        g.add_edge(i2, a, 1.0, EdgeKind::Attribute);
+        (g, vec![u, i1, a, i2])
+    }
+
+    #[test]
+    fn line_distances() {
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let res = dijkstra(&g, &costs, ids[0], &[]);
+        assert_eq!(res.distance(ids[0]), Some(0.0));
+        assert_eq!(res.distance(ids[1]), Some(1.0));
+        assert_eq!(res.distance(ids[2]), Some(2.0));
+        assert_eq!(res.distance(ids[3]), Some(3.0));
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let (d, path) = shortest_path(&g, &costs, ids[0], ids[3]).unwrap();
+        assert!((d - 3.0).abs() < 1e-12);
+        assert_eq!(path.len(), 3);
+        // Path must be contiguous from source.
+        let mut cur = ids[0];
+        for e in &path {
+            cur = g.edge(*e).other(cur);
+        }
+        assert_eq!(cur, ids[3]);
+    }
+
+    #[test]
+    fn unreachable_node() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::Item);
+        let c = g.add_node(NodeKind::Item);
+        g.add_edge(a, b, 1.0, EdgeKind::Interaction);
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let res = dijkstra(&g, &costs, a, &[]);
+        assert_eq!(res.distance(c), None);
+        assert!(res.path_to(&g, c).is_none());
+        assert!(shortest_path(&g, &costs, a, c).is_none());
+    }
+
+    #[test]
+    fn weighted_detour_beats_direct() {
+        // Direct expensive edge vs two-hop cheap detour.
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::User);
+        let m = g.add_node(NodeKind::Item);
+        let t = g.add_node(NodeKind::Entity);
+        let direct = g.add_edge(s, t, 1.0, EdgeKind::Attribute);
+        g.add_edge(s, m, 1.0, EdgeKind::Interaction);
+        g.add_edge(m, t, 1.0, EdgeKind::Attribute);
+        let mut costs = EdgeCosts::uniform(&g, 1.0);
+        costs.0[direct.index()] = 10.0;
+        let (d, path) = shortest_path(&g, &costs, s, t).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn early_exit_matches_full_run() {
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let full = dijkstra(&g, &costs, ids[0], &[]);
+        let early = dijkstra(&g, &costs, ids[0], &[ids[1]]);
+        assert_eq!(early.distance(ids[1]), full.distance(ids[1]));
+    }
+
+    #[test]
+    fn source_is_target() {
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let res = dijkstra(&g, &costs, ids[0], &[ids[0]]);
+        assert_eq!(res.distance(ids[0]), Some(0.0));
+        assert_eq!(res.path_to(&g, ids[0]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn agrees_with_bellman_ford_on_fixed_graph() {
+        let (g, ids) = line();
+        let costs = g.cost_transform_own(0.5);
+        let d1 = dijkstra(&g, &costs, ids[0], &[]).dist;
+        let d2 = bellman_ford_distances(&g, &costs, ids[0]);
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            if a.is_finite() || b.is_finite() {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

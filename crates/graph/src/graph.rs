@@ -1,0 +1,448 @@
+//! Core graph storage: typed nodes, weighted directed edges, and an
+//! undirected adjacency view.
+//!
+//! The paper's algorithms (shortest paths between terminals, Steiner/PCST
+//! growth) all operate on the *weak* (undirected) view of the knowledge
+//! graph — a summary explanation is "a weakly connected subgraph of G"
+//! (Problem definitions, §III). Edge direction is retained because the
+//! renderers verbalize `u → i` as "u watched i" while `i → a` becomes
+//! "i is related to a".
+
+use crate::ids::{EdgeId, NodeId, NodeKind};
+
+/// Classification of edges in the knowledge-based graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A rated user→item interaction from the rating matrix `M` (`E_M`).
+    Interaction,
+    /// A user/item→entity attribute link (`E_A`).
+    Attribute,
+}
+
+/// A directed, weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// The paper's weight `w(e)` (`w_M` on interactions, `w_A` on attributes).
+    pub weight: f64,
+    /// Interaction vs attribute.
+    pub kind: EdgeKind,
+}
+
+impl Edge {
+    /// Given one endpoint, return the opposite one.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.src {
+            self.dst
+        } else {
+            debug_assert_eq!(n, self.dst, "node is not an endpoint of this edge");
+            self.src
+        }
+    }
+
+    /// Whether `n` is one of the two endpoints.
+    #[inline]
+    pub fn touches(&self, n: NodeId) -> bool {
+        self.src == n || self.dst == n
+    }
+}
+
+/// Per-edge derived costs, aligned with [`Graph`] edge ids.
+///
+/// The summarizers never mutate the graph's weights; they derive a cost
+/// vector (e.g. the λ-boosted, sign-flipped transform of §IV-A) and hand it
+/// to the search primitives.
+#[derive(Debug, Clone)]
+pub struct EdgeCosts(pub Vec<f64>);
+
+impl EdgeCosts {
+    /// Uniform cost (hop counting) for every edge of `g`.
+    pub fn uniform(g: &Graph, cost: f64) -> Self {
+        EdgeCosts(vec![cost; g.edge_count()])
+    }
+
+    /// Cost of one edge.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.0[e.index()]
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the cost table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The knowledge-based graph `G(V, E, w)`.
+///
+/// Storage is index-based: nodes and edges live in contiguous arrays, and
+/// the adjacency list merges in- and out-edges so traversals see the weak
+/// (undirected) view. Parallel edges are permitted (the rating matrix never
+/// produces them, but path generators may), self-loops are rejected.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    kinds: Vec<NodeKind>,
+    labels: Vec<String>,
+    edges: Vec<Edge>,
+    /// Undirected adjacency: for each node, (neighbor, edge id) pairs.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            kinds: Vec::with_capacity(nodes),
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Add a node of the given kind with an empty label.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.add_labeled_node(kind, String::new())
+    }
+
+    /// Add a node with a human-readable label (used by the renderers).
+    pub fn add_labeled_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.labels.push(label.into());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge `src → dst`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64, kind: EdgeKind) -> EdgeId {
+        assert!(src.index() < self.kinds.len(), "edge source out of range");
+        assert!(dst.index() < self.kinds.len(), "edge destination out of range");
+        assert_ne!(src, dst, "self-loops are not allowed in the knowledge graph");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            src,
+            dst,
+            weight,
+            kind,
+        });
+        self.adj[src.index()].push((dst, id));
+        self.adj[dst.index()].push((src, id));
+        id
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Kind of a node.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// Human-readable label of a node (may be empty).
+    #[inline]
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.index()]
+    }
+
+    /// Overwrite a node's label.
+    pub fn set_label(&mut self, n: NodeId, label: impl Into<String>) {
+        self.labels[n.index()] = label.into();
+    }
+
+    /// Edge payload by id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Mutable edge payload (used by weight-policy rebuilds in tests).
+    #[inline]
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut Edge {
+        &mut self.edges[e.index()]
+    }
+
+    /// Weight `w(e)`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].weight
+    }
+
+    /// Undirected neighbors of `n` as `(neighbor, edge)` pairs.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[n.index()]
+    }
+
+    /// Undirected degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over node ids of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(move |(_, k)| **k == kind)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Count of nodes of a given kind.
+    pub fn count_kind(&self, kind: NodeKind) -> usize {
+        self.kinds.iter().filter(|k| **k == kind).count()
+    }
+
+    /// The first edge connecting `a` and `b` in either direction, if any.
+    pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        // Scan the smaller adjacency list.
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[probe.index()]
+            .iter()
+            .find(|(n, _)| *n == target)
+            .map(|(_, e)| *e)
+    }
+
+    /// Whether any edge connects `a` and `b` (either direction).
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.find_edge(a, b).is_some()
+    }
+
+    /// Derived positive costs for Steiner search (§IV-A weight transform).
+    ///
+    /// The paper asks to maximize total weight while minimizing edge count
+    /// and suggests negating weights; a positive equivalent is
+    /// `cost(e) = (max_w + delta) − w(e)`: each edge pays at least `delta`
+    /// (edge-count pressure) and heavier edges are cheaper (weight
+    /// pressure). `weights` lets callers pass λ-boosted weights; pass the
+    /// graph's own weights via [`Graph::cost_transform_own`].
+    pub fn cost_transform(weights: &[f64], delta: f64) -> EdgeCosts {
+        assert!(delta > 0.0, "delta must be positive to keep costs positive");
+        let max_w = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_w = if max_w.is_finite() { max_w } else { 0.0 };
+        EdgeCosts(weights.iter().map(|w| (max_w + delta) - w).collect())
+    }
+
+    /// [`Graph::cost_transform`] applied to the graph's stored weights.
+    pub fn cost_transform_own(&self, delta: f64) -> EdgeCosts {
+        let weights: Vec<f64> = self.edges.iter().map(|e| e.weight).collect();
+        Self::cost_transform(&weights, delta)
+    }
+}
+
+/// Convenience builder used by dataset generators and tests.
+///
+/// Collects nodes and edges and validates once at [`GraphBuilder::build`],
+/// giving clearer errors for malformed synthetic corpora than panicking
+/// mid-insert.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the underlying graph.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            graph: Graph::with_capacity(nodes, edges),
+        }
+    }
+
+    /// Add `n` nodes of `kind` labelled `prefix0..prefixN`, returning their ids.
+    pub fn add_population(&mut self, kind: NodeKind, n: usize, prefix: &str) -> Vec<NodeId> {
+        (0..n)
+            .map(|i| self.graph.add_labeled_node(kind, format!("{prefix}{i}")))
+            .collect()
+    }
+
+    /// Forwarders.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.graph.add_node(kind)
+    }
+
+    /// Add a labelled node.
+    pub fn add_labeled_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
+        self.graph.add_labeled_node(kind, label)
+    }
+
+    /// Add a directed weighted edge.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64, kind: EdgeKind) -> EdgeId {
+        self.graph.add_edge(src, dst, weight, kind)
+    }
+
+    /// Finalize. Verifies edge-kind/endpoint-kind coherence:
+    /// interactions must run user→item, attributes must end at an entity.
+    pub fn build(self) -> Graph {
+        for e in &self.graph.edges {
+            match e.kind {
+                EdgeKind::Interaction => {
+                    debug_assert_eq!(self.graph.kind(e.src), NodeKind::User);
+                    debug_assert_eq!(self.graph.kind(e.dst), NodeKind::Item);
+                }
+                EdgeKind::Attribute => {
+                    debug_assert_eq!(self.graph.kind(e.dst), NodeKind::Entity);
+                }
+            }
+        }
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let u = g.add_labeled_node(NodeKind::User, "u0");
+        let i1 = g.add_labeled_node(NodeKind::Item, "i1");
+        let i2 = g.add_labeled_node(NodeKind::Item, "i2");
+        let a = g.add_labeled_node(NodeKind::Entity, "genre");
+        g.add_edge(u, i1, 5.0, EdgeKind::Interaction);
+        g.add_edge(u, i2, 3.0, EdgeKind::Interaction);
+        g.add_edge(i1, a, 0.0, EdgeKind::Attribute);
+        g.add_edge(i2, a, 0.0, EdgeKind::Attribute);
+        (g, vec![u, i1, i2, a])
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let (g, ids) = tiny();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.kind(ids[0]), NodeKind::User);
+        assert_eq!(g.count_kind(NodeKind::Item), 2);
+        assert_eq!(g.nodes_of_kind(NodeKind::Entity).count(), 1);
+        assert_eq!(g.label(ids[3]), "genre");
+    }
+
+    #[test]
+    fn adjacency_is_undirected() {
+        let (g, ids) = tiny();
+        let (u, i1, _i2, a) = (ids[0], ids[1], ids[2], ids[3]);
+        assert_eq!(g.degree(u), 2);
+        assert_eq!(g.degree(a), 2);
+        // i1 sees both its in-edge from u and out-edge to a.
+        let neigh: Vec<NodeId> = g.neighbors(i1).iter().map(|(n, _)| *n).collect();
+        assert!(neigh.contains(&u));
+        assert!(neigh.contains(&a));
+    }
+
+    #[test]
+    fn edge_lookup_and_other() {
+        let (g, ids) = tiny();
+        let (u, i1) = (ids[0], ids[1]);
+        let e = g.find_edge(i1, u).expect("edge exists regardless of direction");
+        assert_eq!(g.edge(e).other(u), i1);
+        assert_eq!(g.edge(e).other(i1), u);
+        assert!(g.edge(e).touches(u));
+        assert!(g.has_edge(u, i1));
+        assert!(!g.has_edge(u, ids[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        g.add_edge(u, u, 1.0, EdgeKind::Interaction);
+    }
+
+    #[test]
+    fn cost_transform_orders_inversely() {
+        let (g, _) = tiny();
+        let costs = g.cost_transform_own(1.0);
+        // Heaviest edge (w=5) must be cheapest; zero-weight edges most
+        // expensive; all strictly positive.
+        assert!(costs.get(EdgeId(0)) < costs.get(EdgeId(1)));
+        assert!(costs.get(EdgeId(1)) < costs.get(EdgeId(2)));
+        assert!((costs.get(EdgeId(2)) - costs.get(EdgeId(3))).abs() < 1e-12);
+        assert!(costs.0.iter().all(|c| *c > 0.0));
+        // Exact values: max_w + delta = 6.
+        assert!((costs.get(EdgeId(0)) - 1.0).abs() < 1e-12);
+        assert!((costs.get(EdgeId(3)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_transform_empty_graph() {
+        let costs = Graph::cost_transform(&[], 1.0);
+        assert!(costs.is_empty());
+        assert_eq!(costs.len(), 0);
+    }
+
+    #[test]
+    fn uniform_costs() {
+        let (g, _) = tiny();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        assert_eq!(costs.len(), 4);
+        assert!(costs.0.iter().all(|c| (*c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn builder_populations() {
+        let mut b = GraphBuilder::with_capacity(10, 10);
+        let users = b.add_population(NodeKind::User, 3, "u");
+        let items = b.add_population(NodeKind::Item, 2, "i");
+        b.add_edge(users[0], items[0], 4.0, EdgeKind::Interaction);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.label(users[2]), "u2");
+        assert_eq!(g.label(items[1]), "i1");
+    }
+
+    #[test]
+    fn set_label_overwrites() {
+        let (mut g, ids) = tiny();
+        g.set_label(ids[0], "alice");
+        assert_eq!(g.label(ids[0]), "alice");
+    }
+}

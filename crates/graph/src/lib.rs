@@ -1,0 +1,54 @@
+//! # xsum-graph
+//!
+//! Typed property-graph substrate underpinning the `xsum` reproduction of
+//! *"Path-based summary explanations for graph recommenders"* (ICDE 2025).
+//!
+//! The paper's knowledge-based graph `G(V, E, w)` contains three node
+//! populations — users `U`, items `I`, and external knowledge entities `V_A`
+//! — connected by weighted interaction (user→item) and attribute
+//! (user/item→entity) edges. This crate provides:
+//!
+//! * [`Graph`]: compact adjacency storage with typed nodes and weighted,
+//!   directed edges, traversed through an undirected view (the paper's
+//!   summaries are *weakly* connected subgraphs);
+//! * [`Path`]: a validated walk through the graph, the unit of individual
+//!   path-based explanations;
+//! * [`Subgraph`]: an edge/node subset of a parent graph, the unit of
+//!   summary explanations;
+//! * shortest paths ([`dijkstra()`]), traversal and weak connectivity
+//!   ([`traversal`]), minimum spanning trees ([`mst`]) and a disjoint-set
+//!   forest ([`UnionFind`]) — the building blocks of the paper's
+//!   Algorithm 1 (Steiner tree via MST approximation) and Algorithm 2
+//!   (prize-collecting Steiner tree);
+//! * [`fxhash`]: a fast, non-cryptographic hasher for integer-keyed maps on
+//!   the hot paths (HashDoS resistance is irrelevant for in-process ids).
+//!
+//! Everything is deterministic: no global state, no randomness.
+
+pub mod centrality;
+pub mod dijkstra;
+pub mod fxhash;
+pub mod graph;
+pub mod ids;
+pub mod loosepath;
+pub mod mst;
+pub mod pagerank;
+pub mod path;
+pub mod subgraph;
+pub mod traversal;
+pub mod unionfind;
+
+pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality};
+pub use dijkstra::{dijkstra, shortest_path, DijkstraResult};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use graph::{Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder};
+pub use ids::{EdgeId, NodeId, NodeKind};
+pub use loosepath::LoosePath;
+pub use mst::{kruskal, prim, MstEdge};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use path::Path;
+pub use subgraph::Subgraph;
+pub use traversal::{
+    bfs_order, is_weakly_connected, is_weakly_connected_in_subgraph, weakly_connected_components,
+};
+pub use unionfind::UnionFind;

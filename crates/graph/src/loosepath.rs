@@ -1,0 +1,178 @@
+//! Loosely-grounded walks: node sequences whose hops may or may not be
+//! backed by a real edge of the graph.
+//!
+//! The language-model baselines of the paper (PLM-Rec) "generate novel
+//! paths beyond the static KG topology" — i.e. explanation paths whose
+//! hops need not correspond to edges of `G` (PEARLM's contribution is
+//! exactly to constrain decoding back to valid edges). [`LoosePath`]
+//! represents such explanations: every hop carries `Some(EdgeId)` when the
+//! graph contains a matching edge and `None` when the hop is hallucinated.
+//! Faithful paths convert losslessly to and from [`crate::Path`].
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::path::{Path, PathError};
+
+/// A walk whose hops are individually grounded against the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoosePath {
+    nodes: Vec<NodeId>,
+    /// One entry per hop; `None` marks a hallucinated (edge-less) hop.
+    edges: Vec<Option<EdgeId>>,
+}
+
+impl LoosePath {
+    /// Ground a raw node sequence against `g`: each consecutive pair is
+    /// looked up and linked to a real edge when one exists.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn ground(g: &Graph, nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path needs at least one node");
+        let edges = nodes
+            .windows(2)
+            .map(|w| g.find_edge(w[0], w[1]))
+            .collect();
+        LoosePath { nodes, edges }
+    }
+
+    /// A fully faithful loose path from a validated [`Path`].
+    pub fn from_path(p: &Path) -> Self {
+        LoosePath {
+            nodes: p.nodes().to_vec(),
+            edges: p.edges().iter().map(|e| Some(*e)).collect(),
+        }
+    }
+
+    /// Node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Per-hop grounding.
+    pub fn hops(&self) -> &[Option<EdgeId>] {
+        &self.edges
+    }
+
+    /// The grounded (real) edges only.
+    pub fn grounded_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().filter_map(|e| *e)
+    }
+
+    /// Number of hops (the explanation "length").
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the walk has zero hops.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node (the user of an explanation).
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node (the recommended item of an explanation).
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Fraction of hops backed by a real edge — 1.0 for faithful paths.
+    /// A zero-hop path is trivially faithful.
+    pub fn faithfulness(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 1.0;
+        }
+        self.edges.iter().filter(|e| e.is_some()).count() as f64 / self.edges.len() as f64
+    }
+
+    /// Whether every hop is grounded.
+    pub fn is_faithful(&self) -> bool {
+        self.edges.iter().all(|e| e.is_some())
+    }
+
+    /// Convert to a validated [`Path`] (fails on hallucinated hops).
+    pub fn to_path(&self, g: &Graph) -> Result<Path, PathError> {
+        let edges: Option<Vec<EdgeId>> = self.edges.iter().copied().collect();
+        match edges {
+            Some(edges) => Path::new(g, self.nodes.clone(), edges),
+            None => Err(PathError::Discontinuity {
+                pos: self
+                    .edges
+                    .iter()
+                    .position(|e| e.is_none())
+                    .unwrap_or_default(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    fn setup() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        g.add_edge(u, i1, 4.0, EdgeKind::Interaction);
+        g.add_edge(i1, a, 0.0, EdgeKind::Attribute);
+        g.add_edge(i2, a, 0.0, EdgeKind::Attribute);
+        (g, vec![u, i1, a, i2])
+    }
+
+    #[test]
+    fn grounding_faithful_walk() {
+        let (g, n) = setup();
+        let lp = LoosePath::ground(&g, vec![n[0], n[1], n[2], n[3]]);
+        assert!(lp.is_faithful());
+        assert_eq!(lp.faithfulness(), 1.0);
+        assert_eq!(lp.len(), 3);
+        assert_eq!(lp.source(), n[0]);
+        assert_eq!(lp.target(), n[3]);
+        assert_eq!(lp.grounded_edges().count(), 3);
+        let p = lp.to_path(&g).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn hallucinated_hop_detected() {
+        let (g, n) = setup();
+        // u → i2 has no edge.
+        let lp = LoosePath::ground(&g, vec![n[0], n[3], n[2]]);
+        assert!(!lp.is_faithful());
+        assert!((lp.faithfulness() - 0.5).abs() < 1e-12);
+        assert_eq!(lp.grounded_edges().count(), 1);
+        assert!(lp.to_path(&g).is_err());
+    }
+
+    #[test]
+    fn from_path_roundtrip() {
+        let (g, n) = setup();
+        let p = Path::new(
+            &g,
+            vec![n[0], n[1]],
+            vec![g.find_edge(n[0], n[1]).unwrap()],
+        )
+        .unwrap();
+        let lp = LoosePath::from_path(&p);
+        assert!(lp.is_faithful());
+        assert_eq!(lp.to_path(&g).unwrap(), p);
+    }
+
+    #[test]
+    fn trivial_walk_is_faithful() {
+        let (g, n) = setup();
+        let lp = LoosePath::ground(&g, vec![n[0]]);
+        assert!(lp.is_empty());
+        assert_eq!(lp.faithfulness(), 1.0);
+        assert!(lp.is_faithful());
+        assert_eq!(lp.source(), lp.target());
+    }
+}

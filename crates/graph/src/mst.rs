@@ -1,0 +1,181 @@
+//! Minimum spanning trees / forests.
+//!
+//! Algorithm 1 of the paper builds a complete graph over the terminal set
+//! and takes its MST ([`kruskal`] over an explicit edge list, since that
+//! metric-closure graph is not a [`crate::Graph`]); [`prim`] over a
+//! [`crate::Graph`] is used as a cross-check oracle and by the ablation
+//! benches.
+
+use std::cmp::Ordering;
+
+use crate::graph::{EdgeCosts, Graph};
+use crate::ids::{EdgeId, NodeId};
+use crate::unionfind::UnionFind;
+
+/// Edge of an abstract weighted graph handed to [`kruskal`]:
+/// endpoints are arbitrary dense indices, `payload` round-trips caller data
+/// (Algorithm 1 stores the underlying shortest path's id here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MstEdge {
+    /// First endpoint (dense index in the abstract node set).
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// Edge cost to minimize.
+    pub cost: f64,
+    /// Caller-defined tag carried through to the output.
+    pub payload: usize,
+}
+
+/// Kruskal's algorithm over an explicit edge list on nodes `0..n`.
+///
+/// Returns the chosen edges (a minimum spanning *forest* if the input is
+/// disconnected). Ties are broken deterministically on (cost, a, b,
+/// payload) so repeated runs agree bit-for-bit.
+pub fn kruskal(n: usize, edges: &[MstEdge]) -> Vec<MstEdge> {
+    let mut sorted: Vec<MstEdge> = edges.to_vec();
+    sorted.sort_by(|x, y| {
+        x.cost
+            .partial_cmp(&y.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| x.a.cmp(&y.a))
+            .then_with(|| x.b.cmp(&y.b))
+            .then_with(|| x.payload.cmp(&y.payload))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    for e in sorted {
+        if uf.union(e.a, e.b) {
+            chosen.push(e);
+            if chosen.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    chosen
+}
+
+/// Prim's algorithm over a [`Graph`] restricted to the component of `root`.
+/// Returns the tree's edge ids.
+pub fn prim(g: &Graph, costs: &EdgeCosts, root: NodeId) -> Vec<EdgeId> {
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        edge: EdgeId,
+        to: NodeId,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.edge.0.cmp(&self.edge.0))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut in_tree = vec![false; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    let mut tree = Vec::new();
+    in_tree[root.index()] = true;
+    for &(next, e) in g.neighbors(root) {
+        heap.push(Entry {
+            cost: costs.get(e),
+            edge: e,
+            to: next,
+        });
+    }
+    while let Some(Entry { edge, to, .. }) = heap.pop() {
+        if in_tree[to.index()] {
+            continue;
+        }
+        in_tree[to.index()] = true;
+        tree.push(edge);
+        for &(next, e) in g.neighbors(to) {
+            if !in_tree[next.index()] {
+                heap.push(Entry {
+                    cost: costs.get(e),
+                    edge: e,
+                    to: next,
+                });
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    #[test]
+    fn kruskal_triangle() {
+        let edges = vec![
+            MstEdge { a: 0, b: 1, cost: 1.0, payload: 10 },
+            MstEdge { a: 1, b: 2, cost: 2.0, payload: 11 },
+            MstEdge { a: 0, b: 2, cost: 3.0, payload: 12 },
+        ];
+        let mst = kruskal(3, &edges);
+        assert_eq!(mst.len(), 2);
+        let total: f64 = mst.iter().map(|e| e.cost).sum();
+        assert!((total - 3.0).abs() < 1e-12);
+        // Payloads round-trip.
+        assert!(mst.iter().any(|e| e.payload == 10));
+        assert!(mst.iter().any(|e| e.payload == 11));
+    }
+
+    #[test]
+    fn kruskal_forest_on_disconnected_input() {
+        let edges = vec![
+            MstEdge { a: 0, b: 1, cost: 1.0, payload: 0 },
+            MstEdge { a: 2, b: 3, cost: 1.0, payload: 1 },
+        ];
+        let mst = kruskal(4, &edges);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn kruskal_empty() {
+        assert!(kruskal(0, &[]).is_empty());
+        assert!(kruskal(5, &[]).is_empty());
+    }
+
+    #[test]
+    fn prim_matches_kruskal_total_on_small_graph() {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(NodeKind::Entity)).collect();
+        let mut abstract_edges = Vec::new();
+        let pairs = [(0, 1, 4.0), (0, 2, 1.0), (1, 2, 2.0), (1, 3, 5.0), (2, 3, 8.0), (3, 4, 3.0)];
+        for (idx, &(a, b, c)) in pairs.iter().enumerate() {
+            g.add_edge(n[a], n[b], c, EdgeKind::Attribute);
+            abstract_edges.push(MstEdge { a, b, cost: c, payload: idx });
+        }
+        let costs = EdgeCosts(pairs.iter().map(|p| p.2).collect());
+        let prim_total: f64 = prim(&g, &costs, n[0]).iter().map(|e| costs.get(*e)).sum();
+        let kruskal_total: f64 = kruskal(5, &abstract_edges).iter().map(|e| e.cost).sum();
+        assert!((prim_total - kruskal_total).abs() < 1e-12);
+        assert!((prim_total - 11.0).abs() < 1e-12); // 1 + 2 + 5 + 3
+    }
+
+    #[test]
+    fn prim_spans_component_only() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::Item);
+        let _isolated = g.add_node(NodeKind::Entity);
+        g.add_edge(a, b, 1.0, EdgeKind::Interaction);
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let tree = prim(&g, &costs, a);
+        assert_eq!(tree.len(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! PageRank node importance.
+//!
+//! Complements the centrality measures of [`crate::centrality`] for the
+//! paper's future-work direction of importance-driven prize assignment
+//! (§VII). PageRank is the natural fourth measure next to degree /
+//! closeness / betweenness: the summarization work the paper cites (\[45\])
+//! evaluates exactly this family of importance scores when picking
+//! summary nodes.
+//!
+//! The implementation is standard power iteration on the undirected weak
+//! view the summarizers operate on (each adjacency entry acts as an
+//! out-link). Isolated nodes are dangling: their mass is redistributed
+//! uniformly each round, so the scores always sum to 1 and the iteration
+//! converges for any damping factor in `(0, 1)`.
+
+use crate::graph::Graph;
+
+/// Parameters of the [`pagerank`] power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (probability of following a link). The classic
+    /// value is 0.85.
+    pub damping: f64,
+    /// Maximum number of power-iteration rounds.
+    pub max_iterations: usize,
+    /// L1 convergence threshold: iteration stops once
+    /// `Σ_v |x_{t+1}(v) − x_t(v)| < tolerance`.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// PageRank scores of every node, indexed by `NodeId::index()`.
+///
+/// Scores are a probability distribution (non-negative, summing to 1 for
+/// non-empty graphs). Deterministic: no randomness is involved and the
+/// iteration order is fixed.
+pub fn pagerank(g: &Graph, cfg: &PageRankConfig) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let degrees: Vec<usize> = (0..n)
+        .map(|v| g.degree(crate::ids::NodeId(v as u32)))
+        .collect();
+
+    for _ in 0..cfg.max_iterations {
+        // Teleport mass plus the mass of dangling (degree-0) nodes.
+        let dangling: f64 = (0..n)
+            .filter(|&v| degrees[v] == 0)
+            .map(|v| rank[v])
+            .sum();
+        let base = (1.0 - cfg.damping) * uniform + cfg.damping * dangling * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+
+        for v in 0..n {
+            if degrees[v] == 0 {
+                continue;
+            }
+            let share = cfg.damping * rank[v] / degrees[v] as f64;
+            for &(nb, _) in g.neighbors(crate::ids::NodeId(v as u32)) {
+                next[nb.index()] += share;
+            }
+        }
+
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, Graph};
+    use crate::ids::NodeKind;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(NodeKind::Entity)).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n], 1.0, EdgeKind::Attribute);
+        }
+        g
+    }
+
+    fn star(leaves: usize) -> Graph {
+        let mut g = Graph::new();
+        let hub = g.add_node(NodeKind::Entity);
+        for _ in 0..leaves {
+            let leaf = g.add_node(NodeKind::Entity);
+            g.add_edge(hub, leaf, 1.0, EdgeKind::Attribute);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_scores() {
+        let g = Graph::new();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_node_scores_one() {
+        let mut g = Graph::new();
+        g.add_node(NodeKind::User);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!((pr[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = star(7);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+    }
+
+    #[test]
+    fn regular_graph_is_uniform() {
+        let g = ring(6);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for &x in &pr {
+            assert!((x - 1.0 / 6.0).abs() < 1e-9, "ring score {x}");
+        }
+    }
+
+    #[test]
+    fn star_hub_dominates() {
+        let g = star(5);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let hub = pr[0];
+        for &leaf in &pr[1..] {
+            assert!(hub > leaf, "hub {hub} should beat leaf {leaf}");
+        }
+        // All leaves are symmetric.
+        for w in pr[1..].windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_keep_distribution_normalized() {
+        let mut g = star(3);
+        g.add_node(NodeKind::Entity); // isolated
+        g.add_node(NodeKind::Entity); // isolated
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Isolated nodes still earn teleport mass.
+        assert!(pr[4] > 0.0 && pr[5] > 0.0);
+        assert!((pr[4] - pr[5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_zero_is_uniform() {
+        let g = star(4);
+        let cfg = PageRankConfig {
+            damping: 0.0,
+            ..PageRankConfig::default()
+        };
+        let pr = pagerank(&g, &cfg);
+        for &x in &pr {
+            assert!((x - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_before_iteration_cap() {
+        let g = ring(10);
+        let loose = pagerank(
+            &g,
+            &PageRankConfig {
+                max_iterations: 500,
+                ..PageRankConfig::default()
+            },
+        );
+        let tight = pagerank(&g, &PageRankConfig::default());
+        for (a, b) in loose.iter().zip(tight.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Explanation paths.
+//!
+//! An individual explanation `E(u, i) = (u, v1, ..., vk, i)` is a walk from
+//! a user node to a recommended item (§III). [`Path`] stores both the node
+//! sequence and the edge sequence, validated to be contiguous in the graph.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// A validated walk through a [`Graph`].
+///
+/// Invariant: `nodes.len() == edges.len() + 1`, and `edges[j]` joins
+/// `nodes[j]` and `nodes[j+1]` (in either direction — explanations traverse
+/// the weak view).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+/// Error produced when a path fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The node list was empty.
+    Empty,
+    /// `nodes.len() != edges.len() + 1`.
+    LengthMismatch,
+    /// `edges[pos]` does not join `nodes[pos]` and `nodes[pos+1]`.
+    Discontinuity {
+        /// Index of the offending edge.
+        pos: usize,
+    },
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path has no nodes"),
+            PathError::LengthMismatch => write!(f, "node/edge counts inconsistent"),
+            PathError::Discontinuity { pos } => {
+                write!(f, "edge at position {pos} does not join its adjacent nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl Path {
+    /// Build a path from explicit node and edge sequences, validating
+    /// contiguity against `g`.
+    pub fn new(g: &Graph, nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Result<Self, PathError> {
+        if nodes.is_empty() {
+            return Err(PathError::Empty);
+        }
+        if nodes.len() != edges.len() + 1 {
+            return Err(PathError::LengthMismatch);
+        }
+        for (pos, e) in edges.iter().enumerate() {
+            let edge = g.edge(*e);
+            let (a, b) = (nodes[pos], nodes[pos + 1]);
+            let joins = (edge.src == a && edge.dst == b) || (edge.src == b && edge.dst == a);
+            if !joins {
+                return Err(PathError::Discontinuity { pos });
+            }
+        }
+        Ok(Path { nodes, edges })
+    }
+
+    /// Build a path from an edge sequence starting at `start`, inferring the
+    /// node sequence.
+    pub fn from_edges(g: &Graph, start: NodeId, edges: Vec<EdgeId>) -> Result<Self, PathError> {
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        nodes.push(start);
+        let mut cur = start;
+        for (pos, e) in edges.iter().enumerate() {
+            let edge = g.edge(*e);
+            if !edge.touches(cur) {
+                return Err(PathError::Discontinuity { pos });
+            }
+            cur = edge.other(cur);
+            nodes.push(cur);
+        }
+        Ok(Path { nodes, edges })
+    }
+
+    /// A zero-length path sitting on a single node.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edge sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (the paper's path "length").
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node (the user, for explanation paths).
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node (the recommended item, for explanation paths).
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Whether `n` occurs anywhere on the path.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Whether `e` occurs on the path.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Total stored weight of the path's edges under `g`.
+    pub fn total_weight(&self, g: &Graph) -> f64 {
+        self.edges.iter().map(|e| g.weight(*e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    fn line() -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let e0 = g.add_edge(u, i, 4.0, EdgeKind::Interaction);
+        let e1 = g.add_edge(i, a, 1.0, EdgeKind::Attribute);
+        (g, vec![u, i, a], vec![e0, e1])
+    }
+
+    #[test]
+    fn valid_path_roundtrip() {
+        let (g, n, e) = line();
+        let p = Path::new(&g, n.clone(), e.clone()).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(), n[0]);
+        assert_eq!(p.target(), n[2]);
+        assert!((p.total_weight(&g) - 5.0).abs() < 1e-12);
+        assert!(p.contains_node(n[1]));
+        assert!(p.contains_edge(e[0]));
+    }
+
+    #[test]
+    fn reversed_edge_direction_is_fine() {
+        // Walk a→i→u traverses both edges against their direction.
+        let (g, n, e) = line();
+        let p = Path::new(&g, vec![n[2], n[1], n[0]], vec![e[1], e[0]]).unwrap();
+        assert_eq!(p.source(), n[2]);
+        assert_eq!(p.target(), n[0]);
+    }
+
+    #[test]
+    fn from_edges_infers_nodes() {
+        let (g, n, e) = line();
+        let p = Path::from_edges(&g, n[0], e.clone()).unwrap();
+        assert_eq!(p.nodes(), &n[..]);
+    }
+
+    #[test]
+    fn discontinuity_detected() {
+        let (g, n, e) = line();
+        // Skip the middle node.
+        let err = Path::new(&g, vec![n[0], n[2]], vec![e[0]]).unwrap_err();
+        assert_eq!(err, PathError::Discontinuity { pos: 0 });
+        let err = Path::from_edges(&g, n[2], vec![e[0]]).unwrap_err();
+        assert_eq!(err, PathError::Discontinuity { pos: 0 });
+    }
+
+    #[test]
+    fn shape_errors() {
+        let (g, n, e) = line();
+        assert_eq!(Path::new(&g, vec![], vec![]).unwrap_err(), PathError::Empty);
+        assert_eq!(
+            Path::new(&g, n.clone(), vec![e[0]]).unwrap_err(),
+            PathError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn trivial_path() {
+        let (_, n, _) = line();
+        let p = Path::trivial(n[0]);
+        assert!(p.is_empty());
+        assert_eq!(p.source(), p.target());
+    }
+}

@@ -1,0 +1,324 @@
+//! Edge-induced subgraphs — the representation of summary explanations.
+//!
+//! A summary explanation `S = (V_S, E_S, w)` is a weakly connected subgraph
+//! of the knowledge graph (§III). [`Subgraph`] stores the edge set plus the
+//! node set induced by those edges (and any isolated terminals added
+//! explicitly, which PCST may keep unconnected when it forgoes a prize).
+
+use crate::fxhash::FxHashSet;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId, NodeKind};
+use crate::path::Path;
+use crate::traversal::is_weakly_connected_in_subgraph;
+
+/// A subgraph of a parent [`Graph`]: a set of edges plus the induced (or
+/// explicitly added) node set.
+#[derive(Debug, Clone, Default)]
+pub struct Subgraph {
+    nodes: FxHashSet<NodeId>,
+    edges: FxHashSet<EdgeId>,
+}
+
+impl Subgraph {
+    /// Empty subgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subgraph induced by an edge set.
+    pub fn from_edges(g: &Graph, edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut s = Subgraph::new();
+        for e in edges {
+            s.insert_edge(g, e);
+        }
+        s
+    }
+
+    /// Subgraph formed by the union of explanation paths — the paper's
+    /// naive "union graph" baseline summary.
+    pub fn from_paths<'a>(g: &Graph, paths: impl IntoIterator<Item = &'a Path>) -> Self {
+        let mut s = Subgraph::new();
+        for p in paths {
+            for &e in p.edges() {
+                s.insert_edge(g, e);
+            }
+            for &n in p.nodes() {
+                s.insert_node(n);
+            }
+        }
+        s
+    }
+
+    /// Add an edge and both endpoints.
+    pub fn insert_edge(&mut self, g: &Graph, e: EdgeId) -> bool {
+        let edge = g.edge(e);
+        self.nodes.insert(edge.src);
+        self.nodes.insert(edge.dst);
+        self.edges.insert(e)
+    }
+
+    /// Add a bare node (PCST keeps unconnected prize nodes this way).
+    pub fn insert_node(&mut self, n: NodeId) -> bool {
+        self.nodes.insert(n)
+    }
+
+    /// Merge another subgraph into this one.
+    pub fn union_with(&mut self, other: &Subgraph) {
+        self.nodes.extend(other.nodes.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Node set `V_S`.
+    pub fn nodes(&self) -> &FxHashSet<NodeId> {
+        &self.nodes
+    }
+
+    /// Edge set `E_S`.
+    pub fn edges(&self) -> &FxHashSet<EdgeId> {
+        &self.edges
+    }
+
+    /// `|V_S|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `|E_S|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the subgraph is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Membership tests.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Whether the subgraph contains edge `e`.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Count of contained nodes of `kind` — feeds the actionability and
+    /// privacy metrics.
+    pub fn count_kind(&self, g: &Graph, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| g.kind(**n) == kind).count()
+    }
+
+    /// Total stored weight `Σ w(e)` over the subgraph's edges (relevance).
+    pub fn total_weight(&self, g: &Graph) -> f64 {
+        self.edges.iter().map(|e| g.weight(*e)).sum()
+    }
+
+    /// Whether the subgraph is weakly connected *through its own edges*
+    /// (isolated explicitly-added nodes break connectivity).
+    pub fn is_weakly_connected(&self, g: &Graph) -> bool {
+        is_weakly_connected_in_subgraph(g, &self.nodes, &self.edges)
+    }
+
+    /// Whether the subgraph is a tree: connected and `|E| = |V| − 1`.
+    pub fn is_tree(&self, g: &Graph) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        self.edges.len() + 1 == self.nodes.len() && self.is_weakly_connected(g)
+    }
+
+    /// Jaccard similarity of the node sets of two subgraphs — the paper's
+    /// consistency measure `J(S_k, S_{k+1})`. Two empty sets are fully
+    /// similar (1.0).
+    pub fn node_jaccard(&self, other: &Subgraph) -> f64 {
+        if self.nodes.is_empty() && other.nodes.is_empty() {
+            return 1.0;
+        }
+        let inter = self.nodes.intersection(&other.nodes).count();
+        let union = self.nodes.len() + other.nodes.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Deterministically-ordered edge list (ascending id), for rendering
+    /// and stable output.
+    pub fn sorted_edges(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self.edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministically-ordered node list (ascending id).
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Materialize the subgraph as a standalone [`Graph`], preserving
+    /// kinds, labels, weights and edge kinds. Returns the new graph plus
+    /// the parent→extracted node-id mapping (nodes are re-indexed densely
+    /// in ascending parent-id order).
+    ///
+    /// This is the export path for summary explanations: a downstream
+    /// consumer gets a self-contained graph without holding the full
+    /// knowledge graph.
+    pub fn extract(&self, g: &Graph) -> (Graph, crate::fxhash::FxHashMap<NodeId, NodeId>) {
+        let mut out = Graph::with_capacity(self.nodes.len(), self.edges.len());
+        let mut map: crate::fxhash::FxHashMap<NodeId, NodeId> =
+            crate::fxhash::FxHashMap::default();
+        for n in self.sorted_nodes() {
+            let new_id = out.add_labeled_node(g.kind(n), g.label(n).to_string());
+            map.insert(n, new_id);
+        }
+        for e in self.sorted_edges() {
+            let edge = g.edge(e);
+            out.add_edge(map[&edge.src], map[&edge.dst], edge.weight, edge.kind);
+        }
+        (out, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+
+    fn star() -> (Graph, NodeId, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::new();
+        let hub = g.add_node(NodeKind::Entity);
+        let mut leaves = Vec::new();
+        let mut edges = Vec::new();
+        for _ in 0..4 {
+            let leaf = g.add_node(NodeKind::Item);
+            edges.push(g.add_edge(leaf, hub, 1.0, EdgeKind::Attribute));
+            leaves.push(leaf);
+        }
+        (g, hub, leaves, edges)
+    }
+
+    #[test]
+    fn from_edges_induces_nodes() {
+        let (g, hub, leaves, edges) = star();
+        let s = Subgraph::from_edges(&g, edges.iter().copied().take(2));
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.node_count(), 3);
+        assert!(s.contains_node(hub));
+        assert!(s.contains_node(leaves[0]));
+        assert!(!s.contains_node(leaves[3]));
+    }
+
+    #[test]
+    fn star_is_tree() {
+        let (g, _, _, edges) = star();
+        let s = Subgraph::from_edges(&g, edges.iter().copied());
+        assert!(s.is_tree(&g));
+        assert!(s.is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn isolated_node_breaks_connectivity_but_not_emptiness() {
+        let (g, _, leaves, edges) = star();
+        let mut s = Subgraph::from_edges(&g, [edges[0]]);
+        assert!(s.is_weakly_connected(&g));
+        s.insert_node(leaves[3]);
+        assert!(!s.is_weakly_connected(&g));
+        assert!(!s.is_tree(&g));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn cycle_is_not_tree() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Item);
+        let b = g.add_node(NodeKind::Item);
+        let c = g.add_node(NodeKind::Item);
+        let e0 = g.add_edge(a, b, 1.0, EdgeKind::Attribute);
+        let e1 = g.add_edge(b, c, 1.0, EdgeKind::Attribute);
+        let e2 = g.add_edge(c, a, 1.0, EdgeKind::Attribute);
+        let s = Subgraph::from_edges(&g, [e0, e1, e2]);
+        assert!(s.is_weakly_connected(&g));
+        assert!(!s.is_tree(&g));
+    }
+
+    #[test]
+    fn union_and_jaccard() {
+        let (g, _, _, edges) = star();
+        let s1 = Subgraph::from_edges(&g, [edges[0], edges[1]]);
+        let s2 = Subgraph::from_edges(&g, [edges[1], edges[2]]);
+        // s1 nodes: {hub, l0, l1}; s2 nodes: {hub, l1, l2} → J = 2/4.
+        assert!((s1.node_jaccard(&s2) - 0.5).abs() < 1e-12);
+        let mut u = s1.clone();
+        u.union_with(&s2);
+        assert_eq!(u.edge_count(), 3);
+        assert_eq!(u.node_count(), 4);
+        assert!((Subgraph::new().node_jaccard(&Subgraph::new()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_and_kind_counts() {
+        let (g, _, _, edges) = star();
+        let s = Subgraph::from_edges(&g, edges.iter().copied());
+        assert!((s.total_weight(&g) - 4.0).abs() < 1e-12);
+        assert_eq!(s.count_kind(&g, NodeKind::Item), 4);
+        assert_eq!(s.count_kind(&g, NodeKind::Entity), 1);
+        assert_eq!(s.count_kind(&g, NodeKind::User), 0);
+    }
+
+    #[test]
+    fn from_paths_includes_all_path_nodes() {
+        let (g, _, leaves, edges) = star();
+        let p1 = Path::from_edges(&g, leaves[0], vec![edges[0], edges[1]]).unwrap();
+        let p2 = Path::from_edges(&g, leaves[2], vec![edges[2], edges[3]]).unwrap();
+        let s = Subgraph::from_paths(&g, [&p1, &p2]);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.node_count(), 5);
+    }
+
+    #[test]
+    fn extract_preserves_structure() {
+        let (g, hub, leaves, edges) = star();
+        let s = Subgraph::from_edges(&g, [edges[0], edges[1]]);
+        let (sub_g, map) = s.extract(&g);
+        assert_eq!(sub_g.node_count(), 3);
+        assert_eq!(sub_g.edge_count(), 2);
+        // Kinds and connectivity survive the re-indexing.
+        assert_eq!(sub_g.kind(map[&hub]), NodeKind::Entity);
+        assert_eq!(sub_g.kind(map[&leaves[0]]), NodeKind::Item);
+        assert!(sub_g.has_edge(map[&leaves[0]], map[&hub]));
+        assert!(sub_g.has_edge(map[&leaves[1]], map[&hub]));
+        // Weight preserved.
+        let e = sub_g.find_edge(map[&leaves[0]], map[&hub]).unwrap();
+        assert_eq!(sub_g.weight(e), 1.0);
+    }
+
+    #[test]
+    fn extract_keeps_isolated_nodes() {
+        let (g, _, leaves, edges) = star();
+        let mut s = Subgraph::from_edges(&g, [edges[0]]);
+        s.insert_node(leaves[3]);
+        let (sub_g, map) = s.extract(&g);
+        assert_eq!(sub_g.node_count(), 3);
+        assert_eq!(sub_g.degree(map[&leaves[3]]), 0);
+    }
+
+    #[test]
+    fn extract_empty() {
+        let (g, _, _, _) = star();
+        let (sub_g, map) = Subgraph::new().extract(&g);
+        assert_eq!(sub_g.node_count(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn sorted_output_is_stable() {
+        let (g, _, _, edges) = star();
+        let s = Subgraph::from_edges(&g, edges.iter().rev().copied());
+        let sorted = s.sorted_edges();
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        let n = s.sorted_nodes();
+        assert!(n.windows(2).all(|w| w[0] < w[1]));
+    }
+}

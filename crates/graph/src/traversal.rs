@@ -1,0 +1,180 @@
+//! Breadth-first traversal and weak-connectivity queries.
+//!
+//! The paper's summary explanations are required to be *weakly connected*
+//! subgraphs of `G` (§III); these helpers verify that invariant and extract
+//! components.
+
+use std::collections::VecDeque;
+
+use crate::fxhash::FxHashSet;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// Nodes reachable from `source` in BFS order (undirected view).
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for &(next, _) in g.neighbors(n) {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    order
+}
+
+/// Weakly connected components of the whole graph, each a sorted node list.
+/// Components are ordered by their smallest node id.
+pub fn weakly_connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.node_count()];
+    let mut comps = Vec::new();
+    for start in g.node_ids() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            comp.push(n);
+            for &(next, _) in g.neighbors(n) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether `nodes` induce a weakly connected subgraph of `g` *using only
+/// edges whose endpoints both lie in `nodes`*.
+///
+/// An empty set and singletons are connected by convention.
+pub fn is_weakly_connected(g: &Graph, nodes: &FxHashSet<NodeId>) -> bool {
+    let mut iter = nodes.iter();
+    let Some(&start) = iter.next() else {
+        return true;
+    };
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    seen.insert(start);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &(next, _) in g.neighbors(n) {
+            if nodes.contains(&next) && seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen.len() == nodes.len()
+}
+
+/// Whether `(nodes, edges)` form a weakly connected subgraph: every node in
+/// `nodes` must be reachable from every other using only edges in `edges`.
+///
+/// This is the invariant checker for [`crate::Subgraph`]: a subgraph with
+/// explicitly-added isolated nodes is *not* connected even if its edge set
+/// is.
+pub fn is_weakly_connected_in_subgraph(
+    g: &Graph,
+    nodes: &FxHashSet<NodeId>,
+    edges: &FxHashSet<EdgeId>,
+) -> bool {
+    let mut iter = nodes.iter();
+    let Some(&start) = iter.next() else {
+        return true;
+    };
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    seen.insert(start);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &(next, e) in g.neighbors(n) {
+            if edges.contains(&e) && nodes.contains(&next) && seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen.len() == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    fn two_components() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::Item);
+        let c = g.add_node(NodeKind::User);
+        let d = g.add_node(NodeKind::Item);
+        let e = g.add_node(NodeKind::Entity);
+        g.add_edge(a, b, 1.0, EdgeKind::Interaction);
+        g.add_edge(c, d, 1.0, EdgeKind::Interaction);
+        g.add_edge(d, e, 1.0, EdgeKind::Attribute);
+        (g, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn bfs_covers_component_only() {
+        let (g, ids) = two_components();
+        let order = bfs_order(&g, ids[0]);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], ids[0]);
+        let order = bfs_order(&g, ids[2]);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn components_found() {
+        let (g, _) = two_components();
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 2);
+        assert_eq!(comps[1].len(), 3);
+    }
+
+    #[test]
+    fn induced_connectivity() {
+        let (g, ids) = two_components();
+        let mut set: FxHashSet<NodeId> = FxHashSet::default();
+        set.insert(ids[2]);
+        set.insert(ids[3]);
+        set.insert(ids[4]);
+        assert!(is_weakly_connected(&g, &set));
+        set.insert(ids[0]); // disconnected extra node
+        assert!(!is_weakly_connected(&g, &set));
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        let (g, ids) = two_components();
+        assert!(is_weakly_connected(&g, &FxHashSet::default()));
+        let mut s: FxHashSet<NodeId> = FxHashSet::default();
+        s.insert(ids[4]);
+        assert!(is_weakly_connected(&g, &s));
+    }
+
+    #[test]
+    fn connectivity_requires_internal_edges() {
+        // c and e are connected only through d; without d the set splits.
+        let (g, ids) = two_components();
+        let mut s: FxHashSet<NodeId> = FxHashSet::default();
+        s.insert(ids[2]);
+        s.insert(ids[4]);
+        assert!(!is_weakly_connected(&g, &s));
+    }
+}

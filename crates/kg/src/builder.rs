@@ -1,0 +1,336 @@
+//! Construction of the knowledge-based graph `G(V, E, w)` from a rating
+//! matrix and attribute links, with dataset-index ↔ graph-node bookkeeping.
+//!
+//! Nodes are laid out contiguously as `[users | items | entities]`, so the
+//! mapping between a dataset index ("user 94") and its [`NodeId`] is pure
+//! offset arithmetic — no hash lookups on the hot paths.
+
+use xsum_graph::{EdgeId, EdgeKind, Graph, NodeId, NodeKind};
+
+use crate::rating::RatingMatrix;
+use crate::weights::WeightConfig;
+
+/// The knowledge-based graph plus its population layout and per-interaction
+/// rating/timestamp payloads (needed to recompute weights under different
+/// `(β1, β2)` in the Fig. 16 ablation).
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    /// The underlying weighted graph.
+    pub graph: Graph,
+    n_users: usize,
+    n_items: usize,
+    n_entities: usize,
+    /// `(rating, timestamp)` aligned with edge ids; `None` for attribute edges.
+    interaction_info: Vec<Option<(f32, f64)>>,
+    /// The weight configuration the graph was (re)weighted with.
+    cfg: WeightConfig,
+}
+
+impl KnowledgeGraph {
+    /// Number of users `|U|`.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items `|I|`.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of external entities `|V_A|`.
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Node id of user `u` (dataset index).
+    #[inline]
+    pub fn user_node(&self, u: usize) -> NodeId {
+        assert!(u < self.n_users, "user index out of range");
+        NodeId(u as u32)
+    }
+
+    /// Node id of item `i` (dataset index).
+    #[inline]
+    pub fn item_node(&self, i: usize) -> NodeId {
+        assert!(i < self.n_items, "item index out of range");
+        NodeId((self.n_users + i) as u32)
+    }
+
+    /// Node id of entity `a` (dataset index).
+    #[inline]
+    pub fn entity_node(&self, a: usize) -> NodeId {
+        assert!(a < self.n_entities, "entity index out of range");
+        NodeId((self.n_users + self.n_items + a) as u32)
+    }
+
+    /// Dataset user index of a node, if it is a user.
+    #[inline]
+    pub fn user_index(&self, n: NodeId) -> Option<usize> {
+        (n.index() < self.n_users).then_some(n.index())
+    }
+
+    /// Dataset item index of a node, if it is an item.
+    #[inline]
+    pub fn item_index(&self, n: NodeId) -> Option<usize> {
+        let i = n.index();
+        (i >= self.n_users && i < self.n_users + self.n_items).then(|| i - self.n_users)
+    }
+
+    /// Dataset entity index of a node, if it is an entity.
+    #[inline]
+    pub fn entity_index(&self, n: NodeId) -> Option<usize> {
+        let i = n.index();
+        (i >= self.n_users + self.n_items).then(|| i - self.n_users - self.n_items)
+    }
+
+    /// `(rating, timestamp)` of an interaction edge; `None` for attributes.
+    pub fn interaction_info(&self, e: EdgeId) -> Option<(f32, f64)> {
+        self.interaction_info[e.index()]
+    }
+
+    /// The active weight configuration.
+    pub fn weight_config(&self) -> &WeightConfig {
+        &self.cfg
+    }
+
+    /// Recompute every edge weight under a new configuration (Fig. 16:
+    /// sweeping the rating/recency balance). Attribute edges take
+    /// `cfg.attribute_weight`.
+    pub fn reweight(&mut self, cfg: WeightConfig) {
+        for e in 0..self.graph.edge_count() {
+            let id = EdgeId(e as u32);
+            let w = match self.interaction_info[e] {
+                Some((r, t)) => cfg.interaction(r as f64, t),
+                None => cfg.attribute_weight,
+            };
+            self.graph.edge_mut(id).weight = w;
+        }
+        self.cfg = cfg;
+    }
+
+    /// All user nodes.
+    pub fn user_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_users as u32).map(NodeId)
+    }
+
+    /// All item nodes.
+    pub fn item_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let base = self.n_users as u32;
+        (0..self.n_items as u32).map(move |i| NodeId(base + i))
+    }
+
+    /// All entity nodes.
+    pub fn entity_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let base = (self.n_users + self.n_items) as u32;
+        (0..self.n_entities as u32).map(move |i| NodeId(base + i))
+    }
+}
+
+/// Builder for [`KnowledgeGraph`]: populations first, then the rating
+/// matrix, then attribute links.
+#[derive(Debug)]
+pub struct KgBuilder {
+    n_users: usize,
+    n_items: usize,
+    n_entities: usize,
+    cfg: WeightConfig,
+    /// (item index, entity index) links `I × V_A`.
+    item_attributes: Vec<(u32, u32)>,
+    /// (user index, entity index) links `U × V_A`.
+    user_attributes: Vec<(u32, u32)>,
+}
+
+impl KgBuilder {
+    /// Start a graph with the three population sizes and a weight config.
+    pub fn new(n_users: usize, n_items: usize, n_entities: usize, cfg: WeightConfig) -> Self {
+        KgBuilder {
+            n_users,
+            n_items,
+            n_entities,
+            cfg,
+            item_attributes: Vec::new(),
+            user_attributes: Vec::new(),
+        }
+    }
+
+    /// Link item `i` to entity `a` (e.g. movie → director).
+    pub fn link_item(&mut self, item: usize, entity: usize) -> &mut Self {
+        assert!(item < self.n_items && entity < self.n_entities);
+        self.item_attributes.push((item as u32, entity as u32));
+        self
+    }
+
+    /// Link user `u` to entity `a` (e.g. user → demographic attribute).
+    pub fn link_user(&mut self, user: usize, entity: usize) -> &mut Self {
+        assert!(user < self.n_users && entity < self.n_entities);
+        self.user_attributes.push((user as u32, entity as u32));
+        self
+    }
+
+    /// Materialize the graph from the rating matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix shape disagrees with the declared populations.
+    pub fn build(&self, ratings: &RatingMatrix) -> KnowledgeGraph {
+        assert_eq!(ratings.n_users(), self.n_users, "user population mismatch");
+        assert_eq!(ratings.n_items(), self.n_items, "item population mismatch");
+
+        let n_nodes = self.n_users + self.n_items + self.n_entities;
+        let n_edges =
+            ratings.n_ratings() + self.item_attributes.len() + self.user_attributes.len();
+        let mut g = Graph::with_capacity(n_nodes, n_edges);
+        let mut info: Vec<Option<(f32, f64)>> = Vec::with_capacity(n_edges);
+
+        for u in 0..self.n_users {
+            g.add_labeled_node(NodeKind::User, format!("u{u}"));
+        }
+        for i in 0..self.n_items {
+            g.add_labeled_node(NodeKind::Item, format!("item {i}"));
+        }
+        for a in 0..self.n_entities {
+            g.add_labeled_node(NodeKind::Entity, format!("external {a}"));
+        }
+
+        let user_node = |u: usize| NodeId(u as u32);
+        let item_node = |i: usize| NodeId((self.n_users + i) as u32);
+        let entity_node = |a: usize| NodeId((self.n_users + self.n_items + a) as u32);
+
+        for (u, x) in ratings.iter() {
+            let w = self.cfg.interaction(x.rating as f64, x.timestamp);
+            g.add_edge(
+                user_node(u),
+                item_node(x.item as usize),
+                w,
+                EdgeKind::Interaction,
+            );
+            info.push(Some((x.rating, x.timestamp)));
+        }
+        for &(i, a) in &self.item_attributes {
+            g.add_edge(
+                item_node(i as usize),
+                entity_node(a as usize),
+                self.cfg.attribute_weight,
+                EdgeKind::Attribute,
+            );
+            info.push(None);
+        }
+        for &(u, a) in &self.user_attributes {
+            g.add_edge(
+                user_node(u as usize),
+                entity_node(a as usize),
+                self.cfg.attribute_weight,
+                EdgeKind::Attribute,
+            );
+            info.push(None);
+        }
+
+        KnowledgeGraph {
+            graph: g,
+            n_users: self.n_users,
+            n_items: self.n_items,
+            n_entities: self.n_entities,
+            interaction_info: info,
+            cfg: self.cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kg() -> KnowledgeGraph {
+        let mut m = RatingMatrix::new(2, 3);
+        m.rate(0, 0, 5.0, 10.0);
+        m.rate(0, 1, 3.0, 20.0);
+        m.rate(1, 2, 4.0, 30.0);
+        let mut b = KgBuilder::new(2, 3, 2, WeightConfig::paper_default(30.0));
+        b.link_item(0, 0).link_item(1, 0).link_item(2, 1);
+        b.link_user(0, 1);
+        b.build(&m)
+    }
+
+    #[test]
+    fn layout_roundtrip() {
+        let kg = small_kg();
+        assert_eq!(kg.graph.node_count(), 7);
+        assert_eq!(kg.graph.edge_count(), 7);
+        for u in 0..2 {
+            assert_eq!(kg.user_index(kg.user_node(u)), Some(u));
+            assert_eq!(kg.graph.kind(kg.user_node(u)), NodeKind::User);
+        }
+        for i in 0..3 {
+            assert_eq!(kg.item_index(kg.item_node(i)), Some(i));
+            assert_eq!(kg.graph.kind(kg.item_node(i)), NodeKind::Item);
+        }
+        for a in 0..2 {
+            assert_eq!(kg.entity_index(kg.entity_node(a)), Some(a));
+            assert_eq!(kg.graph.kind(kg.entity_node(a)), NodeKind::Entity);
+        }
+        // Cross-population lookups return None.
+        assert_eq!(kg.user_index(kg.item_node(0)), None);
+        assert_eq!(kg.item_index(kg.user_node(0)), None);
+        assert_eq!(kg.entity_index(kg.user_node(0)), None);
+    }
+
+    #[test]
+    fn weights_follow_config() {
+        let kg = small_kg();
+        // Paper default: w = rating on interactions, 0 on attributes.
+        let e0 = EdgeId(0);
+        assert_eq!(kg.graph.weight(e0), 5.0);
+        assert_eq!(kg.interaction_info(e0), Some((5.0, 10.0)));
+        let attr = EdgeId(3);
+        assert_eq!(kg.graph.weight(attr), 0.0);
+        assert_eq!(kg.interaction_info(attr), None);
+    }
+
+    #[test]
+    fn reweight_switches_to_recency() {
+        let mut kg = small_kg();
+        let cfg = WeightConfig {
+            beta1: 0.0,
+            beta2: 1.0,
+            gamma: 0.1,
+            t0: 30.0,
+            attribute_weight: 0.5,
+        };
+        kg.reweight(cfg);
+        // Newest interaction (t=30) now weighs e^0 = 1.
+        assert!((kg.graph.weight(EdgeId(2)) - 1.0).abs() < 1e-12);
+        // Older interactions decay.
+        assert!(kg.graph.weight(EdgeId(0)) < kg.graph.weight(EdgeId(1)));
+        // Attributes take the configured weight.
+        assert!((kg.graph.weight(EdgeId(3)) - 0.5).abs() < 1e-12);
+        assert_eq!(kg.weight_config().beta2, 1.0);
+    }
+
+    #[test]
+    fn node_iterators_cover_populations() {
+        let kg = small_kg();
+        assert_eq!(kg.user_nodes().count(), 2);
+        assert_eq!(kg.item_nodes().count(), 3);
+        assert_eq!(kg.entity_nodes().count(), 2);
+        let all: Vec<NodeId> = kg
+            .user_nodes()
+            .chain(kg.item_nodes())
+            .chain(kg.entity_nodes())
+            .collect();
+        assert_eq!(all.len(), kg.graph.node_count());
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        let kg = small_kg();
+        assert_eq!(kg.graph.label(kg.user_node(1)), "u1");
+        assert_eq!(kg.graph.label(kg.item_node(2)), "item 2");
+        assert_eq!(kg.graph.label(kg.entity_node(0)), "external 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "user population mismatch")]
+    fn shape_mismatch_rejected() {
+        let m = RatingMatrix::new(5, 3);
+        KgBuilder::new(2, 3, 0, WeightConfig::paper_default(0.0)).build(&m);
+    }
+}

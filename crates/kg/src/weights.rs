@@ -1,0 +1,132 @@
+//! Edge weight functions (§III).
+//!
+//! Interaction edges: `w_M(u, i) = β1·r + β2·f(t)` with the recency kernel
+//! `f(t) = e^{−γ(t0 − t)}`. Attribute edges carry a relevance score `w_A`;
+//! the paper's main experiments set `w_A = 0` and `β2 = 0` ("as in previous
+//! works and for our results to be directly comparable"), while Fig. 16
+//! sweeps `(β1, β2)`.
+
+/// Parameters of the interaction weight function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightConfig {
+    /// Importance of the rating value `r`.
+    pub beta1: f64,
+    /// Importance of recency `f(t)`.
+    pub beta2: f64,
+    /// Exponential decay rate of the recency kernel.
+    pub gamma: f64,
+    /// "Current time" `t0`; interactions older than `t0` decay.
+    pub t0: f64,
+    /// Relevance score assigned to every attribute edge (`w_A`).
+    pub attribute_weight: f64,
+}
+
+impl WeightConfig {
+    /// The paper's main-experiment setting: rating-only weights
+    /// (`β1 = 1, β2 = 0`) and `w_A = 0`.
+    pub fn paper_default(t0: f64) -> Self {
+        WeightConfig {
+            beta1: 1.0,
+            beta2: 0.0,
+            gamma: 1e-7,
+            t0,
+            attribute_weight: 0.0,
+        }
+    }
+
+    /// A `(β1, β2)` combination for the Fig. 16 recency ablation.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// `w_M(u, i)` for a rating `r` at time `t`.
+    pub fn interaction(&self, rating: f64, timestamp: f64) -> f64 {
+        self.beta1 * rating + self.beta2 * recency(self.gamma, self.t0, timestamp)
+    }
+}
+
+/// The recency kernel `f(t) = e^{−γ(t0 − t)}`.
+///
+/// Monotonically increasing in `t`: newer interactions score closer to 1,
+/// ancient ones decay toward 0. Future timestamps (`t > t0`) score above 1,
+/// matching the formula verbatim; generators never produce them.
+#[inline]
+pub fn recency(gamma: f64, t0: f64, t: f64) -> f64 {
+    (-gamma * (t0 - t)).exp()
+}
+
+/// Free-function form of [`WeightConfig::interaction`].
+#[inline]
+pub fn interaction_weight(cfg: &WeightConfig, rating: f64, timestamp: f64) -> f64 {
+    cfg.interaction(rating, timestamp)
+}
+
+/// Weight of an attribute edge under `cfg` (constant `w_A`; the paper notes
+/// richer relevance scores as a refinement).
+#[inline]
+pub fn attribute_weight(cfg: &WeightConfig) -> f64 {
+    cfg.attribute_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_rating_only() {
+        let cfg = WeightConfig::paper_default(1000.0);
+        assert_eq!(cfg.interaction(5.0, 0.0), 5.0);
+        assert_eq!(cfg.interaction(5.0, 1000.0), 5.0);
+        assert_eq!(attribute_weight(&cfg), 0.0);
+    }
+
+    #[test]
+    fn recency_decays_monotonically() {
+        let (g, t0) = (0.01, 100.0);
+        let newer = recency(g, t0, 90.0);
+        let older = recency(g, t0, 10.0);
+        assert!(newer > older);
+        assert!((recency(g, t0, t0) - 1.0).abs() < 1e-12);
+        assert!(older > 0.0);
+    }
+
+    #[test]
+    fn beta_mix() {
+        let cfg = WeightConfig {
+            beta1: 0.5,
+            beta2: 0.5,
+            gamma: 0.0, // no decay → f(t) = 1 everywhere
+            t0: 100.0,
+            attribute_weight: 0.0,
+        };
+        assert!((cfg.interaction(4.0, 10.0) - (0.5 * 4.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_betas_overrides() {
+        let cfg = WeightConfig::paper_default(0.0).with_betas(0.2, 0.8);
+        assert_eq!(cfg.beta1, 0.2);
+        assert_eq!(cfg.beta2, 0.8);
+    }
+
+    #[test]
+    fn higher_rating_higher_weight() {
+        let cfg = WeightConfig::paper_default(100.0);
+        assert!(cfg.interaction(5.0, 50.0) > cfg.interaction(1.0, 50.0));
+    }
+
+    #[test]
+    fn recency_dominant_config_prefers_new_over_highly_rated_old() {
+        let cfg = WeightConfig {
+            beta1: 0.0,
+            beta2: 1.0,
+            gamma: 0.1,
+            t0: 100.0,
+            attribute_weight: 0.0,
+        };
+        // Old 5-star vs fresh 1-star: recency-only weighting prefers fresh.
+        assert!(cfg.interaction(1.0, 99.0) > cfg.interaction(5.0, 10.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Explanation-fairness measures across groups.
+//!
+//! Fig. 17 compares explanation comprehensibility between popular and
+//! unpopular items, and §VII names "explanation fairness across user
+//! demographic and item category groups" as future work. This module
+//! provides the group-comparison layer: per-group means of any metric,
+//! their absolute gap, and the disparity ratio used in the fairness
+//! literature (min/max of group means — 1.0 is perfectly fair).
+
+use xsum_graph::Graph;
+
+use crate::quality::MetricReport;
+use crate::view::ExplanationView;
+
+/// Per-group aggregate of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupScore {
+    /// Group label ("popular", "female", ...).
+    pub group: String,
+    /// Mean metric value over the group's explanations.
+    pub mean: f64,
+    /// Number of explanations aggregated.
+    pub count: usize,
+}
+
+/// Fairness comparison across two or more groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Per-group means.
+    pub groups: Vec<GroupScore>,
+    /// `max(mean) − min(mean)` over non-empty groups.
+    pub gap: f64,
+    /// `min(mean) / max(mean)` (1.0 = parity; 0 when max is 0).
+    pub disparity_ratio: f64,
+}
+
+/// Aggregate `metric` over labelled explanation views and compare groups.
+///
+/// Groups with no views are dropped (they carry no evidence either way).
+pub fn fairness<M>(
+    g: &Graph,
+    labelled_views: &[(&str, Vec<ExplanationView>)],
+    metric: M,
+) -> FairnessReport
+where
+    M: Fn(&MetricReport) -> f64,
+{
+    let mut groups = Vec::new();
+    for (label, views) in labelled_views {
+        if views.is_empty() {
+            continue;
+        }
+        let total: f64 = views
+            .iter()
+            .map(|v| metric(&MetricReport::evaluate(g, v)))
+            .sum();
+        groups.push(GroupScore {
+            group: (*label).to_string(),
+            mean: total / views.len() as f64,
+            count: views.len(),
+        });
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for gs in &groups {
+        lo = lo.min(gs.mean);
+        hi = hi.max(gs.mean);
+    }
+    let (gap, ratio) = if groups.len() < 2 {
+        (0.0, 1.0)
+    } else if hi <= 0.0 {
+        (hi - lo, 0.0)
+    } else {
+        (hi - lo, lo / hi)
+    };
+    FairnessReport {
+        groups,
+        gap,
+        disparity_ratio: ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, LoosePath, NodeKind};
+
+    fn views() -> (Graph, Vec<ExplanationView>, Vec<ExplanationView>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        g.add_edge(u, i1, 4.0, EdgeKind::Interaction);
+        g.add_edge(i1, a, 0.0, EdgeKind::Attribute);
+        g.add_edge(i2, a, 0.0, EdgeKind::Attribute);
+        // Short explanation (1 hop) vs long (3 hops).
+        let short = ExplanationView::from_paths(&[LoosePath::ground(&g, vec![u, i1])]);
+        let long = ExplanationView::from_paths(&[LoosePath::ground(&g, vec![u, i1, a, i2])]);
+        (g, vec![short], vec![long])
+    }
+
+    #[test]
+    fn gap_reflects_group_difference() {
+        let (g, short, long) = views();
+        let report = fairness(
+            &g,
+            &[("popular", short), ("unpopular", long)],
+            |r| r.comprehensibility,
+        );
+        assert_eq!(report.groups.len(), 2);
+        // Short explanations (C = 1) vs 3-hop (C = 1/3).
+        assert!((report.gap - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.disparity_ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_groups_are_fair() {
+        let (g, short, _) = views();
+        let report = fairness(
+            &g,
+            &[("a", short.clone()), ("b", short)],
+            |r| r.comprehensibility,
+        );
+        assert_eq!(report.gap, 0.0);
+        assert!((report.disparity_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_groups_dropped_and_single_group_trivially_fair() {
+        let (g, short, _) = views();
+        let report = fairness(
+            &g,
+            &[("a", short), ("empty", Vec::new())],
+            |r| r.comprehensibility,
+        );
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.gap, 0.0);
+        assert_eq!(report.disparity_ratio, 1.0);
+    }
+
+    #[test]
+    fn zero_valued_metric_handled() {
+        let (g, short, long) = views();
+        // Relevance of attribute-only paths is 0 in one group.
+        let report = fairness(&g, &[("a", short), ("b", long)], |_| 0.0);
+        assert_eq!(report.disparity_ratio, 0.0);
+        assert_eq!(report.gap, 0.0);
+    }
+}

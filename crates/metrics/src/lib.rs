@@ -1,0 +1,29 @@
+//! # xsum-metrics
+//!
+//! The explanation-quality metric suite of §V-B, defined once over a
+//! unified [`ExplanationView`] so that baseline path *sets* and summary
+//! *subgraphs* are scored with the same formulas (the paper generalizes
+//! its path metrics "to be applicable to general subgraphs"):
+//!
+//! | Metric | Definition | Figure |
+//! |---|---|---|
+//! | comprehensibility | `1 / \|E_S\|` | Fig. 2 |
+//! | actionability | item nodes / total nodes | Fig. 3 |
+//! | diversity | mean pairwise `1 − J(e_i, e_j)` over edges | Fig. 4 |
+//! | redundancy | duplicate node occurrences / total occurrences | Fig. 5 |
+//! | consistency | mean `J(S_k, S_{k+1})` over k | Fig. 6 |
+//! | relevance | `Σ w_M(e)` | Fig. 7 |
+//! | privacy | `1 −` user nodes / total nodes | Fig. 8 |
+//!
+//! plus the performance instrumentation (wall-clock and peak allocation)
+//! behind Figs. 9–11.
+
+pub mod fairness;
+pub mod perf;
+pub mod quality;
+pub mod view;
+
+pub use fairness::{fairness, FairnessReport, GroupScore};
+pub use perf::{measure, MeasureResult, TrackingAllocator};
+pub use quality::{consistency, MetricReport};
+pub use view::ExplanationView;

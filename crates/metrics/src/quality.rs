@@ -1,0 +1,144 @@
+//! The seven §V-B quality metrics bundled into a [`MetricReport`].
+
+use xsum_graph::{Graph, NodeKind};
+
+use crate::view::ExplanationView;
+
+/// All per-explanation quality metrics of one view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricReport {
+    /// `C(S) = 1/|E_S|` (1.0 for empty explanations — a statement with no
+    /// edges is trivially comprehensible).
+    pub comprehensibility: f64,
+    /// Item-node share of the distinct node set.
+    pub actionability: f64,
+    /// Mean pairwise `1 − J` over hops.
+    pub diversity: f64,
+    /// Duplicate node-occurrence share.
+    pub redundancy: f64,
+    /// `Σ w_M(e)` over grounded hops.
+    pub relevance: f64,
+    /// `1 −` user-node share of the distinct node set.
+    pub privacy: f64,
+    /// Fraction of hops backed by real KG edges (PEARLM's fix over PLM).
+    pub faithfulness: f64,
+    /// Explanation size `|E_S|` (reported alongside, used by Fig. 2's
+    /// inverse).
+    pub size: usize,
+}
+
+impl MetricReport {
+    /// Evaluate every per-explanation metric for a view.
+    pub fn evaluate(g: &Graph, view: &ExplanationView) -> Self {
+        let size = view.size();
+        let uniq = view.unique_node_count();
+        let items = view.count_kind(g, NodeKind::Item);
+        let users = view.count_kind(g, NodeKind::User);
+        MetricReport {
+            comprehensibility: if size == 0 { 1.0 } else { 1.0 / size as f64 },
+            actionability: if uniq == 0 {
+                0.0
+            } else {
+                items as f64 / uniq as f64
+            },
+            diversity: view.diversity(),
+            redundancy: view.redundancy(),
+            relevance: view.relevance(g),
+            privacy: if uniq == 0 {
+                1.0
+            } else {
+                1.0 - users as f64 / uniq as f64
+            },
+            faithfulness: view.faithfulness(),
+            size,
+        }
+    }
+}
+
+/// Consistency `C(S) = mean_k J(S_k, S_{k+1})` over a k-indexed series of
+/// views (k = 1..K). Returns 1.0 for zero or one view (nothing varies).
+pub fn consistency(views: &[ExplanationView]) -> f64 {
+    if views.len() < 2 {
+        return 1.0;
+    }
+    let total: f64 = views
+        .windows(2)
+        .map(|w| w[0].node_jaccard(&w[1]))
+        .sum();
+    total / (views.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, LoosePath, Subgraph};
+
+    fn fixture() -> (Graph, Vec<xsum_graph::NodeId>, Vec<xsum_graph::EdgeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        let e0 = g.add_edge(u, i1, 4.0, EdgeKind::Interaction);
+        let e1 = g.add_edge(i1, a, 1.0, EdgeKind::Attribute);
+        let e2 = g.add_edge(i2, a, 1.0, EdgeKind::Attribute);
+        (g, vec![u, i1, a, i2], vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn full_report_on_path_view() {
+        let (g, n, _) = fixture();
+        let p = LoosePath::ground(&g, vec![n[0], n[1], n[2], n[3]]);
+        let v = ExplanationView::from_paths(&[p]);
+        let r = MetricReport::evaluate(&g, &v);
+        assert!((r.comprehensibility - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.actionability - 0.5).abs() < 1e-12); // 2 items of 4 nodes
+        assert!((r.privacy - 0.75).abs() < 1e-12); // 1 user of 4 nodes
+        assert_eq!(r.redundancy, 0.0); // a single simple path repeats nothing
+        assert!((r.relevance - 6.0).abs() < 1e-12);
+        assert_eq!(r.size, 3);
+    }
+
+    #[test]
+    fn empty_view_conventions() {
+        let (g, _, _) = fixture();
+        let v = ExplanationView::default();
+        let r = MetricReport::evaluate(&g, &v);
+        assert_eq!(r.comprehensibility, 1.0);
+        assert_eq!(r.actionability, 0.0);
+        assert_eq!(r.privacy, 1.0);
+        assert_eq!(r.diversity, 0.0);
+        assert_eq!(r.relevance, 0.0);
+    }
+
+    #[test]
+    fn smaller_summary_is_more_comprehensible() {
+        let (g, _, e) = fixture();
+        let small = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, [e[0]]));
+        let large = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, e.clone()));
+        let rs = MetricReport::evaluate(&g, &small);
+        let rl = MetricReport::evaluate(&g, &large);
+        assert!(rs.comprehensibility > rl.comprehensibility);
+    }
+
+    #[test]
+    fn consistency_of_growing_series() {
+        let (g, _, e) = fixture();
+        let v1 = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, [e[0]]));
+        let v2 = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, [e[0], e[1]]));
+        let v3 = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, e.clone()));
+        // J(v1,v2) = 2/3, J(v2,v3) = 3/4.
+        let c = consistency(&[v1, v2, v3]);
+        assert!((c - (2.0 / 3.0 + 3.0 / 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_trivial_cases() {
+        assert_eq!(consistency(&[]), 1.0);
+        assert_eq!(consistency(&[ExplanationView::default()]), 1.0);
+        // Identical consecutive views → 1.
+        let (g, _, e) = fixture();
+        let v = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, e.clone()));
+        assert!((consistency(&[v.clone(), v]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,364 @@
+//! The unified substrate the metrics are computed on.
+//!
+//! Baseline explanations are *multisets of paths* (the paper counts the
+//! Table I input as "total length 13", duplicates included), while
+//! summaries are subgraphs. [`ExplanationView`] normalizes both into:
+//!
+//! * a multiset of **node occurrences** (path node sequences, or edge
+//!   endpoints plus isolated nodes for subgraphs) — redundancy numerator;
+//! * the **unique node set** — actionability/privacy denominators;
+//! * a multiset of **hops** as unordered endpoint pairs — so hallucinated
+//!   LM hops still count toward size and diversity even without a real
+//!   edge id;
+//! * the multiset of **grounded edges** — the relevance sum.
+
+use xsum_graph::{EdgeId, FxHashMap, FxHashSet, Graph, LoosePath, NodeId, NodeKind, Subgraph};
+
+/// A metric-ready view of an explanation (path set or summary subgraph).
+#[derive(Debug, Clone, Default)]
+pub struct ExplanationView {
+    node_occurrences: usize,
+    unique_nodes: FxHashSet<NodeId>,
+    /// Unordered endpoint pairs, one per hop (multiset).
+    hops: Vec<(NodeId, NodeId)>,
+    /// Real edges behind hops (multiset; hallucinated hops absent).
+    grounded: Vec<EdgeId>,
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl ExplanationView {
+    /// View of a set of explanation paths (the baselines' output).
+    pub fn from_paths(paths: &[LoosePath]) -> Self {
+        let mut v = ExplanationView::default();
+        for p in paths {
+            for n in p.nodes() {
+                v.node_occurrences += 1;
+                v.unique_nodes.insert(*n);
+            }
+            for (i, hop) in p.hops().iter().enumerate() {
+                v.hops.push(ordered(p.nodes()[i], p.nodes()[i + 1]));
+                if let Some(e) = hop {
+                    v.grounded.push(*e);
+                }
+            }
+        }
+        v
+    }
+
+    /// View of a summary subgraph.
+    pub fn from_subgraph(g: &Graph, s: &Subgraph) -> Self {
+        let mut v = ExplanationView::default();
+        for &e in s.edges() {
+            let edge = g.edge(e);
+            v.hops.push(ordered(edge.src, edge.dst));
+            v.grounded.push(e);
+            v.node_occurrences += 2;
+            v.unique_nodes.insert(edge.src);
+            v.unique_nodes.insert(edge.dst);
+        }
+        // Isolated nodes (forgone PCST terminals) appear once.
+        for &n in s.nodes() {
+            if v.unique_nodes.insert(n) {
+                v.node_occurrences += 1;
+            }
+        }
+        v
+    }
+
+    /// Size `|E_S|` (hop count, hallucinated hops included).
+    pub fn size(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Faithfulness: the fraction of hops backed by a real KG edge.
+    ///
+    /// 1.0 for every edge-faithful explanation (subgraph summaries are
+    /// faithful by construction); below 1.0 when an unconstrained path
+    /// language model hallucinated hops — the property PEARLM fixes over
+    /// PLM-Rec ("generated paths faithfully adhere to valid KG
+    /// connections", §II). Empty explanations are vacuously faithful.
+    pub fn faithfulness(&self) -> f64 {
+        if self.hops.is_empty() {
+            1.0
+        } else {
+            self.grounded.len() as f64 / self.hops.len() as f64
+        }
+    }
+
+    /// Total node occurrences (multiset).
+    pub fn node_occurrences(&self) -> usize {
+        self.node_occurrences
+    }
+
+    /// Number of distinct nodes.
+    pub fn unique_node_count(&self) -> usize {
+        self.unique_nodes.len()
+    }
+
+    /// The distinct node set (consistency's Jaccard operand).
+    pub fn unique_nodes(&self) -> &FxHashSet<NodeId> {
+        &self.unique_nodes
+    }
+
+    /// Distinct nodes of a given kind.
+    pub fn count_kind(&self, g: &Graph, kind: NodeKind) -> usize {
+        self.unique_nodes
+            .iter()
+            .filter(|n| g.kind(**n) == kind)
+            .count()
+    }
+
+    /// Grounded edge multiset.
+    pub fn grounded_edges(&self) -> &[EdgeId] {
+        &self.grounded
+    }
+
+    /// Pairwise edge diversity `mean(1 − J(e_i, e_j))`, computed
+    /// analytically in `O(E)`:
+    ///
+    /// For 2-node edge sets, `J ∈ {0, 1/3, 1}`: pairs sharing both
+    /// endpoints score 0, exactly one endpoint 2/3, none 1. Counting
+    /// shared-endpoint pairs via per-node degrees avoids the `O(E²)` loop
+    /// that would dominate on PCST group summaries.
+    pub fn diversity(&self) -> f64 {
+        let m = self.hops.len();
+        if m < 2 {
+            return 0.0;
+        }
+        let total_pairs = m * (m - 1) / 2;
+
+        // Duplicate-pair counting (pairs sharing both endpoints).
+        let mut pair_counts: FxHashMap<(NodeId, NodeId), usize> = FxHashMap::default();
+        for h in &self.hops {
+            *pair_counts.entry(*h).or_default() += 1;
+        }
+        let share_two: usize = pair_counts.values().map(|c| c * (c - 1) / 2).sum();
+
+        // Endpoint-degree counting (pairs sharing ≥1 endpoint; pairs
+        // sharing both endpoints are counted at each shared endpoint).
+        let mut degree: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for (a, b) in &self.hops {
+            *degree.entry(*a).or_default() += 1;
+            *degree.entry(*b).or_default() += 1;
+        }
+        let share_at_nodes: usize = degree.values().map(|d| d * (d - 1) / 2).sum();
+        let share_one = share_at_nodes.saturating_sub(2 * share_two);
+
+        let disjoint = total_pairs - share_one - share_two;
+        (disjoint as f64 + share_one as f64 * (2.0 / 3.0)) / total_pairs as f64
+    }
+
+    /// Redundancy: duplicate node occurrences over total occurrences.
+    pub fn redundancy(&self) -> f64 {
+        if self.node_occurrences == 0 {
+            return 0.0;
+        }
+        (self.node_occurrences - self.unique_nodes.len()) as f64 / self.node_occurrences as f64
+    }
+
+    /// Relevance: total original weight of the grounded hops.
+    pub fn relevance(&self, g: &Graph) -> f64 {
+        self.grounded.iter().map(|e| g.weight(*e)).sum()
+    }
+
+    /// Jaccard similarity of the node sets of two views.
+    pub fn node_jaccard(&self, other: &ExplanationView) -> f64 {
+        if self.unique_nodes.is_empty() && other.unique_nodes.is_empty() {
+            return 1.0;
+        }
+        let inter = self.unique_nodes.intersection(&other.unique_nodes).count();
+        let union = self.unique_nodes.len() + other.unique_nodes.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod faithfulness_tests {
+    use super::*;
+    use xsum_graph::{EdgeKind, Graph};
+
+    #[test]
+    fn faithful_paths_score_one() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        g.add_edge(u, i, 1.0, EdgeKind::Interaction);
+        let v = ExplanationView::from_paths(&[LoosePath::ground(&g, vec![u, i])]);
+        assert_eq!(v.faithfulness(), 1.0);
+    }
+
+    #[test]
+    fn hallucinated_hops_lower_faithfulness() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        let x = g.add_node(NodeKind::Item);
+        g.add_edge(u, i, 1.0, EdgeKind::Interaction);
+        // i → x has no real edge: one of two hops is hallucinated.
+        let v = ExplanationView::from_paths(&[LoosePath::ground(&g, vec![u, i, x])]);
+        assert!((v.faithfulness() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgraphs_are_faithful_by_construction() {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i = g.add_node(NodeKind::Item);
+        let e = g.add_edge(u, i, 1.0, EdgeKind::Interaction);
+        let v = ExplanationView::from_subgraph(&g, &Subgraph::from_edges(&g, [e]));
+        assert_eq!(v.faithfulness(), 1.0);
+    }
+
+    #[test]
+    fn empty_view_is_vacuously_faithful() {
+        assert_eq!(ExplanationView::default().faithfulness(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_graph::EdgeKind;
+
+    fn fixture() -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::new();
+        let u = g.add_node(NodeKind::User);
+        let i1 = g.add_node(NodeKind::Item);
+        let a = g.add_node(NodeKind::Entity);
+        let i2 = g.add_node(NodeKind::Item);
+        let e0 = g.add_edge(u, i1, 4.0, EdgeKind::Interaction);
+        let e1 = g.add_edge(i1, a, 1.0, EdgeKind::Attribute);
+        let e2 = g.add_edge(i2, a, 1.0, EdgeKind::Attribute);
+        (g, vec![u, i1, a, i2], vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn path_view_counts_duplicates() {
+        let (g, n, _) = fixture();
+        let p1 = LoosePath::ground(&g, vec![n[0], n[1], n[2], n[3]]);
+        let p2 = LoosePath::ground(&g, vec![n[0], n[1], n[2], n[3]]);
+        let v = ExplanationView::from_paths(&[p1, p2]);
+        assert_eq!(v.size(), 6);
+        assert_eq!(v.node_occurrences(), 8);
+        assert_eq!(v.unique_node_count(), 4);
+        assert!((v.redundancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgraph_view_uses_endpoint_occurrences() {
+        let (g, _, e) = fixture();
+        let s = Subgraph::from_edges(&g, e.clone());
+        let v = ExplanationView::from_subgraph(&g, &s);
+        assert_eq!(v.size(), 3);
+        assert_eq!(v.node_occurrences(), 6); // 2 per edge
+        assert_eq!(v.unique_node_count(), 4);
+        // (6 − 4)/6
+        assert!((v.redundancy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_counted_once() {
+        let (g, n, e) = fixture();
+        let mut s = Subgraph::from_edges(&g, [e[0]]);
+        s.insert_node(n[3]);
+        let v = ExplanationView::from_subgraph(&g, &s);
+        assert_eq!(v.unique_node_count(), 3);
+        assert_eq!(v.node_occurrences(), 3);
+    }
+
+    #[test]
+    fn diversity_analytic_matches_bruteforce() {
+        let (g, n, _) = fixture();
+        let p1 = LoosePath::ground(&g, vec![n[0], n[1], n[2], n[3]]);
+        let p2 = LoosePath::ground(&g, vec![n[0], n[1]]);
+        let v = ExplanationView::from_paths(&[p1.clone(), p2.clone()]);
+
+        // Brute force over hop pairs.
+        let mut hops: Vec<(NodeId, NodeId)> = Vec::new();
+        for p in [&p1, &p2] {
+            for w in p.nodes().windows(2) {
+                hops.push(if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) });
+            }
+        }
+        let mut total = 0.0;
+        let mut pairs = 0;
+        for i in 0..hops.len() {
+            for j in i + 1..hops.len() {
+                let set_i = [hops[i].0, hops[i].1];
+                let set_j = [hops[j].0, hops[j].1];
+                let inter = set_i.iter().filter(|x| set_j.contains(x)).count();
+                let union = 4 - inter;
+                total += 1.0 - inter as f64 / union as f64;
+                pairs += 1;
+            }
+        }
+        let brute = total / pairs as f64;
+        assert!((v.diversity() - brute).abs() < 1e-9, "{} vs {brute}", v.diversity());
+    }
+
+    #[test]
+    fn diversity_extremes() {
+        let (g, n, _) = fixture();
+        // Identical duplicated hop → diversity 0.
+        let p = LoosePath::ground(&g, vec![n[0], n[1]]);
+        let v = ExplanationView::from_paths(&[p.clone(), p.clone()]);
+        assert_eq!(v.diversity(), 0.0);
+        // Fewer than two hops → 0 by convention.
+        let v = ExplanationView::from_paths(&[p]);
+        assert_eq!(v.diversity(), 0.0);
+        // Two disjoint hops → 1.
+        let mut g2 = Graph::new();
+        let a = g2.add_node(NodeKind::Item);
+        let b = g2.add_node(NodeKind::Item);
+        let c = g2.add_node(NodeKind::Item);
+        let d = g2.add_node(NodeKind::Item);
+        g2.add_edge(a, b, 1.0, EdgeKind::Attribute);
+        g2.add_edge(c, d, 1.0, EdgeKind::Attribute);
+        let s = Subgraph::from_edges(&g2, g2.edge_ids());
+        let v = ExplanationView::from_subgraph(&g2, &s);
+        assert_eq!(v.diversity(), 1.0);
+    }
+
+    #[test]
+    fn relevance_counts_multiset_for_paths_and_set_for_subgraphs() {
+        let (g, n, e) = fixture();
+        let p = LoosePath::ground(&g, vec![n[0], n[1]]);
+        let v = ExplanationView::from_paths(&[p.clone(), p]);
+        assert!((v.relevance(&g) - 8.0).abs() < 1e-12, "duplicate paths double-count");
+        let s = Subgraph::from_edges(&g, [e[0]]);
+        let v = ExplanationView::from_subgraph(&g, &s);
+        assert!((v.relevance(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hallucinated_hops_count_in_size_not_relevance() {
+        let (g, n, _) = fixture();
+        let fake = LoosePath::ground(&g, vec![n[0], n[3]]); // no such edge
+        let v = ExplanationView::from_paths(&[fake]);
+        assert_eq!(v.size(), 1);
+        assert_eq!(v.grounded_edges().len(), 0);
+        assert_eq!(v.relevance(&g), 0.0);
+    }
+
+    #[test]
+    fn kind_counting_and_jaccard() {
+        let (g, n, e) = fixture();
+        let s = Subgraph::from_edges(&g, e.clone());
+        let v = ExplanationView::from_subgraph(&g, &s);
+        assert_eq!(v.count_kind(&g, NodeKind::Item), 2);
+        assert_eq!(v.count_kind(&g, NodeKind::User), 1);
+        let s2 = Subgraph::from_edges(&g, [e[0]]);
+        let v2 = ExplanationView::from_subgraph(&g, &s2);
+        // {u,i1,a,i2} vs {u,i1} → 2/4.
+        assert!((v.node_jaccard(&v2) - 0.5).abs() < 1e-12);
+        assert_eq!(ExplanationView::default().node_jaccard(&ExplanationView::default()), 1.0);
+        let _ = n;
+    }
+}

@@ -1,0 +1,275 @@
+//! Behavioural user clustering for group summaries.
+//!
+//! §III of the paper: user-group summaries "apply to any group of users,
+//! whether defined manually (for example, based on demographics) or
+//! identified through machine learning techniques (for example, by
+//! clustering behavioral patterns)". The demographic route is covered by
+//! the dataset samplers; this module provides the machine-learning
+//! route: k-means (with k-means++ seeding) over the BPR-MF user
+//! embeddings, so a "group of users" can be *discovered* from behaviour
+//! and fed straight into `SummaryInput::user_group` (in `xsum-core`,
+//! which sits above this crate).
+//!
+//! Deterministic given the seed; ties in assignment break on the lower
+//! cluster index.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mf::MfModel;
+
+/// Parameters of the k-means run.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 4,
+            max_iterations: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of clustering the user embedding space.
+#[derive(Debug, Clone)]
+pub struct UserClusters {
+    /// `assignment[u]` = cluster index of user `u`.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids in embedding space.
+    pub centroids: Vec<Vec<f32>>,
+    /// Sum of squared distances to assigned centroids (lower = tighter).
+    pub inertia: f64,
+    /// Lloyd iterations actually run before convergence.
+    pub iterations: usize,
+}
+
+impl UserClusters {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The user indices assigned to cluster `c` (ascending).
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum()
+}
+
+/// Cluster the model's user embeddings into `cfg.k` behavioural groups.
+///
+/// `k` is clamped to the number of users. Empty clusters (possible when
+/// k-means++ picks duplicate embeddings) are re-seeded on the point
+/// farthest from its centroid, the standard repair.
+pub fn cluster_users(mf: &MfModel, cfg: &KMeansConfig) -> UserClusters {
+    let (n_users, _, _) = mf.shape();
+    let k = cfg.k.clamp(1, n_users.max(1));
+    let points: Vec<&[f32]> = (0..n_users).map(|u| mf.user(u)).collect();
+    assert!(!points.is_empty(), "cannot cluster an empty user population");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n_users)].to_vec());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n_users)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n_users - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(points[next].to_vec());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    // Lloyd iterations.
+    let dims = centroids[0].len();
+    let mut assignment = vec![0usize; n_users];
+    let mut iterations = 0;
+    for it in 0..cfg.max_iterations {
+        iterations = it + 1;
+        let mut changed = false;
+        for (u, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .map(|c| (c, sq_dist(p, &centroids[c])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assignment[u] != best {
+                assignment[u] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (u, p) in points.iter().enumerate() {
+            counts[assignment[u]] += 1;
+            for (s, &x) in sums[assignment[u]].iter_mut().zip(p.iter()) {
+                *s += x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed on the globally farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        sq_dist(a.1, &centroids[assignment[a.0]])
+                            .partial_cmp(&sq_dist(b.1, &centroids[assignment[b.0]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far].to_vec();
+                continue;
+            }
+            for (d, s) in sums[c].iter().enumerate() {
+                centroids[c][d] = (*s / counts[c] as f64) as f32;
+            }
+        }
+    }
+
+    let inertia: f64 = points
+        .iter()
+        .enumerate()
+        .map(|(u, p)| sq_dist(p, &centroids[assignment[u]]))
+        .sum();
+
+    UserClusters {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mf::{MfConfig, MfModel};
+    use xsum_datasets::ml1m_scaled;
+
+    fn model() -> (xsum_datasets::Dataset, MfModel) {
+        let ds = ml1m_scaled(5, 0.02);
+        let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+        (ds, mf)
+    }
+
+    #[test]
+    fn partitions_every_user() {
+        let (ds, mf) = model();
+        let clusters = cluster_users(&mf, &KMeansConfig::default());
+        assert_eq!(clusters.assignment.len(), ds.kg.n_users());
+        assert_eq!(clusters.sizes().iter().sum::<usize>(), ds.kg.n_users());
+        assert!(clusters.assignment.iter().all(|&a| a < clusters.k()));
+    }
+
+    #[test]
+    fn members_are_consistent_with_assignment() {
+        let (_, mf) = model();
+        let clusters = cluster_users(&mf, &KMeansConfig::default());
+        for c in 0..clusters.k() {
+            for u in clusters.members(c) {
+                assert_eq!(clusters.assignment[u], c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, mf) = model();
+        let a = cluster_users(&mf, &KMeansConfig::default());
+        let b = cluster_users(&mf, &KMeansConfig::default());
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_one_collapses_everything() {
+        let (ds, mf) = model();
+        let clusters = cluster_users(&mf, &KMeansConfig { k: 1, ..KMeansConfig::default() });
+        assert_eq!(clusters.k(), 1);
+        assert_eq!(clusters.members(0).len(), ds.kg.n_users());
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let (_, mf) = model();
+        let i2 = cluster_users(&mf, &KMeansConfig { k: 2, ..KMeansConfig::default() }).inertia;
+        let i8 = cluster_users(&mf, &KMeansConfig { k: 8, ..KMeansConfig::default() }).inertia;
+        assert!(i8 <= i2 + 1e-6, "k=8 inertia {i8} vs k=2 inertia {i2}");
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let (ds, mf) = model();
+        let clusters = cluster_users(
+            &mf,
+            &KMeansConfig {
+                k: ds.kg.n_users() + 100,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(clusters.k() <= ds.kg.n_users());
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let (_, mf) = model();
+        let clusters = cluster_users(
+            &mf,
+            &KMeansConfig {
+                max_iterations: 200,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(clusters.iterations < 200, "should converge, not exhaust");
+    }
+}

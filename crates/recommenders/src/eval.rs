@@ -1,0 +1,219 @@
+//! Offline ranking evaluation of the baseline recommenders.
+//!
+//! The paper selects PGPR/CAFE/PLM/PEARLM because they are
+//! "state-of-the-art for both recommendation accuracy and explanation
+//! quality"; this module provides the standard leave-last-out protocol
+//! (split each user's latest interaction into a test set, rank, score) so
+//! the emulators' ranking quality can be sanity-checked and compared —
+//! hit-rate@k, precision@k, recall@k and NDCG@k.
+
+use xsum_graph::FxHashSet;
+use xsum_kg::RatingMatrix;
+
+use crate::explain::PathRecommender;
+
+/// A train/test split of a rating matrix.
+#[derive(Debug, Clone)]
+pub struct LeaveLastOut {
+    /// The training matrix (test interactions removed).
+    pub train: RatingMatrix,
+    /// Per-user held-out item (users with < 2 ratings are not split).
+    pub test: Vec<Option<u32>>,
+}
+
+/// Hold out each user's most recent interaction.
+pub fn leave_last_out(ratings: &RatingMatrix) -> LeaveLastOut {
+    let mut train = RatingMatrix::new(ratings.n_users(), ratings.n_items());
+    let mut test = vec![None; ratings.n_users()];
+    for (u, slot) in test.iter_mut().enumerate() {
+        let row = ratings.user_interactions(u);
+        if row.len() < 2 {
+            for x in row {
+                train.rate(u, x.item as usize, x.rating, x.timestamp);
+            }
+            continue;
+        }
+        let latest = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.timestamp
+                    .partial_cmp(&b.1.timestamp)
+                    .unwrap()
+                    .then_with(|| a.0.cmp(&b.0))
+            })
+            .map(|(i, _)| i)
+            .expect("row non-empty");
+        for (i, x) in row.iter().enumerate() {
+            if i == latest {
+                *slot = Some(x.item);
+            } else {
+                train.rate(u, x.item as usize, x.rating, x.timestamp);
+            }
+        }
+    }
+    LeaveLastOut { train, test }
+}
+
+/// Ranking metrics at a cutoff k.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankingReport {
+    /// Fraction of test users whose held-out item appears in the top-k.
+    pub hit_rate: f64,
+    /// Mean precision@k (1 relevant item per user → hit/k).
+    pub precision: f64,
+    /// Mean recall@k (1 relevant item per user → hit or miss).
+    pub recall: f64,
+    /// Mean NDCG@k (single relevant item → 1/log2(rank+1)).
+    pub ndcg: f64,
+    /// Users actually evaluated (had a held-out item and any output).
+    pub evaluated_users: usize,
+}
+
+/// Evaluate a recommender against a leave-last-out split.
+///
+/// `users` restricts evaluation to a sample (pass `None` for all users).
+pub fn evaluate(
+    rec: &dyn PathRecommender,
+    split: &LeaveLastOut,
+    k: usize,
+    users: Option<&[usize]>,
+) -> RankingReport {
+    let all: Vec<usize>;
+    let users: &[usize] = match users {
+        Some(u) => u,
+        None => {
+            all = (0..split.train.n_users()).collect();
+            &all
+        }
+    };
+    let mut hits = 0usize;
+    let mut ndcg = 0.0f64;
+    let mut evaluated = 0usize;
+    for &u in users {
+        let Some(target) = split.test[u] else { continue };
+        let out = rec.recommend(u, k);
+        if out.is_empty() {
+            continue;
+        }
+        evaluated += 1;
+        if let Some(rank) = out
+            .top_k(k)
+            .iter()
+            .position(|r| item_index_of(r, split.train.n_users()) == Some(target as usize))
+        {
+            hits += 1;
+            ndcg += 1.0 / ((rank as f64 + 2.0).log2());
+        }
+    }
+    if evaluated == 0 {
+        return RankingReport::default();
+    }
+    let e = evaluated as f64;
+    RankingReport {
+        hit_rate: hits as f64 / e,
+        precision: hits as f64 / e / k as f64,
+        recall: hits as f64 / e,
+        ndcg: ndcg / e,
+        evaluated_users: evaluated,
+    }
+}
+
+/// Recover the dataset item index from a recommendation's node id, given
+/// the `[users | items | entities]` layout of [`xsum_kg::KnowledgeGraph`].
+fn item_index_of(r: &crate::explain::Recommendation, n_users: usize) -> Option<usize> {
+    let raw = r.item.0 as usize;
+    (raw >= n_users).then(|| raw - n_users)
+}
+
+/// Catalogue coverage: fraction of distinct items recommended across a
+/// user sample (a popularity-bias proxy).
+pub fn catalogue_coverage(
+    rec: &dyn PathRecommender,
+    n_items: usize,
+    users: &[usize],
+    k: usize,
+) -> f64 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    for &u in users {
+        for r in rec.recommend(u, k).all() {
+            seen.insert(r.item.0);
+        }
+    }
+    seen.len() as f64 / n_items as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mf::{MfConfig, MfModel};
+    use crate::pgpr::{Pgpr, PgprConfig};
+    use xsum_datasets::ml1m_scaled;
+
+    #[test]
+    fn split_holds_out_latest() {
+        let ds = ml1m_scaled(31, 0.02);
+        let split = leave_last_out(&ds.ratings);
+        assert_eq!(split.test.len(), ds.kg.n_users());
+        let mut held = 0;
+        for u in 0..ds.kg.n_users() {
+            if let Some(item) = split.test[u] {
+                held += 1;
+                // Held-out interaction is gone from training.
+                assert!(!split.train.has_rated(u, item as usize));
+                // It was the newest: every remaining timestamp ≤ held-out's.
+                let t_test = ds.ratings.get(u, item as usize).unwrap().timestamp;
+                for x in split.train.user_interactions(u) {
+                    assert!(x.timestamp <= t_test);
+                }
+            }
+        }
+        assert!(held > ds.kg.n_users() / 2, "most users have ≥2 ratings");
+        assert_eq!(
+            split.train.n_ratings() + held,
+            ds.ratings.n_ratings(),
+            "split preserves every interaction exactly once"
+        );
+    }
+
+    #[test]
+    fn single_rating_users_keep_their_row() {
+        let mut m = RatingMatrix::new(2, 3);
+        m.rate(0, 1, 4.0, 10.0);
+        m.rate(1, 0, 5.0, 5.0);
+        m.rate(1, 2, 3.0, 9.0);
+        let split = leave_last_out(&m);
+        assert_eq!(split.test[0], None);
+        assert!(split.train.has_rated(0, 1));
+        assert_eq!(split.test[1], Some(2));
+    }
+
+    #[test]
+    fn evaluation_produces_sane_ranges() {
+        let ds = ml1m_scaled(31, 0.02);
+        let split = leave_last_out(&ds.ratings);
+        // Retrain on the training matrix only (no leakage).
+        let mf = MfModel::train(&ds.kg, &split.train, &MfConfig::default());
+        let pgpr = Pgpr::new(&ds.kg, &split.train, &mf, PgprConfig::default());
+        let users: Vec<usize> = (0..30).collect();
+        let report = evaluate(&pgpr, &split, 10, Some(&users));
+        assert!(report.evaluated_users > 10);
+        assert!((0.0..=1.0).contains(&report.hit_rate));
+        assert!((0.0..=1.0).contains(&report.precision));
+        assert!((0.0..=1.0).contains(&report.ndcg));
+        assert!(report.recall >= report.precision, "1 relevant item ⇒ recall ≥ precision@10");
+    }
+
+    #[test]
+    fn coverage_bounded_and_positive() {
+        let ds = ml1m_scaled(31, 0.02);
+        let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+        let pgpr = Pgpr::new(&ds.kg, &ds.ratings, &mf, PgprConfig::default());
+        let users: Vec<usize> = (0..20).collect();
+        let cov = catalogue_coverage(&pgpr, ds.kg.n_items(), &users, 10);
+        assert!(cov > 0.0 && cov <= 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The recommender interface contract the summarizers consume.
+//!
+//! Every baseline produces, per user, a ranked list of
+//! [`Recommendation`]s — item plus one explanation path of at most three
+//! edges. The paper's preprocessing "generat\[es\] an incremental set of
+//! top-k recommendation paths for k = 1 to 10 for each user"
+//! ([`RecOutput::top_k`] takes prefixes of the ranked list, so the k and
+//! k+1 summaries of the consistency metric share their first k inputs).
+
+use xsum_graph::{LoosePath, NodeId};
+
+/// One explained recommendation: item `i` for user `u` with its path.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// User node.
+    pub user: NodeId,
+    /// Recommended item node (always `path.target()`).
+    pub item: NodeId,
+    /// Model score used for ranking (higher = better).
+    pub score: f64,
+    /// The explanation path `E(u, i)` (≤ 3 hops; may contain hallucinated
+    /// hops for LM baselines).
+    pub path: LoosePath,
+}
+
+/// Ranked recommendations of a single user.
+#[derive(Debug, Clone, Default)]
+pub struct RecOutput {
+    recs: Vec<Recommendation>,
+}
+
+impl RecOutput {
+    /// Wrap a ranked list (descending score expected).
+    pub fn new(recs: Vec<Recommendation>) -> Self {
+        debug_assert!(
+            recs.windows(2).all(|w| w[0].score >= w[1].score),
+            "recommendations must be ranked by descending score"
+        );
+        RecOutput { recs }
+    }
+
+    /// All recommendations in rank order.
+    pub fn all(&self) -> &[Recommendation] {
+        &self.recs
+    }
+
+    /// The incremental top-k prefix.
+    pub fn top_k(&self, k: usize) -> &[Recommendation] {
+        &self.recs[..k.min(self.recs.len())]
+    }
+
+    /// Number of recommendations available.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether no recommendation was produced.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The recommended item nodes of the top-k prefix (`R_u`).
+    pub fn items(&self, k: usize) -> Vec<NodeId> {
+        self.top_k(k).iter().map(|r| r.item).collect()
+    }
+
+    /// The explanation paths of the top-k prefix (`E_u`).
+    pub fn paths(&self, k: usize) -> Vec<LoosePath> {
+        self.top_k(k).iter().map(|r| r.path.clone()).collect()
+    }
+}
+
+/// A recommender that explains every recommendation with a path.
+pub trait PathRecommender {
+    /// Baseline name as used in the paper's figures ("PGPR", "CAFE", ...).
+    fn name(&self) -> &'static str;
+
+    /// Ranked top-`k` recommendations with explanation paths for `user`
+    /// (dataset index). May return fewer than `k` when the graph
+    /// neighbourhood is too small.
+    fn recommend(&self, user: usize, k: usize) -> RecOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(score: f64) -> Recommendation {
+        // Node ids are arbitrary for these container tests; build a
+        // 1-node loose path via a tiny graph.
+        let mut g = xsum_graph::Graph::new();
+        let u = g.add_node(xsum_graph::NodeKind::User);
+        Recommendation {
+            user: u,
+            item: u,
+            score,
+            path: LoosePath::ground(&g, vec![u]),
+        }
+    }
+
+    #[test]
+    fn top_k_prefixes_are_incremental() {
+        let out = RecOutput::new(vec![rec(3.0), rec(2.0), rec(1.0)]);
+        assert_eq!(out.top_k(1).len(), 1);
+        assert_eq!(out.top_k(2).len(), 2);
+        assert_eq!(out.top_k(10).len(), 3);
+        // k and k+1 share the first k entries.
+        assert_eq!(out.top_k(1)[0].score, out.top_k(2)[0].score);
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn items_and_paths_align() {
+        let out = RecOutput::new(vec![rec(2.0), rec(1.0)]);
+        assert_eq!(out.items(2).len(), 2);
+        assert_eq!(out.paths(2).len(), 2);
+        assert_eq!(out.items(1).len(), 1);
+    }
+
+    #[test]
+    fn empty_output() {
+        let out = RecOutput::default();
+        assert!(out.is_empty());
+        assert!(out.top_k(5).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # xsum-rec
+//!
+//! Path-based recommender baselines.
+//!
+//! The paper consumes four baselines as black boxes that each emit, per
+//! user, a ranked top-k item list where every item carries one explanation
+//! path of at most three edges (§V-A): PGPR (RL path reasoning), CAFE
+//! (coarse-to-fine neural-symbolic reasoning), PLM-Rec (path language
+//! model, may hallucinate edges) and PEARLM (edge-faithful path language
+//! model). Training the original neural models is out of scope for an
+//! offline pure-Rust reproduction; this crate implements
+//! *behaviour-preserving emulators* that keep exactly the interface and
+//! path characteristics the summarization experiments measure
+//! (see DESIGN.md §3.3):
+//!
+//! * [`MfModel`]: a from-scratch BPR matrix-factorization scorer shared by
+//!   all four baselines (so ranking quality is comparable across them);
+//! * [`Pgpr`]: embedding-policy beam search over the KG — rigid 3-hop
+//!   paths, strongly tied to interaction history;
+//! * [`Cafe`]: meta-path-template mining plus per-template instantiation;
+//! * [`Plm`]: an order-1 path language model trained on random-walk
+//!   corpora, decoded *without* edge-validity constraints (hallucinates);
+//! * [`Pearlm`]: the same language model with constrained, edge-faithful
+//!   decoding.
+//!
+//! All emulators implement [`PathRecommender`] and are deterministic given
+//! their seeds.
+
+pub mod cafe;
+pub mod cluster;
+pub mod eval;
+pub mod explain;
+pub mod itemknn;
+pub mod mf;
+pub mod mostpop;
+pub mod pgpr;
+pub mod plm;
+
+pub use cafe::{Cafe, CafeConfig};
+pub use cluster::{cluster_users, KMeansConfig, UserClusters};
+pub use eval::{catalogue_coverage, evaluate, leave_last_out, LeaveLastOut, RankingReport};
+pub use explain::{PathRecommender, RecOutput, Recommendation};
+pub use itemknn::{ItemKnn, ItemKnnConfig};
+pub use mf::{MfConfig, MfModel};
+pub use mostpop::MostPop;
+pub use pgpr::{Pgpr, PgprConfig};
+pub use plm::{Pearlm, Plm, PlmConfig};

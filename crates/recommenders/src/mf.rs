@@ -1,0 +1,335 @@
+//! Bayesian Personalized Ranking matrix factorization, from scratch.
+//!
+//! All four baseline emulators share this scorer: it supplies the "learned
+//! preference model" that PGPR's policy, CAFE's ranking stage and the
+//! LM decoders' semantic-similarity fallback consult. BPR-MF optimizes
+//! `σ(x̂_ui − x̂_uj)` over (user, rated item, unrated item) triples by
+//! stochastic gradient descent — the standard implicit-feedback objective.
+//!
+//! Entity embeddings are derived after training as the mean of adjacent
+//! item embeddings, giving every KG node a vector for path scoring.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xsum_graph::{NodeId, NodeKind};
+use xsum_kg::KnowledgeGraph;
+use xsum_kg::RatingMatrix;
+
+/// Hyper-parameters of the BPR-MF trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct MfConfig {
+    /// Embedding dimensionality.
+    pub dims: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub regularization: f32,
+    /// Full passes over the interaction list.
+    pub epochs: usize,
+    /// RNG seed for init and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        MfConfig {
+            dims: 16,
+            learning_rate: 0.05,
+            regularization: 0.01,
+            epochs: 4,
+            seed: 17,
+        }
+    }
+}
+
+/// Trained factor model: one embedding per user, item, and entity.
+#[derive(Debug, Clone)]
+pub struct MfModel {
+    dims: usize,
+    user_emb: Vec<f32>,
+    item_emb: Vec<f32>,
+    entity_emb: Vec<f32>,
+    n_users: usize,
+    n_items: usize,
+    n_entities: usize,
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl MfModel {
+    /// Train on the interactions of `kg`'s rating matrix.
+    pub fn train(kg: &KnowledgeGraph, ratings: &RatingMatrix, cfg: &MfConfig) -> Self {
+        let (n_users, n_items, n_entities) = (kg.n_users(), kg.n_items(), kg.n_entities());
+        let d = cfg.dims;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut init = |n: usize| -> Vec<f32> {
+            (0..n * d).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect()
+        };
+        let mut user_emb = init(n_users);
+        let mut item_emb = init(n_items);
+
+        // Flat (user, item) positive list for shuffled SGD.
+        let positives: Vec<(u32, u32)> = ratings
+            .iter()
+            .map(|(u, x)| (u as u32, x.item))
+            .collect();
+
+        let lr = cfg.learning_rate;
+        let reg = cfg.regularization;
+        let mut order: Vec<usize> = (0..positives.len()).collect();
+        for epoch in 0..cfg.epochs {
+            // Deterministic Fisher–Yates reshuffle per epoch.
+            let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ (epoch as u64 + 1));
+            for i in (1..order.len()).rev() {
+                let j = shuffle_rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                let (u, i) = positives[idx];
+                // Rejection-sample a negative item for u.
+                let mut j = rng.gen_range(0..n_items as u32);
+                let mut guard = 0;
+                while ratings.has_rated(u as usize, j as usize) && guard < 16 {
+                    j = rng.gen_range(0..n_items as u32);
+                    guard += 1;
+                }
+                if ratings.has_rated(u as usize, j as usize) {
+                    continue; // ultra-dense row; skip this triple
+                }
+                let (us, is_, js) = (u as usize * d, i as usize * d, j as usize * d);
+                let x_ui = dot(&user_emb[us..us + d], &item_emb[is_..is_ + d]);
+                let x_uj = dot(&user_emb[us..us + d], &item_emb[js..js + d]);
+                let g = 1.0 - sigmoid(x_ui - x_uj); // d loss / d (x_ui − x_uj)
+                for f in 0..d {
+                    let (wu, wi, wj) = (user_emb[us + f], item_emb[is_ + f], item_emb[js + f]);
+                    user_emb[us + f] += lr * (g * (wi - wj) - reg * wu);
+                    item_emb[is_ + f] += lr * (g * wu - reg * wi);
+                    item_emb[js + f] += lr * (-g * wu - reg * wj);
+                }
+            }
+        }
+
+        // Entities: average of adjacent item embeddings.
+        let mut entity_emb = vec![0.0f32; n_entities * d];
+        for a in 0..n_entities {
+            let node = kg.entity_node(a);
+            let mut count = 0usize;
+            for &(nb, _) in kg.graph.neighbors(node) {
+                if let Some(i) = kg.item_index(nb) {
+                    for f in 0..d {
+                        entity_emb[a * d + f] += item_emb[i * d + f];
+                    }
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                for f in 0..d {
+                    entity_emb[a * d + f] /= count as f32;
+                }
+            }
+        }
+
+        MfModel {
+            dims: d,
+            user_emb,
+            item_emb,
+            entity_emb,
+            n_users,
+            n_items,
+            n_entities,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// User embedding by dataset index.
+    pub fn user(&self, u: usize) -> &[f32] {
+        &self.user_emb[u * self.dims..(u + 1) * self.dims]
+    }
+
+    /// Item embedding by dataset index.
+    pub fn item(&self, i: usize) -> &[f32] {
+        &self.item_emb[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Entity embedding by dataset index.
+    pub fn entity(&self, a: usize) -> &[f32] {
+        &self.entity_emb[a * self.dims..(a + 1) * self.dims]
+    }
+
+    /// Preference score `x̂_ui`.
+    pub fn score(&self, u: usize, i: usize) -> f32 {
+        dot(self.user(u), self.item(i))
+    }
+
+    /// Embedding of an arbitrary graph node (via the kg's layout).
+    pub fn node_embedding<'a>(&'a self, kg: &KnowledgeGraph, n: NodeId) -> &'a [f32] {
+        match kg.graph.kind(n) {
+            NodeKind::User => self.user(kg.user_index(n).expect("layout")),
+            NodeKind::Item => self.item(kg.item_index(n).expect("layout")),
+            NodeKind::Entity => self.entity(kg.entity_index(n).expect("layout")),
+        }
+    }
+
+    /// Similarity of a user to an arbitrary node — the shared "policy
+    /// score" of the path-reasoning emulators.
+    pub fn user_node_similarity(&self, kg: &KnowledgeGraph, u: usize, n: NodeId) -> f32 {
+        dot(self.user(u), self.node_embedding(kg, n))
+    }
+
+    /// Top-`k` unrated items for `u` by score, deterministic order.
+    pub fn top_k_items(&self, ratings: &RatingMatrix, u: usize, k: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = (0..self.n_items)
+            .filter(|i| !ratings.has_rated(u, *i))
+            .map(|i| (i, self.score(u, i)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Population sizes `(users, items, entities)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.n_users, self.n_items, self.n_entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsum_kg::{KgBuilder, WeightConfig};
+
+    /// Two user "communities": users 0–4 rate items 0–4, users 5–9 rate
+    /// items 5–9. BPR must learn to score in-community items higher.
+    fn community_kg() -> (KnowledgeGraph, RatingMatrix) {
+        let mut m = RatingMatrix::new(10, 10);
+        for u in 0..5 {
+            for i in 0..5 {
+                if (u + i) % 5 != 4 {
+                    // leave one unrated item per user to recommend
+                    m.rate(u, i, 5.0, 1.0);
+                }
+            }
+        }
+        for u in 5..10 {
+            for i in 5..10 {
+                if (u + i) % 5 != 4 {
+                    m.rate(u, i, 5.0, 1.0);
+                }
+            }
+        }
+        let mut b = KgBuilder::new(10, 10, 2, WeightConfig::paper_default(1.0));
+        for i in 0..5 {
+            b.link_item(i, 0);
+        }
+        for i in 5..10 {
+            b.link_item(i, 1);
+        }
+        (b.build(&m), m)
+    }
+
+    fn train_small() -> (KnowledgeGraph, RatingMatrix, MfModel) {
+        let (kg, m) = community_kg();
+        let cfg = MfConfig {
+            epochs: 30,
+            ..MfConfig::default()
+        };
+        let model = MfModel::train(&kg, &m, &cfg);
+        (kg, m, model)
+    }
+
+    #[test]
+    fn learns_community_structure() {
+        let (_, m, model) = train_small();
+        // Each user's held-out in-community item should outrank the mean
+        // out-community item.
+        let mut wins = 0;
+        for u in 0..5usize {
+            let held_out = (0..5).find(|i| !m.has_rated(u, *i)).unwrap();
+            let in_score = model.score(u, held_out);
+            let out_mean: f32 =
+                (5..10).map(|i| model.score(u, i)).sum::<f32>() / 5.0;
+            if in_score > out_mean {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "BPR failed to learn communities ({wins}/5)");
+    }
+
+    #[test]
+    fn top_k_excludes_rated_items() {
+        let (_, m, model) = train_small();
+        for u in 0..10 {
+            for (i, _) in model.top_k_items(&m, u, 5) {
+                assert!(!m.has_rated(u, i), "recommended an already-rated item");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let (_, m, model) = train_small();
+        let top = model.top_k_items(&m, 0, 4);
+        assert!(top.len() <= 4);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (kg, m) = community_kg();
+        let cfg = MfConfig::default();
+        let a = MfModel::train(&kg, &m, &cfg);
+        let b = MfModel::train(&kg, &m, &cfg);
+        assert_eq!(a.user(0), b.user(0));
+        assert_eq!(a.item(3), b.item(3));
+        assert_eq!(a.entity(1), b.entity(1));
+    }
+
+    #[test]
+    fn entity_embedding_is_item_mean() {
+        let (kg, m) = community_kg();
+        let model = MfModel::train(&kg, &m, &MfConfig::default());
+        let mut mean = vec![0.0f32; model.dims()];
+        for i in 0..5 {
+            for (f, m) in mean.iter_mut().enumerate() {
+                *m += model.item(i)[f];
+            }
+        }
+        for f in &mut mean {
+            *f /= 5.0;
+        }
+        for (f, m) in mean.iter().enumerate() {
+            assert!((model.entity(0)[f] - m).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn node_embedding_dispatches_by_kind() {
+        let (kg, m, model) = {
+            let (kg, m) = community_kg();
+            let model = MfModel::train(&kg, &m, &MfConfig::default());
+            (kg, m, model)
+        };
+        let _ = m;
+        assert_eq!(model.node_embedding(&kg, kg.user_node(2)), model.user(2));
+        assert_eq!(model.node_embedding(&kg, kg.item_node(7)), model.item(7));
+        assert_eq!(model.node_embedding(&kg, kg.entity_node(1)), model.entity(1));
+    }
+}

@@ -1,0 +1,457 @@
+//! PLM-Rec- and PEARLM-style baselines: path language models.
+//!
+//! PLM-Rec (Geng et al., WWW'22) casts path generation as language
+//! modelling over random-walk corpora; because the decoder is
+//! unconstrained, it "generates novel paths beyond the static KG
+//! topology" — explanation hops that correspond to no KG edge. PEARLM
+//! (Balloccu et al.) fixes exactly this with constrained decoding that
+//! only emits valid continuations.
+//!
+//! The emulator trains an order-1 Markov model (bigram counts with
+//! per-node top-N truncation) on seeded random walks, then decodes:
+//!
+//! * [`Plm`]: at each hop, with probability `hallucination_rate` the next
+//!   node is drawn from *embedding similarity* instead of the transition
+//!   table — a smoothed, LM-style generalization that can (and does) leave
+//!   the KG topology;
+//! * [`Pearlm`]: transition-table decoding intersected with the actual
+//!   neighbor set — every hop is a real edge.
+//!
+//! Both end their 3-hop walks on an unrated item and rank by the shared
+//! MF score, so the two differ only in path faithfulness and diversity —
+//! precisely the contrast Figs. 12–13 measure.
+
+use std::cmp::Ordering;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xsum_graph::{FxHashMap, LoosePath, NodeId, NodeKind};
+use xsum_kg::{KnowledgeGraph, RatingMatrix};
+
+use crate::explain::{PathRecommender, RecOutput, Recommendation};
+use crate::mf::MfModel;
+
+/// Parameters shared by the two LM baselines.
+#[derive(Debug, Clone, Copy)]
+pub struct PlmConfig {
+    /// Random walks sampled per user for the training corpus.
+    pub walks_per_user: usize,
+    /// Walk length in edges.
+    pub walk_len: usize,
+    /// Transition-table truncation (top-N continuations per node).
+    pub top_transitions: usize,
+    /// Candidate paths decoded per query before ranking.
+    pub decode_candidates: usize,
+    /// PLM only: probability of a similarity-smoothed (possibly
+    /// hallucinated) hop.
+    pub hallucination_rate: f64,
+    /// Seed for corpus generation and decoding.
+    pub seed: u64,
+}
+
+impl Default for PlmConfig {
+    fn default() -> Self {
+        PlmConfig {
+            walks_per_user: 12,
+            walk_len: 3,
+            top_transitions: 24,
+            decode_candidates: 64,
+            hallucination_rate: 0.25,
+            seed: 23,
+        }
+    }
+}
+
+/// Order-1 transition table learned from the walk corpus.
+#[derive(Debug, Clone, Default)]
+struct TransitionTable {
+    /// node → (continuation, count), truncated, sorted by count desc.
+    table: FxHashMap<NodeId, Vec<(NodeId, u32)>>,
+}
+
+impl TransitionTable {
+    fn train(kg: &KnowledgeGraph, cfg: &PlmConfig) -> Self {
+        let g = &kg.graph;
+        let mut counts: FxHashMap<NodeId, FxHashMap<NodeId, u32>> = FxHashMap::default();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for u in 0..kg.n_users() {
+            let start = kg.user_node(u);
+            for _ in 0..cfg.walks_per_user {
+                let mut cur = start;
+                for _ in 0..cfg.walk_len {
+                    let neigh = g.neighbors(cur);
+                    if neigh.is_empty() {
+                        break;
+                    }
+                    let (next, _) = neigh[rng.gen_range(0..neigh.len())];
+                    *counts.entry(cur).or_default().entry(next).or_default() += 1;
+                    cur = next;
+                }
+            }
+        }
+        let mut table: FxHashMap<NodeId, Vec<(NodeId, u32)>> = FxHashMap::default();
+        for (node, nexts) in counts {
+            let mut v: Vec<(NodeId, u32)> = nexts.into_iter().collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0 .0.cmp(&b.0 .0)));
+            v.truncate(cfg.top_transitions);
+            table.insert(node, v);
+        }
+        TransitionTable { table }
+    }
+
+    fn continuations(&self, n: NodeId) -> &[(NodeId, u32)] {
+        self.table.get(&n).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Sample a continuation proportional to count.
+    fn sample(&self, n: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+        let conts = self.continuations(n);
+        if conts.is_empty() {
+            return None;
+        }
+        let total: u32 = conts.iter().map(|(_, c)| c).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (next, c) in conts {
+            if pick < *c {
+                return Some(*next);
+            }
+            pick -= c;
+        }
+        conts.last().map(|(n, _)| *n)
+    }
+}
+
+/// Shared decoding machinery of the two LM baselines.
+struct LmCore<'a> {
+    kg: &'a KnowledgeGraph,
+    ratings: &'a RatingMatrix,
+    mf: &'a MfModel,
+    cfg: PlmConfig,
+    table: TransitionTable,
+    /// Pre-ranked "semantic neighborhood" per node kind for hallucinated
+    /// hops: all item nodes and all entity nodes.
+    item_nodes: Vec<NodeId>,
+    entity_nodes: Vec<NodeId>,
+}
+
+impl<'a> LmCore<'a> {
+    fn new(
+        kg: &'a KnowledgeGraph,
+        ratings: &'a RatingMatrix,
+        mf: &'a MfModel,
+        cfg: PlmConfig,
+    ) -> Self {
+        LmCore {
+            table: TransitionTable::train(kg, &cfg),
+            item_nodes: kg.item_nodes().collect(),
+            entity_nodes: kg.entity_nodes().collect(),
+            kg,
+            ratings,
+            mf,
+            cfg,
+        }
+    }
+
+    /// A similarity-smoothed hop: the best nodes by user-embedding
+    /// similarity, irrespective of graph adjacency. `rng` picks among the
+    /// top few to keep output varied.
+    fn hallucinated_hop(&self, user: usize, want_item: bool, rng: &mut StdRng) -> NodeId {
+        let pool: &[NodeId] = if want_item {
+            &self.item_nodes
+        } else {
+            &self.entity_nodes
+        };
+        debug_assert!(!pool.is_empty());
+        // Sample a small window then take the best by similarity: cheap
+        // approximation of softmax-over-similarity sampling.
+        let mut best: Option<(f32, NodeId)> = None;
+        for _ in 0..12 {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            let s = self.mf.user_node_similarity(self.kg, user, cand);
+            if best.is_none_or(|(bs, _)| s > bs) {
+                best = Some((s, cand));
+            }
+        }
+        best.expect("pool non-empty").1
+    }
+
+    /// Decode one walk of exactly `walk_len` hops ending on an unrated
+    /// item. `constrained` = PEARLM mode.
+    fn decode_walk(&self, user: usize, constrained: bool, rng: &mut StdRng) -> Option<Vec<NodeId>> {
+        let g = &self.kg.graph;
+        let start = self.kg.user_node(user);
+        let mut nodes = vec![start];
+        let mut cur = start;
+        for hop in 0..self.cfg.walk_len {
+            let last = hop + 1 == self.cfg.walk_len;
+            let next = if !constrained && rng.gen::<f64>() < self.cfg.hallucination_rate {
+                // PLM free-generation hop.
+                Some(self.hallucinated_hop(user, last, rng))
+            } else if constrained {
+                // PEARLM: sample LM transitions filtered to real neighbors.
+                let neigh = g.neighbors(cur);
+                if neigh.is_empty() {
+                    None
+                } else {
+                    // Try LM sample a few times; fall back to a uniform
+                    // neighbor.
+                    let mut pick = None;
+                    for _ in 0..6 {
+                        if let Some(c) = self.table.sample(cur, rng) {
+                            let valid = neigh.iter().any(|(n, _)| *n == c)
+                                && (!last || g.kind(c) == NodeKind::Item);
+                            if valid {
+                                pick = Some(c);
+                                break;
+                            }
+                        }
+                    }
+                    pick.or_else(|| {
+                        let cands: Vec<NodeId> = neigh
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .filter(|n| !last || g.kind(*n) == NodeKind::Item)
+                            .collect();
+                        if cands.is_empty() {
+                            None
+                        } else {
+                            Some(cands[rng.gen_range(0..cands.len())])
+                        }
+                    })
+                }
+            } else {
+                // PLM LM hop (unvalidated: the table may route through a
+                // node the current one is not adjacent to after a previous
+                // hallucinated hop).
+                match self.table.sample(cur, rng) {
+                    Some(c) if !last || g.kind(c) == NodeKind::Item => Some(c),
+                    _ => Some(self.hallucinated_hop(user, last, rng)),
+                }
+            }?;
+            if nodes.contains(&next) {
+                return None; // reject degenerate loops
+            }
+            nodes.push(next);
+            cur = next;
+        }
+        // Must end on an unrated item.
+        let i = self.kg.item_index(cur)?;
+        if self.ratings.has_rated(user, i) {
+            return None;
+        }
+        Some(nodes)
+    }
+
+    fn recommend(&self, user: usize, k: usize, constrained: bool) -> RecOutput {
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(user as u64),
+        );
+        let mut best_per_item: FxHashMap<NodeId, (f64, Vec<NodeId>)> = FxHashMap::default();
+        for _ in 0..self.cfg.decode_candidates {
+            if let Some(nodes) = self.decode_walk(user, constrained, &mut rng) {
+                let item = *nodes.last().expect("non-empty walk");
+                let i = self.kg.item_index(item).expect("walk ends on item");
+                let score = self.mf.score(user, i) as f64;
+                match best_per_item.get(&item) {
+                    Some((s, _)) if *s >= score => {}
+                    _ => {
+                        best_per_item.insert(item, (score, nodes));
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(NodeId, f64, Vec<NodeId>)> = best_per_item
+            .into_iter()
+            .map(|(item, (s, nodes))| (item, s, nodes))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0 .0.cmp(&b.0 .0))
+        });
+        ranked.truncate(k);
+        let g = &self.kg.graph;
+        let recs = ranked
+            .into_iter()
+            .map(|(item, score, nodes)| Recommendation {
+                user: self.kg.user_node(user),
+                item,
+                score,
+                path: LoosePath::ground(g, nodes),
+            })
+            .collect();
+        RecOutput::new(recs)
+    }
+}
+
+/// PLM-Rec-style baseline (unconstrained decoding, may hallucinate).
+pub struct Plm<'a> {
+    core: LmCore<'a>,
+}
+
+impl<'a> Plm<'a> {
+    /// Train the transition table and assemble the recommender.
+    pub fn new(
+        kg: &'a KnowledgeGraph,
+        ratings: &'a RatingMatrix,
+        mf: &'a MfModel,
+        cfg: PlmConfig,
+    ) -> Self {
+        Plm {
+            core: LmCore::new(kg, ratings, mf, cfg),
+        }
+    }
+}
+
+impl PathRecommender for Plm<'_> {
+    fn name(&self) -> &'static str {
+        "PLM"
+    }
+
+    fn recommend(&self, user: usize, k: usize) -> RecOutput {
+        self.core.recommend(user, k, false)
+    }
+}
+
+/// PEARLM-style baseline (constrained, edge-faithful decoding).
+pub struct Pearlm<'a> {
+    core: LmCore<'a>,
+}
+
+impl<'a> Pearlm<'a> {
+    /// Train the transition table and assemble the recommender.
+    pub fn new(
+        kg: &'a KnowledgeGraph,
+        ratings: &'a RatingMatrix,
+        mf: &'a MfModel,
+        cfg: PlmConfig,
+    ) -> Self {
+        Pearlm {
+            core: LmCore::new(kg, ratings, mf, cfg),
+        }
+    }
+}
+
+impl PathRecommender for Pearlm<'_> {
+    fn name(&self) -> &'static str {
+        "PEARLM"
+    }
+
+    fn recommend(&self, user: usize, k: usize) -> RecOutput {
+        self.core.recommend(user, k, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mf::{MfConfig, MfModel};
+    use xsum_datasets::ml1m_scaled;
+
+    fn setup() -> (xsum_datasets::Dataset, MfModel) {
+        let ds = ml1m_scaled(19, 0.02);
+        let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+        (ds, mf)
+    }
+
+    #[test]
+    fn pearlm_paths_are_always_faithful() {
+        let (ds, mf) = setup();
+        let pearlm = Pearlm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        for u in 0..8 {
+            for r in pearlm.recommend(u, 10).all() {
+                assert!(r.path.is_faithful(), "PEARLM must stay on the KG");
+                assert_eq!(r.path.len(), 3);
+                assert_eq!(r.path.target(), r.item);
+            }
+        }
+    }
+
+    #[test]
+    fn plm_hallucinates_sometimes() {
+        let (ds, mf) = setup();
+        let plm = Plm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        let mut hops = 0usize;
+        let mut ungrounded = 0usize;
+        for u in 0..12 {
+            for r in plm.recommend(u, 10).all() {
+                for h in r.path.hops() {
+                    hops += 1;
+                    if h.is_none() {
+                        ungrounded += 1;
+                    }
+                }
+            }
+        }
+        assert!(hops > 0, "PLM produced nothing");
+        assert!(
+            ungrounded > 0,
+            "PLM with 25% hallucination rate must leave the topology sometimes"
+        );
+    }
+
+    #[test]
+    fn both_end_on_unrated_items() {
+        let (ds, mf) = setup();
+        let plm = Plm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        let pearlm = Pearlm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        for u in 0..5 {
+            for r in plm.recommend(u, 8).all().iter().chain(pearlm.recommend(u, 8).all()) {
+                let i = ds.kg.item_index(r.item).unwrap();
+                assert!(!ds.ratings.has_rated(u, i));
+                assert_eq!(ds.kg.graph.kind(r.item), NodeKind::Item);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_user() {
+        let (ds, mf) = setup();
+        let plm = Plm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        let a: Vec<_> = plm.recommend(3, 10).all().iter().map(|r| r.item).collect();
+        let b: Vec<_> = plm.recommend(3, 10).all().iter().map(|r| r.item).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranked_and_distinct() {
+        let (ds, mf) = setup();
+        let pearlm = Pearlm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        let out = pearlm.recommend(0, 10);
+        assert!(out.all().windows(2).all(|w| w[0].score >= w[1].score));
+        let mut items: Vec<_> = out.all().iter().map(|r| r.item).collect();
+        let n = items.len();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), n);
+    }
+
+    #[test]
+    fn plm_more_diverse_node_vocabulary_than_pgpr_style_reuse() {
+        // Sanity proxy for Fig. 13: across users, PLM paths should touch a
+        // reasonably wide node vocabulary (free generation diversifies).
+        let (ds, mf) = setup();
+        let plm = Plm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
+        let mut vocab = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for u in 0..10 {
+            for r in plm.recommend(u, 10).all() {
+                for n in r.path.nodes() {
+                    vocab.insert(*n);
+                    total += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            vocab.len() * 3 > total,
+            "PLM vocabulary too repetitive: {} unique / {} total",
+            vocab.len(),
+            total
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Marketer workflow: discover behavioural user segments, then explain
+//! each segment's recommendations with one group summary.
+//!
+//! §III: user-group summaries "apply to any group of users, whether
+//! defined manually (for example, based on demographics) or identified
+//! through machine learning techniques (for example, by clustering
+//! behavioral patterns)" — and "marketers can use them to tailor
+//! group-specific marketing strategies". This example walks the
+//! machine-learning route end to end:
+//!
+//! 1. train the BPR-MF scorer and k-means-cluster its user embeddings,
+//! 2. produce PGPR-style explained recommendations per segment member,
+//! 3. summarize each segment with ST and PCST and compare the quality
+//!    profile (PCST is the scalable choice for large groups — Fig. 10).
+//!
+//! ```text
+//! cargo run --release --example behavioral_segments
+//! ```
+
+use xsum::core::{
+    pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput,
+};
+use xsum::datasets::ml1m_scaled;
+use xsum::metrics::{ExplanationView, MetricReport};
+use xsum::rec::{cluster_users, KMeansConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig};
+
+fn main() {
+    let ds = ml1m_scaled(13, 0.03);
+    let g = &ds.kg.graph;
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    let pgpr = Pgpr::new(&ds.kg, &ds.ratings, &mf, PgprConfig::default());
+
+    // Discover behavioural segments in embedding space.
+    let clusters = cluster_users(&mf, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+    println!(
+        "clustered {} users into {} segments (sizes {:?}, inertia {:.1}, {} iterations)\n",
+        ds.kg.n_users(),
+        clusters.k(),
+        clusters.sizes(),
+        clusters.inertia,
+        clusters.iterations
+    );
+
+    println!("segment\tusers\tmethod\tedges\tcomprehensibility\tdiversity\tprivacy");
+    for c in 0..clusters.k() {
+        // Cap segment size so the demo stays fast; real audits use all.
+        let members: Vec<usize> = clusters.members(c).into_iter().take(12).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let nodes: Vec<_> = members.iter().map(|&u| ds.kg.user_node(u)).collect();
+        let mut paths = Vec::new();
+        for &u in &members {
+            paths.extend(pgpr.recommend(u, 5).paths(5));
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_group(&nodes, paths);
+
+        let st = steiner_summary(g, &input, &SteinerConfig::default());
+        let pcst = pcst_summary(g, &input, &PcstConfig::default());
+        for s in [&st, &pcst] {
+            let view = ExplanationView::from_subgraph(g, &s.subgraph);
+            let r = MetricReport::evaluate(g, &view);
+            println!(
+                "{c}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}",
+                members.len(),
+                s.method,
+                r.size,
+                r.comprehensibility,
+                r.diversity,
+                r.privacy
+            );
+        }
+    }
+
+    println!(
+        "\nReading: segments with low-comprehensibility summaries receive \
+         scattered explanations — candidates for targeted campaigns or \
+         model debugging (§III)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Model-developer workflow: audit how the recommender explains itself to
+//! user groups and item-popularity strata.
+//!
+//! Builds gender-based user-group summaries (the §III motivation: "detect
+//! underlying regularities in model behavior and identify potential model
+//! biases that may affect specific user groups") and the popularity
+//! fairness probe of Fig. 17 (comprehensibility of explanations for
+//! popular vs unpopular items).
+//!
+//! ```text
+//! cargo run --release --example group_bias_audit
+//! ```
+
+use xsum::core::{steiner_summary, SteinerConfig, SummaryInput};
+use xsum::datasets::{ml1m_scaled, popular_unpopular_items, sample_users_by_gender, Gender};
+use xsum::metrics::{ExplanationView, MetricReport};
+use xsum::rec::{Cafe, CafeConfig, MfConfig, MfModel, PathRecommender};
+
+fn main() {
+    let ds = ml1m_scaled(7, 0.03);
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    let cafe = Cafe::new(&ds.kg, &ds.ratings, &mf, CafeConfig::default());
+    let g = &ds.kg.graph;
+
+    // --- user-group audit: male vs female cohorts --------------------
+    let sample = sample_users_by_gender(&ds, 12);
+    println!("group\tusers\tsummary_edges\tactionability\tprivacy\tdiversity");
+    for gender in [Gender::Male, Gender::Female] {
+        let members: Vec<usize> = sample
+            .iter()
+            .copied()
+            .filter(|u| ds.genders[*u] == gender)
+            .collect();
+        let nodes: Vec<_> = members.iter().map(|u| ds.kg.user_node(*u)).collect();
+        let mut paths = Vec::new();
+        for &u in &members {
+            paths.extend(cafe.recommend(u, 10).paths(10));
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_group(&nodes, paths);
+        let s = steiner_summary(g, &input, &SteinerConfig::default());
+        let r = MetricReport::evaluate(g, &ExplanationView::from_subgraph(g, &s.subgraph));
+        println!(
+            "{:?}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}",
+            gender,
+            members.len(),
+            s.subgraph.edge_count(),
+            r.actionability,
+            r.privacy,
+            r.diversity
+        );
+    }
+
+    // --- popularity fairness probe (Fig. 17) -------------------------
+    let (popular, unpopular) = popular_unpopular_items(&ds.ratings, 8);
+    println!("\nstratum\titems_with_expl\tbaseline_compr\tst_compr");
+    for (label, items) in [("popular", &popular), ("unpopular", &unpopular)] {
+        let mut base = 0.0;
+        let mut st = 0.0;
+        let mut n = 0usize;
+        for &item in items {
+            let node = ds.kg.item_node(item);
+            // Collect every sampled user's paths to this item.
+            let mut paths = Vec::new();
+            for &u in &sample {
+                for r in cafe.recommend(u, 10).all() {
+                    if r.item == node {
+                        paths.push(r.path.clone());
+                    }
+                }
+            }
+            if paths.is_empty() {
+                continue;
+            }
+            let input = SummaryInput::item_centric(node, paths);
+            base += MetricReport::evaluate(g, &ExplanationView::from_paths(&input.paths))
+                .comprehensibility;
+            let s = steiner_summary(g, &input, &SteinerConfig::default());
+            st += MetricReport::evaluate(g, &ExplanationView::from_subgraph(g, &s.subgraph))
+                .comprehensibility;
+            n += 1;
+        }
+        if n > 0 {
+            println!("{label}\t{n}\t{:.3}\t{:.3}", base / n as f64, st / n as f64);
+        }
+    }
+    println!(
+        "\nPaper's finding: baselines explain unpopular items much less\n\
+         comprehensibly than popular ones; the ST summaries close that gap."
+    );
+}

@@ -1,0 +1,381 @@
+//! `xsum` — command-line summary explanations.
+//!
+//! The downstream-user entry point: point it at a MovieLens-format
+//! corpus (or let it generate the synthetic ML1M-like one), pick a
+//! recommender and a summarization method, and get the explanation —
+//! rendered as text, TSV, or Graphviz DOT.
+//!
+//! ```text
+//! xsum --user 42                                # synthetic corpus, PGPR + ST
+//! xsum --ratings ratings.dat --attributes a.tsv --user 7 --method pcst
+//! xsum --user 3 --recommender itemknn --k 5 --format dot > summary.dot
+//! xsum --item 12 --method st --lambda 100       # item-centric summary
+//! ```
+//!
+//! Flags:
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--ratings PATH` | (synthetic) | MovieLens `ratings.dat` |
+//! | `--users PATH` | — | MovieLens `users.dat` (genders) |
+//! | `--attributes PATH` | — | item-attribute TSV |
+//! | `--scale F` | 0.05 | synthetic corpus scale when no `--ratings` |
+//! | `--seed N` | 42 | RNG seed |
+//! | `--user N` / `--item N` | user 0 | focus of the summary |
+//! | `--recommender R` | pgpr | pgpr, cafe, plm, pearlm, itemknn, mostpop, blackbox |
+//! | `--method M` | st | st, pcst, gw |
+//! | `--lambda F` | 1.0 | Eq. 1 path boost for ST |
+//! | `--k N` | 10 | top-k recommendations to summarize |
+//! | `--format F` | text | text, tsv, dot, overlay |
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xsum::core::{
+    gw_pcst_summary, path_free_user_centric, pcst_summary, render_path, render_summary,
+    steiner_summary, summary_to_dot, summary_to_tsv, overlay_to_dot, PathGenConfig, PcstConfig,
+    SteinerConfig, Summary, SummaryInput,
+};
+use xsum::datasets::{load_movielens, ml1m_scaled, Dataset};
+use xsum::graph::{LoosePath, NodeId};
+use xsum::rec::{
+    Cafe, CafeConfig, ItemKnn, ItemKnnConfig, MfConfig, MfModel, MostPop, PathRecommender,
+    Pearlm, Pgpr, PgprConfig, Plm, PlmConfig,
+};
+
+#[derive(Debug)]
+struct Args {
+    ratings: Option<PathBuf>,
+    users_file: Option<PathBuf>,
+    attributes: Option<PathBuf>,
+    scale: f64,
+    seed: u64,
+    user: Option<usize>,
+    item: Option<usize>,
+    recommender: String,
+    method: String,
+    lambda: f64,
+    k: usize,
+    format: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            ratings: None,
+            users_file: None,
+            attributes: None,
+            scale: 0.05,
+            seed: 42,
+            user: None,
+            item: None,
+            recommender: "pgpr".into(),
+            method: "st".into(),
+            lambda: 1.0,
+            k: 10,
+            format: "text".into(),
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut a = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |name: &str| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--ratings" => a.ratings = Some(PathBuf::from(value("--ratings")?)),
+            "--users" => a.users_file = Some(PathBuf::from(value("--users")?)),
+            "--attributes" => a.attributes = Some(PathBuf::from(value("--attributes")?)),
+            "--scale" => a.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed" => a.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--user" => a.user = Some(value("--user")?.parse().map_err(|e| format!("--user: {e}"))?),
+            "--item" => a.item = Some(value("--item")?.parse().map_err(|e| format!("--item: {e}"))?),
+            "--recommender" => a.recommender = value("--recommender")?,
+            "--method" => a.method = value("--method")?,
+            "--lambda" => a.lambda = value("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--k" => a.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--format" => a.format = value("--format")?,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += if flag == "--help" || flag == "-h" { 1 } else { 2 };
+    }
+    if a.user.is_some() && a.item.is_some() {
+        return Err("--user and --item are mutually exclusive".into());
+    }
+    Ok(a)
+}
+
+fn load(a: &Args) -> Result<Dataset, String> {
+    match &a.ratings {
+        Some(path) => load_movielens(
+            "cli",
+            path,
+            a.users_file.as_deref(),
+            a.attributes.as_deref(),
+        )
+        .map_err(|e| format!("loading corpus: {e}")),
+        None => Ok(ml1m_scaled(a.seed, a.scale)),
+    }
+}
+
+/// The chosen recommender as a per-user path source, built once.
+fn make_path_source<'a>(
+    a: &'a Args,
+    ds: &'a Dataset,
+    mf: &'a MfModel,
+) -> Result<Box<dyn Fn(usize) -> Vec<LoosePath> + 'a>, String> {
+    let k = a.k;
+    Ok(match a.recommender.as_str() {
+        "pgpr" => {
+            let r = Pgpr::new(&ds.kg, &ds.ratings, mf, PgprConfig::default());
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "cafe" => {
+            let r = Cafe::new(&ds.kg, &ds.ratings, mf, CafeConfig::default());
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "plm" => {
+            let r = Plm::new(&ds.kg, &ds.ratings, mf, PlmConfig::default());
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "pearlm" => {
+            let r = Pearlm::new(&ds.kg, &ds.ratings, mf, PlmConfig::default());
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "itemknn" => {
+            let r = ItemKnn::new(&ds.kg, &ds.ratings, &ItemKnnConfig::default());
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "mostpop" => {
+            let r = MostPop::new(&ds.kg, &ds.ratings);
+            Box::new(move |u| r.recommend(u, k).paths(k))
+        }
+        "blackbox" => Box::new(move |u| {
+            // Items-only model: rank with MF, generate paths from the KG.
+            let items: Vec<NodeId> = mf
+                .top_k_items(&ds.ratings, u, k)
+                .into_iter()
+                .map(|(i, _)| ds.kg.item_node(i))
+                .collect();
+            path_free_user_centric(
+                &ds.kg.graph,
+                ds.kg.user_node(u),
+                &items,
+                &PathGenConfig::default(),
+            )
+            .paths
+        }),
+        other => return Err(format!("unknown recommender {other}")),
+    })
+}
+
+/// Paths of every user whose top-k contains `item`.
+fn item_paths(
+    source: &dyn Fn(usize) -> Vec<LoosePath>,
+    ds: &Dataset,
+    item: usize,
+) -> Vec<LoosePath> {
+    let node = ds.kg.item_node(item);
+    let mut paths = Vec::new();
+    for u in 0..ds.kg.n_users() {
+        for p in source(u) {
+            if p.target() == node {
+                paths.push(p);
+            }
+        }
+        if paths.len() >= 64 {
+            break; // enough evidence for a summary
+        }
+    }
+    paths
+}
+
+fn summarize(a: &Args, ds: &Dataset, input: &SummaryInput) -> Result<Summary, String> {
+    let g = &ds.kg.graph;
+    match a.method.as_str() {
+        "st" => Ok(steiner_summary(
+            g,
+            input,
+            &SteinerConfig { lambda: a.lambda, ..SteinerConfig::default() },
+        )),
+        "pcst" => Ok(pcst_summary(g, input, &PcstConfig::default())),
+        "gw" => Ok(gw_pcst_summary(g, input, &PcstConfig::default())),
+        other => Err(format!("unknown method {other} (st, pcst, gw)")),
+    }
+}
+
+fn run(a: &Args) -> Result<String, String> {
+    let ds = load(a)?;
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    let g = &ds.kg.graph;
+
+    let source = make_path_source(a, &ds, &mf)?;
+    let (input, focus) = match (a.user, a.item) {
+        (_, None) => {
+            let user = a.user.unwrap_or(0);
+            if user >= ds.kg.n_users() {
+                return Err(format!("user {user} out of range (corpus has {})", ds.kg.n_users()));
+            }
+            let paths = source(user);
+            if paths.is_empty() {
+                return Err(format!("no recommendations produced for user {user}"));
+            }
+            let node = ds.kg.user_node(user);
+            (SummaryInput::user_centric(node, paths), node)
+        }
+        (None, Some(item)) => {
+            if item >= ds.kg.n_items() {
+                return Err(format!("item {item} out of range (corpus has {})", ds.kg.n_items()));
+            }
+            let paths = item_paths(&source, &ds, item);
+            if paths.is_empty() {
+                return Err(format!("item {item} appears in no user's top-{}", a.k));
+            }
+            let node = ds.kg.item_node(item);
+            (SummaryInput::item_centric(node, paths), node)
+        }
+        _ => unreachable!("validated in parse_args"),
+    };
+
+    let summary = summarize(a, &ds, &input)?;
+    let out = match a.format.as_str() {
+        "text" => {
+            let mut s = String::new();
+            s.push_str(&format!(
+                "# {} {} summary ({} input paths, {} terminals, {} edges)\n",
+                summary.method,
+                input.scenario.name(),
+                input.paths.len(),
+                input.terminal_count(),
+                summary.size()
+            ));
+            for p in &input.paths {
+                s.push_str(&format!("path: {}\n", render_path(g, p)));
+            }
+            s.push_str(&format!("\nsummary: {}\n", render_summary(g, &summary.subgraph, focus)));
+            s
+        }
+        "tsv" => summary_to_tsv(g, &summary),
+        "dot" => summary_to_dot(g, &summary),
+        "overlay" => overlay_to_dot(g, &input.paths, &summary),
+        other => return Err(format!("unknown format {other} (text, tsv, dot, overlay)")),
+    };
+    Ok(out)
+}
+
+const USAGE: &str = "usage: xsum [--ratings PATH [--users PATH] [--attributes PATH]] \
+[--scale F] [--seed N] (--user N | --item N) [--recommender pgpr|cafe|plm|pearlm|itemknn|mostpop|blackbox] \
+[--method st|pcst|gw] [--lambda F] [--k N] [--format text|tsv|dot|overlay]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.recommender, "pgpr");
+        assert_eq!(a.method, "st");
+        assert_eq!(a.k, 10);
+    }
+
+    #[test]
+    fn rejects_user_and_item_together() {
+        let e = parse_args(&argv(&["--user", "1", "--item", "2"])).unwrap_err();
+        assert!(e.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&argv(&["--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_text_summary() {
+        let a = Args {
+            scale: 0.02,
+            user: Some(0),
+            k: 5,
+            ..Args::default()
+        };
+        let out = run(&a).unwrap();
+        assert!(out.contains("ST user-centric summary"));
+        assert!(out.contains("summary: "));
+    }
+
+    #[test]
+    fn end_to_end_dot_via_blackbox() {
+        let a = Args {
+            scale: 0.02,
+            user: Some(1),
+            recommender: "blackbox".into(),
+            format: "dot".into(),
+            k: 5,
+            ..Args::default()
+        };
+        let out = run(&a).unwrap();
+        assert!(out.starts_with("graph summary {"));
+    }
+
+    #[test]
+    fn end_to_end_item_centric_pcst() {
+        let a = Args {
+            scale: 0.02,
+            item: Some(0),
+            method: "pcst".into(),
+            recommender: "itemknn".into(),
+            k: 5,
+            ..Args::default()
+        };
+        match run(&a) {
+            Ok(out) => assert!(out.contains("PCST item-centric summary")),
+            Err(e) => assert!(e.contains("appears in no user's"), "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_user_errors() {
+        let a = Args {
+            scale: 0.02,
+            user: Some(10_000_000),
+            ..Args::default()
+        };
+        assert!(run(&a).unwrap_err().contains("out of range"));
+    }
+}

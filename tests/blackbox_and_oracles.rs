@@ -1,0 +1,209 @@
+//! Integration tests for the second extension wave: the exact Steiner
+//! oracle, path-free (black-box recommender) summarization, item-kNN,
+//! behavioural clustering, PageRank prizes, and graph export — all
+//! through the public `xsum` façade.
+
+use xsum::core::{
+    exact_steiner_cost, optimality_gap, overlay_to_dot, path_free_user_centric,
+    pcst_summary_with_policy, steiner_costs, steiner_summary, summary_to_dot, summary_to_tsv,
+    PathGenConfig, PcstConfig, PrizePolicy, SteinerConfig, SummaryInput,
+};
+use xsum::datasets::ml1m_scaled;
+use xsum::graph::{pagerank, NodeId, PageRankConfig};
+use xsum::rec::{
+    cluster_users, ItemKnn, ItemKnnConfig, KMeansConfig, MfConfig, MfModel, PathRecommender,
+};
+
+struct Setup {
+    ds: xsum::datasets::Dataset,
+    mf: MfModel,
+}
+
+fn setup() -> Setup {
+    let ds = ml1m_scaled(91, 0.02);
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    Setup { ds, mf }
+}
+
+#[test]
+fn kmb_stays_within_factor_two_on_pipeline_inputs() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    let cfg = SteinerConfig::default();
+    let mut measured = 0;
+    for u in 0..12 {
+        let out = knn.recommend(u, 6);
+        if out.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_centric(s.ds.kg.user_node(u), out.paths(6));
+        if let Some(gap) = optimality_gap(g, &input, &cfg) {
+            assert!(
+                gap.ratio() <= 2.0 + 1e-9,
+                "user {u}: KMB ratio {} breaks the 2-approximation bound",
+                gap.ratio()
+            );
+            assert!(gap.exact_cost <= gap.kmb_cost + 1e-9);
+            measured += 1;
+        }
+    }
+    assert!(measured > 0, "no input produced a measurable gap");
+}
+
+#[test]
+fn exact_cost_matches_tree_cost_on_real_subgraphs() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    let out = knn.recommend(0, 4);
+    if out.is_empty() {
+        return;
+    }
+    let input = SummaryInput::user_centric(s.ds.kg.user_node(0), out.paths(4));
+    let costs = steiner_costs(g, &input, &SteinerConfig::default());
+    // The full-graph exact cost must lower-bound the ST summary's cost.
+    if let Some(opt) = exact_steiner_cost(g, &costs, &input.terminals) {
+        let st = steiner_summary(g, &input, &SteinerConfig::default());
+        let st_cost: f64 = st.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
+        assert!(opt <= st_cost + 1e-9, "optimum {opt} above ST cost {st_cost}");
+    }
+}
+
+#[test]
+fn black_box_pipeline_summarizes_without_recommender_paths() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    // MF alone ranks items; paths come from the KG.
+    let top: Vec<NodeId> = s
+        .mf
+        .top_k_items(&s.ds.ratings, 2, 8)
+        .into_iter()
+        .map(|(i, _)| s.ds.kg.item_node(i))
+        .collect();
+    assert!(!top.is_empty());
+    let input = path_free_user_centric(g, s.ds.kg.user_node(2), &top, &PathGenConfig::default());
+    assert!(!input.paths.is_empty());
+    for p in &input.paths {
+        assert!(p.hops().iter().all(|h| h.is_some()), "generated paths are faithful");
+    }
+    let st = steiner_summary(g, &input, &SteinerConfig::default());
+    assert_eq!(st.terminal_coverage(), 1.0);
+}
+
+#[test]
+fn clustered_groups_feed_user_group_summaries() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    let clusters = cluster_users(&s.mf, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+    assert_eq!(clusters.assignment.len(), s.ds.kg.n_users());
+    let mut summarized = 0;
+    for c in 0..clusters.k() {
+        let members: Vec<usize> = clusters.members(c).into_iter().take(8).collect();
+        let nodes: Vec<NodeId> = members.iter().map(|&u| s.ds.kg.user_node(u)).collect();
+        let mut paths = Vec::new();
+        for &u in &members {
+            paths.extend(knn.recommend(u, 5).paths(5));
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_group(&nodes, paths);
+        let st = steiner_summary(g, &input, &SteinerConfig::default());
+        assert!(st.terminal_coverage() > 0.99, "cluster {c} under-covered");
+        summarized += 1;
+    }
+    assert!(summarized >= 2, "most clusters should be summarizable");
+}
+
+#[test]
+fn pagerank_prizes_produce_valid_summaries() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    let out = knn.recommend(1, 6);
+    if out.is_empty() {
+        return;
+    }
+    let input = SummaryInput::user_centric(s.ds.kg.user_node(1), out.paths(6));
+    let summary = pcst_summary_with_policy(
+        g,
+        &input,
+        &PcstConfig::default(),
+        PrizePolicy::PageRank { weight: 1.0 },
+    );
+    assert_eq!(summary.method, "PCST-pagerank");
+    assert_eq!(summary.terminal_coverage(), 1.0);
+}
+
+#[test]
+fn pagerank_on_kg_is_a_distribution_favoring_hubs() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let pr = pagerank(g, &PageRankConfig::default());
+    let total: f64 = pr.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+    // The best-connected node must beat the median node.
+    let hub = g
+        .node_ids()
+        .max_by_key(|&n| g.degree(n))
+        .expect("non-empty graph");
+    let mut sorted = pr.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    assert!(pr[hub.index()] > median);
+}
+
+#[test]
+fn export_round_trip_on_pipeline_summary() {
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    let out = knn.recommend(3, 6);
+    if out.is_empty() {
+        return;
+    }
+    let paths = out.paths(6);
+    let input = SummaryInput::user_centric(s.ds.kg.user_node(3), paths.clone());
+    let st = steiner_summary(g, &input, &SteinerConfig::default());
+
+    let dot = summary_to_dot(g, &st);
+    assert!(dot.starts_with("graph summary {") && dot.trim_end().ends_with('}'));
+    assert_eq!(dot.matches(" -- ").count(), st.subgraph.edge_count());
+
+    let overlay = overlay_to_dot(g, &paths, &st);
+    assert_eq!(
+        overlay.matches("#198754").count(),
+        st.subgraph.edge_count(),
+        "every summary edge drawn green"
+    );
+
+    let tsv = summary_to_tsv(g, &st);
+    assert_eq!(tsv.lines().count(), st.subgraph.edge_count() + 1);
+}
+
+#[test]
+fn item_knn_is_a_drop_in_fifth_baseline() {
+    // The summarizers only need the PathRecommender contract; item-kNN
+    // satisfies it exactly like the four emulated baselines.
+    let s = setup();
+    let g = &s.ds.kg.graph;
+    let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
+    assert_eq!(knn.name(), "ItemKNN");
+    let mut covered = 0;
+    for u in 0..10 {
+        let out = knn.recommend(u, 10);
+        for r in out.all() {
+            assert!(r.path.len() <= 3, "path budget matches §V-A");
+        }
+        if out.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_centric(s.ds.kg.user_node(u), out.paths(10));
+        let st = steiner_summary(g, &input, &SteinerConfig::default());
+        assert_eq!(st.terminal_coverage(), 1.0);
+        covered += 1;
+    }
+    assert!(covered > 5, "item-kNN should produce output for most users");
+}

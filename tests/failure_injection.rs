@@ -1,0 +1,218 @@
+//! Failure-injection and degenerate-input tests: the summarization
+//! pipeline must degrade gracefully, never panic, on pathological inputs.
+
+use xsum::core::{
+    gw_pcst_summary, pcst_summary, pcst_summary_with_policy, render_path, render_summary,
+    steiner_summary, IncrementalSteiner, PcstConfig, PcstScope, PrizePolicy, SteinerConfig,
+    SummaryInput,
+};
+use xsum::graph::{EdgeKind, Graph, LoosePath, NodeKind, Subgraph};
+use xsum::metrics::{consistency, ExplanationView, MetricReport};
+
+/// One user, one item, connected.
+fn minimal_graph() -> (Graph, xsum::graph::NodeId, xsum::graph::NodeId) {
+    let mut g = Graph::new();
+    let u = g.add_labeled_node(NodeKind::User, "u");
+    let i = g.add_labeled_node(NodeKind::Item, "i");
+    g.add_edge(u, i, 5.0, EdgeKind::Interaction);
+    (g, u, i)
+}
+
+#[test]
+fn empty_path_set_all_methods() {
+    let (g, u, _) = minimal_graph();
+    let input = SummaryInput::user_centric(u, vec![]);
+    for s in [
+        steiner_summary(&g, &input, &SteinerConfig::default()),
+        pcst_summary(&g, &input, &PcstConfig::default()),
+        gw_pcst_summary(&g, &input, &PcstConfig::default()),
+    ] {
+        assert!(s.subgraph.contains_node(u), "{} must mention the focus", s.method);
+        assert_eq!(s.terminal_coverage(), 1.0);
+    }
+}
+
+#[test]
+fn single_node_graph() {
+    let mut g = Graph::new();
+    let u = g.add_node(NodeKind::User);
+    let input = SummaryInput::user_centric(u, vec![LoosePath::ground(&g, vec![u])]);
+    let s = steiner_summary(&g, &input, &SteinerConfig::default());
+    assert_eq!(s.subgraph.edge_count(), 0);
+    assert_eq!(s.terminal_coverage(), 1.0);
+    let s = pcst_summary(&g, &input, &PcstConfig::default());
+    assert_eq!(s.terminal_coverage(), 1.0);
+}
+
+#[test]
+fn fully_hallucinated_paths() {
+    // Every hop is fabricated: no real edge to boost or span.
+    let mut g = Graph::new();
+    let u = g.add_node(NodeKind::User);
+    let i1 = g.add_node(NodeKind::Item);
+    let i2 = g.add_node(NodeKind::Item);
+    let fake1 = LoosePath::ground(&g, vec![u, i1]);
+    let fake2 = LoosePath::ground(&g, vec![u, i2]);
+    assert!(!fake1.is_faithful() && !fake2.is_faithful());
+    let input = SummaryInput::user_centric(u, vec![fake1, fake2]);
+    // No edges exist at all → summaries are bags of isolated terminals.
+    for s in [
+        steiner_summary(&g, &input, &SteinerConfig::default()),
+        pcst_summary(&g, &input, &PcstConfig::default()),
+    ] {
+        assert_eq!(s.subgraph.edge_count(), 0);
+        assert_eq!(s.terminal_coverage(), 1.0, "terminals still mentioned");
+    }
+    // Metrics stay well-defined.
+    let v = ExplanationView::from_paths(&input.paths);
+    let r = MetricReport::evaluate(&g, &v);
+    assert_eq!(r.relevance, 0.0);
+    assert!(r.comprehensibility > 0.0);
+}
+
+#[test]
+fn duplicate_recommendations_collapse() {
+    let (g, u, i) = minimal_graph();
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let input = SummaryInput::user_centric(u, vec![p.clone(), p.clone(), p]);
+    assert_eq!(input.anchor_count, 1, "same item counted once in |S|");
+    let s = steiner_summary(&g, &input, &SteinerConfig::default());
+    assert_eq!(s.subgraph.edge_count(), 1);
+}
+
+#[test]
+fn zero_weight_graph_is_summarizable() {
+    let mut g = Graph::new();
+    let u = g.add_node(NodeKind::User);
+    let i = g.add_node(NodeKind::Item);
+    let a = g.add_node(NodeKind::Entity);
+    g.add_edge(u, i, 0.0, EdgeKind::Interaction);
+    g.add_edge(i, a, 0.0, EdgeKind::Attribute);
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let input = SummaryInput::user_centric(u, vec![p]);
+    let s = steiner_summary(&g, &input, &SteinerConfig::default());
+    assert_eq!(s.terminal_coverage(), 1.0);
+    // λ cannot boost zero weights (multiplicative), but costs stay finite.
+    let s = steiner_summary(&g, &input, &SteinerConfig { lambda: 1e9, delta: 1.0 });
+    assert_eq!(s.terminal_coverage(), 1.0);
+}
+
+#[test]
+fn extreme_lambda_and_delta_values() {
+    let (g, u, i) = minimal_graph();
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let input = SummaryInput::user_centric(u, vec![p]);
+    for (lambda, delta) in [(0.0, 1e-6), (1e12, 1e6), (0.01, 0.01)] {
+        let s = steiner_summary(&g, &input, &SteinerConfig { lambda, delta });
+        assert_eq!(s.terminal_coverage(), 1.0, "λ={lambda}, δ={delta}");
+    }
+}
+
+#[test]
+fn pcst_zero_and_negativeish_prizes() {
+    let (g, u, i) = minimal_graph();
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let input = SummaryInput::user_centric(u, vec![p]);
+    // All-zero prizes: nothing worth connecting, but terminals mentioned.
+    let s = pcst_summary(
+        &g,
+        &input,
+        &PcstConfig {
+            terminal_prize: 0.0,
+            nonterminal_prize: 0.0,
+            ..PcstConfig::default()
+        },
+    );
+    assert_eq!(s.terminal_coverage(), 1.0);
+    assert_eq!(s.subgraph.edge_count(), 0);
+}
+
+#[test]
+fn pcst_policies_on_degenerate_inputs() {
+    let (g, u, _) = minimal_graph();
+    let input = SummaryInput::user_centric(u, vec![]);
+    for policy in [
+        PrizePolicy::Uniform,
+        PrizePolicy::PathFrequency { weight: 1.0 },
+        PrizePolicy::DegreeCentrality { weight: 1.0 },
+        PrizePolicy::Betweenness { weight: 1.0, sources: 4 },
+    ] {
+        let s = pcst_summary_with_policy(&g, &input, &PcstConfig::default(), policy);
+        assert_eq!(s.terminal_coverage(), 1.0, "{policy:?}");
+    }
+}
+
+#[test]
+fn scope_variants_on_disconnected_terminals() {
+    // Two disjoint user-item components; terminals span both.
+    let mut g = Graph::new();
+    let u1 = g.add_node(NodeKind::User);
+    let i1 = g.add_node(NodeKind::Item);
+    let u2 = g.add_node(NodeKind::User);
+    let i2 = g.add_node(NodeKind::Item);
+    g.add_edge(u1, i1, 5.0, EdgeKind::Interaction);
+    g.add_edge(u2, i2, 5.0, EdgeKind::Interaction);
+    let p1 = LoosePath::ground(&g, vec![u1, i1]);
+    let p2 = LoosePath::ground(&g, vec![u2, i2]);
+    let input = SummaryInput::user_group(&[u1, u2], vec![p1, p2]);
+    for scope in [
+        PcstScope::UnionOfPaths,
+        PcstScope::ExpandedUnion(2),
+        PcstScope::FullGraph,
+    ] {
+        let s = pcst_summary(
+            &g,
+            &input,
+            &PcstConfig {
+                scope,
+                ..PcstConfig::default()
+            },
+        );
+        // Cross-component connection is impossible; both components'
+        // terminals must still be present (forest summary).
+        assert_eq!(s.terminal_coverage(), 1.0, "{scope:?}");
+        assert!(!s.subgraph.is_weakly_connected(&g) || s.subgraph.edge_count() == 0);
+    }
+    let s = steiner_summary(&g, &input, &SteinerConfig::default());
+    assert_eq!(s.terminal_coverage(), 1.0);
+}
+
+#[test]
+fn incremental_summarizer_survives_abuse() {
+    let (g, u, i) = minimal_graph();
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let input = SummaryInput::user_centric(u, vec![p]);
+    let mut inc = IncrementalSteiner::new(&g, &input, &SteinerConfig::default());
+    // Adding the same terminal many times, starting from the item side.
+    for _ in 0..5 {
+        inc.add_terminal(&g, i);
+        inc.add_terminal(&g, u);
+    }
+    assert_eq!(inc.terminal_count(), 2);
+    assert!(inc.size() <= 1);
+}
+
+#[test]
+fn renderers_never_panic_on_odd_graphs() {
+    let mut g = Graph::new();
+    let u = g.add_node(NodeKind::User); // unlabeled
+    let i = g.add_node(NodeKind::Item);
+    let p = LoosePath::ground(&g, vec![u, i]); // hallucinated hop
+    let text = render_path(&g, &p);
+    assert!(text.contains("unverified"));
+    let empty = Subgraph::new();
+    let t = render_summary(&g, &empty, u);
+    assert!(t.contains("no summarized connections"));
+}
+
+#[test]
+fn consistency_of_empty_and_mixed_series() {
+    assert_eq!(consistency(&[]), 1.0);
+    let (g, u, i) = minimal_graph();
+    let p = LoosePath::ground(&g, vec![u, i]);
+    let filled = ExplanationView::from_paths(&[p]);
+    let empty = ExplanationView::default();
+    // Empty → filled transition has zero overlap.
+    let c = consistency(&[empty, filled]);
+    assert_eq!(c, 0.0);
+}

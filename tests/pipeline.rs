@@ -1,0 +1,197 @@
+//! End-to-end integration: dataset → recommenders → all four scenarios →
+//! every summarizer → structural invariants.
+
+use xsum::core::{
+    gw_pcst_summary, pcst_summary, steiner_summary, PcstConfig, Scenario, SteinerConfig,
+    SummaryInput,
+};
+use xsum::datasets::{ml1m_scaled, sample_users_by_gender};
+use xsum::graph::{FxHashMap, LoosePath, NodeId};
+use xsum::rec::{
+    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig, Pearlm, Plm, PlmConfig,
+};
+
+struct Pipeline {
+    ds: xsum::datasets::Dataset,
+    mf: MfModel,
+}
+
+fn pipeline() -> Pipeline {
+    let ds = ml1m_scaled(5, 0.02);
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    Pipeline { ds, mf }
+}
+
+fn assert_summary_invariants(
+    g: &xsum::graph::Graph,
+    summary: &xsum::core::Summary,
+    input: &SummaryInput,
+) {
+    // Every terminal is mentioned (R_u ⊆ V_S / C_i ⊆ V_S).
+    assert_eq!(
+        summary.terminal_coverage(),
+        1.0,
+        "{} must cover all terminals",
+        summary.method
+    );
+    // Edges only from the parent graph, nodes consistent with edges.
+    for &e in summary.subgraph.edges() {
+        assert!(e.index() < g.edge_count());
+        let edge = g.edge(e);
+        assert!(summary.subgraph.contains_node(edge.src));
+        assert!(summary.subgraph.contains_node(edge.dst));
+    }
+    // Acyclic output: |E| ≤ |V| − components ⇒ |E| < |V| always for forests.
+    assert!(
+        summary.subgraph.edge_count() < summary.subgraph.node_count().max(1),
+        "{} output must be a forest",
+        summary.method
+    );
+    assert_eq!(summary.scenario, input.scenario);
+}
+
+#[test]
+fn full_pipeline_all_scenarios_all_methods() {
+    let p = pipeline();
+    let g = &p.ds.kg.graph;
+    let pgpr = Pgpr::new(&p.ds.kg, &p.ds.ratings, &p.mf, PgprConfig::default());
+    let users = sample_users_by_gender(&p.ds, 6);
+    assert!(users.len() >= 8, "sample too small: {}", users.len());
+
+    // Collect outputs.
+    let mut outputs = Vec::new();
+    for &u in &users {
+        outputs.push((u, pgpr.recommend(u, 10)));
+    }
+
+    // --- user-centric -------------------------------------------------
+    let mut checked = 0;
+    for (u, out) in &outputs {
+        if out.is_empty() {
+            continue;
+        }
+        let input = SummaryInput::user_centric(p.ds.kg.user_node(*u), out.paths(10));
+        assert_eq!(input.scenario, Scenario::UserCentric);
+        for summary in [
+            steiner_summary(g, &input, &SteinerConfig::default()),
+            pcst_summary(g, &input, &PcstConfig::default()),
+            gw_pcst_summary(g, &input, &PcstConfig::default()),
+        ] {
+            assert_summary_invariants(g, &summary, &input);
+        }
+        checked += 1;
+    }
+    assert!(checked > 3, "too few users produced recommendations");
+
+    // --- item-centric ---------------------------------------------------
+    let mut per_item: FxHashMap<NodeId, Vec<LoosePath>> = FxHashMap::default();
+    for (_, out) in &outputs {
+        for r in out.all() {
+            per_item.entry(r.item).or_default().push(r.path.clone());
+        }
+    }
+    let (item, paths) = per_item
+        .into_iter()
+        .max_by_key(|(n, v)| (v.len(), std::cmp::Reverse(n.0)))
+        .expect("some item recommended");
+    let input = SummaryInput::item_centric(item, paths);
+    for summary in [
+        steiner_summary(g, &input, &SteinerConfig::default()),
+        pcst_summary(g, &input, &PcstConfig::default()),
+    ] {
+        assert_summary_invariants(g, &summary, &input);
+    }
+
+    // --- user-group -----------------------------------------------------
+    let nodes: Vec<NodeId> = outputs.iter().map(|(u, _)| p.ds.kg.user_node(*u)).collect();
+    let mut all_paths = Vec::new();
+    for (_, out) in &outputs {
+        all_paths.extend(out.paths(10));
+    }
+    let input = SummaryInput::user_group(&nodes, all_paths.clone());
+    for summary in [
+        steiner_summary(g, &input, &SteinerConfig::default()),
+        pcst_summary(g, &input, &PcstConfig::default()),
+    ] {
+        assert_summary_invariants(g, &summary, &input);
+    }
+
+    // --- item-group -----------------------------------------------------
+    let items: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = all_paths.iter().map(|p| p.target()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let input = SummaryInput::item_group(&items, all_paths);
+    for summary in [
+        steiner_summary(g, &input, &SteinerConfig::default()),
+        pcst_summary(g, &input, &PcstConfig::default()),
+    ] {
+        assert_summary_invariants(g, &summary, &input);
+    }
+}
+
+#[test]
+fn summaries_are_deterministic() {
+    let p = pipeline();
+    let g = &p.ds.kg.graph;
+    let pgpr = Pgpr::new(&p.ds.kg, &p.ds.ratings, &p.mf, PgprConfig::default());
+    let out = pgpr.recommend(1, 10);
+    if out.is_empty() {
+        return;
+    }
+    let input = SummaryInput::user_centric(p.ds.kg.user_node(1), out.paths(10));
+    let a = steiner_summary(g, &input, &SteinerConfig::default());
+    let b = steiner_summary(g, &input, &SteinerConfig::default());
+    assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+    let a = pcst_summary(g, &input, &PcstConfig::default());
+    let b = pcst_summary(g, &input, &PcstConfig::default());
+    assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+}
+
+#[test]
+fn all_four_baselines_feed_the_summarizer() {
+    let p = pipeline();
+    let g = &p.ds.kg.graph;
+    let pgpr = Pgpr::new(&p.ds.kg, &p.ds.ratings, &p.mf, PgprConfig::default());
+    let cafe = Cafe::new(&p.ds.kg, &p.ds.ratings, &p.mf, CafeConfig::default());
+    let plm = Plm::new(&p.ds.kg, &p.ds.ratings, &p.mf, PlmConfig::default());
+    let pearlm = Pearlm::new(&p.ds.kg, &p.ds.ratings, &p.mf, PlmConfig::default());
+    let recs: [&dyn PathRecommender; 4] = [&pgpr, &cafe, &plm, &pearlm];
+    for rec in recs {
+        let mut summarized = 0;
+        for u in 0..6 {
+            let out = rec.recommend(u, 8);
+            if out.is_empty() {
+                continue;
+            }
+            let input = SummaryInput::user_centric(p.ds.kg.user_node(u), out.paths(8));
+            let s = steiner_summary(g, &input, &SteinerConfig::default());
+            assert_eq!(s.terminal_coverage(), 1.0, "baseline {}", rec.name());
+            summarized += 1;
+        }
+        assert!(summarized > 0, "baseline {} produced nothing", rec.name());
+    }
+}
+
+#[test]
+fn incremental_k_is_monotone_in_coverage() {
+    // S_k's terminal set is a prefix-superset chain: R_u(k) ⊆ R_u(k+1)
+    // up to item dedup; every S_k must cover its own terminals.
+    let p = pipeline();
+    let g = &p.ds.kg.graph;
+    let pgpr = Pgpr::new(&p.ds.kg, &p.ds.ratings, &p.mf, PgprConfig::default());
+    let out = pgpr.recommend(0, 10);
+    if out.len() < 3 {
+        return;
+    }
+    let mut prev_items = 0;
+    for k in 1..=out.len() {
+        let input = SummaryInput::user_centric(p.ds.kg.user_node(0), out.paths(k));
+        assert!(input.terminals.len() >= prev_items);
+        prev_items = input.terminals.len();
+        let s = steiner_summary(g, &input, &SteinerConfig::default());
+        assert_eq!(s.terminal_coverage(), 1.0, "k = {k}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the extension surface: PageRank, path-free
+//! generation, item-kNN similarity, k-means clustering, and DOT export.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use xsum::core::{
+    generate_explanations, steiner_summary, summary_to_dot, PathGenConfig, Scenario,
+    SteinerConfig, Summary, SummaryInput,
+};
+use xsum::datasets::{ml1m_scaled, Dataset};
+use xsum::graph::{pagerank, EdgeKind, Graph, NodeKind, PageRankConfig, Subgraph};
+use xsum::kg::RatingMatrix;
+use xsum::rec::{cluster_users, ItemKnn, ItemKnnConfig, KMeansConfig, MfConfig, MfModel};
+
+/// Random undirected graph from an edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..30,
+        proptest::collection::vec((0usize..64, 0usize..64), 1..80),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::new();
+            let ids: Vec<_> = (0..n).map(|_| g.add_node(NodeKind::Entity)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    g.add_edge(ids[a], ids[b], 1.0, EdgeKind::Attribute);
+                }
+            }
+            g
+        })
+}
+
+/// Random rating matrix (users × items with sparse positive ratings).
+fn arb_ratings() -> impl Strategy<Value = RatingMatrix> {
+    (
+        2usize..8,
+        2usize..10,
+        proptest::collection::vec((0usize..64, 0usize..64, 1u8..=5), 3..40),
+    )
+        .prop_map(|(nu, ni, cells)| {
+            let mut m = RatingMatrix::new(nu, ni);
+            let mut seen = std::collections::HashSet::new();
+            for (idx, (u, i, r)) in cells.into_iter().enumerate() {
+                let (u, i) = (u % nu, i % ni);
+                if seen.insert((u, i)) {
+                    m.rate(u, i, r as f32, idx as f64);
+                }
+            }
+            m
+        })
+}
+
+/// Shared trained model for the clustering properties (training inside
+/// every proptest case would dominate the suite's runtime).
+fn shared_model() -> &'static (Dataset, MfModel) {
+    static MODEL: OnceLock<(Dataset, MfModel)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let ds = ml1m_scaled(77, 0.02);
+        let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+        (ds, mf)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pagerank_is_a_probability_distribution(g in arb_graph()) {
+        let pr = pagerank(&g, &PageRankConfig::default());
+        prop_assert_eq!(pr.len(), g.node_count());
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_higher_degree_never_hurts_on_stars(leaves in 2usize..20) {
+        // Monotonicity probe on a two-hub graph: the hub with more leaves
+        // earns at least as much rank.
+        let mut g = Graph::new();
+        let h1 = g.add_node(NodeKind::Entity);
+        let h2 = g.add_node(NodeKind::Entity);
+        g.add_edge(h1, h2, 1.0, EdgeKind::Attribute);
+        for i in 0..leaves {
+            let l = g.add_node(NodeKind::Entity);
+            g.add_edge(h1, l, 1.0, EdgeKind::Attribute);
+            if i % 2 == 0 {
+                let l2 = g.add_node(NodeKind::Entity);
+                g.add_edge(h2, l2, 1.0, EdgeKind::Attribute);
+            }
+        }
+        let pr = pagerank(&g, &PageRankConfig::default());
+        prop_assert!(pr[h1.index()] >= pr[h2.index()] - 1e-9);
+    }
+
+    #[test]
+    fn generated_paths_are_valid_explanations(g in arb_graph(), hops in 1usize..5) {
+        let nodes: Vec<_> = g.node_ids().collect();
+        if nodes.len() < 2 {
+            return Ok(());
+        }
+        let user = nodes[0];
+        let items: Vec<_> = nodes[1..].iter().copied().take(6).collect();
+        let cfg = PathGenConfig { max_hops: hops, fallback_unbounded: false, ..PathGenConfig::default() };
+        for p in generate_explanations(&g, user, &items, &cfg) {
+            prop_assert_eq!(p.nodes()[0], user);
+            prop_assert!(items.contains(p.nodes().last().unwrap()));
+            prop_assert!(p.nodes().len() - 1 <= hops, "budget exceeded");
+            prop_assert!(p.hops().iter().all(|h| h.is_some()), "ungrounded hop");
+        }
+    }
+
+    #[test]
+    fn fallback_only_adds_paths(g in arb_graph()) {
+        let nodes: Vec<_> = g.node_ids().collect();
+        if nodes.len() < 2 {
+            return Ok(());
+        }
+        let user = nodes[0];
+        let items: Vec<_> = nodes[1..].iter().copied().take(6).collect();
+        let strict = generate_explanations(
+            &g, user, &items,
+            &PathGenConfig { max_hops: 2, fallback_unbounded: false, ..PathGenConfig::default() },
+        );
+        let lax = generate_explanations(
+            &g, user, &items,
+            &PathGenConfig { max_hops: 2, fallback_unbounded: true, ..PathGenConfig::default() },
+        );
+        prop_assert!(lax.len() >= strict.len());
+    }
+
+    #[test]
+    fn itemknn_similarities_are_symmetric_unit_bounded(m in arb_ratings()) {
+        // A KG over the matrix (entities unused by the similarity model).
+        let mut b = xsum::kg::KgBuilder::new(
+            m.n_users(), m.n_items(), 1, xsum::kg::WeightConfig::paper_default(100.0),
+        );
+        b.link_item(0, 0);
+        let kg = b.build(&m);
+        let knn = ItemKnn::new(&kg, &m, &ItemKnnConfig { neighbors: usize::MAX, ..ItemKnnConfig::default() });
+        for i in 0..m.n_items() {
+            for &(j, s) in knn.neighbors(i) {
+                prop_assert!(j != i, "self-similarity");
+                prop_assert!(s > 0.0 && s <= 1.0 + 1e-9, "cosine {s} out of range");
+                let back = knn.neighbors(j).iter().find(|&&(n, _)| n == i);
+                prop_assert!(back.is_some(), "asymmetric neighbourhood");
+                prop_assert!((back.unwrap().1 - s).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_partitions_for_any_k_and_seed(k in 1usize..8, seed in 0u64..1000) {
+        let (ds, mf) = shared_model();
+        let clusters = cluster_users(mf, &KMeansConfig { k, seed, max_iterations: 20 });
+        prop_assert_eq!(clusters.assignment.len(), ds.kg.n_users());
+        prop_assert!(clusters.k() <= k.max(1));
+        prop_assert_eq!(clusters.sizes().iter().sum::<usize>(), ds.kg.n_users());
+        prop_assert!(clusters.inertia >= 0.0);
+        // Rerun is bit-identical.
+        let again = cluster_users(mf, &KMeansConfig { k, seed, max_iterations: 20 });
+        prop_assert_eq!(clusters.assignment, again.assignment);
+    }
+
+    #[test]
+    fn dot_export_is_parse_safe_for_any_label(label in "[\\x20-\\x7e]{0,24}") {
+        let mut g = Graph::new();
+        let u = g.add_labeled_node(NodeKind::User, label.clone());
+        let i = g.add_labeled_node(NodeKind::Item, label);
+        let e = g.add_edge(u, i, 1.0, EdgeKind::Interaction);
+        let summary = Summary {
+            method: "ST",
+            scenario: Scenario::UserCentric,
+            subgraph: Subgraph::from_edges(&g, [e]),
+            terminals: vec![u, i],
+        };
+        let dot = summary_to_dot(&g, &summary);
+        // Parse safety: every line must contain an even number of
+        // *unescaped* quotes (all quoted strings terminate), which is
+        // exactly what breaks when a label embeds a raw `"`.
+        for line in dot.lines() {
+            let mut unescaped = 0usize;
+            let mut chars = line.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => {
+                        chars.next(); // skip the escaped character
+                    }
+                    '"' => unescaped += 1,
+                    _ => {}
+                }
+            }
+            prop_assert!(unescaped.is_multiple_of(2), "unterminated quote in: {line}");
+        }
+    }
+
+    #[test]
+    fn path_free_summary_covers_requested_items(count in 1usize..6) {
+        let (ds, mf) = shared_model();
+        let g = &ds.kg.graph;
+        let top: Vec<_> = mf
+            .top_k_items(&ds.ratings, 0, count)
+            .into_iter()
+            .map(|(i, _)| ds.kg.item_node(i))
+            .collect();
+        if top.is_empty() {
+            return Ok(());
+        }
+        let paths = generate_explanations(g, ds.kg.user_node(0), &top, &PathGenConfig::default());
+        let input = SummaryInput::user_centric(ds.kg.user_node(0), paths);
+        let s = steiner_summary(g, &input, &SteinerConfig::default());
+        prop_assert_eq!(s.terminal_coverage(), 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests on the summarizers over randomized knowledge
+//! graphs and explanation paths.
+
+use proptest::prelude::*;
+
+use xsum::core::{
+    adjusted_weights, exact_steiner_cost, gw_pcst_summary, pcst_summary, steiner_costs,
+    steiner_summary, PcstConfig, PcstScope, SteinerConfig, SummaryInput,
+};
+use xsum::graph::{EdgeKind, Graph, LoosePath, NodeId, NodeKind};
+
+/// A random small KG shape: `u` users, `i` items, `a` entities, random
+/// interaction and attribute edges, plus guaranteed 3-hop paths.
+#[derive(Debug, Clone)]
+struct RandomKg {
+    g: Graph,
+    users: Vec<NodeId>,
+    paths: Vec<LoosePath>,
+}
+
+fn arb_kg() -> impl Strategy<Value = RandomKg> {
+    (
+        2usize..5,        // users
+        3usize..8,        // items
+        2usize..5,        // entities
+        proptest::collection::vec((0usize..64, 0usize..64, 1u8..=5), 5..40),
+        proptest::collection::vec((0usize..64, 0usize..64), 4..30),
+        0usize..1000,     // path-shape selector
+    )
+        .prop_map(|(nu, ni, na, interactions, attributes, path_sel)| {
+            let mut g = Graph::new();
+            let users: Vec<NodeId> = (0..nu).map(|_| g.add_node(NodeKind::User)).collect();
+            let items: Vec<NodeId> = (0..ni).map(|_| g.add_node(NodeKind::Item)).collect();
+            let entities: Vec<NodeId> = (0..na).map(|_| g.add_node(NodeKind::Entity)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for (u, i, r) in interactions {
+                let (u, i) = (u % nu, i % ni);
+                if seen.insert((u, i)) {
+                    g.add_edge(users[u], items[i], r as f64, EdgeKind::Interaction);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for (i, a) in attributes {
+                let (i, a) = (i % ni, a % na);
+                if seen.insert((i, a)) {
+                    g.add_edge(items[i], entities[a], 0.0, EdgeKind::Attribute);
+                }
+            }
+            // Guaranteed scaffolding: u0 rated i0, i0–e0, e0–i1 so at
+            // least one 3-hop explanation exists.
+            if g.find_edge(users[0], items[0]).is_none() {
+                g.add_edge(users[0], items[0], 5.0, EdgeKind::Interaction);
+            }
+            if g.find_edge(items[0], entities[0]).is_none() {
+                g.add_edge(items[0], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            if g.find_edge(items[1], entities[0]).is_none() {
+                g.add_edge(items[1], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            // Derive 1–3 explanation paths for u0 by walking the scaffold
+            // and any extra item adjacent to e0.
+            let mut paths = vec![LoosePath::ground(
+                &g,
+                vec![users[0], items[0], entities[0], items[1]],
+            )];
+            let extra: Vec<NodeId> = g
+                .neighbors(entities[0])
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| g.kind(*n) == NodeKind::Item && *n != items[0] && *n != items[1])
+                .collect();
+            if !extra.is_empty() {
+                let pick = extra[path_sel % extra.len()];
+                paths.push(LoosePath::ground(
+                    &g,
+                    vec![users[0], items[0], entities[0], pick],
+                ));
+            }
+            RandomKg { g, users, paths }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn st_covers_terminals_and_is_forest(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let s = steiner_summary(&kg.g, &input, &SteinerConfig::default());
+        prop_assert_eq!(s.terminal_coverage(), 1.0);
+        // Forest: edge count strictly below node count.
+        prop_assert!(s.subgraph.edge_count() < s.subgraph.node_count().max(1));
+    }
+
+    #[test]
+    fn pcst_covers_terminals_on_path_scope(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let s = pcst_summary(&kg.g, &input, &PcstConfig::default());
+        // Paths connect user to every recommended item, so the union
+        // scope is connected and every terminal must be covered.
+        prop_assert_eq!(s.terminal_coverage(), 1.0);
+        prop_assert!(s.subgraph.edge_count() < s.subgraph.node_count().max(1));
+    }
+
+    #[test]
+    fn gw_covers_terminals_with_uniform_prizes(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let s = gw_pcst_summary(&kg.g, &input, &PcstConfig::default());
+        prop_assert_eq!(s.terminal_coverage(), 1.0);
+    }
+
+    #[test]
+    fn st_respects_lambda_zero_semantics(kg in arb_kg()) {
+        // λ = 0: adjusted weights equal raw weights exactly.
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let w = adjusted_weights(&kg.g, &input, 0.0);
+        for e in kg.g.edge_ids() {
+            prop_assert!((w[e.index()] - kg.g.weight(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adjusted_weights_monotone_in_lambda(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let w1 = adjusted_weights(&kg.g, &input, 1.0);
+        let w2 = adjusted_weights(&kg.g, &input, 10.0);
+        for e in kg.g.edge_ids() {
+            prop_assert!(w2[e.index()] >= w1[e.index()] - 1e-12);
+            prop_assert!(w1[e.index()] >= kg.g.weight(e) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn st_cost_within_2x_of_union_connector(kg in arb_kg()) {
+        // KMB's 2-approximation guarantee, checked against a concrete
+        // feasible solution: the union of the input paths connects every
+        // terminal (all paths share the user), so
+        // cost(KMB tree) ≤ 2·OPT ≤ 2·cost(union edges).
+        let cfg = SteinerConfig { lambda: 100.0, delta: 1.0 };
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let costs = steiner_costs(&kg.g, &input, &cfg);
+        let distinct: std::collections::HashSet<_> =
+            input.paths.iter().flat_map(|p| p.grounded_edges()).collect();
+        let union_cost: f64 = distinct.iter().map(|e| costs.get(*e)).sum();
+        let s = steiner_summary(&kg.g, &input, &cfg);
+        let tree_cost: f64 = s.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
+        prop_assert!(
+            tree_cost <= 2.0 * union_cost + 1e-9,
+            "tree cost {tree_cost:.4} vs 2 × union cost {:.4}",
+            2.0 * union_cost
+        );
+    }
+
+    #[test]
+    fn kmb_within_2x_of_exact_optimum(kg in arb_kg()) {
+        // The paper's §IV-A approximation claim, verified against the
+        // true Dreyfus–Wagner optimum rather than a feasible surrogate.
+        let cfg = SteinerConfig::default();
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let costs = steiner_costs(&kg.g, &input, &cfg);
+        if let Some(opt) = exact_steiner_cost(&kg.g, &costs, &input.terminals) {
+            let s = steiner_summary(&kg.g, &input, &cfg);
+            let kmb: f64 = s.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
+            prop_assert!(
+                opt <= kmb + 1e-9,
+                "exact optimum {opt:.4} must not exceed KMB cost {kmb:.4}"
+            );
+            prop_assert!(
+                kmb <= 2.0 * opt + 1e-9,
+                "KMB cost {kmb:.4} above 2 × optimum {:.4}",
+                2.0 * opt
+            );
+        }
+    }
+
+    #[test]
+    fn pcst_full_scope_never_worse_coverage(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let narrow = pcst_summary(&kg.g, &input, &PcstConfig::default());
+        let wide = pcst_summary(
+            &kg.g,
+            &input,
+            &PcstConfig { scope: PcstScope::FullGraph, ..PcstConfig::default() },
+        );
+        prop_assert!(wide.terminal_coverage() >= narrow.terminal_coverage() - 1e-12);
+    }
+}
