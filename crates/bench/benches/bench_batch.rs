@@ -1,0 +1,89 @@
+//! Batch-summarization throughput: the rebuilt engine (CSR adjacency,
+//! reusable generation-stamped workspaces, parallel fan-out) against a
+//! faithful replica of the seed's sequential path, on user-centric ST
+//! summaries over the largest synthetic scaling level (G5).
+//!
+//! Three series:
+//!
+//! * `seed_sequential`   — the seed's per-call-allocating loop;
+//! * `engine_sequential` — `summarize_batch` pinned to one worker;
+//! * `engine_parallel`   — `summarize_batch` at hardware parallelism.
+//!
+//! A summary line prints the warm-batch speedup over the seed path; the
+//! same figure lands in `BENCH_batch.json` via `repro bench_batch`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use xsum_bench::experiments::perf::batch_inputs;
+use xsum_bench::seedpath::SeedEngine;
+use xsum_core::{summarize_batch, summarize_batch_threads, BatchMethod, SteinerConfig};
+use xsum_datasets::ScalingLevel;
+
+fn bench(c: &mut Criterion) {
+    let scale = std::env::var("XSUM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let (ds, inputs) = batch_inputs(ScalingLevel::G5, scale, 42, 64, 10);
+    let g = &ds.kg.graph;
+    g.freeze();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let seed_engine = SeedEngine::new(g);
+
+    let mut group = c.benchmark_group("batch_g5");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.bench_function("seed_sequential", |b| {
+        b.iter(|| {
+            for input in &inputs {
+                criterion::black_box(seed_engine.steiner_summary(
+                    g,
+                    input,
+                    &SteinerConfig::default(),
+                ));
+            }
+        })
+    });
+    group.bench_function("engine_sequential", |b| {
+        b.iter(|| criterion::black_box(summarize_batch_threads(g, &inputs, method, 1)))
+    });
+    group.bench_function("engine_parallel", |b| {
+        b.iter(|| criterion::black_box(summarize_batch(g, &inputs, method)))
+    });
+    let fast = BatchMethod::SteinerFast(SteinerConfig::default());
+    group.bench_function("engine_fast_sequential", |b| {
+        b.iter(|| criterion::black_box(summarize_batch_threads(g, &inputs, fast, 1)))
+    });
+    group.bench_function("engine_fast_parallel", |b| {
+        b.iter(|| criterion::black_box(summarize_batch(g, &inputs, fast)))
+    });
+    group.finish();
+
+    // Headline ratios, measured directly so the numbers survive even if
+    // a criterion report format changes.
+    let t0 = std::time::Instant::now();
+    for input in &inputs {
+        criterion::black_box(seed_engine.steiner_summary(g, input, &SteinerConfig::default()));
+    }
+    let seed_t = t0.elapsed();
+    criterion::black_box(summarize_batch(g, &inputs, method)); // warm
+    let t1 = std::time::Instant::now();
+    criterion::black_box(summarize_batch(g, &inputs, method));
+    let engine_t = t1.elapsed();
+    criterion::black_box(summarize_batch(g, &inputs, fast)); // warm
+    let t2 = std::time::Instant::now();
+    criterion::black_box(summarize_batch(g, &inputs, fast));
+    let fast_t = t2.elapsed();
+    println!(
+        "batch_g5 summary: {} inputs | seed {:.1} ms | KMB batch {:.1} ms ({:.2}x) | ST-fast batch {:.1} ms ({:.2}x)",
+        inputs.len(),
+        seed_t.as_secs_f64() * 1e3,
+        engine_t.as_secs_f64() * 1e3,
+        seed_t.as_secs_f64() / engine_t.as_secs_f64().max(1e-12),
+        fast_t.as_secs_f64() * 1e3,
+        seed_t.as_secs_f64() / fast_t.as_secs_f64().max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

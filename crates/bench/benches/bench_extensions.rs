@@ -9,11 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
 use xsum_bench::experiments::user_centric_inputs;
+use xsum_core::pathfree::generate_explanations;
 use xsum_core::{
     optimality_gap, pcst_summary_with_policy, steiner_summary, PathGenConfig, PcstConfig,
     PrizePolicy, SteinerConfig,
 };
-use xsum_core::pathfree::generate_explanations;
 use xsum_graph::{pagerank, NodeId, PageRankConfig};
 use xsum_rec::{cluster_users, ItemKnn, ItemKnnConfig, KMeansConfig, PathRecommender};
 

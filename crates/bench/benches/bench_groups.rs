@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
             continue;
         }
         let inputs = group_inputs_for_users(&ctx, Baseline::Pgpr, 10, &[members]);
-        let Some(input) = inputs.first() else { continue };
+        let Some(input) = inputs.first() else {
+            continue;
+        };
         group.bench_with_input(BenchmarkId::new("st", size), input, |b, input| {
             b.iter_batched(
                 || input.clone(),

@@ -31,13 +31,17 @@ fn bench(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("pcst", level.name()), &input, |b, input| {
-            b.iter_batched(
-                || input.clone(),
-                |input| pcst_summary(g, &input, &PcstConfig::default()),
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pcst", level.name()),
+            &input,
+            |b, input| {
+                b.iter_batched(
+                    || input.clone(),
+                    |input| pcst_summary(g, &input, &PcstConfig::default()),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

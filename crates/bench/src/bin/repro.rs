@@ -5,7 +5,11 @@
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!            userstudy ablation fairness all
+//!            userstudy ablation fairness bench_batch all
+//!
+//! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
+//! latency, batch throughput, allocation per summary, speedup vs the
+//! seed path) for the cross-PR perf trajectory.
 //! ```
 //!
 //! Output is TSV (scenario, baseline, method, x, metric, value) matching
@@ -16,7 +20,6 @@ use xsum_bench::ctx::{Baseline, Ctx, CtxConfig};
 use xsum_bench::experiments::{ablation, ancillary, fairness, perf, quality, tables, userstudy};
 use xsum_bench::table::{print_rows, Row};
 use xsum_metrics::TrackingAllocator;
-
 
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator::new();
@@ -187,6 +190,26 @@ fn main() {
             }
             print_rows(&rows);
         }
+        "bench_batch" => {
+            // The BENCH trajectory artifact: engine vs seed path on the
+            // largest synthetic scaling level, written machine-readably
+            // so future PRs can diff regressions.
+            let report = perf::batch_bench(
+                xsum_datasets::ScalingLevel::G5,
+                args.scale,
+                args.seed,
+                (2 * args.users_per_gender).max(32),
+                args.top_k,
+            );
+            let json = report.to_json();
+            std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+            print!("{json}");
+            eprintln!(
+                "bench_batch: ST-fast {:.2}x / KMB {:.2}x vs seed path at {} ({} summaries), \
+                 wrote BENCH_batch.json",
+                report.fast_speedup, report.speedup, report.level, report.batch_size,
+            );
+        }
         "all" => {
             println!("== table1 ==\n{}", tables::table1());
             let ctx = Ctx::build(cfg);
@@ -240,7 +263,7 @@ fn main() {
         other => {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
-                "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness all"
+                "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness bench_batch all"
             );
             std::process::exit(2);
         }

@@ -6,7 +6,7 @@ use xsum_datasets::{
 };
 use xsum_graph::FxHashMap;
 use xsum_rec::{
-    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig, Pearlm, Plm, PlmConfig,
+    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pearlm, Pgpr, PgprConfig, Plm, PlmConfig,
     RecOutput,
 };
 
@@ -158,14 +158,24 @@ impl Ctx {
             let users = self.users.clone();
             match b {
                 Baseline::Pgpr => {
-                    let rec = Pgpr::new(&self.ds.kg, &self.ds.ratings, &self.mf, PgprConfig::default());
+                    let rec = Pgpr::new(
+                        &self.ds.kg,
+                        &self.ds.ratings,
+                        &self.mf,
+                        PgprConfig::default(),
+                    );
                     for u in users {
                         let out = rec.recommend(u, self.cfg.top_k);
                         self.outputs.insert((b, u), out);
                     }
                 }
                 Baseline::Cafe => {
-                    let rec = Cafe::new(&self.ds.kg, &self.ds.ratings, &self.mf, CafeConfig::default());
+                    let rec = Cafe::new(
+                        &self.ds.kg,
+                        &self.ds.ratings,
+                        &self.mf,
+                        CafeConfig::default(),
+                    );
                     for u in users {
                         let out = rec.recommend(u, self.cfg.top_k);
                         self.outputs.insert((b, u), out);

@@ -45,7 +45,14 @@ fn record(
         }
     });
     let n = inputs.len() as f64;
-    rows.push(Row::new("user-centric", "PGPR", variant, 10, "size", size / n));
+    rows.push(Row::new(
+        "user-centric",
+        "PGPR",
+        variant,
+        10,
+        "size",
+        size / n,
+    ));
     rows.push(Row::new(
         "user-centric",
         "PGPR",
@@ -54,7 +61,14 @@ fn record(
         "comprehensibility",
         comp / n,
     ));
-    rows.push(Row::new("user-centric", "PGPR", variant, 10, "diversity", div / n));
+    rows.push(Row::new(
+        "user-centric",
+        "PGPR",
+        variant,
+        10,
+        "diversity",
+        div / n,
+    ));
     rows.push(Row::new(
         "user-centric",
         "PGPR",
@@ -73,9 +87,13 @@ pub fn run(ctx: &Ctx) -> Vec<Row> {
 
     // --- ST δ sweep -----------------------------------------------------
     for delta in [0.1, 1.0, 10.0] {
-        record(&mut rows, g, &format!("ST δ={delta}"), &inputs, move |g, i| {
-            steiner_summary(g, i, &SteinerConfig { lambda: 1.0, delta })
-        });
+        record(
+            &mut rows,
+            g,
+            &format!("ST δ={delta}"),
+            &inputs,
+            move |g, i| steiner_summary(g, i, &SteinerConfig { lambda: 1.0, delta }),
+        );
     }
 
     // --- PCST scope -------------------------------------------------------

@@ -20,11 +20,7 @@ use crate::table::Row;
 /// user scenarios, keeping comprehensibility and diversity.
 pub fn fig12_13(ctx: &mut Ctx) -> Vec<Row> {
     ctx.precompute(&Baseline::LM);
-    let rows = super::quality::run_scenarios(
-        ctx,
-        &Baseline::LM,
-        &["user-centric", "user-group"],
-    );
+    let rows = super::quality::run_scenarios(ctx, &Baseline::LM, &["user-centric", "user-group"]);
     rows.into_iter()
         .filter(|r| r.metric == "comprehensibility" || r.metric == "diversity")
         .collect()
@@ -36,11 +32,8 @@ pub fn fig14_15(cfg: CtxConfig) -> Vec<Row> {
         dataset: DatasetChoice::Lfm1m,
         ..cfg
     });
-    let rows = super::quality::run_scenarios(
-        &ctx,
-        &Baseline::MAIN,
-        &["user-centric", "user-group"],
-    );
+    let rows =
+        super::quality::run_scenarios(&ctx, &Baseline::MAIN, &["user-centric", "user-group"]);
     rows.into_iter()
         .filter(|r| r.metric == "comprehensibility" || r.metric == "diversity")
         .collect()
@@ -96,8 +89,22 @@ pub fn fig16(mut ctx: Ctx) -> Vec<Row> {
                 div += r.diversity;
             }
             let n = inputs.len() as f64;
-            rows.push(Row::new(scenario, "PGPR", "ST λ=1", combo.clone(), "comprehensibility", comp / n));
-            rows.push(Row::new(scenario, "PGPR", "ST λ=1", combo.clone(), "diversity", div / n));
+            rows.push(Row::new(
+                scenario,
+                "PGPR",
+                "ST λ=1",
+                combo.clone(),
+                "comprehensibility",
+                comp / n,
+            ));
+            rows.push(Row::new(
+                scenario,
+                "PGPR",
+                "ST λ=1",
+                combo.clone(),
+                "diversity",
+                div / n,
+            ));
         }
     }
     // Restore the paper-default weighting for any later use.

@@ -50,7 +50,14 @@ fn views_for_method(g: &Graph, inputs: &[SummaryInput], method: &str) -> Vec<Exp
 
 const METHODS: [&str; 3] = ["baseline", "ST λ=1", "PCST"];
 
-fn push_report(rows: &mut Vec<Row>, axis: &str, b: Baseline, method: &str, metric: &str, r: &FairnessReport) {
+fn push_report(
+    rows: &mut Vec<Row>,
+    axis: &str,
+    b: Baseline,
+    method: &str,
+    metric: &str,
+    r: &FairnessReport,
+) {
     for gs in &r.groups {
         rows.push(Row::new(
             axis,
@@ -61,7 +68,14 @@ fn push_report(rows: &mut Vec<Row>, axis: &str, b: Baseline, method: &str, metri
             gs.mean,
         ));
     }
-    rows.push(Row::new(axis, b.name(), method, 0, format!("{metric}:gap"), r.gap));
+    rows.push(Row::new(
+        axis,
+        b.name(),
+        method,
+        0,
+        format!("{metric}:gap"),
+        r.gap,
+    ));
     rows.push(Row::new(
         axis,
         b.name(),
@@ -144,10 +158,8 @@ pub fn run(ctx: &Ctx, b: Baseline) -> Vec<Row> {
         .iter()
         .map(|&i| ctx.ds.kg.item_node(i))
         .collect();
-    let (mut popular, mut unpopular): (Vec<SummaryInput>, Vec<SummaryInput>) = item_inputs
-        .clone()
-        .into_iter()
-        .partition(|input| {
+    let (mut popular, mut unpopular): (Vec<SummaryInput>, Vec<SummaryInput>) =
+        item_inputs.clone().into_iter().partition(|input| {
             input
                 .paths
                 .first()
@@ -184,7 +196,13 @@ pub fn run(ctx: &Ctx, b: Baseline) -> Vec<Row> {
     );
 
     // --- behavioural-cluster axis -------------------------------------
-    let clusters = cluster_users(&ctx.mf, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+    let clusters = cluster_users(
+        &ctx.mf,
+        &KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        },
+    );
     let sampled: std::collections::HashSet<usize> = ctx.users.iter().copied().collect();
     let labels = ["cluster-0", "cluster-1", "cluster-2"];
     let groups: Vec<(&str, Vec<SummaryInput>)> = (0..clusters.k().min(3))
@@ -222,7 +240,10 @@ mod tests {
         let ctx = tiny_ctx();
         let rows = run(&ctx, Baseline::Pgpr);
         for axis in ["gender", "popularity", "clusters"] {
-            assert!(rows.iter().any(|r| r.scenario == axis), "missing axis {axis}");
+            assert!(
+                rows.iter().any(|r| r.scenario == axis),
+                "missing axis {axis}"
+            );
         }
         for method in METHODS {
             assert!(rows.iter().any(|r| r.method == method), "missing {method}");

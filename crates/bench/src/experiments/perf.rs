@@ -6,13 +6,17 @@
 //! * Fig. 11: time/allocation vs synthetic graph size G1–G5 on random
 //!   3-hop paths, user-centric and user-group.
 
-use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
+use xsum_core::{
+    pcst_summary, steiner_summary, summarize_batch, BatchMethod, PcstConfig, SteinerConfig,
+    SummaryInput,
+};
 use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
 use xsum_graph::NodeId;
 use xsum_metrics::measure;
 
 use crate::ctx::{Baseline, Ctx};
 use crate::experiments::{group_inputs_for_users, scenario_inputs};
+use crate::seedpath::SeedEngine;
 use crate::table::Row;
 
 fn time_methods(g: &xsum_graph::Graph, inputs: &[SummaryInput]) -> Vec<(&'static str, f64, f64)> {
@@ -46,6 +50,170 @@ fn time_methods(g: &xsum_graph::Graph, inputs: &[SummaryInput]) -> Vec<(&'static
     out
 }
 
+/// Measurements of the batch summarization engine against the seed's
+/// sequential path, at one synthetic scaling level.
+#[derive(Debug, Clone)]
+pub struct BatchBenchReport {
+    /// Scaling level measured (G5 = the paper's largest).
+    pub level: &'static str,
+    /// Number of user-centric inputs in the batch.
+    pub batch_size: usize,
+    /// Seed-path sequential latency per summary (ms).
+    pub seed_single_ms: f64,
+    /// Heap bytes the seed path allocated per summary (0 when the
+    /// tracking allocator is not installed).
+    pub seed_alloc_bytes_per_summary: f64,
+    /// Engine single-summary latency (ms), sequential, warm workspace.
+    pub engine_single_ms: f64,
+    /// Engine batched KMB throughput (summaries / second).
+    pub batch_per_sec: f64,
+    /// Engine batched ST-fast (Mehlhorn closure) throughput.
+    pub fast_batch_per_sec: f64,
+    /// Heap bytes allocated per summary in the warm KMB batch (0 when
+    /// the tracking allocator is not installed).
+    pub alloc_bytes_per_summary: f64,
+    /// Heap bytes allocated per summary in the warm ST-fast batch.
+    pub fast_alloc_bytes_per_summary: f64,
+    /// Warm KMB batch throughput over seed-path throughput.
+    pub speedup: f64,
+    /// Warm ST-fast batch throughput over seed-path throughput.
+    pub fast_speedup: f64,
+}
+
+impl BatchBenchReport {
+    /// Machine-readable JSON (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"level\": \"{}\",\n",
+                "  \"batch_size\": {},\n",
+                "  \"seed_single_summary_ms\": {:.6},\n",
+                "  \"seed_alloc_bytes_per_summary\": {:.1},\n",
+                "  \"single_summary_ms\": {:.6},\n",
+                "  \"batch_summaries_per_sec\": {:.3},\n",
+                "  \"fast_batch_summaries_per_sec\": {:.3},\n",
+                "  \"alloc_bytes_per_summary\": {:.1},\n",
+                "  \"fast_alloc_bytes_per_summary\": {:.1},\n",
+                "  \"speedup_vs_seed\": {:.3},\n",
+                "  \"fast_speedup_vs_seed\": {:.3}\n",
+                "}}\n"
+            ),
+            self.level,
+            self.batch_size,
+            self.seed_single_ms,
+            self.seed_alloc_bytes_per_summary,
+            self.engine_single_ms,
+            self.batch_per_sec,
+            self.fast_batch_per_sec,
+            self.alloc_bytes_per_summary,
+            self.fast_alloc_bytes_per_summary,
+            self.speedup,
+            self.fast_speedup,
+        )
+    }
+}
+
+/// Build the BENCH_batch workload: user-centric k-path inputs over the
+/// scaled `level` graph (same synthetic-path recipe as Fig. 11).
+pub fn batch_inputs(
+    level: ScalingLevel,
+    scale: f64,
+    seed: u64,
+    users: usize,
+    k: usize,
+) -> (xsum_datasets::Dataset, Vec<SummaryInput>) {
+    let ds = scaling_graph_scaled(level, seed, scale);
+    let n_users = ds.kg.n_users();
+    let mut inputs = Vec::new();
+    for u in 0..users.min(n_users) {
+        let mut paths = Vec::new();
+        for i in 0..k {
+            if let Some(p) =
+                random_explanation_path(&ds, u, 3, seed ^ (u as u64) << 8 ^ i as u64, 30)
+            {
+                paths.push(xsum_graph::LoosePath::from_path(&p));
+            }
+        }
+        if !paths.is_empty() {
+            inputs.push(SummaryInput::user_centric(ds.kg.user_node(u), paths));
+        }
+    }
+    (ds, inputs)
+}
+
+/// Measure the engine against the seed path on the `level` workload.
+///
+/// Every engine series runs one discarded warmup pass first, so the
+/// timing and allocation figures reflect the amortized post-warmup
+/// steady state ("allocation-free after workspace warmup").
+pub fn batch_bench(
+    level: ScalingLevel,
+    scale: f64,
+    seed: u64,
+    users: usize,
+    k: usize,
+) -> BatchBenchReport {
+    let (ds, inputs) = batch_inputs(level, scale, seed, users, k);
+    let g = &ds.kg.graph;
+    g.freeze();
+    let cfg = SteinerConfig::default();
+    let n = inputs.len().max(1) as f64;
+
+    // Seed path: one adjacency copy (build excluded, like the seed's own
+    // graph build), then the sequential per-summary loop.
+    let seed_engine = SeedEngine::new(g);
+    let (_, seed_m) = measure(|| {
+        for input in &inputs {
+            std::hint::black_box(seed_engine.steiner_summary(g, input, &cfg));
+        }
+    });
+    let seed_single_ms = seed_m.elapsed.as_secs_f64() * 1e3 / n;
+
+    // Engine, warmup pass: JIT-warms caches and the thread-local
+    // sequential scratch. Note batch worker state is per-call, so the
+    // "warm" batch figures below still include each call's own
+    // O(workers·|E|) setup, amortized over the batch.
+    let method = BatchMethod::Steiner(cfg);
+    std::hint::black_box(summarize_batch(g, &inputs, method));
+
+    // Engine, warm single-summary latency (sequential entry point).
+    let (_, single_m) = measure(|| {
+        for input in &inputs {
+            std::hint::black_box(steiner_summary(g, input, &cfg));
+        }
+    });
+    let engine_single_ms = single_m.elapsed.as_secs_f64() * 1e3 / n;
+
+    // Engine, warm batch throughput + allocation per summary.
+    let (_, batch_m) = measure(|| {
+        std::hint::black_box(summarize_batch(g, &inputs, method));
+    });
+    let batch_per_sec = n / batch_m.elapsed.as_secs_f64().max(1e-12);
+
+    // ST-fast (Mehlhorn closure): warmup, then warm measurement.
+    let fast = BatchMethod::SteinerFast(cfg);
+    std::hint::black_box(summarize_batch(g, &inputs, fast));
+    let (_, fast_m) = measure(|| {
+        std::hint::black_box(summarize_batch(g, &inputs, fast));
+    });
+    let fast_batch_per_sec = n / fast_m.elapsed.as_secs_f64().max(1e-12);
+
+    BatchBenchReport {
+        level: level.name(),
+        batch_size: inputs.len(),
+        seed_single_ms,
+        seed_alloc_bytes_per_summary: seed_m.allocated_bytes as f64 / n,
+        engine_single_ms,
+        batch_per_sec,
+        fast_batch_per_sec,
+        alloc_bytes_per_summary: batch_m.allocated_bytes as f64 / n,
+        fast_alloc_bytes_per_summary: fast_m.allocated_bytes as f64 / n,
+        speedup: seed_single_ms * batch_per_sec / 1e3,
+        fast_speedup: seed_single_ms * fast_batch_per_sec / 1e3,
+    }
+}
+
 /// Fig. 9: per-k time (ms) and allocation (KiB) for each scenario.
 pub fn fig9(ctx: &Ctx, baseline: Baseline) -> Vec<Row> {
     let mut rows = Vec::new();
@@ -56,7 +224,14 @@ pub fn fig9(ctx: &Ctx, baseline: Baseline) -> Vec<Row> {
                 continue;
             }
             for (method, ms, kib) in time_methods(g, &inputs) {
-                rows.push(Row::new(scenario, baseline.name(), method, k, "time_ms", ms));
+                rows.push(Row::new(
+                    scenario,
+                    baseline.name(),
+                    method,
+                    k,
+                    "time_ms",
+                    ms,
+                ));
                 rows.push(Row::new(
                     scenario,
                     baseline.name(),
@@ -154,7 +329,14 @@ pub fn fig11(scale: f64, seed: u64, users: usize, group_size: usize, k: usize) -
         }
 
         for (method, ms, kib) in time_methods(g, &per_user_inputs) {
-            rows.push(Row::new("user-centric", "random", method, level.name(), "time_ms", ms));
+            rows.push(Row::new(
+                "user-centric",
+                "random",
+                method,
+                level.name(),
+                "time_ms",
+                ms,
+            ));
             rows.push(Row::new(
                 "user-centric",
                 "random",
@@ -167,7 +349,14 @@ pub fn fig11(scale: f64, seed: u64, users: usize, group_size: usize, k: usize) -
         if !group_nodes.is_empty() {
             let group_input = SummaryInput::user_group(&group_nodes, all_paths);
             for (method, ms, kib) in time_methods(g, &[group_input]) {
-                rows.push(Row::new("user-group", "random", method, level.name(), "time_ms", ms));
+                rows.push(Row::new(
+                    "user-group",
+                    "random",
+                    method,
+                    level.name(),
+                    "time_ms",
+                    ms,
+                ));
                 rows.push(Row::new(
                     "user-group",
                     "random",

@@ -135,5 +135,8 @@ pub fn run_scenarios(ctx: &Ctx, baselines: &[Baseline], scenarios: &[&str]) -> V
 
 /// Filter the sweep output to one figure's metric.
 pub fn filter_metric(rows: &[Row], metric: &str) -> Vec<Row> {
-    rows.iter().filter(|r| r.metric == metric).cloned().collect()
+    rows.iter()
+        .filter(|r| r.metric == metric)
+        .cloned()
+        .collect()
 }

@@ -13,7 +13,11 @@ pub fn table1() -> String {
     let mut out = String::new();
     out.push_str("Table I — summarized explanation paths for User 1\n\n");
     for (label, p) in ["P1,A", "P1,B", "P1,C"].iter().zip(&ex.paths) {
-        out.push_str(&format!("{label} ({} edges): {}\n", p.len(), render_path(&ex.graph, p)));
+        out.push_str(&format!(
+            "{label} ({} edges): {}\n",
+            p.len(),
+            render_path(&ex.graph, p)
+        ));
     }
     let sub = ex.summarize();
     out.push_str(&format!(

@@ -16,6 +16,7 @@ pub mod ctx;
 pub mod experiments;
 pub mod methods;
 pub mod plot;
+pub mod seedpath;
 pub mod table;
 
 pub use ctx::{Baseline, Ctx, CtxConfig};

@@ -40,9 +40,10 @@ fn extract_series(rows: &[Row], metric: &str) -> Vec<Series> {
             continue;
         }
         let Ok(x) = r.x.parse::<f64>() else { continue };
-        match series.iter_mut().find(|s| {
-            s.scenario == r.scenario && s.baseline == r.baseline && s.method == r.method
-        }) {
+        match series
+            .iter_mut()
+            .find(|s| s.scenario == r.scenario && s.baseline == r.baseline && s.method == r.method)
+        {
             Some(s) => s.points.push((x, r.value)),
             None => series.push(Series {
                 scenario: r.scenario.clone(),
@@ -104,7 +105,11 @@ pub fn sparklines(rows: &[Row], metric: &str) -> String {
         );
         let width = panel.iter().map(|s| s.method.len()).max().unwrap_or(0);
         for s in &panel {
-            let strip: String = s.points.iter().map(|&(_, v)| block_for(v, lo, hi)).collect();
+            let strip: String = s
+                .points
+                .iter()
+                .map(|&(_, v)| block_for(v, lo, hi))
+                .collect();
             let last = s.points.last().map(|p| p.1).unwrap_or(f64::NAN);
             let _ = writeln!(out, "  {:width$}  {strip}  last={last:.4}", s.method);
         }
@@ -131,7 +136,10 @@ pub fn chart(rows: &[Row], metric: &str, scenario: &str, baseline: &str, height:
     }
     let height = height.max(2);
 
-    let mut xs: Vec<f64> = panel.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let mut xs: Vec<f64> = panel
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     xs.dedup();
     let width = xs.len().max(1);
@@ -195,8 +203,22 @@ mod tests {
     fn rows() -> Vec<Row> {
         let mut rows = Vec::new();
         for k in 1..=5 {
-            rows.push(Row::new("user-centric", "PGPR", "baseline", k, "comp", 1.0 / k as f64));
-            rows.push(Row::new("user-centric", "PGPR", "ST", k, "comp", 2.0 / k as f64));
+            rows.push(Row::new(
+                "user-centric",
+                "PGPR",
+                "baseline",
+                k,
+                "comp",
+                1.0 / k as f64,
+            ));
+            rows.push(Row::new(
+                "user-centric",
+                "PGPR",
+                "ST",
+                k,
+                "comp",
+                2.0 / k as f64,
+            ));
             rows.push(Row::new("item-centric", "PGPR", "ST", k, "comp", 0.5));
         }
         rows
@@ -218,13 +240,19 @@ mod tests {
     #[test]
     fn sparkline_monotone_series_descends() {
         let s = sparklines(&rows(), "comp");
-        let line = s.lines().find(|l| l.trim_start().starts_with("ST ") || l.contains("ST  ")).unwrap();
+        let line = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("ST ") || l.contains("ST  "))
+            .unwrap();
         let strip: Vec<char> = line.chars().filter(|c| BLOCKS.contains(c)).collect();
         let levels: Vec<usize> = strip
             .iter()
             .map(|c| BLOCKS.iter().position(|b| b == c).unwrap())
             .collect();
-        assert!(levels.windows(2).all(|w| w[0] >= w[1]), "1/k must descend: {levels:?}");
+        assert!(
+            levels.windows(2).all(|w| w[0] >= w[1]),
+            "1/k must descend: {levels:?}"
+        );
     }
 
     #[test]
@@ -236,7 +264,14 @@ mod tests {
     #[test]
     fn non_numeric_x_is_skipped() {
         let mut r = rows();
-        r.push(Row::new("user-centric", "PGPR", "baseline", "G3", "comp", 9.0));
+        r.push(Row::new(
+            "user-centric",
+            "PGPR",
+            "baseline",
+            "G3",
+            "comp",
+            9.0,
+        ));
         let s = sparklines(&r, "comp");
         // The G3 row must not blow up the y-range of the panel.
         assert!(!s.contains("9.0000"));

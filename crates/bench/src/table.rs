@@ -66,7 +66,14 @@ mod tests {
     #[test]
     fn tsv_shape() {
         let rows = vec![
-            Row::new("user-centric", "PGPR", "ST λ=1", 3, "comprehensibility", 0.25),
+            Row::new(
+                "user-centric",
+                "PGPR",
+                "ST λ=1",
+                3,
+                "comprehensibility",
+                0.25,
+            ),
             Row::new("", "", "", "G1", "time_ms", 12.5),
         ];
         let tsv = rows_to_tsv(&rows);

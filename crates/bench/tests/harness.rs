@@ -65,8 +65,7 @@ fn input_builders_produce_consistent_scenarios() {
 fn quality_sweep_emits_all_metrics_and_methods() {
     let ctx = tiny_ctx();
     let rows = quality::run_scenarios(&ctx, &[Baseline::Pgpr], &["user-centric"]);
-    let metrics: std::collections::HashSet<&str> =
-        rows.iter().map(|r| r.metric.as_str()).collect();
+    let metrics: std::collections::HashSet<&str> = rows.iter().map(|r| r.metric.as_str()).collect();
     for m in [
         "comprehensibility",
         "actionability",
@@ -78,8 +77,7 @@ fn quality_sweep_emits_all_metrics_and_methods() {
     ] {
         assert!(metrics.contains(m), "metric {m} missing from sweep");
     }
-    let methods: std::collections::HashSet<&str> =
-        rows.iter().map(|r| r.method.as_str()).collect();
+    let methods: std::collections::HashSet<&str> = rows.iter().map(|r| r.method.as_str()).collect();
     assert!(methods.contains("baseline"));
     assert!(methods.contains("ST λ=1"));
     assert!(methods.contains("PCST"));
@@ -110,8 +108,7 @@ fn perf_rows_are_positive() {
 #[test]
 fn fig11_covers_all_levels() {
     let rows = perf::fig11(0.01, 5, 6, 3, 5);
-    let graphs: std::collections::HashSet<&str> =
-        rows.iter().map(|r| r.x.as_str()).collect();
+    let graphs: std::collections::HashSet<&str> = rows.iter().map(|r| r.x.as_str()).collect();
     assert_eq!(graphs.len(), 5, "G1..G5 expected, got {graphs:?}");
 }
 
@@ -141,7 +138,10 @@ fn ablation_rows_cover_every_variant() {
     }
     // The KMB-vs-optimum probe reports a mean and worst ratio, both
     // within the 2-approximation guarantee.
-    for label in ["ST KMB/optimal ratio (mean)", "ST KMB/optimal ratio (worst)"] {
+    for label in [
+        "ST KMB/optimal ratio (mean)",
+        "ST KMB/optimal ratio (worst)",
+    ] {
         let row = rows
             .iter()
             .find(|r| r.method == label)
@@ -158,8 +158,7 @@ fn ablation_rows_cover_every_variant() {
 fn fig16_sweeps_all_beta_combos() {
     let ctx = tiny_ctx();
     let rows = ancillary::fig16(ctx);
-    let combos: std::collections::HashSet<&str> =
-        rows.iter().map(|r| r.x.as_str()).collect();
+    let combos: std::collections::HashSet<&str> = rows.iter().map(|r| r.x.as_str()).collect();
     assert_eq!(combos.len(), ancillary::BETA_COMBOS.len());
 }
 

@@ -1,0 +1,263 @@
+//! Batched summarization: fan a slice of [`SummaryInput`]s across
+//! threads.
+//!
+//! Serving summary explanations to a user base means computing thousands
+//! of independent summaries against one shared, frozen knowledge graph —
+//! an embarrassingly parallel workload. [`summarize_batch`] distributes
+//! inputs over the engine's worker threads ([`xsum_graph::parallel`])
+//! with work stealing, so skewed inputs (one giant group summary among
+//! many small user-centric ones) still balance.
+//!
+//! Each worker owns one
+//! [`SteinerWorkspace`](crate::steiner::SteinerWorkspace) (plus a
+//! private copy of the shared cost-model base) for the duration of the
+//! batch: setup is O(workers · |E|) per call, amortized across the
+//! batch, after which each further summary runs without touching the
+//! allocator for search state. Output order always matches input
+//! order, and every method produces bit-identical results to its
+//! sequential entry point ([`steiner_summary`] / [`pcst_summary`] /
+//! [`gw_pcst_summary`]). Callers issuing many small batches should
+//! batch wider instead — worker state does not persist across calls
+//! (a persistent serving engine is on the ROADMAP).
+
+use xsum_graph::{num_threads, parallel_map_with, EdgeCosts, EdgeId, Graph};
+
+use crate::gw::gw_pcst_summary;
+use crate::input::SummaryInput;
+use crate::pcst::{pcst_summary, PcstConfig};
+use crate::steiner::{
+    steiner_summary, steiner_summary_fast, steiner_tree_fast_with, steiner_tree_with,
+    SteinerConfig, SteinerCostModel, SteinerWorkspace,
+};
+use crate::summary::Summary;
+
+/// Which summarizer a batch runs, with its configuration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchMethod {
+    /// Algorithm 1 (KMB Steiner tree) with the given config.
+    Steiner(SteinerConfig),
+    /// The Mehlhorn-accelerated ST variant (same 2-approximation, one
+    /// multi-source Dijkstra instead of |T|) — the serving fast path.
+    SteinerFast(SteinerConfig),
+    /// Algorithm 2 (Prim-style PCST growth) with the given config.
+    Pcst(PcstConfig),
+    /// The Goemans–Williamson PCST 2-approximation with the given config.
+    GwPcst(PcstConfig),
+}
+
+impl BatchMethod {
+    /// The method label the produced summaries carry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchMethod::Steiner(_) => "ST",
+            BatchMethod::SteinerFast(_) => "ST-fast",
+            BatchMethod::Pcst(_) => "PCST",
+            BatchMethod::GwPcst(_) => "GW-PCST",
+        }
+    }
+
+    /// Run the configured summarizer on one input, through the same
+    /// sequential entry point users call directly.
+    #[inline]
+    pub fn run(&self, g: &Graph, input: &SummaryInput) -> Summary {
+        match self {
+            BatchMethod::Steiner(cfg) => steiner_summary(g, input, cfg),
+            BatchMethod::SteinerFast(cfg) => steiner_summary_fast(g, input, cfg),
+            BatchMethod::Pcst(cfg) => pcst_summary(g, input, cfg),
+            BatchMethod::GwPcst(cfg) => gw_pcst_summary(g, input, cfg),
+        }
+    }
+}
+
+/// Summarize every input with `method`, in parallel, preserving order.
+///
+/// Uses [`num_threads`] workers; see [`summarize_batch_threads`] to pin
+/// the worker count (e.g. `1` for a sequential baseline measurement).
+pub fn summarize_batch(g: &Graph, inputs: &[SummaryInput], method: BatchMethod) -> Vec<Summary> {
+    summarize_batch_threads(g, inputs, method, num_threads())
+}
+
+/// Per-worker scratch of the batched ST paths: a private copy of the
+/// cost-model base (patched and unpatched around each summary), the
+/// touched-edge log, and the full Steiner workspace.
+struct StWorker {
+    costs: Option<EdgeCosts>,
+    touched: Vec<(EdgeId, u32)>,
+    ws: SteinerWorkspace,
+}
+
+/// [`summarize_batch`] with an explicit worker count (clamped to ≥ 1).
+pub fn summarize_batch_threads(
+    g: &Graph,
+    inputs: &[SummaryInput],
+    method: BatchMethod,
+    threads: usize,
+) -> Vec<Summary> {
+    // Freeze the CSR before fanning out so workers never contend on the
+    // one-time adjacency build.
+    g.freeze();
+    let workers = threads.max(1).min(inputs.len()).max(1);
+    match method {
+        BatchMethod::Steiner(cfg) | BatchMethod::SteinerFast(cfg) => {
+            // ST batches amortize the Eq. 1 cost transform through one
+            // shared SteinerCostModel: per summary, only the input's own
+            // path edges are patched (and later restored) in the
+            // worker's private cost table — O(|paths|) instead of the
+            // O(|E|) table build the sequential entry point performs.
+            // Outputs stay bit-identical to the sequential calls.
+            let fast = matches!(method, BatchMethod::SteinerFast(_));
+            let label = method.name();
+            let model = SteinerCostModel::new(g, &cfg);
+            let mut states: Vec<StWorker> = (0..workers)
+                .map(|_| {
+                    let mut ws = SteinerWorkspace::new();
+                    // One level of parallelism only: with several outer
+                    // workers each summary's metric closure stays
+                    // sequential (no nested thread spawns); a lone
+                    // worker inherits the caller's full thread budget,
+                    // so `threads = 1` is strictly sequential end to
+                    // end.
+                    ws.set_parallelism(if workers > 1 { 1 } else { threads.max(1) });
+                    StWorker {
+                        costs: None,
+                        touched: Vec::new(),
+                        ws,
+                    }
+                })
+                .collect();
+            let model_ref = &model;
+            parallel_map_with(&mut states, inputs, move |st, _, input| {
+                let costs = st.costs.get_or_insert_with(|| model_ref.fresh_costs());
+                model_ref.patch(g, input, costs, &mut st.touched);
+                let subgraph = if fast {
+                    steiner_tree_fast_with(g, costs, &input.terminals, &mut st.ws)
+                } else {
+                    steiner_tree_with(g, costs, &input.terminals, &mut st.ws)
+                };
+                model_ref.unpatch(costs, &st.touched);
+                Summary {
+                    method: label,
+                    scenario: input.scenario,
+                    subgraph,
+                    terminals: input.terminals.clone(),
+                }
+            })
+        }
+        BatchMethod::Pcst(_) | BatchMethod::GwPcst(_) => {
+            let mut states = vec![(); workers];
+            parallel_map_with(&mut states, inputs, |_, _, input| method.run(g, input))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SummaryInput;
+    use crate::pathfree::{generate_explanations, PathGenConfig};
+    use xsum_graph::{EdgeKind, Graph, NodeId, NodeKind};
+
+    /// A small two-community KG with enough structure for distinct
+    /// summaries per user.
+    fn fixture() -> (Graph, Vec<SummaryInput>) {
+        let mut g = Graph::new();
+        let users: Vec<NodeId> = (0..6).map(|_| g.add_node(NodeKind::User)).collect();
+        let items: Vec<NodeId> = (0..8).map(|_| g.add_node(NodeKind::Item)).collect();
+        let ents: Vec<NodeId> = (0..3).map(|_| g.add_node(NodeKind::Entity)).collect();
+        for (u, &user) in users.iter().enumerate() {
+            for j in 0..3 {
+                let item = items[(u + j * 2) % items.len()];
+                if g.find_edge(user, item).is_none() {
+                    g.add_edge(
+                        user,
+                        item,
+                        1.0 + (u + j) as f64 % 5.0,
+                        EdgeKind::Interaction,
+                    );
+                }
+            }
+        }
+        for (i, &item) in items.iter().enumerate() {
+            g.add_edge(item, ents[i % ents.len()], 0.0, EdgeKind::Attribute);
+        }
+        let inputs: Vec<SummaryInput> = users
+            .iter()
+            .filter_map(|&u| {
+                let recs: Vec<NodeId> = items.iter().copied().take(4).collect();
+                let paths = generate_explanations(&g, u, &recs, &PathGenConfig::default());
+                (!paths.is_empty()).then(|| SummaryInput::user_centric(u, paths))
+            })
+            .collect();
+        assert!(inputs.len() >= 4, "fixture must produce real inputs");
+        (g, inputs)
+    }
+
+    fn assert_same(a: &Summary, b: &Summary) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+        assert_eq!(a.subgraph.sorted_nodes(), b.subgraph.sorted_nodes());
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_all_methods() {
+        let (g, inputs) = fixture();
+        let methods = [
+            BatchMethod::Steiner(SteinerConfig::default()),
+            BatchMethod::SteinerFast(SteinerConfig::default()),
+            BatchMethod::Pcst(PcstConfig::default()),
+            BatchMethod::GwPcst(PcstConfig::default()),
+        ];
+        for method in methods {
+            let batch = summarize_batch(&g, &inputs, method);
+            assert_eq!(batch.len(), inputs.len());
+            for (input, got) in inputs.iter().zip(&batch) {
+                let want = method.run(&g, input);
+                assert_same(&want, got);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let (g, inputs) = fixture();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let seq = summarize_batch_threads(&g, &inputs, method, 1);
+        let par = summarize_batch_threads(&g, &inputs, method, 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_same(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (g, _) = fixture();
+        let out = summarize_batch(&g, &[], BatchMethod::Pcst(PcstConfig::default()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(BatchMethod::Steiner(SteinerConfig::default()).name(), "ST");
+        assert_eq!(
+            BatchMethod::SteinerFast(SteinerConfig::default()).name(),
+            "ST-fast"
+        );
+        assert_eq!(BatchMethod::Pcst(PcstConfig::default()).name(), "PCST");
+        assert_eq!(BatchMethod::GwPcst(PcstConfig::default()).name(), "GW-PCST");
+    }
+
+    #[test]
+    fn fast_batch_covers_all_terminals() {
+        let (g, inputs) = fixture();
+        let out = summarize_batch(
+            &g,
+            &inputs,
+            BatchMethod::SteinerFast(SteinerConfig::default()),
+        );
+        for s in &out {
+            assert_eq!(s.method, "ST-fast");
+            assert_eq!(s.terminal_coverage(), 1.0);
+        }
+    }
+}

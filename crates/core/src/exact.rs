@@ -88,13 +88,7 @@ pub fn optimality_gap(
     let (local, map) = scope.extract(g);
     // `extract` adds edges in sorted parent order, so local edge index i
     // corresponds to the i-th sorted parent edge.
-    let local_costs = EdgeCosts(
-        scope
-            .sorted_edges()
-            .iter()
-            .map(|&e| costs.get(e))
-            .collect(),
-    );
+    let local_costs = EdgeCosts(scope.sorted_edges().iter().map(|&e| costs.get(e)).collect());
     let terminals: Vec<NodeId> = input.terminals.iter().map(|t| map[t]).collect();
 
     let exact = exact_steiner_tree(&local, &local_costs, &terminals)?;

@@ -66,8 +66,7 @@ fn write_node(out: &mut String, g: &Graph, n: NodeId, terminal: bool) {
 /// ellipses, external entities diamonds. Edges carry their `w_M` weight
 /// as label when non-zero.
 pub fn summary_to_dot(g: &Graph, summary: &Summary) -> String {
-    let terminals: std::collections::HashSet<NodeId> =
-        summary.terminals.iter().copied().collect();
+    let terminals: std::collections::HashSet<NodeId> = summary.terminals.iter().copied().collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -103,8 +102,7 @@ pub fn summary_to_dot(g: &Graph, summary: &Summary) -> String {
 /// An edge on both layers is drawn once, bold green — matching the
 /// paper's figure where the summary supersedes the path edges it kept.
 pub fn overlay_to_dot(g: &Graph, paths: &[LoosePath], summary: &Summary) -> String {
-    let terminals: std::collections::HashSet<NodeId> =
-        summary.terminals.iter().copied().collect();
+    let terminals: std::collections::HashSet<NodeId> = summary.terminals.iter().copied().collect();
     let mut path_edges = Subgraph::new();
     for p in paths {
         for e in p.grounded_edges() {

@@ -51,8 +51,7 @@ pub fn gw_pcst_summary(g: &Graph, input: &SummaryInput, cfg: &PcstConfig) -> Sum
     // Dense-index scope nodes.
     let mut nodes: Vec<NodeId> = scope.nodes.iter().copied().collect();
     nodes.sort_unstable();
-    let index: FxHashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let index: FxHashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
     let mut edges: Vec<EdgeId> = scope.edges.iter().copied().collect();
     edges.sort_unstable();
 
@@ -122,7 +121,8 @@ fn gw_growth(
         for i in 0..n {
             if uf.find(i) == i && active[i] {
                 let dt = potential[i];
-                if best_cluster.is_none_or(|(bd, bi)| dt < bd - 1e-15 || (dt <= bd + 1e-15 && i < bi))
+                if best_cluster
+                    .is_none_or(|(bd, bi)| dt < bd - 1e-15 || (dt <= bd + 1e-15 && i < bi))
                 {
                     best_cluster = Some((dt, i));
                 }
@@ -303,7 +303,11 @@ mod tests {
         let input = SummaryInput::user_centric(kg.user_node(0), paths);
         let s = gw_pcst_summary(&kg.graph, &input, &PcstConfig::default());
         assert_eq!(s.method, "GW-PCST");
-        assert_eq!(s.terminal_coverage(), 1.0, "uniform prizes, unit costs: all connected");
+        assert_eq!(
+            s.terminal_coverage(),
+            1.0,
+            "uniform prizes, unit costs: all connected"
+        );
     }
 
     #[test]

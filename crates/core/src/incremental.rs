@@ -13,7 +13,7 @@
 //! continuity (`S_k ⊆ S_{k+1}`), which maximizes the consistency metric
 //! by construction.
 
-use xsum_graph::{dijkstra, EdgeCosts, Graph, NodeId, Subgraph};
+use xsum_graph::{DijkstraWorkspace, EdgeCosts, Graph, NodeId, Subgraph};
 
 use crate::input::{Scenario, SummaryInput};
 use crate::steiner::{steiner_costs, SteinerConfig};
@@ -26,6 +26,9 @@ pub struct IncrementalSteiner {
     scenario: Scenario,
     subgraph: Subgraph,
     terminals: Vec<NodeId>,
+    /// Reused across increments: one session performs one Dijkstra per
+    /// added terminal with zero allocation after the first.
+    ws: DijkstraWorkspace,
 }
 
 impl IncrementalSteiner {
@@ -40,6 +43,7 @@ impl IncrementalSteiner {
             scenario: input.scenario,
             subgraph: Subgraph::new(),
             terminals: Vec::new(),
+            ws: DijkstraWorkspace::new(),
         }
     }
 
@@ -61,17 +65,17 @@ impl IncrementalSteiner {
         }
         // Dijkstra from the new terminal until any tree node settles.
         let tree_nodes: Vec<NodeId> = self.subgraph.sorted_nodes();
-        let run = dijkstra(g, &self.costs, t, &tree_nodes);
+        self.ws.run(g, &self.costs, t, &tree_nodes);
         // Cheapest settled tree node.
         let best = tree_nodes
             .iter()
-            .filter_map(|n| run.distance(*n).map(|d| (d, *n)))
+            .filter_map(|n| self.ws.distance(*n).map(|d| (d, *n)))
             .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
         let Some((_, anchor)) = best else {
             self.subgraph.insert_node(t); // unreachable: isolated mention
             return 0;
         };
-        let path = run.path_to(g, anchor).expect("anchor was settled");
+        let path = self.ws.path_to(g, anchor).expect("anchor was settled");
         let mut added = 0;
         for e in path {
             if self.subgraph.insert_edge(g, e) {

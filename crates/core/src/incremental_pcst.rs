@@ -177,12 +177,8 @@ mod tests {
         let ex = table1_example();
         let g = &ex.graph;
         let ranked: Vec<LoosePath> = ex.paths.clone();
-        let series = incremental_pcst_series(
-            g,
-            Scenario::UserCentric,
-            PcstConfig::default(),
-            &ranked,
-        );
+        let series =
+            incremental_pcst_series(g, Scenario::UserCentric, PcstConfig::default(), &ranked);
         assert_eq!(series.len(), ranked.len());
         for w in series.windows(2) {
             for e in w[0].subgraph.edges() {
@@ -197,12 +193,8 @@ mod tests {
     fn consistency_is_maximal_by_construction() {
         let ex = table1_example();
         let g = &ex.graph;
-        let series = incremental_pcst_series(
-            g,
-            Scenario::UserCentric,
-            PcstConfig::default(),
-            &ex.paths,
-        );
+        let series =
+            incremental_pcst_series(g, Scenario::UserCentric, PcstConfig::default(), &ex.paths);
         // Jaccard(S_k, S_{k+1}) = |V_k| / |V_{k+1}| since V_k ⊆ V_{k+1}.
         for w in series.windows(2) {
             let j = w[0].subgraph.node_jaccard(&w[1].subgraph);

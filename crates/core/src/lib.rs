@@ -23,7 +23,31 @@
 //! user-group, item-group) are expressed as [`SummaryInput`] constructors,
 //! and [`render`] verbalizes paths and summaries exactly like the paper's
 //! Table I / user-study stimuli.
+//!
+//! ## The batch engine
+//!
+//! Serving-scale throughput comes from three layers working together:
+//!
+//! * the graph substrate stores adjacency as a frozen CSR and exposes
+//!   reusable, generation-stamped [`DijkstraWorkspace`]s
+//!   ([`xsum_graph`]);
+//! * [`steiner_tree`] keeps all KMB scratch (terminal dedup, metric
+//!   closure, path arena, per-worker Dijkstra state) in a reusable
+//!   [`SteinerWorkspace`] and allocates nothing but the output subgraph
+//!   once warm; a parallel metric closure for large terminal sets
+//!   (|T| ≥ 24) is available by opt-in via
+//!   [`SteinerWorkspace::set_parallelism`] — the sequential entry
+//!   points never spawn threads on their own;
+//! * [`summarize_batch`] fans a slice of [`SummaryInput`]s across worker
+//!   threads for ST, ST-fast ([`steiner_summary_fast`], the Mehlhorn
+//!   closure), PCST, and GW-PCST alike, each worker reusing its own
+//!   workspace across the summaries it processes, with results
+//!   bit-identical to the sequential entry points and returned in input
+//!   order.
+//!
+//! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
+pub mod batch;
 pub mod exact;
 pub mod export;
 pub mod gw;
@@ -38,10 +62,11 @@ pub mod steiner;
 pub mod summary;
 pub mod weighting;
 
-pub use export::{overlay_to_dot, summary_to_dot, summary_to_tsv};
+pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
 pub use exact::{
     exact_steiner_cost, exact_steiner_tree, optimality_gap, OptimalityGap, MAX_EXACT_TERMINALS,
 };
+pub use export::{overlay_to_dot, summary_to_dot, summary_to_tsv};
 pub use gw::gw_pcst_summary;
 pub use incremental::{incremental_series, IncrementalSteiner};
 pub use incremental_pcst::{incremental_pcst_series, IncrementalPcst};
@@ -53,6 +78,9 @@ pub use pathfree::{
 pub use pcst::{pcst_summary, PcstConfig, PcstScope};
 pub use prizes::{node_prizes, pcst_summary_with_policy, PrizePolicy};
 pub use render::{render_path, render_summary, table1_example, Table1Example};
-pub use steiner::{steiner_costs, steiner_summary, steiner_tree, SteinerConfig};
+pub use steiner::{
+    steiner_costs, steiner_summary, steiner_summary_fast, steiner_tree, steiner_tree_fast,
+    steiner_tree_fast_with, steiner_tree_with, SteinerConfig, SteinerCostModel, SteinerWorkspace,
+};
 pub use summary::Summary;
 pub use weighting::adjusted_weights;

@@ -139,8 +139,7 @@ pub fn generate_explanations(
             continue;
         }
         if cfg.fallback_unbounded {
-            let run = fallback
-                .get_or_insert_with(|| xsum_graph::dijkstra(g, &costs, user, &[]));
+            let run = fallback.get_or_insert_with(|| xsum_graph::dijkstra(g, &costs, user, &[]));
             if let Some(edges) = run.path_to(g, item) {
                 let mut nodes = vec![user];
                 let mut cur = user;
@@ -245,7 +244,10 @@ mod tests {
         // hops; the cheaper transform cost is through i0.
         let paths = generate_explanations(&g, u, &[items[1]], &PathGenConfig::default());
         assert_eq!(paths.len(), 1);
-        assert!(paths[0].nodes().contains(&items[0]), "route via the 5-star item");
+        assert!(
+            paths[0].nodes().contains(&items[0]),
+            "route via the 5-star item"
+        );
     }
 
     #[test]
@@ -301,10 +303,7 @@ mod tests {
         g.add_edge(u2, items[2], 4.0, EdgeKind::Interaction);
         let input = path_free_user_group(
             &g,
-            &[
-                (u, vec![items[0], items[1]]),
-                (u2, vec![items[2]]),
-            ],
+            &[(u, vec![items[0], items[1]]), (u2, vec![items[2]])],
             &PathGenConfig::default(),
         );
         assert_eq!(input.scenario, Scenario::UserGroup);
@@ -319,8 +318,7 @@ mod tests {
         let mut g = g;
         let u2 = g.add_node(NodeKind::User);
         g.add_edge(u2, items[1], 4.0, EdgeKind::Interaction);
-        let input =
-            path_free_item_centric(&g, items[1], &[u, u2], &PathGenConfig::default());
+        let input = path_free_item_centric(&g, items[1], &[u, u2], &PathGenConfig::default());
         assert_eq!(input.paths.len(), 2);
         assert_eq!(input.terminal_count(), 3); // item + 2 users
     }

@@ -161,8 +161,14 @@ mod tests {
         let kg = b.build(&m);
         let g = &kg.graph;
         let hub = kg.entity_node(0);
-        let p1 = LoosePath::ground(g, vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(1)]);
-        let p2 = LoosePath::ground(g, vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(2)]);
+        let p1 = LoosePath::ground(
+            g,
+            vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(1)],
+        );
+        let p2 = LoosePath::ground(
+            g,
+            vec![kg.user_node(0), kg.item_node(0), hub, kg.item_node(2)],
+        );
         (kg, vec![p1, p2])
     }
 
@@ -181,13 +187,18 @@ mod tests {
         let (kg, paths) = fixture();
         let input = SummaryInput::user_centric(kg.user_node(0), paths);
         let cfg = PcstConfig::default();
-        let prizes = node_prizes(&kg.graph, &input, &cfg, PrizePolicy::PathFrequency { weight: 1.0 });
+        let prizes = node_prizes(
+            &kg.graph,
+            &input,
+            &cfg,
+            PrizePolicy::PathFrequency { weight: 1.0 },
+        );
         let hub = kg.entity_node(0);
         let shared_item = kg.item_node(0);
         // Hub and the shared anchor item appear on both paths → prize 1.0.
         assert!((prizes[&hub] - 1.0).abs() < 1e-12);
         assert!(prizes.contains_key(&shared_item)); // terminal? item 0 is not a target
-        // Terminals keep the terminal prize.
+                                                    // Terminals keep the terminal prize.
         assert!((prizes[&kg.user_node(0)] - cfg.terminal_prize).abs() < 1e-12);
     }
 
@@ -198,7 +209,10 @@ mod tests {
         let cfg = PcstConfig::default();
         for policy in [
             PrizePolicy::DegreeCentrality { weight: 0.5 },
-            PrizePolicy::Betweenness { weight: 0.5, sources: usize::MAX },
+            PrizePolicy::Betweenness {
+                weight: 0.5,
+                sources: usize::MAX,
+            },
             PrizePolicy::PathFrequency { weight: 0.5 },
             PrizePolicy::PageRank { weight: 0.5 },
         ] {

@@ -301,7 +301,10 @@ mod tests {
         let mut g = Graph::new();
         let u = g.add_labeled_node(NodeKind::User, "solo");
         let sub = Subgraph::new();
-        assert_eq!(render_summary(&g, &sub, u), "solo has no summarized connections");
+        assert_eq!(
+            render_summary(&g, &sub, u),
+            "solo has no summarized connections"
+        );
         let _ = g.add_node(NodeKind::Item);
     }
 

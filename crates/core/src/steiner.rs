@@ -20,13 +20,22 @@
 //! isolated terminal nodes — the summary still mentions every terminal,
 //! mirroring the paper's requirement `R_u ⊆ V_S`.
 
+use std::cell::RefCell;
+
 use xsum_graph::{
-    dijkstra, kruskal, EdgeCosts, EdgeId, FxHashMap, FxHashSet, Graph, MstEdge, NodeId, Subgraph,
+    kruskal, num_threads, parallel_map_with, DijkstraWorkspace, EdgeCosts, EdgeId, FxHashMap,
+    FxHashSet, Graph, MstEdge, NodeId, Subgraph,
 };
 
 use crate::input::SummaryInput;
 use crate::summary::Summary;
 use crate::weighting::adjusted_weights;
+
+/// Terminal count from which the metric closure fans its Dijkstras out
+/// across threads. Below this, thread handoff costs more than the |T|
+/// searches; the paper's user-centric k≤10 inputs always stay sequential
+/// while group scenarios with hundreds of terminals parallelize.
+const PARALLEL_TERMINAL_THRESHOLD: usize = 24;
 
 /// Parameters of the ST summarizer.
 #[derive(Debug, Clone, Copy)]
@@ -81,59 +90,296 @@ pub fn steiner_costs(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Ed
     )
 }
 
+/// Cached base of the [`steiner_costs`] transform, for batch serving.
+///
+/// Eq. 1's λ boost only touches the edges of the input explanation
+/// paths — every other edge's cost is a pure function of the graph and
+/// `cfg`. Building one model per (graph, config) and patching the
+/// handful of path edges per summary replaces the seed's per-summary
+/// `O(|E|)` table construction (three full-length allocations plus two
+/// passes) with `O(|paths|)` work. Patched costs are bit-identical to
+/// [`steiner_costs`]' output: the formula and operation order are the
+/// same.
+#[derive(Debug, Clone)]
+pub struct SteinerCostModel {
+    /// Unboosted per-edge cost `((max_w + δ) − w(e)).max(δ/100)`.
+    base: Vec<f64>,
+    /// The unadjusted maximum weight the transform anchors on.
+    base_max: f64,
+    cfg: SteinerConfig,
+}
+
+impl SteinerCostModel {
+    /// Build the base table (one `O(|E|)` pass, once per batch).
+    pub fn new(g: &Graph, cfg: &SteinerConfig) -> Self {
+        let base_max = g.edge_ids().map(|e| g.weight(e)).fold(0.0f64, f64::max);
+        let floor = cfg.delta * 1e-2;
+        let base = g
+            .edge_ids()
+            .map(|e| ((base_max + cfg.delta) - g.weight(e)).max(floor))
+            .collect();
+        SteinerCostModel {
+            base,
+            base_max,
+            cfg: *cfg,
+        }
+    }
+
+    /// The configuration the model was built for.
+    pub fn config(&self) -> &SteinerConfig {
+        &self.cfg
+    }
+
+    /// A fresh full copy of the base table (per-worker warmup).
+    pub fn fresh_costs(&self) -> EdgeCosts {
+        EdgeCosts(self.base.clone())
+    }
+
+    /// Overwrite `costs` entries for `input`'s path edges with their
+    /// Eq. 1-boosted values, recording the touched edge ids (with their
+    /// path frequency) in `touched` for [`SteinerCostModel::unpatch`].
+    ///
+    /// `costs` must be a base copy from [`SteinerCostModel::fresh_costs`]
+    /// (or an unpatched previous use); `touched` is cleared first.
+    pub fn patch(
+        &self,
+        g: &Graph,
+        input: &SummaryInput,
+        costs: &mut EdgeCosts,
+        touched: &mut Vec<(xsum_graph::EdgeId, u32)>,
+    ) {
+        debug_assert_eq!(costs.len(), self.base.len(), "cost buffer shape mismatch");
+        touched.clear();
+        for p in &input.paths {
+            for e in p.grounded_edges() {
+                touched.push((e, 1));
+            }
+        }
+        // Sort-and-merge frequency count: O(P log P) over the grounded
+        // path edges, no hashing.
+        touched.sort_unstable_by_key(|(e, _)| *e);
+        let mut write = 0;
+        for read in 0..touched.len() {
+            if write > 0 && touched[write - 1].0 == touched[read].0 {
+                touched[write - 1].1 += 1;
+            } else {
+                touched[write] = touched[read];
+                write += 1;
+            }
+        }
+        touched.truncate(write);
+        let denom = input.anchor_count.max(1) as f64;
+        let floor = self.cfg.delta * 1e-2;
+        for &(e, f) in touched.iter() {
+            let boost = 1.0 + self.cfg.lambda * f as f64 / denom;
+            let w = g.weight(e) * boost;
+            costs.0[e.index()] = ((self.base_max + self.cfg.delta) - w).max(floor);
+        }
+    }
+
+    /// Restore `costs` to the base table after a patched summary.
+    pub fn unpatch(&self, costs: &mut EdgeCosts, touched: &[(xsum_graph::EdgeId, u32)]) {
+        for &(e, _) in touched {
+            costs.0[e.index()] = self.base[e.index()];
+        }
+    }
+}
+
+/// Reusable scratch state for [`steiner_tree_with`].
+///
+/// Owns the per-call buffers of the KMB construction — the deduplicated
+/// terminal list, the metric-closure edge list, and a flat edge-id arena
+/// holding every pair's expanded shortest path — plus one
+/// [`DijkstraWorkspace`] per potential worker thread. After the first
+/// call at a given problem size, a summary computes without allocating
+/// anything but its output subgraph.
+#[derive(Debug, Default)]
+pub struct SteinerWorkspace {
+    /// Sorted, deduplicated terminal scratch.
+    terminals: Vec<NodeId>,
+    /// Metric-closure edges (`a`/`b` index `terminals`, payload indexes
+    /// `spans`).
+    closure: Vec<MstEdge>,
+    /// `spans[payload]` delimits the pair's path inside `arena`.
+    spans: Vec<(u32, u32)>,
+    /// Flat storage for all closure paths.
+    arena: Vec<EdgeId>,
+    /// Mehlhorn pair reduction: cheapest boundary bridge per terminal
+    /// pair, `(cost, bridge edge id)` in a dense upper-triangular T×T
+    /// matrix.
+    pair_best: Vec<(f64, u32)>,
+    /// One Dijkstra workspace per worker (index 0 doubles as the
+    /// sequential workspace).
+    workers: Vec<DijkstraWorkspace>,
+    /// Thread budget for the metric closure's inner fan-out: 0 = use
+    /// [`num_threads`]; 1 = stay sequential (set by outer parallel
+    /// regions so worker threads never nest thread pools).
+    parallelism: usize,
+}
+
+impl SteinerWorkspace {
+    /// Fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the metric closure's inner thread fan-out (`0` = hardware
+    /// default, `1` = strictly sequential). Outer parallel drivers —
+    /// e.g. [`crate::summarize_batch`]'s per-summary workers — pin
+    /// their workspaces to 1 so parallelism lives at exactly one level.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads;
+    }
+
+    /// Build the metric closure over `terminals` into `closure` /
+    /// `spans` / `arena`, running the |T| Dijkstras sequentially or
+    /// across worker threads.
+    fn metric_closure(&mut self, g: &Graph, costs: &EdgeCosts) {
+        self.closure.clear();
+        self.spans.clear();
+        self.arena.clear();
+        let t = self.terminals.len();
+
+        let budget = match self.parallelism {
+            0 => num_threads(),
+            n => n,
+        };
+        let workers = if t >= PARALLEL_TERMINAL_THRESHOLD {
+            budget.min(t)
+        } else {
+            1
+        };
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, DijkstraWorkspace::new);
+        }
+
+        if workers == 1 {
+            // Sequential: reuse worker 0 across all |T| sources, writing
+            // paths straight into the shared arena.
+            let ws = &mut self.workers[0];
+            for si in 0..t - 1 {
+                let source = self.terminals[si];
+                let targets = &self.terminals[si + 1..];
+                ws.run(g, costs, source, targets);
+                for (off, &target) in targets.iter().enumerate() {
+                    if let Some(d) = ws.distance(target) {
+                        let start = self.arena.len() as u32;
+                        if !ws.append_path_to(g, target, &mut self.arena) {
+                            continue;
+                        }
+                        self.closure.push(MstEdge {
+                            a: si,
+                            b: si + 1 + off,
+                            cost: d,
+                            payload: self.spans.len(),
+                        });
+                        self.spans.push((start, self.arena.len() as u32 - start));
+                    }
+                }
+            }
+            return;
+        }
+
+        // Parallel: every source index is an independent task; workers
+        // carry their own DijkstraWorkspace and return (pair, dist,
+        // local path span) batches that merge into the shared arena.
+        g.freeze();
+        let terminals = &self.terminals;
+        let sources: Vec<usize> = (0..t - 1).collect();
+        let per_source = parallel_map_with(&mut self.workers[..workers], &sources, |ws, _, &si| {
+            let targets = &terminals[si + 1..];
+            ws.run(g, costs, terminals[si], targets);
+            let mut paths: Vec<EdgeId> = Vec::new();
+            let mut pairs: Vec<(usize, f64, u32, u32)> = Vec::new();
+            for (off, &target) in targets.iter().enumerate() {
+                if let Some(d) = ws.distance(target) {
+                    let start = paths.len() as u32;
+                    if ws.append_path_to(g, target, &mut paths) {
+                        pairs.push((si + 1 + off, d, start, paths.len() as u32 - start));
+                    }
+                }
+            }
+            (si, pairs, paths)
+        });
+        for (si, pairs, paths) in per_source {
+            let base = self.arena.len() as u32;
+            self.arena.extend_from_slice(&paths);
+            for (ti, d, start, len) in pairs {
+                self.closure.push(MstEdge {
+                    a: si,
+                    b: ti,
+                    cost: d,
+                    payload: self.spans.len(),
+                });
+                self.spans.push((base + start, len));
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread engine state backing the workspace-free entry points.
+    /// Pinned to sequential execution so the public `steiner_*`
+    /// functions never spawn threads behind the caller's back (the
+    /// paper-reproduction timings measure sequential Algorithm 1, and
+    /// callers running their own thread pools must not get nested
+    /// fan-out). Parallel metric closures are an explicit choice:
+    /// [`summarize_batch`](crate::summarize_batch) or
+    /// [`steiner_tree_with`] + [`SteinerWorkspace::set_parallelism`].
+    static STEINER_SCRATCH: RefCell<SteinerWorkspace> = RefCell::new({
+        let mut ws = SteinerWorkspace::new();
+        ws.set_parallelism(1);
+        ws
+    });
+}
+
 /// The raw KMB Steiner construction over explicit costs and terminals.
 ///
 /// Exposed for the ablation benches; [`steiner_summary`] is the paper's
-/// entry point.
+/// entry point. Scratch state lives in a per-thread
+/// [`SteinerWorkspace`], so repeated calls are allocation-free after
+/// warmup; use [`steiner_tree_with`] to manage the workspace explicitly.
 pub fn steiner_tree(g: &Graph, costs: &EdgeCosts, terminals: &[NodeId]) -> Subgraph {
-    let mut terminals: Vec<NodeId> = terminals.to_vec();
-    terminals.sort_unstable();
-    terminals.dedup();
+    STEINER_SCRATCH.with(|ws| steiner_tree_with(g, costs, terminals, &mut ws.borrow_mut()))
+}
+
+/// [`steiner_tree`] with an explicit reusable workspace.
+pub fn steiner_tree_with(
+    g: &Graph,
+    costs: &EdgeCosts,
+    terminals: &[NodeId],
+    ws: &mut SteinerWorkspace,
+) -> Subgraph {
+    ws.terminals.clear();
+    ws.terminals.extend_from_slice(terminals);
+    ws.terminals.sort_unstable();
+    ws.terminals.dedup();
 
     let mut out = Subgraph::new();
-    match terminals.len() {
+    match ws.terminals.len() {
         0 => return out,
         1 => {
-            out.insert_node(terminals[0]);
+            out.insert_node(ws.terminals[0]);
             return out;
         }
         _ => {}
     }
 
-    // 1. Shortest paths between all terminal pairs (|T| Dijkstra runs).
-    let runs: Vec<_> = terminals
-        .iter()
-        .map(|t| dijkstra(g, costs, *t, &terminals))
-        .collect();
+    // 1 + 2. Shortest paths between all terminal pairs (|T| Dijkstra
+    //        runs, parallel for large |T|) and the metric closure over
+    //        terminal indices, with each pair's path parked in the arena.
+    ws.metric_closure(g, costs);
+    let mst = kruskal(ws.terminals.len(), &ws.closure);
 
-    // 2. Metric closure: complete graph over terminal indices. The
-    //    payload indexes the (source_run, target_terminal) pair so step 3
-    //    can reconstruct the underlying path.
-    let mut closure: Vec<MstEdge> = Vec::with_capacity(terminals.len() * terminals.len() / 2);
-    let mut payloads: Vec<(usize, NodeId)> = Vec::new();
-    for (si, run) in runs.iter().enumerate() {
-        for (ti, t) in terminals.iter().enumerate().skip(si + 1) {
-            if let Some(d) = run.distance(*t) {
-                closure.push(MstEdge {
-                    a: si,
-                    b: ti,
-                    cost: d,
-                    payload: payloads.len(),
-                });
-                payloads.push((si, *t));
-            }
-        }
-    }
-    let mst = kruskal(terminals.len(), &closure);
-
-    // 3. Expand each closure edge into its shortest path.
+    // 3. Expand each chosen closure edge into its underlying path.
     let mut edge_set: FxHashSet<EdgeId> = FxHashSet::default();
     for ce in &mst {
-        let (si, target) = payloads[ce.payload];
-        let path = runs[si]
-            .path_to(g, target)
-            .expect("closure edges only exist for reachable pairs");
-        edge_set.extend(path);
+        let (start, len) = ws.spans[ce.payload];
+        edge_set.extend(
+            ws.arena[start as usize..(start + len) as usize]
+                .iter()
+                .copied(),
+        );
     }
 
     // 4a. Re-MST over the expanded subgraph to break any cycles formed by
@@ -141,12 +387,137 @@ pub fn steiner_tree(g: &Graph, costs: &EdgeCosts, terminals: &[NodeId]) -> Subgr
     let pruned = subgraph_mst(g, costs, &edge_set);
 
     // 4b. Prune non-terminal leaves repeatedly.
-    let term_set: FxHashSet<NodeId> = terminals.iter().copied().collect();
+    let term_set: FxHashSet<NodeId> = ws.terminals.iter().copied().collect();
     let final_edges = prune_nonterminal_leaves(g, pruned, &term_set);
 
     let mut out = Subgraph::from_edges(g, final_edges);
     // Unreachable terminals are still part of the summary statement.
-    for t in &terminals {
+    for t in &ws.terminals {
+        out.insert_node(*t);
+    }
+    out
+}
+
+/// Compute the ST summary with the Mehlhorn metric closure —
+/// [`steiner_summary`]'s serving-scale sibling.
+///
+/// Kou–Markowsky–Berman (Algorithm 1) runs |T| single-source Dijkstras;
+/// Mehlhorn's 1988 refinement replaces them with **one** multi-source
+/// Dijkstra that partitions the graph into Voronoi cells around the
+/// terminals, then connects cells through their cheapest boundary
+/// edges. The approximation guarantee is the same factor 2, the
+/// asymptotic cost drops from `O(|T|(|E| + |V| log |V|))` (the paper's
+/// quoted bound) to `O(|E| + |V| log |V|)`, and the produced tree is
+/// usually — but not always — identical to KMB's. Use this for
+/// throughput-critical batches; use [`steiner_summary`] to reproduce
+/// the paper's pseudocode exactly.
+pub fn steiner_summary_fast(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Summary {
+    let costs = steiner_costs(g, input, cfg);
+    let subgraph = steiner_tree_fast(g, &costs, &input.terminals);
+    Summary {
+        method: "ST-fast",
+        scenario: input.scenario,
+        subgraph,
+        terminals: input.terminals.clone(),
+    }
+}
+
+/// [`steiner_tree`]'s Mehlhorn-accelerated sibling (per-thread scratch).
+pub fn steiner_tree_fast(g: &Graph, costs: &EdgeCosts, terminals: &[NodeId]) -> Subgraph {
+    STEINER_SCRATCH.with(|ws| steiner_tree_fast_with(g, costs, terminals, &mut ws.borrow_mut()))
+}
+
+/// [`steiner_tree_fast`] with an explicit reusable workspace.
+pub fn steiner_tree_fast_with(
+    g: &Graph,
+    costs: &EdgeCosts,
+    terminals: &[NodeId],
+    ws: &mut SteinerWorkspace,
+) -> Subgraph {
+    ws.terminals.clear();
+    ws.terminals.extend_from_slice(terminals);
+    ws.terminals.sort_unstable();
+    ws.terminals.dedup();
+
+    let mut out = Subgraph::new();
+    match ws.terminals.len() {
+        0 => return out,
+        1 => {
+            out.insert_node(ws.terminals[0]);
+            return out;
+        }
+        _ => {}
+    }
+
+    // 1. One multi-source Dijkstra: Voronoi cells around the terminals.
+    if ws.workers.is_empty() {
+        ws.workers.push(DijkstraWorkspace::new());
+    }
+    let dij = &mut ws.workers[0];
+    dij.run_voronoi(g, costs, &ws.terminals);
+
+    // 2. Candidate inter-cell connections: every edge whose endpoints
+    //    lie in different cells connects its two terminals at cost
+    //    d(u, t_u) + c(e) + d(v, t_v). Boundary edges can number O(|E|),
+    //    so reduce to the cheapest bridge per terminal pair in a dense
+    //    upper-triangular matrix first — kruskal then sorts at most
+    //    T·(T−1)/2 entries instead of thousands. Iterating edges in id
+    //    order with a strict `<` keeps the smallest-id bridge on ties,
+    //    mirroring KMB's insertion-order affinity.
+    let t = ws.terminals.len();
+    ws.pair_best.clear();
+    ws.pair_best.resize(t * t, (f64::INFINITY, u32::MAX));
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if let (Some(ou), Some(ov)) = (dij.origin_of(edge.src), dij.origin_of(edge.dst)) {
+            if ou != ov {
+                let du = dij.distance(edge.src).expect("origin implies distance");
+                let dv = dij.distance(edge.dst).expect("origin implies distance");
+                let cost = du + costs.get(e) + dv;
+                let idx = (ou.min(ov) as usize) * t + ou.max(ov) as usize;
+                if cost < ws.pair_best[idx].0 {
+                    ws.pair_best[idx] = (cost, e.0);
+                }
+            }
+        }
+    }
+    ws.closure.clear();
+    for a in 0..t {
+        for b in (a + 1)..t {
+            let (cost, e) = ws.pair_best[a * t + b];
+            if e != u32::MAX {
+                ws.closure.push(MstEdge {
+                    a,
+                    b,
+                    cost,
+                    payload: e as usize,
+                });
+            }
+        }
+    }
+    let mst = kruskal(t, &ws.closure);
+
+    // 3. Expand each chosen bridge into bridge + both endpoint-to-
+    //    terminal paths.
+    ws.arena.clear();
+    let mut edge_set: FxHashSet<EdgeId> = FxHashSet::default();
+    for ce in &mst {
+        let e = EdgeId(ce.payload as u32);
+        let edge = g.edge(e);
+        edge_set.insert(e);
+        ws.arena.clear();
+        dij.append_path_to_origin(g, edge.src, &mut ws.arena);
+        dij.append_path_to_origin(g, edge.dst, &mut ws.arena);
+        edge_set.extend(ws.arena.iter().copied());
+    }
+
+    // 4. Same KMB post-passes: re-MST, then prune non-terminal leaves.
+    let pruned = subgraph_mst(g, costs, &edge_set);
+    let term_set: FxHashSet<NodeId> = ws.terminals.iter().copied().collect();
+    let final_edges = prune_nonterminal_leaves(g, pruned, &term_set);
+
+    let mut out = Subgraph::from_edges(g, final_edges);
+    for t in &ws.terminals {
         out.insert_node(*t);
     }
     out
@@ -313,6 +684,72 @@ mod tests {
     }
 
     #[test]
+    fn fast_variant_finds_the_hub_star() {
+        let (g, n) = hub_graph();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let tree = steiner_tree_fast(&g, &costs, &[n[0], n[1], n[2]]);
+        assert_eq!(tree.edge_count(), 3, "hub star uses 3 edges");
+        assert!(tree.contains_node(n[3]));
+        assert!(!tree.contains_node(n[4]));
+        assert!(tree.is_tree(&g));
+    }
+
+    #[test]
+    fn fast_variant_edge_cases_match_kmb() {
+        let (mut g, n) = hub_graph();
+        let lonely = g.add_node(NodeKind::Item);
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        // Duplicates, single, empty, unreachable — all mirror KMB.
+        assert_eq!(
+            steiner_tree_fast(&g, &costs, &[n[0], n[0], n[1]]).edge_count(),
+            2
+        );
+        let single = steiner_tree_fast(&g, &costs, &[n[0]]);
+        assert_eq!((single.edge_count(), single.node_count()), (0, 1));
+        assert!(steiner_tree_fast(&g, &costs, &[]).is_empty());
+        let forest = steiner_tree_fast(&g, &costs, &[n[0], n[1], lonely]);
+        assert!(forest.contains_node(lonely));
+        assert_eq!(forest.edge_count(), 2);
+    }
+
+    #[test]
+    fn fast_variant_within_2x_of_kmb_cost() {
+        // Both carry the factor-2 guarantee against OPT, so fast can
+        // never exceed 2× KMB (and vice versa).
+        let (g, n) = hub_graph();
+        let costs = g.cost_transform_own(1.0);
+        let kmb = steiner_tree(&g, &costs, &[n[0], n[1], n[2]]);
+        let fast = steiner_tree_fast(&g, &costs, &[n[0], n[1], n[2]]);
+        let cost_of = |s: &Subgraph| s.edges().iter().map(|e| costs.get(*e)).sum::<f64>();
+        assert!(cost_of(&fast) <= 2.0 * cost_of(&kmb) + 1e-9);
+        assert!(cost_of(&kmb) <= 2.0 * cost_of(&fast) + 1e-9);
+        for t in &n[0..3] {
+            assert!(fast.contains_node(*t));
+        }
+    }
+
+    #[test]
+    fn cost_model_patches_match_steiner_costs() {
+        let (g, n) = hub_graph();
+        let path = xsum_graph::LoosePath::ground(&g, vec![n[0], n[3], n[1]]);
+        let input = SummaryInput::user_centric(n[0], vec![path]);
+        for lambda in [0.0, 1.0, 100.0] {
+            let cfg = SteinerConfig { lambda, delta: 1.0 };
+            let model = SteinerCostModel::new(&g, &cfg);
+            let mut costs = model.fresh_costs();
+            let mut touched = Vec::new();
+            model.patch(&g, &input, &mut costs, &mut touched);
+            let want = steiner_costs(&g, &input, &cfg);
+            assert_eq!(
+                costs.0, want.0,
+                "patched table must be bit-identical (λ={lambda})"
+            );
+            model.unpatch(&mut costs, &touched);
+            assert_eq!(costs.0, model.fresh_costs().0, "unpatch restores base");
+        }
+    }
+
+    #[test]
     fn lambda_boost_steers_toward_input_paths() {
         // Two parallel 2-hop routes between u and i2; the input explanation
         // uses the *heavier-boosted* one once λ is large.
@@ -332,8 +769,12 @@ mod tests {
         // Build a KG-free summary via raw pieces: emulate adjusted weights.
         let path = xsum_graph::LoosePath::ground(&g, vec![u, i1, a, i2]);
         let input = SummaryInput::user_centric(u, vec![path]);
-        let weights =
-            crate::weighting::adjusted_weights_of_paths(&g, &input.paths, input.anchor_count, 100.0);
+        let weights = crate::weighting::adjusted_weights_of_paths(
+            &g,
+            &input.paths,
+            input.anchor_count,
+            100.0,
+        );
         let costs = Graph::cost_transform(&weights, 1.0);
         let tree = steiner_tree(&g, &costs, &input.terminals);
         assert!(

@@ -244,9 +244,12 @@ mod tests {
         // Every item has at least one attribute edge by construction.
         for i in 0..ds.kg.n_items() {
             let node = ds.kg.item_node(i);
-            let has_attr = ds.kg.graph.neighbors(node).iter().any(|(n, _)| {
-                ds.kg.graph.kind(*n) == xsum_graph::NodeKind::Entity
-            });
+            let has_attr = ds
+                .kg
+                .graph
+                .neighbors(node)
+                .iter()
+                .any(|(n, _)| ds.kg.graph.kind(*n) == xsum_graph::NodeKind::Entity);
             assert!(has_attr, "item {i} has no attribute link");
         }
     }

@@ -214,12 +214,7 @@ pub fn assemble(
     let mut matrix = RatingMatrix::new(user_ids.len(), item_ids.len());
     let mut t0 = 0.0f64;
     for r in ratings {
-        matrix.rate(
-            user_ids[&r.user],
-            item_ids[&r.item],
-            r.rating,
-            r.timestamp,
-        );
+        matrix.rate(user_ids[&r.user], item_ids[&r.item], r.rating, r.timestamp);
         t0 = t0.max(r.timestamp);
     }
     let mut builder = KgBuilder::new(
@@ -270,9 +265,7 @@ pub fn load_movielens(
     users_path: Option<&Path>,
     attributes_path: Option<&Path>,
 ) -> Result<Dataset, LoadError> {
-    let ratings = parse_ratings(std::io::BufReader::new(std::fs::File::open(
-        ratings_path,
-    )?))?;
+    let ratings = parse_ratings(std::io::BufReader::new(std::fs::File::open(ratings_path)?))?;
     let genders = match users_path {
         Some(p) => parse_users(std::io::BufReader::new(std::fs::File::open(p)?))?,
         None => BTreeMap::new(),
@@ -328,8 +321,7 @@ pub fn save_movielens(
             if edge.kind != xsum_graph::EdgeKind::Attribute {
                 continue;
             }
-            if let (Some(i), Some(a)) = (ds.kg.item_index(edge.src), ds.kg.entity_index(edge.dst))
-            {
+            if let (Some(i), Some(a)) = (ds.kg.item_index(edge.src), ds.kg.entity_index(edge.dst)) {
                 writeln!(w, "{i}\t{a}")?;
             }
         }

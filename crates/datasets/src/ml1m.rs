@@ -29,8 +29,8 @@ pub fn ml1m_config(seed: u64) -> DatasetConfig {
         // ML1M star histogram: 1★ 5.6%, 2★ 10.7%, 3★ 26.1%, 4★ 34.9%, 5★ 22.7%.
         rating_probs: [0.056, 0.107, 0.261, 0.349, 0.227],
         male_fraction: 0.717,
-        t_start: 956_700_000.0,   // ≈ May 2000 (ML1M collection start)
-        t0: 1_046_400_000.0,      // ≈ Feb 2003 (collection end)
+        t_start: 956_700_000.0, // ≈ May 2000 (ML1M collection start)
+        t0: 1_046_400_000.0,    // ≈ Feb 2003 (collection end)
         seed,
     }
 }
@@ -60,8 +60,15 @@ mod tests {
         // target (density would exceed 1); the generator rescales activity
         // so the busiest user rates at most half the catalogue.
         let cap = ds.kg.n_users() * (ds.kg.n_items() / 2);
-        assert!(ds.ratings.n_ratings() >= ds.kg.n_users(), "every user rates");
-        assert!(ds.ratings.n_ratings() <= cap, "got {}", ds.ratings.n_ratings());
+        assert!(
+            ds.ratings.n_ratings() >= ds.kg.n_users(),
+            "every user rates"
+        );
+        assert!(
+            ds.ratings.n_ratings() <= cap,
+            "got {}",
+            ds.ratings.n_ratings()
+        );
         assert_eq!(ds.name, "ml1m");
     }
 

@@ -123,7 +123,11 @@ mod tests {
     fn gender_sample_is_balanced_and_sorted() {
         let ds = ds();
         let sample = sample_users_by_gender(&ds, 10);
-        assert!(sample.len() >= 15, "expected ~20 users, got {}", sample.len());
+        assert!(
+            sample.len() >= 15,
+            "expected ~20 users, got {}",
+            sample.len()
+        );
         assert!(sample.windows(2).all(|w| w[0] < w[1]));
         let males = sample
             .iter()
@@ -156,7 +160,10 @@ mod tests {
         let min_top = top.iter().map(|i| pop[*i]).min().unwrap();
         let max_bottom = bottom.iter().map(|i| pop[*i]).max().unwrap();
         assert!(min_top >= max_bottom);
-        assert!(bottom.iter().all(|i| pop[*i] > 0), "unpopular items still rated");
+        assert!(
+            bottom.iter().all(|i| pop[*i] > 0),
+            "unpopular items still rated"
+        );
     }
 
     #[test]
@@ -171,7 +178,10 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found > 10, "random paths should usually exist, found {found}");
+        assert!(
+            found > 10,
+            "random paths should usually exist, found {found}"
+        );
     }
 
     #[test]

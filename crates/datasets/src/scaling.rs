@@ -155,7 +155,11 @@ mod tests {
         assert_eq!(ds.kg.n_entities(), 109);
         // Interaction count is clamped by matrix capacity at this scale
         // (61 users × 19-item quota); attributes add ~1.8k more.
-        assert!(ds.kg.graph.edge_count() > 1_500, "got {}", ds.kg.graph.edge_count());
+        assert!(
+            ds.kg.graph.edge_count() > 1_500,
+            "got {}",
+            ds.kg.graph.edge_count()
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ mod tests {
     fn degree_of_star() {
         let (g, hub) = star5();
         let dc = degree_centrality(&g);
-        assert!((dc[hub.index()] - 1.0).abs() < 1e-12, "hub touches all others");
+        assert!(
+            (dc[hub.index()] - 1.0).abs() < 1e-12,
+            "hub touches all others"
+        );
         assert!((dc[1] - 0.25).abs() < 1e-12);
     }
 

@@ -6,6 +6,18 @@
 //! provides the single run, with optional early termination once a set of
 //! targets has been settled (the common case: terminals are a tiny fraction
 //! of the ML1M graph's 19,844 nodes).
+//!
+//! Two entry points:
+//!
+//! * [`DijkstraWorkspace::run`] — the hot path. The workspace owns the
+//!   `dist` / `parent` / heap buffers plus generation-stamped visited and
+//!   target arrays, so repeated runs perform **zero heap allocations**
+//!   after the first (clears are O(1) generation bumps, not O(|V|)
+//!   rewrites), target membership is an O(1) stamp check instead of an
+//!   O(|T|) scan per settled node, and duplicate targets are counted once
+//!   without the legacy per-call sort/dedup allocation.
+//! * [`dijkstra`] — the allocating convenience wrapper returning an owned
+//!   [`DijkstraResult`]; it drives a fresh workspace internally.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -14,7 +26,7 @@ use crate::graph::{EdgeCosts, Graph};
 use crate::ids::{EdgeId, NodeId};
 
 /// Max-heap entry inverted into a min-heap on cost.
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
     cost: f64,
     node: NodeId,
@@ -78,69 +90,348 @@ impl DijkstraResult {
     }
 }
 
+/// Reusable single-source shortest-path state.
+///
+/// All buffers are sized to the largest graph seen so far and reused
+/// verbatim across runs: validity is tracked by comparing per-node stamps
+/// against a generation counter that a new run bumps in O(1). A
+/// workspace is cheap to create but only pays off when reused — the
+/// Steiner metric closure runs |T| searches per summary and thousands of
+/// summaries per batch out of the same workspace without touching the
+/// allocator.
+#[derive(Debug, Clone)]
+pub struct DijkstraWorkspace {
+    /// Source of the last run (meaningless before the first run).
+    source: NodeId,
+    /// Tentative/final distances; valid iff `stamp[v] == generation`.
+    dist: Vec<f64>,
+    /// Parent edges; valid iff `stamp[v] == generation`.
+    parent: Vec<Option<EdgeId>>,
+    /// Generation stamp: node has a valid dist/parent entry this run.
+    stamp: Vec<u32>,
+    /// Generation stamp: node is settled this run.
+    settled: Vec<u32>,
+    /// Generation stamp: node is a not-yet-settled target this run.
+    target: Vec<u32>,
+    /// Voronoi mode: index (into the run's source list) of the source
+    /// that reaches each node cheapest; valid iff `stamp[v] == generation`.
+    origin: Vec<u32>,
+    /// Current run's generation (stamps from other runs never match).
+    generation: u32,
+    /// Reused priority queue.
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Default for DijkstraWorkspace {
+    fn default() -> Self {
+        DijkstraWorkspace {
+            source: NodeId(0),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            stamp: Vec::new(),
+            settled: Vec::new(),
+            target: Vec::new(),
+            origin: Vec::new(),
+            generation: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl DijkstraWorkspace {
+    /// Fresh, unsized workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Source node of the most recent run.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Bump the generation, handling wraparound by a full stamp reset.
+    fn next_generation(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, None);
+            self.stamp.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.target.resize(n, 0);
+            self.origin.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // One O(|V|) reset every 2^32 runs keeps stale stamps from
+            // colliding with a recycled generation value.
+            self.stamp.fill(0);
+            self.settled.fill(0);
+            self.target.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    /// Run Dijkstra from `source`, stopping early once every node in
+    /// `targets` (if non-empty) has been settled. Duplicate targets are
+    /// counted once; a target equal to `source` settles immediately.
+    ///
+    /// Results are read back through [`DijkstraWorkspace::distance`] /
+    /// [`DijkstraWorkspace::path_to`] / [`DijkstraWorkspace::append_path_to`]
+    /// and stay valid until the next `run` on this workspace.
+    ///
+    /// # Panics
+    /// Panics (debug) if any edge cost is negative — the §IV-A transform
+    /// guarantees positivity.
+    pub fn run(&mut self, g: &Graph, costs: &EdgeCosts, source: NodeId, targets: &[NodeId]) {
+        debug_assert_eq!(
+            costs.len(),
+            g.edge_count(),
+            "cost table must cover all edges"
+        );
+        let n = g.node_count();
+        self.next_generation(n);
+        self.source = source;
+        let generation = self.generation;
+
+        // Mark targets with the generation stamp: membership tests in the
+        // main loop become one array read, duplicates collapse for free.
+        // Out-of-range ids (stale targets from another graph) are
+        // skipped: they can never settle, so — like the legacy linear
+        // scan — they simply never satisfy the countdown.
+        let mut remaining = if targets.is_empty() { usize::MAX } else { 0 };
+        if remaining == 0 {
+            for t in targets {
+                if t.index() < n && self.target[t.index()] != generation {
+                    self.target[t.index()] = generation;
+                    remaining += 1;
+                }
+            }
+        }
+
+        self.dist[source.index()] = 0.0;
+        self.parent[source.index()] = None;
+        self.stamp[source.index()] = generation;
+        self.heap.push(HeapEntry {
+            cost: 0.0,
+            node: source,
+        });
+
+        while let Some(HeapEntry { cost, node }) = self.heap.pop() {
+            if self.settled[node.index()] == generation {
+                continue;
+            }
+            self.settled[node.index()] = generation;
+            if self.target[node.index()] == generation {
+                // Un-mark so a (node, ...) duplicate in the heap cannot
+                // decrement twice.
+                self.target[node.index()] = generation.wrapping_sub(1);
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            for &(next, e) in g.neighbors(node) {
+                let ni = next.index();
+                if self.settled[ni] == generation {
+                    continue;
+                }
+                let w = costs.get(e);
+                debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
+                let nd = cost + w;
+                if self.stamp[ni] != generation || nd < self.dist[ni] {
+                    self.dist[ni] = nd;
+                    self.parent[ni] = Some(e);
+                    self.stamp[ni] = generation;
+                    self.heap.push(HeapEntry {
+                        cost: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Multi-source Dijkstra: grow all of `sources` simultaneously,
+    /// computing for every reachable node its distance to — and the
+    /// identity of — the *nearest* source (a Voronoi partition of the
+    /// graph around the sources, the heart of Mehlhorn's
+    /// metric-closure acceleration).
+    ///
+    /// Runs to exhaustion (every reachable node needs its cell). Read
+    /// back with [`DijkstraWorkspace::distance`],
+    /// [`DijkstraWorkspace::origin_of`] and
+    /// [`DijkstraWorkspace::append_path_to_origin`]. Ties between
+    /// sources resolve deterministically (cost, then node id, through
+    /// the heap order).
+    ///
+    /// # Panics
+    /// Panics (debug) on negative edge costs.
+    pub fn run_voronoi(&mut self, g: &Graph, costs: &EdgeCosts, sources: &[NodeId]) {
+        debug_assert_eq!(
+            costs.len(),
+            g.edge_count(),
+            "cost table must cover all edges"
+        );
+        let n = g.node_count();
+        self.next_generation(n);
+        let generation = self.generation;
+        // With several sources there is no single root; `source` is used
+        // as the parent-chain sentinel, so pick the first (paths stop at
+        // parent == None anyway).
+        self.source = sources.first().copied().unwrap_or(NodeId(0));
+
+        for (i, &s) in sources.iter().enumerate() {
+            let si = s.index();
+            // A duplicate source keeps its first index (dist 0 either way).
+            if self.stamp[si] == generation {
+                continue;
+            }
+            self.dist[si] = 0.0;
+            self.parent[si] = None;
+            self.origin[si] = i as u32;
+            self.stamp[si] = generation;
+            self.heap.push(HeapEntry { cost: 0.0, node: s });
+        }
+
+        while let Some(HeapEntry { cost, node }) = self.heap.pop() {
+            if self.settled[node.index()] == generation {
+                continue;
+            }
+            self.settled[node.index()] = generation;
+            let node_origin = self.origin[node.index()];
+            for &(next, e) in g.neighbors(node) {
+                let ni = next.index();
+                if self.settled[ni] == generation {
+                    continue;
+                }
+                let w = costs.get(e);
+                debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
+                let nd = cost + w;
+                if self.stamp[ni] != generation || nd < self.dist[ni] {
+                    self.dist[ni] = nd;
+                    self.parent[ni] = Some(e);
+                    self.origin[ni] = node_origin;
+                    self.stamp[ni] = generation;
+                    self.heap.push(HeapEntry {
+                        cost: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+    }
+
+    /// After [`DijkstraWorkspace::run_voronoi`]: index (into the run's
+    /// source list) of the source nearest to `v`, or `None` if `v` is
+    /// unreachable from every source.
+    #[inline]
+    pub fn origin_of(&self, v: NodeId) -> Option<u32> {
+        self.reached(v).then(|| self.origin[v.index()])
+    }
+
+    /// After [`DijkstraWorkspace::run_voronoi`]: append the edges of the
+    /// path from `v` back to its nearest source (in source→v walk
+    /// order). Returns `false` — leaving `out` untouched — if `v` was
+    /// unreached.
+    pub fn append_path_to_origin(&self, g: &Graph, v: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        if !self.reached(v) {
+            return false;
+        }
+        let before = out.len();
+        let mut cur = v;
+        while let Some(e) = self.parent[cur.index()] {
+            out.push(e);
+            cur = g.edge(e).other(cur);
+        }
+        out[before..].reverse();
+        true
+    }
+
+    /// Whether `v` has a valid entry from the last run (total: ids
+    /// beyond the buffers — e.g. on a fresh workspace — are unreached,
+    /// not a panic).
+    #[inline]
+    fn reached(&self, v: NodeId) -> bool {
+        self.stamp.get(v.index()) == Some(&self.generation)
+    }
+
+    /// Distance to `t` from the last run's source, or `None` if
+    /// unreached (or not yet discovered when the run exited early).
+    #[inline]
+    pub fn distance(&self, t: NodeId) -> Option<f64> {
+        self.reached(t).then(|| self.dist[t.index()])
+    }
+
+    /// Reconstruct the edge sequence of the shortest path source→t, or
+    /// `None` if `t` was not reached.
+    pub fn path_to(&self, g: &Graph, t: NodeId) -> Option<Vec<EdgeId>> {
+        let mut out = Vec::new();
+        self.append_path_to(g, t, &mut out).then_some(out)
+    }
+
+    /// Append the source→t path's edges to `out` in walk order
+    /// (allocation-free when `out` has capacity). Returns `false` —
+    /// leaving `out` untouched — if `t` was not reached.
+    pub fn append_path_to(&self, g: &Graph, t: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        if !self.reached(t) {
+            return false;
+        }
+        let before = out.len();
+        let mut cur = t;
+        while cur != self.source {
+            match self.parent[cur.index()] {
+                Some(e) => {
+                    out.push(e);
+                    cur = g.edge(e).other(cur);
+                }
+                None => {
+                    out.truncate(before);
+                    return false;
+                }
+            }
+        }
+        out[before..].reverse();
+        true
+    }
+
+    /// Copy the last run out into an owned [`DijkstraResult`] (allocates;
+    /// for callers that outlive the workspace).
+    pub fn to_result(&self, n: usize) -> DijkstraResult {
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+        for v in 0..n.min(self.stamp.len()) {
+            if self.stamp[v] == self.generation {
+                dist[v] = self.dist[v];
+                parent_edge[v] = self.parent[v];
+            }
+        }
+        DijkstraResult {
+            source: self.source,
+            dist,
+            parent_edge,
+        }
+    }
+}
+
 /// Dijkstra from `source` using `costs`; stops early once every node in
 /// `targets` (if non-empty) has been settled.
+///
+/// Allocates a fresh [`DijkstraWorkspace`] per call — use a reused
+/// workspace on hot paths.
 ///
 /// # Panics
 /// Panics (debug) if any edge cost is negative — the §IV-A transform
 /// guarantees positivity.
-pub fn dijkstra(g: &Graph, costs: &EdgeCosts, source: NodeId, targets: &[NodeId]) -> DijkstraResult {
-    debug_assert_eq!(costs.len(), g.edge_count(), "cost table must cover all edges");
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut remaining = if targets.is_empty() {
-        usize::MAX
-    } else {
-        // Count distinct unsettled targets (the source may be a target).
-        let mut uniq: Vec<NodeId> = targets.to_vec();
-        uniq.sort_unstable();
-        uniq.dedup();
-        uniq.len()
-    };
-
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
-        cost: 0.0,
-        node: source,
-    });
-
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if settled[node.index()] {
-            continue;
-        }
-        settled[node.index()] = true;
-        if remaining != usize::MAX && targets.contains(&node) {
-            remaining -= 1;
-            if remaining == 0 {
-                break;
-            }
-        }
-        for &(next, e) in g.neighbors(node) {
-            if settled[next.index()] {
-                continue;
-            }
-            let w = costs.get(e);
-            debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
-            let nd = cost + w;
-            if nd < dist[next.index()] {
-                dist[next.index()] = nd;
-                parent_edge[next.index()] = Some(e);
-                heap.push(HeapEntry {
-                    cost: nd,
-                    node: next,
-                });
-            }
-        }
-    }
-
-    DijkstraResult {
-        source,
-        dist,
-        parent_edge,
-    }
+pub fn dijkstra(
+    g: &Graph,
+    costs: &EdgeCosts,
+    source: NodeId,
+    targets: &[NodeId],
+) -> DijkstraResult {
+    let mut ws = DijkstraWorkspace::new();
+    ws.run(g, costs, source, targets);
+    ws.to_result(g.node_count())
 }
 
 /// Cheapest path `s → t`: `(total cost, edge sequence)`.
@@ -277,6 +568,185 @@ mod tests {
         let res = dijkstra(&g, &costs, ids[0], &[ids[0]]);
         assert_eq!(res.distance(ids[0]), Some(0.0));
         assert_eq!(res.path_to(&g, ids[0]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let (g, ids) = line();
+        let costs = g.cost_transform_own(0.5);
+        let mut ws = DijkstraWorkspace::new();
+        for _ in 0..3 {
+            for &src in &ids {
+                ws.run(&g, &costs, src, &[]);
+                let fresh = dijkstra(&g, &costs, src, &[]);
+                for &t in &ids {
+                    assert_eq!(ws.distance(t), fresh.distance(t));
+                    assert_eq!(ws.path_to(&g, t), fresh.path_to(&g, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_with_duplicate_targets() {
+        // The countdown must count distinct targets once: with duplicates
+        // naively counted, the run would terminate before settling both
+        // real targets (or never terminate, depending on sign).
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let dup = [ids[3], ids[1], ids[3], ids[1], ids[3]];
+        let res = dijkstra(&g, &costs, ids[0], &dup);
+        assert_eq!(res.distance(ids[1]), Some(1.0));
+        assert_eq!(
+            res.distance(ids[3]),
+            Some(3.0),
+            "far target must be settled"
+        );
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, &costs, ids[0], &dup);
+        assert_eq!(ws.distance(ids[3]), Some(3.0));
+        assert_eq!(ws.path_to(&g, ids[3]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn early_exit_with_source_coincident_target() {
+        // Source-in-targets settles at distance 0 and must decrement the
+        // countdown exactly once (also under duplication of the source).
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let targets = [ids[0], ids[0], ids[2]];
+        let res = dijkstra(&g, &costs, ids[0], &targets);
+        assert_eq!(res.distance(ids[0]), Some(0.0));
+        assert_eq!(res.distance(ids[2]), Some(2.0));
+        assert_eq!(res.path_to(&g, ids[0]).unwrap().len(), 0);
+        // Workspace variant agrees and reuses cleanly right after.
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, &costs, ids[0], &targets);
+        assert_eq!(ws.distance(ids[2]), Some(2.0));
+        ws.run(&g, &costs, ids[3], &[ids[0]]);
+        assert_eq!(ws.distance(ids[0]), Some(3.0));
+    }
+
+    #[test]
+    fn workspace_grows_across_graphs() {
+        // A workspace sized on a small graph must resize for a larger one.
+        let (small, sids) = line();
+        let costs_small = EdgeCosts::uniform(&small, 1.0);
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&small, &costs_small, sids[0], &[]);
+        let mut big = Graph::new();
+        let nodes: Vec<NodeId> = (0..50).map(|_| big.add_node(NodeKind::Entity)).collect();
+        for w in nodes.windows(2) {
+            big.add_edge(w[0], w[1], 1.0, EdgeKind::Attribute);
+        }
+        let costs_big = EdgeCosts::uniform(&big, 1.0);
+        ws.run(&big, &costs_big, nodes[0], &[]);
+        assert_eq!(ws.distance(nodes[49]), Some(49.0));
+        // And back down without stale state.
+        ws.run(&small, &costs_small, sids[0], &[]);
+        assert_eq!(ws.distance(sids[3]), Some(3.0));
+    }
+
+    #[test]
+    fn voronoi_assigns_nearest_source() {
+        // Line u - i1 - a - i2 with unit costs; sources u and i2.
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let mut ws = DijkstraWorkspace::new();
+        ws.run_voronoi(&g, &costs, &[ids[0], ids[3]]);
+        assert_eq!(ws.origin_of(ids[0]), Some(0));
+        assert_eq!(ws.origin_of(ids[3]), Some(1));
+        assert_eq!(ws.distance(ids[0]), Some(0.0));
+        assert_eq!(ws.distance(ids[3]), Some(0.0));
+        // i1 is 1 hop from u, 2 from i2 → cell of u.
+        assert_eq!(ws.origin_of(ids[1]), Some(0));
+        assert_eq!(ws.distance(ids[1]), Some(1.0));
+        // a is 1 hop from i2, 2 from u → cell of i2.
+        assert_eq!(ws.origin_of(ids[2]), Some(1));
+        assert_eq!(ws.distance(ids[2]), Some(1.0));
+        // Path from a leads back to its own cell's source.
+        let mut buf = Vec::new();
+        assert!(ws.append_path_to_origin(&g, ids[2], &mut buf));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(g.edge(buf[0]).other(ids[2]), ids[3]);
+    }
+
+    #[test]
+    fn voronoi_unreachable_and_duplicates() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::Item);
+        let c = g.add_node(NodeKind::Item);
+        g.add_edge(a, b, 1.0, EdgeKind::Interaction);
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let mut ws = DijkstraWorkspace::new();
+        ws.run_voronoi(&g, &costs, &[a, a]);
+        assert_eq!(ws.origin_of(a), Some(0), "duplicate keeps first index");
+        assert_eq!(ws.origin_of(b), Some(0));
+        assert_eq!(ws.origin_of(c), None);
+        let mut buf = Vec::new();
+        assert!(!ws.append_path_to_origin(&g, c, &mut buf));
+        // Interleaving single-source and voronoi runs is safe.
+        ws.run(&g, &costs, b, &[]);
+        assert_eq!(ws.distance(a), Some(1.0));
+        assert_eq!(ws.distance(c), None);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_tolerated() {
+        // A stale target id from a larger graph must not panic. It is
+        // excluded from the countdown (it can never settle), so the run
+        // exits as soon as the real targets are settled…
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let bogus = NodeId(999);
+        let res = dijkstra(&g, &costs, ids[0], &[ids[2], bogus]);
+        assert_eq!(res.distance(ids[2]), Some(2.0));
+        assert_eq!(res.distance(ids[3]), None, "early exit at the real target");
+        // …and with only bogus targets the countdown never fires, so the
+        // search degrades to a full run (the legacy behavior).
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, &costs, ids[0], &[bogus]);
+        assert_eq!(ws.distance(ids[3]), Some(3.0));
+    }
+
+    #[test]
+    fn accessors_are_total_before_any_run() {
+        // A fresh workspace (or one sized for a smaller graph) must
+        // answer None/false for out-of-range ids, not panic.
+        let ws = DijkstraWorkspace::new();
+        let (g, _) = line();
+        assert_eq!(ws.distance(NodeId(0)), None);
+        assert_eq!(ws.origin_of(NodeId(5)), None);
+        assert!(ws.path_to(&g, NodeId(2)).is_none());
+        let mut buf = Vec::new();
+        assert!(!ws.append_path_to(&g, NodeId(1), &mut buf));
+        assert!(!ws.append_path_to_origin(&g, NodeId(1), &mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn append_path_reuses_buffer() {
+        let (g, ids) = line();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, &costs, ids[0], &[]);
+        let mut buf: Vec<EdgeId> = Vec::with_capacity(16);
+        assert!(ws.append_path_to(&g, ids[2], &mut buf));
+        let first = buf.len();
+        assert_eq!(first, 2);
+        assert!(ws.append_path_to(&g, ids[3], &mut buf));
+        assert_eq!(buf.len(), first + 3);
+        // Unreached target leaves the buffer untouched.
+        let mut h = Graph::new();
+        let a = h.add_node(NodeKind::User);
+        let b = h.add_node(NodeKind::Item);
+        let _ = (a, b);
+        let hc = EdgeCosts::uniform(&h, 1.0);
+        ws.run(&h, &hc, a, &[]);
+        let mut buf2 = vec![EdgeId(7)];
+        assert!(!ws.append_path_to(&h, b, &mut buf2));
+        assert_eq!(buf2, vec![EdgeId(7)]);
     }
 
     #[test]

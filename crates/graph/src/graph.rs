@@ -8,6 +8,8 @@
 //! renderers verbalize `u → i` as "u watched i" while `i → a` becomes
 //! "i is related to a".
 
+use std::sync::OnceLock;
+
 use crate::ids::{EdgeId, NodeId, NodeKind};
 
 /// Classification of edges in the knowledge-based graph.
@@ -85,19 +87,71 @@ impl EdgeCosts {
     }
 }
 
+/// Frozen compressed-sparse-row (CSR) adjacency: one flat `(neighbor,
+/// edge)` array indexed by per-node offsets.
+///
+/// Built once from the edge list by a counting sort, so a node's slice
+/// lists its incident edges in insertion order — exactly the order the
+/// legacy per-node `Vec<Vec<_>>` builder produced — while the whole
+/// adjacency lives in two contiguous allocations. Dijkstra's inner loop
+/// then walks cache-resident slices instead of chasing one heap pointer
+/// per node.
+#[derive(Debug, Clone, Default)]
+struct CsrAdj {
+    /// `offsets[v]..offsets[v + 1]` delimits node `v`'s slice of `pairs`.
+    offsets: Vec<u32>,
+    /// Flat `(neighbor, edge id)` pairs, grouped by node.
+    pairs: Vec<(NodeId, EdgeId)>,
+}
+
+impl CsrAdj {
+    fn build(node_count: usize, edges: &[Edge]) -> Self {
+        let mut offsets = vec![0u32; node_count + 1];
+        for e in edges {
+            offsets[e.src.index() + 1] += 1;
+            offsets[e.dst.index() + 1] += 1;
+        }
+        for v in 0..node_count {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut pairs = vec![(NodeId(0), EdgeId(0)); edges.len() * 2];
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let s = e.src.index();
+            pairs[cursor[s] as usize] = (e.dst, id);
+            cursor[s] += 1;
+            let d = e.dst.index();
+            pairs[cursor[d] as usize] = (e.src, id);
+            cursor[d] += 1;
+        }
+        CsrAdj { offsets, pairs }
+    }
+
+    #[inline]
+    fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.pairs[self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize]
+    }
+}
+
 /// The knowledge-based graph `G(V, E, w)`.
 ///
 /// Storage is index-based: nodes and edges live in contiguous arrays, and
-/// the adjacency list merges in- and out-edges so traversals see the weak
-/// (undirected) view. Parallel edges are permitted (the rating matrix never
-/// produces them, but path generators may), self-loops are rejected.
+/// adjacency is served from a frozen CSR layout ([`CsrAdj`]) that merges
+/// in- and out-edges so traversals see the weak (undirected) view. The
+/// CSR is built lazily on the first adjacency query after a mutation and
+/// cached until the next mutation, so the build-then-search lifecycle
+/// pays exactly one `O(|V| + |E|)` freeze. Parallel edges are permitted
+/// (the rating matrix never produces them, but path generators may),
+/// self-loops are rejected.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     kinds: Vec<NodeKind>,
     labels: Vec<String>,
     edges: Vec<Edge>,
-    /// Undirected adjacency: for each node, (neighbor, edge id) pairs.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Lazily frozen undirected CSR adjacency (thread-safe: `OnceLock`
+    /// lets concurrent readers share one freeze).
+    csr: OnceLock<CsrAdj>,
 }
 
 impl Graph {
@@ -112,8 +166,28 @@ impl Graph {
             kinds: Vec::with_capacity(nodes),
             labels: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
-            adj: Vec::with_capacity(nodes),
+            csr: OnceLock::new(),
         }
+    }
+
+    /// The frozen CSR adjacency, building it on first use after a
+    /// mutation.
+    #[inline]
+    fn csr(&self) -> &CsrAdj {
+        self.csr
+            .get_or_init(|| CsrAdj::build(self.kinds.len(), &self.edges))
+    }
+
+    /// Drop the cached CSR after a structural mutation.
+    #[inline]
+    fn invalidate_csr(&mut self) {
+        self.csr = OnceLock::new();
+    }
+
+    /// Force the CSR freeze now (e.g. before sharing the graph across
+    /// search threads, so workers never contend on the first build).
+    pub fn freeze(&self) {
+        let _ = self.csr();
     }
 
     /// Add a node of the given kind with an empty label.
@@ -126,7 +200,7 @@ impl Graph {
         let id = NodeId(self.kinds.len() as u32);
         self.kinds.push(kind);
         self.labels.push(label.into());
-        self.adj.push(Vec::new());
+        self.invalidate_csr();
         id
     }
 
@@ -136,8 +210,14 @@ impl Graph {
     /// Panics on out-of-range endpoints or self-loops.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64, kind: EdgeKind) -> EdgeId {
         assert!(src.index() < self.kinds.len(), "edge source out of range");
-        assert!(dst.index() < self.kinds.len(), "edge destination out of range");
-        assert_ne!(src, dst, "self-loops are not allowed in the knowledge graph");
+        assert!(
+            dst.index() < self.kinds.len(),
+            "edge destination out of range"
+        );
+        assert_ne!(
+            src, dst,
+            "self-loops are not allowed in the knowledge graph"
+        );
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge {
             src,
@@ -145,8 +225,7 @@ impl Graph {
             weight,
             kind,
         });
-        self.adj[src.index()].push((dst, id));
-        self.adj[dst.index()].push((src, id));
+        self.invalidate_csr();
         id
     }
 
@@ -186,9 +265,22 @@ impl Graph {
     }
 
     /// Mutable edge payload (used by weight-policy rebuilds in tests).
+    ///
+    /// Invalidates the cached CSR: the caller may rewrite endpoints, not
+    /// just the weight. Weight-only updates should use
+    /// [`Graph::set_weight`], which keeps the CSR.
     #[inline]
     pub fn edge_mut(&mut self, e: EdgeId) -> &mut Edge {
+        self.invalidate_csr();
         &mut self.edges[e.index()]
+    }
+
+    /// Overwrite one edge's weight without touching the adjacency —
+    /// the CSR stores no weights, so reweight sweeps (Fig. 16) keep the
+    /// frozen layout.
+    #[inline]
+    pub fn set_weight(&mut self, e: EdgeId, weight: f64) {
+        self.edges[e.index()].weight = weight;
     }
 
     /// Weight `w(e)`.
@@ -197,16 +289,18 @@ impl Graph {
         self.edges[e.index()].weight
     }
 
-    /// Undirected neighbors of `n` as `(neighbor, edge)` pairs.
+    /// Undirected neighbors of `n` as `(neighbor, edge)` pairs, in edge
+    /// insertion order.
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[n.index()]
+        self.csr().neighbors(n)
     }
 
     /// Undirected degree of `n`.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adj[n.index()].len()
+        let csr = self.csr();
+        (csr.offsets[n.index() + 1] - csr.offsets[n.index()]) as usize
     }
 
     /// Iterator over all node ids.
@@ -241,7 +335,7 @@ impl Graph {
         } else {
             (b, a)
         };
-        self.adj[probe.index()]
+        self.neighbors(probe)
             .iter()
             .find(|(n, _)| *n == target)
             .map(|(_, e)| *e)
@@ -381,7 +475,9 @@ mod tests {
     fn edge_lookup_and_other() {
         let (g, ids) = tiny();
         let (u, i1) = (ids[0], ids[1]);
-        let e = g.find_edge(i1, u).expect("edge exists regardless of direction");
+        let e = g
+            .find_edge(i1, u)
+            .expect("edge exists regardless of direction");
         assert_eq!(g.edge(e).other(u), i1);
         assert_eq!(g.edge(e).other(i1), u);
         assert!(g.edge(e).touches(u));
@@ -437,6 +533,45 @@ mod tests {
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.label(users[2]), "u2");
         assert_eq!(g.label(items[1]), "i1");
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let (mut g, ids) = tiny();
+        // Freeze, then mutate: the CSR must be invalidated and rebuilt.
+        assert_eq!(g.degree(ids[0]), 2);
+        let i3 = g.add_labeled_node(NodeKind::Item, "i3");
+        g.add_edge(ids[0], i3, 1.0, EdgeKind::Interaction);
+        assert_eq!(g.degree(ids[0]), 3);
+        assert_eq!(g.degree(i3), 1);
+        let neigh: Vec<NodeId> = g.neighbors(ids[0]).iter().map(|(n, _)| *n).collect();
+        assert_eq!(neigh, vec![ids[1], ids[2], i3], "insertion order preserved");
+        // freeze() is idempotent and cheap to repeat.
+        g.freeze();
+        g.freeze();
+        assert_eq!(g.degree(i3), 1);
+    }
+
+    #[test]
+    fn set_weight_keeps_adjacency_valid() {
+        let (mut g, ids) = tiny();
+        g.freeze();
+        g.set_weight(EdgeId(0), 9.5);
+        assert_eq!(g.weight(EdgeId(0)), 9.5);
+        // Adjacency unchanged and served from the same frozen CSR.
+        assert_eq!(g.degree(ids[0]), 2);
+        assert_eq!(g.neighbors(ids[0])[0].0, ids[1]);
+    }
+
+    #[test]
+    fn csr_clone_is_independent() {
+        let (g, ids) = tiny();
+        g.freeze();
+        let mut h = g.clone();
+        let extra = h.add_node(NodeKind::Entity);
+        h.add_edge(ids[0], extra, 1.0, EdgeKind::Attribute);
+        assert_eq!(g.degree(ids[0]), 2);
+        assert_eq!(h.degree(ids[0]), 3);
     }
 
     #[test]

@@ -8,9 +8,19 @@
 //! — connected by weighted interaction (user→item) and attribute
 //! (user/item→entity) edges. This crate provides:
 //!
-//! * [`Graph`]: compact adjacency storage with typed nodes and weighted,
-//!   directed edges, traversed through an undirected view (the paper's
-//!   summaries are *weakly* connected subgraphs);
+//! * [`Graph`]: compact storage with typed nodes and weighted, directed
+//!   edges, traversed through an undirected view (the paper's summaries
+//!   are *weakly* connected subgraphs). Adjacency is a **frozen CSR
+//!   layout** — flat offset/neighbor arrays built once per mutation epoch
+//!   — so the search kernels stream cache-resident slices instead of
+//!   chasing per-node heap pointers;
+//! * [`DijkstraWorkspace`]: reusable shortest-path state (distance /
+//!   parent / heap buffers plus generation-stamped visited and target
+//!   arrays) making repeated searches allocation-free after warmup, with
+//!   O(1) clears and O(1) early-exit target accounting;
+//! * [`parallel`]: a minimal scoped fork–join (`parallel_map_with`) that
+//!   threads per-worker workspaces through a parallel region — the
+//!   engine's substitute for rayon in registry-less builds;
 //! * [`Path`]: a validated walk through the graph, the unit of individual
 //!   path-based explanations;
 //! * [`Subgraph`]: an edge/node subset of a parent graph, the unit of
@@ -33,19 +43,21 @@ pub mod ids;
 pub mod loosepath;
 pub mod mst;
 pub mod pagerank;
+pub mod parallel;
 pub mod path;
 pub mod subgraph;
 pub mod traversal;
 pub mod unionfind;
 
 pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality};
-pub use dijkstra::{dijkstra, shortest_path, DijkstraResult};
+pub use dijkstra::{dijkstra, shortest_path, DijkstraResult, DijkstraWorkspace};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder};
 pub use ids::{EdgeId, NodeId, NodeKind};
 pub use loosepath::LoosePath;
 pub use mst::{kruskal, prim, MstEdge};
 pub use pagerank::{pagerank, PageRankConfig};
+pub use parallel::{num_threads, parallel_map, parallel_map_with};
 pub use path::Path;
 pub use subgraph::Subgraph;
 pub use traversal::{

@@ -29,10 +29,7 @@ impl LoosePath {
     /// Panics if `nodes` is empty.
     pub fn ground(g: &Graph, nodes: Vec<NodeId>) -> Self {
         assert!(!nodes.is_empty(), "a path needs at least one node");
-        let edges = nodes
-            .windows(2)
-            .map(|w| g.find_edge(w[0], w[1]))
-            .collect();
+        let edges = nodes.windows(2).map(|w| g.find_edge(w[0], w[1])).collect();
         LoosePath { nodes, edges }
     }
 
@@ -155,12 +152,7 @@ mod tests {
     #[test]
     fn from_path_roundtrip() {
         let (g, n) = setup();
-        let p = Path::new(
-            &g,
-            vec![n[0], n[1]],
-            vec![g.find_edge(n[0], n[1]).unwrap()],
-        )
-        .unwrap();
+        let p = Path::new(&g, vec![n[0], n[1]], vec![g.find_edge(n[0], n[1]).unwrap()]).unwrap();
         let lp = LoosePath::from_path(&p);
         assert!(lp.is_faithful());
         assert_eq!(lp.to_path(&g).unwrap(), p);

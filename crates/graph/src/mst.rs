@@ -121,9 +121,24 @@ mod tests {
     #[test]
     fn kruskal_triangle() {
         let edges = vec![
-            MstEdge { a: 0, b: 1, cost: 1.0, payload: 10 },
-            MstEdge { a: 1, b: 2, cost: 2.0, payload: 11 },
-            MstEdge { a: 0, b: 2, cost: 3.0, payload: 12 },
+            MstEdge {
+                a: 0,
+                b: 1,
+                cost: 1.0,
+                payload: 10,
+            },
+            MstEdge {
+                a: 1,
+                b: 2,
+                cost: 2.0,
+                payload: 11,
+            },
+            MstEdge {
+                a: 0,
+                b: 2,
+                cost: 3.0,
+                payload: 12,
+            },
         ];
         let mst = kruskal(3, &edges);
         assert_eq!(mst.len(), 2);
@@ -137,8 +152,18 @@ mod tests {
     #[test]
     fn kruskal_forest_on_disconnected_input() {
         let edges = vec![
-            MstEdge { a: 0, b: 1, cost: 1.0, payload: 0 },
-            MstEdge { a: 2, b: 3, cost: 1.0, payload: 1 },
+            MstEdge {
+                a: 0,
+                b: 1,
+                cost: 1.0,
+                payload: 0,
+            },
+            MstEdge {
+                a: 2,
+                b: 3,
+                cost: 1.0,
+                payload: 1,
+            },
         ];
         let mst = kruskal(4, &edges);
         assert_eq!(mst.len(), 2);
@@ -155,10 +180,22 @@ mod tests {
         let mut g = Graph::new();
         let n: Vec<_> = (0..5).map(|_| g.add_node(NodeKind::Entity)).collect();
         let mut abstract_edges = Vec::new();
-        let pairs = [(0, 1, 4.0), (0, 2, 1.0), (1, 2, 2.0), (1, 3, 5.0), (2, 3, 8.0), (3, 4, 3.0)];
+        let pairs = [
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (1, 2, 2.0),
+            (1, 3, 5.0),
+            (2, 3, 8.0),
+            (3, 4, 3.0),
+        ];
         for (idx, &(a, b, c)) in pairs.iter().enumerate() {
             g.add_edge(n[a], n[b], c, EdgeKind::Attribute);
-            abstract_edges.push(MstEdge { a, b, cost: c, payload: idx });
+            abstract_edges.push(MstEdge {
+                a,
+                b,
+                cost: c,
+                payload: idx,
+            });
         }
         let costs = EdgeCosts(pairs.iter().map(|p| p.2).collect());
         let prim_total: f64 = prim(&g, &costs, n[0]).iter().map(|e| costs.get(*e)).sum();

@@ -57,10 +57,7 @@ pub fn pagerank(g: &Graph, cfg: &PageRankConfig) -> Vec<f64> {
 
     for _ in 0..cfg.max_iterations {
         // Teleport mass plus the mass of dangling (degree-0) nodes.
-        let dangling: f64 = (0..n)
-            .filter(|&v| degrees[v] == 0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&v| degrees[v] == 0).map(|v| rank[v]).sum();
         let base = (1.0 - cfg.damping) * uniform + cfg.damping * dangling * uniform;
         next.iter_mut().for_each(|x| *x = base);
 

@@ -1,0 +1,148 @@
+//! Minimal fork–join parallelism for the search substrate.
+//!
+//! The workspace builds without a registry, so instead of rayon this
+//! module provides the one primitive the summarization engine needs: a
+//! scoped, indexed parallel map over a slice with per-worker state. The
+//! per-worker state slots are how callers thread reusable
+//! [`crate::DijkstraWorkspace`]s (or any scratch buffers) through a
+//! parallel region without allocating inside it.
+//!
+//! Work distribution is a shared atomic cursor — workers steal the next
+//! index when free — so skewed item costs (one giant terminal group next
+//! to many small ones) still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads parallel regions use: `XSUM_THREADS` if set
+/// (clamped to ≥ 1), else available hardware parallelism.
+pub fn num_threads() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(v) = std::env::var("XSUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Map `f` over `items` in parallel, preserving order of results.
+///
+/// `states` provides one mutable scratch value per worker; the region
+/// runs with `states.len()` workers (callers size it with
+/// [`num_threads`]). With a single state slot — or a single item — the
+/// map degrades to a plain sequential loop on the calling thread, so
+/// small inputs never pay thread-spawn latency.
+///
+/// `f` receives `(worker_state, item_index, item)`.
+pub fn parallel_map_with<T, R, S>(
+    states: &mut [S],
+    items: &[T],
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+{
+    assert!(!states.is_empty(), "need at least one worker state");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if states.len() == 1 || items.len() == 1 {
+        let state = &mut states[0];
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(state, i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let (f, cursor_ref, results_ref) = (&f, &cursor, &results);
+    std::thread::scope(|scope| {
+        for state in states.iter_mut() {
+            scope.spawn(move || {
+                // Batch completed items locally; one lock per worker.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(state, i, &items[i])));
+                }
+                if !local.is_empty() {
+                    results_ref.lock().unwrap().extend(local);
+                }
+            });
+        }
+    });
+    let mut pairs = results.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_map_with`] with stateless workers sized by [`num_threads`].
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let workers = num_threads().min(items.len()).max(1);
+    let mut states = vec![(); workers];
+    parallel_map_with(&mut states, items, |_, i, item| f(i, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_coverage() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |_, x| x * 2);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn worker_states_are_exclusive() {
+        let items: Vec<usize> = (0..100).collect();
+        let mut states = vec![0usize; 4];
+        let out = parallel_map_with(&mut states, &items, |count, _, x| {
+            *count += 1;
+            *x
+        });
+        assert_eq!(out, items);
+        // Every item was processed by exactly one worker.
+        assert_eq!(states.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn single_state_runs_sequentially() {
+        let mut states = vec![Vec::<usize>::new()];
+        let items = [10usize, 20, 30];
+        let out = parallel_map_with(&mut states, &items, |log, i, x| {
+            log.push(i);
+            *x + 1
+        });
+        assert_eq!(out, vec![11, 21, 31]);
+        assert_eq!(states[0], vec![0, 1, 2], "in-order on the calling thread");
+    }
+
+    #[test]
+    fn empty_items() {
+        let out = parallel_map(&[0u8; 0], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -165,8 +165,7 @@ impl Subgraph {
     /// knowledge graph.
     pub fn extract(&self, g: &Graph) -> (Graph, crate::fxhash::FxHashMap<NodeId, NodeId>) {
         let mut out = Graph::with_capacity(self.nodes.len(), self.edges.len());
-        let mut map: crate::fxhash::FxHashMap<NodeId, NodeId> =
-            crate::fxhash::FxHashMap::default();
+        let mut map: crate::fxhash::FxHashMap<NodeId, NodeId> = crate::fxhash::FxHashMap::default();
         for n in self.sorted_nodes() {
             let new_id = out.add_labeled_node(g.kind(n), g.label(n).to_string());
             map.insert(n, new_id);

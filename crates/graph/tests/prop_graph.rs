@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use xsum_graph::dijkstra::bellman_ford_distances;
 use xsum_graph::{
-    dijkstra, kruskal, weakly_connected_components, EdgeCosts, EdgeKind, Graph, MstEdge, NodeId,
-    NodeKind, UnionFind,
+    dijkstra, kruskal, weakly_connected_components, DijkstraWorkspace, EdgeCosts, EdgeId, EdgeKind,
+    Graph, MstEdge, NodeId, NodeKind, UnionFind,
 };
 
 /// Strategy: a graph with `n ∈ [2, 12]` nodes and a random set of weighted
@@ -122,6 +122,88 @@ proptest! {
                 }
             }
             prop_assert!(best <= total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_matches_legacy_builder((g, edges) in arb_graph()) {
+        // Rebuild the seed's per-node Vec<Vec<_>> adjacency from the
+        // same edge list; the frozen CSR slices must match exactly
+        // (same pairs, same per-node insertion order).
+        let mut legacy: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); g.node_count()];
+        for (i, &(a, b, _)) in edges.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            legacy[a].push((NodeId(b as u32), e));
+            legacy[b].push((NodeId(a as u32), e));
+        }
+        for v in g.node_ids() {
+            prop_assert_eq!(g.neighbors(v), &legacy[v.index()][..]);
+            prop_assert_eq!(g.degree(v), legacy[v.index()].len());
+        }
+    }
+
+    #[test]
+    fn workspace_dijkstra_matches_bellman_ford((g, _) in arb_graph()) {
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let mut ws = DijkstraWorkspace::new();
+        // Reuse one workspace across every source to exercise the
+        // generation-stamped clears, not just a fresh run.
+        for src in g.node_ids() {
+            ws.run(&g, &costs, src, &[]);
+            let oracle = bellman_ford_distances(&g, &costs, src);
+            for v in g.node_ids() {
+                match ws.distance(v) {
+                    Some(d) => prop_assert!((d - oracle[v.index()]).abs() < 1e-9),
+                    None => prop_assert!(!oracle[v.index()].is_finite()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_early_exit_distances_are_exact((g, _) in arb_graph()) {
+        // Targets (with duplicates and the source itself) must settle at
+        // their true distances even when the run exits early.
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let src = NodeId(0);
+        let targets: Vec<NodeId> = g.node_ids().step_by(3).chain([src]).collect();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, &costs, src, &targets);
+        let oracle = bellman_ford_distances(&g, &costs, src);
+        for &t in &targets {
+            match ws.distance(t) {
+                Some(d) => prop_assert!((d - oracle[t.index()]).abs() < 1e-9),
+                None => prop_assert!(!oracle[t.index()].is_finite()),
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_distance_is_min_over_sources((g, _) in arb_graph()) {
+        let costs = EdgeCosts(g.edge_ids().map(|e| g.weight(e)).collect());
+        let n = g.node_count();
+        let sources: Vec<NodeId> = (0..n).step_by(2).map(|i| NodeId(i as u32)).collect();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run_voronoi(&g, &costs, &sources);
+        // Oracle: elementwise min of the per-source Bellman–Ford runs.
+        let oracles: Vec<Vec<f64>> = sources
+            .iter()
+            .map(|s| bellman_ford_distances(&g, &costs, *s))
+            .collect();
+        for v in g.node_ids() {
+            let best = oracles
+                .iter()
+                .map(|o| o[v.index()])
+                .fold(f64::INFINITY, f64::min);
+            match ws.distance(v) {
+                Some(d) => {
+                    prop_assert!((d - best).abs() < 1e-9, "voronoi {d} vs min {best}");
+                    // The assigned cell's own source achieves the min.
+                    let cell = ws.origin_of(v).unwrap() as usize;
+                    prop_assert!((oracles[cell][v.index()] - best).abs() < 1e-9);
+                }
+                None => prop_assert!(!best.is_finite()),
+            }
         }
     }
 

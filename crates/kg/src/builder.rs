@@ -103,7 +103,7 @@ impl KnowledgeGraph {
                 Some((r, t)) => cfg.interaction(r as f64, t),
                 None => cfg.attribute_weight,
             };
-            self.graph.edge_mut(id).weight = w;
+            self.graph.set_weight(id, w);
         }
         self.cfg = cfg;
     }
@@ -176,8 +176,7 @@ impl KgBuilder {
         assert_eq!(ratings.n_items(), self.n_items, "item population mismatch");
 
         let n_nodes = self.n_users + self.n_items + self.n_entities;
-        let n_edges =
-            ratings.n_ratings() + self.item_attributes.len() + self.user_attributes.len();
+        let n_edges = ratings.n_ratings() + self.item_attributes.len() + self.user_attributes.len();
         let mut g = Graph::with_capacity(n_nodes, n_edges);
         let mut info: Vec<Option<(f32, f64)>> = Vec::with_capacity(n_edges);
 

@@ -42,7 +42,10 @@ impl RatingMatrix {
     pub fn rate(&mut self, user: usize, item: usize, rating: f32, timestamp: f64) {
         assert!(user < self.rows.len(), "user index out of range");
         assert!(item < self.n_items, "item index out of range");
-        assert!(rating > 0.0, "ratings must be positive (absence = no rating)");
+        assert!(
+            rating > 0.0,
+            "ratings must be positive (absence = no rating)"
+        );
         self.rows[user].push(Interaction {
             item: item as u32,
             rating,

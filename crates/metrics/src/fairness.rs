@@ -102,11 +102,9 @@ mod tests {
     #[test]
     fn gap_reflects_group_difference() {
         let (g, short, long) = views();
-        let report = fairness(
-            &g,
-            &[("popular", short), ("unpopular", long)],
-            |r| r.comprehensibility,
-        );
+        let report = fairness(&g, &[("popular", short), ("unpopular", long)], |r| {
+            r.comprehensibility
+        });
         assert_eq!(report.groups.len(), 2);
         // Short explanations (C = 1) vs 3-hop (C = 1/3).
         assert!((report.gap - 2.0 / 3.0).abs() < 1e-12);
@@ -116,11 +114,9 @@ mod tests {
     #[test]
     fn identical_groups_are_fair() {
         let (g, short, _) = views();
-        let report = fairness(
-            &g,
-            &[("a", short.clone()), ("b", short)],
-            |r| r.comprehensibility,
-        );
+        let report = fairness(&g, &[("a", short.clone()), ("b", short)], |r| {
+            r.comprehensibility
+        });
         assert_eq!(report.gap, 0.0);
         assert!((report.disparity_ratio - 1.0).abs() < 1e-12);
     }
@@ -128,11 +124,9 @@ mod tests {
     #[test]
     fn empty_groups_dropped_and_single_group_trivially_fair() {
         let (g, short, _) = views();
-        let report = fairness(
-            &g,
-            &[("a", short), ("empty", Vec::new())],
-            |r| r.comprehensibility,
-        );
+        let report = fairness(&g, &[("a", short), ("empty", Vec::new())], |r| {
+            r.comprehensibility
+        });
         assert_eq!(report.groups.len(), 1);
         assert_eq!(report.gap, 0.0);
         assert_eq!(report.disparity_ratio, 1.0);

@@ -61,10 +61,7 @@ pub fn consistency(views: &[ExplanationView]) -> f64 {
     if views.len() < 2 {
         return 1.0;
     }
-    let total: f64 = views
-        .windows(2)
-        .map(|w| w[0].node_jaccard(&w[1]))
-        .sum();
+    let total: f64 = views.windows(2).map(|w| w[0].node_jaccard(&w[1])).sum();
     total / (views.len() - 1) as f64
 }
 

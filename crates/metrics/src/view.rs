@@ -284,7 +284,11 @@ mod tests {
         let mut hops: Vec<(NodeId, NodeId)> = Vec::new();
         for p in [&p1, &p2] {
             for w in p.nodes().windows(2) {
-                hops.push(if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) });
+                hops.push(if w[0] <= w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                });
             }
         }
         let mut total = 0.0;
@@ -300,7 +304,11 @@ mod tests {
             }
         }
         let brute = total / pairs as f64;
-        assert!((v.diversity() - brute).abs() < 1e-9, "{} vs {brute}", v.diversity());
+        assert!(
+            (v.diversity() - brute).abs() < 1e-9,
+            "{} vs {brute}",
+            v.diversity()
+        );
     }
 
     #[test]
@@ -331,7 +339,10 @@ mod tests {
         let (g, n, e) = fixture();
         let p = LoosePath::ground(&g, vec![n[0], n[1]]);
         let v = ExplanationView::from_paths(&[p.clone(), p]);
-        assert!((v.relevance(&g) - 8.0).abs() < 1e-12, "duplicate paths double-count");
+        assert!(
+            (v.relevance(&g) - 8.0).abs() < 1e-12,
+            "duplicate paths double-count"
+        );
         let s = Subgraph::from_edges(&g, [e[0]]);
         let v = ExplanationView::from_subgraph(&g, &s);
         assert!((v.relevance(&g) - 4.0).abs() < 1e-12);
@@ -358,7 +369,10 @@ mod tests {
         let v2 = ExplanationView::from_subgraph(&g, &s2);
         // {u,i1,a,i2} vs {u,i1} → 2/4.
         assert!((v.node_jaccard(&v2) - 0.5).abs() < 1e-12);
-        assert_eq!(ExplanationView::default().node_jaccard(&ExplanationView::default()), 1.0);
+        assert_eq!(
+            ExplanationView::default().node_jaccard(&ExplanationView::default()),
+            1.0
+        );
         let _ = n;
     }
 }

@@ -201,8 +201,7 @@ impl PathRecommender for Cafe<'_> {
         let total = (content + collab).max(1);
         // Coarse allocation of slots between templates, ≥1 slot each when
         // the template has any support.
-        let mut quota_content =
-            ((k * content + total / 2) / total).min(k);
+        let mut quota_content = ((k * content + total / 2) / total).min(k);
         if content > 0 {
             quota_content = quota_content.max(1);
         }

@@ -94,7 +94,10 @@ pub fn cluster_users(mf: &MfModel, cfg: &KMeansConfig) -> UserClusters {
     let (n_users, _, _) = mf.shape();
     let k = cfg.k.clamp(1, n_users.max(1));
     let points: Vec<&[f32]> = (0..n_users).map(|u| mf.user(u)).collect();
-    assert!(!points.is_empty(), "cannot cluster an empty user population");
+    assert!(
+        !points.is_empty(),
+        "cannot cluster an empty user population"
+    );
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -234,7 +237,13 @@ mod tests {
     #[test]
     fn k_one_collapses_everything() {
         let (ds, mf) = model();
-        let clusters = cluster_users(&mf, &KMeansConfig { k: 1, ..KMeansConfig::default() });
+        let clusters = cluster_users(
+            &mf,
+            &KMeansConfig {
+                k: 1,
+                ..KMeansConfig::default()
+            },
+        );
         assert_eq!(clusters.k(), 1);
         assert_eq!(clusters.members(0).len(), ds.kg.n_users());
     }
@@ -242,8 +251,22 @@ mod tests {
     #[test]
     fn more_clusters_never_increase_inertia() {
         let (_, mf) = model();
-        let i2 = cluster_users(&mf, &KMeansConfig { k: 2, ..KMeansConfig::default() }).inertia;
-        let i8 = cluster_users(&mf, &KMeansConfig { k: 8, ..KMeansConfig::default() }).inertia;
+        let i2 = cluster_users(
+            &mf,
+            &KMeansConfig {
+                k: 2,
+                ..KMeansConfig::default()
+            },
+        )
+        .inertia;
+        let i8 = cluster_users(
+            &mf,
+            &KMeansConfig {
+                k: 8,
+                ..KMeansConfig::default()
+            },
+        )
+        .inertia;
         assert!(i8 <= i2 + 1e-6, "k=8 inertia {i8} vs k=2 inertia {i2}");
     }
 

@@ -91,7 +91,9 @@ pub fn evaluate(
     let mut ndcg = 0.0f64;
     let mut evaluated = 0usize;
     for &u in users {
-        let Some(target) = split.test[u] else { continue };
+        let Some(target) = split.test[u] else {
+            continue;
+        };
         let out = rec.recommend(u, k);
         if out.is_empty() {
             continue;
@@ -204,7 +206,10 @@ mod tests {
         assert!((0.0..=1.0).contains(&report.hit_rate));
         assert!((0.0..=1.0).contains(&report.precision));
         assert!((0.0..=1.0).contains(&report.ndcg));
-        assert!(report.recall >= report.precision, "1 relevant item ⇒ recall ≥ precision@10");
+        assert!(
+            report.recall >= report.precision,
+            "1 relevant item ⇒ recall ≥ precision@10"
+        );
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl<'a> ItemKnn<'a> {
 
         let mut sims: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_items];
         for (&(a, b), &dot) in &dots {
-            if cfg.min_overlap > 1 && overlap.get(&(a, b)).copied().unwrap_or(0) < cfg.min_overlap
-            {
+            if cfg.min_overlap > 1 && overlap.get(&(a, b)).copied().unwrap_or(0) < cfg.min_overlap {
                 continue;
             }
             let denom = (norms[a as usize] * norms[b as usize]).sqrt();

@@ -73,16 +73,15 @@ impl MfModel {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let scale = 1.0 / (d as f32).sqrt();
         let mut init = |n: usize| -> Vec<f32> {
-            (0..n * d).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect()
+            (0..n * d)
+                .map(|_| (rng.gen::<f32>() - 0.5) * scale)
+                .collect()
         };
         let mut user_emb = init(n_users);
         let mut item_emb = init(n_items);
 
         // Flat (user, item) positive list for shuffled SGD.
-        let positives: Vec<(u32, u32)> = ratings
-            .iter()
-            .map(|(u, x)| (u as u32, x.item))
-            .collect();
+        let positives: Vec<(u32, u32)> = ratings.iter().map(|(u, x)| (u as u32, x.item)).collect();
 
         let lr = cfg.learning_rate;
         let reg = cfg.regularization;
@@ -264,8 +263,7 @@ mod tests {
         for u in 0..5usize {
             let held_out = (0..5).find(|i| !m.has_rated(u, *i)).unwrap();
             let in_score = model.score(u, held_out);
-            let out_mean: f32 =
-                (5..10).map(|i| model.score(u, i)).sum::<f32>() / 5.0;
+            let out_mean: f32 = (5..10).map(|i| model.score(u, i)).sum::<f32>() / 5.0;
             if in_score > out_mean {
                 wins += 1;
             }
@@ -330,6 +328,9 @@ mod tests {
         let _ = m;
         assert_eq!(model.node_embedding(&kg, kg.user_node(2)), model.user(2));
         assert_eq!(model.node_embedding(&kg, kg.item_node(7)), model.item(7));
-        assert_eq!(model.node_embedding(&kg, kg.entity_node(1)), model.entity(1));
+        assert_eq!(
+            model.node_embedding(&kg, kg.entity_node(1)),
+            model.entity(1)
+        );
     }
 }

@@ -221,10 +221,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), items.len(), "duplicate items in top-k");
-        assert!(out
-            .all()
-            .windows(2)
-            .all(|w| w[0].score >= w[1].score));
+        assert!(out.all().windows(2).all(|w| w[0].score >= w[1].score));
     }
 
     #[test]

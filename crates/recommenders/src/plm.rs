@@ -400,7 +400,12 @@ mod tests {
         let plm = Plm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
         let pearlm = Pearlm::new(&ds.kg, &ds.ratings, &mf, PlmConfig::default());
         for u in 0..5 {
-            for r in plm.recommend(u, 8).all().iter().chain(pearlm.recommend(u, 8).all()) {
+            for r in plm
+                .recommend(u, 8)
+                .all()
+                .iter()
+                .chain(pearlm.recommend(u, 8).all())
+            {
                 let i = ds.kg.item_index(r.item).unwrap();
                 assert!(!ds.ratings.has_rated(u, i));
                 assert_eq!(ds.kg.graph.kind(r.item), NodeKind::Item);

@@ -1,0 +1,693 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace builds without a registry, so the `proptest` dependency
+//! name resolves to this shim. It supports the surface the xsum test
+//! suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`, multiple
+//!   `#[test]` functions, multiple `pat in strategy` parameters);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`collection::vec`], `Just`, and string strategies from a
+//!   char-class regex (`"[\\x20-\\x7e]{0,24}"` style);
+//! * the [`Strategy`] combinators `prop_map`, `prop_flat_map`,
+//!   `prop_filter`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! its deterministic case seed, which is enough to reproduce (cases are a
+//! pure function of the test name and case index).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    use super::Strategy;
+    use std::fmt;
+
+    /// Per-test configuration (subset of proptest's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed test case (assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from any message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator backing value generation (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeded construction via SplitMix64 expansion.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *slot = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform usize in `[0, bound)`; `bound` must be positive.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            debug_assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Run `config.cases` deterministic cases of `test` over `strategy`.
+    ///
+    /// Panics on the first failing case with the case index and seed so
+    /// the failure reproduces by construction.
+    pub fn run_cases<S: Strategy>(
+        config: &ProptestConfig,
+        test_name: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        // Stable seed: FNV-1a over the test name.
+        let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            name_hash ^= b as u64;
+            name_hash = name_hash.wrapping_mul(0x100_0000_01b3);
+        }
+        for case in 0..config.cases {
+            let seed = name_hash ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest case {case}/{} of `{test_name}` failed (seed {seed:#x}): {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A source of random values of one type (subset of proptest's trait; no
+/// shrinking, so `Value` is generated directly).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Reject values failing `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Box the strategy (API-compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.reason
+        );
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// A `&str` is a strategy for `String`s matching the pattern, supporting
+/// the char-class-with-repetition regex subset (`[a-z\x20-\x7e]{m,n}`,
+/// `[...]{m}`, `[...]*`, `[...]+`, or a bare char class).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_charclass_regex(self);
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parse the supported regex subset into (alphabet, min_len, max_len).
+fn parse_charclass_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let bytes: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    assert!(
+        bytes.first() == Some(&'['),
+        "proptest shim: only `[class]{{m,n}}` regex strategies are supported, got {pattern:?}"
+    );
+    i += 1;
+    let mut alphabet: Vec<char> = Vec::new();
+    while i < bytes.len() && bytes[i] != ']' {
+        let c = if bytes[i] == '\\' {
+            i += 1;
+            match bytes.get(i) {
+                Some('x') => {
+                    let hex: String = bytes[i + 1..i + 3].iter().collect();
+                    i += 2;
+                    char::from_u32(u32::from_str_radix(&hex, 16).expect("bad \\x escape"))
+                        .expect("bad \\x codepoint")
+                }
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some(&other) => other,
+                None => panic!("dangling escape in {pattern:?}"),
+            }
+        } else {
+            bytes[i]
+        };
+        i += 1;
+        if bytes.get(i) == Some(&'-') && bytes.get(i + 1) != Some(&']') {
+            // Range c-d (the end may itself be escaped).
+            i += 1;
+            let d = if bytes[i] == '\\' {
+                i += 1;
+                match bytes.get(i) {
+                    Some('x') => {
+                        let hex: String = bytes[i + 1..i + 3].iter().collect();
+                        i += 2;
+                        char::from_u32(u32::from_str_radix(&hex, 16).expect("bad \\x escape"))
+                            .expect("bad \\x codepoint")
+                    }
+                    Some(&other) => other,
+                    None => panic!("dangling escape in {pattern:?}"),
+                }
+            } else {
+                bytes[i]
+            };
+            i += 1;
+            for u in (c as u32)..=(d as u32) {
+                if let Some(ch) = char::from_u32(u) {
+                    alphabet.push(ch);
+                }
+            }
+        } else {
+            alphabet.push(c);
+        }
+    }
+    assert!(
+        bytes.get(i) == Some(&']'),
+        "unterminated char class in {pattern:?}"
+    );
+    i += 1;
+    assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+    // Repetition suffix.
+    let (min, max) = match bytes.get(i) {
+        None => (1, 1),
+        Some('*') => (0, 16),
+        Some('+') => (1, 16),
+        Some('{') => {
+            let rest: String = bytes[i + 1..].iter().collect();
+            let body = rest.trim_end_matches('}');
+            if let Some((lo, hi)) = body.split_once(',') {
+                (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                )
+            } else {
+                let n: usize = body.trim().parse().expect("bad repetition count");
+                (n, n)
+            }
+        }
+        Some(other) => panic!("unsupported regex suffix {other:?} in {pattern:?}"),
+    };
+    (alphabet, min, max)
+}
+
+/// Strategy for any value of a type with a parameterless uniform sampler.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range sampler backing [`any`].
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, BoxedStrategy, Just, Strategy};
+}
+
+/// Soft assertion: fails the current case (no panic unwinding mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}` (both: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Discard the current case when `cond` is false (treated as a pass —
+/// this shim does not re-draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// The proptest entry macro: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |($($pat,)+)| {
+                        $body;
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn charclass_regex_parses() {
+        let (alpha, min, max) = super::parse_charclass_regex("[\\x20-\\x7e]{0,24}");
+        assert_eq!(alpha.len(), 0x7e - 0x20 + 1);
+        assert_eq!((min, max), (0, 24));
+        let (alpha, min, max) = super::parse_charclass_regex("[a-cz]{3}");
+        assert_eq!(alpha, vec!['a', 'b', 'c', 'z']);
+        assert_eq!((min, max), (3, 3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 1u8..=5, f in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=5).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose((a, b) in (0usize..8, 0usize..8)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| (a.min(b), a.max(b))))
+        {
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn vec_and_flat_map(v in (1usize..5).prop_flat_map(|n| collection::vec(0usize..n, 1..7))) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[\\x20-\\x7e]{0,24}") {
+            prop_assert!(s.len() <= 24);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

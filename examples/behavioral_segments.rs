@@ -17,12 +17,12 @@
 //! cargo run --release --example behavioral_segments
 //! ```
 
-use xsum::core::{
-    pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput,
-};
+use xsum::core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
 use xsum::datasets::ml1m_scaled;
 use xsum::metrics::{ExplanationView, MetricReport};
-use xsum::rec::{cluster_users, KMeansConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig};
+use xsum::rec::{
+    cluster_users, KMeansConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig,
+};
 
 fn main() {
     let ds = ml1m_scaled(13, 0.03);
@@ -31,7 +31,13 @@ fn main() {
     let pgpr = Pgpr::new(&ds.kg, &ds.ratings, &mf, PgprConfig::default());
 
     // Discover behavioural segments in embedding space.
-    let clusters = cluster_users(&mf, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+    let clusters = cluster_users(
+        &mf,
+        &KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        },
+    );
     println!(
         "clustered {} users into {} segments (sizes {:?}, inertia {:.1}, {} iterations)\n",
         ds.kg.n_users(),

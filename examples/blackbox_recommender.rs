@@ -46,15 +46,13 @@ fn main() {
         .into_iter()
         .map(|(i, _)| ds.kg.item_node(i))
         .collect();
-    println!("\nblack-box top-8 for user {user}: {} items, zero paths", top.len());
+    println!(
+        "\nblack-box top-8 for user {user}: {} items, zero paths",
+        top.len()
+    );
 
     // Bridge: generate ≤3-hop weight-preferring paths from the KG.
-    let input = path_free_user_centric(
-        g,
-        ds.kg.user_node(user),
-        &top,
-        &PathGenConfig::default(),
-    );
+    let input = path_free_user_centric(g, ds.kg.user_node(user), &top, &PathGenConfig::default());
     println!(
         "generated {} explanation paths covering {} terminals",
         input.paths.len(),
@@ -77,7 +75,10 @@ fn main() {
             100.0 * s.terminal_coverage()
         );
     }
-    println!("\nST summary:\n  {}", render_summary(g, &st.subgraph, ds.kg.user_node(user)));
+    println!(
+        "\nST summary:\n  {}",
+        render_summary(g, &st.subgraph, ds.kg.user_node(user))
+    );
 
     // Export for rendering: `dot -Tsvg blackbox_summary.dot -o out.svg`.
     let dot = summary_to_dot(g, &st);

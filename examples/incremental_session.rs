@@ -32,8 +32,7 @@ fn main() {
     for (k, rec) in out.all().iter().enumerate() {
         let added = inc.add_terminal(g, rec.item);
         // Batch recomputation at the same k, for comparison.
-        let batch_input =
-            SummaryInput::user_centric(ds.kg.user_node(user), out.paths(k + 1));
+        let batch_input = SummaryInput::user_centric(ds.kg.user_node(user), out.paths(k + 1));
         let batch = steiner_summary(g, &batch_input, &SteinerConfig::default());
         println!(
             "{}\t{}\t{}\t{}",
@@ -50,7 +49,10 @@ fn main() {
         s.subgraph.edge_count(),
         s.terminals.len()
     );
-    println!("  {}", render_summary(g, &s.subgraph, ds.kg.user_node(user)));
+    println!(
+        "  {}",
+        render_summary(g, &s.subgraph, ds.kg.user_node(user))
+    );
 
     // The same session on the prize-collecting side: each arriving
     // recommendation only raises a prize and attaches through the

@@ -31,7 +31,10 @@ fn main() {
 
     let user = 0usize;
     let out = pgpr.recommend(user, 10);
-    println!("\nTop-{} recommendations for u{user} with PGPR-style paths:", out.len());
+    println!(
+        "\nTop-{} recommendations for u{user} with PGPR-style paths:",
+        out.len()
+    );
     for r in out.all() {
         println!("  {}", render_path(&ds.kg.graph, &r.path));
     }
@@ -39,13 +42,26 @@ fn main() {
     let g = &ds.kg.graph;
     let input = SummaryInput::user_centric(ds.kg.user_node(user), out.paths(10));
 
-    let st = steiner_summary(g, &input, &SteinerConfig { lambda: 1.0, delta: 1.0 });
+    let st = steiner_summary(
+        g,
+        &input,
+        &SteinerConfig {
+            lambda: 1.0,
+            delta: 1.0,
+        },
+    );
     let pcst = pcst_summary(g, &input, &PcstConfig::default());
 
     println!("\nST summary ({} edges):", st.subgraph.edge_count());
-    println!("  {}", render_summary(g, &st.subgraph, ds.kg.user_node(user)));
+    println!(
+        "  {}",
+        render_summary(g, &st.subgraph, ds.kg.user_node(user))
+    );
     println!("\nPCST summary ({} edges):", pcst.subgraph.edge_count());
-    println!("  {}", render_summary(g, &pcst.subgraph, ds.kg.user_node(user)));
+    println!(
+        "  {}",
+        render_summary(g, &pcst.subgraph, ds.kg.user_node(user))
+    );
 
     println!("\nmethod\tsize\tcomprehensibility\tactionability\tdiversity\tprivacy");
     for (name, view) in [

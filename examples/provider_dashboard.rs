@@ -48,7 +48,10 @@ fn main() {
     );
 
     for (name, summary) in [
-        ("ST   ", steiner_summary(g, &input, &SteinerConfig::default())),
+        (
+            "ST   ",
+            steiner_summary(g, &input, &SteinerConfig::default()),
+        ),
         ("PCST ", pcst_summary(g, &input, &PcstConfig::default())),
         ("GW   ", gw_pcst_summary(g, &input, &PcstConfig::default())),
     ] {

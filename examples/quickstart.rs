@@ -13,7 +13,10 @@ use xsum::core::{render_path, render_summary, table1_example};
 fn main() {
     let ex = table1_example();
 
-    println!("Individual explanations ({} edges total):", ex.total_input_length());
+    println!(
+        "Individual explanations ({} edges total):",
+        ex.total_input_length()
+    );
     for (label, path) in ["P1,A", "P1,B", "P1,C"].iter().zip(&ex.paths) {
         println!("  {label}: {}", render_path(&ex.graph, path));
     }

@@ -28,9 +28,7 @@ fn main() {
             for u in 0..group_size.min(ds.kg.n_users()) {
                 let mut any = false;
                 for i in 0..10u64 {
-                    if let Some(p) =
-                        random_explanation_path(&ds, u, 3, (u as u64) << 8 | i, 30)
-                    {
+                    if let Some(p) = random_explanation_path(&ds, u, 3, (u as u64) << 8 | i, 30) {
                         paths.push(LoosePath::from_path(&p));
                         any = true;
                     }

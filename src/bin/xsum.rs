@@ -32,15 +32,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xsum::core::{
-    gw_pcst_summary, path_free_user_centric, pcst_summary, render_path, render_summary,
-    steiner_summary, summary_to_dot, summary_to_tsv, overlay_to_dot, PathGenConfig, PcstConfig,
+    gw_pcst_summary, overlay_to_dot, path_free_user_centric, pcst_summary, render_path,
+    render_summary, steiner_summary, summary_to_dot, summary_to_tsv, PathGenConfig, PcstConfig,
     SteinerConfig, Summary, SummaryInput,
 };
 use xsum::datasets::{load_movielens, ml1m_scaled, Dataset};
 use xsum::graph::{LoosePath, NodeId};
 use xsum::rec::{
-    Cafe, CafeConfig, ItemKnn, ItemKnnConfig, MfConfig, MfModel, MostPop, PathRecommender,
-    Pearlm, Pgpr, PgprConfig, Plm, PlmConfig,
+    Cafe, CafeConfig, ItemKnn, ItemKnnConfig, MfConfig, MfModel, MostPop, PathRecommender, Pearlm,
+    Pgpr, PgprConfig, Plm, PlmConfig,
 };
 
 #[derive(Debug)]
@@ -92,19 +92,47 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--ratings" => a.ratings = Some(PathBuf::from(value("--ratings")?)),
             "--users" => a.users_file = Some(PathBuf::from(value("--users")?)),
             "--attributes" => a.attributes = Some(PathBuf::from(value("--attributes")?)),
-            "--scale" => a.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--seed" => a.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--user" => a.user = Some(value("--user")?.parse().map_err(|e| format!("--user: {e}"))?),
-            "--item" => a.item = Some(value("--item")?.parse().map_err(|e| format!("--item: {e}"))?),
+            "--scale" => {
+                a.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                a.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--user" => {
+                a.user = Some(
+                    value("--user")?
+                        .parse()
+                        .map_err(|e| format!("--user: {e}"))?,
+                )
+            }
+            "--item" => {
+                a.item = Some(
+                    value("--item")?
+                        .parse()
+                        .map_err(|e| format!("--item: {e}"))?,
+                )
+            }
             "--recommender" => a.recommender = value("--recommender")?,
             "--method" => a.method = value("--method")?,
-            "--lambda" => a.lambda = value("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--lambda" => {
+                a.lambda = value("--lambda")?
+                    .parse()
+                    .map_err(|e| format!("--lambda: {e}"))?
+            }
             "--k" => a.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--format" => a.format = value("--format")?,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
-        i += if flag == "--help" || flag == "-h" { 1 } else { 2 };
+        i += if flag == "--help" || flag == "-h" {
+            1
+        } else {
+            2
+        };
     }
     if a.user.is_some() && a.item.is_some() {
         return Err("--user and --item are mutually exclusive".into());
@@ -203,7 +231,10 @@ fn summarize(a: &Args, ds: &Dataset, input: &SummaryInput) -> Result<Summary, St
         "st" => Ok(steiner_summary(
             g,
             input,
-            &SteinerConfig { lambda: a.lambda, ..SteinerConfig::default() },
+            &SteinerConfig {
+                lambda: a.lambda,
+                ..SteinerConfig::default()
+            },
         )),
         "pcst" => Ok(pcst_summary(g, input, &PcstConfig::default())),
         "gw" => Ok(gw_pcst_summary(g, input, &PcstConfig::default())),
@@ -221,7 +252,10 @@ fn run(a: &Args) -> Result<String, String> {
         (_, None) => {
             let user = a.user.unwrap_or(0);
             if user >= ds.kg.n_users() {
-                return Err(format!("user {user} out of range (corpus has {})", ds.kg.n_users()));
+                return Err(format!(
+                    "user {user} out of range (corpus has {})",
+                    ds.kg.n_users()
+                ));
             }
             let paths = source(user);
             if paths.is_empty() {
@@ -232,7 +266,10 @@ fn run(a: &Args) -> Result<String, String> {
         }
         (None, Some(item)) => {
             if item >= ds.kg.n_items() {
-                return Err(format!("item {item} out of range (corpus has {})", ds.kg.n_items()));
+                return Err(format!(
+                    "item {item} out of range (corpus has {})",
+                    ds.kg.n_items()
+                ));
             }
             let paths = item_paths(&source, &ds, item);
             if paths.is_empty() {
@@ -259,7 +296,10 @@ fn run(a: &Args) -> Result<String, String> {
             for p in &input.paths {
                 s.push_str(&format!("path: {}\n", render_path(g, p)));
             }
-            s.push_str(&format!("\nsummary: {}\n", render_summary(g, &summary.subgraph, focus)));
+            s.push_str(&format!(
+                "\nsummary: {}\n",
+                render_summary(g, &summary.subgraph, focus)
+            ));
             s
         }
         "tsv" => summary_to_tsv(g, &summary),

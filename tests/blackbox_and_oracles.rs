@@ -66,7 +66,10 @@ fn exact_cost_matches_tree_cost_on_real_subgraphs() {
     if let Some(opt) = exact_steiner_cost(g, &costs, &input.terminals) {
         let st = steiner_summary(g, &input, &SteinerConfig::default());
         let st_cost: f64 = st.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
-        assert!(opt <= st_cost + 1e-9, "optimum {opt} above ST cost {st_cost}");
+        assert!(
+            opt <= st_cost + 1e-9,
+            "optimum {opt} above ST cost {st_cost}"
+        );
     }
 }
 
@@ -75,17 +78,19 @@ fn black_box_pipeline_summarizes_without_recommender_paths() {
     let s = setup();
     let g = &s.ds.kg.graph;
     // MF alone ranks items; paths come from the KG.
-    let top: Vec<NodeId> = s
-        .mf
-        .top_k_items(&s.ds.ratings, 2, 8)
-        .into_iter()
-        .map(|(i, _)| s.ds.kg.item_node(i))
-        .collect();
+    let top: Vec<NodeId> =
+        s.mf.top_k_items(&s.ds.ratings, 2, 8)
+            .into_iter()
+            .map(|(i, _)| s.ds.kg.item_node(i))
+            .collect();
     assert!(!top.is_empty());
     let input = path_free_user_centric(g, s.ds.kg.user_node(2), &top, &PathGenConfig::default());
     assert!(!input.paths.is_empty());
     for p in &input.paths {
-        assert!(p.hops().iter().all(|h| h.is_some()), "generated paths are faithful");
+        assert!(
+            p.hops().iter().all(|h| h.is_some()),
+            "generated paths are faithful"
+        );
     }
     let st = steiner_summary(g, &input, &SteinerConfig::default());
     assert_eq!(st.terminal_coverage(), 1.0);
@@ -96,7 +101,13 @@ fn clustered_groups_feed_user_group_summaries() {
     let s = setup();
     let g = &s.ds.kg.graph;
     let knn = ItemKnn::new(&s.ds.kg, &s.ds.ratings, &ItemKnnConfig::default());
-    let clusters = cluster_users(&s.mf, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+    let clusters = cluster_users(
+        &s.mf,
+        &KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        },
+    );
     assert_eq!(clusters.assignment.len(), s.ds.kg.n_users());
     let mut summarized = 0;
     for c in 0..clusters.k() {

@@ -4,8 +4,7 @@
 //! through the public `xsum` façade like a downstream user would.
 
 use xsum::core::{
-    pcst_summary_with_policy, steiner_summary, PcstConfig, PrizePolicy, SteinerConfig,
-    SummaryInput,
+    pcst_summary_with_policy, steiner_summary, PcstConfig, PrizePolicy, SteinerConfig, SummaryInput,
 };
 use xsum::datasets::ml1m_scaled;
 use xsum::graph::NodeKind;
@@ -92,11 +91,9 @@ fn fairness_report_over_gender_groups() {
             xsum::datasets::Gender::Female => female.push(view),
         }
     }
-    let report = fairness(
-        g,
-        &[("male", male), ("female", female)],
-        |r| r.comprehensibility,
-    );
+    let report = fairness(g, &[("male", male), ("female", female)], |r| {
+        r.comprehensibility
+    });
     assert!(report.gap >= 0.0);
     assert!((0.0..=1.0).contains(&report.disparity_ratio));
     assert!(!report.groups.is_empty());
@@ -135,11 +132,17 @@ fn loader_output_feeds_the_summarizer() {
     let users_txt = "1::F::1::1::0\n2::M::1::1::0\n3::M::1::1::0\n";
     let attrs = vec![(10u64, 100u64), (11, 100), (12, 101), (13, 101)];
     let ratings = parse_ratings(ratings_txt.as_bytes()).unwrap();
-    let genders: BTreeMap<u64, xsum::datasets::Gender> =
-        parse_users(users_txt.as_bytes()).unwrap();
+    let genders: BTreeMap<u64, xsum::datasets::Gender> = parse_users(users_txt.as_bytes()).unwrap();
     let ds = assemble("mini-real", &ratings, &genders, &attrs);
 
-    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig { epochs: 10, ..MfConfig::default() });
+    let mf = MfModel::train(
+        &ds.kg,
+        &ds.ratings,
+        &MfConfig {
+            epochs: 10,
+            ..MfConfig::default()
+        },
+    );
     let pgpr = Pgpr::new(&ds.kg, &ds.ratings, &mf, PgprConfig::default());
     let out = pgpr.recommend(0, 5);
     assert!(!out.is_empty(), "pipeline must run on loaded data");

@@ -27,7 +27,11 @@ fn empty_path_set_all_methods() {
         pcst_summary(&g, &input, &PcstConfig::default()),
         gw_pcst_summary(&g, &input, &PcstConfig::default()),
     ] {
-        assert!(s.subgraph.contains_node(u), "{} must mention the focus", s.method);
+        assert!(
+            s.subgraph.contains_node(u),
+            "{} must mention the focus",
+            s.method
+        );
         assert_eq!(s.terminal_coverage(), 1.0);
     }
 }
@@ -93,7 +97,14 @@ fn zero_weight_graph_is_summarizable() {
     let s = steiner_summary(&g, &input, &SteinerConfig::default());
     assert_eq!(s.terminal_coverage(), 1.0);
     // λ cannot boost zero weights (multiplicative), but costs stay finite.
-    let s = steiner_summary(&g, &input, &SteinerConfig { lambda: 1e9, delta: 1.0 });
+    let s = steiner_summary(
+        &g,
+        &input,
+        &SteinerConfig {
+            lambda: 1e9,
+            delta: 1.0,
+        },
+    );
     assert_eq!(s.terminal_coverage(), 1.0);
 }
 
@@ -135,7 +146,10 @@ fn pcst_policies_on_degenerate_inputs() {
         PrizePolicy::Uniform,
         PrizePolicy::PathFrequency { weight: 1.0 },
         PrizePolicy::DegreeCentrality { weight: 1.0 },
-        PrizePolicy::Betweenness { weight: 1.0, sources: 4 },
+        PrizePolicy::Betweenness {
+            weight: 1.0,
+            sources: 4,
+        },
     ] {
         let s = pcst_summary_with_policy(&g, &input, &PcstConfig::default(), policy);
         assert_eq!(s.terminal_coverage(), 1.0, "{policy:?}");

@@ -8,7 +8,7 @@ use xsum::core::{
 use xsum::datasets::{ml1m_scaled, sample_users_by_gender};
 use xsum::graph::{FxHashMap, LoosePath, NodeId};
 use xsum::rec::{
-    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig, Pearlm, Plm, PlmConfig,
+    Cafe, CafeConfig, MfConfig, MfModel, PathRecommender, Pearlm, Pgpr, PgprConfig, Plm, PlmConfig,
 };
 
 struct Pipeline {

@@ -6,8 +6,8 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use xsum::core::{
-    generate_explanations, steiner_summary, summary_to_dot, PathGenConfig, Scenario,
-    SteinerConfig, Summary, SummaryInput,
+    generate_explanations, steiner_summary, summary_to_dot, PathGenConfig, Scenario, SteinerConfig,
+    Summary, SummaryInput,
 };
 use xsum::datasets::{ml1m_scaled, Dataset};
 use xsum::graph::{pagerank, EdgeKind, Graph, NodeKind, PageRankConfig, Subgraph};

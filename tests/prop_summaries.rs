@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use xsum::core::{
     adjusted_weights, exact_steiner_cost, gw_pcst_summary, pcst_summary, steiner_costs,
-    steiner_summary, PcstConfig, PcstScope, SteinerConfig, SummaryInput,
+    steiner_summary, steiner_summary_fast, summarize_batch, BatchMethod, PcstConfig, PcstScope,
+    SteinerConfig, SummaryInput,
 };
 use xsum::graph::{EdgeKind, Graph, LoosePath, NodeId, NodeKind};
 
@@ -20,12 +21,12 @@ struct RandomKg {
 
 fn arb_kg() -> impl Strategy<Value = RandomKg> {
     (
-        2usize..5,        // users
-        3usize..8,        // items
-        2usize..5,        // entities
+        2usize..5, // users
+        3usize..8, // items
+        2usize..5, // entities
         proptest::collection::vec((0usize..64, 0usize..64, 1u8..=5), 5..40),
         proptest::collection::vec((0usize..64, 0usize..64), 4..30),
-        0usize..1000,     // path-shape selector
+        0usize..1000, // path-shape selector
     )
         .prop_map(|(nu, ni, na, interactions, attributes, path_sel)| {
             let mut g = Graph::new();
@@ -170,6 +171,60 @@ proptest! {
                 "KMB cost {kmb:.4} above 2 × optimum {:.4}",
                 2.0 * opt
             );
+        }
+    }
+
+    #[test]
+    fn fast_st_covers_terminals_and_is_forest(kg in arb_kg()) {
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let s = steiner_summary_fast(&kg.g, &input, &SteinerConfig::default());
+        prop_assert_eq!(s.terminal_coverage(), 1.0);
+        prop_assert!(s.subgraph.edge_count() < s.subgraph.node_count().max(1));
+    }
+
+    #[test]
+    fn fast_st_within_2x_of_exact_optimum(kg in arb_kg()) {
+        // Mehlhorn's closure carries the same factor-2 guarantee as KMB.
+        let cfg = SteinerConfig::default();
+        let input = SummaryInput::user_centric(kg.users[0], kg.paths.clone());
+        let costs = steiner_costs(&kg.g, &input, &cfg);
+        if let Some(opt) = exact_steiner_cost(&kg.g, &costs, &input.terminals) {
+            let s = steiner_summary_fast(&kg.g, &input, &cfg);
+            let fast: f64 = s.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
+            prop_assert!(opt <= fast + 1e-9);
+            prop_assert!(
+                fast <= 2.0 * opt + 1e-9,
+                "Mehlhorn cost {fast:.4} above 2 × optimum {:.4}",
+                2.0 * opt
+            );
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential_input_for_input(kg in arb_kg()) {
+        // Three inputs sharing the graph: the batched engine (cost-model
+        // patching, reused workspaces) must reproduce each sequential
+        // call exactly, in order, for ST, ST-fast and PCST alike.
+        let inputs = vec![
+            SummaryInput::user_centric(kg.users[0], kg.paths.clone()),
+            SummaryInput::user_centric(kg.users[1], kg.paths.clone()),
+            SummaryInput::user_group(&kg.users, kg.paths.clone()),
+        ];
+        let st = SteinerConfig::default();
+        let pc = PcstConfig::default();
+        for method in [
+            BatchMethod::Steiner(st),
+            BatchMethod::SteinerFast(st),
+            BatchMethod::Pcst(pc),
+        ] {
+            let batch = summarize_batch(&kg.g, &inputs, method);
+            prop_assert_eq!(batch.len(), inputs.len());
+            for (input, got) in inputs.iter().zip(&batch) {
+                let want = method.run(&kg.g, input);
+                prop_assert_eq!(&want.terminals, &got.terminals);
+                prop_assert_eq!(want.subgraph.sorted_edges(), got.subgraph.sorted_edges());
+                prop_assert_eq!(want.subgraph.sorted_nodes(), got.subgraph.sorted_nodes());
+            }
         }
     }
 

@@ -3,12 +3,10 @@
 //! EXPERIMENTS.md). These run on a small synthetic ML1M so they are CI-
 //! fast yet still average over dozens of summarization units.
 
-use xsum::core::{
-    pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput,
-};
+use xsum::core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
 use xsum::datasets::ml1m_scaled;
 use xsum::metrics::{ExplanationView, MetricReport};
-use xsum::rec::{MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig, Pearlm, Plm, PlmConfig};
+use xsum::rec::{MfConfig, MfModel, PathRecommender, Pearlm, Pgpr, PgprConfig, Plm, PlmConfig};
 
 struct Setup {
     ds: xsum::datasets::Dataset,
@@ -60,7 +58,10 @@ fn fig2_shape_st_most_comprehensible() {
     // Fig. 2: "the ST method outperforms all methods"; PCST builds larger
     // trees than ST.
     assert!(st > base, "ST {st:.4} must beat baseline {base:.4}");
-    assert!(st >= pcst, "ST {st:.4} must be at least as compact as PCST {pcst:.4}");
+    assert!(
+        st >= pcst,
+        "ST {st:.4} must be at least as compact as PCST {pcst:.4}"
+    );
 }
 
 #[test]
@@ -70,7 +71,10 @@ fn fig4_shape_baseline_paths_least_diverse() {
     // Fig. 4: "original PGPR and CAFE paths have the lowest diversity due
     // to their fixed 3-hop structure".
     assert!(st > base, "ST diversity {st:.4} vs baseline {base:.4}");
-    assert!(pcst > base, "PCST diversity {pcst:.4} vs baseline {base:.4}");
+    assert!(
+        pcst > base,
+        "PCST diversity {pcst:.4} vs baseline {base:.4}"
+    );
 }
 
 #[test]
@@ -80,7 +84,10 @@ fn fig5_shape_summaries_less_redundant() {
     // Fig. 5: "PGPR and CAFE produce repetitive explanations, while PCST
     // and ST yield more efficient summaries with minimal duplication".
     assert!(st < base, "ST redundancy {st:.4} vs baseline {base:.4}");
-    assert!(pcst < base, "PCST redundancy {pcst:.4} vs baseline {base:.4}");
+    assert!(
+        pcst < base,
+        "PCST redundancy {pcst:.4} vs baseline {base:.4}"
+    );
 }
 
 #[test]
@@ -91,7 +98,10 @@ fn fig7_shape_baselines_most_relevant_user_centric() {
     // user-centric scenarios by prioritizing user-item interaction
     // history" (they duplicate heavy interaction edges across paths).
     assert!(base > st, "baseline relevance {base:.1} vs ST {st:.1}");
-    assert!(base > pcst, "baseline relevance {base:.1} vs PCST {pcst:.1}");
+    assert!(
+        base > pcst,
+        "baseline relevance {base:.1} vs PCST {pcst:.1}"
+    );
 }
 
 #[test]
@@ -182,8 +192,14 @@ fn faithfulness_metric_separates_plm_from_pearlm() {
     };
     let f_plm = mean_faithfulness(&plm);
     let f_pearlm = mean_faithfulness(&pearlm);
-    assert!((f_pearlm - 1.0).abs() < 1e-12, "PEARLM faithfulness {f_pearlm}");
-    assert!(f_plm < f_pearlm, "PLM {f_plm} must be below PEARLM {f_pearlm}");
+    assert!(
+        (f_pearlm - 1.0).abs() < 1e-12,
+        "PEARLM faithfulness {f_pearlm}"
+    );
+    assert!(
+        f_plm < f_pearlm,
+        "PLM {f_plm} must be below PEARLM {f_pearlm}"
+    );
 }
 
 #[test]
