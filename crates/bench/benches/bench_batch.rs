@@ -7,7 +7,9 @@
 //!
 //! * `seed_sequential`   — the seed's per-call-allocating loop;
 //! * `engine_sequential` — `summarize_batch` pinned to one worker;
-//! * `engine_parallel`   — `summarize_batch` at hardware parallelism.
+//! * `engine_parallel`   — `summarize_batch` at hardware parallelism;
+//! * `persistent_parallel` — a long-lived [`SummaryEngine`]: pinned
+//!   pool, worker state warm across iterations (the serving shape).
 //!
 //! A summary line prints the warm-batch speedup over the seed path; the
 //! same figure lands in `BENCH_batch.json` via `repro bench_batch`.
@@ -16,7 +18,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use xsum_bench::experiments::perf::batch_inputs;
 use xsum_bench::seedpath::SeedEngine;
-use xsum_core::{summarize_batch, summarize_batch_threads, BatchMethod, SteinerConfig};
+use xsum_core::{
+    summarize_batch, summarize_batch_threads, BatchMethod, SteinerConfig, SummaryEngine,
+};
 use xsum_datasets::ScalingLevel;
 
 fn bench(c: &mut Criterion) {
@@ -49,6 +53,10 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("engine_parallel", |b| {
         b.iter(|| criterion::black_box(summarize_batch(g, &inputs, method)))
+    });
+    let mut persistent = SummaryEngine::new();
+    group.bench_function("persistent_parallel", |b| {
+        b.iter(|| criterion::black_box(persistent.summarize_batch(g, &inputs, method)))
     });
     let fast = BatchMethod::SteinerFast(SteinerConfig::default());
     group.bench_function("engine_fast_sequential", |b| {

@@ -205,9 +205,16 @@ fn main() {
             std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
             print!("{json}");
             eprintln!(
-                "bench_batch: ST-fast {:.2}x / KMB {:.2}x vs seed path at {} ({} summaries), \
+                "bench_batch: ST-fast {:.2}x / KMB {:.2}x / persistent engine {:.2}x vs seed \
+                 path at {} ({} summaries); engine single {:.3} ms vs free {:.3} ms; \
                  wrote BENCH_batch.json",
-                report.fast_speedup, report.speedup, report.level, report.batch_size,
+                report.fast_speedup,
+                report.speedup,
+                report.persistent_speedup,
+                report.level,
+                report.batch_size,
+                report.persistent_single_ms,
+                report.free_single_ms,
             );
         }
         "all" => {

@@ -8,7 +8,7 @@
 
 use xsum_core::{
     pcst_summary, steiner_summary, summarize_batch, BatchMethod, PcstConfig, SteinerConfig,
-    SummaryInput,
+    SummaryEngine, SummaryInput,
 };
 use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
 use xsum_graph::NodeId;
@@ -63,10 +63,18 @@ pub struct BatchBenchReport {
     /// Heap bytes the seed path allocated per summary (0 when the
     /// tracking allocator is not installed).
     pub seed_alloc_bytes_per_summary: f64,
-    /// Engine single-summary latency (ms), sequential, warm workspace.
-    pub engine_single_ms: f64,
+    /// Free-function single-summary latency (ms), sequential, warm
+    /// thread-local scratch — feeds the historical `single_summary_ms`
+    /// JSON key.
+    pub free_single_ms: f64,
+    /// Persistent-[`SummaryEngine`] single-summary latency (ms): warm
+    /// cost buffer patched in O(|paths|) instead of re-materialized.
+    pub persistent_single_ms: f64,
     /// Engine batched KMB throughput (summaries / second).
     pub batch_per_sec: f64,
+    /// Persistent-engine batched KMB throughput (summaries / second):
+    /// pinned pool woken per call, worker state warm across calls.
+    pub persistent_batch_per_sec: f64,
     /// Engine batched ST-fast (Mehlhorn closure) throughput.
     pub fast_batch_per_sec: f64,
     /// Heap bytes allocated per summary in the warm KMB batch (0 when
@@ -76,12 +84,18 @@ pub struct BatchBenchReport {
     pub fast_alloc_bytes_per_summary: f64,
     /// Warm KMB batch throughput over seed-path throughput.
     pub speedup: f64,
+    /// Persistent-engine KMB batch throughput over seed-path throughput.
+    pub persistent_speedup: f64,
     /// Warm ST-fast batch throughput over seed-path throughput.
     pub fast_speedup: f64,
 }
 
 impl BatchBenchReport {
     /// Machine-readable JSON (hand-rolled; the workspace has no serde).
+    ///
+    /// Keys present in earlier PRs keep their names and meanings so the
+    /// cross-PR trajectory stays diffable; the `engine_*` keys are the
+    /// persistent-[`SummaryEngine`] additions.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -91,11 +105,14 @@ impl BatchBenchReport {
                 "  \"seed_single_summary_ms\": {:.6},\n",
                 "  \"seed_alloc_bytes_per_summary\": {:.1},\n",
                 "  \"single_summary_ms\": {:.6},\n",
+                "  \"engine_single_summary_ms\": {:.6},\n",
                 "  \"batch_summaries_per_sec\": {:.3},\n",
+                "  \"engine_batch_summaries_per_sec\": {:.3},\n",
                 "  \"fast_batch_summaries_per_sec\": {:.3},\n",
                 "  \"alloc_bytes_per_summary\": {:.1},\n",
                 "  \"fast_alloc_bytes_per_summary\": {:.1},\n",
                 "  \"speedup_vs_seed\": {:.3},\n",
+                "  \"engine_speedup_vs_seed\": {:.3},\n",
                 "  \"fast_speedup_vs_seed\": {:.3}\n",
                 "}}\n"
             ),
@@ -103,12 +120,15 @@ impl BatchBenchReport {
             self.batch_size,
             self.seed_single_ms,
             self.seed_alloc_bytes_per_summary,
-            self.engine_single_ms,
+            self.free_single_ms,
+            self.persistent_single_ms,
             self.batch_per_sec,
+            self.persistent_batch_per_sec,
             self.fast_batch_per_sec,
             self.alloc_bytes_per_summary,
             self.fast_alloc_bytes_per_summary,
             self.speedup,
+            self.persistent_speedup,
             self.fast_speedup,
         )
     }
@@ -170,26 +190,106 @@ pub fn batch_bench(
     });
     let seed_single_ms = seed_m.elapsed.as_secs_f64() * 1e3 / n;
 
-    // Engine, warmup pass: JIT-warms caches and the thread-local
-    // sequential scratch. Note batch worker state is per-call, so the
-    // "warm" batch figures below still include each call's own
-    // O(workers·|E|) setup, amortized over the batch.
+    // Warmup pass: JIT-warms caches, the thread-local sequential
+    // scratch, and the thread-local Eq. 1 model cache. The free-function
+    // batch path builds a one-shot engine per call, so the "warm" batch
+    // figures below still include each call's own pool spin-up and
+    // O(workers·|E|) buffer setup, amortized over the batch.
     let method = BatchMethod::Steiner(cfg);
     std::hint::black_box(summarize_batch(g, &inputs, method));
 
-    // Engine, warm single-summary latency (sequential entry point).
-    let (_, single_m) = measure(|| {
+    // Single-summary latency, free function vs persistent engine. The
+    // free sequential entry point hits the thread-local cost-model
+    // cache but re-materializes the O(|E|) cost table per call; the
+    // warm engine's resident buffer makes setup O(|paths|). That gap is
+    // tens of microseconds under a millisecond-scale tree computation,
+    // far below run-to-run machine noise — so the engine figure is
+    // estimated with a *paired* design: every input is timed back-to-
+    // back through both paths, and the engine latency is the free
+    // latency minus the trimmed mean of the per-call differences.
+    // Short-term drift (CPU frequency, co-tenants) hits both sides of a
+    // pair equally and cancels in the difference; the reported ordering
+    // depends only on the paired statistic, not on which millisecond
+    // regime either series happened to land in.
+    let mut engine = SummaryEngine::new();
+    for input in &inputs {
+        std::hint::black_box(engine.summarize(g, input, method));
+        std::hint::black_box(steiner_summary(g, input, &cfg));
+    }
+    let mut free_times = Vec::with_capacity(SINGLE_REPS * inputs.len());
+    let mut deltas = Vec::with_capacity(SINGLE_REPS * inputs.len());
+    for rep in 0..SINGLE_REPS {
+        // Alternate which side runs first: whichever path goes second
+        // finds the input's working set cache-warm, so a fixed order
+        // would systematically favor one side by the same tens of
+        // microseconds the comparison is trying to measure.
         for input in &inputs {
-            std::hint::black_box(steiner_summary(g, input, &cfg));
+            let (free, eng);
+            if rep % 2 == 0 {
+                let t = std::time::Instant::now();
+                std::hint::black_box(steiner_summary(g, input, &cfg));
+                free = t.elapsed().as_secs_f64();
+                let t = std::time::Instant::now();
+                std::hint::black_box(engine.summarize(g, input, method));
+                eng = t.elapsed().as_secs_f64();
+            } else {
+                let t = std::time::Instant::now();
+                std::hint::black_box(engine.summarize(g, input, method));
+                eng = t.elapsed().as_secs_f64();
+                let t = std::time::Instant::now();
+                std::hint::black_box(steiner_summary(g, input, &cfg));
+                free = t.elapsed().as_secs_f64();
+            }
+            free_times.push(free);
+            deltas.push(free - eng);
         }
-    });
-    let engine_single_ms = single_m.elapsed.as_secs_f64() * 1e3 / n;
+    }
+    let free_single_ms = trimmed_mean(&mut free_times) * 1e3;
+    // The two series are trimmed independently, so on a pathological
+    // run the paired delta could exceed the free mean; clamp so a
+    // noise spike can never ship a non-positive (trivially "winning")
+    // engine latency.
+    let persistent_single_ms =
+        (free_single_ms - trimmed_mean(&mut deltas) * 1e3).max(free_single_ms * 1e-3);
 
-    // Engine, warm batch throughput + allocation per summary.
-    let (_, batch_m) = measure(|| {
-        std::hint::black_box(summarize_batch(g, &inputs, method));
-    });
-    let batch_per_sec = n / batch_m.elapsed.as_secs_f64().max(1e-12);
+    // Batch throughput, one-shot engine (the free function spins one up
+    // per call: scoped pool + cold worker buffers) vs the persistent
+    // engine (pinned pool woken per call, buffers warm). Allocation per
+    // summary comes from the first measured one-shot round. Same paired
+    // design as the single-summary series — the per-call setup the pool
+    // amortizes is small against a multi-millisecond batch.
+    std::hint::black_box(engine.summarize_batch(g, &inputs, method));
+    let mut oneshot_times = Vec::with_capacity(BATCH_REPS);
+    let mut batch_deltas = Vec::with_capacity(BATCH_REPS);
+    let mut batch_alloc = 0usize;
+    for rep in 0..BATCH_REPS {
+        // Alternating order, like the single-summary series.
+        let (batch_m, p_m) = if rep % 2 == 0 {
+            let (_, b) = measure(|| {
+                std::hint::black_box(summarize_batch(g, &inputs, method));
+            });
+            let (_, p) = measure(|| {
+                std::hint::black_box(engine.summarize_batch(g, &inputs, method));
+            });
+            (b, p)
+        } else {
+            let (_, p) = measure(|| {
+                std::hint::black_box(engine.summarize_batch(g, &inputs, method));
+            });
+            let (_, b) = measure(|| {
+                std::hint::black_box(summarize_batch(g, &inputs, method));
+            });
+            (b, p)
+        };
+        if rep == 0 {
+            batch_alloc = batch_m.allocated_bytes;
+        }
+        oneshot_times.push(batch_m.elapsed.as_secs_f64());
+        batch_deltas.push(batch_m.elapsed.as_secs_f64() - p_m.elapsed.as_secs_f64());
+    }
+    let batch_secs = trimmed_mean(&mut oneshot_times);
+    let batch_per_sec = n / batch_secs.max(1e-12);
+    let persistent_batch_per_sec = n / (batch_secs - trimmed_mean(&mut batch_deltas)).max(1e-12);
 
     // ST-fast (Mehlhorn closure): warmup, then warm measurement.
     let fast = BatchMethod::SteinerFast(cfg);
@@ -204,14 +304,44 @@ pub fn batch_bench(
         batch_size: inputs.len(),
         seed_single_ms,
         seed_alloc_bytes_per_summary: seed_m.allocated_bytes as f64 / n,
-        engine_single_ms,
+        free_single_ms,
+        persistent_single_ms,
         batch_per_sec,
+        persistent_batch_per_sec,
         fast_batch_per_sec,
-        alloc_bytes_per_summary: batch_m.allocated_bytes as f64 / n,
+        alloc_bytes_per_summary: batch_alloc as f64 / n,
         fast_alloc_bytes_per_summary: fast_m.allocated_bytes as f64 / n,
         speedup: seed_single_ms * batch_per_sec / 1e3,
+        persistent_speedup: seed_single_ms * persistent_batch_per_sec / 1e3,
         fast_speedup: seed_single_ms * fast_batch_per_sec / 1e3,
     }
+}
+
+/// Rounds of the single-summary series: the cold-vs-warm gap the engine
+/// closes is a few microseconds per call once order-alternation removes
+/// cache-warming bias (the free path's O(|E|) copy doubles as a
+/// prefetch of the table the tree search reads anyway), so the
+/// trimmed-mean standard error has to sit below that.
+const SINGLE_REPS: usize = 64;
+
+/// Rounds of the batch series (each round is a whole batch, so fewer
+/// rounds buy the same total sample mass).
+const BATCH_REPS: usize = 16;
+
+/// Fraction of rounds trimmed from *each* end before averaging:
+/// co-tenant CPU spikes land in a handful of rounds and are heavily
+/// one-sided, so a plain mean over rounds would drown a
+/// tens-of-microseconds effect in milliseconds of spike.
+const TRIM_FRACTION: f64 = 0.125;
+
+/// Mean of `samples` after dropping the lowest and highest
+/// [`TRIM_FRACTION`] of rounds (sorts in place).
+fn trimmed_mean(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let trim = ((samples.len() as f64 * TRIM_FRACTION) as usize).min((samples.len() - 1) / 2);
+    let kept = &samples[trim..samples.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
 }
 
 /// Fig. 9: per-k time (ms) and allocation (KiB) for each scenario.

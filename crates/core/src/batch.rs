@@ -16,19 +16,24 @@
 //! allocator for search state. Output order always matches input
 //! order, and every method produces bit-identical results to its
 //! sequential entry point ([`steiner_summary`] / [`pcst_summary`] /
-//! [`gw_pcst_summary`]). Callers issuing many small batches should
-//! batch wider instead — worker state does not persist across calls
-//! (a persistent serving engine is on the ROADMAP).
+//! [`gw_pcst_summary`]). Since the persistent-engine refactor these
+//! free functions are one-shot wrappers over
+//! [`SummaryEngine`](crate::engine::SummaryEngine): callers issuing
+//! many batches against the same graph should hold an engine instead,
+//! which keeps the worker pool, workspaces, and cost-model cache warm
+//! across calls.
+//!
+//! [`steiner_summary`]: crate::steiner_summary
+//! [`pcst_summary`]: crate::pcst_summary
+//! [`gw_pcst_summary`]: crate::gw_pcst_summary
 
-use xsum_graph::{num_threads, parallel_map_with, EdgeCosts, EdgeId, Graph};
+use xsum_graph::{num_threads, Graph};
 
+use crate::engine::SummaryEngine;
 use crate::gw::gw_pcst_summary;
 use crate::input::SummaryInput;
 use crate::pcst::{pcst_summary, PcstConfig};
-use crate::steiner::{
-    steiner_summary, steiner_summary_fast, steiner_tree_fast_with, steiner_tree_with,
-    SteinerConfig, SteinerCostModel, SteinerWorkspace,
-};
+use crate::steiner::{steiner_summary, steiner_summary_fast, SteinerConfig};
 use crate::summary::Summary;
 
 /// Which summarizer a batch runs, with its configuration.
@@ -77,77 +82,24 @@ pub fn summarize_batch(g: &Graph, inputs: &[SummaryInput], method: BatchMethod) 
     summarize_batch_threads(g, inputs, method, num_threads())
 }
 
-/// Per-worker scratch of the batched ST paths: a private copy of the
-/// cost-model base (patched and unpatched around each summary), the
-/// touched-edge log, and the full Steiner workspace.
-struct StWorker {
-    costs: Option<EdgeCosts>,
-    touched: Vec<(EdgeId, u32)>,
-    ws: SteinerWorkspace,
-}
-
 /// [`summarize_batch`] with an explicit worker count (clamped to ≥ 1).
+///
+/// Spins up a one-shot [`SummaryEngine`] for the call — same worker
+/// fan-out, same cost-model amortization, same bit-identical outputs.
+/// `threads = 1` stays strictly sequential on the calling thread.
 pub fn summarize_batch_threads(
     g: &Graph,
     inputs: &[SummaryInput],
     method: BatchMethod,
     threads: usize,
 ) -> Vec<Summary> {
-    // Freeze the CSR before fanning out so workers never contend on the
-    // one-time adjacency build.
-    g.freeze();
-    let workers = threads.max(1).min(inputs.len()).max(1);
-    match method {
-        BatchMethod::Steiner(cfg) | BatchMethod::SteinerFast(cfg) => {
-            // ST batches amortize the Eq. 1 cost transform through one
-            // shared SteinerCostModel: per summary, only the input's own
-            // path edges are patched (and later restored) in the
-            // worker's private cost table — O(|paths|) instead of the
-            // O(|E|) table build the sequential entry point performs.
-            // Outputs stay bit-identical to the sequential calls.
-            let fast = matches!(method, BatchMethod::SteinerFast(_));
-            let label = method.name();
-            let model = SteinerCostModel::new(g, &cfg);
-            let mut states: Vec<StWorker> = (0..workers)
-                .map(|_| {
-                    let mut ws = SteinerWorkspace::new();
-                    // One level of parallelism only: with several outer
-                    // workers each summary's metric closure stays
-                    // sequential (no nested thread spawns); a lone
-                    // worker inherits the caller's full thread budget,
-                    // so `threads = 1` is strictly sequential end to
-                    // end.
-                    ws.set_parallelism(if workers > 1 { 1 } else { threads.max(1) });
-                    StWorker {
-                        costs: None,
-                        touched: Vec::new(),
-                        ws,
-                    }
-                })
-                .collect();
-            let model_ref = &model;
-            parallel_map_with(&mut states, inputs, move |st, _, input| {
-                let costs = st.costs.get_or_insert_with(|| model_ref.fresh_costs());
-                model_ref.patch(g, input, costs, &mut st.touched);
-                let subgraph = if fast {
-                    steiner_tree_fast_with(g, costs, &input.terminals, &mut st.ws)
-                } else {
-                    steiner_tree_with(g, costs, &input.terminals, &mut st.ws)
-                };
-                model_ref.unpatch(costs, &st.touched);
-                Summary {
-                    method: label,
-                    scenario: input.scenario,
-                    subgraph,
-                    terminals: input.terminals.clone(),
-                }
-            })
-        }
-        BatchMethod::Pcst(_) | BatchMethod::GwPcst(_) => {
-            let mut states = vec![(); workers];
-            parallel_map_with(&mut states, inputs, |_, _, input| method.run(g, input))
-        }
-    }
+    // Size the one-shot pool to the batch (a 2-input batch must not
+    // spawn 16 workers), but keep the caller's full thread budget as
+    // the lone worker's inner metric-closure fan-out — the pre-engine
+    // `summarize_batch` semantics.
+    let threads = threads.max(1);
+    let workers = threads.min(inputs.len()).max(1);
+    SummaryEngine::with_threads_and_budget(workers, threads).summarize_batch(g, inputs, method)
 }
 
 #[cfg(test)]

@@ -1,0 +1,412 @@
+//! The persistent summarization engine.
+//!
+//! [`crate::summarize_batch`] is fast *within* a call but rebuilds its
+//! world on every call: worker threads are spawned and joined, each
+//! worker's [`SteinerWorkspace`] and private cost-table copy are
+//! allocated from scratch, and the Eq. 1 base table is derived again —
+//! O(workers · |E|) of setup per batch. A serving deployment issues
+//! *many* batches (and many single summaries) against one long-lived
+//! graph, so [`SummaryEngine`] makes all of that state persistent:
+//!
+//! * a pinned [`WorkerPool`] — threads spawned once and parked between
+//!   calls, woken per batch with one condvar broadcast;
+//! * one [`EngineWorker`] per pool thread, owning a [`SteinerWorkspace`]
+//!   and an Eq. 1 cost buffer that survive across batches, so a warm
+//!   batch patches O(|paths|) per summary and never touches the
+//!   allocator for search state;
+//! * a [`CostModelCache`] keyed by (graph epoch, config), shared by the
+//!   batched and single-summary paths, so switching λ or serving an
+//!   updated graph rebuilds the O(|E|) base table exactly once;
+//! * a [`SessionStore`](crate::session::SessionStore) of incremental
+//!   per-user sessions (k grows as the user scrolls), with LRU eviction
+//!   and graph-epoch invalidation.
+//!
+//! Everything the engine produces is **bit-identical** to the free
+//! functions ([`steiner_summary`](crate::steiner_summary) /
+//! [`steiner_summary_fast`](crate::steiner_summary_fast) /
+//! [`pcst_summary`](crate::pcst_summary) /
+//! [`gw_pcst_summary`](crate::gw_pcst_summary)) and to
+//! [`crate::summarize_batch`]; the property suites in
+//! `tests/prop_engine.rs` pin that contract across random graphs,
+//! configs, and worker counts.
+
+use xsum_graph::{num_threads, EdgeCosts, EdgeId, Graph, WorkerPool};
+
+use crate::batch::BatchMethod;
+use crate::input::SummaryInput;
+use crate::session::SessionStore;
+use crate::steiner::{
+    steiner_tree_fast_with, steiner_tree_with, CostModelCache, CostModelKey, SteinerCostModel,
+    SteinerWorkspace,
+};
+use crate::summary::Summary;
+
+/// Persistent per-worker state: the full KMB/Mehlhorn scratch plus a
+/// private Eq. 1 cost buffer tagged with the model it was copied from.
+#[derive(Debug, Default)]
+struct EngineWorker {
+    ws: SteinerWorkspace,
+    /// Private copy of the cost-model base, patched and unpatched around
+    /// each summary. `None` until first use.
+    costs: Option<EdgeCosts>,
+    /// Which (epoch, config) model `costs` mirrors; a key mismatch (new
+    /// graph epoch, different λ/δ) triggers one base re-copy.
+    costs_key: Option<CostModelKey>,
+    /// Touched-edge log for patch/unpatch.
+    touched: Vec<(EdgeId, u32)>,
+}
+
+impl EngineWorker {
+    /// Synchronize the worker's cost buffer to `model` (one memcpy on
+    /// key change, free when already warm) and mark it **in flight**:
+    /// `costs_key` stays `None` until [`EngineWorker::finish_summary`]
+    /// restores it after a successful unpatch. A panic mid-summary
+    /// (e.g. an out-of-range terminal id unwinding out of the tree
+    /// construction) therefore leaves the buffer flagged dirty, and the
+    /// next call re-copies the base instead of silently computing
+    /// against leftover patched costs. Callers borrow `self.costs`
+    /// directly so `touched` and `ws` stay independently borrowable.
+    fn begin_summary(&mut self, key: CostModelKey, model: &SteinerCostModel) {
+        if self.costs_key != Some(key) {
+            match &mut self.costs {
+                Some(c) => model.copy_base_into(c),
+                None => self.costs = Some(model.fresh_costs()),
+            }
+        }
+        self.costs_key = None;
+    }
+
+    /// Declare the buffer clean again (patch fully undone).
+    fn finish_summary(&mut self, key: CostModelKey) {
+        self.costs_key = Some(key);
+    }
+
+    /// One ST/ST-fast summary on this worker's warm state — the single
+    /// body both [`SummaryEngine::summarize`] and the batch closure run,
+    /// so the bit-identity contract between the two paths cannot drift.
+    fn run_st(
+        &mut self,
+        g: &Graph,
+        input: &SummaryInput,
+        key: CostModelKey,
+        model: &SteinerCostModel,
+        fast: bool,
+        label: &'static str,
+    ) -> Summary {
+        self.begin_summary(key, model);
+        let costs = self.costs.as_mut().expect("buffer just synced");
+        model.patch(g, input, costs, &mut self.touched);
+        let subgraph = if fast {
+            steiner_tree_fast_with(g, costs, &input.terminals, &mut self.ws)
+        } else {
+            steiner_tree_with(g, costs, &input.terminals, &mut self.ws)
+        };
+        model.unpatch(costs, &self.touched);
+        self.finish_summary(key);
+        Summary {
+            method: label,
+            scenario: input.scenario,
+            subgraph,
+            terminals: input.terminals.clone(),
+        }
+    }
+}
+
+/// A long-lived, multi-threaded summarization engine (see module docs).
+///
+/// Construction pins the worker pool; afterwards
+/// [`SummaryEngine::summarize_batch`] and [`SummaryEngine::summarize`]
+/// can be called any number of times, against any graph — per-graph
+/// derived state is keyed by the graph's mutation epoch and refreshed
+/// transparently when it changes.
+///
+/// ```
+/// use xsum_core::{BatchMethod, SteinerConfig, SummaryEngine, SummaryInput};
+/// use xsum_core::render::table1_example;
+///
+/// let ex = table1_example();
+/// let mut engine = SummaryEngine::with_threads(2);
+/// let method = BatchMethod::Steiner(SteinerConfig::default());
+/// let batch = engine.summarize_batch(&ex.graph, &[ex.input()], method);
+/// let single = engine.summarize(&ex.graph, &ex.input(), method);
+/// assert_eq!(
+///     batch[0].subgraph.sorted_edges(),
+///     single.subgraph.sorted_edges()
+/// );
+/// ```
+#[derive(Debug)]
+pub struct SummaryEngine {
+    pool: WorkerPool,
+    workers: Vec<EngineWorker>,
+    models: CostModelCache,
+    sessions: SessionStore,
+    /// Inner-parallelism budget a *lone* batch worker inherits (the
+    /// |T| ≥ 24 metric-closure fan-out). Defaults to the worker count;
+    /// see [`SummaryEngine::with_threads_and_budget`].
+    lone_budget: usize,
+}
+
+impl Default for SummaryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SummaryEngine {
+    /// Default capacity of the engine's cost-model cache: generous for a
+    /// λ-sweep over a handful of live graph epochs.
+    const MODEL_CACHE_CAPACITY: usize = 8;
+
+    /// Default capacity of the engine's incremental-session store.
+    const SESSION_CAPACITY: usize = 1024;
+
+    /// An engine sized by [`num_threads`] (hardware parallelism, or
+    /// `XSUM_THREADS`).
+    pub fn new() -> Self {
+        Self::with_threads(num_threads())
+    }
+
+    /// An engine with an explicit worker count (clamped to ≥ 1); `1`
+    /// serves strictly sequentially on the calling thread.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self::with_threads_and_budget(threads, threads)
+    }
+
+    /// [`SummaryEngine::with_threads`] with a separate inner-parallelism
+    /// budget for the lone-worker case — how the one-shot
+    /// [`crate::summarize_batch_threads`] wrapper clamps its pool to the
+    /// batch width without losing the caller's requested thread budget
+    /// for the metric-closure fan-out.
+    pub(crate) fn with_threads_and_budget(threads: usize, lone_budget: usize) -> Self {
+        let threads = threads.max(1);
+        SummaryEngine {
+            pool: WorkerPool::new(threads),
+            workers: (0..threads).map(|_| EngineWorker::default()).collect(),
+            models: CostModelCache::new(Self::MODEL_CACHE_CAPACITY),
+            sessions: SessionStore::new(Self::SESSION_CAPACITY),
+            lone_budget: lone_budget.max(1),
+        }
+    }
+
+    /// Number of pinned worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `(hits, misses)` of the engine's cost-model cache — a miss is one
+    /// O(|E|) Eq. 1 base-table build. Mutating the graph (any weight or
+    /// structural change) moves its epoch and shows up here as a miss on
+    /// the next call.
+    pub fn cost_cache_stats(&self) -> (u64, u64) {
+        (self.models.hits(), self.models.misses())
+    }
+
+    /// The engine's incremental-session store (per-user growing
+    /// summaries with LRU eviction and epoch invalidation).
+    pub fn sessions(&mut self) -> &mut SessionStore {
+        &mut self.sessions
+    }
+
+    /// Compute one summary on the calling thread, reusing the engine's
+    /// warm state (cost-model cache + worker-0 workspace and cost
+    /// buffer). Bit-identical to the corresponding sequential free
+    /// function; unlike it, a warm engine pays O(|paths|) — not O(|E|)
+    /// — to materialize the Eq. 1 costs.
+    pub fn summarize(&mut self, g: &Graph, input: &SummaryInput, method: BatchMethod) -> Summary {
+        match method {
+            BatchMethod::Steiner(cfg) | BatchMethod::SteinerFast(cfg) => {
+                let fast = matches!(method, BatchMethod::SteinerFast(_));
+                let (key, model) = self.models.get(g, &cfg);
+                let worker = &mut self.workers[0];
+                // The sequential entry points never spawn threads; keep
+                // the engine's single-summary path identical.
+                worker.ws.set_parallelism(1);
+                worker.run_st(g, input, key, &model, fast, method.name())
+            }
+            BatchMethod::Pcst(_) | BatchMethod::GwPcst(_) => method.run(g, input),
+        }
+    }
+
+    /// Summarize every input with `method` across the pinned worker
+    /// pool, preserving input order. Semantics (and bits) match
+    /// [`crate::summarize_batch`]; steady-state cost per call drops from
+    /// O(workers · |E|) setup + spawns to one pool wake-up.
+    pub fn summarize_batch(
+        &mut self,
+        g: &Graph,
+        inputs: &[SummaryInput],
+        method: BatchMethod,
+    ) -> Vec<Summary> {
+        // Freeze the CSR before fanning out so workers never contend on
+        // the one-time adjacency build.
+        g.freeze();
+        let threads = self.workers.len();
+        let active = threads.min(inputs.len()).max(1);
+        match method {
+            BatchMethod::Steiner(cfg) | BatchMethod::SteinerFast(cfg) => {
+                let fast = matches!(method, BatchMethod::SteinerFast(_));
+                let label = method.name();
+                let (key, model) = self.models.get(g, &cfg);
+                for w in &mut self.workers[..active] {
+                    // One level of parallelism only: with several outer
+                    // workers each summary's metric closure stays
+                    // sequential; a lone worker inherits the engine's
+                    // inner budget (matching `summarize_batch`).
+                    w.ws.set_parallelism(if active > 1 { 1 } else { self.lone_budget });
+                }
+                let model_ref = &model;
+                self.pool
+                    .map_with(&mut self.workers[..active], inputs, move |w, _, input| {
+                        w.run_st(g, input, key, model_ref, fast, label)
+                    })
+            }
+            BatchMethod::Pcst(_) | BatchMethod::GwPcst(_) => {
+                let mut states = vec![(); active];
+                self.pool
+                    .map_with(&mut states, inputs, |_, _, input| method.run(g, input))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcst::PcstConfig;
+    use crate::render::table1_example;
+    use crate::steiner::SteinerConfig;
+    use crate::{gw_pcst_summary, pcst_summary, steiner_summary, steiner_summary_fast};
+
+    fn assert_same(a: &Summary, b: &Summary) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+        assert_eq!(a.subgraph.sorted_nodes(), b.subgraph.sorted_nodes());
+    }
+
+    #[test]
+    fn engine_single_matches_free_functions() {
+        let ex = table1_example();
+        let input = ex.input();
+        let st = SteinerConfig::default();
+        let pc = PcstConfig::default();
+        let mut engine = SummaryEngine::with_threads(2);
+        assert_same(
+            &engine.summarize(&ex.graph, &input, BatchMethod::Steiner(st)),
+            &steiner_summary(&ex.graph, &input, &st),
+        );
+        assert_same(
+            &engine.summarize(&ex.graph, &input, BatchMethod::SteinerFast(st)),
+            &steiner_summary_fast(&ex.graph, &input, &st),
+        );
+        assert_same(
+            &engine.summarize(&ex.graph, &input, BatchMethod::Pcst(pc)),
+            &pcst_summary(&ex.graph, &input, &pc),
+        );
+        assert_same(
+            &engine.summarize(&ex.graph, &input, BatchMethod::GwPcst(pc)),
+            &gw_pcst_summary(&ex.graph, &input, &pc),
+        );
+    }
+
+    #[test]
+    fn engine_is_reusable_and_warm_across_calls() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut engine = SummaryEngine::with_threads(3);
+        let inputs = vec![input.clone(), input.clone(), input.clone(), input];
+        let first = engine.summarize_batch(&ex.graph, &inputs, method);
+        for _ in 0..5 {
+            let again = engine.summarize_batch(&ex.graph, &inputs, method);
+            for (a, b) in first.iter().zip(&again) {
+                assert_same(a, b);
+            }
+        }
+        let (hits, misses) = engine.cost_cache_stats();
+        assert_eq!(misses, 1, "one Eq. 1 base build serves every batch");
+        assert_eq!(hits, 5);
+    }
+
+    #[test]
+    fn graph_mutation_misses_the_cost_cache() {
+        let mut ex = table1_example();
+        let input = ex.input();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut engine = SummaryEngine::with_threads(2);
+        engine.summarize(&ex.graph, &input, method);
+        ex.graph.set_weight(xsum_graph::EdgeId(0), 0.25);
+        let warm = engine.summarize(&ex.graph, &input, method);
+        let (_, misses) = engine.cost_cache_stats();
+        assert_eq!(misses, 2, "weight mutation must rebuild the model");
+        // And the recomputation matches a cold engine exactly.
+        let cold = SummaryEngine::with_threads(2).summarize(&ex.graph, &input, method);
+        assert_same(&warm, &cold);
+    }
+
+    #[test]
+    fn lambda_sweep_populates_distinct_models() {
+        let ex = table1_example();
+        let input = ex.input();
+        let mut engine = SummaryEngine::with_threads(1);
+        for lambda in [0.01, 1.0, 100.0] {
+            let cfg = SteinerConfig { lambda, delta: 1.0 };
+            let got = engine.summarize(&ex.graph, &input, BatchMethod::Steiner(cfg));
+            assert_same(&got, &steiner_summary(&ex.graph, &input, &cfg));
+        }
+        let (hits, misses) = engine.cost_cache_stats();
+        assert_eq!((hits, misses), (0, 3), "three configs, three models");
+    }
+
+    #[test]
+    fn engine_default_threads_positive() {
+        let engine = SummaryEngine::new();
+        assert!(engine.threads() >= 1);
+    }
+
+    #[test]
+    fn unwound_summary_does_not_corrupt_cost_buffers() {
+        // Simulate a panic unwinding out of the tree construction after
+        // the worker's buffer was patched (patch done, unpatch and
+        // finish_summary never reached). The buffer must be flagged
+        // dirty so the next call re-copies the base — never serves
+        // leftover boosted costs.
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let method = BatchMethod::Steiner(cfg);
+        let mut engine = SummaryEngine::with_threads(1);
+        engine.summarize(&ex.graph, &input, method); // warm buffer
+
+        // A variant input with a different Eq. 1 denominator, so its
+        // patch writes values no later patch of `input` would overwrite.
+        let variant = crate::input::SummaryInput::user_centric(ex.user1, vec![ex.paths[0].clone()]);
+        let (key, model) = engine.models.get(&ex.graph, &cfg);
+        let w = &mut engine.workers[0];
+        w.begin_summary(key, &model);
+        let costs = w.costs.as_mut().expect("warm buffer");
+        model.patch(&ex.graph, &variant, costs, &mut w.touched);
+        // ...unwind here: no unpatch, no finish_summary.
+        assert_ne!(
+            w.costs.as_ref().unwrap().0,
+            model.fresh_costs().0,
+            "the simulated unwind must leave real patched state behind"
+        );
+        assert!(
+            engine.workers[0].costs_key.is_none(),
+            "an in-flight summary's buffer is flagged dirty"
+        );
+
+        // The next call re-copies the base and produces the free-
+        // function result; afterwards the buffer is exactly base again.
+        let after = engine.summarize(&ex.graph, &input, method);
+        let free = crate::steiner_summary(&ex.graph, &input, &cfg);
+        assert_same(&after, &free);
+        assert_eq!(
+            engine.workers[0].costs.as_ref().unwrap().0,
+            model.fresh_costs().0,
+            "recovered buffer must be bit-identical to the model base"
+        );
+    }
+}

@@ -16,7 +16,7 @@
 use xsum_graph::{DijkstraWorkspace, EdgeCosts, Graph, NodeId, Subgraph};
 
 use crate::input::{Scenario, SummaryInput};
-use crate::steiner::{steiner_costs, SteinerConfig};
+use crate::steiner::{cached_steiner_costs, SteinerConfig};
 use crate::summary::Summary;
 
 /// A summary grown one terminal at a time.
@@ -38,13 +38,34 @@ impl IncrementalSteiner {
     /// feed them through [`IncrementalSteiner::add_terminal`] in rank
     /// order.
     pub fn new(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Self {
+        Self::with_workspace(g, input, cfg, DijkstraWorkspace::new())
+    }
+
+    /// [`IncrementalSteiner::new`] seeded with a recycled
+    /// [`DijkstraWorkspace`] (e.g. harvested from an evicted session by
+    /// [`crate::session::SessionStore`]), so a new session starts with
+    /// warm, pre-sized search buffers. Costs come through the
+    /// thread-local Eq. 1 model cache — bit-identical to
+    /// [`crate::steiner::steiner_costs`].
+    pub fn with_workspace(
+        g: &Graph,
+        input: &SummaryInput,
+        cfg: &SteinerConfig,
+        ws: DijkstraWorkspace,
+    ) -> Self {
         IncrementalSteiner {
-            costs: steiner_costs(g, input, cfg),
+            costs: cached_steiner_costs(g, input, cfg),
             scenario: input.scenario,
             subgraph: Subgraph::new(),
             terminals: Vec::new(),
-            ws: DijkstraWorkspace::new(),
+            ws,
         }
+    }
+
+    /// Tear the session down, handing back its [`DijkstraWorkspace`] for
+    /// reuse by a successor session.
+    pub fn into_workspace(self) -> DijkstraWorkspace {
+        self.ws
     }
 
     /// Attach `t`: connect it to the current tree through the cheapest

@@ -34,6 +34,11 @@ pub struct IncrementalPcst {
     scope_edges: FxHashSet<EdgeId>,
     subgraph: xsum_graph::Subgraph,
     terminals: Vec<NodeId>,
+    /// BFS scratch reused across attachments (parent chain, visited set,
+    /// frontier), so a warm session connects without allocating.
+    bfs_parent: FxHashMap<NodeId, EdgeId>,
+    bfs_seen: FxHashSet<NodeId>,
+    bfs_queue: VecDeque<NodeId>,
 }
 
 impl IncrementalPcst {
@@ -46,6 +51,9 @@ impl IncrementalPcst {
             scope_edges: FxHashSet::default(),
             subgraph: xsum_graph::Subgraph::new(),
             terminals: Vec::new(),
+            bfs_parent: FxHashMap::default(),
+            bfs_seen: FxHashSet::default(),
+            bfs_queue: VecDeque::new(),
         }
     }
 
@@ -70,25 +78,26 @@ impl IncrementalPcst {
         if self.subgraph.contains_node(t) {
             return 0;
         }
-        // Unit-cost BFS over scope edges from t until a summary node.
-        let mut parent: FxHashMap<NodeId, EdgeId> = FxHashMap::default();
-        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-        seen.insert(t);
-        let mut q = VecDeque::new();
-        q.push_back(t);
+        // Unit-cost BFS over scope edges from t until a summary node,
+        // on the session's reusable scratch.
+        self.bfs_parent.clear();
+        self.bfs_seen.clear();
+        self.bfs_queue.clear();
+        self.bfs_seen.insert(t);
+        self.bfs_queue.push_back(t);
         let mut hit: Option<NodeId> = None;
-        'bfs: while let Some(v) = q.pop_front() {
+        'bfs: while let Some(v) = self.bfs_queue.pop_front() {
             for &(nb, e) in g.neighbors(v) {
-                if !self.scope_edges.contains(&e) || seen.contains(&nb) {
+                if !self.scope_edges.contains(&e) || self.bfs_seen.contains(&nb) {
                     continue;
                 }
-                seen.insert(nb);
-                parent.insert(nb, e);
+                self.bfs_seen.insert(nb);
+                self.bfs_parent.insert(nb, e);
                 if self.subgraph.contains_node(nb) {
                     hit = Some(nb);
                     break 'bfs;
                 }
-                q.push_back(nb);
+                self.bfs_queue.push_back(nb);
             }
         }
         let Some(anchor) = hit else {
@@ -101,13 +110,25 @@ impl IncrementalPcst {
         let mut added = 0;
         let mut cur = anchor;
         while cur != t {
-            let e = parent[&cur];
+            let e = self.bfs_parent[&cur];
             if self.subgraph.insert_edge(g, e) {
                 added += 1;
             }
             cur = g.edge(e).other(cur);
         }
         added
+    }
+
+    /// Raise a prize on `t` (mark it a terminal) and attach it through
+    /// the cheapest in-scope connection — the "PCST adjusts only the
+    /// node's prize" step without new scope. Returns edges added; `0`
+    /// for an already-prized terminal.
+    pub fn add_terminal(&mut self, g: &Graph, t: NodeId) -> usize {
+        if self.terminals.contains(&t) {
+            return 0;
+        }
+        self.terminals.push(t);
+        self.connect(g, t)
     }
 
     /// Absorb one explained recommendation: the path joins the scope,
@@ -117,10 +138,7 @@ impl IncrementalPcst {
         self.absorb_path(path);
         let mut added = 0;
         for endpoint in [path.source(), path.target()] {
-            if !self.terminals.contains(&endpoint) {
-                self.terminals.push(endpoint);
-                added += self.connect(g, endpoint);
-            }
+            added += self.add_terminal(g, endpoint);
         }
         added
     }

@@ -43,11 +43,20 @@
 //!   closure), PCST, and GW-PCST alike, each worker reusing its own
 //!   workspace across the summaries it processes, with results
 //!   bit-identical to the sequential entry points and returned in input
-//!   order.
+//!   order;
+//! * [`SummaryEngine`] makes all of that state *persistent* for serving:
+//!   a pinned [`WorkerPool`](xsum_graph::WorkerPool) parked between
+//!   calls, per-worker workspaces and Eq. 1 cost buffers that survive
+//!   across batches, a (graph-epoch, config)-keyed [`CostModelCache`]
+//!   (a thread-local instance of which also backs the sequential
+//!   [`steiner_summary`] / [`steiner_summary_fast`] calls), and a
+//!   [`SessionStore`] of per-user incremental sessions with LRU
+//!   eviction and graph-epoch invalidation.
 //!
 //! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
 pub mod batch;
+pub mod engine;
 pub mod exact;
 pub mod export;
 pub mod gw;
@@ -58,11 +67,13 @@ pub mod pathfree;
 pub mod pcst;
 pub mod prizes;
 pub mod render;
+pub mod session;
 pub mod steiner;
 pub mod summary;
 pub mod weighting;
 
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
+pub use engine::SummaryEngine;
 pub use exact::{
     exact_steiner_cost, exact_steiner_tree, optimality_gap, OptimalityGap, MAX_EXACT_TERMINALS,
 };
@@ -78,9 +89,11 @@ pub use pathfree::{
 pub use pcst::{pcst_summary, PcstConfig, PcstScope};
 pub use prizes::{node_prizes, pcst_summary_with_policy, PrizePolicy};
 pub use render::{render_path, render_summary, table1_example, Table1Example};
+pub use session::{session_summary, EngineSession, SessionKey, SessionStore};
 pub use steiner::{
-    steiner_costs, steiner_summary, steiner_summary_fast, steiner_tree, steiner_tree_fast,
-    steiner_tree_fast_with, steiner_tree_with, SteinerConfig, SteinerCostModel, SteinerWorkspace,
+    flush_cost_model_cache, steiner_costs, steiner_summary, steiner_summary_fast, steiner_tree,
+    steiner_tree_fast, steiner_tree_fast_with, steiner_tree_with, CostModelCache, CostModelKey,
+    SteinerConfig, SteinerCostModel, SteinerWorkspace,
 };
 pub use summary::Summary;
 pub use weighting::adjusted_weights;

@@ -42,7 +42,7 @@ pub enum PcstScope {
 }
 
 /// PCST summarizer parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcstConfig {
     /// Prize `α` for terminal nodes (§V-A: 1.0).
     pub terminal_prize: f64,

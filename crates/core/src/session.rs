@@ -1,0 +1,589 @@
+//! Incremental serving sessions: per-user growing summaries, stored.
+//!
+//! The paper's consistency experiments (Fig. 6) model a user scrolling:
+//! k grows one recommendation at a time, and the summary should extend
+//! — never reshuffle — what the user already read.
+//! [`IncrementalSteiner`] / [`IncrementalPcst`] implement that growth;
+//! this module keeps such sessions *alive across requests*, which is
+//! what a serving deployment needs (the next `add_terminal` for a user
+//! arrives on a later request, not in the same call stack).
+//!
+//! * [`EngineSession`] — one user's growing summary, ST or PCST flavor
+//!   behind one surface;
+//! * [`SessionKey`] — identity of a session: (user id, baseline input
+//!   label), the pair the paper's per-baseline experiments key on;
+//! * [`SessionStore`] — an LRU map of sessions with a configurable
+//!   capacity, graph-epoch invalidation (any graph mutation orphans the
+//!   stored costs and subgraphs, so all sessions are dropped), and
+//!   workspace recycling: evicted ST sessions donate their warm
+//!   [`DijkstraWorkspace`] to successor sessions.
+
+use xsum_graph::{DijkstraWorkspace, FxHashMap, Graph, LoosePath, NodeId};
+
+use crate::incremental::IncrementalSteiner;
+use crate::incremental_pcst::IncrementalPcst;
+use crate::input::{Scenario, SummaryInput};
+use crate::pcst::PcstConfig;
+use crate::steiner::SteinerConfig;
+use crate::summary::Summary;
+
+/// Identity of one serving session: which user it belongs to and which
+/// baseline recommender produced the explanation input it grows from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// The user (or focus entity) the session serves.
+    pub user: u64,
+    /// Label of the baseline input the session was seeded with (e.g.
+    /// `"pgpr"`); summaries for the same user under different baselines
+    /// are distinct sessions. The label stands in for the baseline
+    /// *input* — callers must not reuse one label for materially
+    /// different inputs of the same user. (Config changes are handled
+    /// by the store itself: a lookup under a different
+    /// `SteinerConfig`/`PcstConfig` replaces the stored session.)
+    pub baseline: String,
+}
+
+impl SessionKey {
+    /// Key for `user` under `baseline`.
+    pub fn new(user: u64, baseline: impl Into<String>) -> Self {
+        SessionKey {
+            user,
+            baseline: baseline.into(),
+        }
+    }
+}
+
+/// The two incremental growth strategies behind one session surface.
+#[derive(Debug, Clone)]
+enum SessionInner {
+    Steiner(IncrementalSteiner),
+    Pcst(IncrementalPcst),
+}
+
+/// One user's live, growing summary (see module docs).
+#[derive(Debug, Clone)]
+pub struct EngineSession {
+    inner: SessionInner,
+}
+
+impl EngineSession {
+    /// A fresh ST session: Eq. 1 costs derived once from the baseline
+    /// `input` (through the thread-local cost-model cache), terminals
+    /// added later in rank order.
+    pub fn steiner(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Self {
+        Self::steiner_with_workspace(g, input, cfg, DijkstraWorkspace::new())
+    }
+
+    /// [`EngineSession::steiner`] seeded with a recycled workspace.
+    pub fn steiner_with_workspace(
+        g: &Graph,
+        input: &SummaryInput,
+        cfg: &SteinerConfig,
+        ws: DijkstraWorkspace,
+    ) -> Self {
+        EngineSession {
+            inner: SessionInner::Steiner(IncrementalSteiner::with_workspace(g, input, cfg, ws)),
+        }
+    }
+
+    /// A fresh PCST session (scope grows with each recommendation).
+    pub fn pcst(scenario: Scenario, cfg: PcstConfig) -> Self {
+        EngineSession {
+            inner: SessionInner::Pcst(IncrementalPcst::new(scenario, cfg)),
+        }
+    }
+
+    /// Attach one terminal (ST: cheapest path to the tree; PCST: prize
+    /// raise + cheapest in-scope connection). Returns edges added.
+    pub fn add_terminal(&mut self, g: &Graph, t: NodeId) -> usize {
+        match &mut self.inner {
+            SessionInner::Steiner(s) => s.add_terminal(g, t),
+            SessionInner::Pcst(s) => s.add_terminal(g, t),
+        }
+    }
+
+    /// Absorb one explained recommendation. For PCST the path extends
+    /// the growth scope and both endpoints become terminals; for ST
+    /// (whose costs are fixed by the baseline input) it attaches the
+    /// path's endpoints as terminals.
+    pub fn add_recommendation(&mut self, g: &Graph, path: &LoosePath) -> usize {
+        match &mut self.inner {
+            SessionInner::Steiner(s) => {
+                s.add_terminal(g, path.source()) + s.add_terminal(g, path.target())
+            }
+            SessionInner::Pcst(s) => s.add_recommendation(g, path),
+        }
+    }
+
+    /// The current summary snapshot.
+    pub fn summary(&self) -> Summary {
+        match &self.inner {
+            SessionInner::Steiner(s) => s.summary(),
+            SessionInner::Pcst(s) => s.summary(),
+        }
+    }
+
+    /// Number of terminals attached so far.
+    pub fn terminal_count(&self) -> usize {
+        match &self.inner {
+            SessionInner::Steiner(s) => s.terminal_count(),
+            SessionInner::Pcst(s) => s.terminal_count(),
+        }
+    }
+
+    /// Current summary size `|E_S|`.
+    pub fn size(&self) -> usize {
+        match &self.inner {
+            SessionInner::Steiner(s) => s.size(),
+            SessionInner::Pcst(s) => s.size(),
+        }
+    }
+
+    /// Tear down, recovering the Dijkstra workspace of an ST session.
+    fn harvest_workspace(self) -> Option<DijkstraWorkspace> {
+        match self.inner {
+            SessionInner::Steiner(s) => Some(s.into_workspace()),
+            SessionInner::Pcst(_) => None,
+        }
+    }
+}
+
+/// LRU store of live [`EngineSession`]s keyed by [`SessionKey`].
+///
+/// Serves one graph at a time: every lookup first compares the graph's
+/// mutation epoch against the epoch the stored sessions were built at,
+/// and any difference drops them all (their cost tables and subgraphs
+/// reference pre-mutation content). A `capacity` of `0` is the
+/// degenerate store that retains nothing between lookups — every access
+/// is a miss — which is the correct serving behavior when session reuse
+/// is disabled.
+#[derive(Debug)]
+pub struct SessionStore {
+    capacity: usize,
+    /// Epoch the stored sessions were built against.
+    epoch: Option<u64>,
+    /// O(1) keyed access; recency lives in each entry's `last_used`
+    /// stamp (monotone `clock` ticks), so lookups never shift a vector.
+    /// Eviction scans for the minimum stamp — O(n), but only on
+    /// overflow, which is rare next to per-request lookups.
+    entries: FxHashMap<SessionKey, StoredSession>,
+    /// Monotone recency clock.
+    clock: u64,
+    /// Warm workspaces harvested from evicted/invalidated ST sessions.
+    spares: Vec<DijkstraWorkspace>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A stored session plus the exact config it was built under and its
+/// recency stamp.
+#[derive(Debug)]
+struct StoredSession {
+    config: SessionConfig,
+    last_used: u64,
+    session: EngineSession,
+}
+
+/// The exact configuration a session was created with. Compared — not
+/// hashed — on lookup, so a session grown under different costs/prizes
+/// can never be resumed by accident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SessionConfig {
+    Steiner(SteinerConfig),
+    Pcst(Scenario, PcstConfig),
+}
+
+/// Upper bound on retained spare workspaces (a workspace is a few
+/// node-sized arrays; keeping a handful covers churn without pinning
+/// memory proportional to eviction history).
+const MAX_SPARE_WORKSPACES: usize = 16;
+
+impl SessionStore {
+    /// A store retaining at most `capacity` sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionStore {
+            capacity,
+            epoch: None,
+            entries: FxHashMap::default(),
+            clock: 0,
+            spares: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Change the capacity, evicting LRU sessions if shrinking.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` has a live session (does not touch LRU order).
+    pub fn contains(&self, key: &SessionKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Lookups served from a live session.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that built a fresh session.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Sessions dropped for capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whole-store drops caused by a graph-epoch change.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Drop every session (workspaces are recycled).
+    pub fn clear(&mut self) {
+        let drained: Vec<StoredSession> = self.entries.drain().map(|(_, e)| e).collect();
+        for entry in drained {
+            self.recycle(entry.session);
+        }
+    }
+
+    /// Remove one session, returning it to the caller (its workspace is
+    /// *not* recycled — the caller owns the session now).
+    pub fn remove(&mut self, key: &SessionKey) -> Option<EngineSession> {
+        self.entries.remove(key).map(|e| e.session)
+    }
+
+    /// The live ST session for `key`, creating it from `input`/`cfg` on
+    /// miss (seeded with a recycled workspace when one is available).
+    pub fn steiner_session(
+        &mut self,
+        g: &Graph,
+        key: SessionKey,
+        input: &SummaryInput,
+        cfg: &SteinerConfig,
+    ) -> &mut EngineSession {
+        self.lookup(g, key, SessionConfig::Steiner(*cfg), |store| {
+            let ws = store.spares.pop().unwrap_or_default();
+            EngineSession::steiner_with_workspace(g, input, cfg, ws)
+        })
+    }
+
+    /// The live PCST session for `key`, creating it on miss.
+    pub fn pcst_session(
+        &mut self,
+        g: &Graph,
+        key: SessionKey,
+        scenario: Scenario,
+        cfg: PcstConfig,
+    ) -> &mut EngineSession {
+        self.lookup(g, key, SessionConfig::Pcst(scenario, cfg), |_| {
+            EngineSession::pcst(scenario, cfg)
+        })
+    }
+
+    /// Shared lookup path: epoch validation → capacity pruning → keyed
+    /// probe (a hit must also match the exact config — a session grown
+    /// under different costs/prizes is replaced, not resumed) → miss
+    /// construction.
+    fn lookup(
+        &mut self,
+        g: &Graph,
+        key: SessionKey,
+        config: SessionConfig,
+        make: impl FnOnce(&mut Self) -> EngineSession,
+    ) -> &mut EngineSession {
+        self.validate_epoch(g);
+        // Prune *before* probing so a zero-capacity store drops the
+        // previous session first and can never produce a hit.
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let probe = match self.entries.get_mut(&key) {
+            Some(entry) if entry.config == config => {
+                entry.last_used = stamp;
+                true
+            }
+            Some(_) => {
+                // Same user/baseline, different config: the stored
+                // growth state reflects other costs — rebuild.
+                let stale = self.entries.remove(&key).expect("probed entry");
+                self.recycle(stale.session);
+                false
+            }
+            None => {
+                while self.entries.len() + 1 > self.capacity.max(1) {
+                    self.evict_lru();
+                }
+                false
+            }
+        };
+        if probe {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let session = make(self);
+            self.entries.insert(
+                key.clone(),
+                StoredSession {
+                    config,
+                    last_used: stamp,
+                    session,
+                },
+            );
+        }
+        &mut self
+            .entries
+            .get_mut(&key)
+            .expect("entry just ensured")
+            .session
+    }
+
+    /// Drop all sessions if the graph's epoch moved since they were
+    /// built — their derived costs and subgraphs are pre-mutation state.
+    fn validate_epoch(&mut self, g: &Graph) {
+        let epoch = g.epoch();
+        if self.epoch != Some(epoch) {
+            if !self.entries.is_empty() {
+                self.invalidations += 1;
+                self.clear();
+            }
+            self.epoch = Some(epoch);
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let Some(oldest) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        else {
+            return;
+        };
+        let entry = self.entries.remove(&oldest).expect("key just found");
+        self.evictions += 1;
+        self.recycle(entry.session);
+    }
+
+    fn recycle(&mut self, session: EngineSession) {
+        if self.spares.len() < MAX_SPARE_WORKSPACES {
+            if let Some(ws) = session.harvest_workspace() {
+                self.spares.push(ws);
+            }
+        }
+    }
+
+    /// The most-recent→least-recent ordering of live keys (MRU first) —
+    /// exposed for tests and observability dashboards.
+    pub fn keys_mru(&self) -> Vec<&SessionKey> {
+        let mut pairs: Vec<(&SessionKey, u64)> =
+            self.entries.iter().map(|(k, e)| (k, e.last_used)).collect();
+        pairs.sort_unstable_by_key(|&(_, stamp)| std::cmp::Reverse(stamp));
+        pairs.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// The session summary for a growing user-centric request, one call:
+/// look up (or start) the session, attach any new terminals, snapshot.
+///
+/// Convenience for the common serving shape — the engine's session
+/// store equivalent of [`crate::incremental_series`].
+pub fn session_summary(
+    store: &mut SessionStore,
+    g: &Graph,
+    key: SessionKey,
+    input: &SummaryInput,
+    cfg: &SteinerConfig,
+    terminals_in_rank_order: &[NodeId],
+) -> Summary {
+    let session = store.steiner_session(g, key, input, cfg);
+    for &t in terminals_in_rank_order {
+        session.add_terminal(g, t);
+    }
+    session.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::table1_example;
+
+    fn key(u: u64) -> SessionKey {
+        SessionKey::new(u, "pgpr")
+    }
+
+    #[test]
+    fn hit_resumes_the_same_session() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(4);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        s.add_terminal(&ex.graph, ex.items[0]);
+        let edges_before = s.size();
+        assert!(edges_before > 0);
+        // Same key later: the session resumes where it left off.
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.size(), edges_before);
+        assert_eq!(s.terminal_count(), 2);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(2);
+        store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        store.steiner_session(&ex.graph, key(2), &input, &cfg);
+        // Touch 1 so 2 becomes the LRU.
+        store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        store.steiner_session(&ex.graph, key(3), &input, &cfg);
+        assert!(store.contains(&key(1)), "recently used survives");
+        assert!(!store.contains(&key(2)), "LRU evicted");
+        assert!(store.contains(&key(3)));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.keys_mru()[0], &key(3));
+    }
+
+    #[test]
+    fn capacity_zero_retains_nothing() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(0);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        s.add_terminal(&ex.graph, ex.items[0]);
+        assert!(s.size() > 0);
+        // Same key again: never a hit, growth state gone.
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.terminal_count(), 0, "capacity 0 rebuilds from scratch");
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.misses(), 2);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_all_sessions() {
+        let mut ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(4);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        store.steiner_session(&ex.graph, key(2), &input, &cfg);
+        assert_eq!(store.len(), 2);
+        // Any mutation moves the epoch; stored sessions are stale.
+        ex.graph.set_weight(xsum_graph::EdgeId(0), 9.0);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.terminal_count(), 0, "post-mutation session is fresh");
+        assert_eq!(store.invalidations(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn workspace_recycling_on_eviction() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(1);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        s.add_terminal(&ex.graph, ex.items[0]);
+        // key(2) evicts key(1); the evicted session's workspace is
+        // available for the replacement.
+        store.steiner_session(&ex.graph, key(2), &input, &cfg);
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.spares.len(), 0, "spare immediately reused");
+    }
+
+    #[test]
+    fn config_change_replaces_instead_of_resuming() {
+        let ex = table1_example();
+        let input = ex.input();
+        let mut store = SessionStore::new(4);
+        let a = SteinerConfig {
+            lambda: 1.0,
+            delta: 1.0,
+        };
+        let s = store.steiner_session(&ex.graph, key(1), &input, &a);
+        s.add_terminal(&ex.graph, ex.user1);
+        assert_eq!(s.terminal_count(), 1);
+        // Same key, different λ: the λ=1 growth state must not be
+        // resumed under λ=100 costs.
+        let b = SteinerConfig {
+            lambda: 100.0,
+            delta: 1.0,
+        };
+        let s = store.steiner_session(&ex.graph, key(1), &input, &b);
+        assert_eq!(s.terminal_count(), 0, "different config rebuilds");
+        assert_eq!((store.hits(), store.misses()), (0, 2));
+        assert_eq!(store.len(), 1, "replacement, not a second entry");
+        // And the original config now misses too (it was replaced).
+        let s = store.steiner_session(&ex.graph, key(1), &input, &a);
+        assert_eq!(s.terminal_count(), 0);
+        assert_eq!(store.misses(), 3);
+    }
+
+    #[test]
+    fn pcst_sessions_grow_monotonically() {
+        let ex = table1_example();
+        let mut store = SessionStore::new(4);
+        let mut prev = 0usize;
+        for p in &ex.paths {
+            let s = store.pcst_session(
+                &ex.graph,
+                key(7),
+                Scenario::UserCentric,
+                PcstConfig::default(),
+            );
+            s.add_recommendation(&ex.graph, p);
+            assert!(s.size() >= prev, "summary never shrinks");
+            prev = s.size();
+        }
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), ex.paths.len() as u64 - 1);
+    }
+
+    #[test]
+    fn session_summary_helper_snapshots() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(4);
+        let mut terminals = vec![ex.user1];
+        terminals.extend_from_slice(&ex.items);
+        let s = session_summary(&mut store, &ex.graph, key(1), &input, &cfg, &terminals);
+        assert_eq!(s.terminal_coverage(), 1.0);
+        assert!(s.subgraph.edge_count() >= 3);
+    }
+}

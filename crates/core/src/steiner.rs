@@ -38,7 +38,7 @@ use crate::weighting::adjusted_weights;
 const PARALLEL_TERMINAL_THRESHOLD: usize = 24;
 
 /// Parameters of the ST summarizer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SteinerConfig {
     /// Eq. 1 path-frequency boost (the paper sweeps 0.01 / 1 / 100).
     pub lambda: f64,
@@ -63,8 +63,14 @@ impl Default for SteinerConfig {
 /// and the summary hugs the input explanations (whose weighted hops are
 /// user–item interactions — the mechanism behind the paper's "ST's
 /// relevance improves as λ increases" and its λ=100 actionability edge).
+///
+/// Repeated calls against an unmutated graph reuse a thread-locally
+/// cached [`SteinerCostModel`] (keyed by graph epoch and config), so the
+/// per-call cost table costs one memcpy plus an O(|paths|) patch instead
+/// of a full O(|E|) rebuild; a [`crate::engine::SummaryEngine`] goes one
+/// step further and keeps even the patched buffer resident.
 pub fn steiner_summary(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Summary {
-    let costs = steiner_costs(g, input, cfg);
+    let costs = cached_steiner_costs(g, input, cfg);
     let subgraph = steiner_tree(g, &costs, &input.terminals);
     Summary {
         method: "ST",
@@ -183,6 +189,157 @@ impl SteinerCostModel {
             costs.0[e.index()] = self.base[e.index()];
         }
     }
+
+    /// Overwrite `costs` with a copy of the base table, reusing its
+    /// allocation (resizing if the model covers a different edge count).
+    /// The persistent-engine sibling of [`SteinerCostModel::fresh_costs`].
+    pub fn copy_base_into(&self, costs: &mut EdgeCosts) {
+        costs.0.clone_from(&self.base);
+    }
+}
+
+/// Identity of one Eq. 1 cost model: the graph's mutation epoch plus the
+/// exact [`SteinerConfig`] bits.
+///
+/// [`Graph::epoch`] stamps are process-globally unique per mutation, so
+/// equal keys imply identical graph weight content and config — a model
+/// cached under this key can never be served stale (mutating any edge
+/// weight or the structure moves the epoch and misses the cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModelKey {
+    epoch: u64,
+    lambda_bits: u64,
+    delta_bits: u64,
+}
+
+impl CostModelKey {
+    /// The cache key for `g` under `cfg`.
+    pub fn of(g: &Graph, cfg: &SteinerConfig) -> Self {
+        CostModelKey {
+            epoch: g.epoch(),
+            lambda_bits: cfg.lambda.to_bits(),
+            delta_bits: cfg.delta.to_bits(),
+        }
+    }
+}
+
+/// A small LRU cache of [`SteinerCostModel`]s keyed by
+/// [`CostModelKey`].
+///
+/// One instance backs each [`crate::engine::SummaryEngine`]; a
+/// thread-local instance backs the sequential [`steiner_summary`] /
+/// [`steiner_summary_fast`] entry points, which previously rebuilt the
+/// O(|E|) Eq. 1 table on every call. Models are shared out as [`Arc`]s
+/// so workers can hold them across a parallel region without borrowing
+/// the cache.
+#[derive(Debug)]
+pub struct CostModelCache {
+    capacity: usize,
+    /// MRU ordering: least-recently-used first.
+    entries: Vec<(CostModelKey, std::sync::Arc<SteinerCostModel>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostModelCache {
+    /// A cache retaining at most `capacity` models (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        CostModelCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The model for `(g, cfg)`, built on miss. Returns the key alongside
+    /// so callers can tag per-worker cost buffers derived from the model.
+    pub fn get(
+        &mut self,
+        g: &Graph,
+        cfg: &SteinerConfig,
+    ) -> (CostModelKey, std::sync::Arc<SteinerCostModel>) {
+        let key = CostModelKey::of(g, cfg);
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.entries.remove(pos);
+            let model = entry.1.clone();
+            self.entries.push(entry);
+            self.hits += 1;
+            return (key, model);
+        }
+        self.misses += 1;
+        let model = std::sync::Arc::new(SteinerCostModel::new(g, cfg));
+        self.entries.push((key, model.clone()));
+        if self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+        (key, model)
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (model builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of models currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+thread_local! {
+    /// Cost models backing the workspace-free sequential entry points —
+    /// the "(graph-epoch, config)-keyed cache for the sequential entry
+    /// points" the ROADMAP called for. Capacity 4 comfortably covers the
+    /// paper's λ sweep over one graph.
+    static COST_MODELS: RefCell<CostModelCache> = RefCell::new(CostModelCache::new(4));
+}
+
+/// The cached Eq. 1 cost model for `(g, cfg)` on this thread.
+pub(crate) fn cached_cost_model(
+    g: &Graph,
+    cfg: &SteinerConfig,
+) -> std::sync::Arc<SteinerCostModel> {
+    COST_MODELS.with(|c| c.borrow_mut().get(g, cfg).1)
+}
+
+/// Drop this thread's cached Eq. 1 cost models.
+///
+/// Each cached model holds an O(|E|) table that outlives the graph it
+/// was built from (the cache keys on the graph's epoch, not its
+/// lifetime). Long-lived threads that are done summarizing against a
+/// large graph can call this to release that memory instead of waiting
+/// for capacity eviction that may never come.
+pub fn flush_cost_model_cache() {
+    COST_MODELS.with(|c| {
+        *c.borrow_mut() = CostModelCache::new(4);
+    });
+}
+
+/// [`steiner_costs`] through the thread-local model cache: one O(|E|)
+/// memcpy plus an O(|paths|) patch on cache hits, instead of the three
+///-pass table rebuild. Bit-identical to [`steiner_costs`] (property-
+/// tested, and the patch/unpatch identity is asserted in unit tests).
+pub(crate) fn cached_steiner_costs(
+    g: &Graph,
+    input: &SummaryInput,
+    cfg: &SteinerConfig,
+) -> EdgeCosts {
+    let model = cached_cost_model(g, cfg);
+    let mut costs = model.fresh_costs();
+    let mut touched = Vec::new();
+    model.patch(g, input, &mut costs, &mut touched);
+    costs
 }
 
 /// Reusable scratch state for [`steiner_tree_with`].
@@ -412,7 +569,7 @@ pub fn steiner_tree_with(
 /// throughput-critical batches; use [`steiner_summary`] to reproduce
 /// the paper's pseudocode exactly.
 pub fn steiner_summary_fast(g: &Graph, input: &SummaryInput, cfg: &SteinerConfig) -> Summary {
-    let costs = steiner_costs(g, input, cfg);
+    let costs = cached_steiner_costs(g, input, cfg);
     let subgraph = steiner_tree_fast(g, &costs, &input.terminals);
     Summary {
         method: "ST-fast",
@@ -747,6 +904,76 @@ mod tests {
             model.unpatch(&mut costs, &touched);
             assert_eq!(costs.0, model.fresh_costs().0, "unpatch restores base");
         }
+    }
+
+    #[test]
+    fn cached_costs_match_direct_costs() {
+        let (mut g, n) = hub_graph();
+        let path = xsum_graph::LoosePath::ground(&g, vec![n[0], n[3], n[1]]);
+        let input = SummaryInput::user_centric(n[0], vec![path]);
+        let cfg = SteinerConfig::default();
+        assert_eq!(
+            cached_steiner_costs(&g, &input, &cfg).0,
+            steiner_costs(&g, &input, &cfg).0,
+            "cache path must be bit-identical"
+        );
+        // Mutating a weight moves the epoch: the cached model may not be
+        // served stale.
+        g.set_weight(xsum_graph::EdgeId(0), 3.0);
+        assert_eq!(
+            cached_steiner_costs(&g, &input, &cfg).0,
+            steiner_costs(&g, &input, &cfg).0,
+            "post-mutation cache path must track the new weights"
+        );
+    }
+
+    #[test]
+    fn flush_releases_thread_local_models() {
+        let (g, n) = hub_graph();
+        let path = xsum_graph::LoosePath::ground(&g, vec![n[0], n[3], n[1]]);
+        let input = SummaryInput::user_centric(n[0], vec![path]);
+        let cfg = SteinerConfig::default();
+        steiner_summary(&g, &input, &cfg); // populate
+        flush_cost_model_cache();
+        COST_MODELS.with(|c| assert!(c.borrow().is_empty(), "flush drops all models"));
+        // And the path keeps working (rebuilds on demand).
+        let s = steiner_summary(&g, &input, &cfg);
+        assert_eq!(s.terminal_coverage(), 1.0);
+    }
+
+    #[test]
+    fn cost_model_cache_hits_and_evicts() {
+        let (g, _) = hub_graph();
+        let mut cache = CostModelCache::new(2);
+        let a = SteinerConfig {
+            lambda: 1.0,
+            delta: 1.0,
+        };
+        let b = SteinerConfig {
+            lambda: 100.0,
+            delta: 1.0,
+        };
+        let c = SteinerConfig {
+            lambda: 0.01,
+            delta: 1.0,
+        };
+        let (ka, m1) = cache.get(&g, &a);
+        let (ka2, m2) = cache.get(&g, &a);
+        assert_eq!(ka, ka2);
+        assert!(
+            std::sync::Arc::ptr_eq(&m1, &m2),
+            "hit returns the same model"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.get(&g, &b);
+        cache.get(&g, &c); // capacity 2: evicts the LRU entry (a)
+        assert_eq!(cache.len(), 2);
+        cache.get(&g, &a);
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 4),
+            "evicted key must rebuild"
+        );
     }
 
     #[test]

@@ -152,6 +152,19 @@ pub struct Graph {
     /// Lazily frozen undirected CSR adjacency (thread-safe: `OnceLock`
     /// lets concurrent readers share one freeze).
     csr: OnceLock<CsrAdj>,
+    /// Mutation epoch: bumped to a process-globally-unique value by every
+    /// structure- or weight-changing mutation (see [`Graph::epoch`]).
+    epoch: u64,
+}
+
+/// Process-global epoch source. Drawing every mutation stamp from one
+/// counter makes equal epochs a sound cache key *across* graphs: two
+/// graphs share an epoch only if one is an unmutated clone of the other
+/// (or both are freshly constructed and empty), and in both cases their
+/// edge/weight content is identical.
+fn next_epoch() -> u64 {
+    static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Graph {
@@ -167,6 +180,7 @@ impl Graph {
             labels: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
             csr: OnceLock::new(),
+            epoch: 0,
         }
     }
 
@@ -182,6 +196,23 @@ impl Graph {
     #[inline]
     fn invalidate_csr(&mut self) {
         self.csr = OnceLock::new();
+        self.epoch = next_epoch();
+    }
+
+    /// The graph's mutation epoch.
+    ///
+    /// Every mutation that can change what a search over the graph
+    /// observes — adding nodes or edges, rewriting an edge through
+    /// [`Graph::edge_mut`], or reweighting through [`Graph::set_weight`]
+    /// — stamps the graph with a fresh process-globally-unique epoch.
+    /// `(epoch, …)` is therefore a sound key for caches derived from the
+    /// graph's structure and weights (e.g. the Eq. 1 cost-model cache):
+    /// equal epochs imply identical edge and weight content, even across
+    /// `clone()`d graphs. Label edits do not bump the epoch (no derived
+    /// cost depends on labels).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Force the CSR freeze now (e.g. before sharing the graph across
@@ -277,10 +308,12 @@ impl Graph {
 
     /// Overwrite one edge's weight without touching the adjacency —
     /// the CSR stores no weights, so reweight sweeps (Fig. 16) keep the
-    /// frozen layout.
+    /// frozen layout. Still bumps the mutation epoch: derived cost
+    /// tables do depend on weights.
     #[inline]
     pub fn set_weight(&mut self, e: EdgeId, weight: f64) {
         self.edges[e.index()].weight = weight;
+        self.epoch = next_epoch();
     }
 
     /// Weight `w(e)`.
@@ -579,5 +612,41 @@ mod tests {
         let (mut g, ids) = tiny();
         g.set_label(ids[0], "alice");
         assert_eq!(g.label(ids[0]), "alice");
+    }
+
+    #[test]
+    fn epoch_tracks_content_mutations() {
+        let (mut g, ids) = tiny();
+        let e0 = g.epoch();
+        // Weight-only mutation: epoch moves, CSR stays frozen.
+        g.set_weight(EdgeId(0), 2.5);
+        let e1 = g.epoch();
+        assert_ne!(e0, e1);
+        // Structural mutations move it too.
+        let n = g.add_node(NodeKind::Entity);
+        let e2 = g.epoch();
+        assert_ne!(e1, e2);
+        g.add_edge(ids[0], n, 1.0, EdgeKind::Attribute);
+        assert_ne!(g.epoch(), e2);
+        // Label edits don't: no derived cost depends on labels.
+        let before = g.epoch();
+        g.set_label(ids[0], "renamed");
+        assert_eq!(g.epoch(), before);
+    }
+
+    #[test]
+    fn epoch_unique_across_graphs_but_shared_by_clones() {
+        let (g1, _) = tiny();
+        let (g2, _) = tiny();
+        // Same construction sequence, different graphs: epochs differ
+        // (the counter is process-global), so cost caches keyed on the
+        // epoch can never serve one graph's table to the other.
+        assert_ne!(g1.epoch(), g2.epoch());
+        // An unmutated clone has identical content and keeps the epoch;
+        // its first mutation forks it off.
+        let mut c = g1.clone();
+        assert_eq!(c.epoch(), g1.epoch());
+        c.set_weight(EdgeId(0), 7.0);
+        assert_ne!(c.epoch(), g1.epoch());
     }
 }

@@ -21,6 +21,10 @@
 //! * [`parallel`]: a minimal scoped fork–join (`parallel_map_with`) that
 //!   threads per-worker workspaces through a parallel region — the
 //!   engine's substitute for rayon in registry-less builds;
+//! * [`WorkerPool`]: the persistent sibling of [`parallel_map_with`] —
+//!   threads spawned once and parked between calls, so a long-lived
+//!   serving engine pays one condvar broadcast per batch instead of one
+//!   thread spawn per worker per call;
 //! * [`Path`]: a validated walk through the graph, the unit of individual
 //!   path-based explanations;
 //! * [`Subgraph`]: an edge/node subset of a parent graph, the unit of
@@ -45,6 +49,7 @@ pub mod mst;
 pub mod pagerank;
 pub mod parallel;
 pub mod path;
+pub mod pool;
 pub mod subgraph;
 pub mod traversal;
 pub mod unionfind;
@@ -59,6 +64,7 @@ pub use mst::{kruskal, prim, MstEdge};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use parallel::{num_threads, parallel_map, parallel_map_with};
 pub use path::Path;
+pub use pool::WorkerPool;
 pub use subgraph::Subgraph;
 pub use traversal::{
     bfs_order, is_weakly_connected, is_weakly_connected_in_subgraph, weakly_connected_components,

@@ -1,0 +1,419 @@
+//! A persistent worker pool: threads spawned once, parked between calls.
+//!
+//! [`parallel_map_with`](crate::parallel_map_with) spawns and joins a
+//! scoped thread per worker on every call — fine for one wide batch,
+//! wasteful for a serving loop issuing many batches against the same
+//! engine. [`WorkerPool`] keeps its workers alive across calls: each
+//! [`WorkerPool::map_with`] wakes the parked threads, runs the same
+//! cursor-stealing indexed map with per-worker state, and parks them
+//! again, so steady-state dispatch costs one condvar broadcast instead
+//! of `workers` thread spawns.
+//!
+//! `map_with` mirrors the `parallel_map_with` signature and semantics
+//! exactly (same work stealing, same result ordering, same sequential
+//! fallback for a single state or item), so callers can swap one for the
+//! other without behavioral change — this is the "pinned thread pool
+//! behind the same `parallel_map_with` signature" slot of the multi-
+//! backend ROADMAP item.
+//!
+//! # Implementation notes
+//!
+//! Jobs borrow caller data (`&Graph`, `&[SummaryInput]`, `&mut` worker
+//! states), so they cannot be boxed as `'static` closures. Instead the
+//! dispatching call erases the job to a raw `*const dyn Fn(usize)`
+//! pointer and blocks until every worker has finished it; the pointee
+//! outlives the dispatch because `map_with` does not return before the
+//! completion count reaches zero. Worker panics are caught, counted
+//! down like completions (so the caller never deadlocks), and resumed
+//! on the calling thread.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job pointer. Only ever dereferenced while the
+/// dispatching `map_with` call is blocked waiting for completion, which
+/// keeps the borrowed closure alive.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted at the only construction site
+// in `dispatch`) and outlives every dereference (the dispatcher blocks
+// until all workers are done with it).
+unsafe impl Send for Job {}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new job (or shutdown).
+    work_cv: Condvar,
+    /// The dispatcher waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+struct PoolState {
+    /// Monotone job sequence number; a bump is the wake signal.
+    seq: u64,
+    /// The current job, if one is in flight.
+    job: Option<Job>,
+    /// How many workers (indices `0..active`) the current job uses;
+    /// higher-indexed workers observe the sequence bump but neither run
+    /// the job nor touch `remaining`.
+    active: usize,
+    /// Active workers still running (or yet to observe) the current job.
+    remaining: usize,
+    /// First panic payload raised by a worker during the current job.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of parked worker threads (see module docs).
+pub struct WorkerPool {
+    size: usize,
+    shared: Arc<Shared>,
+    /// Spawned lazily on the first multi-worker dispatch, so pools that
+    /// only ever serve sequential fallbacks (single worker, single
+    /// item, one-shot wrappers over tiny batches) never pay a thread
+    /// spawn.
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.size)
+            .field("spawned", &!self.handles.is_empty())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (clamped to ≥ 1). No threads are
+    /// spawned until the first dispatch that actually fans out.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                seq: 0,
+                job: None,
+                active: 0,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        WorkerPool {
+            size: workers.max(1),
+            shared,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads in the pool (spawned or not).
+    pub fn workers(&self) -> usize {
+        self.size
+    }
+
+    fn ensure_spawned(&mut self) {
+        if !self.handles.is_empty() {
+            return;
+        }
+        self.handles = (0..self.size)
+            .map(|idx| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("xsum-pool-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+    }
+
+    /// Run `job(worker_index)` once on every pool thread and wait for
+    /// all of them. `job` may borrow caller data freely — this call does
+    /// not return until no worker can still be touching it. `&mut self`
+    /// statically rules out overlapping dispatches racing the shared
+    /// job slot.
+    fn dispatch(&mut self, active: usize, job: &(dyn Fn(usize) + Sync)) {
+        self.ensure_spawned();
+        let active = active.min(self.size).max(1);
+        // SAFETY: pure lifetime erasure on a fat pointer ('_ → 'static);
+        // the pointee provably outlives every dereference because this
+        // function blocks until `remaining == 0`.
+        let erased = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job)
+        });
+        let mut st = self.shared.state.lock().unwrap();
+        debug_assert_eq!(st.remaining, 0, "overlapping dispatch");
+        st.job = Some(erased);
+        st.active = active;
+        st.remaining = active;
+        st.seq += 1;
+        drop(st);
+        self.shared.work_cv.notify_all();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`parallel_map_with`](crate::parallel_map_with) semantics on the
+    /// persistent pool: map `f` over `items` with work stealing and one
+    /// mutable state per worker, preserving item order in the result.
+    ///
+    /// Uses `min(states.len(), items.len(), workers())` active workers;
+    /// with a single active worker (or a single item) the map runs
+    /// sequentially on the calling thread, so small calls never pay a
+    /// wake-up.
+    pub fn map_with<T, R, S>(
+        &mut self,
+        states: &mut [S],
+        items: &[T],
+        f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+    {
+        assert!(!states.is_empty(), "need at least one worker state");
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let active = states.len().min(items.len()).min(self.size);
+        if active <= 1 || items.len() == 1 {
+            let state = &mut states[0];
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(state, i, item))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        // Hand each active worker its own state slot by index. The slots
+        // are disjoint (worker `idx` touches only `states[idx]`), which
+        // the raw-pointer cell below makes explicit to the borrow
+        // checker.
+        let states_ptr = SendPtr(states.as_mut_ptr());
+        let (f_ref, cursor_ref, results_ref) = (&f, &cursor, &results);
+        let job = move |idx: usize| {
+            debug_assert!(idx < active, "inactive workers never run the job");
+            // SAFETY: idx < active <= states.len(), and each worker
+            // index runs on exactly one pool thread per dispatch, so
+            // this &mut aliases nothing.
+            let state: &mut S = unsafe { &mut *states_ptr.get().add(idx) };
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                local.push((i, f_ref(state, i, &items[i])));
+            }
+            if !local.is_empty() {
+                results_ref.lock().unwrap().extend(local);
+            }
+        };
+        self.dispatch(active, &job);
+        let mut pairs = results.into_inner().unwrap();
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(pairs.len(), items.len());
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// A raw pointer that crosses the dispatch boundary. Disjoint-index
+/// access is guaranteed by the `map_with` job body.
+struct SendPtr<S>(*mut S);
+
+impl<S> SendPtr<S> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Send + Sync` wrapper, not the bare `*mut S` field.
+    fn get(&self) -> *mut S {
+        self.0
+    }
+}
+
+unsafe impl<S: Send> Send for SendPtr<S> {}
+unsafe impl<S: Send> Sync for SendPtr<S> {}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != seen {
+                    seen = st.seq;
+                    if idx >= st.active {
+                        // Not part of this job: acknowledge the
+                        // sequence and go straight back to sleep
+                        // without touching the completion count.
+                        continue;
+                    }
+                    break st.job.expect("seq bumped without a job");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the dispatcher keeps the pointee alive until
+        // `remaining` returns to zero, which happens strictly after this
+        // call returns (or unwinds into the catch below).
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(idx) }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_with_work_stealing() {
+        let mut pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..257).collect();
+        let mut states = vec![0usize; 4];
+        let out = pool.map_with(&mut states, &items, |hits, _, x| {
+            *hits += 1;
+            x * 2
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        assert_eq!(states.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let mut pool = WorkerPool::new(3);
+        let mut states = vec![(); 3];
+        for round in 0..50 {
+            let items: Vec<usize> = (0..round + 2).collect();
+            let out = pool.map_with(&mut states, &items, |_, _, x| x + round);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(out[0], round);
+        }
+    }
+
+    #[test]
+    fn single_state_runs_on_caller_thread() {
+        let mut pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        let mut states = vec![Vec::<usize>::new()];
+        let items = [10usize, 20, 30];
+        let out = pool.map_with(&mut states, &items, |log, i, x| {
+            assert_eq!(std::thread::current().id(), caller);
+            log.push(i);
+            *x + 1
+        });
+        assert_eq!(out, vec![11, 21, 31]);
+        assert_eq!(states[0], vec![0, 1, 2], "in-order on the calling thread");
+    }
+
+    #[test]
+    fn fewer_states_than_workers() {
+        let mut pool = WorkerPool::new(8);
+        let items: Vec<usize> = (0..100).collect();
+        let mut states = vec![0usize; 2];
+        let out = pool.map_with(&mut states, &items, |hits, _, x| {
+            *hits += 1;
+            *x
+        });
+        assert_eq!(out, items);
+        assert_eq!(states.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn sequential_fallback_spawns_no_threads() {
+        let mut pool = WorkerPool::new(4);
+        assert!(pool.handles.is_empty(), "construction must not spawn");
+        let items = [1usize];
+        let mut states = vec![(); 4];
+        let out = pool.map_with(&mut states, &items, |_, _, x| *x);
+        assert_eq!(out, vec![1]);
+        assert!(
+            pool.handles.is_empty(),
+            "single-item fallback must stay spawn-free"
+        );
+        // First real fan-out spawns exactly once.
+        let many: Vec<usize> = (0..32).collect();
+        pool.map_with(&mut states, &many, |_, _, x| *x);
+        assert_eq!(pool.handles.len(), 4);
+    }
+
+    #[test]
+    fn empty_items() {
+        let mut pool = WorkerPool::new(2);
+        let mut states = vec![(); 2];
+        let out = pool.map_with(&mut states, &[0u8; 0], |_, _, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn borrows_caller_data() {
+        let mut pool = WorkerPool::new(2);
+        let data: Vec<String> = (0..40).map(|i| format!("v{i}")).collect();
+        let items: Vec<usize> = (0..40).collect();
+        let mut states = vec![(); 2];
+        let out = pool.map_with(&mut states, &items, |_, _, &i| data[i].len());
+        assert_eq!(out[0], 2);
+        assert_eq!(out[39], 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let mut pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        let mut states = vec![(); 2];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_with(&mut states, &items, |_, _, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must reach the caller");
+        // The pool survives and serves the next call.
+        let out = pool.map_with(&mut states, &items, |_, _, &x| x);
+        assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests for the engine's incremental serving layer: the
+//! session store's LRU/eviction/invalidation behavior under workspace
+//! reuse, `add_terminal` monotonicity as k grows, and the staleness
+//! contract of the (graph-epoch, config)-keyed cost-model cache.
+
+use xsum::core::{
+    pcst_summary, steiner_costs, steiner_summary, BatchMethod, PcstConfig, Scenario, SessionKey,
+    SessionStore, SteinerConfig, SummaryEngine, SummaryInput,
+};
+use xsum::datasets::ml1m_scaled;
+use xsum::graph::{EdgeId, NodeId};
+
+/// A small but real corpus: the scaled synthetic ML1M graph plus one
+/// user-centric input per sampled user (3-hop explanation paths).
+fn corpus(users: usize, k: usize) -> (xsum::datasets::Dataset, Vec<(u64, NodeId, SummaryInput)>) {
+    let ds = ml1m_scaled(7, 0.02);
+    let mut inputs = Vec::new();
+    for u in 0..users.min(ds.kg.n_users()) {
+        let mut paths = Vec::new();
+        for i in 0..k {
+            if let Some(p) = xsum::datasets::random_explanation_path(
+                &ds,
+                u,
+                3,
+                7 ^ ((u as u64) << 8) ^ i as u64,
+                30,
+            ) {
+                paths.push(xsum::graph::LoosePath::from_path(&p));
+            }
+        }
+        if !paths.is_empty() {
+            let focus = ds.kg.user_node(u);
+            inputs.push((u as u64, focus, SummaryInput::user_centric(focus, paths)));
+        }
+    }
+    assert!(inputs.len() >= 4, "corpus must produce real inputs");
+    (ds, inputs)
+}
+
+#[test]
+fn add_terminal_cost_is_monotone_as_k_grows() {
+    // The satellite contract: a session's summary only ever grows —
+    // under Eq. 1 costs, the summed edge cost (and edge count) never
+    // decreases when another terminal is attached, across every user
+    // and with reused workspaces in between.
+    let (ds, inputs) = corpus(12, 8);
+    let g = &ds.kg.graph;
+    let cfg = SteinerConfig::default();
+    let mut store = SessionStore::new(4); // smaller than the user count: forces reuse
+    for (user, focus, input) in &inputs {
+        let costs = steiner_costs(g, input, &cfg);
+        let session = store.steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+        session.add_terminal(g, *focus);
+        let mut prev_cost = 0.0f64;
+        let mut prev_edges = 0usize;
+        for &t in &input.terminals {
+            session.add_terminal(g, t);
+            let s = session.summary();
+            let cost: f64 = s.subgraph.edges().iter().map(|e| costs.get(*e)).sum();
+            assert!(
+                cost >= prev_cost - 1e-12,
+                "summary cost decreased: {prev_cost} -> {cost}"
+            );
+            assert!(s.subgraph.edge_count() >= prev_edges, "summary shrank");
+            prev_cost = cost;
+            prev_edges = s.subgraph.edge_count();
+        }
+        let s = session.summary();
+        assert_eq!(
+            s.terminal_coverage(),
+            1.0,
+            "every attached terminal mentioned"
+        );
+    }
+    assert!(store.evictions() > 0, "capacity 4 over 12 users must evict");
+}
+
+#[test]
+fn lru_order_respects_recency_across_users() {
+    let (ds, inputs) = corpus(6, 4);
+    let g = &ds.kg.graph;
+    let cfg = SteinerConfig::default();
+    let mut store = SessionStore::new(3);
+    for (user, _, input) in inputs.iter().take(3) {
+        store.steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+    }
+    // Re-touch the oldest, then insert a fourth: the *second* oldest
+    // must be the one evicted.
+    let (u0, _, in0) = &inputs[0];
+    store.steiner_session(g, SessionKey::new(*u0, "pgpr"), in0, &cfg);
+    let (u3, _, in3) = &inputs[3];
+    store.steiner_session(g, SessionKey::new(*u3, "pgpr"), in3, &cfg);
+    assert!(store.contains(&SessionKey::new(*u0, "pgpr")));
+    assert!(!store.contains(&SessionKey::new(inputs[1].0, "pgpr")));
+    assert!(store.contains(&SessionKey::new(inputs[2].0, "pgpr")));
+    assert!(store.contains(&SessionKey::new(*u3, "pgpr")));
+    // Same user under a different baseline is a distinct session.
+    store.steiner_session(g, SessionKey::new(*u0, "cafe"), in0, &cfg);
+    assert!(store.contains(&SessionKey::new(*u0, "cafe")));
+    assert_eq!(store.len(), 3);
+}
+
+#[test]
+fn capacity_zero_never_hits_and_epoch_change_invalidates() {
+    let (mut ds, inputs) = corpus(4, 4);
+    let cfg = SteinerConfig::default();
+    let (user, focus, input) = &inputs[0];
+    // Capacity 0: every lookup is a rebuild.
+    let mut store = SessionStore::new(0);
+    for _ in 0..3 {
+        let g = &ds.kg.graph;
+        let s = store.steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+        assert_eq!(s.terminal_count(), 0);
+        s.add_terminal(g, *focus);
+    }
+    assert_eq!(store.hits(), 0);
+    assert_eq!(store.misses(), 3);
+
+    // Epoch invalidation: a mutation between requests drops sessions.
+    let mut store = SessionStore::new(8);
+    {
+        let g = &ds.kg.graph;
+        let s = store.steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+        s.add_terminal(g, *focus);
+        assert_eq!(s.terminal_count(), 1);
+    }
+    ds.kg.graph.set_weight(EdgeId(0), 123.0);
+    let g = &ds.kg.graph;
+    let s = store.steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+    assert_eq!(s.terminal_count(), 0, "stale session must not survive");
+    assert_eq!(store.invalidations(), 1);
+}
+
+#[test]
+fn pcst_sessions_store_and_grow() {
+    let (ds, inputs) = corpus(4, 6);
+    let g = &ds.kg.graph;
+    let (user, _, input) = &inputs[0];
+    let mut store = SessionStore::new(2);
+    let mut sizes = Vec::new();
+    for path in &input.paths {
+        let s = store.pcst_session(
+            g,
+            SessionKey::new(*user, "pgpr"),
+            Scenario::UserCentric,
+            PcstConfig::default(),
+        );
+        s.add_recommendation(g, path);
+        sizes.push(s.size());
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] <= w[1]),
+        "PCST summary shrank"
+    );
+    let s = store.pcst_session(
+        g,
+        SessionKey::new(*user, "pgpr"),
+        Scenario::UserCentric,
+        PcstConfig::default(),
+    );
+    let summary = s.summary();
+    assert_eq!(summary.terminal_coverage(), 1.0);
+    assert_eq!(summary.method, "PCST-incremental");
+    // The grown structure stays inside the absorbed scope, like the
+    // one-shot PCST stays inside its path-union scope.
+    let batch = pcst_summary(g, input, &PcstConfig::default());
+    assert!(batch.terminal_coverage() > 0.0);
+}
+
+#[test]
+fn cost_model_cache_staleness_contract() {
+    // Satellite: mutate an edge weight, assert the (epoch, config)
+    // cache misses, and the recomputed summary matches a cold engine.
+    let (mut ds, inputs) = corpus(4, 6);
+    let (_, _, input) = &inputs[0];
+    let cfg = SteinerConfig::default();
+    let method = BatchMethod::Steiner(cfg);
+
+    let mut warm = SummaryEngine::with_threads(2);
+    let before = warm.summarize(&ds.kg.graph, input, method);
+    let (hits0, misses0) = warm.cost_cache_stats();
+    assert_eq!((hits0, misses0), (0, 1));
+    // Second call, unmutated graph: hit.
+    warm.summarize(&ds.kg.graph, input, method);
+    assert_eq!(warm.cost_cache_stats(), (1, 1));
+
+    // Find an edge the first summary actually used and reweight it.
+    let touched = *before
+        .subgraph
+        .sorted_edges()
+        .first()
+        .expect("summary has edges");
+    let old_w = ds.kg.graph.weight(touched);
+    ds.kg.graph.set_weight(touched, old_w + 50.0);
+
+    let after = warm.summarize(&ds.kg.graph, input, method);
+    assert_eq!(
+        warm.cost_cache_stats(),
+        (1, 2),
+        "epoch change must miss the cost-model cache"
+    );
+    let cold = SummaryEngine::with_threads(2).summarize(&ds.kg.graph, input, method);
+    assert_eq!(after.subgraph.sorted_edges(), cold.subgraph.sorted_edges());
+    assert_eq!(after.subgraph.sorted_nodes(), cold.subgraph.sorted_nodes());
+    // And the free function agrees (its thread-local cache revalidates
+    // through the same epoch key).
+    let free = steiner_summary(&ds.kg.graph, input, &cfg);
+    assert_eq!(after.subgraph.sorted_edges(), free.subgraph.sorted_edges());
+}
+
+#[test]
+fn engine_sessions_accessor_serves_scrolling_users() {
+    // The end-to-end serving shape: one engine, users scroll (k grows),
+    // sessions resume across requests through the engine's store.
+    let (ds, inputs) = corpus(6, 6);
+    let g = &ds.kg.graph;
+    let cfg = SteinerConfig::default();
+    let mut engine = SummaryEngine::with_threads(2);
+    for round in 1..=3usize {
+        for (user, focus, input) in &inputs {
+            let session =
+                engine
+                    .sessions()
+                    .steiner_session(g, SessionKey::new(*user, "pgpr"), input, &cfg);
+            session.add_terminal(g, *focus);
+            for &t in input.terminals.iter().take(round * 2) {
+                session.add_terminal(g, t);
+            }
+        }
+    }
+    let n = inputs.len() as u64;
+    assert_eq!(engine.sessions().misses(), n, "one session per user");
+    assert_eq!(engine.sessions().hits(), 2 * n, "rounds 2 and 3 resume");
+}
