@@ -5,11 +5,14 @@
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!            userstudy ablation fairness bench_batch all
+//!            userstudy ablation fairness bench_batch bench_shard all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
-//! latency, batch throughput, allocation per summary, speedup vs the
-//! seed path) for the cross-PR perf trajectory.
+//! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
+//! replica throughput, allocation per summary, speedup vs the seed
+//! path) for the cross-PR perf trajectory; `bench_shard` prints the
+//! full per-shard-count scatter/gather sweep behind the JSON's
+//! `shardN_batch_summaries_per_sec` keys.
 //! ```
 //!
 //! Output is TSV (scenario, baseline, method, x, metric, value) matching
@@ -217,6 +220,20 @@ fn main() {
                 report.free_single_ms,
             );
         }
+        "bench_shard" => {
+            // Per-shard-count scatter/gather throughput on the same
+            // workload `bench_batch` measures (TSV; the 2- and 4-shard
+            // points also land in BENCH_batch.json via bench_batch).
+            let rows = perf::shard_bench(
+                xsum_datasets::ScalingLevel::G5,
+                args.scale,
+                args.seed,
+                (2 * args.users_per_gender).max(32),
+                args.top_k,
+                &[1, 2, 4],
+            );
+            print_rows(&rows);
+        }
         "all" => {
             println!("== table1 ==\n{}", tables::table1());
             let ctx = Ctx::build(cfg);
@@ -270,7 +287,8 @@ fn main() {
         other => {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
-                "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness bench_batch all"
+                "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
+                 bench_batch bench_shard all"
             );
             std::process::exit(2);
         }

@@ -7,8 +7,8 @@
 //!   3-hop paths, user-centric and user-group.
 
 use xsum_core::{
-    pcst_summary, steiner_summary, summarize_batch, BatchMethod, PcstConfig, SteinerConfig,
-    SummaryEngine, SummaryInput,
+    pcst_summary, steiner_summary, summarize_batch, BatchMethod, PcstConfig, ShardedEngine,
+    SteinerConfig, SummaryEngine, SummaryInput,
 };
 use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
 use xsum_graph::NodeId;
@@ -88,6 +88,15 @@ pub struct BatchBenchReport {
     pub persistent_speedup: f64,
     /// Warm ST-fast batch throughput over seed-path throughput.
     pub fast_speedup: f64,
+    /// Persistent-engine KMB throughput at small batch sizes
+    /// (requested sizes 1/4/16, clamped to the workload) — the regime
+    /// where the pinned pool's wake-vs-spawn advantage shows.
+    pub small_batch_per_sec: [(usize, f64); 3],
+    /// `ShardedEngine` scatter/gather KMB throughput with 2 replicas on
+    /// the full batch.
+    pub shard2_batch_per_sec: f64,
+    /// `ShardedEngine` scatter/gather KMB throughput with 4 replicas.
+    pub shard4_batch_per_sec: f64,
 }
 
 impl BatchBenchReport {
@@ -113,7 +122,12 @@ impl BatchBenchReport {
                 "  \"fast_alloc_bytes_per_summary\": {:.1},\n",
                 "  \"speedup_vs_seed\": {:.3},\n",
                 "  \"engine_speedup_vs_seed\": {:.3},\n",
-                "  \"fast_speedup_vs_seed\": {:.3}\n",
+                "  \"fast_speedup_vs_seed\": {:.3},\n",
+                "  \"engine_batch1_summaries_per_sec\": {:.3},\n",
+                "  \"engine_batch4_summaries_per_sec\": {:.3},\n",
+                "  \"engine_batch16_summaries_per_sec\": {:.3},\n",
+                "  \"shard2_batch_summaries_per_sec\": {:.3},\n",
+                "  \"shard4_batch_summaries_per_sec\": {:.3}\n",
                 "}}\n"
             ),
             self.level,
@@ -130,6 +144,11 @@ impl BatchBenchReport {
             self.speedup,
             self.persistent_speedup,
             self.fast_speedup,
+            self.small_batch_per_sec[0].1,
+            self.small_batch_per_sec[1].1,
+            self.small_batch_per_sec[2].1,
+            self.shard2_batch_per_sec,
+            self.shard4_batch_per_sec,
         )
     }
 }
@@ -299,6 +318,41 @@ pub fn batch_bench(
     });
     let fast_batch_per_sec = n / fast_m.elapsed.as_secs_f64().max(1e-12);
 
+    // Small-batch sweep (ROADMAP "Richer BENCH trajectory"): the
+    // persistent engine at batch sizes 1/4/16, where per-call setup —
+    // which the pinned pool amortizes away — dominates a one-shot path.
+    let mut small_batch_per_sec = [(0usize, 0.0f64); 3];
+    for (slot, &want) in [1usize, 4, 16].iter().enumerate() {
+        let size = want.min(inputs.len()).max(1);
+        let sub = &inputs[..size];
+        std::hint::black_box(engine.summarize_batch(g, sub, method)); // warm
+        let mut times = Vec::with_capacity(BATCH_REPS);
+        for _ in 0..BATCH_REPS {
+            let t = std::time::Instant::now();
+            std::hint::black_box(engine.summarize_batch(g, sub, method));
+            times.push(t.elapsed().as_secs_f64());
+        }
+        small_batch_per_sec[slot] = (want, size as f64 / trimmed_mean(&mut times).max(1e-12));
+    }
+
+    // Sharded scatter/gather throughput at 2 and 4 replicas over the
+    // full batch — the per-shard-count trajectory keys. Replicas split
+    // the machine's thread budget, so at laptop scale this measures
+    // routing + dispatch overhead more than it wins throughput; the
+    // keys exist to track that overhead staying flat.
+    let mut shard_per_sec = [0.0f64; 2];
+    for (slot, shards) in [(0usize, 2usize), (1, 4)] {
+        let mut sharded = ShardedEngine::new(g, shards);
+        std::hint::black_box(sharded.summarize_batch(&inputs, method)); // warm
+        let mut times = Vec::with_capacity(BATCH_REPS);
+        for _ in 0..BATCH_REPS {
+            let t = std::time::Instant::now();
+            std::hint::black_box(sharded.summarize_batch(&inputs, method));
+            times.push(t.elapsed().as_secs_f64());
+        }
+        shard_per_sec[slot] = n / trimmed_mean(&mut times).max(1e-12);
+    }
+
     BatchBenchReport {
         level: level.name(),
         batch_size: inputs.len(),
@@ -314,7 +368,49 @@ pub fn batch_bench(
         speedup: seed_single_ms * batch_per_sec / 1e3,
         persistent_speedup: seed_single_ms * persistent_batch_per_sec / 1e3,
         fast_speedup: seed_single_ms * fast_batch_per_sec / 1e3,
+        small_batch_per_sec,
+        shard2_batch_per_sec: shard_per_sec[0],
+        shard4_batch_per_sec: shard_per_sec[1],
     }
+}
+
+/// `repro bench_shard`: scatter/gather KMB throughput per shard count
+/// on the BENCH_batch workload (the full sweep behind the
+/// `shardN_batch_summaries_per_sec` keys that `bench_batch` records
+/// into `BENCH_batch.json`).
+pub fn shard_bench(
+    level: ScalingLevel,
+    scale: f64,
+    seed: u64,
+    users: usize,
+    k: usize,
+    shard_counts: &[usize],
+) -> Vec<Row> {
+    let (ds, inputs) = batch_inputs(level, scale, seed, users, k);
+    let g = &ds.kg.graph;
+    g.freeze();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let n = inputs.len().max(1) as f64;
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let mut sharded = ShardedEngine::new(g, shards);
+        std::hint::black_box(sharded.summarize_batch(&inputs, method)); // warm
+        let mut times = Vec::with_capacity(BATCH_REPS);
+        for _ in 0..BATCH_REPS {
+            let t = std::time::Instant::now();
+            std::hint::black_box(sharded.summarize_batch(&inputs, method));
+            times.push(t.elapsed().as_secs_f64());
+        }
+        rows.push(Row::new(
+            "user-centric",
+            "random",
+            "ST",
+            shards,
+            "batch_summaries_per_sec",
+            n / trimmed_mean(&mut times).max(1e-12),
+        ));
+    }
+    rows
 }
 
 /// Rounds of the single-summary series: the cold-vs-warm gap the engine

@@ -30,6 +30,9 @@
 //! `tests/prop_engine.rs` pin that contract across random graphs,
 //! configs, and worker counts.
 
+use std::borrow::Borrow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use xsum_graph::{num_threads, EdgeCosts, EdgeId, Graph, WorkerPool};
 
 use crate::batch::BatchMethod;
@@ -40,6 +43,44 @@ use crate::steiner::{
     SteinerWorkspace,
 };
 use crate::summary::Summary;
+
+/// A worker panic surfaced as a recoverable serving error.
+///
+/// The engine's state survives the panic that produced one of these:
+/// the pool catches worker panics and finishes the dispatch, and any
+/// cost buffer that was mid-patch is left flagged dirty
+/// ([`EngineWorker::begin_summary`]) so the next call re-copies the
+/// Eq. 1 base instead of serving leftover patched costs. A front-end
+/// holding the engine can therefore log the error and keep serving —
+/// see [`SummaryEngine::try_summarize_batch`].
+#[derive(Debug, Clone)]
+pub struct EngineError {
+    message: String,
+}
+
+impl EngineError {
+    pub(crate) fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "summarization worker panicked".to_string());
+        EngineError { message }
+    }
+
+    /// The panic message of the failed worker.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "summarization worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Persistent per-worker state: the full KMB/Mehlhorn scratch plus a
 /// private Eq. 1 cost buffer tagged with the model it was copied from.
@@ -208,6 +249,19 @@ impl SummaryEngine {
         &mut self.sessions
     }
 
+    /// Override the deduplicated-terminal count from which a lone batch
+    /// worker's metric closure fans out across threads (`0` restores
+    /// the default; see
+    /// [`SteinerWorkspace::set_parallel_threshold`]). Applied to every
+    /// persistent worker workspace — shard replicas running few outer
+    /// workers lower it so mid-sized terminal groups still use the
+    /// replica's idle cores.
+    pub fn set_metric_closure_threshold(&mut self, min_terminals: usize) {
+        for w in &mut self.workers {
+            w.ws.set_parallel_threshold(min_terminals);
+        }
+    }
+
     /// Compute one summary on the calling thread, reusing the engine's
     /// warm state (cost-model cache + worker-0 workspace and cost
     /// buffer). Bit-identical to the corresponding sequential free
@@ -238,6 +292,38 @@ impl SummaryEngine {
         inputs: &[SummaryInput],
         method: BatchMethod,
     ) -> Vec<Summary> {
+        self.summarize_batch_impl(g, inputs, method)
+    }
+
+    /// [`SummaryEngine::summarize_batch`] over borrowed inputs — the
+    /// sharded front-end's scatter path, which routes a mixed batch
+    /// into per-shard sub-batches without cloning any `SummaryInput`.
+    /// Same body as the owned entry point (one generic
+    /// implementation), so the two cannot drift.
+    pub(crate) fn summarize_batch_refs(
+        &mut self,
+        g: &Graph,
+        inputs: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Vec<Summary> {
+        self.summarize_batch_impl(g, inputs, method)
+    }
+
+    fn summarize_batch_impl<T>(
+        &mut self,
+        g: &Graph,
+        inputs: &[T],
+        method: BatchMethod,
+    ) -> Vec<Summary>
+    where
+        T: Borrow<SummaryInput> + Sync,
+    {
+        if inputs.is_empty() {
+            // Nothing to do — in particular, don't build (and cache) an
+            // Eq. 1 model for a batch that will never read it. Sharded
+            // front-ends routinely dispatch empty sub-batches.
+            return Vec::new();
+        }
         // Freeze the CSR before fanning out so workers never contend on
         // the one-time adjacency build.
         g.freeze();
@@ -258,15 +344,51 @@ impl SummaryEngine {
                 let model_ref = &model;
                 self.pool
                     .map_with(&mut self.workers[..active], inputs, move |w, _, input| {
-                        w.run_st(g, input, key, model_ref, fast, label)
+                        w.run_st(g, input.borrow(), key, model_ref, fast, label)
                     })
             }
             BatchMethod::Pcst(_) | BatchMethod::GwPcst(_) => {
                 let mut states = vec![(); active];
-                self.pool
-                    .map_with(&mut states, inputs, |_, _, input| method.run(g, input))
+                self.pool.map_with(&mut states, inputs, |_, _, input| {
+                    method.run(g, input.borrow())
+                })
             }
         }
+    }
+
+    /// [`SummaryEngine::summarize_batch`] with worker panics surfaced
+    /// as a recoverable [`EngineError`] instead of unwinding into the
+    /// caller.
+    ///
+    /// A malformed input (e.g. a terminal id outside the graph) panics
+    /// inside the worker that drew it; the pool already catches the
+    /// panic, finishes the dispatch without deadlocking, and re-raises
+    /// it on the calling thread. This wrapper converts that re-raise
+    /// into an `Err`, leaving the engine fully serviceable: buffers the
+    /// panic interrupted mid-patch stay flagged dirty and are rebuilt
+    /// from the Eq. 1 base on the next call (property: post-error
+    /// output is still bit-identical to the free functions).
+    pub fn try_summarize_batch(
+        &mut self,
+        g: &Graph,
+        inputs: &[SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.summarize_batch(g, inputs, method)))
+            .map_err(EngineError::from_panic)
+    }
+
+    /// [`SummaryEngine::summarize`] with panics surfaced as a
+    /// recoverable [`EngineError`]; see
+    /// [`SummaryEngine::try_summarize_batch`].
+    pub fn try_summarize(
+        &mut self,
+        g: &Graph,
+        input: &SummaryInput,
+        method: BatchMethod,
+    ) -> Result<Summary, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.summarize(g, input, method)))
+            .map_err(EngineError::from_panic)
     }
 }
 
@@ -363,6 +485,42 @@ mod tests {
     fn engine_default_threads_positive() {
         let engine = SummaryEngine::new();
         assert!(engine.threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_is_recoverable_not_fatal() {
+        // Satellite regression: a malformed input panicking inside a
+        // (possibly pooled) worker must come back as an `EngineError`,
+        // and the engine must keep serving bit-identical results — the
+        // dirty-buffer recovery rebuilds the interrupted cost buffer.
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        // Terminals entirely outside the graph: the first becomes a
+        // Dijkstra *source* and unwinds out of the metric closure after
+        // the worker's buffer was already patched. (Out-of-range
+        // *targets* are deliberately total — treated as unreachable.)
+        let mut bad = input.clone();
+        bad.terminals = vec![
+            xsum_graph::NodeId(u32::MAX - 2),
+            xsum_graph::NodeId(u32::MAX - 1),
+        ];
+        for method in [BatchMethod::Steiner(cfg), BatchMethod::SteinerFast(cfg)] {
+            for threads in [1usize, 2] {
+                let mut engine = SummaryEngine::with_threads(threads);
+                let good = vec![input.clone(), input.clone()];
+                engine.summarize_batch(&ex.graph, &good, method); // warm
+                let err =
+                    engine.try_summarize_batch(&ex.graph, &[input.clone(), bad.clone()], method);
+                assert!(err.is_err(), "out-of-range source must error");
+                assert!(engine.try_summarize(&ex.graph, &bad, method).is_err());
+                // Still serving, still bit-identical to the free path.
+                let after = engine.summarize_batch(&ex.graph, &good, method);
+                for s in &after {
+                    assert_same(s, &method.run(&ex.graph, &input));
+                }
+            }
+        }
     }
 
     #[test]

@@ -51,7 +51,14 @@
 //!   (a thread-local instance of which also backs the sequential
 //!   [`steiner_summary`] / [`steiner_summary_fast`] calls), and a
 //!   [`SessionStore`] of per-user incremental sessions with LRU
-//!   eviction and graph-epoch invalidation.
+//!   eviction and graph-epoch invalidation;
+//! * [`ShardedEngine`] scales the engine horizontally: N engine
+//!   replicas over N graph replicas behind a [`ShardRouter`], with a
+//!   scatter/gather batch planner (mixed batches grouped by shard,
+//!   dispatched onto the replicas' pools concurrently, gathered in
+//!   input order, bit-identical to a single engine), shard-affine
+//!   session stores, and coherent cross-replica mutation
+//!   ([`ShardedEngine::mutate`]).
 //!
 //! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
@@ -68,12 +75,13 @@ pub mod pcst;
 pub mod prizes;
 pub mod render;
 pub mod session;
+pub mod shard;
 pub mod steiner;
 pub mod summary;
 pub mod weighting;
 
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
-pub use engine::SummaryEngine;
+pub use engine::{EngineError, SummaryEngine};
 pub use exact::{
     exact_steiner_cost, exact_steiner_tree, optimality_gap, OptimalityGap, MAX_EXACT_TERMINALS,
 };
@@ -90,6 +98,7 @@ pub use pcst::{pcst_summary, PcstConfig, PcstScope};
 pub use prizes::{node_prizes, pcst_summary_with_policy, PrizePolicy};
 pub use render::{render_path, render_summary, table1_example, Table1Example};
 pub use session::{session_summary, EngineSession, SessionKey, SessionStore};
+pub use shard::{HashRouter, ShardRouter, ShardedEngine};
 pub use steiner::{
     flush_cost_model_cache, steiner_costs, steiner_summary, steiner_summary_fast, steiner_tree,
     steiner_tree_fast, steiner_tree_fast_with, steiner_tree_with, CostModelCache, CostModelKey,

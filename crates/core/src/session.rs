@@ -154,9 +154,12 @@ impl EngineSession {
 /// mutation epoch against the epoch the stored sessions were built at,
 /// and any difference drops them all (their cost tables and subgraphs
 /// reference pre-mutation content). A `capacity` of `0` is the
-/// degenerate store that retains nothing between lookups — every access
-/// is a miss — which is the correct serving behavior when session reuse
-/// is disabled.
+/// degenerate **pass-through** store that retains nothing between
+/// lookups — every access is a miss, nothing is ever addressable by
+/// key afterwards ([`SessionStore::len`] stays 0), dropped pass-through
+/// sessions are never counted as evictions and never donate their
+/// workspaces — the correct serving behavior when session reuse is
+/// disabled.
 #[derive(Debug)]
 pub struct SessionStore {
     capacity: usize,
@@ -167,6 +170,13 @@ pub struct SessionStore {
     /// Eviction scans for the minimum stamp — O(n), but only on
     /// overflow, which is rare next to per-request lookups.
     entries: FxHashMap<SessionKey, StoredSession>,
+    /// Capacity-0 landing slot: the one session a pass-through lookup
+    /// just built, kept *only* so the returned borrow has somewhere to
+    /// live. It is never resumed (the next lookup overwrites it), never
+    /// addressable ([`SessionStore::contains`]/[`SessionStore::remove`]
+    /// ignore it), and its workspace is dropped — not recycled — with
+    /// it.
+    passthrough: Option<EngineSession>,
     /// Monotone recency clock.
     clock: u64,
     /// Warm workspaces harvested from evicted/invalidated ST sessions.
@@ -207,6 +217,7 @@ impl SessionStore {
             capacity,
             epoch: None,
             entries: FxHashMap::default(),
+            passthrough: None,
             clock: 0,
             spares: Vec::new(),
             hits: 0,
@@ -216,11 +227,18 @@ impl SessionStore {
         }
     }
 
-    /// Change the capacity, evicting LRU sessions if shrinking.
+    /// Change the capacity, evicting LRU sessions if shrinking (a shrink
+    /// to 0 evicts — and recycles — every retained session, then the
+    /// store serves pass-through).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.entries.len() > self.capacity {
             self.evict_lru();
+        }
+        if capacity > 0 {
+            // A leftover pass-through session is dropped outright — it
+            // was never part of the retained population.
+            self.passthrough = None;
         }
     }
 
@@ -264,8 +282,10 @@ impl SessionStore {
         self.invalidations
     }
 
-    /// Drop every session (workspaces are recycled).
+    /// Drop every session (retained workspaces are recycled; a
+    /// pass-through session is dropped without recycling).
     pub fn clear(&mut self) {
+        self.passthrough = None;
         let drained: Vec<StoredSession> = self.entries.drain().map(|(_, e)| e).collect();
         for entry in drained {
             self.recycle(entry.session);
@@ -273,7 +293,8 @@ impl SessionStore {
     }
 
     /// Remove one session, returning it to the caller (its workspace is
-    /// *not* recycled — the caller owns the session now).
+    /// *not* recycled — the caller owns the session now). Pass-through
+    /// sessions of a capacity-0 store are not addressable here.
     pub fn remove(&mut self, key: &SessionKey) -> Option<EngineSession> {
         self.entries.remove(key).map(|e| e.session)
     }
@@ -306,10 +327,15 @@ impl SessionStore {
         })
     }
 
-    /// Shared lookup path: epoch validation → capacity pruning → keyed
-    /// probe (a hit must also match the exact config — a session grown
-    /// under different costs/prizes is replaced, not resumed) → miss
-    /// construction.
+    /// Shared lookup path: epoch validation → pass-through shortcut →
+    /// keyed probe (a hit must also match the exact config — a session
+    /// grown under different costs/prizes is replaced, not resumed) →
+    /// miss construction with LRU pruning.
+    ///
+    /// Deliberately free of `unwrap`/`expect`: the hit path re-inserts
+    /// the removed entry through the vacant-by-construction `entry`
+    /// slot, so no access here can ever panic and surface a store bug
+    /// as a serving-thread crash.
     fn lookup(
         &mut self,
         g: &Graph,
@@ -318,51 +344,42 @@ impl SessionStore {
         make: impl FnOnce(&mut Self) -> EngineSession,
     ) -> &mut EngineSession {
         self.validate_epoch(g);
-        // Prune *before* probing so a zero-capacity store drops the
-        // previous session first and can never produce a hit.
-        while self.entries.len() > self.capacity {
-            self.evict_lru();
+        if self.capacity == 0 {
+            // Pass-through: build, hand out, retain nothing addressable.
+            // The previous pass-through session (if any) is dropped here
+            // — not evicted, not workspace-harvested.
+            self.misses += 1;
+            let session = make(self);
+            return self.passthrough.insert(session);
         }
         self.clock += 1;
         let stamp = self.clock;
-        let probe = match self.entries.get_mut(&key) {
+        let stored = match self.entries.remove(&key) {
             Some(entry) if entry.config == config => {
-                entry.last_used = stamp;
-                true
+                self.hits += 1;
+                StoredSession {
+                    last_used: stamp,
+                    ..entry
+                }
             }
-            Some(_) => {
-                // Same user/baseline, different config: the stored
-                // growth state reflects other costs — rebuild.
-                let stale = self.entries.remove(&key).expect("probed entry");
-                self.recycle(stale.session);
-                false
-            }
-            None => {
-                while self.entries.len() + 1 > self.capacity.max(1) {
+            stale => {
+                if let Some(entry) = stale {
+                    // Same user/baseline, different config: the stored
+                    // growth state reflects other costs — rebuild.
+                    self.recycle(entry.session);
+                }
+                while self.entries.len() + 1 > self.capacity {
                     self.evict_lru();
                 }
-                false
-            }
-        };
-        if probe {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-            let session = make(self);
-            self.entries.insert(
-                key.clone(),
+                self.misses += 1;
                 StoredSession {
                     config,
                     last_used: stamp,
-                    session,
-                },
-            );
-        }
-        &mut self
-            .entries
-            .get_mut(&key)
-            .expect("entry just ensured")
-            .session
+                    session: make(self),
+                }
+            }
+        };
+        &mut self.entries.entry(key).or_insert(stored).session
     }
 
     /// Drop all sessions if the graph's epoch moved since they were
@@ -379,17 +396,15 @@ impl SessionStore {
     }
 
     fn evict_lru(&mut self) {
-        let Some(oldest) = self
+        let oldest = self
             .entries
             .iter()
             .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone())
-        else {
-            return;
-        };
-        let entry = self.entries.remove(&oldest).expect("key just found");
-        self.evictions += 1;
-        self.recycle(entry.session);
+            .map(|(k, _)| k.clone());
+        if let Some(entry) = oldest.and_then(|k| self.entries.remove(&k)) {
+            self.evictions += 1;
+            self.recycle(entry.session);
+        }
     }
 
     fn recycle(&mut self, session: EngineSession) {
@@ -490,6 +505,61 @@ mod tests {
         assert_eq!(s.terminal_count(), 0, "capacity 0 rebuilds from scratch");
         assert_eq!(store.hits(), 0);
         assert_eq!(store.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_is_a_true_pass_through() {
+        // Satellite regression: a capacity-0 store must never retain a
+        // session in its addressable population, never count the
+        // dropped pass-through sessions as evictions, and never harvest
+        // their workspaces into the spare pool.
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(0);
+        for _ in 0..3 {
+            let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+            assert_eq!(s.terminal_count(), 0, "never resumed");
+            s.add_terminal(&ex.graph, ex.user1);
+            s.add_terminal(&ex.graph, ex.items[0]);
+            assert!(s.size() > 0, "the handed-out session is live");
+        }
+        assert_eq!(store.len(), 0, "nothing retained");
+        assert!(store.is_empty());
+        assert!(!store.contains(&key(1)), "pass-through is unaddressable");
+        assert!(store.remove(&key(1)).is_none());
+        assert_eq!((store.hits(), store.misses()), (0, 3));
+        assert_eq!(store.evictions(), 0, "pass-through drops ≠ evictions");
+        assert_eq!(store.spares.len(), 0, "stale workspaces never recycled");
+    }
+
+    #[test]
+    fn shrinking_capacity_to_zero_switches_to_pass_through() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(4);
+        for u in 1..=3 {
+            let s = store.steiner_session(&ex.graph, key(u), &input, &cfg);
+            s.add_terminal(&ex.graph, ex.user1);
+        }
+        assert_eq!(store.len(), 3);
+        // The shrink itself is a genuine capacity eviction sweep …
+        store.set_capacity(0);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.evictions(), 3);
+        // … after which every lookup passes through without retention.
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.terminal_count(), 0);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.evictions(), 3, "pass-through adds no evictions");
+        // Growing the capacity again restores retention.
+        store.set_capacity(2);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.terminal_count(), 1, "retention is back");
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! Sharded serving: per-shard [`SummaryEngine`] replicas behind a
+//! scatter/gather routing front-end.
+//!
+//! The summarization workload is naturally partitionable — each request
+//! touches one user's terminals against a shared KG — so the serving
+//! tier scales horizontally by running one engine *per shard replica*
+//! and routing requests to shards:
+//!
+//! ```text
+//!                    ┌───────────────────────────────────┐
+//!   mixed batch ───► │ ShardedEngine                     │
+//!                    │  ShardRouter: input → shard       │
+//!                    │  scatter ──┬───────┬───────┐      │
+//!                    │   shard 0  │ shard 1  …  shard N  │
+//!                    │  ┌───────┐ │ ┌───────┐  ┌───────┐ │
+//!                    │  │Graph  │ │ │Graph  │  │Graph  │ │
+//!                    │  │replica│ │ │replica│  │replica│ │
+//!                    │  │Engine │ │ │Engine │  │Engine │ │
+//!                    │  │ pool  │ │ │ pool  │  │ pool  │ │
+//!                    │  │ cache │ │ │ cache │  │ cache │ │
+//!                    │  │ sess. │ │ │ sess. │  │ sess. │ │
+//!                    │  └───────┘ │ └───────┘  └───────┘ │
+//!                    │  gather (input order) ────────────┼──► summaries
+//!                    └───────────────────────────────────┘
+//! ```
+//!
+//! # Architecture
+//!
+//! * **Full-replica sharding.** Every replica holds a clone of the
+//!   whole KG, so any request can be served by any shard and the
+//!   router is purely a load/affinity decision — correctness is
+//!   identical by construction, and the property suite
+//!   (`tests/prop_shard.rs`) pins the outputs **bit-identical** to a
+//!   single [`SummaryEngine`]. True user/item partitions slot in
+//!   through the [`ShardRouter`] trait without touching the engine
+//!   (see below).
+//! * **Scatter/gather batching.** [`ShardedEngine::summarize_batch`]
+//!   groups a mixed batch by shard, dispatches the per-shard
+//!   sub-batches onto the replicas' pinned worker pools **concurrently**
+//!   ([`parallel_zip_map`] pairs replica *i* with sub-batch *i*
+//!   statically — no stealing across replicas), and reassembles the
+//!   outputs in input order.
+//! * **Shard-affine sessions.** The default [`HashRouter`] routes a
+//!   [`SessionKey`] by hashing its user/baseline identity, so a user's
+//!   scrolling session always lands on the same replica and that
+//!   replica's [`SessionStore`](crate::session::SessionStore) stays
+//!   hot.
+//! * **Coherent mutation.** The replicas' graphs are private, so
+//!   writes go through [`ShardedEngine::mutate`], which applies the
+//!   same closure to every replica and thereby bumps every replica's
+//!   mutation epoch. Each replica's cost-model cache and session store
+//!   key on *its own* graph's epoch, so the next request on any shard
+//!   sees the mutation — no replica can serve pre-mutation state.
+//!
+//! # The router trait
+//!
+//! [`ShardRouter`] is the partitioning hook: it maps each
+//! [`SummaryInput`] (batch path) and each [`SessionKey`] (session path)
+//! to a shard index. The default [`HashRouter`] hashes the request's
+//! user/baseline identity for affinity; a deployment that partitions
+//! its user base (or its item catalog) supplies its own router — e.g.
+//! range-partitioned user ids, or a consistent-hash ring — and, once
+//! replicas hold true sub-graphs, the same hook decides which partition
+//! owns which request.
+
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use xsum_graph::{fxhash::FxHasher, num_threads, parallel_zip_map, EdgeId, Graph, NodeId};
+
+use crate::batch::BatchMethod;
+use crate::engine::{EngineError, SummaryEngine};
+use crate::input::SummaryInput;
+use crate::session::{session_summary, SessionKey, SessionStore};
+use crate::steiner::SteinerConfig;
+use crate::summary::Summary;
+
+/// Maps requests to shards — the partitioning hook of the sharded
+/// serving tier (see the module docs).
+///
+/// Implementations must be **deterministic**: the same request must
+/// route to the same shard for as long as the shard count is stable,
+/// both for session affinity and so repeated batches hit warm replica
+/// state. Returned indices are clamped to the live shard range by the
+/// caller, so an implementation may assume nothing beyond `shards ≥ 1`.
+pub trait ShardRouter: std::fmt::Debug + Send {
+    /// The shard (in `0..shards`) that serves `input` in a batch.
+    fn route_input(&self, input: &SummaryInput, shards: usize) -> usize;
+
+    /// The shard (in `0..shards`) that owns `key`'s incremental
+    /// session. Must be stable across calls — sessions are stateful.
+    fn route_session(&self, key: &SessionKey, shards: usize) -> usize;
+}
+
+/// The default router: Fx-hash of the request's user/baseline identity.
+///
+/// Batch inputs are routed by their *anchor node* — the source of the
+/// first explanation path (the user in user-centric inputs, a member
+/// user otherwise), falling back to the first terminal for path-free
+/// inputs — so all of one user's requests land on the same replica.
+/// Sessions are routed by hashing the full `(user, baseline)` key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashRouter;
+
+impl HashRouter {
+    fn bucket(hash: u64, shards: usize) -> usize {
+        (hash % shards.max(1) as u64) as usize
+    }
+}
+
+impl ShardRouter for HashRouter {
+    fn route_input(&self, input: &SummaryInput, shards: usize) -> usize {
+        let anchor: NodeId = input
+            .paths
+            .first()
+            .map(|p| p.source())
+            .or_else(|| input.terminals.first().copied())
+            .unwrap_or(NodeId(0));
+        let mut h = FxHasher::default();
+        h.write_u32(anchor.0);
+        Self::bucket(h.finish(), shards)
+    }
+
+    fn route_session(&self, key: &SessionKey, shards: usize) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        Self::bucket(h.finish(), shards)
+    }
+}
+
+/// One shard: a full graph replica plus the engine that serves it.
+#[derive(Debug)]
+struct ShardReplica {
+    graph: Graph,
+    engine: SummaryEngine,
+}
+
+/// A sharded serving front-end: N [`SummaryEngine`] replicas, each over
+/// its own graph replica, behind a [`ShardRouter`] (see module docs).
+///
+/// Unlike [`SummaryEngine`], whose methods take the graph per call, a
+/// `ShardedEngine` *owns* its graph replicas — constructed by cloning
+/// the seed graph — because coherent mutation across replicas is part
+/// of its contract ([`ShardedEngine::mutate`]).
+///
+/// ```
+/// use xsum_core::{BatchMethod, ShardedEngine, SteinerConfig, SummaryEngine};
+/// use xsum_core::render::table1_example;
+///
+/// let ex = table1_example();
+/// let method = BatchMethod::Steiner(SteinerConfig::default());
+/// let inputs = vec![ex.input(), ex.input(), ex.input()];
+/// let mut sharded = ShardedEngine::with_threads(&ex.graph, 2, 1);
+/// let mut single = SummaryEngine::with_threads(1);
+/// let a = sharded.summarize_batch(&inputs, method);
+/// let b = single.summarize_batch(&ex.graph, &inputs, method);
+/// for (x, y) in a.iter().zip(&b) {
+///     assert_eq!(x.subgraph.sorted_edges(), y.subgraph.sorted_edges());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    replicas: Vec<ShardReplica>,
+    router: Box<dyn ShardRouter>,
+}
+
+impl ShardedEngine {
+    /// A sharded engine over clones of `g`, dividing [`num_threads`]
+    /// evenly among the shards (each replica gets at least one worker).
+    pub fn new(g: &Graph, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self::with_threads(g, shards, (num_threads() / shards).max(1))
+    }
+
+    /// [`ShardedEngine::new`] with an explicit per-shard worker count.
+    pub fn with_threads(g: &Graph, shards: usize, threads_per_shard: usize) -> Self {
+        Self::with_router(g, shards, threads_per_shard, Box::new(HashRouter))
+    }
+
+    /// Fully explicit construction with a custom [`ShardRouter`].
+    pub fn with_router(
+        g: &Graph,
+        shards: usize,
+        threads_per_shard: usize,
+        router: Box<dyn ShardRouter>,
+    ) -> Self {
+        // Freeze before cloning: the CSR is `Clone`, so every replica
+        // starts with the adjacency already built (one build, N memcpys)
+        // and an *identical epoch* to the seed — replicas only fork
+        // epochs when mutated through `mutate`.
+        g.freeze();
+        let replicas = (0..shards.max(1))
+            .map(|_| ShardReplica {
+                graph: g.clone(),
+                engine: SummaryEngine::with_threads(threads_per_shard.max(1)),
+            })
+            .collect();
+        ShardedEngine { replicas, router }
+    }
+
+    /// Number of shard replicas.
+    pub fn shards(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The shard `input` routes to.
+    pub fn shard_of_input(&self, input: &SummaryInput) -> usize {
+        let n = self.replicas.len();
+        self.router.route_input(input, n).min(n - 1)
+    }
+
+    /// The shard owning `key`'s session.
+    pub fn shard_of_session(&self, key: &SessionKey) -> usize {
+        let n = self.replicas.len();
+        self.router.route_session(key, n).min(n - 1)
+    }
+
+    /// The graph replica of one shard (shards are kept content-
+    /// identical; exposed for inspection and tests).
+    pub fn graph(&self, shard: usize) -> &Graph {
+        &self.replicas[shard].graph
+    }
+
+    /// The session store of one shard's replica engine.
+    pub fn sessions(&mut self, shard: usize) -> &mut SessionStore {
+        self.replicas[shard].engine.sessions()
+    }
+
+    /// Per-shard `(hits, misses)` of the replicas' cost-model caches.
+    pub fn cost_cache_stats(&self) -> Vec<(u64, u64)> {
+        self.replicas
+            .iter()
+            .map(|r| r.engine.cost_cache_stats())
+            .collect()
+    }
+
+    /// Forward
+    /// [`SummaryEngine::set_metric_closure_threshold`] to every replica
+    /// — shard replicas run few outer workers, so lowering the gate
+    /// lets mid-sized terminal groups still fan out inside a replica.
+    pub fn set_metric_closure_threshold(&mut self, min_terminals: usize) {
+        for r in &mut self.replicas {
+            r.engine.set_metric_closure_threshold(min_terminals);
+        }
+    }
+
+    /// Compute one summary on the shard `input` routes to, reusing that
+    /// replica's warm state. Bit-identical to
+    /// [`SummaryEngine::summarize`] (and hence to the sequential free
+    /// functions).
+    pub fn summarize(&mut self, input: &SummaryInput, method: BatchMethod) -> Summary {
+        let shard = self.shard_of_input(input);
+        let r = &mut self.replicas[shard];
+        r.engine.summarize(&r.graph, input, method)
+    }
+
+    /// Summarize a mixed batch across the shard replicas: scatter by
+    /// router, dispatch the per-shard sub-batches onto the replicas'
+    /// worker pools concurrently, gather in input order.
+    ///
+    /// Output is bit-identical to a single [`SummaryEngine`] serving
+    /// the same batch (each replica's engine is bit-identical to the
+    /// sequential entry points per input, and gathering restores input
+    /// order) — `tests/prop_shard.rs` pins this across shard counts,
+    /// methods, and interleaved mutations.
+    pub fn summarize_batch(
+        &mut self,
+        inputs: &[SummaryInput],
+        method: BatchMethod,
+    ) -> Vec<Summary> {
+        let n = self.replicas.len();
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        if n == 1 {
+            let r = &mut self.replicas[0];
+            return r.engine.summarize_batch(&r.graph, inputs, method);
+        }
+        // Scatter: per-shard lists of original input positions plus
+        // *borrowed* sub-batches — routing a batch allocates only these
+        // index/pointer vectors, never a `SummaryInput`.
+        let mut plan: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, input) in inputs.iter().enumerate() {
+            plan[self.router.route_input(input, n).min(n - 1)].push(i);
+        }
+        let subs: Vec<Vec<&SummaryInput>> = plan
+            .iter()
+            .map(|indices| indices.iter().map(|&i| &inputs[i]).collect())
+            .collect();
+        // Dispatch: replica i serves exactly sub-batch i, concurrently.
+        // Idle replicas (empty sub-batch) are skipped — they would
+        // spawn a front-end thread only to return nothing.
+        let mut busy: Vec<&mut ShardReplica> = Vec::new();
+        let mut busy_subs: Vec<&[&SummaryInput]> = Vec::new();
+        for (r, sub) in self.replicas.iter_mut().zip(&subs) {
+            if !sub.is_empty() {
+                busy.push(r);
+                busy_subs.push(sub);
+            }
+        }
+        let per_shard = parallel_zip_map(&mut busy, &busy_subs, |r, sub| {
+            r.engine.summarize_batch_refs(&r.graph, sub, method)
+        });
+
+        // Gather: busy shards come back in shard order; reassemble in
+        // input order.
+        let mut pairs: Vec<(usize, Summary)> = Vec::with_capacity(inputs.len());
+        for (indices, results) in plan
+            .iter()
+            .filter(|indices| !indices.is_empty())
+            .zip(per_shard)
+        {
+            pairs.extend(indices.iter().copied().zip(results));
+        }
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        pairs.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// [`ShardedEngine::summarize_batch`] with worker panics surfaced
+    /// as a recoverable [`EngineError`]; every replica stays
+    /// serviceable afterwards (see
+    /// [`SummaryEngine::try_summarize_batch`] — the scatter scope joins
+    /// all replica dispatches before the panic is rethrown here, so no
+    /// replica is abandoned mid-batch).
+    pub fn try_summarize_batch(
+        &mut self,
+        inputs: &[SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.summarize_batch(inputs, method)))
+            .map_err(EngineError::from_panic)
+    }
+
+    /// Apply one mutation to **every** replica's graph.
+    ///
+    /// `f` must be deterministic — it runs once per replica and the
+    /// replicas must stay content-identical (full-replica sharding's
+    /// one invariant). Each application bumps that replica's mutation
+    /// epoch, so every shard's cost-model cache misses and every
+    /// shard's session store invalidates on its next request; the
+    /// epochs themselves need not be numerically equal across replicas
+    /// (they are process-globally unique and never compared across
+    /// graphs).
+    pub fn mutate(&mut self, mut f: impl FnMut(&mut Graph)) {
+        for r in &mut self.replicas {
+            f(&mut r.graph);
+        }
+    }
+
+    /// Reweight one edge on every replica — the common serving-time
+    /// mutation (rating updates feed Eq. 1 through the weights).
+    pub fn set_weight(&mut self, e: EdgeId, weight: f64) {
+        self.mutate(|g| g.set_weight(e, weight));
+    }
+
+    /// Serve one growing per-user session request on the shard that
+    /// owns `key`: look up (or start) the session in that replica's
+    /// store, attach any new terminals, snapshot. The shard-affine
+    /// sibling of [`crate::session::session_summary`].
+    pub fn session_summary(
+        &mut self,
+        key: SessionKey,
+        input: &SummaryInput,
+        cfg: &SteinerConfig,
+        terminals_in_rank_order: &[NodeId],
+    ) -> Summary {
+        let shard = self.shard_of_session(&key);
+        let ShardReplica { graph, engine } = &mut self.replicas[shard];
+        session_summary(
+            engine.sessions(),
+            graph,
+            key,
+            input,
+            cfg,
+            terminals_in_rank_order,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcst::PcstConfig;
+    use crate::render::table1_example;
+    use crate::steiner::SteinerConfig;
+
+    fn assert_same(a: &Summary, b: &Summary) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+        assert_eq!(a.subgraph.sorted_nodes(), b.subgraph.sorted_nodes());
+    }
+
+    /// A small batch with genuinely distinct routing identities: one
+    /// user-centric input per user, each anchored (first path source)
+    /// at *that* user, plus a group and an item-centric input — so
+    /// multi-shard runs scatter across several busy replicas instead of
+    /// degenerating to one.
+    fn mixed_inputs() -> (Graph, Vec<SummaryInput>) {
+        use xsum_graph::{EdgeKind, LoosePath, NodeKind};
+        let mut g = Graph::new();
+        let users: Vec<NodeId> = (0..5).map(|_| g.add_node(NodeKind::User)).collect();
+        let items: Vec<NodeId> = (0..5).map(|_| g.add_node(NodeKind::Item)).collect();
+        let ents: Vec<NodeId> = (0..2).map(|_| g.add_node(NodeKind::Entity)).collect();
+        for &item in &items {
+            g.add_edge(item, ents[0], 0.0, EdgeKind::Attribute);
+            g.add_edge(item, ents[1], 0.0, EdgeKind::Attribute);
+        }
+        let mut inputs = Vec::new();
+        let mut all_paths = Vec::new();
+        for (ui, &u) in users.iter().enumerate() {
+            g.add_edge(u, items[ui], 1.0 + ui as f64, EdgeKind::Interaction);
+            let path = LoosePath::ground(
+                &g,
+                vec![u, items[ui], ents[ui % 2], items[(ui + 1) % items.len()]],
+            );
+            all_paths.push(path.clone());
+            inputs.push(SummaryInput::user_centric(u, vec![path]));
+        }
+        inputs.push(SummaryInput::user_group(&users, all_paths.clone()));
+        inputs.push(SummaryInput::item_centric(
+            all_paths[2].target(),
+            vec![all_paths[2].clone()],
+        ));
+        (g, inputs)
+    }
+
+    /// Distinct shards the batch occupies under the engine's router.
+    fn busy_shards(sharded: &ShardedEngine, inputs: &[SummaryInput]) -> usize {
+        let mut seen: Vec<usize> = inputs.iter().map(|i| sharded.shard_of_input(i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    #[test]
+    fn sharded_batch_matches_single_engine() {
+        let (g, inputs) = mixed_inputs();
+        let st = SteinerConfig::default();
+        for method in [
+            BatchMethod::Steiner(st),
+            BatchMethod::SteinerFast(st),
+            BatchMethod::Pcst(PcstConfig::default()),
+        ] {
+            let mut single = SummaryEngine::with_threads(2);
+            let want = single.summarize_batch(&g, &inputs, method);
+            for shards in [1usize, 2, 4] {
+                let mut sharded = ShardedEngine::with_threads(&g, shards, 2);
+                assert_eq!(sharded.shards(), shards);
+                if shards >= 2 {
+                    assert!(
+                        busy_shards(&sharded, &inputs) >= 2,
+                        "fixture must scatter across \u{2265}2 busy shards"
+                    );
+                }
+                let got = sharded.summarize_batch(&inputs, method);
+                assert_eq!(got.len(), want.len());
+                for (w, s) in want.iter().zip(&got) {
+                    assert_same(w, s);
+                }
+                // Single-summary routing agrees with the batch path.
+                for input in &inputs {
+                    assert_same(&sharded.summarize(input, method), &method.run(&g, input));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_skewed_batches() {
+        let (g, inputs) = mixed_inputs();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut sharded = ShardedEngine::with_threads(&g, 4, 1);
+        assert!(sharded.summarize_batch(&[], method).is_empty());
+        // A single-input batch exercises the all-but-one-shard-idle path.
+        let got = sharded.summarize_batch(&inputs[..1], method);
+        assert_same(&got[0], &method.run(&g, &inputs[0]));
+    }
+
+    #[test]
+    fn mutation_propagates_to_every_replica() {
+        let (g, inputs) = mixed_inputs();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut sharded = ShardedEngine::with_threads(&g, 2, 1);
+        let before = sharded.summarize_batch(&inputs, method);
+        let misses_before: Vec<u64> = sharded.cost_cache_stats().iter().map(|&(_, m)| m).collect();
+
+        // Reweight through the front-end; a reference graph mutated the
+        // same way is the oracle.
+        let mut reference = g.clone();
+        let e = EdgeId(0);
+        sharded.set_weight(e, 0.125);
+        reference.set_weight(e, 0.125);
+        for shard in 0..sharded.shards() {
+            assert_eq!(sharded.graph(shard).weight(e), 0.125);
+        }
+
+        let after = sharded.summarize_batch(&inputs, method);
+        assert_eq!(before.len(), after.len());
+        for (input, s) in inputs.iter().zip(&after) {
+            assert_same(s, &method.run(&reference, input));
+        }
+        // Every replica that served traffic rebuilt its cost model.
+        for (shard, &(_, misses)) in sharded.cost_cache_stats().iter().enumerate() {
+            if misses_before[shard] > 0 {
+                assert!(
+                    misses > misses_before[shard],
+                    "shard {shard} served stale cost state after mutate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_invalidates_sessions_on_every_replica() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut sharded = ShardedEngine::with_threads(&ex.graph, 2, 1);
+        // Find users covering both shards (the Fx hash spreads small
+        // ids, but don't assume which way).
+        let mut keys: Vec<SessionKey> = Vec::new();
+        for u in 0..64u64 {
+            let key = SessionKey::new(u, "pgpr");
+            let shard = sharded.shard_of_session(&key);
+            if !keys.iter().any(|k| sharded.shard_of_session(k) == shard) {
+                keys.push(key);
+            }
+            if keys.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(keys.len(), 2, "hash router must cover both shards");
+
+        for key in &keys {
+            let s = sharded.session_summary(key.clone(), &input, &cfg, &input.terminals);
+            assert_eq!(s.terminal_coverage(), 1.0);
+        }
+        for shard in 0..2 {
+            assert_eq!(sharded.sessions(shard).len(), 1, "one session per shard");
+        }
+
+        sharded.set_weight(EdgeId(0), 42.0);
+        for key in &keys {
+            sharded.session_summary(key.clone(), &input, &cfg, &[]);
+        }
+        for shard in 0..2 {
+            assert_eq!(
+                sharded.sessions(shard).invalidations(),
+                1,
+                "shard {shard} must drop pre-mutation sessions"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_are_shard_affine() {
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut sharded = ShardedEngine::with_threads(&ex.graph, 4, 1);
+        let key = SessionKey::new(7, "pgpr");
+        let home = sharded.shard_of_session(&key);
+        for round in 1..=3usize {
+            sharded.session_summary(
+                key.clone(),
+                &input,
+                &cfg,
+                &input.terminals[..round.min(input.terminals.len())],
+            );
+        }
+        // All three requests landed on the same replica and resumed.
+        assert_eq!(sharded.sessions(home).misses(), 1);
+        assert_eq!(sharded.sessions(home).hits(), 2);
+        for shard in (0..4).filter(|&s| s != home) {
+            assert_eq!(sharded.sessions(shard).len(), 0, "foreign shard touched");
+        }
+    }
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let (_, inputs) = mixed_inputs();
+        let router = HashRouter;
+        for shards in 1..=8 {
+            for input in &inputs {
+                let a = router.route_input(input, shards);
+                assert_eq!(a, router.route_input(input, shards));
+                assert!(a < shards);
+            }
+            let key = SessionKey::new(123, "cafe");
+            assert!(router.route_session(&key, shards) < shards);
+            assert_eq!(
+                router.route_session(&key, shards),
+                router.route_session(&key, shards)
+            );
+        }
+    }
+
+    #[test]
+    fn try_batch_recovers_across_shards() {
+        let (g, inputs) = mixed_inputs();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut sharded = ShardedEngine::with_threads(&g, 2, 1);
+        let want = sharded.summarize_batch(&inputs, method);
+        let mut bad = inputs[0].clone();
+        bad.terminals = vec![
+            xsum_graph::NodeId(u32::MAX - 2),
+            xsum_graph::NodeId(u32::MAX - 1),
+        ];
+        let mut batch = inputs.clone();
+        batch.push(bad);
+        let err = sharded
+            .try_summarize_batch(&batch, method)
+            .expect_err("poisoned input must surface as an error");
+        assert!(
+            !err.message().contains("scoped thread"),
+            "the worker's original panic payload must survive the \
+             scatter join, got: {}",
+            err.message()
+        );
+        // Every replica keeps serving bit-identically afterwards.
+        let after = sharded.summarize_batch(&inputs, method);
+        for (w, s) in want.iter().zip(&after) {
+            assert_same(w, s);
+        }
+    }
+}

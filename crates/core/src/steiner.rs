@@ -31,10 +31,15 @@ use crate::input::SummaryInput;
 use crate::summary::Summary;
 use crate::weighting::adjusted_weights;
 
-/// Terminal count from which the metric closure fans its Dijkstras out
-/// across threads. Below this, thread handoff costs more than the |T|
-/// searches; the paper's user-centric k≤10 inputs always stay sequential
-/// while group scenarios with hundreds of terminals parallelize.
+/// Default terminal count from which the metric closure fans its
+/// Dijkstras out across threads. Below this, thread handoff costs more
+/// than the |T| searches; the paper's user-centric k≤10 inputs always
+/// stay sequential while group scenarios with hundreds of terminals
+/// parallelize. The gate always counts **deduplicated** terminals (the
+/// closure runs one Dijkstra per distinct terminal, so duplicates must
+/// not buy a fan-out), and per-workspace overrides are available via
+/// [`SteinerWorkspace::set_parallel_threshold`] — shard replicas with
+/// few workers lower it so their rarer large groups still fan out.
 const PARALLEL_TERMINAL_THRESHOLD: usize = 24;
 
 /// Parameters of the ST summarizer.
@@ -372,6 +377,9 @@ pub struct SteinerWorkspace {
     /// [`num_threads`]; 1 = stay sequential (set by outer parallel
     /// regions so worker threads never nest thread pools).
     parallelism: usize,
+    /// Deduplicated-terminal count from which the metric closure fans
+    /// out: 0 = the built-in [`PARALLEL_TERMINAL_THRESHOLD`] default.
+    parallel_threshold: usize,
 }
 
 impl SteinerWorkspace {
@@ -388,6 +396,29 @@ impl SteinerWorkspace {
         self.parallelism = threads;
     }
 
+    /// Override the deduplicated-terminal count from which the metric
+    /// closure fans out across threads (`0` restores the built-in
+    /// default of [`PARALLEL_TERMINAL_THRESHOLD`]; values below 2 clamp
+    /// to 2, the smallest terminal set with a closure to build). Only
+    /// observable when [`SteinerWorkspace::set_parallelism`] grants a
+    /// budget above 1 — shard replicas running few outer workers lower
+    /// this so mid-sized groups still use their idle cores.
+    pub fn set_parallel_threshold(&mut self, min_terminals: usize) {
+        self.parallel_threshold = if min_terminals == 0 {
+            0
+        } else {
+            min_terminals.max(2)
+        };
+    }
+
+    /// The active fan-out gate (post-dedup terminal count).
+    fn parallel_threshold(&self) -> usize {
+        match self.parallel_threshold {
+            0 => PARALLEL_TERMINAL_THRESHOLD,
+            n => n,
+        }
+    }
+
     /// Build the metric closure over `terminals` into `closure` /
     /// `spans` / `arena`, running the |T| Dijkstras sequentially or
     /// across worker threads.
@@ -401,7 +432,10 @@ impl SteinerWorkspace {
             0 => num_threads(),
             n => n,
         };
-        let workers = if t >= PARALLEL_TERMINAL_THRESHOLD {
+        // `t` counts `self.terminals` *after* the callers' sort+dedup —
+        // the gate must never let duplicate terminals (which cost no
+        // extra Dijkstras) buy a thread fan-out.
+        let workers = if t >= self.parallel_threshold() {
             budget.min(t)
         } else {
             1
@@ -974,6 +1008,54 @@ mod tests {
             (1, 4),
             "evicted key must rebuild"
         );
+    }
+
+    #[test]
+    fn parallel_gate_counts_terminals_post_dedup() {
+        // 30 copies of 3 distinct terminals, a thread budget of 4: a
+        // pre-dedup gate would see 30 ≥ 24 and fan out; the correct
+        // post-dedup gate sees 3 and must stay sequential (worker 0
+        // only — no extra Dijkstra workspaces materialize).
+        let (g, n) = hub_graph();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let mut dup = Vec::new();
+        for _ in 0..10 {
+            dup.extend_from_slice(&[n[0], n[1], n[2]]);
+        }
+        let mut ws = SteinerWorkspace::new();
+        ws.set_parallelism(4);
+        let tree = steiner_tree_with(&g, &costs, &dup, &mut ws);
+        assert_eq!(tree.edge_count(), 3);
+        assert!(
+            ws.workers.len() <= 1,
+            "duplicate terminals must not trigger the parallel closure"
+        );
+    }
+
+    #[test]
+    fn parallel_threshold_is_configurable_and_preserves_output() {
+        let (g, n) = hub_graph();
+        let costs = EdgeCosts::uniform(&g, 1.0);
+        let terminals = [n[0], n[1], n[2]];
+        let mut seq_ws = SteinerWorkspace::new();
+        seq_ws.set_parallelism(1);
+        let want = steiner_tree_with(&g, &costs, &terminals, &mut seq_ws);
+
+        // Lowered threshold + a real budget: 3 distinct terminals now
+        // fan out (3 workspaces), and the tree is bit-identical.
+        let mut ws = SteinerWorkspace::new();
+        ws.set_parallelism(4);
+        ws.set_parallel_threshold(2);
+        let got = steiner_tree_with(&g, &costs, &terminals, &mut ws);
+        assert_eq!(ws.workers.len(), 3, "lowered gate must fan out");
+        assert_eq!(want.sorted_edges(), got.sorted_edges());
+        assert_eq!(want.sorted_nodes(), got.sorted_nodes());
+
+        // `0` restores the default; `1` clamps to the smallest closure.
+        ws.set_parallel_threshold(0);
+        assert_eq!(ws.parallel_threshold(), PARALLEL_TERMINAL_THRESHOLD);
+        ws.set_parallel_threshold(1);
+        assert_eq!(ws.parallel_threshold(), 2);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use ids::{EdgeId, NodeId, NodeKind};
 pub use loosepath::LoosePath;
 pub use mst::{kruskal, prim, MstEdge};
 pub use pagerank::{pagerank, PageRankConfig};
-pub use parallel::{num_threads, parallel_map, parallel_map_with};
+pub use parallel::{num_threads, parallel_map, parallel_map_with, parallel_zip_map};
 pub use path::Path;
 pub use pool::WorkerPool;
 pub use subgraph::Subgraph;

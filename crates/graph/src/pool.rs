@@ -29,8 +29,20 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Lock `m`, recovering the guard from a poisoned mutex instead of
+/// panicking. The pool's shared state stays structurally valid across a
+/// worker panic (the panicking job is caught *outside* the lock, and
+/// the counter bookkeeping below cannot unwind mid-update), so poison
+/// here only means "some worker panicked earlier" — which the dispatch
+/// protocol already surfaces through `PoolState::panic`. Unwrapping
+/// instead would convert one worker panic into a cascade of secondary
+/// front-end panics (and park-forever workers) on every later lock.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A lifetime-erased job pointer. Only ever dereferenced while the
 /// dispatching `map_with` call is blocked waiting for completion, which
@@ -148,7 +160,7 @@ impl WorkerPool {
                 *const (dyn Fn(usize) + Sync + 'static),
             >(job)
         });
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_recovering(&self.shared.state);
         debug_assert_eq!(st.remaining, 0, "overlapping dispatch");
         st.job = Some(erased);
         st.active = active;
@@ -156,9 +168,13 @@ impl WorkerPool {
         st.seq += 1;
         drop(st);
         self.shared.work_cv.notify_all();
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_recovering(&self.shared.state);
         while st.remaining > 0 {
-            st = self.shared.done_cv.wait(st).unwrap();
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         if let Some(payload) = st.panic.take() {
@@ -223,11 +239,11 @@ impl WorkerPool {
                 local.push((i, f_ref(state, i, &items[i])));
             }
             if !local.is_empty() {
-                results_ref.lock().unwrap().extend(local);
+                lock_recovering(results_ref).extend(local);
             }
         };
         self.dispatch(active, &job);
-        let mut pairs = results.into_inner().unwrap();
+        let mut pairs = results.into_inner().unwrap_or_else(PoisonError::into_inner);
         pairs.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(pairs.len(), items.len());
         pairs.into_iter().map(|(_, r)| r).collect()
@@ -252,7 +268,7 @@ unsafe impl<S: Send> Sync for SendPtr<S> {}
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_recovering(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -266,7 +282,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recovering(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -281,14 +297,17 @@ fn worker_loop(shared: &Shared, idx: usize) {
                     }
                     break st.job.expect("seq bumped without a job");
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the dispatcher keeps the pointee alive until
         // `remaining` returns to zero, which happens strictly after this
         // call returns (or unwinds into the catch below).
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(idx) }));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_recovering(&shared.state);
         if let Err(payload) = outcome {
             if st.panic.is_none() {
                 st.panic = Some(payload);

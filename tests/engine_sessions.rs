@@ -5,7 +5,7 @@
 
 use xsum::core::{
     pcst_summary, steiner_costs, steiner_summary, BatchMethod, PcstConfig, Scenario, SessionKey,
-    SessionStore, SteinerConfig, SummaryEngine, SummaryInput,
+    SessionStore, ShardedEngine, SteinerConfig, SummaryEngine, SummaryInput,
 };
 use xsum::datasets::ml1m_scaled;
 use xsum::graph::{EdgeId, NodeId};
@@ -105,7 +105,9 @@ fn capacity_zero_never_hits_and_epoch_change_invalidates() {
     let (mut ds, inputs) = corpus(4, 4);
     let cfg = SteinerConfig::default();
     let (user, focus, input) = &inputs[0];
-    // Capacity 0: every lookup is a rebuild.
+    // Capacity 0: every lookup is a rebuild, nothing is retained, and
+    // the dropped pass-through sessions are neither counted as
+    // evictions nor harvested for workspaces (satellite regression).
     let mut store = SessionStore::new(0);
     for _ in 0..3 {
         let g = &ds.kg.graph;
@@ -115,6 +117,9 @@ fn capacity_zero_never_hits_and_epoch_change_invalidates() {
     }
     assert_eq!(store.hits(), 0);
     assert_eq!(store.misses(), 3);
+    assert_eq!(store.len(), 0, "capacity 0 retains nothing");
+    assert!(!store.contains(&SessionKey::new(*user, "pgpr")));
+    assert_eq!(store.evictions(), 0, "pass-through drops are not evictions");
 
     // Epoch invalidation: a mutation between requests drops sessions.
     let mut store = SessionStore::new(8);
@@ -231,4 +236,60 @@ fn engine_sessions_accessor_serves_scrolling_users() {
     let n = inputs.len() as u64;
     assert_eq!(engine.sessions().misses(), n, "one session per user");
     assert_eq!(engine.sessions().hits(), 2 * n, "rounds 2 and 3 resume");
+}
+
+#[test]
+fn sharded_sessions_stay_affine_and_invalidate_on_mutation() {
+    // The sharded serving shape on a real corpus: scrolling users route
+    // to stable home shards, resume there across rounds, and a graph
+    // mutation through the front-end drops the stale sessions on every
+    // replica that held any.
+    let (ds, inputs) = corpus(8, 6);
+    let cfg = SteinerConfig::default();
+    let mut sharded = ShardedEngine::with_threads(&ds.kg.graph, 4, 1);
+    let homes: Vec<usize> = inputs
+        .iter()
+        .map(|(user, _, _)| sharded.shard_of_session(&SessionKey::new(*user, "pgpr")))
+        .collect();
+    for round in 1..=3usize {
+        for (user, _, input) in &inputs {
+            let s = sharded.session_summary(
+                SessionKey::new(*user, "pgpr"),
+                input,
+                &cfg,
+                &input.terminals[..(round * 2).min(input.terminals.len())],
+            );
+            assert!(s.terminal_coverage() > 0.0);
+        }
+    }
+    let n = inputs.len() as u64;
+    let (mut misses, mut hits) = (0u64, 0u64);
+    for shard in 0..sharded.shards() {
+        misses += sharded.sessions(shard).misses();
+        hits += sharded.sessions(shard).hits();
+        let residents = homes.iter().filter(|&&h| h == shard).count();
+        assert_eq!(
+            sharded.sessions(shard).len(),
+            residents,
+            "shard {shard} holds exactly its routed users"
+        );
+    }
+    assert_eq!(misses, n, "one session per user across all shards");
+    assert_eq!(hits, 2 * n, "rounds 2 and 3 resume on the home shard");
+
+    // Mutation through the front-end: next request on any shard that
+    // held sessions must rebuild from a fresh epoch.
+    sharded.set_weight(EdgeId(0), 99.0);
+    for (user, _, input) in &inputs {
+        sharded.session_summary(SessionKey::new(*user, "pgpr"), input, &cfg, &[]);
+    }
+    for shard in 0..sharded.shards() {
+        if homes.contains(&shard) {
+            assert_eq!(
+                sharded.sessions(shard).invalidations(),
+                1,
+                "shard {shard} kept pre-mutation sessions"
+            );
+        }
+    }
 }
