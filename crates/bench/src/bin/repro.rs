@@ -5,14 +5,17 @@
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!            userstudy ablation fairness bench_batch bench_shard all
+//!            userstudy ablation fairness bench_batch bench_shard
+//!            bench_admission all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
 //! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
-//! replica throughput, allocation per summary, speedup vs the seed
+//! replica throughput, admission-queue coalesced throughput and ticket
+//! latency percentiles, allocation per summary, speedup vs the seed
 //! path) for the cross-PR perf trajectory; `bench_shard` prints the
 //! full per-shard-count scatter/gather sweep behind the JSON's
-//! `shardN_batch_summaries_per_sec` keys.
+//! `shardN_batch_summaries_per_sec` keys, and `bench_admission` the
+//! producer-count × linger-window sweep behind its `admission_*` keys.
 //! ```
 //!
 //! Output is TSV (scenario, baseline, method, x, metric, value) matching
@@ -234,6 +237,22 @@ fn main() {
             );
             print_rows(&rows);
         }
+        "bench_admission" => {
+            // Coalesced admission throughput + ticket latency across
+            // producer counts × linger windows on the bench_batch
+            // workload (TSV; the 4-producer/linger-8 point also lands
+            // in BENCH_batch.json via bench_batch).
+            let rows = perf::admission_bench(
+                xsum_datasets::ScalingLevel::G5,
+                args.scale,
+                args.seed,
+                (2 * args.users_per_gender).max(32),
+                args.top_k,
+                &[1, 2, 4, 8],
+                &[1, 8, 32],
+            );
+            print_rows(&rows);
+        }
         "all" => {
             println!("== table1 ==\n{}", tables::table1());
             let ctx = Ctx::build(cfg);
@@ -288,7 +307,7 @@ fn main() {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
                 "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
-                 bench_batch bench_shard all"
+                 bench_batch bench_shard bench_admission all"
             );
             std::process::exit(2);
         }

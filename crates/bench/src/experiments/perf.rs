@@ -7,8 +7,8 @@
 //!   3-hop paths, user-centric and user-group.
 
 use xsum_core::{
-    pcst_summary, steiner_summary, summarize_batch, BatchMethod, PcstConfig, ShardedEngine,
-    SteinerConfig, SummaryEngine, SummaryInput,
+    pcst_summary, steiner_summary, summarize_batch, AdmissionConfig, AdmissionQueue, BatchMethod,
+    PcstConfig, ShardedEngine, SteinerConfig, SummaryEngine, SummaryInput,
 };
 use xsum_datasets::{random_explanation_path, scaling::scaling_graph_scaled, ScalingLevel};
 use xsum_graph::NodeId;
@@ -97,6 +97,14 @@ pub struct BatchBenchReport {
     pub shard2_batch_per_sec: f64,
     /// `ShardedEngine` scatter/gather KMB throughput with 4 replicas.
     pub shard4_batch_per_sec: f64,
+    /// `AdmissionQueue` coalesced KMB throughput: 4 producer threads
+    /// submitting singles open-loop, the dispatcher coalescing them
+    /// into engine batches (linger 8, max batch 32).
+    pub admission_coalesced_per_sec: f64,
+    /// Median submit→resolve ticket latency (ms) under that load.
+    pub admission_p50_ms: f64,
+    /// 99th-percentile submit→resolve ticket latency (ms).
+    pub admission_p99_ms: f64,
 }
 
 impl BatchBenchReport {
@@ -127,7 +135,10 @@ impl BatchBenchReport {
                 "  \"engine_batch4_summaries_per_sec\": {:.3},\n",
                 "  \"engine_batch16_summaries_per_sec\": {:.3},\n",
                 "  \"shard2_batch_summaries_per_sec\": {:.3},\n",
-                "  \"shard4_batch_summaries_per_sec\": {:.3}\n",
+                "  \"shard4_batch_summaries_per_sec\": {:.3},\n",
+                "  \"admission_coalesced_summaries_per_sec\": {:.3},\n",
+                "  \"admission_p50_latency_ms\": {:.6},\n",
+                "  \"admission_p99_latency_ms\": {:.6}\n",
                 "}}\n"
             ),
             self.level,
@@ -149,6 +160,9 @@ impl BatchBenchReport {
             self.small_batch_per_sec[2].1,
             self.shard2_batch_per_sec,
             self.shard4_batch_per_sec,
+            self.admission_coalesced_per_sec,
+            self.admission_p50_ms,
+            self.admission_p99_ms,
         )
     }
 }
@@ -335,6 +349,13 @@ pub fn batch_bench(
         small_batch_per_sec[slot] = (want, size as f64 / trimmed_mean(&mut times).max(1e-12));
     }
 
+    // Admission-queue coalesced serving: 4 open-loop producer threads
+    // submitting singles, one dispatcher coalescing them into engine
+    // batches. Throughput + ticket latency percentiles are the
+    // trajectory keys; the sweep behind them is `repro bench_admission`.
+    let (admission_per_sec, admission_p50_ms, admission_p99_ms) =
+        admission_run(g, &inputs, 4, 8, BATCH_REPS);
+
     // Sharded scatter/gather throughput at 2 and 4 replicas over the
     // full batch — the per-shard-count trajectory keys. Replicas split
     // the machine's thread budget, so at laptop scale this measures
@@ -371,7 +392,130 @@ pub fn batch_bench(
         small_batch_per_sec,
         shard2_batch_per_sec: shard_per_sec[0],
         shard4_batch_per_sec: shard_per_sec[1],
+        admission_coalesced_per_sec: admission_per_sec,
+        admission_p50_ms,
+        admission_p99_ms,
     }
+}
+
+/// Drive an [`AdmissionQueue`] with `producers` open-loop producer
+/// threads over `rounds` rounds of the workload and return
+/// `(summaries/sec, p50 latency ms, p99 latency ms)`. Latency is
+/// submit→resolve per ticket; each producer submits its share of the
+/// round up front (so the dispatcher genuinely coalesces) and then
+/// waits the tickets in order.
+fn admission_run(
+    g: &xsum_graph::Graph,
+    inputs: &[SummaryInput],
+    producers: usize,
+    linger: usize,
+    rounds: usize,
+) -> (f64, f64, f64) {
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let queue = AdmissionQueue::for_engine(
+        g.clone(),
+        SummaryEngine::new(),
+        AdmissionConfig {
+            queue_bound: 1024,
+            max_batch: 32,
+            linger_tickets: linger,
+        },
+    );
+    // Warmup round (uncounted): spin the dispatcher, engine buffers,
+    // and cost-model cache up.
+    for input in inputs {
+        let _ = queue.submit(input.clone(), method).expect("queue is live");
+    }
+    queue.drain();
+
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(rounds * inputs.len()));
+    let t0 = std::time::Instant::now();
+    for _ in 0..rounds {
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let (queue, latencies) = (&queue, &latencies);
+                scope.spawn(move || {
+                    let submitted: Vec<_> = inputs
+                        .iter()
+                        .skip(p)
+                        .step_by(producers.max(1))
+                        .map(|input| {
+                            let t = std::time::Instant::now();
+                            let ticket =
+                                queue.submit(input.clone(), method).expect("queue is live");
+                            (t, ticket)
+                        })
+                        .collect();
+                    let mut local = Vec::with_capacity(submitted.len());
+                    for (t, ticket) in submitted {
+                        ticket.wait().expect("well-formed input serves");
+                        local.push(t.elapsed().as_secs_f64());
+                    }
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+        });
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[((lat.len() as f64 * q) as usize).min(lat.len() - 1)] * 1e3
+    };
+    let served = (rounds * inputs.len()) as f64;
+    (served / total.max(1e-12), pct(0.50), pct(0.99))
+}
+
+/// `repro bench_admission`: the coalesced-throughput / ticket-latency
+/// sweep across producer counts × linger windows behind the
+/// `admission_*` keys `bench_batch` records into `BENCH_batch.json`.
+pub fn admission_bench(
+    level: ScalingLevel,
+    scale: f64,
+    seed: u64,
+    users: usize,
+    k: usize,
+    producer_counts: &[usize],
+    lingers: &[usize],
+) -> Vec<Row> {
+    let (ds, inputs) = batch_inputs(level, scale, seed, users, k);
+    let g = &ds.kg.graph;
+    g.freeze();
+    let mut rows = Vec::new();
+    for &producers in producer_counts {
+        for &linger in lingers {
+            let (per_sec, p50, p99) = admission_run(g, &inputs, producers, linger, BATCH_REPS);
+            let x = format!("p{producers}/l{linger}");
+            rows.push(Row::new(
+                "user-centric",
+                "random",
+                "ST",
+                x.clone(),
+                "admission_summaries_per_sec",
+                per_sec,
+            ));
+            rows.push(Row::new(
+                "user-centric",
+                "random",
+                "ST",
+                x.clone(),
+                "admission_p50_latency_ms",
+                p50,
+            ));
+            rows.push(Row::new(
+                "user-centric",
+                "random",
+                "ST",
+                x,
+                "admission_p99_latency_ms",
+                p99,
+            ));
+        }
+    }
+    rows
 }
 
 /// `repro bench_shard`: scatter/gather KMB throughput per shard count

@@ -1,0 +1,1328 @@
+//! Async admission: a bounded submission queue with batch coalescing
+//! in front of the serving engines.
+//!
+//! [`SummaryEngine`] and [`ShardedEngine`] are synchronous: a service
+//! thread that wants to overlap request ingestion with an in-flight
+//! batch would need its own second thread pool, defeating the pinned
+//! [`WorkerPool`](xsum_graph::WorkerPool) design. [`AdmissionQueue`]
+//! closes that gap with plain std primitives — no external async
+//! runtime:
+//!
+//! ```text
+//!  producer threads ──submit()──► bounded queue ──► dispatcher thread
+//!       ▲   ▲                     (coalescing,          │  owns the
+//!   tickets resolve ◄─────────────  deadlines,          ▼  backend
+//!   (condvar slots)                 barriers)     SummaryEngine /
+//!                                                 ShardedEngine
+//! ```
+//!
+//! # The coalescing / deadline / backpressure contract
+//!
+//! * **Coalescing.** Queued single-summary requests with the same
+//!   [`BatchMethod`] (compared bit-level on the f64 config params, the
+//!   same fingerprint discipline as
+//!   [`CostModelKey`](crate::steiner::CostModelKey)) are merged into
+//!   one engine batch of at most [`AdmissionConfig::max_batch`]
+//!   requests, dispatched onto the backend's pinned pool in a single
+//!   wake-up. Because every engine path is bit-identical per input to
+//!   the free functions, *any* grouping the coalescer picks produces
+//!   outputs bit-identical to one direct
+//!   [`SummaryEngine::summarize_batch`] call over the same inputs —
+//!   pinned by `tests/prop_admission.rs`.
+//! * **Lingering — ticket-count driven, not wall-clock.** The
+//!   dispatcher holds off dispatching until
+//!   [`AdmissionConfig::linger_tickets`] requests are queued, letting
+//!   singles pile into bigger batches. There is deliberately **no
+//!   timer**: the linger window closes on ticket count, on an explicit
+//!   [`AdmissionQueue::flush`]/[`AdmissionQueue::drain`], on shutdown,
+//!   on a mutation barrier, or as soon as any consumer blocks on a
+//!   ticket ([`SummaryTicket::wait`] flushes everything up to and
+//!   including its own request, so lingering can never deadlock a
+//!   waiter). Determinism is the point: tests drive the exact same
+//!   dispatch boundaries on every run.
+//! * **Deadline / priority ordering.** Each request may carry an
+//!   optional deadline rank ([`AdmissionQueue::submit_with_deadline`];
+//!   lower dispatches sooner, `None` sorts last). Dispatch picks the
+//!   most urgent queued request as the batch leader and coalesces
+//!   method-compatible requests in urgency order behind it.
+//! * **Backpressure.** At most [`AdmissionConfig::queue_bound`]
+//!   requests may be queued. [`AdmissionQueue::try_submit`] is a pure
+//!   probe — on a full queue it returns
+//!   [`AdmissionError::QueueFull`] without side effects — while the
+//!   blocking [`AdmissionQueue::submit`] flushes the queue and waits
+//!   for room, so bound < linger cannot deadlock a producer.
+//! * **Mutation barriers.** [`AdmissionQueue::mutate`] enqueues a
+//!   graph mutation as a **barrier**: every request admitted before it
+//!   is served against the pre-mutation graph, every request after it
+//!   against the post-mutation graph (a pending barrier also closes
+//!   the linger window for the segment in front of it). On the sharded
+//!   backend the closure is applied coherently to every replica via
+//!   [`ShardedEngine::mutate`].
+//! * **Panic isolation.** A worker panic inside a coalesced batch is
+//!   caught by the backend (`try_*` paths) and the dispatcher retries
+//!   each member of the failed batch individually, so the
+//!   [`EngineError`] lands on **exactly the affected tickets**; the
+//!   unaffected co-batched requests and everything queued behind them
+//!   still complete (the PR 3 dirty-buffer recovery keeps the engine
+//!   serviceable).
+//! * **Shutdown drains.** [`AdmissionQueue::shutdown`] (and drop)
+//!   stops admitting, then the dispatcher drains everything already
+//!   queued — accepted tickets always resolve. Submitting afterwards
+//!   returns [`AdmissionError::ShutDown`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use xsum_graph::Graph;
+
+use crate::batch::BatchMethod;
+use crate::engine::{EngineError, SummaryEngine};
+use crate::input::SummaryInput;
+use crate::shard::ShardedEngine;
+use crate::summary::Summary;
+
+/// Lock `m`, recovering from poisoning (same discipline as the worker
+/// pool: state updates below never unwind mid-update, so poison only
+/// means "some other thread panicked", which must not cascade).
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs of an [`AdmissionQueue`] (see the module docs for the
+/// full contract).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum number of queued (admitted but not yet dispatched)
+    /// requests; beyond it [`AdmissionQueue::try_submit`] rejects and
+    /// [`AdmissionQueue::submit`] blocks. Clamped to ≥ 1.
+    pub queue_bound: usize,
+    /// Maximum requests coalesced into one engine batch. Clamped to ≥ 1.
+    pub max_batch: usize,
+    /// Ticket-count linger window: the dispatcher waits for this many
+    /// queued requests before coalescing a batch (`1` = dispatch as
+    /// soon as anything is queued). Closed early by flush / drain /
+    /// ticket waits / mutation barriers / shutdown, never by a timer.
+    pub linger_tickets: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_bound: 1024,
+            max_batch: 64,
+            linger_tickets: 1,
+        }
+    }
+}
+
+/// Admission-level failures (distinct from [`EngineError`], which is a
+/// *serving* failure carried inside a resolved ticket).
+#[derive(Debug)]
+pub enum AdmissionError {
+    /// [`AdmissionQueue::try_submit`] found the queue at its bound.
+    QueueFull,
+    /// The queue no longer admits requests (shut down or poisoned).
+    ShutDown,
+    /// A mutation barrier's closure panicked (see
+    /// [`AdmissionQueue::mutate`]); the queue is poisoned afterwards.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "admission queue full"),
+            AdmissionError::ShutDown => write!(f, "admission queue shut down"),
+            AdmissionError::Engine(e) => write!(f, "admission backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Where and how a ticket's request was dispatched — exposed so tests
+/// and dashboards can observe coalescing and ordering decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchMeta {
+    /// Monotone id of the coalesced batch that served the request
+    /// (earlier batches have smaller ids; mutation barriers do not
+    /// consume ids).
+    pub batch: u64,
+    /// How many requests the batch coalesced.
+    pub coalesced: usize,
+}
+
+/// Counters of one [`AdmissionQueue`] (a consistent snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted (tickets issued).
+    pub submitted: u64,
+    /// `try_submit` rejections on a full queue.
+    pub rejected: u64,
+    /// Tickets resolved with a summary.
+    pub completed: u64,
+    /// Tickets resolved with an [`EngineError`].
+    pub failed: u64,
+    /// Coalesced batches dispatched onto the backend.
+    pub batches_dispatched: u64,
+    /// Largest batch coalesced so far.
+    pub max_coalesced: usize,
+    /// Mutation barriers applied.
+    pub mutations_applied: u64,
+    /// Requests admitted while a batch was in flight — the ingestion/
+    /// dispatch overlap the queue exists to create (each of these rode
+    /// for free behind an already-running batch).
+    pub overlap_submissions: u64,
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub queued: usize,
+    /// Requests currently being served by the backend.
+    pub in_flight: usize,
+}
+
+/// The serving tier behind an [`AdmissionQueue`]: anything that can run
+/// a coalesced batch, a single summary (the panic-isolation fallback),
+/// and a coherent graph mutation. Implemented for
+/// `(Graph, SummaryEngine)` via [`AdmissionQueue::for_engine`] and for
+/// [`ShardedEngine`] via [`AdmissionQueue::for_sharded`].
+pub trait AdmissionBackend: Send + 'static {
+    /// Serve one coalesced batch; worker panics surface as `Err`.
+    fn run_batch(
+        &mut self,
+        inputs: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError>;
+
+    /// Serve one request in isolation (the per-ticket fallback after a
+    /// batch-level failure).
+    fn run_one(
+        &mut self,
+        input: &SummaryInput,
+        method: BatchMethod,
+    ) -> Result<Summary, EngineError>;
+
+    /// Apply one graph mutation coherently (every replica, epoch bump).
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph));
+}
+
+/// A [`SummaryEngine`] serving an owned graph — the single-engine
+/// admission backend.
+#[derive(Debug)]
+pub struct EngineBackend {
+    graph: Graph,
+    engine: SummaryEngine,
+}
+
+impl EngineBackend {
+    /// Backend over `graph` served by `engine`.
+    pub fn new(graph: Graph, engine: SummaryEngine) -> Self {
+        graph.freeze();
+        EngineBackend { graph, engine }
+    }
+}
+
+impl AdmissionBackend for EngineBackend {
+    fn run_batch(
+        &mut self,
+        inputs: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.engine
+                .summarize_batch_refs(&self.graph, inputs, method)
+        }))
+        .map_err(EngineError::from_panic)
+    }
+
+    fn run_one(
+        &mut self,
+        input: &SummaryInput,
+        method: BatchMethod,
+    ) -> Result<Summary, EngineError> {
+        self.engine.try_summarize(&self.graph, input, method)
+    }
+
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) {
+        f(&mut self.graph);
+    }
+}
+
+impl AdmissionBackend for ShardedEngine {
+    fn run_batch(
+        &mut self,
+        inputs: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.summarize_batch_refs(inputs, method)
+        }))
+        .map_err(EngineError::from_panic)
+    }
+
+    fn run_one(
+        &mut self,
+        input: &SummaryInput,
+        method: BatchMethod,
+    ) -> Result<Summary, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.summarize(input, method)))
+            .map_err(EngineError::from_panic)
+    }
+
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) {
+        self.mutate(|g| f(g));
+    }
+}
+
+/// A one-shot condvar-backed completion slot.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            value: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: T) {
+        *lock_recovering(&self.value) = Some(v);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> T {
+        let mut guard = lock_recovering(&self.value);
+        loop {
+            match guard.take() {
+                Some(v) => return v,
+                None => {
+                    guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        lock_recovering(&self.value).is_some()
+    }
+}
+
+type TicketSlot = Slot<(Result<Summary, EngineError>, DispatchMeta)>;
+
+/// The completion ticket of one admitted request. Resolve it with
+/// [`SummaryTicket::wait`] / [`SummaryTicket::wait_meta`]; waiting
+/// flushes the queue up to the ticket's own request, so a lingering
+/// coalescer can never deadlock the waiter.
+pub struct SummaryTicket {
+    slot: Arc<TicketSlot>,
+    shared: Arc<QueueShared>,
+    seq: u64,
+}
+
+impl std::fmt::Debug for SummaryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SummaryTicket")
+            .field("seq", &self.seq)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl SummaryTicket {
+    /// Block until the request was served; returns the summary or the
+    /// [`EngineError`] of the worker panic that hit this request.
+    pub fn wait(self) -> Result<Summary, EngineError> {
+        self.wait_meta().0
+    }
+
+    /// [`SummaryTicket::wait`] plus the [`DispatchMeta`] describing the
+    /// coalesced batch that served the request.
+    pub fn wait_meta(self) -> (Result<Summary, EngineError>, DispatchMeta) {
+        if !self.slot.is_ready() {
+            // Close the linger window up to and including this request.
+            let mut st = lock_recovering(&self.shared.state);
+            if st.flush_up_to <= self.seq {
+                st.flush_up_to = self.seq + 1;
+                drop(st);
+                self.shared.work_cv.notify_all();
+            }
+        }
+        self.slot.wait()
+    }
+
+    /// Non-blocking readiness probe (does not flush the queue).
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
+    }
+}
+
+/// One queued summary request.
+struct PendingRequest {
+    seq: u64,
+    /// Urgency rank: lower dispatches sooner, `None` sorts last.
+    deadline: Option<u64>,
+    input: SummaryInput,
+    method: BatchMethod,
+    slot: Arc<TicketSlot>,
+}
+
+impl PendingRequest {
+    fn urgency(&self) -> (u64, u64) {
+        (self.deadline.unwrap_or(u64::MAX), self.seq)
+    }
+}
+
+/// One queued operation, in admission order.
+enum QueuedOp {
+    Summary(PendingRequest),
+    /// A mutation barrier: everything before it serves pre-mutation,
+    /// everything after post-mutation.
+    Mutate {
+        f: Box<dyn FnMut(&mut Graph) + Send>,
+        done: Arc<Slot<Result<(), EngineError>>>,
+    },
+}
+
+/// Bit-level compatibility fingerprint for coalescing: two methods
+/// coalesce into one engine batch iff their variant and config bits
+/// match (the [`f64::to_bits`] discipline of
+/// [`CostModelKey`](crate::steiner::CostModelKey), so NaN configs are
+/// self-compatible and −0.0 ≠ 0.0).
+fn method_fingerprint(m: &BatchMethod) -> (u8, u64, u64, u64) {
+    // Exhaustive destructuring on purpose: adding a config field makes
+    // this fail to compile instead of being silently excluded from the
+    // fingerprint (which would coalesce requests whose configs differ
+    // only in the new field — serving them under the wrong config).
+    fn st_bits(c: &crate::steiner::SteinerConfig) -> (u64, u64) {
+        let crate::steiner::SteinerConfig { lambda, delta } = *c;
+        (lambda.to_bits(), delta.to_bits())
+    }
+    fn pcst_bits(c: &crate::pcst::PcstConfig) -> (u64, u64, u64) {
+        let crate::pcst::PcstConfig {
+            terminal_prize,
+            nonterminal_prize,
+            use_edge_weights,
+            scope,
+            prune,
+        } = *c;
+        let scope = match scope {
+            crate::pcst::PcstScope::UnionOfPaths => 0u64,
+            crate::pcst::PcstScope::ExpandedUnion(h) => 1 | ((h as u64) << 2),
+            crate::pcst::PcstScope::FullGraph => 2,
+        };
+        let flags = scope | ((use_edge_weights as u64) << 62) | ((prune as u64) << 63);
+        (terminal_prize.to_bits(), nonterminal_prize.to_bits(), flags)
+    }
+    match m {
+        BatchMethod::Steiner(c) => {
+            let (l, d) = st_bits(c);
+            (0, l, d, 0)
+        }
+        BatchMethod::SteinerFast(c) => {
+            let (l, d) = st_bits(c);
+            (1, l, d, 0)
+        }
+        BatchMethod::Pcst(c) => {
+            let (t, n, f) = pcst_bits(c);
+            (2, t, n, f)
+        }
+        BatchMethod::GwPcst(c) => {
+            let (t, n, f) = pcst_bits(c);
+            (3, t, n, f)
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<QueuedOp>,
+    /// Summary requests in `queue` (mutation barriers don't count
+    /// against the bound).
+    queued_summaries: usize,
+    next_seq: u64,
+    /// Requests with `seq < flush_up_to` dispatch regardless of the
+    /// linger window.
+    flush_up_to: u64,
+    in_flight: usize,
+    shutdown: bool,
+    stats: AdmissionStats,
+}
+
+struct QueueShared {
+    cfg: AdmissionConfig,
+    state: Mutex<QueueState>,
+    /// The dispatcher waits here for admissions / flushes / shutdown.
+    work_cv: Condvar,
+    /// Blocking producers wait here for queue room.
+    space_cv: Condvar,
+    /// `drain` waiters wait here for queue-empty + nothing in flight.
+    idle_cv: Condvar,
+}
+
+/// The bounded, coalescing admission queue (see module docs).
+///
+/// All submission methods take `&self`, so one queue can be shared by
+/// reference across producer threads (`std::thread::scope`) without any
+/// external synchronization.
+///
+/// ```
+/// use xsum_core::admission::{AdmissionConfig, AdmissionQueue};
+/// use xsum_core::render::table1_example;
+/// use xsum_core::{BatchMethod, SteinerConfig, SummaryEngine};
+///
+/// let ex = table1_example();
+/// let queue = AdmissionQueue::for_engine(
+///     ex.graph.clone(),
+///     SummaryEngine::with_threads(2),
+///     AdmissionConfig::default(),
+/// );
+/// let method = BatchMethod::Steiner(SteinerConfig::default());
+/// let ticket = queue.submit(ex.input(), method).unwrap();
+/// let summary = ticket.wait().unwrap();
+/// assert_eq!(summary.terminal_coverage(), 1.0);
+/// ```
+pub struct AdmissionQueue {
+    shared: Arc<QueueShared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AdmissionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("AdmissionQueue")
+            .field("config", &self.shared.cfg)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl AdmissionQueue {
+    /// A queue over any [`AdmissionBackend`]; the backend moves onto
+    /// the dispatcher thread, which owns it for the queue's lifetime.
+    pub fn new(backend: impl AdmissionBackend, cfg: AdmissionConfig) -> Self {
+        let cfg = AdmissionConfig {
+            queue_bound: cfg.queue_bound.max(1),
+            max_batch: cfg.max_batch.max(1),
+            linger_tickets: cfg.linger_tickets.max(1),
+        };
+        let shared = Arc::new(QueueShared {
+            cfg,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                queued_summaries: 0,
+                next_seq: 0,
+                flush_up_to: 0,
+                in_flight: 0,
+                shutdown: false,
+                stats: AdmissionStats::default(),
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let mut backend = backend;
+            std::thread::Builder::new()
+                .name("xsum-admission".to_string())
+                .spawn(move || dispatcher_loop(&shared, &mut backend))
+                .expect("spawn admission dispatcher")
+        };
+        AdmissionQueue {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A queue serving `graph` through `engine` (see [`EngineBackend`]).
+    pub fn for_engine(graph: Graph, engine: SummaryEngine, cfg: AdmissionConfig) -> Self {
+        Self::new(EngineBackend::new(graph, engine), cfg)
+    }
+
+    /// A queue serving a [`ShardedEngine`] (which owns its replicas'
+    /// graphs; mutation barriers go through [`ShardedEngine::mutate`]).
+    pub fn for_sharded(sharded: ShardedEngine, cfg: AdmissionConfig) -> Self {
+        Self::new(sharded, cfg)
+    }
+
+    /// The queue's configuration (as clamped at construction).
+    pub fn config(&self) -> AdmissionConfig {
+        self.shared.cfg
+    }
+
+    /// Admit one request, blocking while the queue is at its bound (a
+    /// blocked producer flushes the queue first, so a lingering
+    /// dispatcher always makes room). Errors only after shutdown.
+    pub fn submit(
+        &self,
+        input: SummaryInput,
+        method: BatchMethod,
+    ) -> Result<SummaryTicket, AdmissionError> {
+        self.submit_inner(input, method, None, true)
+    }
+
+    /// [`AdmissionQueue::submit`] with a deadline/priority rank: lower
+    /// ranks dispatch sooner; unranked requests sort after every ranked
+    /// one (FIFO among equals).
+    pub fn submit_with_deadline(
+        &self,
+        input: SummaryInput,
+        method: BatchMethod,
+        deadline: u64,
+    ) -> Result<SummaryTicket, AdmissionError> {
+        self.submit_inner(input, method, Some(deadline), true)
+    }
+
+    /// Non-blocking admission probe: on a full queue returns
+    /// [`AdmissionError::QueueFull`] immediately and leaves the queue
+    /// untouched (backpressure the producer can observe and shed).
+    pub fn try_submit(
+        &self,
+        input: SummaryInput,
+        method: BatchMethod,
+    ) -> Result<SummaryTicket, AdmissionError> {
+        self.submit_inner(input, method, None, false)
+    }
+
+    /// Admit a whole batch request: one ticket per input, admitted in
+    /// order (blocking for room like [`AdmissionQueue::submit`]). The
+    /// coalescer is free to merge them with other queued requests —
+    /// outputs are bit-identical either way.
+    pub fn submit_batch(
+        &self,
+        inputs: Vec<SummaryInput>,
+        method: BatchMethod,
+    ) -> Result<Vec<SummaryTicket>, AdmissionError> {
+        inputs
+            .into_iter()
+            .map(|input| self.submit(input, method))
+            .collect()
+    }
+
+    fn submit_inner(
+        &self,
+        input: SummaryInput,
+        method: BatchMethod,
+        deadline: Option<u64>,
+        block: bool,
+    ) -> Result<SummaryTicket, AdmissionError> {
+        let mut st = lock_recovering(&self.shared.state);
+        loop {
+            if st.shutdown {
+                return Err(AdmissionError::ShutDown);
+            }
+            if st.queued_summaries < self.shared.cfg.queue_bound {
+                break;
+            }
+            if !block {
+                st.stats.rejected += 1;
+                return Err(AdmissionError::QueueFull);
+            }
+            // Full: flush what's queued so the dispatcher frees room
+            // even when the linger window is wider than the bound.
+            st.flush_up_to = st.next_seq;
+            self.shared.work_cv.notify_all();
+            st = self
+                .shared
+                .space_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queued_summaries += 1;
+        st.stats.submitted += 1;
+        if st.in_flight > 0 {
+            st.stats.overlap_submissions += 1;
+        }
+        let slot = Arc::new(TicketSlot::new());
+        st.queue.push_back(QueuedOp::Summary(PendingRequest {
+            seq,
+            deadline,
+            input,
+            method,
+            slot: Arc::clone(&slot),
+        }));
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(SummaryTicket {
+            slot,
+            shared: Arc::clone(&self.shared),
+            seq,
+        })
+    }
+
+    /// Enqueue `f` as a mutation **barrier** and block until it was
+    /// applied: requests admitted before it serve the pre-mutation
+    /// graph, requests after it the post-mutation graph. If `f`
+    /// panics, the panic is returned as [`AdmissionError::Engine`] and
+    /// the queue is poisoned (backends may have diverged mid-mutation
+    /// — e.g. some shard replicas mutated, some not — so no further
+    /// request can be trusted): queued and future tickets fail.
+    pub fn mutate(&self, f: impl FnMut(&mut Graph) + Send + 'static) -> Result<(), AdmissionError> {
+        let done = Arc::new(Slot::new());
+        {
+            let mut st = lock_recovering(&self.shared.state);
+            if st.shutdown {
+                return Err(AdmissionError::ShutDown);
+            }
+            st.queue.push_back(QueuedOp::Mutate {
+                f: Box::new(f),
+                done: Arc::clone(&done),
+            });
+        }
+        self.shared.work_cv.notify_all();
+        done.wait().map_err(AdmissionError::Engine)
+    }
+
+    /// Close the linger window for everything currently queued (without
+    /// waiting for it to complete).
+    pub fn flush(&self) {
+        let mut st = lock_recovering(&self.shared.state);
+        st.flush_up_to = st.next_seq;
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Flush, then block until the queue is empty and nothing is in
+    /// flight — every ticket admitted before this call is resolved.
+    pub fn drain(&self) {
+        let mut st = lock_recovering(&self.shared.state);
+        st.flush_up_to = st.next_seq;
+        self.shared.work_cv.notify_all();
+        while !st.queue.is_empty() || st.in_flight > 0 {
+            st = self
+                .shared
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop admitting and let the dispatcher drain what's queued —
+    /// every already-issued ticket still resolves (shutdown-drain).
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        let mut st = lock_recovering(&self.shared.state);
+        if !st.shutdown {
+            st.shutdown = true;
+            st.flush_up_to = st.next_seq;
+        }
+        drop(st);
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub fn queued(&self) -> usize {
+        lock_recovering(&self.shared.state).queued_summaries
+    }
+
+    /// Requests currently being served by the backend — the admission-
+    /// level counterpart of
+    /// [`WorkerPool::in_flight`](xsum_graph::WorkerPool::in_flight).
+    pub fn in_flight(&self) -> usize {
+        lock_recovering(&self.shared.state).in_flight
+    }
+
+    /// A consistent snapshot of the queue's counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = lock_recovering(&self.shared.state);
+        let mut stats = st.stats;
+        stats.queued = st.queued_summaries;
+        stats.in_flight = st.in_flight;
+        stats
+    }
+}
+
+impl Drop for AdmissionQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What the dispatcher pulled off the queue for one round.
+enum Work {
+    Batch {
+        reqs: Vec<PendingRequest>,
+        batch_id: u64,
+    },
+    Mutation {
+        f: Box<dyn FnMut(&mut Graph) + Send>,
+        done: Arc<Slot<Result<(), EngineError>>>,
+    },
+}
+
+fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
+    loop {
+        let work = {
+            let mut st = lock_recovering(&shared.state);
+            loop {
+                if let Some(work) = next_work(&mut st, &shared.cfg) {
+                    if let Work::Batch { reqs, .. } = &work {
+                        st.queued_summaries -= reqs.len();
+                        st.in_flight = reqs.len();
+                        st.stats.batches_dispatched += 1;
+                        st.stats.max_coalesced = st.stats.max_coalesced.max(reqs.len());
+                        // Popping freed queue room.
+                        shared.space_cv.notify_all();
+                    }
+                    break work;
+                }
+                if st.shutdown && st.queue.is_empty() {
+                    return;
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        match work {
+            Work::Batch { reqs, batch_id } => {
+                let meta = DispatchMeta {
+                    batch: batch_id,
+                    coalesced: reqs.len(),
+                };
+                let method = reqs[0].method;
+                let inputs: Vec<&SummaryInput> = reqs.iter().map(|r| &r.input).collect();
+                let mut outcomes: Vec<Result<Summary, EngineError>> =
+                    match backend.run_batch(&inputs, method) {
+                        Ok(results) => {
+                            debug_assert_eq!(results.len(), reqs.len());
+                            results.into_iter().map(Ok).collect()
+                        }
+                        Err(_) => {
+                            // A worker panic somewhere in the coalesced
+                            // batch: retry each member in isolation so
+                            // the error lands on exactly the affected
+                            // tickets.
+                            reqs.iter()
+                                .map(|req| backend.run_one(&req.input, req.method))
+                                .collect()
+                        }
+                    };
+                // Count first, then resolve tickets: a waiter that
+                // wakes on its slot must already see itself counted.
+                let completed = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+                {
+                    let mut st = lock_recovering(&shared.state);
+                    st.stats.completed += completed;
+                    st.stats.failed += reqs.len() as u64 - completed;
+                }
+                for (req, outcome) in reqs.iter().zip(outcomes.drain(..)) {
+                    req.slot.put((outcome, meta));
+                }
+                // Only now clear `in_flight` and wake `drain`: its
+                // predicate is `queue empty && in_flight == 0`, so
+                // clearing earlier would let a drainer return (even on
+                // a spurious wakeup — no notify needed) while tickets
+                // were still unresolved. This ordering makes "drain
+                // returned" imply "tickets are ready".
+                let mut st = lock_recovering(&shared.state);
+                st.in_flight = 0;
+                if st.queue.is_empty() {
+                    shared.idle_cv.notify_all();
+                }
+            }
+            Work::Mutation { mut f, done } => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| backend.mutate_graph(&mut f)));
+                let mut st = lock_recovering(&shared.state);
+                match outcome {
+                    Ok(()) => {
+                        st.stats.mutations_applied += 1;
+                        done.put(Ok(()));
+                    }
+                    Err(payload) => {
+                        // Replicas may have diverged mid-closure; no
+                        // further output can be trusted. Poison: fail
+                        // everything queued, stop admitting.
+                        st.shutdown = true;
+                        let poisoned: Vec<QueuedOp> = st.queue.drain(..).collect();
+                        st.queued_summaries = 0;
+                        for op in poisoned {
+                            match op {
+                                QueuedOp::Summary(req) => {
+                                    st.stats.failed += 1;
+                                    req.slot.put((
+                                        Err(EngineError::from_message(
+                                            "admission queue poisoned by a panicked mutation",
+                                        )),
+                                        DispatchMeta {
+                                            batch: 0,
+                                            coalesced: 0,
+                                        },
+                                    ));
+                                }
+                                QueuedOp::Mutate { done, .. } => {
+                                    done.put(Err(EngineError::from_message(
+                                        "admission queue poisoned by a panicked mutation",
+                                    )));
+                                }
+                            }
+                        }
+                        done.put(Err(EngineError::from_panic(payload)));
+                        shared.space_cv.notify_all();
+                    }
+                }
+                if st.queue.is_empty() {
+                    shared.idle_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Decide the dispatcher's next round under the state lock: a mutation
+/// barrier at the head, a coalesced batch from the head segment once
+/// the linger window closes, or nothing yet (`None` → wait).
+fn next_work(st: &mut QueueState, cfg: &AdmissionConfig) -> Option<Work> {
+    if st.queue.is_empty() {
+        return None;
+    }
+    if matches!(st.queue.front(), Some(QueuedOp::Mutate { .. })) {
+        match st.queue.pop_front() {
+            Some(QueuedOp::Mutate { f, done }) => return Some(Work::Mutation { f, done }),
+            _ => unreachable!("front() said Mutate"),
+        }
+    }
+    // The head segment: contiguous summary requests before the next
+    // mutation barrier (coalescing never crosses a barrier).
+    let barrier = st
+        .queue
+        .iter()
+        .position(|op| matches!(op, QueuedOp::Mutate { .. }));
+    let seg_end = barrier.unwrap_or(st.queue.len());
+    let segment = || {
+        st.queue.iter().take(seg_end).map(|op| match op {
+            QueuedOp::Summary(r) => r,
+            QueuedOp::Mutate { .. } => unreachable!("segment precedes the barrier"),
+        })
+    };
+    let ready = st.shutdown
+        || barrier.is_some() // a waiting barrier closes the window
+        || seg_end >= cfg.linger_tickets
+        || segment().any(|r| r.seq < st.flush_up_to);
+    if !ready {
+        return None;
+    }
+    // Leader = most urgent request; coalesce method-compatible
+    // requests behind it in urgency order, up to max_batch.
+    let leader_fp = {
+        let leader = segment()
+            .min_by_key(|r| r.urgency())
+            .expect("non-empty segment");
+        method_fingerprint(&leader.method)
+    };
+    let mut picked: Vec<(u64, u64, u64)> = segment()
+        .filter(|r| method_fingerprint(&r.method) == leader_fp)
+        .map(|r| {
+            let (d, s) = r.urgency();
+            (d, s, r.seq)
+        })
+        .collect();
+    picked.sort_unstable();
+    picked.truncate(cfg.max_batch);
+    let chosen: std::collections::HashSet<u64> = picked.iter().map(|&(_, _, seq)| seq).collect();
+
+    // Extract the chosen requests (in urgency order) from the queue.
+    let mut taken: Vec<PendingRequest> = Vec::with_capacity(chosen.len());
+    let mut rest: VecDeque<QueuedOp> = VecDeque::with_capacity(st.queue.len());
+    for op in st.queue.drain(..) {
+        match op {
+            QueuedOp::Summary(r) if chosen.contains(&r.seq) => taken.push(r),
+            other => rest.push_back(other),
+        }
+    }
+    st.queue = rest;
+    taken.sort_unstable_by_key(|r| r.urgency());
+    Some(Work::Batch {
+        reqs: taken,
+        // The caller increments `batches_dispatched` right after; the
+        // id tickets see is that post-increment dispatch ordinal.
+        batch_id: st.stats.batches_dispatched + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcst::PcstConfig;
+    use crate::render::table1_example;
+    use crate::steiner::SteinerConfig;
+
+    fn st_method() -> BatchMethod {
+        BatchMethod::Steiner(SteinerConfig::default())
+    }
+
+    fn assert_same(a: &Summary, b: &Summary) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+        assert_eq!(a.subgraph.sorted_nodes(), b.subgraph.sorted_nodes());
+    }
+
+    #[test]
+    fn single_submit_round_trips() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig::default(),
+        );
+        let got = queue
+            .submit(ex.input(), st_method())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_same(&got, &st_method().run(&ex.graph, &ex.input()));
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn linger_coalesces_by_ticket_count() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: 3,
+            },
+        );
+        // Two submissions stay below the linger window.
+        let t1 = queue.submit(ex.input(), st_method()).unwrap();
+        let t2 = queue.submit(ex.input(), st_method()).unwrap();
+        // The third closes it; everything coalesces into one batch.
+        let t3 = queue.submit(ex.input(), st_method()).unwrap();
+        queue.drain();
+        let stats = queue.stats();
+        assert_eq!(stats.batches_dispatched, 1, "one coalesced dispatch");
+        assert_eq!(stats.max_coalesced, 3);
+        for t in [t1, t2, t3] {
+            let (res, meta) = t.wait_meta();
+            assert_same(&res.unwrap(), &st_method().run(&ex.graph, &ex.input()));
+            assert_eq!(meta.coalesced, 3);
+            assert_eq!(meta.batch, 1);
+        }
+    }
+
+    #[test]
+    fn ticket_wait_flushes_a_lingering_queue() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // never closes on count
+            },
+        );
+        let t = queue.submit(ex.input(), st_method()).unwrap();
+        // wait() must flush (not deadlock on the infinite linger).
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn deadlines_order_dispatch() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 2,
+                linger_tickets: 4,
+            },
+        );
+        // Two unranked requests first, then two urgent ones.
+        let slow1 = queue.submit(ex.input(), st_method()).unwrap();
+        let slow2 = queue.submit(ex.input(), st_method()).unwrap();
+        let fast1 = queue
+            .submit_with_deadline(ex.input(), st_method(), 0)
+            .unwrap();
+        let fast2 = queue
+            .submit_with_deadline(ex.input(), st_method(), 1)
+            .unwrap();
+        queue.drain();
+        // max_batch 2: the deadline-ranked pair dispatches first even
+        // though it was admitted last.
+        let (_, meta_fast1) = fast1.wait_meta();
+        let (_, meta_fast2) = fast2.wait_meta();
+        let (_, meta_slow1) = slow1.wait_meta();
+        let (_, meta_slow2) = slow2.wait_meta();
+        assert_eq!(meta_fast1.batch, meta_fast2.batch);
+        assert_eq!(meta_slow1.batch, meta_slow2.batch);
+        assert!(
+            meta_fast1.batch < meta_slow1.batch,
+            "deadline-ranked requests must dispatch before unranked ones"
+        );
+    }
+
+    #[test]
+    fn mixed_methods_split_into_compatible_batches() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: 4,
+            },
+        );
+        let pcst = BatchMethod::Pcst(PcstConfig::default());
+        let a = queue.submit(ex.input(), st_method()).unwrap();
+        let b = queue.submit(ex.input(), pcst).unwrap();
+        let c = queue.submit(ex.input(), st_method()).unwrap();
+        let d = queue.submit(ex.input(), pcst).unwrap();
+        queue.drain();
+        let (ra, ma) = a.wait_meta();
+        let (rb, mb) = b.wait_meta();
+        let (rc, mc) = c.wait_meta();
+        let (rd, md) = d.wait_meta();
+        assert_eq!(ma.batch, mc.batch, "same method coalesces");
+        assert_eq!(mb.batch, md.batch);
+        assert_ne!(ma.batch, mb.batch, "methods never share a batch");
+        assert_same(&ra.unwrap(), &st_method().run(&ex.graph, &ex.input()));
+        assert_same(&rb.unwrap(), &pcst.run(&ex.graph, &ex.input()));
+        assert_same(&rc.unwrap(), &st_method().run(&ex.graph, &ex.input()));
+        assert_same(&rd.unwrap(), &pcst.run(&ex.graph, &ex.input()));
+        assert_eq!(queue.stats().batches_dispatched, 2);
+    }
+
+    #[test]
+    fn try_submit_backpressure_is_observable_and_recoverable() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 3,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // hold everything: bound must fill
+            },
+        );
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(queue.try_submit(ex.input(), st_method()).unwrap());
+        }
+        assert_eq!(queue.queued(), 3);
+        // Full: the probe rejects without side effects.
+        match queue.try_submit(ex.input(), st_method()) {
+            Err(AdmissionError::QueueFull) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(queue.stats().rejected, 1);
+        // Draining resolves the admitted tickets and frees the bound.
+        queue.drain();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        queue
+            .try_submit(ex.input(), st_method())
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+
+    #[test]
+    fn blocking_submit_flushes_past_a_full_queue() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 2,
+                max_batch: 4,
+                linger_tickets: usize::MAX,
+            },
+        );
+        // 3 blocking submits through a bound of 2: the third must flush
+        // and wait for room instead of deadlocking.
+        let tickets: Vec<_> = (0..3)
+            .map(|_| queue.submit(ex.input(), st_method()).unwrap())
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn mutation_is_a_barrier_between_segments() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // barrier must close the window itself
+            },
+        );
+        let before = queue.submit(input.clone(), method).unwrap();
+        let e = xsum_graph::EdgeId(0);
+        queue.mutate(move |g| g.set_weight(e, 0.125)).unwrap();
+        let after = queue.submit(input.clone(), method).unwrap();
+
+        let mut pre = ex.graph.clone();
+        let want_before = method.run(&pre, &input);
+        pre.set_weight(e, 0.125);
+        let want_after = method.run(&pre, &input);
+        assert_same(&before.wait().unwrap(), &want_before);
+        assert_same(&after.wait().unwrap(), &want_after);
+        assert_eq!(queue.stats().mutations_applied, 1);
+    }
+
+    #[test]
+    fn panicked_mutation_poisons_the_queue() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+        );
+        // A request admitted *before* the barrier serves the
+        // pre-mutation graph — the barrier flushes it first.
+        let pre_barrier = queue.submit(ex.input(), st_method()).unwrap();
+        let err = queue.mutate(|_| panic!("bad mutation"));
+        assert!(matches!(err, Err(AdmissionError::Engine(_))));
+        assert!(pre_barrier.wait().is_ok(), "pre-barrier request serves");
+        // After the poisoning the queue no longer admits; a request
+        // racing in behind the barrier would instead have resolved to
+        // an error ticket (both outcomes are "no silent hang").
+        match queue.submit(ex.input(), st_method()) {
+            Err(AdmissionError::ShutDown) => {}
+            Ok(ticket) => assert!(ticket.wait().is_err()),
+            Err(other) => panic!("unexpected admission error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 4,
+                linger_tickets: usize::MAX, // held until shutdown flushes
+            },
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|_| queue.submit(ex.input(), st_method()).unwrap())
+            .collect();
+        queue.shutdown();
+        for t in tickets {
+            assert_same(&t.wait().unwrap(), &st_method().run(&ex.graph, &ex.input()));
+        }
+        assert!(matches!(
+            queue.submit(ex.input(), st_method()),
+            Err(AdmissionError::ShutDown)
+        ));
+        assert_eq!(queue.stats().completed, 6);
+    }
+
+    #[test]
+    fn sharded_backend_serves_and_mutates() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        let sharded = ShardedEngine::with_threads(&ex.graph, 2, 1);
+        let queue = AdmissionQueue::for_sharded(sharded, AdmissionConfig::default());
+        let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+        assert_same(&got, &method.run(&ex.graph, &input));
+        let e = xsum_graph::EdgeId(0);
+        queue.mutate(move |g| g.set_weight(e, 0.25)).unwrap();
+        let mut reference = ex.graph.clone();
+        reference.set_weight(e, 0.25);
+        let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+        assert_same(&got, &method.run(&reference, &input));
+    }
+
+    #[test]
+    fn worker_panic_hits_exactly_the_affected_tickets() {
+        // Satellite: panic recovery under admission — a poisoned input
+        // coalesced with good ones must fail only its own ticket, and
+        // requests queued behind the batch still complete.
+        let ex = table1_example();
+        let input = ex.input();
+        let mut bad = input.clone();
+        bad.terminals = vec![
+            xsum_graph::NodeId(u32::MAX - 2),
+            xsum_graph::NodeId(u32::MAX - 1),
+        ];
+        for threads in [1usize, 2] {
+            let queue = AdmissionQueue::for_engine(
+                ex.graph.clone(),
+                SummaryEngine::with_threads(threads),
+                AdmissionConfig {
+                    queue_bound: 64,
+                    max_batch: 8,
+                    linger_tickets: 3, // good + bad + good coalesce together
+                },
+            );
+            let good1 = queue.submit(input.clone(), st_method()).unwrap();
+            let poisoned = queue.submit(bad.clone(), st_method()).unwrap();
+            let good2 = queue.submit(input.clone(), st_method()).unwrap();
+            queue.drain();
+            assert_same(&good1.wait().unwrap(), &st_method().run(&ex.graph, &input));
+            assert!(poisoned.wait().is_err(), "poisoned ticket must error");
+            assert_same(&good2.wait().unwrap(), &st_method().run(&ex.graph, &input));
+            // Later traffic is unaffected.
+            let later = queue.submit(input.clone(), st_method()).unwrap();
+            assert_same(&later.wait().unwrap(), &st_method().run(&ex.graph, &input));
+            let stats = queue.stats();
+            assert_eq!(stats.failed, 1);
+            assert_eq!(stats.completed, 3);
+        }
+    }
+
+    #[test]
+    fn overlap_submissions_are_counted() {
+        // Producers submitting while a batch is in flight ride behind
+        // it — the stat that shows ingestion/dispatch overlap happens.
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 256,
+                max_batch: 4,
+                linger_tickets: 1,
+            },
+        );
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            tickets.push(queue.submit(ex.input(), st_method()).unwrap());
+        }
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        // Not asserted > 0: a fast backend may clear every batch before
+        // the next submit lands. The counter is exercised above and the
+        // stats stay internally consistent.
+        let stats = queue.stats();
+        assert_eq!(stats.completed, 64);
+        assert!(stats.overlap_submissions <= stats.submitted);
+        assert!(stats.batches_dispatched >= 1);
+    }
+}

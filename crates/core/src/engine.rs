@@ -59,6 +59,14 @@ pub struct EngineError {
 }
 
 impl EngineError {
+    /// A serving error that did not come from a panic payload — e.g.
+    /// the admission queue failing tickets it can no longer serve.
+    pub(crate) fn from_message(message: impl Into<String>) -> Self {
+        EngineError {
+            message: message.into(),
+        }
+    }
+
     pub(crate) fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
         let message = payload
             .downcast_ref::<&str>()
@@ -233,6 +241,14 @@ impl SummaryEngine {
     /// Number of pinned worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Queue-depth probe of the pinned pool: how many workers are still
+    /// running the current dispatch (`0` = parked). Forwarded from
+    /// [`WorkerPool::in_flight`]; an admission front-end polls this to
+    /// decide whether to keep coalescing while a batch is in flight.
+    pub fn pool_in_flight(&self) -> usize {
+        self.pool.in_flight()
     }
 
     /// `(hits, misses)` of the engine's cost-model cache — a miss is one

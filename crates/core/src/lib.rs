@@ -58,10 +58,20 @@
 //!   dispatched onto the replicas' pools concurrently, gathered in
 //!   input order, bit-identical to a single engine), shard-affine
 //!   session stores, and coherent cross-replica mutation
-//!   ([`ShardedEngine::mutate`]).
+//!   ([`ShardedEngine::mutate`]);
+//! * [`AdmissionQueue`] makes either engine *asynchronous* without an
+//!   async runtime: a bounded submission queue accepting single and
+//!   batch requests from many producer threads, coalescing queued
+//!   singles into engine batches (ticket-count linger window,
+//!   deadline-aware ordering), resolving condvar-backed
+//!   [`SummaryTicket`]s, applying graph mutations as barriers, and
+//!   isolating worker panics to exactly the affected tickets —
+//!   bit-identical to direct [`SummaryEngine::summarize_batch`] calls
+//!   (`tests/prop_admission.rs`).
 //!
 //! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
+pub mod admission;
 pub mod batch;
 pub mod engine;
 pub mod exact;
@@ -80,6 +90,10 @@ pub mod steiner;
 pub mod summary;
 pub mod weighting;
 
+pub use admission::{
+    AdmissionBackend, AdmissionConfig, AdmissionError, AdmissionQueue, AdmissionStats,
+    DispatchMeta, EngineBackend, SummaryTicket,
+};
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
 pub use engine::{EngineError, SummaryEngine};
 pub use exact::{

@@ -51,6 +51,15 @@ impl SessionKey {
             baseline: baseline.into(),
         }
     }
+
+    /// Key identified by a graph node — the user/focus *node* the
+    /// session's batch inputs are anchored at. Sessions keyed this way
+    /// are guaranteed shard-coherent with the anchor's batch requests
+    /// under the default [`HashRouter`](crate::shard::HashRouter),
+    /// which routes both by the same node identity.
+    pub fn for_node(node: NodeId, baseline: impl Into<String>) -> Self {
+        Self::new(node.0 as u64, baseline)
+    }
 }
 
 /// The two incremental growth strategies behind one session surface.
@@ -199,10 +208,61 @@ struct StoredSession {
 /// The exact configuration a session was created with. Compared — not
 /// hashed — on lookup, so a session grown under different costs/prizes
 /// can never be resumed by accident.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 enum SessionConfig {
     Steiner(SteinerConfig),
     Pcst(Scenario, PcstConfig),
+}
+
+/// Config equality is **bit-level** on the f64 parameters (λ/δ/prizes),
+/// not IEEE `==`: under IEEE semantics a NaN-parameterized config would
+/// never equal itself (every lookup replaces the session it just
+/// built — a permanent self-mismatch), while `-0.0 == 0.0` would let a
+/// session grown under one sign of zero resume under the other even
+/// though the two configs are distinguishable bit patterns (and are
+/// distinct keys in [`crate::steiner::CostModelKey`], which already
+/// fingerprints via [`f64::to_bits`] — this keeps the two layers'
+/// notions of "same config" aligned).
+impl PartialEq for SessionConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring on purpose: a field added to either
+        // config struct fails to compile here instead of being silently
+        // excluded from the fingerprint (which would resume sessions
+        // across genuinely different configs).
+        match (self, other) {
+            (SessionConfig::Steiner(a), SessionConfig::Steiner(b)) => {
+                let SteinerConfig { lambda, delta } = *a;
+                let SteinerConfig {
+                    lambda: lambda_b,
+                    delta: delta_b,
+                } = *b;
+                (lambda.to_bits(), delta.to_bits()) == (lambda_b.to_bits(), delta_b.to_bits())
+            }
+            (SessionConfig::Pcst(sa, a), SessionConfig::Pcst(sb, b)) => {
+                let PcstConfig {
+                    terminal_prize,
+                    nonterminal_prize,
+                    use_edge_weights,
+                    scope,
+                    prune,
+                } = *a;
+                let PcstConfig {
+                    terminal_prize: terminal_b,
+                    nonterminal_prize: nonterminal_b,
+                    use_edge_weights: use_edge_weights_b,
+                    scope: scope_b,
+                    prune: prune_b,
+                } = *b;
+                sa == sb
+                    && terminal_prize.to_bits() == terminal_b.to_bits()
+                    && nonterminal_prize.to_bits() == nonterminal_b.to_bits()
+                    && use_edge_weights == use_edge_weights_b
+                    && scope == scope_b
+                    && prune == prune_b
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Upper bound on retained spare workspaces (a workspace is a few
@@ -622,6 +682,76 @@ mod tests {
         let s = store.steiner_session(&ex.graph, key(1), &input, &a);
         assert_eq!(s.terminal_count(), 0);
         assert_eq!(store.misses(), 3);
+    }
+
+    #[test]
+    fn nan_config_matches_its_own_fingerprint() {
+        // Satellite regression: under derived (IEEE) f64 equality a NaN
+        // λ never equals itself, so a NaN-configured session could never
+        // be resumed — every lookup silently replaced the session it
+        // built one call earlier. Bit-level fingerprinting must treat
+        // the identical NaN bit pattern as the same config.
+        let ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig {
+            lambda: f64::NAN,
+            delta: 1.0,
+        };
+        let mut store = SessionStore::new(4);
+        store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!((store.hits(), store.misses()), (1, 1), "NaN config resumes");
+        assert_eq!(store.len(), 1);
+        // A *different* NaN bit pattern is a different config.
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other_nan.is_nan());
+        let cfg2 = SteinerConfig {
+            lambda: other_nan,
+            delta: 1.0,
+        };
+        store.steiner_session(&ex.graph, key(1), &input, &cfg2);
+        assert_eq!((store.hits(), store.misses()), (1, 2));
+
+        // Same for PCST prize params.
+        let pc = PcstConfig {
+            terminal_prize: f64::NAN,
+            ..PcstConfig::default()
+        };
+        store.pcst_session(&ex.graph, key(2), Scenario::UserCentric, pc);
+        store.pcst_session(&ex.graph, key(2), Scenario::UserCentric, pc);
+        assert_eq!(store.hits(), 2, "NaN prize config resumes too");
+    }
+
+    #[test]
+    fn signed_zero_configs_are_distinct() {
+        // Satellite regression: IEEE `-0.0 == 0.0` would resume a
+        // session grown under λ = 0.0 when looked up with λ = -0.0 —
+        // two bit-distinct configs (and two distinct cost-model cache
+        // keys, which already compare via to_bits). The store must
+        // replace, not resume.
+        let ex = table1_example();
+        let input = ex.input();
+        let mut store = SessionStore::new(4);
+        let pos = SteinerConfig {
+            lambda: 0.0,
+            delta: 1.0,
+        };
+        let neg = SteinerConfig {
+            lambda: -0.0,
+            delta: 1.0,
+        };
+        let s = store.steiner_session(&ex.graph, key(1), &input, &pos);
+        s.add_terminal(&ex.graph, ex.user1);
+        let n = store.steiner_session(&ex.graph, key(1), &input, &neg);
+        assert_eq!(
+            n.terminal_count(),
+            0,
+            "-0.0 must not resume the 0.0 session"
+        );
+        assert_eq!((store.hits(), store.misses()), (0, 2));
+        // And each sign still matches itself.
+        store.steiner_session(&ex.graph, key(1), &input, &neg);
+        assert_eq!(store.hits(), 1);
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //! replicas hold true sub-graphs, the same hook decides which partition
 //! owns which request.
 
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use xsum_graph::{fxhash::FxHasher, num_threads, parallel_zip_map, EdgeId, Graph, NodeId};
@@ -92,13 +92,23 @@ pub trait ShardRouter: std::fmt::Debug + Send {
     fn route_session(&self, key: &SessionKey, shards: usize) -> usize;
 }
 
-/// The default router: Fx-hash of the request's user/baseline identity.
+/// The default router: Fx-hash of the request's user identity.
 ///
 /// Batch inputs are routed by their *anchor node* — the source of the
 /// first explanation path (the user in user-centric inputs, a member
 /// user otherwise), falling back to the first terminal for path-free
 /// inputs — so all of one user's requests land on the same replica.
-/// Sessions are routed by hashing the full `(user, baseline)` key.
+///
+/// **Affinity coherence:** sessions are routed by hashing exactly the
+/// same 64-bit identity ([`SessionKey::user`]) the batch path hashes
+/// for its anchor, so a session keyed by its anchor node
+/// ([`SessionKey::for_node`]) is *guaranteed* to live on the replica
+/// that serves the anchor's batch requests — a user's incremental
+/// state and their batch traffic can never split across replicas. The
+/// baseline label deliberately does **not** participate in routing
+/// (it would break that guarantee); it distinguishes sessions *within*
+/// a shard's store. Pinned by [`HashRouter::routing_anchor`] tests
+/// across shard counts {1, 2, 4}.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HashRouter;
 
@@ -106,25 +116,35 @@ impl HashRouter {
     fn bucket(hash: u64, shards: usize) -> usize {
         (hash % shards.max(1) as u64) as usize
     }
-}
 
-impl ShardRouter for HashRouter {
-    fn route_input(&self, input: &SummaryInput, shards: usize) -> usize {
-        let anchor: NodeId = input
+    fn bucket_of_identity(identity: u64, shards: usize) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u64(identity);
+        Self::bucket(h.finish(), shards)
+    }
+
+    /// The node whose identity routes `input`: the source of the first
+    /// explanation path, falling back to the first terminal for
+    /// path-free inputs. Keying a session with
+    /// [`SessionKey::for_node`] on this node co-locates it with the
+    /// input's batch traffic.
+    pub fn routing_anchor(input: &SummaryInput) -> NodeId {
+        input
             .paths
             .first()
             .map(|p| p.source())
             .or_else(|| input.terminals.first().copied())
-            .unwrap_or(NodeId(0));
-        let mut h = FxHasher::default();
-        h.write_u32(anchor.0);
-        Self::bucket(h.finish(), shards)
+            .unwrap_or(NodeId(0))
+    }
+}
+
+impl ShardRouter for HashRouter {
+    fn route_input(&self, input: &SummaryInput, shards: usize) -> usize {
+        Self::bucket_of_identity(Self::routing_anchor(input).0 as u64, shards)
     }
 
     fn route_session(&self, key: &SessionKey, shards: usize) -> usize {
-        let mut h = FxHasher::default();
-        key.hash(&mut h);
-        Self::bucket(h.finish(), shards)
+        Self::bucket_of_identity(key.user, shards)
     }
 }
 
@@ -268,24 +288,45 @@ impl ShardedEngine {
         inputs: &[SummaryInput],
         method: BatchMethod,
     ) -> Vec<Summary> {
+        self.summarize_batch_impl(inputs, method)
+    }
+
+    /// [`ShardedEngine::summarize_batch`] over borrowed inputs — the
+    /// admission queue's dispatch path, which coalesces queued requests
+    /// into a batch without cloning any `SummaryInput`. Same body as
+    /// the owned entry point (one generic implementation), so the two
+    /// cannot drift.
+    pub(crate) fn summarize_batch_refs(
+        &mut self,
+        inputs: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Vec<Summary> {
+        self.summarize_batch_impl(inputs, method)
+    }
+
+    fn summarize_batch_impl<T>(&mut self, inputs: &[T], method: BatchMethod) -> Vec<Summary>
+    where
+        T: std::borrow::Borrow<SummaryInput> + Sync,
+    {
         let n = self.replicas.len();
         if inputs.is_empty() {
             return Vec::new();
         }
         if n == 1 {
             let r = &mut self.replicas[0];
-            return r.engine.summarize_batch(&r.graph, inputs, method);
+            let refs: Vec<&SummaryInput> = inputs.iter().map(|i| i.borrow()).collect();
+            return r.engine.summarize_batch_refs(&r.graph, &refs, method);
         }
         // Scatter: per-shard lists of original input positions plus
         // *borrowed* sub-batches — routing a batch allocates only these
         // index/pointer vectors, never a `SummaryInput`.
         let mut plan: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, input) in inputs.iter().enumerate() {
-            plan[self.router.route_input(input, n).min(n - 1)].push(i);
+            plan[self.router.route_input(input.borrow(), n).min(n - 1)].push(i);
         }
         let subs: Vec<Vec<&SummaryInput>> = plan
             .iter()
-            .map(|indices| indices.iter().map(|&i| &inputs[i]).collect())
+            .map(|indices| indices.iter().map(|&i| inputs[i].borrow()).collect())
             .collect();
         // Dispatch: replica i serves exactly sub-batch i, concurrently.
         // Idle replicas (empty sub-batch) are skipped — they would
@@ -593,6 +634,32 @@ mod tests {
                 router.route_session(&key, shards),
                 router.route_session(&key, shards)
             );
+        }
+    }
+
+    #[test]
+    fn router_affinity_is_coherent_between_inputs_and_sessions() {
+        // Satellite regression: `shard_of_input` and `shard_of_session`
+        // must agree for the same (user, baseline) identity — otherwise
+        // a user's incremental session state and their batch requests
+        // land on different replicas and the session store can never
+        // warm up. Verified across shard counts {1, 2, 4} and every
+        // input shape of the mixed fixture.
+        let (g, inputs) = mixed_inputs();
+        for shards in [1usize, 2, 4] {
+            let sharded = ShardedEngine::with_threads(&g, shards, 1);
+            for input in &inputs {
+                let anchor = HashRouter::routing_anchor(input);
+                for baseline in ["pgpr", "cafe", "plm"] {
+                    let key = SessionKey::for_node(anchor, baseline);
+                    assert_eq!(
+                        sharded.shard_of_input(input),
+                        sharded.shard_of_session(&key),
+                        "input and session for anchor {anchor:?} split \
+                         across replicas at {shards} shards"
+                    );
+                }
+            }
         }
     }
 

@@ -149,11 +149,46 @@ impl WorkerPool {
     /// statically rules out overlapping dispatches racing the shared
     /// job slot.
     fn dispatch(&mut self, active: usize, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the guard is consumed by `wait` on the very next
+        // expression — it cannot be leaked.
+        unsafe { self.try_dispatch(active, job) }.wait();
+    }
+
+    /// Begin `job(worker_index)` on `active` pool threads **without
+    /// blocking**: the workers are woken and this call returns
+    /// immediately with an [`InFlightJob`] guard. The caller overlaps
+    /// its own work (e.g. an admission layer ingesting the next batch)
+    /// with the in-flight job and then calls [`InFlightJob::wait`],
+    /// which blocks until every worker is done and re-raises the first
+    /// worker panic.
+    ///
+    /// The guard mutably borrows the pool, so a second dispatch cannot
+    /// start while one is in flight; dropping the guard without calling
+    /// `wait` still blocks until completion (the job borrows caller
+    /// data that must outlive every worker dereference).
+    ///
+    /// # Safety
+    ///
+    /// The returned guard must be allowed to run its `wait`/drop glue
+    /// before `'p` ends: the caller must **not leak it**
+    /// (`std::mem::forget`, `Box::leak`, an `Rc` cycle, …). A leaked
+    /// guard lets the workers keep dereferencing `job` after its frame
+    /// is gone — use-after-free (the pre-1.0 `JoinGuard` hazard; Rust
+    /// does not guarantee drops run, so this contract cannot be
+    /// encoded in the types).
+    pub unsafe fn try_dispatch<'p>(
+        &'p mut self,
+        active: usize,
+        job: &'p (dyn Fn(usize) + Sync),
+    ) -> InFlightJob<'p> {
         self.ensure_spawned();
         let active = active.min(self.size).max(1);
         // SAFETY: pure lifetime erasure on a fat pointer ('_ → 'static);
-        // the pointee provably outlives every dereference because this
-        // function blocks until `remaining == 0`.
+        // the pointee outlives every dereference because the returned
+        // guard blocks (in `wait` or `drop`) until `remaining == 0` and
+        // borrows both the pool and the job for 'p — upheld by this
+        // function's safety contract: the caller must not leak the
+        // guard.
         let erased = Job(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),
@@ -168,19 +203,26 @@ impl WorkerPool {
         st.seq += 1;
         drop(st);
         self.shared.work_cv.notify_all();
-        let mut st = lock_recovering(&self.shared.state);
-        while st.remaining > 0 {
-            st = self
-                .shared
-                .done_cv
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+        InFlightJob {
+            shared: &self.shared,
+            joined: false,
         }
-        st.job = None;
-        if let Some(payload) = st.panic.take() {
-            drop(st);
-            resume_unwind(payload);
-        }
+    }
+
+    /// Queue-depth probe: how many workers are still running (or have
+    /// yet to observe) the current job. `0` means the pool is idle and
+    /// the next dispatch starts immediately. Non-blocking beyond the
+    /// state mutex; safe to call from threads that do not own the pool
+    /// (e.g. an admission front-end deciding whether to keep lingering
+    /// while a batch is in flight).
+    pub fn in_flight(&self) -> usize {
+        lock_recovering(&self.shared.state).remaining
+    }
+
+    /// Whether no job is currently in flight (see
+    /// [`WorkerPool::in_flight`]).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight() == 0
     }
 
     /// [`parallel_map_with`](crate::parallel_map_with) semantics on the
@@ -250,6 +292,67 @@ impl WorkerPool {
     }
 }
 
+/// A dispatched-but-not-yet-joined pool job (see
+/// [`WorkerPool::try_dispatch`]). Holding one means workers may still
+/// be running the borrowed job closure; both [`InFlightJob::wait`] and
+/// the drop glue block until they are done, so the borrow can never
+/// dangle.
+#[must_use = "an in-flight job must be waited on (drop blocks too)"]
+pub struct InFlightJob<'p> {
+    shared: &'p Arc<Shared>,
+    joined: bool,
+}
+
+impl InFlightJob<'_> {
+    /// Block until every worker has finished the job, then re-raise the
+    /// first worker panic (if any) on this thread.
+    pub fn wait(mut self) {
+        self.joined = true;
+        if let Some(payload) = self.join_inner() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Queue-depth probe while the job is in flight (see
+    /// [`WorkerPool::in_flight`]).
+    pub fn in_flight(&self) -> usize {
+        lock_recovering(&self.shared.state).remaining
+    }
+
+    /// Wait for `remaining == 0`, clear the job slot (the pointee is
+    /// about to go out of scope — a stale pointer must not survive in
+    /// shared state), and take any panic payload.
+    fn join_inner(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut st = lock_recovering(&self.shared.state);
+        while st.remaining > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        st.panic.take()
+    }
+}
+
+impl Drop for InFlightJob<'_> {
+    fn drop(&mut self) {
+        if self.joined {
+            return;
+        }
+        let payload = self.join_inner();
+        // A dropped (never-waited) guard still surfaces worker panics —
+        // unless we are already unwinding, where a second panic would
+        // abort the process.
+        if let Some(payload) = payload {
+            if !std::thread::panicking() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
 /// A raw pointer that crosses the dispatch boundary. Disjoint-index
 /// access is guaranteed by the `map_with` job body.
 struct SendPtr<S>(*mut S);
@@ -270,10 +373,17 @@ impl Drop for WorkerPool {
         {
             let mut st = lock_recovering(&self.shared.state);
             st.shutdown = true;
+            // Clear the job pointer eagerly: after the last dispatch
+            // returned, it refers to a dead stack frame, and no worker
+            // may dereference it during the shutdown wake-up below.
+            st.job = None;
         }
         self.shared.work_cv.notify_all();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            let joined = h.join();
+            // Workers catch job panics inside the loop; a panicked
+            // worker thread here means the pool protocol itself broke.
+            debug_assert!(joined.is_ok(), "pool worker panicked outside a job");
         }
     }
 }
@@ -284,6 +394,10 @@ fn worker_loop(shared: &Shared, idx: usize) {
         let job = {
             let mut st = lock_recovering(&shared.state);
             loop {
+                // Shutdown takes precedence over any pending sequence
+                // observation: once the pool handle started dropping,
+                // `st.job` is cleared (the dispatcher's closure frame
+                // may be gone) and must never be dereferenced again.
                 if st.shutdown {
                     return;
                 }
@@ -295,7 +409,15 @@ fn worker_loop(shared: &Shared, idx: usize) {
                         // without touching the completion count.
                         continue;
                     }
-                    break st.job.expect("seq bumped without a job");
+                    match st.job {
+                        Some(job) => break job,
+                        // A seq bump whose job pointer is already gone
+                        // can only be shutdown teardown racing this
+                        // wake-up; re-check the flag instead of
+                        // panicking (the old `expect` here turned the
+                        // race into a worker-thread crash).
+                        None => continue,
+                    }
                 }
                 st = shared
                     .work_cv
@@ -415,6 +537,75 @@ mod tests {
         let out = pool.map_with(&mut states, &items, |_, _, &i| data[i].len());
         assert_eq!(out[0], 2);
         assert_eq!(out[39], 3);
+    }
+
+    #[test]
+    fn try_dispatch_overlaps_caller_work_with_in_flight_job() {
+        let mut pool = WorkerPool::new(3);
+        assert!(pool.is_idle());
+        assert_eq!(pool.in_flight(), 0);
+        let gate = std::sync::atomic::AtomicBool::new(false);
+        let ran = AtomicUsize::new(0);
+        {
+            let job = |_idx: usize| {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            };
+            // SAFETY: the guard is waited below, never leaked.
+            let guard = unsafe { pool.try_dispatch(3, &job) };
+            // The dispatching thread is free while workers block on the
+            // gate: this is the ingestion/dispatch overlap the admission
+            // queue builds on.
+            assert_eq!(guard.in_flight(), 3, "all workers still on the job");
+            gate.store(true, Ordering::Release);
+            guard.wait();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    fn unwaited_guard_joins_on_drop() {
+        let mut pool = WorkerPool::new(2);
+        let ran = AtomicUsize::new(0);
+        {
+            let job = |_idx: usize| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            };
+            // SAFETY: the guard drops at scope end, never leaked.
+            let _guard = unsafe { pool.try_dispatch(2, &job) };
+            // Dropped without wait(): drop glue must block until both
+            // workers finished, keeping the borrow of `job`/`ran` sound.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        // And the pool stays serviceable.
+        let items: Vec<usize> = (0..8).collect();
+        let mut states = vec![(); 2];
+        let out = pool.map_with(&mut states, &items, |_, _, &x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn shutdown_race_stress_spawn_dispatch_drop() {
+        // Satellite regression: loop the shutdown/seq race window — a
+        // worker that observes a seq bump concurrently with the handle
+        // dropping must see `shutdown` (or a cleared job slot) and exit,
+        // never hit a "seq bumped without a job" crash. Short dispatches
+        // with `active < size` leave laggard workers asleep holding a
+        // stale `seen`, and the immediate drop races their wake-up.
+        for round in 0..200 {
+            let size = 2 + round % 3;
+            let mut pool = WorkerPool::new(size);
+            // Fewer states than workers: the high-indexed workers only
+            // ever observe seq bumps without running jobs.
+            let mut states = vec![0usize; (round % size).max(1)];
+            let items: Vec<usize> = (0..2 + round % 5).collect();
+            let out = pool.map_with(&mut states, &items, |_, _, &x| x + 1);
+            assert_eq!(out.len(), items.len());
+            drop(pool); // join; debug_assert inside surfaces worker crashes
+        }
     }
 
     #[test]

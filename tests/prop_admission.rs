@@ -1,0 +1,397 @@
+//! Property tests pinning the async admission queue to the direct
+//! engine path: across random knowledge graphs, producer counts, queue
+//! bounds, linger windows, methods, both backends (single engine and
+//! sharded), and interleaved mutation barriers, results returned
+//! through [`xsum::core::SummaryTicket`]s must be **bit-identical** to
+//! one direct `SummaryEngine::summarize_batch` call over the same
+//! inputs. Backpressure (queue-full rejection) and shutdown-drain
+//! semantics are pinned explicitly.
+
+use proptest::prelude::*;
+
+use xsum::core::{
+    AdmissionConfig, AdmissionError, AdmissionQueue, BatchMethod, PcstConfig, ShardedEngine,
+    SteinerConfig, Summary, SummaryEngine, SummaryInput,
+};
+use xsum::graph::{EdgeId, EdgeKind, Graph, LoosePath, NodeId, NodeKind};
+
+/// A random small KG shape: users, items, entities, random interaction
+/// and attribute edges, plus guaranteed 3-hop paths (the `prop_shard`
+/// generator).
+#[derive(Debug, Clone)]
+struct RandomKg {
+    g: Graph,
+    users: Vec<NodeId>,
+    paths: Vec<LoosePath>,
+    /// Paths sourced at `users[1]` — a second routing anchor, so the
+    /// sharded backend genuinely scatters the batches below.
+    alt_paths: Vec<LoosePath>,
+}
+
+fn arb_kg() -> impl Strategy<Value = RandomKg> {
+    (
+        2usize..5, // users
+        3usize..8, // items
+        2usize..5, // entities
+        proptest::collection::vec((0usize..64, 0usize..64, 1u8..=5), 5..40),
+        proptest::collection::vec((0usize..64, 0usize..64), 4..30),
+        0usize..1000, // path-shape selector
+    )
+        .prop_map(|(nu, ni, na, interactions, attributes, path_sel)| {
+            let mut g = Graph::new();
+            let users: Vec<NodeId> = (0..nu).map(|_| g.add_node(NodeKind::User)).collect();
+            let items: Vec<NodeId> = (0..ni).map(|_| g.add_node(NodeKind::Item)).collect();
+            let entities: Vec<NodeId> = (0..na).map(|_| g.add_node(NodeKind::Entity)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for (u, i, r) in interactions {
+                let (u, i) = (u % nu, i % ni);
+                if seen.insert((u, i)) {
+                    g.add_edge(users[u], items[i], r as f64, EdgeKind::Interaction);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for (i, a) in attributes {
+                let (i, a) = (i % ni, a % na);
+                if seen.insert((i, a)) {
+                    g.add_edge(items[i], entities[a], 0.0, EdgeKind::Attribute);
+                }
+            }
+            if g.find_edge(users[0], items[0]).is_none() {
+                g.add_edge(users[0], items[0], 5.0, EdgeKind::Interaction);
+            }
+            if g.find_edge(users[1], items[0]).is_none() {
+                g.add_edge(users[1], items[0], 4.0, EdgeKind::Interaction);
+            }
+            if g.find_edge(items[0], entities[0]).is_none() {
+                g.add_edge(items[0], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            if g.find_edge(items[1], entities[0]).is_none() {
+                g.add_edge(items[1], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            let mut paths = vec![LoosePath::ground(
+                &g,
+                vec![users[0], items[0], entities[0], items[1]],
+            )];
+            let extra: Vec<NodeId> = g
+                .neighbors(entities[0])
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| g.kind(*n) == NodeKind::Item && *n != items[0] && *n != items[1])
+                .collect();
+            if !extra.is_empty() {
+                let pick = extra[path_sel % extra.len()];
+                paths.push(LoosePath::ground(
+                    &g,
+                    vec![users[0], items[0], entities[0], pick],
+                ));
+            }
+            let alt_paths = vec![LoosePath::ground(
+                &g,
+                vec![users[1], items[0], entities[0], items[1]],
+            )];
+            RandomKg {
+                g,
+                users,
+                paths,
+                alt_paths,
+            }
+        })
+}
+
+/// A mixed batch of every scenario shape, replicated for volume so the
+/// coalescer has something to coalesce.
+fn inputs_for(kg: &RandomKg, replicate: usize) -> Vec<SummaryInput> {
+    let base = [
+        SummaryInput::user_centric(kg.users[0], kg.paths.clone()),
+        SummaryInput::user_centric(kg.users[1], kg.alt_paths.clone()),
+        SummaryInput::user_group(&kg.users, kg.paths.clone()),
+        SummaryInput::item_centric(kg.alt_paths[0].target(), kg.alt_paths.clone()),
+    ];
+    let mut out = Vec::with_capacity(base.len() * replicate);
+    for _ in 0..replicate {
+        out.extend(base.iter().cloned());
+    }
+    out
+}
+
+fn assert_bit_identical(want: &Summary, got: &Summary) -> Result<(), TestCaseError> {
+    prop_assert_eq!(want.method, got.method);
+    prop_assert_eq!(&want.terminals, &got.terminals);
+    prop_assert_eq!(want.subgraph.sorted_edges(), got.subgraph.sorted_edges());
+    prop_assert_eq!(want.subgraph.sorted_nodes(), got.subgraph.sorted_nodes());
+    Ok(())
+}
+
+const METHODS: [fn() -> BatchMethod; 3] = [
+    || BatchMethod::Steiner(SteinerConfig::default()),
+    || BatchMethod::SteinerFast(SteinerConfig::default()),
+    || BatchMethod::Pcst(PcstConfig::default()),
+];
+
+/// Push `inputs` through `queue` from `producers` concurrent threads
+/// (round-robin split), wait every ticket, and return the results in
+/// input order.
+fn serve_via_admission(
+    queue: &AdmissionQueue,
+    inputs: &[SummaryInput],
+    method: BatchMethod,
+    producers: usize,
+) -> Vec<Summary> {
+    let mut slots: Vec<Option<Summary>> = (0..inputs.len()).map(|_| None).collect();
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let results = &results;
+            scope.spawn(move || {
+                // Each producer owns the input indices ≡ p (mod producers).
+                let mine: Vec<usize> = (p..inputs.len()).step_by(producers.max(1)).collect();
+                let tickets: Vec<_> = mine
+                    .iter()
+                    .map(|&i| {
+                        queue
+                            .submit(inputs[i].clone(), method)
+                            .expect("queue admits while live")
+                    })
+                    .collect();
+                for (i, t) in mine.into_iter().zip(tickets) {
+                    let summary = t.wait().expect("well-formed input serves");
+                    results.lock().unwrap()[i] = Some(summary);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all resolved"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coalesced_results_match_direct_batches(
+        kg in arb_kg(),
+        producers_sel in 0usize..3,
+        bound_sel in 0usize..3,
+        linger_sel in 0usize..3,
+    ) {
+        let producers = [1usize, 2, 4][producers_sel];
+        let queue_bound = [2usize, 8, 256][bound_sel];
+        let linger = [1usize, 4, 16][linger_sel];
+        // Producer counts × queue bounds × linger windows × methods:
+        // whatever batches the coalescer forms, ticket results must be
+        // bit-identical to one direct `summarize_batch` over the same
+        // inputs (warm engines on both sides — two rounds each).
+        let inputs = inputs_for(&kg, 3);
+        let mut direct = SummaryEngine::with_threads(2);
+        let queue = AdmissionQueue::for_engine(
+            kg.g.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig { queue_bound, max_batch: 8, linger_tickets: linger },
+        );
+        for make_method in METHODS {
+            let method = make_method();
+            let want = direct.summarize_batch(&kg.g, &inputs, method);
+            for _ in 0..2 {
+                let got = serve_via_admission(&queue, &inputs, method, producers);
+                prop_assert_eq!(got.len(), want.len());
+                for (w, s) in want.iter().zip(&got) {
+                    assert_bit_identical(w, s)?;
+                }
+            }
+        }
+        let stats = queue.stats();
+        prop_assert_eq!(stats.submitted, (inputs.len() * 2 * METHODS.len()) as u64);
+        prop_assert_eq!(stats.completed, stats.submitted);
+        prop_assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn sharded_backend_matches_direct_batches(
+        kg in arb_kg(),
+        producers_sel in 0usize..2,
+        shards_sel in 0usize..2,
+    ) {
+        let producers = [1usize, 3][producers_sel];
+        let shards = [2usize, 4][shards_sel];
+        // The admission queue over a ShardedEngine: coalesced batches
+        // scatter/gather across replicas and still come back
+        // bit-identical to the single-engine direct path.
+        let inputs = inputs_for(&kg, 2);
+        let mut direct = SummaryEngine::with_threads(2);
+        let queue = AdmissionQueue::for_sharded(
+            ShardedEngine::with_threads(&kg.g, shards, 1),
+            AdmissionConfig { queue_bound: 64, max_batch: 8, linger_tickets: 4 },
+        );
+        for make_method in METHODS {
+            let method = make_method();
+            let want = direct.summarize_batch(&kg.g, &inputs, method);
+            let got = serve_via_admission(&queue, &inputs, method, producers);
+            for (w, s) in want.iter().zip(&got) {
+                assert_bit_identical(w, s)?;
+            }
+        }
+    }
+
+    #[test]
+    fn admission_tracks_interleaved_mutation_barriers(
+        mut kg in arb_kg(),
+        weights in proptest::collection::vec(1u8..=200, 1..4),
+        edge_sel in 0usize..1000,
+    ) {
+        // Serving rounds with mutation barriers between them: after
+        // every `AdmissionQueue::mutate`, results must match a direct
+        // engine over an identically mutated reference graph.
+        let inputs = inputs_for(&kg, 2);
+        let queue = AdmissionQueue::for_engine(
+            kg.g.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig { queue_bound: 64, max_batch: 8, linger_tickets: 2 },
+        );
+        let mut direct = SummaryEngine::with_threads(2);
+        for (round, w) in weights.iter().enumerate() {
+            let method = METHODS[round % METHODS.len()]();
+            let want = direct.summarize_batch(&kg.g, &inputs, method);
+            let got = serve_via_admission(&queue, &inputs, method, 2);
+            for (wnt, s) in want.iter().zip(&got) {
+                assert_bit_identical(wnt, s)?;
+            }
+            // Mutate the same edge the same way on both sides.
+            let e = EdgeId((edge_sel % kg.g.edge_count().max(1)) as u32);
+            let new_w = *w as f64 * 0.05;
+            queue.mutate(move |g| g.set_weight(e, new_w)).expect("barrier applies");
+            kg.g.set_weight(e, new_w);
+        }
+        // Final post-mutation agreement.
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let want = direct.summarize_batch(&kg.g, &inputs, method);
+        let got = serve_via_admission(&queue, &inputs, method, 1);
+        for (w, s) in want.iter().zip(&got) {
+            assert_bit_identical(w, s)?;
+        }
+        prop_assert_eq!(queue.stats().mutations_applied, weights.len() as u64);
+    }
+
+    #[test]
+    fn backpressure_rejects_then_recovers(kg in arb_kg()) {
+        // Queue-full semantics: with an infinite linger window the
+        // bound fills deterministically; `try_submit` rejects without
+        // side effects, and after a drain the queue admits again.
+        let inputs = inputs_for(&kg, 2);
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let bound = 3usize;
+        let queue = AdmissionQueue::for_engine(
+            kg.g.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: bound,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+        );
+        let mut tickets = Vec::new();
+        for i in 0..bound {
+            tickets.push(queue.try_submit(inputs[i % inputs.len()].clone(), method)
+                .expect("below the bound"));
+        }
+        prop_assert_eq!(queue.queued(), bound);
+        for _ in 0..2 {
+            match queue.try_submit(inputs[0].clone(), method) {
+                Err(AdmissionError::QueueFull) => {}
+                other => prop_assert!(false, "expected QueueFull, got {other:?}"),
+            }
+        }
+        prop_assert_eq!(queue.stats().rejected, 2);
+        queue.drain();
+        let mut direct = SummaryEngine::with_threads(1);
+        for (i, t) in tickets.into_iter().enumerate() {
+            let want = direct.summarize(&kg.g, &inputs[i % inputs.len()], method);
+            assert_bit_identical(&want, &t.wait().expect("drained ticket resolves"))?;
+        }
+        // Recovered: admission works again.
+        let t = queue.try_submit(inputs[0].clone(), method).expect("room again");
+        assert_bit_identical(
+            &direct.summarize(&kg.g, &inputs[0], method),
+            &t.wait().expect("serves"),
+        )?;
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_ticket(kg in arb_kg()) {
+        // Shutdown-drain: tickets admitted before shutdown all resolve
+        // (bit-identically), later submissions are refused.
+        let inputs = inputs_for(&kg, 3);
+        let method = BatchMethod::SteinerFast(SteinerConfig::default());
+        let queue = AdmissionQueue::for_engine(
+            kg.g.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 256,
+                max_batch: 4,
+                linger_tickets: usize::MAX, // only shutdown flushes
+            },
+        );
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|i| queue.submit(i.clone(), method).expect("admits before shutdown"))
+            .collect();
+        queue.shutdown();
+        let mut direct = SummaryEngine::with_threads(2);
+        let want = direct.summarize_batch(&kg.g, &inputs, method);
+        for (w, t) in want.iter().zip(tickets) {
+            assert_bit_identical(w, &t.wait().expect("drained on shutdown"))?;
+        }
+        match queue.submit(inputs[0].clone(), method) {
+            Err(AdmissionError::ShutDown) => {}
+            other => prop_assert!(false, "expected ShutDown, got {other:?}"),
+        }
+        let stats = queue.stats();
+        prop_assert_eq!(stats.completed, inputs.len() as u64);
+        prop_assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn worker_panic_isolates_to_affected_tickets(kg in arb_kg()) {
+        // Satellite: panic recovery under admission, on both backends —
+        // a poisoned input coalesced among good ones fails only its own
+        // ticket; the co-batched requests and later traffic complete
+        // bit-identically (dirty-buffer recovery under the queued path).
+        let inputs = inputs_for(&kg, 1);
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut bad = inputs[0].clone();
+        bad.terminals = vec![NodeId(u32::MAX - 2), NodeId(u32::MAX - 1)];
+        let mut direct = SummaryEngine::with_threads(2);
+        let want = direct.summarize_batch(&kg.g, &inputs, method);
+        let backends: [fn(&Graph) -> AdmissionQueue; 2] = [
+            |g| AdmissionQueue::for_engine(
+                g.clone(),
+                SummaryEngine::with_threads(2),
+                AdmissionConfig { queue_bound: 64, max_batch: 8, linger_tickets: 5 },
+            ),
+            |g| AdmissionQueue::for_sharded(
+                ShardedEngine::with_threads(g, 2, 1),
+                AdmissionConfig { queue_bound: 64, max_batch: 8, linger_tickets: 5 },
+            ),
+        ];
+        for make_queue in backends {
+            let queue = make_queue(&kg.g);
+            let good: Vec<_> = inputs
+                .iter()
+                .map(|i| queue.submit(i.clone(), method).expect("admits"))
+                .collect();
+            let poisoned = queue.submit(bad.clone(), method).expect("admits");
+            queue.drain();
+            for (w, t) in want.iter().zip(good) {
+                assert_bit_identical(w, &t.wait().expect("good ticket unaffected"))?;
+            }
+            prop_assert!(poisoned.wait().is_err(), "poisoned ticket must error");
+            // Later queued requests still complete.
+            let later = queue.submit(inputs[0].clone(), method).expect("still admits");
+            assert_bit_identical(&want[0], &later.wait().expect("keeps serving"))?;
+            let stats = queue.stats();
+            prop_assert_eq!(stats.failed, 1);
+            prop_assert_eq!(stats.completed, inputs.len() as u64 + 1);
+        }
+    }
+}
