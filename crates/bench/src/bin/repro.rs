@@ -5,8 +5,8 @@
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!            userstudy ablation fairness bench_batch bench_shard
-//!            bench_admission all
+//!            userstudy ablation fairness quality_stfast bench_batch
+//!            bench_shard bench_admission all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
 //! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
@@ -196,6 +196,18 @@ fn main() {
             }
             print_rows(&rows);
         }
+        "quality_stfast" => {
+            // The "Mehlhorn by default" gate: §V-B metrics for the KMB
+            // closure vs the Mehlhorn closure on identical inputs, with
+            // per-point Δ rows and a per-metric verdict on stderr.
+            let ctx = Ctx::build(cfg);
+            let rows = quality::fast_vs_kmb(&ctx, &Baseline::MAIN);
+            print_rows(&rows);
+            eprintln!("metric\tmean|Δ|\tmax|Δ|\tmean KMB value");
+            for (metric, mean_abs, max_abs, kmb_scale) in quality::fast_vs_kmb_verdict(&rows) {
+                eprintln!("{metric}\t{mean_abs:.6}\t{max_abs:.6}\t{kmb_scale:.6}");
+            }
+        }
         "bench_batch" => {
             // The BENCH trajectory artifact: engine vs seed path on the
             // largest synthetic scaling level, written machine-readably
@@ -222,6 +234,19 @@ fn main() {
                 report.persistent_single_ms,
                 report.free_single_ms,
             );
+            for lp in &report.levels {
+                eprintln!(
+                    "  {}: seed {:.3} ms/summary, KMB {:.0}/s ({:.2}x), \
+                     ST-fast {:.0}/s ({:.2}x), batch {}",
+                    lp.level,
+                    lp.seed_single_ms,
+                    lp.batch_per_sec,
+                    lp.speedup,
+                    lp.fast_batch_per_sec,
+                    lp.fast_speedup,
+                    lp.batch_size,
+                );
+            }
         }
         "bench_shard" => {
             // Per-shard-count scatter/gather throughput on the same
@@ -307,7 +332,7 @@ fn main() {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
                 "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
-                 bench_batch bench_shard bench_admission all"
+                 quality_stfast bench_batch bench_shard bench_admission all"
             );
             std::process::exit(2);
         }

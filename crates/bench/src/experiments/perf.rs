@@ -105,16 +105,45 @@ pub struct BatchBenchReport {
     pub admission_p50_ms: f64,
     /// 99th-percentile submit→resolve ticket latency (ms).
     pub admission_p99_ms: f64,
+    /// The ROADMAP "richer BENCH trajectory" sweep: the same workload
+    /// recipe measured at *every* synthetic scaling level G1–G5, one
+    /// [`LevelPoint`] per level (the G5 point uses this lighter shared
+    /// protocol; the historical top-level G5 keys above keep their own
+    /// full-protocol measurement unchanged).
+    pub levels: Vec<LevelPoint>,
+}
+
+/// One scaling level's measurement in the G1–G5 sweep: seed-path
+/// latency, warm KMB and ST-fast batch throughput, and the derived
+/// speedups.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelPoint {
+    /// Level name ("G1".."G5").
+    pub level: &'static str,
+    /// 1-based level number (the `levelN_` JSON key prefix).
+    pub num: usize,
+    /// Inputs in the level's batch.
+    pub batch_size: usize,
+    /// Seed-path sequential latency per summary (ms).
+    pub seed_single_ms: f64,
+    /// Warm KMB batch throughput (summaries / second).
+    pub batch_per_sec: f64,
+    /// Warm ST-fast (Mehlhorn) batch throughput.
+    pub fast_batch_per_sec: f64,
+    /// KMB batch throughput over seed-path throughput.
+    pub speedup: f64,
+    /// ST-fast batch throughput over seed-path throughput.
+    pub fast_speedup: f64,
 }
 
 impl BatchBenchReport {
     /// Machine-readable JSON (hand-rolled; the workspace has no serde).
     ///
     /// Keys present in earlier PRs keep their names and meanings so the
-    /// cross-PR trajectory stays diffable; the `engine_*` keys are the
-    /// persistent-[`SummaryEngine`] additions.
+    /// cross-PR trajectory stays diffable; the `levelN_*` keys are the
+    /// G1–G5 sweep appended after the historical block.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\n",
                 "  \"level\": \"{}\",\n",
@@ -138,8 +167,7 @@ impl BatchBenchReport {
                 "  \"shard4_batch_summaries_per_sec\": {:.3},\n",
                 "  \"admission_coalesced_summaries_per_sec\": {:.3},\n",
                 "  \"admission_p50_latency_ms\": {:.6},\n",
-                "  \"admission_p99_latency_ms\": {:.6}\n",
-                "}}\n"
+                "  \"admission_p99_latency_ms\": {:.6}"
             ),
             self.level,
             self.batch_size,
@@ -163,7 +191,24 @@ impl BatchBenchReport {
             self.admission_coalesced_per_sec,
             self.admission_p50_ms,
             self.admission_p99_ms,
-        )
+        );
+        for lp in &self.levels {
+            out.push_str(&format!(
+                concat!(
+                    ",\n  \"level{n}_batch_summaries_per_sec\": {:.3}",
+                    ",\n  \"level{n}_fast_batch_summaries_per_sec\": {:.3}",
+                    ",\n  \"level{n}_speedup_vs_seed\": {:.3}",
+                    ",\n  \"level{n}_fast_speedup_vs_seed\": {:.3}"
+                ),
+                lp.batch_per_sec,
+                lp.fast_batch_per_sec,
+                lp.speedup,
+                lp.fast_speedup,
+                n = lp.num,
+            ));
+        }
+        out.push_str("\n}\n");
+        out
     }
 }
 
@@ -374,6 +419,9 @@ pub fn batch_bench(
         shard_per_sec[slot] = n / trimmed_mean(&mut times).max(1e-12);
     }
 
+    // G1–G5 trajectory sweep (lighter shared protocol per level).
+    let levels = level_sweep(scale, seed, users, k);
+
     BatchBenchReport {
         level: level.name(),
         batch_size: inputs.len(),
@@ -395,7 +443,58 @@ pub fn batch_bench(
         admission_coalesced_per_sec: admission_per_sec,
         admission_p50_ms,
         admission_p99_ms,
+        levels,
     }
+}
+
+/// Measure every synthetic scaling level G1–G5 with one shared, lighter
+/// protocol: seed-path sequential latency (one pass), then warm KMB and
+/// ST-fast batch throughput (one warmup + [`LEVEL_REPS`] trimmed-mean
+/// rounds each). The per-level figures land in `BENCH_batch.json` as
+/// `levelN_*` keys; the historical G5 block keeps its own full-protocol
+/// measurement, so the two G5 figures are close but not the same number.
+pub fn level_sweep(scale: f64, seed: u64, users: usize, k: usize) -> Vec<LevelPoint> {
+    let mut out = Vec::with_capacity(ScalingLevel::ALL.len());
+    for (i, level) in ScalingLevel::ALL.into_iter().enumerate() {
+        let (ds, inputs) = batch_inputs(level, scale, seed, users, k);
+        let g = &ds.kg.graph;
+        g.freeze();
+        let n = inputs.len().max(1) as f64;
+        let cfg = SteinerConfig::default();
+
+        let seed_engine = SeedEngine::new(g);
+        let (_, seed_m) = measure(|| {
+            for input in &inputs {
+                std::hint::black_box(seed_engine.steiner_summary(g, input, &cfg));
+            }
+        });
+        let seed_single_ms = seed_m.elapsed.as_secs_f64() * 1e3 / n;
+
+        let throughput = |method: BatchMethod| -> f64 {
+            std::hint::black_box(summarize_batch(g, &inputs, method)); // warm
+            let mut times = Vec::with_capacity(LEVEL_REPS);
+            for _ in 0..LEVEL_REPS {
+                let t = std::time::Instant::now();
+                std::hint::black_box(summarize_batch(g, &inputs, method));
+                times.push(t.elapsed().as_secs_f64());
+            }
+            n / trimmed_mean(&mut times).max(1e-12)
+        };
+        let batch_per_sec = throughput(BatchMethod::Steiner(cfg));
+        let fast_batch_per_sec = throughput(BatchMethod::SteinerFast(cfg));
+
+        out.push(LevelPoint {
+            level: level.name(),
+            num: i + 1,
+            batch_size: inputs.len(),
+            seed_single_ms,
+            batch_per_sec,
+            fast_batch_per_sec,
+            speedup: seed_single_ms * batch_per_sec / 1e3,
+            fast_speedup: seed_single_ms * fast_batch_per_sec / 1e3,
+        });
+    }
+    out
 }
 
 /// Drive an [`AdmissionQueue`] with `producers` open-loop producer
@@ -567,6 +666,10 @@ const SINGLE_REPS: usize = 64;
 /// Rounds of the batch series (each round is a whole batch, so fewer
 /// rounds buy the same total sample mass).
 const BATCH_REPS: usize = 16;
+
+/// Rounds per level of the G1–G5 sweep — five graphs × three series
+/// each, so the sweep stays a minority of the bench's runtime.
+const LEVEL_REPS: usize = 8;
 
 /// Fraction of rounds trimmed from *each* end before averaging:
 /// co-tenant CPU spikes land in a handful of rounds and are heavily

@@ -36,6 +36,17 @@ pub fn run(ctx: &Ctx, baselines: &[Baseline]) -> Vec<Row> {
 /// [`run`] restricted to a scenario subset (Figs. 12–15 only plot the two
 /// user scenarios).
 pub fn run_scenarios(ctx: &Ctx, baselines: &[Baseline], scenarios: &[&str]) -> Vec<Row> {
+    run_methods(ctx, baselines, scenarios, &Method::FIGURE_SET)
+}
+
+/// The sweep over an explicit method set — [`run_scenarios`] with the
+/// paper's figure columns, [`fast_vs_kmb`] with the ST/ST-fast pairs.
+pub fn run_methods(
+    ctx: &Ctx,
+    baselines: &[Baseline],
+    scenarios: &[&str],
+    methods: &[Method],
+) -> Vec<Row> {
     let mut rows = Vec::new();
     let g = &ctx.ds.kg.graph;
     let k_max = ctx.cfg.top_k;
@@ -48,7 +59,7 @@ pub fn run_scenarios(ctx: &Ctx, baselines: &[Baseline], scenarios: &[&str]) -> V
                 continue;
             }
             // views[method][k-1][unit]
-            let mut per_method: Vec<(String, Vec<Vec<ExplanationView>>)> = Method::FIGURE_SET
+            let mut per_method: Vec<(String, Vec<Vec<ExplanationView>>)> = methods
                 .iter()
                 .map(|m| (m.label(), vec![Vec::new(); k_max]))
                 .collect();
@@ -62,7 +73,7 @@ pub fn run_scenarios(ctx: &Ctx, baselines: &[Baseline], scenarios: &[&str]) -> V
                     _ => unreachable!(),
                 };
                 for input in &inputs {
-                    for (mi, m) in Method::FIGURE_SET.iter().enumerate() {
+                    for (mi, m) in methods.iter().enumerate() {
                         per_method[mi].1[k - 1].push(m.view(g, input));
                     }
                 }
@@ -139,4 +150,89 @@ pub fn filter_metric(rows: &[Row], metric: &str) -> Vec<Row> {
         .filter(|r| r.metric == metric)
         .cloned()
         .collect()
+}
+
+/// The ROADMAP's "Mehlhorn by default" quality gate: the full §V-B
+/// metric suite (figs 2–8, consistency and faithfulness included) run
+/// for the paper-exact KMB closure (`ST λ=…`) and the Mehlhorn closure
+/// (`ST-fast λ=…`) over identical inputs at each λ of the paper's
+/// sweep, on every scenario.
+///
+/// Output keeps every raw per-method row and appends, per `(scenario,
+/// baseline, λ, k, metric)`, a `Δ λ=…` row holding `fast − kmb`.
+/// [`fast_vs_kmb_verdict`] condenses those deltas into the per-metric
+/// mean/max magnitudes the default-flip decision reads.
+pub fn fast_vs_kmb(ctx: &Ctx, baselines: &[Baseline]) -> Vec<Row> {
+    const LAMBDAS: [f64; 3] = [0.01, 1.0, 100.0];
+    let methods: Vec<Method> = LAMBDAS
+        .iter()
+        .flat_map(|&lambda| [Method::St { lambda }, Method::StFast { lambda }])
+        .collect();
+    let mut rows = run_methods(
+        ctx,
+        baselines,
+        &["user-centric", "item-centric", "user-group", "item-group"],
+        &methods,
+    );
+    let mut deltas = Vec::new();
+    for kmb in &rows {
+        let Some(rest) = kmb.method.strip_prefix("ST λ=") else {
+            continue;
+        };
+        let fast_label = format!("ST-fast λ={rest}");
+        if let Some(fast) = rows.iter().find(|r| {
+            r.method == fast_label
+                && r.scenario == kmb.scenario
+                && r.baseline == kmb.baseline
+                && r.x == kmb.x
+                && r.metric == kmb.metric
+        }) {
+            deltas.push(Row::new(
+                kmb.scenario.clone(),
+                kmb.baseline.clone(),
+                format!("Δ λ={rest}"),
+                kmb.x.clone(),
+                kmb.metric.clone(),
+                fast.value - kmb.value,
+            ));
+        }
+    }
+    rows.extend(deltas);
+    rows
+}
+
+/// Condense [`fast_vs_kmb`] output into per-metric `(mean |Δ|, max |Δ|,
+/// mean KMB magnitude)` across all scenarios × baselines × λ × k — the
+/// figures the "deltas are noise" decision is made on.
+pub fn fast_vs_kmb_verdict(rows: &[Row]) -> Vec<(String, f64, f64, f64)> {
+    let mut metrics: Vec<String> = rows.iter().map(|r| r.metric.clone()).collect();
+    metrics.sort();
+    metrics.dedup();
+    let mut out = Vec::new();
+    for metric in metrics {
+        let mut sum_abs = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut n = 0usize;
+        let mut kmb_sum = 0.0f64;
+        let mut kmb_n = 0usize;
+        for r in rows.iter().filter(|r| r.metric == metric) {
+            if r.method.starts_with("Δ ") {
+                sum_abs += r.value.abs();
+                max_abs = max_abs.max(r.value.abs());
+                n += 1;
+            } else if r.method.starts_with("ST λ=") {
+                kmb_sum += r.value.abs();
+                kmb_n += 1;
+            }
+        }
+        if n > 0 {
+            out.push((
+                metric,
+                sum_abs / n as f64,
+                max_abs,
+                kmb_sum / kmb_n.max(1) as f64,
+            ));
+        }
+    }
+    out
 }

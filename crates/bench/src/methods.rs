@@ -1,7 +1,9 @@
 //! The explanation methods compared in every figure: the raw baseline
 //! paths, ST at the three λ settings, and PCST.
 
-use xsum_core::{pcst_summary, steiner_summary, PcstConfig, SteinerConfig, SummaryInput};
+use xsum_core::{
+    pcst_summary, steiner_summary, steiner_summary_fast, PcstConfig, SteinerConfig, SummaryInput,
+};
 use xsum_graph::Graph;
 use xsum_metrics::ExplanationView;
 
@@ -10,9 +12,16 @@ use xsum_metrics::ExplanationView;
 pub enum Method {
     /// The unsummarized explanation paths.
     BaselinePaths,
-    /// ST summary with the given λ.
+    /// ST summary (paper-exact KMB closure) with the given λ.
     St {
         /// Eq. 1 boost (paper sweeps 0.01, 1, 100).
+        lambda: f64,
+    },
+    /// ST summary through the Mehlhorn closure (the serving default) —
+    /// used by the `quality_stfast` gate that compares it against KMB
+    /// on the §V-B metrics, not by the paper figures themselves.
+    StFast {
+        /// Eq. 1 boost.
         lambda: f64,
     },
     /// PCST summary with §V-A policy (1/0 prizes, unit costs).
@@ -34,6 +43,7 @@ impl Method {
         match self {
             Method::BaselinePaths => "baseline".to_string(),
             Method::St { lambda } => format!("ST λ={lambda}"),
+            Method::StFast { lambda } => format!("ST-fast λ={lambda}"),
             Method::Pcst => "PCST".to_string(),
         }
     }
@@ -44,6 +54,10 @@ impl Method {
             Method::BaselinePaths => ExplanationView::from_paths(&input.paths),
             Method::St { lambda } => {
                 let s = steiner_summary(g, input, &SteinerConfig { lambda, delta: 1.0 });
+                ExplanationView::from_subgraph(g, &s.subgraph)
+            }
+            Method::StFast { lambda } => {
+                let s = steiner_summary_fast(g, input, &SteinerConfig { lambda, delta: 1.0 });
                 ExplanationView::from_subgraph(g, &s.subgraph)
             }
             Method::Pcst => {

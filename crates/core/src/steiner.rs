@@ -19,6 +19,22 @@
 //! Terminals unreachable from one another yield a Steiner *forest* plus
 //! isolated terminal nodes — the summary still mentions every terminal,
 //! mirroring the paper's requirement `R_u ⊆ V_S`.
+//!
+//! ## Which ST variant is the default?
+//!
+//! **Mehlhorn** ([`steiner_summary_fast`]) is the default ST path for
+//! serving: the `xsum` CLI's `--method st` routes to it, and new callers
+//! should prefer it. The §V-B quality gate behind that decision is
+//! reproducible as `repro quality_stfast` — across all four scenarios ×
+//! the λ ∈ {0.01, 1, 100} sweep × k, every metric's ST-fast-vs-KMB delta
+//! is noise (mean |Δ| ≤ 0.001 absolute on the unit-scaled metrics and
+//! ≤ 0.1% relative on relevance; faithfulness identical), while the
+//! closure costs `O(|E| + |V| log |V|)` instead of the paper's
+//! `O(|T|(|E| + |V| log |V|))`. KMB stays fully supported as the
+//! **fidelity reference** — [`steiner_summary`] /
+//! [`crate::BatchMethod::Steiner`] / the CLI's `--method st-kmb` — and
+//! remains what the paper-reproduction figures run, since it is the
+//! pseudocode of Algorithm 1 line by line.
 
 use std::cell::RefCell;
 

@@ -10,46 +10,40 @@
 //! Two entry points:
 //!
 //! * [`DijkstraWorkspace::run`] — the hot path. The workspace owns the
-//!   `dist` / `parent` / heap buffers plus generation-stamped visited and
-//!   target arrays, so repeated runs perform **zero heap allocations**
-//!   after the first (clears are O(1) generation bumps, not O(|V|)
-//!   rewrites), target membership is an O(1) stamp check instead of an
-//!   O(|T|) scan per settled node, and duplicate targets are counted once
-//!   without the legacy per-call sort/dedup allocation.
+//!   `dist` / `parent` buffers, an [`IndexedDaryHeap`], and
+//!   generation-stamped visited and target arrays, so repeated runs
+//!   perform **zero heap allocations** after the first (clears are O(1)
+//!   generation bumps, not O(|V|) rewrites), target membership is an
+//!   O(1) stamp check instead of an O(|T|) scan per settled node, and
+//!   duplicate targets are counted once without the legacy per-call
+//!   sort/dedup allocation.
 //! * [`dijkstra`] — the allocating convenience wrapper returning an owned
 //!   [`DijkstraResult`]; it drives a fresh workspace internally.
+//!
+//! ## Heap and relaxation design
+//!
+//! The priority queue is a workspace-resident **indexed 4-ary min-heap
+//! with decrease-key** ([`IndexedDaryHeap`]): each open node holds
+//! exactly one slot whose position is tracked per node, so an improved
+//! tentative distance sifts the existing slot up instead of pushing a
+//! duplicate. The legacy `BinaryHeap` + lazy-deletion scheme kept one
+//! entry per *relaxation* (up to `2|E|`) and paid a pop + sift for every
+//! stale entry; the indexed heap's size is bounded by the open frontier
+//! (at most `|V|`), every pop settles a node, and the `(cost, node)`
+//! tie-break reproduces the legacy settle order bit-for-bit — at every
+//! pop both schemes surface the minimum over the open nodes' best-known
+//! distances, so all distances, parents, and trees are unchanged.
+//!
+//! The relaxation loop is **CSR-resident**: a run hoists the frozen CSR
+//! adjacency ([`Graph::csr_view`]) and the contiguous edge-cost slice
+//! ([`EdgeCosts::as_slice`]) once, then streams each settled node's
+//! `(neighbor, edge)` row and indexes costs by edge id directly —
+//! instead of re-resolving the lazily-frozen CSR through its `OnceLock`
+//! and calling through the cost accessor per relaxation.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::dheap::IndexedDaryHeap;
 use crate::graph::{EdgeCosts, Graph};
 use crate::ids::{EdgeId, NodeId};
-
-/// Max-heap entry inverted into a min-heap on cost.
-#[derive(Debug, Clone, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap; ties broken on node id for determinism.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.0.cmp(&self.node.0))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Output of a Dijkstra run: distances and the parent edge of each settled
 /// node, from which paths are reconstructed.
@@ -118,8 +112,9 @@ pub struct DijkstraWorkspace {
     origin: Vec<u32>,
     /// Current run's generation (stamps from other runs never match).
     generation: u32,
-    /// Reused priority queue.
-    heap: BinaryHeap<HeapEntry>,
+    /// Reused indexed 4-ary priority queue (decrease-key, so it holds
+    /// at most one slot per open node).
+    heap: IndexedDaryHeap,
 }
 
 impl Default for DijkstraWorkspace {
@@ -133,7 +128,7 @@ impl Default for DijkstraWorkspace {
             target: Vec::new(),
             origin: Vec::new(),
             generation: 0,
-            heap: BinaryHeap::new(),
+            heap: IndexedDaryHeap::new(),
         }
     }
 }
@@ -169,7 +164,7 @@ impl DijkstraWorkspace {
             self.target.fill(0);
             self.generation = 1;
         }
-        self.heap.clear();
+        self.heap.clear_for(n);
     }
 
     /// Run Dijkstra from `source`, stopping early once every node in
@@ -212,41 +207,44 @@ impl DijkstraWorkspace {
         self.dist[source.index()] = 0.0;
         self.parent[source.index()] = None;
         self.stamp[source.index()] = generation;
-        self.heap.push(HeapEntry {
-            cost: 0.0,
-            node: source,
-        });
+        self.heap.push(source.0, source.0, 0.0);
 
-        while let Some(HeapEntry { cost, node }) = self.heap.pop() {
-            if self.settled[node.index()] == generation {
-                continue;
-            }
+        // Hoisted once per run: the frozen CSR rows and the contiguous
+        // cost table the relaxation loop streams.
+        let csr = g.csr_view();
+        let cost_of = costs.as_slice();
+        // With decrease-key every pop settles a fresh node — there are
+        // no stale entries to skip.
+        while let Some((cost, _, node)) = self.heap.pop() {
+            let node = NodeId(node);
+            debug_assert_ne!(self.settled[node.index()], generation);
             self.settled[node.index()] = generation;
             if self.target[node.index()] == generation {
-                // Un-mark so a (node, ...) duplicate in the heap cannot
-                // decrement twice.
+                // Un-mark so the countdown stays exact even if targets
+                // were stamped under a recycled generation.
                 self.target[node.index()] = generation.wrapping_sub(1);
                 remaining -= 1;
                 if remaining == 0 {
                     break;
                 }
             }
-            for &(next, e) in g.neighbors(node) {
+            for &(next, e) in csr.row(node) {
                 let ni = next.index();
                 if self.settled[ni] == generation {
                     continue;
                 }
-                let w = costs.get(e);
+                let w = cost_of[e.index()];
                 debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
                 let nd = cost + w;
-                if self.stamp[ni] != generation || nd < self.dist[ni] {
+                if self.stamp[ni] != generation {
                     self.dist[ni] = nd;
                     self.parent[ni] = Some(e);
                     self.stamp[ni] = generation;
-                    self.heap.push(HeapEntry {
-                        cost: nd,
-                        node: next,
-                    });
+                    self.heap.push(next.0, next.0, nd);
+                } else if nd < self.dist[ni] {
+                    self.dist[ni] = nd;
+                    self.parent[ni] = Some(e);
+                    self.heap.decrease(next.0, next.0, nd);
                 }
             }
         }
@@ -291,32 +289,37 @@ impl DijkstraWorkspace {
             self.parent[si] = None;
             self.origin[si] = i as u32;
             self.stamp[si] = generation;
-            self.heap.push(HeapEntry { cost: 0.0, node: s });
+            self.heap.push(s.0, s.0, 0.0);
         }
 
-        while let Some(HeapEntry { cost, node }) = self.heap.pop() {
-            if self.settled[node.index()] == generation {
-                continue;
-            }
+        // Same CSR-resident relaxation as `run`, growing every cell to
+        // exhaustion.
+        let csr = g.csr_view();
+        let cost_of = costs.as_slice();
+        while let Some((cost, _, node)) = self.heap.pop() {
+            let node = NodeId(node);
+            debug_assert_ne!(self.settled[node.index()], generation);
             self.settled[node.index()] = generation;
             let node_origin = self.origin[node.index()];
-            for &(next, e) in g.neighbors(node) {
+            for &(next, e) in csr.row(node) {
                 let ni = next.index();
                 if self.settled[ni] == generation {
                     continue;
                 }
-                let w = costs.get(e);
+                let w = cost_of[e.index()];
                 debug_assert!(w >= 0.0, "negative edge cost breaks Dijkstra");
                 let nd = cost + w;
-                if self.stamp[ni] != generation || nd < self.dist[ni] {
+                if self.stamp[ni] != generation {
                     self.dist[ni] = nd;
                     self.parent[ni] = Some(e);
                     self.origin[ni] = node_origin;
                     self.stamp[ni] = generation;
-                    self.heap.push(HeapEntry {
-                        cost: nd,
-                        node: next,
-                    });
+                    self.heap.push(next.0, next.0, nd);
+                } else if nd < self.dist[ni] {
+                    self.dist[ni] = nd;
+                    self.parent[ni] = Some(e);
+                    self.origin[ni] = node_origin;
+                    self.heap.decrease(next.0, next.0, nd);
                 }
             }
         }

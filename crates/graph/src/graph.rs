@@ -76,6 +76,15 @@ impl EdgeCosts {
         self.0[e.index()]
     }
 
+    /// The whole table as a contiguous edge-id-indexed slice — the form
+    /// the search kernels hoist once per run so the relaxation loop
+    /// indexes raw memory instead of calling through [`EdgeCosts::get`]
+    /// per edge.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
     /// Number of edges covered.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -131,6 +140,33 @@ impl CsrAdj {
     #[inline]
     fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
         &self.pairs[self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize]
+    }
+}
+
+/// Borrowed view of the frozen CSR adjacency: the per-node offset table
+/// plus the flat `(neighbor, edge)` pair array, as contiguous slices.
+///
+/// [`Graph::neighbors`] resolves the lazily-frozen CSR through a
+/// `OnceLock` on *every* call — one atomic load and branch per settled
+/// node, invisible in isolation but real inside a relaxation loop that
+/// settles tens of thousands of nodes per search. Hot kernels grab a
+/// `CsrView` once per run ([`Graph::csr_view`]) and stream rows straight
+/// out of the two frozen arrays; the view borrows the graph, so the
+/// usual aliasing rules guarantee the CSR cannot be invalidated
+/// underneath it.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    offsets: &'a [u32],
+    pairs: &'a [(NodeId, EdgeId)],
+}
+
+impl<'a> CsrView<'a> {
+    /// Node `v`'s `(neighbor, edge)` row, in edge insertion order —
+    /// identical to [`Graph::neighbors`] without the per-call freeze
+    /// check.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &'a [(NodeId, EdgeId)] {
+        &self.pairs[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 }
 
@@ -327,6 +363,19 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
         self.csr().neighbors(n)
+    }
+
+    /// Borrow the frozen CSR arrays directly (freezing first if
+    /// needed). Search kernels hoist this once per run so their inner
+    /// loops stream contiguous rows without re-checking the freeze per
+    /// settled node; see [`CsrView`].
+    #[inline]
+    pub fn csr_view(&self) -> CsrView<'_> {
+        let csr = self.csr();
+        CsrView {
+            offsets: &csr.offsets,
+            pairs: &csr.pairs,
+        }
     }
 
     /// Undirected degree of `n`.

@@ -14,10 +14,15 @@
 //!   layout** — flat offset/neighbor arrays built once per mutation epoch
 //!   — so the search kernels stream cache-resident slices instead of
 //!   chasing per-node heap pointers;
+//! * [`IndexedDaryHeap`]: the indexed 4-ary min-heap with decrease-key
+//!   under every search kernel — one position-tracked slot per open
+//!   node (no stale entries), generation-stamped O(1) clears,
+//!   deterministic `(cost, tie)` order;
 //! * [`DijkstraWorkspace`]: reusable shortest-path state (distance /
 //!   parent / heap buffers plus generation-stamped visited and target
 //!   arrays) making repeated searches allocation-free after warmup, with
-//!   O(1) clears and O(1) early-exit target accounting;
+//!   O(1) clears, O(1) early-exit target accounting, and a CSR-resident
+//!   relaxation loop streaming the frozen adjacency and cost slices;
 //! * [`parallel`]: a minimal scoped fork–join (`parallel_map_with`) that
 //!   threads per-worker workspaces through a parallel region — the
 //!   engine's substitute for rayon in registry-less builds;
@@ -40,6 +45,7 @@
 //! Everything is deterministic: no global state, no randomness.
 
 pub mod centrality;
+pub mod dheap;
 pub mod dijkstra;
 pub mod fxhash;
 pub mod graph;
@@ -55,12 +61,13 @@ pub mod traversal;
 pub mod unionfind;
 
 pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality};
+pub use dheap::IndexedDaryHeap;
 pub use dijkstra::{dijkstra, shortest_path, DijkstraResult, DijkstraWorkspace};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder};
+pub use graph::{CsrView, Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder};
 pub use ids::{EdgeId, NodeId, NodeKind};
 pub use loosepath::LoosePath;
-pub use mst::{kruskal, prim, MstEdge};
+pub use mst::{kruskal, prim, prim_with, MstEdge, PrimWorkspace};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use parallel::{num_threads, parallel_map, parallel_map_with, parallel_zip_map};
 pub use path::Path;

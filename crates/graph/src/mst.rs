@@ -4,10 +4,16 @@
 //! and takes its MST ([`kruskal`] over an explicit edge list, since that
 //! metric-closure graph is not a [`crate::Graph`]); [`prim`] over a
 //! [`crate::Graph`] is used as a cross-check oracle and by the ablation
-//! benches.
+//! benches. Prim runs on the same [`IndexedDaryHeap`] as Dijkstra —
+//! decrease-key keyed on the frontier node with the edge id as the
+//! deterministic tie-break — out of a reusable [`PrimWorkspace`]
+//! (thread-local for the free function), so repeated calls allocate
+//! nothing but the output tree.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 
+use crate::dheap::IndexedDaryHeap;
 use crate::graph::{EdgeCosts, Graph};
 use crate::ids::{EdgeId, NodeId};
 use crate::unionfind::UnionFind;
@@ -55,59 +61,95 @@ pub fn kruskal(n: usize, edges: &[MstEdge]) -> Vec<MstEdge> {
     chosen
 }
 
+/// Reusable scratch for [`prim_with`]: the shared indexed heap plus a
+/// generation-stamped in-tree marker, both O(1) to clear and
+/// allocation-free once sized to the largest graph seen.
+#[derive(Debug, Clone, Default)]
+pub struct PrimWorkspace {
+    heap: IndexedDaryHeap,
+    /// Node is in the tree this run iff `in_tree[v] == generation`.
+    in_tree: Vec<u32>,
+    generation: u32,
+}
+
+impl PrimWorkspace {
+    /// Fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a run over `n` nodes (generation bump; O(n) only on first
+    /// growth and every 2^32 runs).
+    fn begin(&mut self, n: usize) {
+        if self.in_tree.len() < n {
+            self.in_tree.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.in_tree.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear_for(n);
+    }
+}
+
+thread_local! {
+    /// Scratch behind the workspace-free [`prim`] entry point.
+    static PRIM_SCRATCH: RefCell<PrimWorkspace> = RefCell::new(PrimWorkspace::new());
+}
+
 /// Prim's algorithm over a [`Graph`] restricted to the component of `root`.
 /// Returns the tree's edge ids.
+///
+/// Scratch state lives in a per-thread [`PrimWorkspace`], so repeated
+/// calls allocate only the returned tree; use [`prim_with`] to manage
+/// the workspace explicitly.
 pub fn prim(g: &Graph, costs: &EdgeCosts, root: NodeId) -> Vec<EdgeId> {
-    use std::collections::BinaryHeap;
+    PRIM_SCRATCH.with(|ws| prim_with(g, costs, root, &mut ws.borrow_mut()))
+}
 
-    #[derive(PartialEq)]
-    struct Entry {
-        cost: f64,
-        edge: EdgeId,
-        to: NodeId,
-    }
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .cost
-                .partial_cmp(&self.cost)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| other.edge.0.cmp(&self.edge.0))
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    let mut in_tree = vec![false; g.node_count()];
-    let mut heap = BinaryHeap::new();
+/// [`prim`] with an explicit reusable workspace.
+///
+/// The frontier lives in the shared [`IndexedDaryHeap`]: each
+/// out-of-tree node holds one slot at its cheapest connecting
+/// `(cost, edge)` (edge id breaking cost ties, exactly the legacy
+/// `BinaryHeap` entry order), improved in place via decrease-key. Pops
+/// therefore never surface stale entries, and the produced tree — edge
+/// ids in attachment order — is bit-identical to the lazy-deletion
+/// implementation this replaced.
+pub fn prim_with(
+    g: &Graph,
+    costs: &EdgeCosts,
+    root: NodeId,
+    ws: &mut PrimWorkspace,
+) -> Vec<EdgeId> {
+    ws.begin(g.node_count());
+    let generation = ws.generation;
+    let csr = g.csr_view();
+    let cost_of = costs.as_slice();
     let mut tree = Vec::new();
-    in_tree[root.index()] = true;
-    for &(next, e) in g.neighbors(root) {
-        heap.push(Entry {
-            cost: costs.get(e),
-            edge: e,
-            to: next,
-        });
-    }
-    while let Some(Entry { edge, to, .. }) = heap.pop() {
-        if in_tree[to.index()] {
-            continue;
-        }
-        in_tree[to.index()] = true;
-        tree.push(edge);
-        for &(next, e) in g.neighbors(to) {
-            if !in_tree[next.index()] {
-                heap.push(Entry {
-                    cost: costs.get(e),
-                    edge: e,
-                    to: next,
-                });
+    ws.in_tree[root.index()] = generation;
+
+    let attach = |ws: &mut PrimWorkspace, from: NodeId| {
+        for &(next, e) in csr.row(from) {
+            if ws.in_tree[next.index()] == generation {
+                continue;
+            }
+            let w = cost_of[e.index()];
+            match ws.heap.priority(next.0) {
+                None => ws.heap.push(next.0, e.0, w),
+                Some((c, t)) if w < c || (w == c && e.0 < t) => ws.heap.decrease(next.0, e.0, w),
+                _ => {}
             }
         }
+    };
+
+    attach(ws, root);
+    while let Some((_, edge, to)) = ws.heap.pop() {
+        let to = NodeId(to);
+        ws.in_tree[to.index()] = generation;
+        tree.push(EdgeId(edge));
+        attach(ws, to);
     }
     tree
 }

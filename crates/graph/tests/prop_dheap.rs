@@ -1,0 +1,190 @@
+//! Property tests for the indexed 4-ary heap.
+//!
+//! The heap is driven with random push / decrease-key / pop sequences
+//! (duplicate costs included) against a `std::collections::BinaryHeap`
+//! lazy-deletion oracle — the exact scheme the indexed heap replaced in
+//! the Dijkstra and Prim kernels — so any divergence in pop order or
+//! membership bookkeeping fails the property.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use xsum_graph::IndexedDaryHeap;
+
+/// Lazy-deletion oracle: every (re)prioritization pushes a fresh entry;
+/// pops skip entries that no longer match the key's current priority.
+/// Priorities order by `(cost bits, tie)` — costs are non-negative, so
+/// the IEEE bit order equals numeric order.
+#[derive(Default)]
+struct Oracle {
+    heap: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// `current[key]` = the open key's live `(cost bits, tie)`.
+    current: Vec<Option<(u64, u32)>>,
+}
+
+impl Oracle {
+    fn with_keys(n: usize) -> Self {
+        Oracle {
+            heap: BinaryHeap::new(),
+            current: vec![None; n],
+        }
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        self.current[key as usize].is_some()
+    }
+
+    fn push(&mut self, key: u32, tie: u32, cost: f64) {
+        assert!(!self.contains(key));
+        self.current[key as usize] = Some((cost.to_bits(), tie));
+        self.heap.push(Reverse((cost.to_bits(), tie, key)));
+    }
+
+    fn decrease(&mut self, key: u32, tie: u32, cost: f64) {
+        assert!(self.contains(key));
+        self.current[key as usize] = Some((cost.to_bits(), tie));
+        self.heap.push(Reverse((cost.to_bits(), tie, key)));
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32, u32)> {
+        while let Some(Reverse((bits, tie, key))) = self.heap.pop() {
+            if self.current[key as usize] == Some((bits, tie)) {
+                self.current[key as usize] = None;
+                return Some((f64::from_bits(bits), tie, key));
+            }
+            // Stale entry (reprioritized or already popped): skip.
+        }
+        None
+    }
+}
+
+/// Strategy: a key-space size plus a raw op tape. Costs are drawn from
+/// a coarse grid (`0.5` steps) so duplicate costs — the tie-break
+/// regime — occur constantly.
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let op = (0u8..3, 0..n, 0usize..16);
+        (Just(n), proptest::collection::vec(op, 0..120))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_sequences_match_binaryheap_oracle((n, ops) in arb_ops()) {
+        // Dijkstra's shape: tie == key, decrease only improves cost.
+        let mut heap = IndexedDaryHeap::new();
+        heap.clear_for(n);
+        let mut oracle = Oracle::with_keys(n);
+        for (op, key, c) in ops {
+            let key = key as u32;
+            let cost = c as f64 * 0.5;
+            match op {
+                0 => {
+                    if !oracle.contains(key) {
+                        prop_assert!(!heap.contains(key));
+                        heap.push(key, key, cost);
+                        oracle.push(key, key, cost);
+                    }
+                }
+                1 => {
+                    if let Some((bits, tie)) = oracle.current[key as usize] {
+                        let improved = cost.min(f64::from_bits(bits));
+                        heap.decrease(key, tie, improved);
+                        oracle.decrease(key, tie, improved);
+                        prop_assert_eq!(heap.priority(key), Some((improved, tie)));
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(heap.pop(), oracle.pop());
+                    prop_assert_eq!(heap.len(), oracle.current.iter().flatten().count());
+                }
+            }
+        }
+        // Drain both: identical tail order, then both empty.
+        loop {
+            let (a, b) = (heap.pop(), oracle.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn prim_shaped_ties_match_oracle((n, ops) in arb_ops()) {
+        // Prim's shape: the tie is an arbitrary id (here the op index),
+        // decrease-key improves the (cost, tie) pair lexicographically —
+        // equal costs with a smaller tie must also reorder.
+        let mut heap = IndexedDaryHeap::new();
+        heap.clear_for(n);
+        let mut oracle = Oracle::with_keys(n);
+        for (i, (op, key, c)) in ops.into_iter().enumerate() {
+            let key = key as u32;
+            let (tie, cost) = (i as u32, c as f64 * 0.5);
+            match op {
+                0 => {
+                    if !oracle.contains(key) {
+                        heap.push(key, tie, cost);
+                        oracle.push(key, tie, cost);
+                    }
+                }
+                1 => {
+                    if let Some((bits, cur_tie)) = oracle.current[key as usize] {
+                        let cur = f64::from_bits(bits);
+                        if cost < cur || (cost == cur && tie < cur_tie) {
+                            heap.decrease(key, tie, cost);
+                            oracle.decrease(key, tie, cost);
+                        }
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(heap.pop(), oracle.pop());
+                }
+            }
+        }
+        loop {
+            let (a, b) = (heap.pop(), oracle.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reused_heap_rounds_are_independent((n, ops) in arb_ops()) {
+        // Run the same tape through one reused heap (generation bumps)
+        // and a fresh heap per round: identical drains every round.
+        let mut reused = IndexedDaryHeap::new();
+        for round in 0..3u32 {
+            reused.clear_for(n);
+            let mut fresh = IndexedDaryHeap::new();
+            fresh.clear_for(n);
+            for &(op, key, c) in &ops {
+                let key = key as u32;
+                // Vary costs per round so stale state would be visible.
+                let cost = c as f64 * 0.5 + round as f64;
+                if op == 2 {
+                    prop_assert_eq!(reused.pop(), fresh.pop());
+                } else if !fresh.contains(key) {
+                    reused.push(key, key, cost);
+                    fresh.push(key, key, cost);
+                } else if fresh.priority(key).is_some_and(|(c0, _)| cost < c0) {
+                    reused.decrease(key, key, cost);
+                    fresh.decrease(key, key, cost);
+                }
+            }
+            loop {
+                let (a, b) = (reused.pop(), fresh.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -23,7 +23,7 @@
 //! | `--seed N` | 42 | RNG seed |
 //! | `--user N` / `--item N` | user 0 | focus of the summary |
 //! | `--recommender R` | pgpr | pgpr, cafe, plm, pearlm, itemknn, mostpop, blackbox |
-//! | `--method M` | st | st, pcst, gw |
+//! | `--method M` | st | st (Mehlhorn closure), st-kmb (paper-exact Algorithm 1), pcst, gw |
 //! | `--lambda F` | 1.0 | Eq. 1 path boost for ST |
 //! | `--k N` | 10 | top-k recommendations to summarize |
 //! | `--format F` | text | text, tsv, dot, overlay |
@@ -33,8 +33,8 @@ use std::process::ExitCode;
 
 use xsum::core::{
     gw_pcst_summary, overlay_to_dot, path_free_user_centric, pcst_summary, render_path,
-    render_summary, steiner_summary, summary_to_dot, summary_to_tsv, PathGenConfig, PcstConfig,
-    SteinerConfig, Summary, SummaryInput,
+    render_summary, steiner_summary, steiner_summary_fast, summary_to_dot, summary_to_tsv,
+    PathGenConfig, PcstConfig, SteinerConfig, Summary, SummaryInput,
 };
 use xsum::datasets::{load_movielens, ml1m_scaled, Dataset};
 use xsum::graph::{LoosePath, NodeId};
@@ -227,18 +227,20 @@ fn item_paths(
 
 fn summarize(a: &Args, ds: &Dataset, input: &SummaryInput) -> Result<Summary, String> {
     let g = &ds.kg.graph;
+    let st_cfg = SteinerConfig {
+        lambda: a.lambda,
+        ..SteinerConfig::default()
+    };
     match a.method.as_str() {
-        "st" => Ok(steiner_summary(
-            g,
-            input,
-            &SteinerConfig {
-                lambda: a.lambda,
-                ..SteinerConfig::default()
-            },
-        )),
+        // The default ST path is the Mehlhorn closure: the §V-B quality
+        // sweep (`repro quality_stfast`) shows its deltas vs KMB are
+        // noise, at a fraction of the cost. `st-kmb` keeps the
+        // paper-exact Algorithm 1 as the fidelity reference.
+        "st" => Ok(steiner_summary_fast(g, input, &st_cfg)),
+        "st-kmb" => Ok(steiner_summary(g, input, &st_cfg)),
         "pcst" => Ok(pcst_summary(g, input, &PcstConfig::default())),
         "gw" => Ok(gw_pcst_summary(g, input, &PcstConfig::default())),
-        other => Err(format!("unknown method {other} (st, pcst, gw)")),
+        other => Err(format!("unknown method {other} (st, st-kmb, pcst, gw)")),
     }
 }
 
@@ -312,7 +314,7 @@ fn run(a: &Args) -> Result<String, String> {
 
 const USAGE: &str = "usage: xsum [--ratings PATH [--users PATH] [--attributes PATH]] \
 [--scale F] [--seed N] (--user N | --item N) [--recommender pgpr|cafe|plm|pearlm|itemknn|mostpop|blackbox] \
-[--method st|pcst|gw] [--lambda F] [--k N] [--format text|tsv|dot|overlay]";
+[--method st|st-kmb|pcst|gw] [--lambda F] [--k N] [--format text|tsv|dot|overlay]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -375,8 +377,22 @@ mod tests {
             ..Args::default()
         };
         let out = run(&a).unwrap();
-        assert!(out.contains("ST user-centric summary"));
+        assert!(out.contains("ST-fast user-centric summary"));
         assert!(out.contains("summary: "));
+    }
+
+    #[test]
+    fn end_to_end_kmb_fidelity_option() {
+        // `st-kmb` keeps the paper-exact Algorithm 1 reachable.
+        let a = Args {
+            scale: 0.02,
+            user: Some(0),
+            method: "st-kmb".into(),
+            k: 5,
+            ..Args::default()
+        };
+        let out = run(&a).unwrap();
+        assert!(out.contains("ST user-centric summary"));
     }
 
     #[test]
