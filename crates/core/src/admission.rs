@@ -69,16 +69,68 @@
 //!   stops admitting, then the dispatcher drains everything already
 //!   queued — accepted tickets always resolve. Submitting afterwards
 //!   returns [`AdmissionError::ShutDown`].
+//!
+//! # Failure semantics
+//!
+//! The queue's one inviolable promise is that **every issued ticket
+//! resolves** — with a summary, or with an error that says why not.
+//! What varies is which error, and what the queue does next:
+//!
+//! * **What sheds.** With an [`OverloadPolicy::shed_watermark`] set,
+//!   admissions that push the queue past the watermark evict the
+//!   *least urgent* queued request (unranked-and-newest first), which
+//!   resolves [`AdmissionError::DeadlineExceeded`] without ever
+//!   touching a worker — under overload the queue trades the work it
+//!   was least likely to serve in time for bounded latency on the
+//!   rest. With the watermark unset (`0`, the default) nothing sheds
+//!   and PR 4's urgency ordering is bit-identical to before.
+//! * **What expires.** A request submitted with
+//!   [`SubmitOptions::expires_at`] that is still queued when its
+//!   wall-clock deadline passes resolves `DeadlineExceeded` at the
+//!   next dispatch decision instead of being served late; one already
+//!   expired at submission resolves immediately, consuming no queue
+//!   room. Requests without an expiry never take the
+//!   [`std::time::Instant`] path at all.
+//! * **What degrades.** A request submitted with
+//!   [`DegradePolicy::AllowStFast`] whose method is `Steiner` (KMB) is
+//!   downgraded at admission to `SteinerFast` (Mehlhorn) while the
+//!   queue is at or above [`OverloadPolicy::degrade_watermark`] — the
+//!   §V-B-licensed quality trade — and the swap is recorded in
+//!   [`DispatchMeta::degraded`]. Degraded results are bit-identical to
+//!   a direct `SteinerFast` call; [`DegradePolicy::Strict`] (the
+//!   default) never degrades.
+//! * **What retries.** A failed coalesced batch (worker panic or an
+//!   injected [`FaultSite::AdmissionDispatch`] fault) is retried
+//!   request-by-request so the error lands on exactly the affected
+//!   tickets; with a fault injector installed, each failed isolation
+//!   retry gets one more attempt (bounded — termination comes from the
+//!   injector's finite budget, never from looping until success).
+//! * **What poisons, and the recovery story.** A failed mutation
+//!   barrier may leave backend replicas diverged, so it **poisons**
+//!   the queue: everything queued resolves
+//!   [`AdmissionError::Poisoned`], and new submissions are refused
+//!   with the same error — but the dispatcher stays alive.
+//!   [`AdmissionQueue::recover`] enqueues a recovery barrier that
+//!   restores the backend from its last mutation-coherent snapshot
+//!   ([`AdmissionBackend::recover_coherence`]; on the sharded backend,
+//!   [`ShardedEngine::resync_replicas`]), after which the queue admits
+//!   and serves again — a failed mutation is a *rollback no-op*, and
+//!   post-recovery results are bit-identical to a fresh stack that
+//!   never saw the failed barrier (`tests/prop_faults.rs`).
+//!
+//! [`FaultSite::AdmissionDispatch`]: crate::faults::FaultSite::AdmissionDispatch
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use xsum_graph::Graph;
 
 use crate::batch::BatchMethod;
 use crate::engine::{EngineError, SummaryEngine};
+use crate::faults::{FaultInjector, FaultKind, FaultSite};
 use crate::input::SummaryInput;
 use crate::shard::ShardedEngine;
 use crate::summary::Summary;
@@ -118,15 +170,23 @@ impl Default for AdmissionConfig {
 }
 
 /// Admission-level failures (distinct from [`EngineError`], which is a
-/// *serving* failure carried inside a resolved ticket).
+/// *serving* failure — carried here as [`AdmissionError::Engine`]).
 #[derive(Debug)]
 pub enum AdmissionError {
     /// [`AdmissionQueue::try_submit`] found the queue at its bound.
     QueueFull,
-    /// The queue no longer admits requests (shut down or poisoned).
+    /// The queue no longer admits requests (shut down).
     ShutDown,
-    /// A mutation barrier's closure panicked (see
-    /// [`AdmissionQueue::mutate`]); the queue is poisoned afterwards.
+    /// The request's wall-clock deadline passed before dispatch, or it
+    /// was shed as the least urgent queued work under overload (see
+    /// the module-level *Failure semantics*). Either way it never
+    /// consumed worker time.
+    DeadlineExceeded,
+    /// A mutation barrier failed and the queue is poisoned until
+    /// [`AdmissionQueue::recover`] restores backend coherence.
+    Poisoned,
+    /// The serving backend failed this request (worker panic or
+    /// injected fault), or a mutation barrier's closure panicked.
     Engine(EngineError),
 }
 
@@ -135,6 +195,12 @@ impl std::fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull => write!(f, "admission queue full"),
             AdmissionError::ShutDown => write!(f, "admission queue shut down"),
+            AdmissionError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before dispatch (expired or shed)")
+            }
+            AdmissionError::Poisoned => {
+                write!(f, "admission queue poisoned by a failed mutation")
+            }
             AdmissionError::Engine(e) => write!(f, "admission backend error: {e}"),
         }
     }
@@ -142,16 +208,76 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Queue-depth watermarks for overload behavior; both default to `0` =
+/// disabled, in which case the queue behaves exactly as before this
+/// layer existed (pinned by the unmodified `tests/prop_admission.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// While more than this many requests are queued, each admission
+    /// evicts the least urgent queued request, which resolves
+    /// [`AdmissionError::DeadlineExceeded`]. `0` = never shed.
+    pub shed_watermark: usize,
+    /// While at least this many requests are queued, admissions that
+    /// opted into [`DegradePolicy::AllowStFast`] have `Steiner`
+    /// downgraded to `SteinerFast`. `0` = never degrade.
+    pub degrade_watermark: usize,
+}
+
+/// Per-request opt-in to graceful degradation under overload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Serve exactly the requested method, whatever the queue depth.
+    #[default]
+    Strict,
+    /// Allow `Steiner` (KMB) to be served as `SteinerFast` (Mehlhorn)
+    /// while the queue is at or above
+    /// [`OverloadPolicy::degrade_watermark`] — the downgrade is
+    /// decided at admission, recorded in [`DispatchMeta::degraded`],
+    /// and the result is bit-identical to a direct `SteinerFast` call.
+    AllowStFast,
+}
+
+/// Everything optional about one submission
+/// ([`AdmissionQueue::submit_with`]); `default()` is a plain
+/// [`AdmissionQueue::submit`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Urgency rank: lower dispatches sooner, `None` sorts last (the
+    /// PR 4 ordering rank — this never *rejects* work by itself).
+    pub deadline: Option<u64>,
+    /// Wall-clock expiry: if still queued at this instant, the ticket
+    /// resolves [`AdmissionError::DeadlineExceeded`] instead of being
+    /// served late. `None` (the default) never consults the clock.
+    pub expires_at: Option<Instant>,
+    /// Overload degradation opt-in (see [`DegradePolicy`]).
+    pub degrade: DegradePolicy,
+}
+
 /// Where and how a ticket's request was dispatched — exposed so tests
 /// and dashboards can observe coalescing and ordering decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DispatchMeta {
     /// Monotone id of the coalesced batch that served the request
     /// (earlier batches have smaller ids; mutation barriers do not
-    /// consume ids).
+    /// consume ids). `0` for tickets that never dispatched (shed,
+    /// expired, or poisoned).
     pub batch: u64,
-    /// How many requests the batch coalesced.
+    /// How many requests the batch coalesced (`0` if never dispatched).
     pub coalesced: usize,
+    /// Whether this request was downgraded `Steiner` → `SteinerFast`
+    /// under [`DegradePolicy::AllowStFast`].
+    pub degraded: bool,
+}
+
+impl DispatchMeta {
+    /// The meta of a ticket that never reached the backend.
+    fn unserved() -> Self {
+        DispatchMeta {
+            batch: 0,
+            coalesced: 0,
+            degraded: false,
+        }
+    }
 }
 
 /// Counters of one [`AdmissionQueue`] (a consistent snapshot).
@@ -179,6 +305,17 @@ pub struct AdmissionStats {
     pub queued: usize,
     /// Requests currently being served by the backend.
     pub in_flight: usize,
+    /// Tickets shed under the [`OverloadPolicy::shed_watermark`]
+    /// (resolved [`AdmissionError::DeadlineExceeded`], never served —
+    /// counted here, not in `failed`, which tracks backend failures).
+    pub shed: u64,
+    /// Tickets whose [`SubmitOptions::expires_at`] passed before
+    /// dispatch (also resolved `DeadlineExceeded`, never served).
+    pub expired: u64,
+    /// Requests downgraded `Steiner` → `SteinerFast` at admission.
+    pub degraded: u64,
+    /// Successful [`AdmissionQueue::recover`] barriers applied.
+    pub recoveries: u64,
 }
 
 /// The serving tier behind an [`AdmissionQueue`]: anything that can run
@@ -202,8 +339,18 @@ pub trait AdmissionBackend: Send + 'static {
         method: BatchMethod,
     ) -> Result<Summary, EngineError>;
 
-    /// Apply one graph mutation coherently (every replica, epoch bump).
-    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph));
+    /// Apply one graph mutation coherently (every replica, epoch
+    /// bump). A panicking closure must surface as `Err`, not unwind;
+    /// after an `Err` the backend may be incoherent (replicas
+    /// diverged, a graph half-mutated) until
+    /// [`AdmissionBackend::recover_coherence`] runs.
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError>;
+
+    /// Restore the backend to its last mutation-coherent state (the
+    /// graph as of the most recent successful mutation) after a failed
+    /// [`AdmissionBackend::mutate_graph`] — the failed barrier becomes
+    /// a rollback no-op.
+    fn recover_coherence(&mut self) -> Result<(), EngineError>;
 }
 
 /// A [`SummaryEngine`] serving an owned graph — the single-engine
@@ -212,13 +359,20 @@ pub trait AdmissionBackend: Send + 'static {
 pub struct EngineBackend {
     graph: Graph,
     engine: SummaryEngine,
+    /// The last mutation-coherent graph — refreshed after every
+    /// successful mutation, restored by `recover_coherence`.
+    last_good: Graph,
 }
 
 impl EngineBackend {
     /// Backend over `graph` served by `engine`.
     pub fn new(graph: Graph, engine: SummaryEngine) -> Self {
         graph.freeze();
-        EngineBackend { graph, engine }
+        EngineBackend {
+            last_good: graph.clone(),
+            graph,
+            engine,
+        }
     }
 }
 
@@ -243,8 +397,16 @@ impl AdmissionBackend for EngineBackend {
         self.engine.try_summarize(&self.graph, input, method)
     }
 
-    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) {
-        f(&mut self.graph);
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError> {
+        catch_unwind(AssertUnwindSafe(|| f(&mut self.graph))).map_err(EngineError::from_panic)?;
+        self.last_good = self.graph.clone();
+        Ok(())
+    }
+
+    fn recover_coherence(&mut self) -> Result<(), EngineError> {
+        self.graph = self.last_good.clone();
+        self.graph.freeze();
+        Ok(())
     }
 }
 
@@ -269,8 +431,13 @@ impl AdmissionBackend for ShardedEngine {
             .map_err(EngineError::from_panic)
     }
 
-    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) {
-        self.mutate(|g| f(g));
+    fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError> {
+        self.try_mutate(f)
+    }
+
+    fn recover_coherence(&mut self) -> Result<(), EngineError> {
+        self.resync_replicas();
+        Ok(())
     }
 }
 
@@ -306,12 +473,39 @@ impl<T> Slot<T> {
         }
     }
 
+    /// Take the value if present, without blocking.
+    fn try_take(&self) -> Option<T> {
+        lock_recovering(&self.value).take()
+    }
+
+    /// [`Slot::wait`] bounded by `timeout`; `None` on timeout (the
+    /// value, when it arrives later, stays takeable).
+    fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = lock_recovering(&self.value);
+        loop {
+            if let Some(v) = guard.take() {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+    }
+
     fn is_ready(&self) -> bool {
         lock_recovering(&self.value).is_some()
     }
 }
 
-type TicketSlot = Slot<(Result<Summary, EngineError>, DispatchMeta)>;
+type TicketOutcome = (Result<Summary, AdmissionError>, DispatchMeta);
+type TicketSlot = Slot<TicketOutcome>;
 
 /// The completion ticket of one admitted request. Resolve it with
 /// [`SummaryTicket::wait`] / [`SummaryTicket::wait_meta`]; waiting
@@ -334,16 +528,50 @@ impl std::fmt::Debug for SummaryTicket {
 
 impl SummaryTicket {
     /// Block until the request was served; returns the summary or the
-    /// [`EngineError`] of the worker panic that hit this request.
-    pub fn wait(self) -> Result<Summary, EngineError> {
+    /// [`AdmissionError`] describing why it wasn't (backend failure,
+    /// deadline, or queue poisoning).
+    pub fn wait(self) -> Result<Summary, AdmissionError> {
         self.wait_meta().0
     }
 
     /// [`SummaryTicket::wait`] plus the [`DispatchMeta`] describing the
     /// coalesced batch that served the request.
-    pub fn wait_meta(self) -> (Result<Summary, EngineError>, DispatchMeta) {
+    pub fn wait_meta(self) -> TicketOutcome {
+        self.flush_own_request();
+        self.slot.wait()
+    }
+
+    /// Non-blocking resolution probe: the outcome if the ticket already
+    /// resolved, else the ticket back. Unlike the waiting entry points
+    /// this does **not** flush the queue — a pure poll.
+    pub fn try_wait(self) -> Result<TicketOutcome, SummaryTicket> {
+        match self.slot.try_take() {
+            Some(v) => Ok(v),
+            None => Err(self),
+        }
+    }
+
+    /// [`SummaryTicket::wait_meta`] bounded by `timeout`: returns the
+    /// ticket back if it did not resolve in time (wait again, poll
+    /// [`SummaryTicket::try_wait`], or drop it — the request still
+    /// completes either way).
+    ///
+    /// Keeps the flush-up-to-own-seq discipline of the unbounded wait,
+    /// so a timeout can never be caused by the linger window itself:
+    /// the dispatcher is already working toward this request while we
+    /// block here.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<TicketOutcome, SummaryTicket> {
+        self.flush_own_request();
+        match self.slot.wait_timeout(timeout) {
+            Some(v) => Ok(v),
+            None => Err(self),
+        }
+    }
+
+    /// Close the linger window up to and including this request so no
+    /// wait on this ticket can deadlock against a lingering coalescer.
+    fn flush_own_request(&self) {
         if !self.slot.is_ready() {
-            // Close the linger window up to and including this request.
             let mut st = lock_recovering(&self.shared.state);
             if st.flush_up_to <= self.seq {
                 st.flush_up_to = self.seq + 1;
@@ -351,7 +579,6 @@ impl SummaryTicket {
                 self.shared.work_cv.notify_all();
             }
         }
-        self.slot.wait()
     }
 
     /// Non-blocking readiness probe (does not flush the queue).
@@ -365,6 +592,14 @@ struct PendingRequest {
     seq: u64,
     /// Urgency rank: lower dispatches sooner, `None` sorts last.
     deadline: Option<u64>,
+    /// Wall-clock expiry; still-queued requests past it resolve
+    /// [`AdmissionError::DeadlineExceeded`] at the next dispatch
+    /// decision instead of being served late.
+    expires_at: Option<Instant>,
+    /// Whether admission downgraded the method under
+    /// [`DegradePolicy::AllowStFast`] (`method` already holds the
+    /// downgraded method; this flag only feeds [`DispatchMeta`]).
+    degraded: bool,
     input: SummaryInput,
     method: BatchMethod,
     slot: Arc<TicketSlot>,
@@ -373,6 +608,10 @@ struct PendingRequest {
 impl PendingRequest {
     fn urgency(&self) -> (u64, u64) {
         (self.deadline.unwrap_or(u64::MAX), self.seq)
+    }
+
+    fn expired_by(&self, now: Instant) -> bool {
+        self.expires_at.is_some_and(|t| t <= now)
     }
 }
 
@@ -383,6 +622,11 @@ enum QueuedOp {
     /// everything after post-mutation.
     Mutate {
         f: Box<dyn FnMut(&mut Graph) + Send>,
+        done: Arc<Slot<Result<(), EngineError>>>,
+    },
+    /// A recovery barrier ([`AdmissionQueue::recover`]): restore
+    /// backend coherence and un-poison the queue.
+    Recover {
         done: Arc<Slot<Result<(), EngineError>>>,
     },
 }
@@ -442,17 +686,29 @@ struct QueueState {
     /// Summary requests in `queue` (mutation barriers don't count
     /// against the bound).
     queued_summaries: usize,
+    /// Queued summary requests carrying an `expires_at` — the guard
+    /// that keeps the zero-expiry path from ever reading the clock.
+    expiring: usize,
     next_seq: u64,
     /// Requests with `seq < flush_up_to` dispatch regardless of the
     /// linger window.
     flush_up_to: u64,
     in_flight: usize,
     shutdown: bool,
+    /// A mutation barrier failed; the backend may be incoherent. No
+    /// admissions until [`AdmissionQueue::recover`] succeeds —
+    /// distinct from `shutdown` so the dispatcher stays alive to serve
+    /// the recovery barrier.
+    poisoned: bool,
     stats: AdmissionStats,
 }
 
 struct QueueShared {
     cfg: AdmissionConfig,
+    policy: OverloadPolicy,
+    /// Deterministic fault injection at the dispatch/mutate seams;
+    /// `None` (the default) costs one never-taken branch per dispatch.
+    faults: Option<Arc<FaultInjector>>,
     state: Mutex<QueueState>,
     /// The dispatcher waits here for admissions / flushes / shutdown.
     work_cv: Condvar,
@@ -503,6 +759,32 @@ impl AdmissionQueue {
     /// A queue over any [`AdmissionBackend`]; the backend moves onto
     /// the dispatcher thread, which owns it for the queue's lifetime.
     pub fn new(backend: impl AdmissionBackend, cfg: AdmissionConfig) -> Self {
+        Self::with_policy(backend, cfg, OverloadPolicy::default())
+    }
+
+    /// [`AdmissionQueue::new`] with overload watermarks (shedding and
+    /// degradation; see [`OverloadPolicy`]).
+    pub fn with_policy(
+        backend: impl AdmissionBackend,
+        cfg: AdmissionConfig,
+        policy: OverloadPolicy,
+    ) -> Self {
+        Self::with_faults(backend, cfg, policy, None)
+    }
+
+    /// Fully explicit construction: overload watermarks plus a
+    /// deterministic fault injector firing at
+    /// [`FaultSite::AdmissionDispatch`] and
+    /// [`FaultSite::AdmissionMutate`]. To also chaos the serving
+    /// layers below, install the same injector on the backend before
+    /// moving it in ([`ShardedEngine::set_fault_injector`],
+    /// [`SummaryEngine::set_fault_hook`]).
+    pub fn with_faults(
+        backend: impl AdmissionBackend,
+        cfg: AdmissionConfig,
+        policy: OverloadPolicy,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let cfg = AdmissionConfig {
             queue_bound: cfg.queue_bound.max(1),
             max_batch: cfg.max_batch.max(1),
@@ -510,13 +792,17 @@ impl AdmissionQueue {
         };
         let shared = Arc::new(QueueShared {
             cfg,
+            policy,
+            faults,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 queued_summaries: 0,
+                expiring: 0,
                 next_seq: 0,
                 flush_up_to: 0,
                 in_flight: 0,
                 shutdown: false,
+                poisoned: false,
                 stats: AdmissionStats::default(),
             }),
             work_cv: Condvar::new(),
@@ -555,13 +841,14 @@ impl AdmissionQueue {
 
     /// Admit one request, blocking while the queue is at its bound (a
     /// blocked producer flushes the queue first, so a lingering
-    /// dispatcher always makes room). Errors only after shutdown.
+    /// dispatcher always makes room). Errors only after shutdown or
+    /// while poisoned.
     pub fn submit(
         &self,
         input: SummaryInput,
         method: BatchMethod,
     ) -> Result<SummaryTicket, AdmissionError> {
-        self.submit_inner(input, method, None, true)
+        self.submit_inner(input, method, SubmitOptions::default(), true)
     }
 
     /// [`AdmissionQueue::submit`] with a deadline/priority rank: lower
@@ -573,7 +860,27 @@ impl AdmissionQueue {
         method: BatchMethod,
         deadline: u64,
     ) -> Result<SummaryTicket, AdmissionError> {
-        self.submit_inner(input, method, Some(deadline), true)
+        self.submit_inner(
+            input,
+            method,
+            SubmitOptions {
+                deadline: Some(deadline),
+                ..SubmitOptions::default()
+            },
+            true,
+        )
+    }
+
+    /// Admit one request with the full set of per-request options
+    /// (urgency rank, wall-clock expiry, degradation opt-in); blocking
+    /// like [`AdmissionQueue::submit`].
+    pub fn submit_with(
+        &self,
+        input: SummaryInput,
+        method: BatchMethod,
+        opts: SubmitOptions,
+    ) -> Result<SummaryTicket, AdmissionError> {
+        self.submit_inner(input, method, opts, true)
     }
 
     /// Non-blocking admission probe: on a full queue returns
@@ -584,7 +891,7 @@ impl AdmissionQueue {
         input: SummaryInput,
         method: BatchMethod,
     ) -> Result<SummaryTicket, AdmissionError> {
-        self.submit_inner(input, method, None, false)
+        self.submit_inner(input, method, SubmitOptions::default(), false)
     }
 
     /// Admit a whole batch request: one ticket per input, admitted in
@@ -606,13 +913,16 @@ impl AdmissionQueue {
         &self,
         input: SummaryInput,
         method: BatchMethod,
-        deadline: Option<u64>,
+        opts: SubmitOptions,
         block: bool,
     ) -> Result<SummaryTicket, AdmissionError> {
         let mut st = lock_recovering(&self.shared.state);
         loop {
             if st.shutdown {
                 return Err(AdmissionError::ShutDown);
+            }
+            if st.poisoned {
+                return Err(AdmissionError::Poisoned);
             }
             if st.queued_summaries < self.shared.cfg.queue_bound {
                 break;
@@ -633,26 +943,97 @@ impl AdmissionQueue {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.queued_summaries += 1;
         st.stats.submitted += 1;
+        let slot = Arc::new(TicketSlot::new());
+        let ticket = SummaryTicket {
+            slot: Arc::clone(&slot),
+            shared: Arc::clone(&self.shared),
+            seq,
+        };
+        // Already past its wall-clock deadline (including time spent
+        // blocked for room above): resolve immediately, consuming no
+        // queue room and no worker time.
+        if let Some(t) = opts.expires_at {
+            if t <= Instant::now() {
+                st.stats.expired += 1;
+                drop(st);
+                slot.put((
+                    Err(AdmissionError::DeadlineExceeded),
+                    DispatchMeta::unserved(),
+                ));
+                return Ok(ticket);
+            }
+        }
+        // Overload degradation, decided at admission against the
+        // pre-admission depth: the coalescer then fingerprints the
+        // *effective* method, so degraded requests batch with native
+        // `SteinerFast` traffic.
+        let mut method = method;
+        let mut degraded = false;
+        if self.shared.policy.degrade_watermark > 0
+            && opts.degrade == DegradePolicy::AllowStFast
+            && st.queued_summaries >= self.shared.policy.degrade_watermark
+        {
+            if let BatchMethod::Steiner(cfg) = method {
+                method = BatchMethod::SteinerFast(cfg);
+                degraded = true;
+                st.stats.degraded += 1;
+            }
+        }
+        st.queued_summaries += 1;
+        if opts.expires_at.is_some() {
+            st.expiring += 1;
+        }
         if st.in_flight > 0 {
             st.stats.overlap_submissions += 1;
         }
-        let slot = Arc::new(TicketSlot::new());
         st.queue.push_back(QueuedOp::Summary(PendingRequest {
             seq,
-            deadline,
+            deadline: opts.deadline,
+            expires_at: opts.expires_at,
+            degraded,
             input,
             method,
-            slot: Arc::clone(&slot),
+            slot,
         }));
+        // Load shedding: past the watermark, evict the least urgent
+        // queued request (possibly the one just admitted) — it
+        // resolves `DeadlineExceeded` without ever reaching a worker.
+        if self.shared.policy.shed_watermark > 0 {
+            let mut shed_any = false;
+            while st.queued_summaries > self.shared.policy.shed_watermark {
+                let victim = st
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, op)| match op {
+                        QueuedOp::Summary(r) => Some((r.urgency(), i)),
+                        _ => None,
+                    })
+                    .max()
+                    .map(|(_, i)| i);
+                let Some(i) = victim else { break };
+                let Some(QueuedOp::Summary(r)) = st.queue.remove(i) else {
+                    unreachable!("victim index held a summary")
+                };
+                st.queued_summaries -= 1;
+                if r.expires_at.is_some() {
+                    st.expiring -= 1;
+                }
+                st.stats.shed += 1;
+                r.slot.put((
+                    Err(AdmissionError::DeadlineExceeded),
+                    DispatchMeta::unserved(),
+                ));
+                shed_any = true;
+            }
+            if shed_any {
+                self.shared.space_cv.notify_all();
+            }
+        }
         drop(st);
         self.shared.work_cv.notify_all();
-        Ok(SummaryTicket {
-            slot,
-            shared: Arc::clone(&self.shared),
-            seq,
-        })
+        Ok(ticket)
     }
 
     /// Enqueue `f` as a mutation **barrier** and block until it was
@@ -669,8 +1050,35 @@ impl AdmissionQueue {
             if st.shutdown {
                 return Err(AdmissionError::ShutDown);
             }
+            if st.poisoned {
+                return Err(AdmissionError::Poisoned);
+            }
             st.queue.push_back(QueuedOp::Mutate {
                 f: Box::new(f),
+                done: Arc::clone(&done),
+            });
+        }
+        self.shared.work_cv.notify_all();
+        done.wait().map_err(AdmissionError::Engine)
+    }
+
+    /// Recover a queue poisoned by a failed mutation barrier: restore
+    /// the backend to its last mutation-coherent snapshot
+    /// ([`AdmissionBackend::recover_coherence`]) and resume admitting.
+    /// The failed barrier becomes a rollback no-op — post-recovery
+    /// results are bit-identical to a stack that never saw it. On a
+    /// healthy queue this is an immediate no-op `Ok`.
+    pub fn recover(&self) -> Result<(), AdmissionError> {
+        let done = Arc::new(Slot::new());
+        {
+            let mut st = lock_recovering(&self.shared.state);
+            if st.shutdown {
+                return Err(AdmissionError::ShutDown);
+            }
+            if !st.poisoned {
+                return Ok(());
+            }
+            st.queue.push_back(QueuedOp::Recover {
                 done: Arc::clone(&done),
             });
         }
@@ -757,6 +1165,25 @@ enum Work {
         f: Box<dyn FnMut(&mut Graph) + Send>,
         done: Arc<Slot<Result<(), EngineError>>>,
     },
+    Recovery {
+        done: Arc<Slot<Result<(), EngineError>>>,
+    },
+}
+
+/// Draw one decision at `site`: `Ok(())` to proceed (sleeping through
+/// any injected delay), or the injected error.
+fn draw_fault(shared: &QueueShared, site: FaultSite, what: &str) -> Result<(), EngineError> {
+    if let Some(inj) = &shared.faults {
+        if let Some(kind) = inj.fire(site) {
+            match kind {
+                FaultKind::Panic | FaultKind::Transient => {
+                    return Err(EngineError::from_message(what));
+                }
+                FaultKind::Delay => inj.sleep_if_delay(kind),
+            }
+        }
+    }
+    Ok(())
 }
 
 fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
@@ -764,7 +1191,7 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
         let work = {
             let mut st = lock_recovering(&shared.state);
             loop {
-                if let Some(work) = next_work(&mut st, &shared.cfg) {
+                if let Some(work) = next_work(&mut st, shared) {
                     if let Work::Batch { reqs, .. } = &work {
                         st.queued_summaries -= reqs.len();
                         st.in_flight = reqs.len();
@@ -790,25 +1217,45 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
                 let meta = DispatchMeta {
                     batch: batch_id,
                     coalesced: reqs.len(),
+                    degraded: false,
                 };
                 let method = reqs[0].method;
                 let inputs: Vec<&SummaryInput> = reqs.iter().map(|r| &r.input).collect();
-                let mut outcomes: Vec<Result<Summary, EngineError>> =
-                    match backend.run_batch(&inputs, method) {
-                        Ok(results) => {
-                            debug_assert_eq!(results.len(), reqs.len());
-                            results.into_iter().map(Ok).collect()
-                        }
-                        Err(_) => {
-                            // A worker panic somewhere in the coalesced
-                            // batch: retry each member in isolation so
-                            // the error lands on exactly the affected
-                            // tickets.
-                            reqs.iter()
-                                .map(|req| backend.run_one(&req.input, req.method))
-                                .collect()
-                        }
-                    };
+                let expiring = reqs.iter().filter(|r| r.expires_at.is_some()).count();
+                let batch_result = match draw_fault(
+                    shared,
+                    FaultSite::AdmissionDispatch,
+                    "injected admission-dispatch fault",
+                ) {
+                    Ok(()) => backend.run_batch(&inputs, method),
+                    Err(e) => Err(e),
+                };
+                let mut outcomes: Vec<Result<Summary, EngineError>> = match batch_result {
+                    Ok(results) => {
+                        debug_assert_eq!(results.len(), reqs.len());
+                        results.into_iter().map(Ok).collect()
+                    }
+                    Err(_) => {
+                        // A worker panic (or injected fault) somewhere
+                        // in the coalesced batch: retry each member in
+                        // isolation so the error lands on exactly the
+                        // affected tickets. Under fault injection, one
+                        // more bounded retry per request — the
+                        // injector's finite budget, not optimism, is
+                        // what guarantees this terminates.
+                        reqs.iter()
+                            .map(|req| {
+                                let first = backend.run_one(&req.input, req.method);
+                                match first {
+                                    Err(_) if shared.faults.is_some() => {
+                                        backend.run_one(&req.input, req.method)
+                                    }
+                                    other => other,
+                                }
+                            })
+                            .collect()
+                    }
+                };
                 // Count first, then resolve tickets: a waiter that
                 // wakes on its slot must already see itself counted.
                 let completed = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
@@ -816,9 +1263,15 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
                     let mut st = lock_recovering(&shared.state);
                     st.stats.completed += completed;
                     st.stats.failed += reqs.len() as u64 - completed;
+                    st.expiring -= expiring;
                 }
                 for (req, outcome) in reqs.iter().zip(outcomes.drain(..)) {
-                    req.slot.put((outcome, meta));
+                    let meta = DispatchMeta {
+                        degraded: req.degraded,
+                        ..meta
+                    };
+                    req.slot
+                        .put((outcome.map_err(AdmissionError::Engine), meta));
                 }
                 // Only now clear `in_flight` and wake `drain`: its
                 // predicate is `queue empty && in_flight == 0`, so
@@ -833,44 +1286,81 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
                 }
             }
             Work::Mutation { mut f, done } => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| backend.mutate_graph(&mut f)));
+                let outcome = match draw_fault(
+                    shared,
+                    FaultSite::AdmissionMutate,
+                    "injected admission-mutation fault",
+                ) {
+                    // An injected mutation fault poisons *without*
+                    // applying the closure — recovery rolls back to
+                    // the same snapshot either way.
+                    Err(e) => Err(e),
+                    Ok(()) => catch_unwind(AssertUnwindSafe(|| backend.mutate_graph(&mut f)))
+                        .unwrap_or_else(|payload| Err(EngineError::from_panic(payload))),
+                };
                 let mut st = lock_recovering(&shared.state);
                 match outcome {
                     Ok(()) => {
                         st.stats.mutations_applied += 1;
                         done.put(Ok(()));
                     }
-                    Err(payload) => {
-                        // Replicas may have diverged mid-closure; no
-                        // further output can be trusted. Poison: fail
-                        // everything queued, stop admitting.
-                        st.shutdown = true;
+                    Err(e) => {
+                        // The backend may be incoherent (replicas
+                        // diverged mid-closure): poison — fail
+                        // everything queued, refuse new admissions —
+                        // but keep the dispatcher alive so a
+                        // `recover` barrier can restore coherence.
+                        st.poisoned = true;
                         let poisoned: Vec<QueuedOp> = st.queue.drain(..).collect();
                         st.queued_summaries = 0;
+                        st.expiring = 0;
                         for op in poisoned {
                             match op {
                                 QueuedOp::Summary(req) => {
                                     st.stats.failed += 1;
                                     req.slot.put((
-                                        Err(EngineError::from_message(
-                                            "admission queue poisoned by a panicked mutation",
-                                        )),
-                                        DispatchMeta {
-                                            batch: 0,
-                                            coalesced: 0,
-                                        },
+                                        Err(AdmissionError::Poisoned),
+                                        DispatchMeta::unserved(),
                                     ));
                                 }
                                 QueuedOp::Mutate { done, .. } => {
                                     done.put(Err(EngineError::from_message(
-                                        "admission queue poisoned by a panicked mutation",
+                                        "admission queue poisoned by a failed mutation",
+                                    )));
+                                }
+                                QueuedOp::Recover { done } => {
+                                    // Can't happen (recover is only
+                                    // admitted while already poisoned)
+                                    // but resolve it anyway: no slot
+                                    // may ever be left unresolved.
+                                    done.put(Err(EngineError::from_message(
+                                        "admission queue poisoned by a failed mutation",
                                     )));
                                 }
                             }
                         }
-                        done.put(Err(EngineError::from_panic(payload)));
+                        done.put(Err(e));
                         shared.space_cv.notify_all();
                     }
+                }
+                if st.queue.is_empty() {
+                    shared.idle_cv.notify_all();
+                }
+            }
+            Work::Recovery { done } => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| backend.recover_coherence()))
+                    .unwrap_or_else(|payload| Err(EngineError::from_panic(payload)));
+                let mut st = lock_recovering(&shared.state);
+                match outcome {
+                    Ok(()) => {
+                        st.poisoned = false;
+                        st.stats.recoveries += 1;
+                        done.put(Ok(()));
+                        // Producers blocked on space while the queue
+                        // poisoned under them should re-check.
+                        shared.space_cv.notify_all();
+                    }
+                    Err(e) => done.put(Err(e)),
                 }
                 if st.queue.is_empty() {
                     shared.idle_cv.notify_all();
@@ -881,29 +1371,64 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
 }
 
 /// Decide the dispatcher's next round under the state lock: a mutation
-/// barrier at the head, a coalesced batch from the head segment once
-/// the linger window closes, or nothing yet (`None` → wait).
-fn next_work(st: &mut QueueState, cfg: &AdmissionConfig) -> Option<Work> {
+/// or recovery barrier at the head, a coalesced batch from the head
+/// segment once the linger window closes, or nothing yet (`None` →
+/// wait). Wall-clock-expired requests are swept out first, so a shed
+/// or expired ticket never consumes dispatcher time.
+fn next_work(st: &mut QueueState, shared: &QueueShared) -> Option<Work> {
+    let cfg = &shared.cfg;
+    if st.expiring > 0 && !st.queue.is_empty() {
+        // One clock read per sweep; the zero-expiry path (every test
+        // and workload predating wall-clock deadlines) never gets
+        // here, keeping dispatch order bit-identical for them.
+        let now = Instant::now();
+        let mut kept: VecDeque<QueuedOp> = VecDeque::with_capacity(st.queue.len());
+        let mut dropped = 0usize;
+        for op in st.queue.drain(..) {
+            match op {
+                QueuedOp::Summary(r) if r.expired_by(now) => {
+                    st.expiring -= 1;
+                    st.queued_summaries -= 1;
+                    st.stats.expired += 1;
+                    dropped += 1;
+                    r.slot.put((
+                        Err(AdmissionError::DeadlineExceeded),
+                        DispatchMeta::unserved(),
+                    ));
+                }
+                other => kept.push_back(other),
+            }
+        }
+        st.queue = kept;
+        if dropped > 0 {
+            shared.space_cv.notify_all();
+        }
+    }
     if st.queue.is_empty() {
         return None;
     }
-    if matches!(st.queue.front(), Some(QueuedOp::Mutate { .. })) {
-        match st.queue.pop_front() {
+    match st.queue.front() {
+        Some(QueuedOp::Mutate { .. }) => match st.queue.pop_front() {
             Some(QueuedOp::Mutate { f, done }) => return Some(Work::Mutation { f, done }),
             _ => unreachable!("front() said Mutate"),
-        }
+        },
+        Some(QueuedOp::Recover { .. }) => match st.queue.pop_front() {
+            Some(QueuedOp::Recover { done }) => return Some(Work::Recovery { done }),
+            _ => unreachable!("front() said Recover"),
+        },
+        _ => {}
     }
     // The head segment: contiguous summary requests before the next
-    // mutation barrier (coalescing never crosses a barrier).
+    // barrier (coalescing never crosses a mutation or recovery).
     let barrier = st
         .queue
         .iter()
-        .position(|op| matches!(op, QueuedOp::Mutate { .. }));
+        .position(|op| !matches!(op, QueuedOp::Summary(_)));
     let seg_end = barrier.unwrap_or(st.queue.len());
     let segment = || {
         st.queue.iter().take(seg_end).map(|op| match op {
             QueuedOp::Summary(r) => r,
-            QueuedOp::Mutate { .. } => unreachable!("segment precedes the barrier"),
+            _ => unreachable!("segment precedes the barrier"),
         })
     };
     let ready = st.shutdown
@@ -1209,10 +1734,29 @@ mod tests {
         // racing in behind the barrier would instead have resolved to
         // an error ticket (both outcomes are "no silent hang").
         match queue.submit(ex.input(), st_method()) {
-            Err(AdmissionError::ShutDown) => {}
+            Err(AdmissionError::Poisoned) => {}
             Ok(ticket) => assert!(ticket.wait().is_err()),
             Err(other) => panic!("unexpected admission error: {other:?}"),
         }
+        assert!(matches!(
+            queue.mutate(|_| {}),
+            Err(AdmissionError::Poisoned)
+        ));
+        // Recovery rolls the backend back to the last coherent
+        // snapshot and reopens admission; the rollback makes the
+        // failed barrier a no-op, so serving matches the pristine
+        // graph.
+        queue.recover().unwrap();
+        let revived = queue.submit(ex.input(), st_method()).unwrap();
+        assert_same(
+            &revived.wait().unwrap(),
+            &st_method().run(&ex.graph, &ex.input()),
+        );
+        let stats = queue.stats();
+        assert_eq!(stats.recoveries, 1);
+        // Recovering a healthy queue is a cheap no-op.
+        queue.recover().unwrap();
+        assert_eq!(queue.stats().recoveries, 1);
     }
 
     #[test]
@@ -1324,5 +1868,228 @@ mod tests {
         assert_eq!(stats.completed, 64);
         assert!(stats.overlap_submissions <= stats.submitted);
         assert!(stats.batches_dispatched >= 1);
+    }
+
+    #[test]
+    fn already_expired_deadline_resolves_without_dispatch() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+        );
+        let opts = SubmitOptions {
+            expires_at: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let ticket = queue.submit_with(ex.input(), st_method(), opts).unwrap();
+        let (outcome, meta) = ticket.wait_meta();
+        assert!(matches!(outcome, Err(AdmissionError::DeadlineExceeded)));
+        assert_eq!(meta.coalesced, 0, "expired ticket never reached a batch");
+        let stats = queue.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.failed, 0, "expiry is its own counter");
+        assert_eq!(stats.batches_dispatched, 0);
+        // The queue still serves ordinary traffic.
+        assert!(queue
+            .submit(ex.input(), st_method())
+            .unwrap()
+            .wait()
+            .is_ok());
+    }
+
+    #[test]
+    fn queued_request_expires_in_the_sweep() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // hold it in the queue past its deadline
+            },
+        );
+        let opts = SubmitOptions {
+            expires_at: Some(Instant::now() + Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let doomed = queue.submit_with(ex.input(), st_method(), opts).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // A flush-triggering wait from a later ticket forces the
+        // dispatcher to look at the queue; the sweep runs first.
+        let fresh = queue.submit(ex.input(), st_method()).unwrap();
+        assert!(fresh.wait().is_ok());
+        let (outcome, meta) = doomed.wait_meta();
+        assert!(matches!(outcome, Err(AdmissionError::DeadlineExceeded)));
+        assert_eq!(meta.coalesced, 0);
+        assert_eq!(queue.stats().expired, 1);
+    }
+
+    #[test]
+    fn shed_watermark_drops_lowest_urgency_first() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::with_policy(
+            EngineBackend::new(ex.graph.clone(), SummaryEngine::with_threads(1)),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+            OverloadPolicy {
+                shed_watermark: 2,
+                degrade_watermark: 0,
+            },
+        );
+        // Two ranked requests fit under the watermark; the third,
+        // unranked, is itself the lowest-urgency entry and is shed.
+        let keep1 = queue
+            .submit_with_deadline(ex.input(), st_method(), 1)
+            .unwrap();
+        let keep2 = queue
+            .submit_with_deadline(ex.input(), st_method(), 2)
+            .unwrap();
+        let shed = queue.submit(ex.input(), st_method()).unwrap();
+        let (outcome, meta) = shed.wait_meta();
+        assert!(matches!(outcome, Err(AdmissionError::DeadlineExceeded)));
+        assert_eq!(meta.coalesced, 0, "shed ticket never consumed a worker");
+        assert!(keep1.wait().is_ok());
+        assert!(keep2.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn degrade_policy_downgrades_steiner_under_load() {
+        let ex = table1_example();
+        let input = ex.input();
+        let queue = AdmissionQueue::with_policy(
+            EngineBackend::new(ex.graph.clone(), SummaryEngine::with_threads(1)),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+            OverloadPolicy {
+                shed_watermark: 0,
+                degrade_watermark: 1,
+            },
+        );
+        // First submission sees an empty queue: no degradation.
+        let strict = queue
+            .submit_with(
+                input.clone(),
+                st_method(),
+                SubmitOptions {
+                    degrade: DegradePolicy::AllowStFast,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Second sees depth 1 >= watermark: downgraded to ST-fast.
+        let degraded = queue
+            .submit_with(
+                input.clone(),
+                st_method(),
+                SubmitOptions {
+                    degrade: DegradePolicy::AllowStFast,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Strict requests are never downgraded regardless of depth.
+        let opted_out = queue.submit(input.clone(), st_method()).unwrap();
+        let (got_strict, meta_strict) = strict.wait_meta();
+        let (got_degraded, meta_degraded) = degraded.wait_meta();
+        let (got_opted_out, meta_opted_out) = opted_out.wait_meta();
+        assert!(!meta_strict.degraded);
+        assert!(meta_degraded.degraded);
+        assert!(!meta_opted_out.degraded);
+        let want_full = st_method().run(&ex.graph, &input);
+        let want_fast = BatchMethod::SteinerFast(SteinerConfig::default()).run(&ex.graph, &input);
+        assert_same(&got_strict.unwrap(), &want_full);
+        assert_same(&got_degraded.unwrap(), &want_fast);
+        assert_same(&got_opted_out.unwrap(), &want_full);
+        assert_eq!(queue.stats().degraded, 1);
+    }
+
+    #[test]
+    fn try_wait_polls_and_wait_timeout_bounds_the_wait() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // nothing dispatches on its own
+            },
+        );
+        let held = queue.submit(ex.input(), st_method()).unwrap();
+        // Pure poll: the linger window is open, nothing resolved yet,
+        // and polling must NOT flush (that's wait's job).
+        let held = match held.try_wait() {
+            Err(t) => t,
+            Ok(_) => panic!("lingering ticket cannot be resolved yet"),
+        };
+        // A bounded wait flushes (so it cannot deadlock on its own
+        // linger window) and then resolves well within the timeout.
+        match held.wait_timeout(Duration::from_secs(30)) {
+            Ok((outcome, _)) => {
+                assert_same(&outcome.unwrap(), &st_method().run(&ex.graph, &ex.input()));
+            }
+            Err(_) => panic!("flushed ticket must resolve within the timeout"),
+        }
+        // A resolved ticket polls Ok immediately.
+        let done = queue.submit(ex.input(), st_method()).unwrap();
+        queue.drain();
+        match done.try_wait() {
+            Ok((outcome, _)) => assert!(outcome.is_ok()),
+            Err(_) => panic!("drained ticket must poll resolved"),
+        }
+    }
+
+    #[test]
+    fn injected_dispatch_faults_keep_every_ticket_resolving() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let ex = table1_example();
+        let injector = Arc::new(FaultInjector::new(FaultPlan {
+            panics: false,
+            delays: false,
+            rate: 1.0,
+            budget: 3,
+            ..FaultPlan::seeded(7)
+        }));
+        let queue = AdmissionQueue::with_faults(
+            EngineBackend::new(ex.graph.clone(), SummaryEngine::with_threads(2)),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 4,
+                linger_tickets: 1,
+            },
+            OverloadPolicy::default(),
+            Some(Arc::clone(&injector)),
+        );
+        let tickets: Vec<_> = (0..12)
+            .map(|_| queue.submit(ex.input(), st_method()).unwrap())
+            .collect();
+        let want = st_method().run(&ex.graph, &ex.input());
+        for t in tickets {
+            // The finite budget plus the bounded per-request retry
+            // guarantee every ticket resolves — and once the budget is
+            // spent, resolves successfully and bit-identically.
+            match t.wait() {
+                Ok(got) => assert_same(&got, &want),
+                Err(e) => assert!(matches!(e, AdmissionError::Engine(_))),
+            }
+        }
+        assert!(injector.total_injected() <= 3);
+        assert_eq!(injector.budget_left(), 0, "rate-1.0 tape spends the budget");
     }
 }

@@ -251,6 +251,17 @@ impl SummaryEngine {
         self.pool.in_flight()
     }
 
+    /// Install (or clear, with `None`) a fault hook on the pinned
+    /// pool's dispatch seam — the engine-level face of the
+    /// fault-injection plane ([`crate::faults`]). The hook runs once on
+    /// the dispatching thread per batch dispatch; a panicking hook
+    /// behaves exactly like a worker panic, so
+    /// [`SummaryEngine::try_summarize_batch`] catches it. Unset (the
+    /// default), the seam costs one never-taken branch per dispatch.
+    pub fn set_fault_hook(&mut self, hook: Option<xsum_graph::DispatchHook>) {
+        self.pool.set_dispatch_hook(hook);
+    }
+
     /// `(hits, misses)` of the engine's cost-model cache — a miss is one
     /// O(|E|) Eq. 1 base-table build. Mutating the graph (any weight or
     /// structural change) moves its epoch and shows up here as a miss on

@@ -1,0 +1,380 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Chaos testing a concurrent serving tier is usually nondeterministic
+//! by construction — faults fire off wall-clock timers or OS signals,
+//! so a failing run cannot be replayed. This repo's whole test strategy
+//! is the opposite (ticket-count linger windows, seeded property
+//! inputs), and the fault plane follows it: a [`FaultPlan`] is a pure
+//! function of a seed, and a [`FaultInjector`] walks that plan with one
+//! atomic counter per [`FaultSite`], so the *tape* of decisions at each
+//! site is identical on every run with the same seed.
+//!
+//! # Hook sites
+//!
+//! The injector is threaded into the stack's existing seams, always as
+//! an `Option<Arc<..>>` that costs one never-taken branch when unset:
+//!
+//! * [`FaultSite::PoolDispatch`] — the [`WorkerPool`] dispatch hook
+//!   ([`FaultInjector::pool_hook`] adapts the injector to the pool's
+//!   type-erased [`DispatchHook`]); a fired panic unwinds like a worker
+//!   panic and is caught by the engine's `try_*` paths.
+//! * [`FaultSite::ShardServe`] — per-replica serve in
+//!   [`ShardedEngine`](crate::shard::ShardedEngine); a fired fault
+//!   fails that replica's sub-batch, exercising circuit breaking and
+//!   failover onto healthy replicas.
+//! * [`FaultSite::AdmissionDispatch`] — batch dispatch in
+//!   [`AdmissionQueue`](crate::admission::AdmissionQueue); a fired
+//!   fault fails the coalesced batch, exercising the per-ticket
+//!   isolation retry.
+//! * [`FaultSite::AdmissionMutate`] — mutation-barrier apply; a fired
+//!   fault poisons the queue, exercising
+//!   [`AdmissionQueue::recover`](crate::admission::AdmissionQueue::recover).
+//!
+//! # Termination
+//!
+//! Every plan carries a total fault **budget**. Retry loops in the
+//! stack are bounded, and once the budget is exhausted the injector
+//! never fires again, so any retried operation eventually runs clean —
+//! under *any* seeded tape, every admitted ticket resolves
+//! (`tests/prop_faults.rs`).
+//!
+//! [`WorkerPool`]: xsum_graph::WorkerPool
+//! [`DispatchHook`]: xsum_graph::DispatchHook
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xsum_graph::DispatchHook;
+
+/// What an injected fault does at its hook site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind (or, at seams with an error channel, fail) the operation
+    /// the way a worker panic would.
+    Panic,
+    /// Fail the operation with a recoverable error without unwinding —
+    /// the "flaky dependency" shape. Seams without an error channel
+    /// (the pool hook) treat it like [`FaultKind::Panic`].
+    Transient,
+    /// Sleep [`FaultPlan::delay`] before proceeding normally — latency
+    /// jitter that must never change any output bit.
+    Delay,
+}
+
+/// Where in the stack a fault can fire (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// [`WorkerPool`](xsum_graph::WorkerPool) dispatch (via
+    /// [`FaultInjector::pool_hook`]).
+    PoolDispatch,
+    /// A [`ShardedEngine`](crate::shard::ShardedEngine) replica serving
+    /// its sub-batch.
+    ShardServe,
+    /// An [`AdmissionQueue`](crate::admission::AdmissionQueue) batch
+    /// dispatch.
+    AdmissionDispatch,
+    /// An admission mutation-barrier apply.
+    AdmissionMutate,
+}
+
+impl FaultSite {
+    /// All sites, in counter-index order.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::PoolDispatch,
+        FaultSite::ShardServe,
+        FaultSite::AdmissionDispatch,
+        FaultSite::AdmissionMutate,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::PoolDispatch => 0,
+            FaultSite::ShardServe => 1,
+            FaultSite::AdmissionDispatch => 2,
+            FaultSite::AdmissionMutate => 3,
+        }
+    }
+
+    /// Per-site salt so the same invocation ordinal draws independent
+    /// decisions at different sites.
+    fn salt(self) -> u64 {
+        [
+            0x9e37_79b9_7f4a_7c15,
+            0xd1b5_4a32_d192_ed03,
+            0x8cb9_2ba7_2f3d_8dd7,
+            0x2545_f491_4f6c_dd1d,
+        ][self.index()]
+    }
+}
+
+/// A seeded description of which faults fire where — the whole plan is
+/// a pure function of its fields, so two injectors built from equal
+/// plans produce the same per-site decision tape.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed of the decision tape.
+    pub seed: u64,
+    /// Probability (clamped to `0.0..=1.0`) that any given hook call
+    /// fires a fault, before the budget is consulted.
+    pub rate: f64,
+    /// Total faults the injector may fire across all sites; `0`
+    /// disables injection entirely. The budget is what makes bounded
+    /// retries terminate (see module docs).
+    pub budget: u32,
+    /// How long a [`FaultKind::Delay`] sleeps.
+    pub delay: Duration,
+    /// Enable [`FaultKind::Panic`] draws.
+    pub panics: bool,
+    /// Enable [`FaultKind::Transient`] draws.
+    pub transients: bool,
+    /// Enable [`FaultKind::Delay`] draws.
+    pub delays: bool,
+}
+
+impl FaultPlan {
+    /// An aggressive default tape for chaos tests: every kind enabled,
+    /// a 25% fire rate, and a budget of 32 faults.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rate: 0.25,
+            budget: 32,
+            delay: Duration::from_micros(200),
+            panics: true,
+            transients: true,
+            delays: true,
+        }
+    }
+
+    /// A plan that never fires (`rate` 0, budget 0) — an installed-but-
+    /// silent injector, used to measure the overhead of the hooks
+    /// themselves (`fault_hooks_overhead_pct`).
+    pub fn silent() -> Self {
+        FaultPlan {
+            seed: 0,
+            rate: 0.0,
+            budget: 0,
+            delay: Duration::ZERO,
+            panics: false,
+            transients: false,
+            delays: false,
+        }
+    }
+}
+
+/// The runtime half of a [`FaultPlan`]: per-site invocation counters
+/// plus the remaining budget. `fire` is lock-free and deterministic per
+/// site — the i-th call at a site draws the same decision on every run
+/// with the same plan (cross-site interleaving only affects which draw
+/// exhausts the shared budget first).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    calls: [AtomicU64; 4],
+    injected: [AtomicU64; 4],
+    budget: AtomicU32,
+}
+
+/// splitmix64 — the standard 64-bit finalizer; one call per decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultInjector {
+    /// An injector walking `plan` from its start.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            budget: AtomicU32::new(plan.budget),
+            plan,
+            calls: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The plan this injector walks.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw the next decision at `site`: `None` (no fault — by rate, by
+    /// exhausted budget, or by no kind being enabled) or the fault to
+    /// inject. The caller is responsible for acting on the kind; use
+    /// [`FaultInjector::sleep_if_delay`] for the delay case.
+    pub fn fire(&self, site: FaultSite) -> Option<FaultKind> {
+        let idx = site.index();
+        let n = self.calls[idx].fetch_add(1, Ordering::Relaxed);
+        let kinds: [Option<FaultKind>; 3] = [
+            self.plan.panics.then_some(FaultKind::Panic),
+            self.plan.transients.then_some(FaultKind::Transient),
+            self.plan.delays.then_some(FaultKind::Delay),
+        ];
+        let enabled: Vec<FaultKind> = kinds.iter().flatten().copied().collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        let h = splitmix64(self.plan.seed ^ site.salt() ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // Top 53 bits → uniform in [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.plan.rate.clamp(0.0, 1.0) {
+            return None;
+        }
+        // Budget gate: decrement-if-positive; losing the race (or an
+        // exhausted budget) suppresses the fault.
+        if self
+            .budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_err()
+        {
+            return None;
+        }
+        self.injected[idx].fetch_add(1, Ordering::Relaxed);
+        Some(enabled[(h % enabled.len() as u64) as usize])
+    }
+
+    /// Sleep the plan's delay iff `kind` is a [`FaultKind::Delay`].
+    pub fn sleep_if_delay(&self, kind: FaultKind) {
+        if kind == FaultKind::Delay && !self.plan.delay.is_zero() {
+            std::thread::sleep(self.plan.delay);
+        }
+    }
+
+    /// How many hook calls `site` has seen.
+    pub fn calls_at(&self, site: FaultSite) -> u64 {
+        self.calls[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many faults actually fired at `site`.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Faults fired across all sites.
+    pub fn total_injected(&self) -> u64 {
+        FaultSite::ALL.iter().map(|&s| self.injected_at(s)).sum()
+    }
+
+    /// Remaining fault budget.
+    pub fn budget_left(&self) -> u32 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Adapt this injector to the [`WorkerPool`] dispatch seam: the
+    /// returned [`DispatchHook`] draws at [`FaultSite::PoolDispatch`]
+    /// and panics for [`FaultKind::Panic`]/[`FaultKind::Transient`]
+    /// (the pool seam has no error channel — the engine's `try_*`
+    /// wrappers catch the unwind) or sleeps for [`FaultKind::Delay`].
+    ///
+    /// [`WorkerPool`]: xsum_graph::WorkerPool
+    pub fn pool_hook(self: &Arc<Self>) -> DispatchHook {
+        let me = Arc::clone(self);
+        Arc::new(move || match me.fire(FaultSite::PoolDispatch) {
+            Some(FaultKind::Panic) | Some(FaultKind::Transient) => {
+                panic!("injected worker-pool dispatch fault")
+            }
+            Some(FaultKind::Delay) => me.sleep_if_delay(FaultKind::Delay),
+            None => {}
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tapes_are_reproducible_per_seed() {
+        for seed in [0u64, 1, 7, 0xdead_beef] {
+            let a = FaultInjector::new(FaultPlan::seeded(seed));
+            let b = FaultInjector::new(FaultPlan::seeded(seed));
+            for site in FaultSite::ALL {
+                for _ in 0..256 {
+                    assert_eq!(a.fire(site), b.fire(site), "seed {seed} {site:?}");
+                }
+            }
+            assert_eq!(a.total_injected(), b.total_injected());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_draw_distinct_tapes() {
+        let a = FaultInjector::new(FaultPlan::seeded(1));
+        let b = FaultInjector::new(FaultPlan::seeded(2));
+        let tape = |inj: &FaultInjector| -> Vec<Option<FaultKind>> {
+            (0..128).map(|_| inj.fire(FaultSite::ShardServe)).collect()
+        };
+        assert_ne!(tape(&a), tape(&b), "seeds must decorrelate tapes");
+    }
+
+    #[test]
+    fn budget_bounds_total_injection() {
+        let plan = FaultPlan {
+            rate: 1.0,
+            budget: 5,
+            ..FaultPlan::seeded(3)
+        };
+        let inj = FaultInjector::new(plan);
+        let mut fired = 0;
+        for _ in 0..100 {
+            for site in FaultSite::ALL {
+                if inj.fire(site).is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        assert_eq!(fired, 5, "budget caps the tape");
+        assert_eq!(inj.total_injected(), 5);
+        assert_eq!(inj.budget_left(), 0);
+        assert!(inj.fire(FaultSite::PoolDispatch).is_none());
+    }
+
+    #[test]
+    fn silent_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::silent());
+        for _ in 0..512 {
+            for site in FaultSite::ALL {
+                assert_eq!(inj.fire(site), None);
+            }
+        }
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn rate_one_fires_every_enabled_draw_until_budget() {
+        let plan = FaultPlan {
+            rate: 1.0,
+            budget: u32::MAX,
+            transients: false,
+            delays: false,
+            ..FaultPlan::seeded(9)
+        };
+        let inj = FaultInjector::new(plan);
+        for _ in 0..64 {
+            assert_eq!(
+                inj.fire(FaultSite::AdmissionDispatch),
+                Some(FaultKind::Panic)
+            );
+        }
+        assert_eq!(inj.calls_at(FaultSite::AdmissionDispatch), 64);
+        assert_eq!(inj.injected_at(FaultSite::AdmissionDispatch), 64);
+    }
+
+    #[test]
+    fn pool_hook_panics_on_injected_fault() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            rate: 1.0,
+            budget: 1,
+            transients: false,
+            delays: false,
+            ..FaultPlan::seeded(4)
+        }));
+        let hook = inj.pool_hook();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook()));
+        assert!(caught.is_err(), "budgeted fault must panic");
+        hook(); // budget exhausted: clean
+        assert_eq!(inj.injected_at(FaultSite::PoolDispatch), 1);
+    }
+}

@@ -76,6 +76,7 @@ pub mod batch;
 pub mod engine;
 pub mod exact;
 pub mod export;
+pub mod faults;
 pub mod gw;
 pub mod incremental;
 pub mod incremental_pcst;
@@ -92,7 +93,7 @@ pub mod weighting;
 
 pub use admission::{
     AdmissionBackend, AdmissionConfig, AdmissionError, AdmissionQueue, AdmissionStats,
-    DispatchMeta, EngineBackend, SummaryTicket,
+    DegradePolicy, DispatchMeta, EngineBackend, OverloadPolicy, SubmitOptions, SummaryTicket,
 };
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
 pub use engine::{EngineError, SummaryEngine};
@@ -100,6 +101,7 @@ pub use exact::{
     exact_steiner_cost, exact_steiner_tree, optimality_gap, OptimalityGap, MAX_EXACT_TERMINALS,
 };
 pub use export::{overlay_to_dot, summary_to_dot, summary_to_tsv};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use gw::gw_pcst_summary;
 pub use incremental::{incremental_series, IncrementalSteiner};
 pub use incremental_pcst::{incremental_pcst_series, IncrementalPcst};
@@ -112,7 +114,7 @@ pub use pcst::{pcst_summary, PcstConfig, PcstScope};
 pub use prizes::{node_prizes, pcst_summary_with_policy, PrizePolicy};
 pub use render::{render_path, render_summary, table1_example, Table1Example};
 pub use session::{session_summary, EngineSession, SessionKey, SessionStore};
-pub use shard::{HashRouter, ShardRouter, ShardedEngine};
+pub use shard::{BreakerState, CircuitConfig, HashRouter, ShardRouter, ShardedEngine};
 pub use steiner::{
     flush_cost_model_cache, steiner_costs, steiner_summary, steiner_summary_fast, steiner_tree,
     steiner_tree_fast, steiner_tree_fast_with, steiner_tree_with, CostModelCache, CostModelKey,

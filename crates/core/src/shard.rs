@@ -62,14 +62,54 @@
 //! range-partitioned user ids, or a consistent-hash ring — and, once
 //! replicas hold true sub-graphs, the same hook decides which partition
 //! owns which request.
+//!
+//! # Failure semantics
+//!
+//! Because every replica is a **full** graph replica, any replica can
+//! serve any request — which turns replica failure from an
+//! availability problem into a routing problem:
+//!
+//! * **What retries.** A replica whose serve panics (or draws an
+//!   injected fault at [`FaultSite::ShardServe`]) fails only its own
+//!   sub-batch; that sub-batch is retried sequentially on each other
+//!   replica (once per replica) before the batch as a whole gives up.
+//!   Only if *every* replica refuses does the original panic payload
+//!   resurface — so [`ShardedEngine::try_summarize_batch`] still
+//!   reports the root cause, and a single healthy replica keeps the
+//!   tier serving bit-identical results.
+//! * **What circuit-breaks.** Each replica carries a
+//!   Closed → Open → HalfOpen breaker ([`BreakerState`], tuned by
+//!   [`CircuitConfig`]): [`CircuitConfig::failure_threshold`]
+//!   consecutive failures open it, routing then prefers the next
+//!   non-open replica, and after a cooldown (measured in serve calls,
+//!   not wall clock — deterministic like everything else) the replica
+//!   is probed half-open; a failed probe re-opens it with doubled,
+//!   capped backoff. With no failures every breaker stays closed and
+//!   routing is byte-for-byte the PR 3 plan.
+//! * **What recovers.** [`ShardedEngine::try_mutate`] applies a
+//!   mutation replica-by-replica under `catch_unwind`; a panicking
+//!   mutation leaves the replicas diverged and returns the error
+//!   instead of unwinding. [`ShardedEngine::resync_replicas`] restores
+//!   every replica from the last mutation-coherent snapshot (refreshed
+//!   after each successful mutation), which is how
+//!   [`AdmissionQueue::recover`](crate::admission::AdmissionQueue::recover)
+//!   un-poisons a queue over a sharded backend.
+//! * **What does not fail over.** Sessions are stateful and
+//!   shard-affine, so [`ShardedEngine::session_summary`] always serves
+//!   on the owning shard — failing a session over would silently fork
+//!   its incremental state.
+//!
+//! [`FaultSite::ShardServe`]: crate::faults::FaultSite::ShardServe
 
 use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use xsum_graph::{fxhash::FxHasher, num_threads, parallel_zip_map, EdgeId, Graph, NodeId};
 
 use crate::batch::BatchMethod;
 use crate::engine::{EngineError, SummaryEngine};
+use crate::faults::{FaultInjector, FaultKind, FaultSite};
 use crate::input::SummaryInput;
 use crate::session::{session_summary, SessionKey, SessionStore};
 use crate::steiner::SteinerConfig;
@@ -155,6 +195,63 @@ struct ShardReplica {
     engine: SummaryEngine,
 }
 
+/// The health of one replica's circuit breaker (see the module-level
+/// *Failure semantics*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving normally; failures are counted toward the threshold.
+    Closed,
+    /// Tripped: routing prefers other replicas until the cooldown
+    /// (measured in serve calls) elapses.
+    Open,
+    /// Cooldown elapsed: the replica is offered traffic as a probe —
+    /// one success closes it, one failure re-opens it with doubled
+    /// backoff.
+    HalfOpen,
+}
+
+/// Tuning knobs of the per-replica circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// Initial cooldown, in serve calls, before an open breaker is
+    /// probed half-open.
+    pub cooldown: u32,
+    /// Backoff cap: each failed half-open probe doubles the cooldown
+    /// up to this many serve calls.
+    pub max_cooldown: u32,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> Self {
+        CircuitConfig {
+            failure_threshold: 3,
+            cooldown: 8,
+            max_cooldown: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReplicaHealth {
+    state: BreakerState,
+    failures: u32,
+    opened_at: u64,
+    cooldown: u32,
+}
+
+impl ReplicaHealth {
+    fn new(cfg: &CircuitConfig) -> Self {
+        ReplicaHealth {
+            state: BreakerState::Closed,
+            failures: 0,
+            opened_at: 0,
+            cooldown: cfg.cooldown,
+        }
+    }
+}
+
 /// A sharded serving front-end: N [`SummaryEngine`] replicas, each over
 /// its own graph replica, behind a [`ShardRouter`] (see module docs).
 ///
@@ -182,6 +279,17 @@ struct ShardReplica {
 pub struct ShardedEngine {
     replicas: Vec<ShardReplica>,
     router: Box<dyn ShardRouter>,
+    /// Per-replica circuit-breaker state, parallel to `replicas`.
+    health: Vec<ReplicaHealth>,
+    circuit: CircuitConfig,
+    /// Virtual time for breaker cooldowns: one tick per serve entry
+    /// point call, so backoff is deterministic under test.
+    serve_clock: u64,
+    faults: Option<Arc<FaultInjector>>,
+    /// The last mutation-coherent graph: refreshed on construction and
+    /// after every successful mutation, the restore point of
+    /// [`ShardedEngine::resync_replicas`].
+    last_good: Graph,
 }
 
 impl ShardedEngine {
@@ -209,13 +317,22 @@ impl ShardedEngine {
         // and an *identical epoch* to the seed — replicas only fork
         // epochs when mutated through `mutate`.
         g.freeze();
-        let replicas = (0..shards.max(1))
+        let circuit = CircuitConfig::default();
+        let replicas: Vec<ShardReplica> = (0..shards.max(1))
             .map(|_| ShardReplica {
                 graph: g.clone(),
                 engine: SummaryEngine::with_threads(threads_per_shard.max(1)),
             })
             .collect();
-        ShardedEngine { replicas, router }
+        ShardedEngine {
+            health: vec![ReplicaHealth::new(&circuit); replicas.len()],
+            circuit,
+            serve_clock: 0,
+            faults: None,
+            last_good: g.clone(),
+            replicas,
+            router,
+        }
     }
 
     /// Number of shard replicas.
@@ -264,14 +381,177 @@ impl ShardedEngine {
         }
     }
 
+    /// Replace the per-replica circuit-breaker tuning and reset every
+    /// breaker to [`BreakerState::Closed`].
+    pub fn set_circuit_config(&mut self, cfg: CircuitConfig) {
+        self.circuit = cfg;
+        self.health = vec![ReplicaHealth::new(&cfg); self.replicas.len()];
+    }
+
+    /// The breaker state of one replica.
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.health[shard].state
+    }
+
+    /// Install (or clear, with `None`) a fault injector: fires at
+    /// [`FaultSite::ShardServe`] on each primary sub-batch dispatch,
+    /// and is forwarded to every replica engine's worker-pool dispatch
+    /// seam ([`SummaryEngine::set_fault_hook`]). Unset (the default),
+    /// both seams cost one never-taken branch each.
+    pub fn set_fault_injector(&mut self, faults: Option<Arc<FaultInjector>>) {
+        for r in &mut self.replicas {
+            r.engine
+                .set_fault_hook(faults.as_ref().map(|i| i.pool_hook()));
+        }
+        self.faults = faults;
+    }
+
+    /// Advance virtual time and promote cooled-down open breakers to
+    /// their half-open probe. Called once per serve entry point.
+    fn tick(&mut self) {
+        self.serve_clock += 1;
+        let now = self.serve_clock;
+        for h in &mut self.health {
+            if h.state == BreakerState::Open && now.saturating_sub(h.opened_at) >= h.cooldown as u64
+            {
+                h.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    fn record_success(&mut self, shard: usize) {
+        let h = &mut self.health[shard];
+        h.state = BreakerState::Closed;
+        h.failures = 0;
+        h.cooldown = self.circuit.cooldown;
+    }
+
+    fn record_failure(&mut self, shard: usize) {
+        let now = self.serve_clock;
+        let cfg = self.circuit;
+        let h = &mut self.health[shard];
+        match h.state {
+            BreakerState::Closed => {
+                h.failures += 1;
+                if h.failures >= cfg.failure_threshold {
+                    h.state = BreakerState::Open;
+                    h.opened_at = now;
+                }
+            }
+            BreakerState::Open | BreakerState::HalfOpen => {
+                h.state = BreakerState::Open;
+                h.opened_at = now;
+                h.cooldown = h.cooldown.saturating_mul(2).min(cfg.max_cooldown.max(1));
+            }
+        }
+    }
+
+    /// `home` if its breaker is not open, else the first non-open
+    /// replica scanning forward from it; all-open falls back to `home`
+    /// (full replicas: serving beats refusing).
+    fn healthy_or(&self, home: usize) -> usize {
+        if self.health[home].state != BreakerState::Open {
+            return home;
+        }
+        let n = self.replicas.len();
+        (1..n)
+            .map(|off| (home + off) % n)
+            .find(|&c| self.health[c].state != BreakerState::Open)
+            .unwrap_or(home)
+    }
+
+    /// Serve `sub` on one replica with the panic caught — the failover
+    /// unit. No fault is drawn here: retries run clean so a healthy
+    /// replica genuinely rescues the sub-batch (the replica's own pool
+    /// hook can still fire, which is what bounds chaos tests to the
+    /// injector's budget rather than to one draw per sub-batch).
+    fn serve_on(
+        &mut self,
+        shard: usize,
+        sub: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        let r = &mut self.replicas[shard];
+        catch_unwind(AssertUnwindSafe(|| {
+            r.engine.summarize_batch_refs(&r.graph, sub, method)
+        }))
+        .map_err(EngineError::from_panic)
+    }
+
+    /// [`ShardedEngine::serve_on`] preceded by a
+    /// [`FaultSite::ShardServe`] draw — the primary dispatch path.
+    fn serve_with_faults(
+        &mut self,
+        shard: usize,
+        sub: &[&SummaryInput],
+        method: BatchMethod,
+    ) -> Result<Vec<Summary>, EngineError> {
+        if let Some(inj) = &self.faults {
+            if let Some(kind) = inj.fire(FaultSite::ShardServe) {
+                match kind {
+                    FaultKind::Panic | FaultKind::Transient => {
+                        return Err(EngineError::from_message("injected shard-serve fault"));
+                    }
+                    FaultKind::Delay => inj.sleep_if_delay(kind),
+                }
+            }
+        }
+        self.serve_on(shard, sub, method)
+    }
+
+    /// Retry a failed sub-batch once on every other replica (or, on a
+    /// single-shard engine, once more on the only replica — the
+    /// failure may have been an injected fault). If every replica
+    /// refuses, resurface the last panic payload so
+    /// [`ShardedEngine::try_summarize_batch`] reports the root cause.
+    fn failover(
+        &mut self,
+        failed: usize,
+        sub: &[&SummaryInput],
+        method: BatchMethod,
+        first_err: EngineError,
+    ) -> Vec<Summary> {
+        let n = self.replicas.len();
+        let mut last = first_err;
+        let candidates: Vec<usize> = if n == 1 {
+            vec![failed]
+        } else {
+            (1..n).map(|off| (failed + off) % n).collect()
+        };
+        for cand in candidates {
+            match self.serve_on(cand, sub, method) {
+                Ok(v) => {
+                    self.record_success(cand);
+                    return v;
+                }
+                Err(e) => {
+                    self.record_failure(cand);
+                    last = e;
+                }
+            }
+        }
+        panic!("{}", last.message())
+    }
+
     /// Compute one summary on the shard `input` routes to, reusing that
     /// replica's warm state. Bit-identical to
     /// [`SummaryEngine::summarize`] (and hence to the sequential free
-    /// functions).
+    /// functions) on any replica — so breaker-driven re-routing and
+    /// failover cannot change the answer, only who computes it.
     pub fn summarize(&mut self, input: &SummaryInput, method: BatchMethod) -> Summary {
-        let shard = self.shard_of_input(input);
-        let r = &mut self.replicas[shard];
-        r.engine.summarize(&r.graph, input, method)
+        self.tick();
+        let primary = self.healthy_or(self.shard_of_input(input));
+        match self.serve_with_faults(primary, std::slice::from_ref(&input), method) {
+            Ok(mut v) => {
+                self.record_success(primary);
+                v.pop().expect("one input yields one summary")
+            }
+            Err(e) => {
+                self.record_failure(primary);
+                let mut v = self.failover(primary, std::slice::from_ref(&input), method, e);
+                v.pop().expect("one input yields one summary")
+            }
+        }
     }
 
     /// Summarize a mixed batch across the shard replicas: scatter by
@@ -312,17 +592,30 @@ impl ShardedEngine {
         if inputs.is_empty() {
             return Vec::new();
         }
+        self.tick();
         if n == 1 {
-            let r = &mut self.replicas[0];
             let refs: Vec<&SummaryInput> = inputs.iter().map(|i| i.borrow()).collect();
-            return r.engine.summarize_batch_refs(&r.graph, &refs, method);
+            return match self.serve_with_faults(0, &refs, method) {
+                Ok(v) => {
+                    self.record_success(0);
+                    v
+                }
+                Err(e) => {
+                    self.record_failure(0);
+                    self.failover(0, &refs, method, e)
+                }
+            };
         }
         // Scatter: per-shard lists of original input positions plus
         // *borrowed* sub-batches — routing a batch allocates only these
-        // index/pointer vectors, never a `SummaryInput`.
+        // index/pointer vectors, never a `SummaryInput`. Inputs homed
+        // on an open-breaker replica are re-routed to the next healthy
+        // one up front (with every breaker closed — the steady state —
+        // this is exactly the router's plan).
         let mut plan: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, input) in inputs.iter().enumerate() {
-            plan[self.router.route_input(input.borrow(), n).min(n - 1)].push(i);
+            let home = self.router.route_input(input.borrow(), n).min(n - 1);
+            plan[self.healthy_or(home)].push(i);
         }
         let subs: Vec<Vec<&SummaryInput>> = plan
             .iter()
@@ -330,28 +623,56 @@ impl ShardedEngine {
             .collect();
         // Dispatch: replica i serves exactly sub-batch i, concurrently.
         // Idle replicas (empty sub-batch) are skipped — they would
-        // spawn a front-end thread only to return nothing.
+        // spawn a front-end thread only to return nothing. Each
+        // dispatch draws at `ShardServe` and runs under `catch_unwind`,
+        // so one replica's failure costs only its own sub-batch.
         let mut busy: Vec<&mut ShardReplica> = Vec::new();
         let mut busy_subs: Vec<&[&SummaryInput]> = Vec::new();
-        for (r, sub) in self.replicas.iter_mut().zip(&subs) {
+        let mut busy_idx: Vec<usize> = Vec::new();
+        for (shard, (r, sub)) in self.replicas.iter_mut().zip(&subs).enumerate() {
             if !sub.is_empty() {
                 busy.push(r);
                 busy_subs.push(sub);
+                busy_idx.push(shard);
             }
         }
-        let per_shard = parallel_zip_map(&mut busy, &busy_subs, |r, sub| {
-            r.engine.summarize_batch_refs(&r.graph, sub, method)
-        });
+        let faults = self.faults.clone();
+        let per_shard: Vec<Result<Vec<Summary>, EngineError>> =
+            parallel_zip_map(&mut busy, &busy_subs, |r, sub| {
+                if let Some(inj) = &faults {
+                    if let Some(kind) = inj.fire(FaultSite::ShardServe) {
+                        match kind {
+                            FaultKind::Panic | FaultKind::Transient => {
+                                return Err(EngineError::from_message(
+                                    "injected shard-serve fault",
+                                ));
+                            }
+                            FaultKind::Delay => inj.sleep_if_delay(kind),
+                        }
+                    }
+                }
+                catch_unwind(AssertUnwindSafe(|| {
+                    r.engine.summarize_batch_refs(&r.graph, sub, method)
+                }))
+                .map_err(EngineError::from_panic)
+            });
 
-        // Gather: busy shards come back in shard order; reassemble in
-        // input order.
+        // Gather: busy shards come back in shard order; record health,
+        // fail failed sub-batches over, and reassemble in input order.
         let mut pairs: Vec<(usize, Summary)> = Vec::with_capacity(inputs.len());
-        for (indices, results) in plan
-            .iter()
-            .filter(|indices| !indices.is_empty())
-            .zip(per_shard)
-        {
-            pairs.extend(indices.iter().copied().zip(results));
+        for (k, res) in per_shard.into_iter().enumerate() {
+            let shard = busy_idx[k];
+            let results = match res {
+                Ok(v) => {
+                    self.record_success(shard);
+                    v
+                }
+                Err(e) => {
+                    self.record_failure(shard);
+                    self.failover(shard, &subs[shard], method, e)
+                }
+            };
+            pairs.extend(plan[shard].iter().copied().zip(results));
         }
         pairs.sort_unstable_by_key(|(i, _)| *i);
         pairs.into_iter().map(|(_, s)| s).collect()
@@ -385,6 +706,40 @@ impl ShardedEngine {
     pub fn mutate(&mut self, mut f: impl FnMut(&mut Graph)) {
         for r in &mut self.replicas {
             f(&mut r.graph);
+        }
+        self.last_good = self.replicas[0].graph.clone();
+    }
+
+    /// [`ShardedEngine::mutate`] with a panicking mutation surfaced as
+    /// a recoverable [`EngineError`] instead of unwinding.
+    ///
+    /// The closure is applied replica-by-replica under `catch_unwind`;
+    /// on failure the replicas are left **diverged** (earlier replicas
+    /// mutated, the failing one possibly half-mutated) and the
+    /// coherent-snapshot restore point is *not* advanced — call
+    /// [`ShardedEngine::resync_replicas`] to restore coherence before
+    /// serving again. This is the admission queue's mutation-barrier
+    /// seam ([`AdmissionBackend::mutate_graph`](crate::admission::AdmissionBackend::mutate_graph)).
+    pub fn try_mutate(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError> {
+        for r in &mut self.replicas {
+            catch_unwind(AssertUnwindSafe(|| f(&mut r.graph))).map_err(EngineError::from_panic)?;
+        }
+        self.last_good = self.replicas[0].graph.clone();
+        Ok(())
+    }
+
+    /// Restore every replica from the last mutation-coherent snapshot
+    /// (the graph as of the most recent successful mutation, or
+    /// construction). A failed [`ShardedEngine::try_mutate`] is thereby
+    /// a rollback no-op: the restored content — and its mutation epoch
+    /// — predate the failed closure, so each replica's epoch-keyed
+    /// cost-model cache and session store remain valid for exactly the
+    /// state being served. Breaker states are left untouched; they
+    /// track serve health, not mutation coherence.
+    pub fn resync_replicas(&mut self) {
+        self.last_good.freeze();
+        for r in &mut self.replicas {
+            r.graph = self.last_good.clone();
         }
     }
 
@@ -686,6 +1041,104 @@ mod tests {
             err.message()
         );
         // Every replica keeps serving bit-identically afterwards.
+        let after = sharded.summarize_batch(&inputs, method);
+        for (w, s) in want.iter().zip(&after) {
+            assert_same(w, s);
+        }
+    }
+
+    #[test]
+    fn breaker_trips_reroutes_and_recloses() {
+        use crate::faults::{FaultInjector, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let (g, inputs) = mixed_inputs();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut sharded = ShardedEngine::with_threads(&g, 2, 1);
+        let want = sharded.summarize_batch(&inputs, method);
+        sharded.set_circuit_config(CircuitConfig {
+            failure_threshold: 1,
+            cooldown: 2,
+            max_cooldown: 8,
+        });
+        // A shard-serve-only injector that fires on every draw until
+        // its budget (1 fault) is spent: the first batch loses exactly
+        // one primary dispatch and must fail it over.
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            rate: 1.0,
+            budget: 1,
+            panics: false,
+            delays: false,
+            ..FaultPlan::seeded(11)
+        }));
+        sharded.set_fault_injector(Some(inj.clone()));
+        let got = sharded.summarize_batch(&inputs, method);
+        for (w, s) in want.iter().zip(&got) {
+            assert_same(w, s);
+        }
+        assert_eq!(inj.injected_at(FaultSite::ShardServe), 1);
+        let tripped = (0..2)
+            .filter(|&s| sharded.breaker_state(s) == BreakerState::Open)
+            .count();
+        assert_eq!(tripped, 1, "threshold 1 must open the faulted replica");
+
+        // Budget exhausted: serving continues bit-identically while the
+        // open replica cools down, goes half-open, and recloses on its
+        // probe success.
+        let mut saw_half_open = false;
+        for _ in 0..4 {
+            let again = sharded.summarize_batch(&inputs, method);
+            for (w, s) in want.iter().zip(&again) {
+                assert_same(w, s);
+            }
+            saw_half_open |= (0..2).any(|s| sharded.breaker_state(s) == BreakerState::HalfOpen);
+        }
+        assert!(
+            (0..2).all(|s| sharded.breaker_state(s) == BreakerState::Closed),
+            "probe success must reclose the breaker (half-open seen: {saw_half_open})"
+        );
+    }
+
+    #[test]
+    fn failed_mutation_is_a_rollback_noop_after_resync() {
+        let (g, inputs) = mixed_inputs();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut sharded = ShardedEngine::with_threads(&g, 2, 1);
+
+        // One good mutation advances the restore point.
+        sharded.set_weight(EdgeId(0), 0.25);
+        let mut reference = g.clone();
+        reference.set_weight(EdgeId(0), 0.25);
+        let want: Vec<Summary> = inputs.iter().map(|i| method.run(&reference, i)).collect();
+
+        // A mutation that diverges the replicas: succeeds on the first,
+        // panics on the second.
+        let mut applications = 0;
+        let err = sharded
+            .try_mutate(&mut |g: &mut Graph| {
+                applications += 1;
+                if applications == 2 {
+                    panic!("mutation torn mid-replica");
+                }
+                g.set_weight(EdgeId(1), 9.0);
+            })
+            .expect_err("a panicking mutation must surface as an error");
+        assert!(err.message().contains("torn"), "payload: {}", err.message());
+        assert_ne!(
+            sharded.graph(0).weight(EdgeId(1)),
+            sharded.graph(1).weight(EdgeId(1)),
+            "fixture must actually diverge the replicas"
+        );
+
+        sharded.resync_replicas();
+        for shard in 0..sharded.shards() {
+            assert_eq!(sharded.graph(shard).weight(EdgeId(0)), 0.25);
+            assert_eq!(
+                sharded.graph(shard).weight(EdgeId(1)),
+                reference.weight(EdgeId(1)),
+                "failed mutation must roll back entirely"
+            );
+        }
         let after = sharded.summarize_batch(&inputs, method);
         for (w, s) in want.iter().zip(&after) {
             assert_same(w, s);

@@ -71,7 +71,7 @@ pub use mst::{kruskal, prim, prim_with, MstEdge, PrimWorkspace};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use parallel::{num_threads, parallel_map, parallel_map_with, parallel_zip_map};
 pub use path::Path;
-pub use pool::{InFlightJob, WorkerPool};
+pub use pool::{DispatchHook, InFlightJob, WorkerPool};
 pub use subgraph::Subgraph;
 pub use traversal::{
     bfs_order, is_weakly_connected, is_weakly_connected_in_subgraph, weakly_connected_components,

@@ -80,6 +80,13 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// A dispatch-time hook (fault injection, tracing): called once on the
+/// dispatching thread at the start of every [`WorkerPool::map_with`],
+/// including the sequential fallback. A panicking hook behaves exactly
+/// like a worker panic — it unwinds into the caller, and the pool stays
+/// serviceable. See [`WorkerPool::set_dispatch_hook`].
+pub type DispatchHook = Arc<dyn Fn() + Send + Sync>;
+
 /// A fixed-size pool of parked worker threads (see module docs).
 pub struct WorkerPool {
     size: usize,
@@ -89,6 +96,9 @@ pub struct WorkerPool {
     /// item, one-shot wrappers over tiny batches) never pay a thread
     /// spawn.
     handles: Vec<JoinHandle<()>>,
+    /// Optional dispatch hook; `None` (the default) costs one
+    /// always-not-taken branch per `map_with` call.
+    hook: Option<DispatchHook>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -120,12 +130,22 @@ impl WorkerPool {
             size: workers.max(1),
             shared,
             handles: Vec::new(),
+            hook: None,
         }
     }
 
     /// Number of worker threads in the pool (spawned or not).
     pub fn workers(&self) -> usize {
         self.size
+    }
+
+    /// Install (or clear) the dispatch-time [`DispatchHook`]. The hook
+    /// runs on the dispatching thread at the start of every
+    /// [`WorkerPool::map_with`] call, before any work is fanned out, so
+    /// a hook that panics aborts the whole dispatch like a worker panic
+    /// would — nothing is half-dispatched and the pool keeps serving.
+    pub fn set_dispatch_hook(&mut self, hook: Option<DispatchHook>) {
+        self.hook = hook;
     }
 
     fn ensure_spawned(&mut self) {
@@ -247,6 +267,9 @@ impl WorkerPool {
         assert!(!states.is_empty(), "need at least one worker state");
         if items.is_empty() {
             return Vec::new();
+        }
+        if let Some(hook) = &self.hook {
+            hook();
         }
         let active = states.len().min(items.len()).min(self.size);
         if active <= 1 || items.len() == 1 {
@@ -606,6 +629,34 @@ mod tests {
             assert_eq!(out.len(), items.len());
             drop(pool); // join; debug_assert inside surfaces worker crashes
         }
+    }
+
+    #[test]
+    fn dispatch_hook_runs_once_per_call_and_panics_like_a_worker() {
+        let mut pool = WorkerPool::new(2);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let hook_calls = Arc::clone(&calls);
+        pool.set_dispatch_hook(Some(Arc::new(move || {
+            if hook_calls.fetch_add(1, Ordering::SeqCst) == 1 {
+                panic!("injected dispatch fault");
+            }
+        })));
+        let items: Vec<usize> = (0..16).collect();
+        let mut states = vec![(); 2];
+        // First call: hook fires cleanly, results are unaffected.
+        let out = pool.map_with(&mut states, &items, |_, _, &x| x);
+        assert_eq!(out, items);
+        // Second call: the hook panics; the dispatch unwinds like a
+        // worker panic and nothing was fanned out.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_with(&mut states, &items, |_, _, &x| x)
+        }));
+        assert!(caught.is_err(), "hook panic must reach the caller");
+        // Cleared hook: the pool serves exactly as before.
+        pool.set_dispatch_hook(None);
+        let out = pool.map_with(&mut states, &items, |_, _, &x| x);
+        assert_eq!(out, items);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Chaos serving: the fault-tolerance layer end to end, driven by the
+//! deterministic injection plane.
+//!
+//! A seeded [`FaultPlan`] replays the same tape of worker panics,
+//! transient errors, and delays on every run; the serving stack has to
+//! absorb it. Four sections: (1) `ShardedEngine` failover — injected
+//! replica faults retry on healthy shards behind per-replica circuit
+//! breakers; (2) `AdmissionQueue` under chaos — every admitted ticket
+//! resolves, opted-in requests degrade Steiner → ST-fast under load,
+//! and wall-clock-expired tickets fail fast without consuming worker
+//! time; (3) watermark load shedding — a lingering backlog over the
+//! shed watermark drops lowest-urgency work first, deadline-ranked
+//! requests survive; (4) a panicked mutation poisons the queue and
+//! [`AdmissionQueue::recover`] restores coherent serving.
+//!
+//! ```text
+//! cargo run --release --example chaos_serving
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xsum::core::{
+    AdmissionConfig, AdmissionError, AdmissionQueue, BatchMethod, DegradePolicy, FaultInjector,
+    FaultPlan, FaultSite, OverloadPolicy, ShardedEngine, SteinerConfig, SubmitOptions,
+    SummaryEngine, SummaryInput,
+};
+use xsum::datasets::ml1m_scaled;
+use xsum::rec::{MfConfig, MfModel, PathRecommender, Pgpr, PgprConfig};
+
+fn main() {
+    let ds = ml1m_scaled(42, 0.03);
+    let mf = MfModel::train(&ds.kg, &ds.ratings, &MfConfig::default());
+    let pgpr = Pgpr::new(&ds.kg, &ds.ratings, &mf, PgprConfig::default());
+    let g = &ds.kg.graph;
+
+    // One explanation input per user, same as the async_serving demo.
+    let users: Vec<usize> = (0..48.min(ds.kg.n_users())).collect();
+    let inputs: Vec<SummaryInput> = users
+        .iter()
+        .filter_map(|&u| {
+            let out = pgpr.recommend(u, 10);
+            let paths = out.paths(out.len());
+            (!paths.is_empty()).then(|| SummaryInput::user_centric(ds.kg.user_node(u), paths))
+        })
+        .collect();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+
+    println!(
+        "(backtraces interleaved below are *injected* worker panics — \
+         every one is caught and recovered from)\n",
+    );
+
+    // ── 1. Sharded failover under an injected fault tape ─────────────
+    //
+    // The tape is a pure function of the seed: rerun the binary and the
+    // same serve calls fail at the same points. Faulted replica serves
+    // retry on the remaining healthy shards; repeated failures trip a
+    // replica's circuit breaker so routing stops offering it traffic
+    // until its cooldown probe succeeds.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(7)));
+    let mut sharded = ShardedEngine::with_threads(g, 2, 1);
+    sharded.set_fault_injector(Some(Arc::clone(&injector)));
+    let (mut ok_batches, mut failed_batches) = (0usize, 0usize);
+    for _ in 0..4 {
+        match sharded.try_summarize_batch(&inputs[..8], method) {
+            Ok(summaries) => {
+                assert_eq!(summaries.len(), 8);
+                ok_batches += 1;
+            }
+            Err(_) => failed_batches += 1,
+        }
+    }
+    println!(
+        "sharded failover: {} batch(es) served, {} lost to total failure; \
+         {} fault(s) drawn at replica serves, breakers now [{:?}, {:?}]",
+        ok_batches,
+        failed_batches,
+        injector.injected_at(FaultSite::ShardServe),
+        sharded.breaker_state(0),
+        sharded.breaker_state(1),
+    );
+    // Injection is budgeted: once the tape is spent the stack is clean
+    // again, and the same inputs serve without a hitch.
+    while injector.budget_left() > 0 {
+        let _ = sharded.try_summarize_batch(&inputs[..8], method);
+    }
+    let clean = sharded.try_summarize_batch(&inputs[..8], method);
+    assert!(clean.is_ok(), "spent tape leaves the stack serviceable");
+    println!(
+        "               tape spent ({} total injections) — post-chaos batch serves cleanly\n",
+        injector.total_injected(),
+    );
+
+    // ── 2. Admission queue under chaos, with degradation opt-in ──────
+    let chaos = Arc::new(FaultInjector::new(FaultPlan::seeded(21)));
+    let mut backend = ShardedEngine::with_threads(g, 2, 1);
+    backend.set_fault_injector(Some(Arc::clone(&chaos)));
+    let queue = AdmissionQueue::with_faults(
+        backend,
+        AdmissionConfig {
+            queue_bound: 256,
+            max_batch: 16,
+            linger_tickets: 4,
+        },
+        OverloadPolicy {
+            shed_watermark: 0, // shedding off in this section
+            degrade_watermark: 4,
+        },
+        Some(Arc::clone(&chaos)),
+    );
+    let expired_instant = Instant::now()
+        .checked_sub(Duration::from_millis(1))
+        .unwrap_or_else(Instant::now);
+    let mut tickets = Vec::new();
+    for round in 0..3 {
+        for (i, input) in inputs.iter().enumerate() {
+            let opts = SubmitOptions {
+                // Every 5th request carries an already-passed wall-clock
+                // expiry: it must fail fast, never reaching a worker.
+                expires_at: (i % 5 == 4).then_some(expired_instant),
+                // Every 3rd opts into Steiner → ST-fast degradation when
+                // the queue is at or above the degrade watermark.
+                degrade: if i % 3 == 0 {
+                    DegradePolicy::AllowStFast
+                } else {
+                    DegradePolicy::Strict
+                },
+                deadline: (i % 7 == 0).then_some(round as u64),
+            };
+            tickets.push(
+                queue
+                    .submit_with(input.clone(), method, opts)
+                    .expect("live"),
+            );
+        }
+    }
+    // Tickets are pollable now: `try_wait` peeks without blocking (and
+    // without flushing a lingering batch), `wait_timeout` bounds the
+    // blocking wait. Drain the first ticket through that surface.
+    let first = tickets.remove(0);
+    let first_outcome = match first.try_wait() {
+        Ok(outcome) => outcome,
+        Err(pending) => pending
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("ticket resolves well within 30s")),
+    };
+    let (mut served, mut degraded, mut expired, mut faulted) = (1usize, 0usize, 0usize, 0usize);
+    assert!(first_outcome.0.is_ok() || matches!(first_outcome.0, Err(AdmissionError::Engine(_))));
+    for ticket in tickets {
+        match ticket.wait_meta() {
+            (Ok(_), meta) => {
+                served += 1;
+                degraded += meta.degraded as usize;
+            }
+            (Err(AdmissionError::DeadlineExceeded), meta) => {
+                assert_eq!(meta.batch, 0, "expired tickets never dispatch");
+                expired += 1;
+            }
+            (Err(AdmissionError::Engine(_)), _) => faulted += 1,
+            (Err(other), _) => panic!("unexpected admission outcome: {other}"),
+        }
+    }
+    let stats = queue.stats();
+    println!(
+        "admission chaos: {} submitted — {} served ({} degraded to ST-fast), \
+         {} expired pre-dispatch, {} lost to injected faults",
+        stats.submitted, served, degraded, expired, faulted,
+    );
+    println!(
+        "                 every ticket resolved; {} batches, {} injection(s) drawn, \
+         budget left {}\n",
+        stats.batches_dispatched,
+        chaos.total_injected(),
+        chaos.budget_left(),
+    );
+    queue.shutdown();
+
+    // ── 3. Load shedding: lowest urgency goes first ──────────────────
+    //
+    // A long linger window piles a backlog over the shed watermark;
+    // each admission over the mark sheds the least-urgent queued
+    // request (resolved `DeadlineExceeded`, zero worker time). The
+    // deadline-ranked requests ride it out.
+    let shed_queue = AdmissionQueue::with_policy(
+        xsum::core::EngineBackend::new(g.clone(), SummaryEngine::new()),
+        AdmissionConfig {
+            queue_bound: 256,
+            max_batch: 16,
+            linger_tickets: 64,
+        },
+        OverloadPolicy {
+            shed_watermark: 8,
+            degrade_watermark: 0,
+        },
+    );
+    let ranked: Vec<_> = inputs
+        .iter()
+        .take(4)
+        .enumerate()
+        .map(|(i, input)| {
+            shed_queue
+                .submit_with_deadline(input.clone(), method, i as u64)
+                .expect("live")
+        })
+        .collect();
+    let unranked: Vec<_> = inputs
+        .iter()
+        .take(16)
+        .map(|input| shed_queue.submit(input.clone(), method).expect("live"))
+        .collect();
+    let ranked_served = ranked
+        .into_iter()
+        .map(|t| t.wait_meta())
+        .filter(|(r, _)| r.is_ok())
+        .count();
+    let (mut unranked_served, mut unranked_shed) = (0usize, 0usize);
+    for ticket in unranked {
+        match ticket.wait_meta().0 {
+            Ok(_) => unranked_served += 1,
+            Err(AdmissionError::DeadlineExceeded) => unranked_shed += 1,
+            Err(other) => panic!("unexpected shed-section outcome: {other}"),
+        }
+    }
+    assert_eq!(ranked_served, 4, "deadline-ranked work survives shedding");
+    println!(
+        "load shedding: watermark 8 — all {ranked_served} ranked served; \
+         unranked backlog {unranked_served} served / {unranked_shed} shed ({} total shed)\n",
+        shed_queue.stats().shed,
+    );
+    shed_queue.shutdown();
+
+    // ── 4. Poisoned mutation, then recovery ──────────────────────────
+    let frail = AdmissionQueue::for_engine(
+        g.clone(),
+        SummaryEngine::new(),
+        AdmissionConfig {
+            queue_bound: 64,
+            max_batch: 16,
+            linger_tickets: 1,
+        },
+    );
+    let poisoned = frail.mutate(|_| panic!("operator error mid-mutation"));
+    assert!(poisoned.is_err(), "panicked mutation surfaces as an error");
+    let while_poisoned = frail.submit(inputs[0].clone(), method);
+    assert!(
+        matches!(while_poisoned, Err(AdmissionError::Poisoned)),
+        "a poisoned queue refuses new work instead of serving incoherently",
+    );
+    frail
+        .recover()
+        .expect("resync from the last coherent snapshot");
+    let revived = frail
+        .submit(inputs[0].clone(), method)
+        .expect("recovered queue admits")
+        .wait()
+        .expect("and serves");
+    assert!(revived.terminal_coverage() > 0.0);
+    println!(
+        "poison/recover: failed barrier poisoned the queue, recover() resynced — \
+         serving again ({} recovery, {} summaries post-recovery)",
+        frail.stats().recoveries,
+        frail.stats().completed,
+    );
+    frail.shutdown();
+}

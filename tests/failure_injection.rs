@@ -1,12 +1,21 @@
 //! Failure-injection and degenerate-input tests: the summarization
-//! pipeline must degrade gracefully, never panic, on pathological inputs.
+//! pipeline must degrade gracefully, never panic, on pathological
+//! inputs — at every layer of the stack. The first half abuses the
+//! sequential free functions; the second half drives the serving
+//! layers (engine, sharded engine, admission queue) through malformed
+//! inputs and seeded [`FaultInjector`] tapes, asserting that failures
+//! surface as recoverable errors on exactly the affected calls and
+//! that every layer keeps serving bit-identically afterwards.
+
+use std::sync::Arc;
 
 use xsum::core::{
     gw_pcst_summary, pcst_summary, pcst_summary_with_policy, render_path, render_summary,
-    steiner_summary, IncrementalSteiner, PcstConfig, PcstScope, PrizePolicy, SteinerConfig,
-    SummaryInput,
+    steiner_summary, AdmissionConfig, AdmissionError, AdmissionQueue, BatchMethod, FaultInjector,
+    FaultPlan, FaultSite, IncrementalSteiner, PcstConfig, PcstScope, PrizePolicy, ShardedEngine,
+    SteinerConfig, Summary, SummaryEngine, SummaryInput,
 };
-use xsum::graph::{EdgeKind, Graph, LoosePath, NodeKind, Subgraph};
+use xsum::graph::{EdgeKind, Graph, LoosePath, NodeId, NodeKind, Subgraph};
 use xsum::metrics::{consistency, ExplanationView, MetricReport};
 
 /// One user, one item, connected.
@@ -229,4 +238,192 @@ fn consistency_of_empty_and_mixed_series() {
     // Empty → filled transition has zero overlap.
     let c = consistency(&[empty, filled]);
     assert_eq!(c, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer failure injection: engine, sharded engine, admission.
+// ---------------------------------------------------------------------
+
+fn assert_same(a: &Summary, b: &Summary) {
+    assert_eq!(a.method, b.method);
+    assert_eq!(a.terminals, b.terminals);
+    assert_eq!(a.subgraph.sorted_edges(), b.subgraph.sorted_edges());
+    assert_eq!(a.subgraph.sorted_nodes(), b.subgraph.sorted_nodes());
+}
+
+/// An input whose terminals point outside the graph — the worker that
+/// draws it panics, and the panic must surface as a recoverable error.
+fn hallucinated_input(input: &SummaryInput) -> SummaryInput {
+    let mut bad = input.clone();
+    bad.terminals = vec![NodeId(u32::MAX - 2), NodeId(u32::MAX - 1)];
+    bad
+}
+
+#[test]
+fn engine_layer_surfaces_malformed_inputs_as_errors() {
+    let ex = xsum::core::table1_example();
+    let input = ex.input();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let mut engine = SummaryEngine::with_threads(2);
+    let bad = hallucinated_input(&input);
+    assert!(engine.try_summarize(&ex.graph, &bad, method).is_err());
+    let batch = vec![input.clone(), bad, input.clone()];
+    assert!(engine
+        .try_summarize_batch(&ex.graph, &batch, method)
+        .is_err());
+    // The engine stays fully serviceable and bit-identical after both.
+    let got = engine
+        .try_summarize(&ex.graph, &input, method)
+        .expect("engine recovered");
+    assert_same(&got, &method.run(&ex.graph, &input));
+}
+
+#[test]
+fn engine_layer_recovers_from_injected_pool_faults() {
+    let ex = xsum::core::table1_example();
+    let input = ex.input();
+    let method = BatchMethod::SteinerFast(SteinerConfig::default());
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        rate: 1.0,
+        budget: 2,
+        transients: false,
+        delays: false,
+        ..FaultPlan::seeded(21)
+    }));
+    let mut engine = SummaryEngine::with_threads(2);
+    engine.set_fault_hook(Some(injector.pool_hook()));
+    // Two budgeted dispatch faults: each call fails recoverably.
+    for _ in 0..2 {
+        assert!(engine
+            .try_summarize_batch(&ex.graph, std::slice::from_ref(&input), method)
+            .is_err());
+    }
+    assert_eq!(injector.injected_at(FaultSite::PoolDispatch), 2);
+    // Budget spent: the tape is exhausted, serving is clean again even
+    // with the hook still installed, and unsetting it removes the site.
+    let got = engine
+        .try_summarize(&ex.graph, &input, method)
+        .expect("budget exhausted");
+    assert_same(&got, &method.run(&ex.graph, &input));
+    engine.set_fault_hook(None);
+    let got = engine.summarize(&ex.graph, &input, method);
+    assert_same(&got, &method.run(&ex.graph, &input));
+}
+
+#[test]
+fn sharded_layer_fails_over_injected_serve_faults() {
+    let ex = xsum::core::table1_example();
+    let input = ex.input();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let want = method.run(&ex.graph, &input);
+    // A single budgeted transient: the very first sub-batch dispatch
+    // draws it (ShardServe fires before any replica pool runs), the
+    // budget is then spent, so the failover retry on the other replica
+    // is guaranteed clean — callers never see the fault at all.
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        rate: 1.0,
+        budget: 1,
+        panics: false,
+        delays: false,
+        ..FaultPlan::seeded(33)
+    }));
+    let mut sharded = ShardedEngine::with_threads(&ex.graph, 2, 1);
+    sharded.set_fault_injector(Some(Arc::clone(&injector)));
+    let batch = vec![input.clone(), input.clone()];
+    for _ in 0..4 {
+        let got = sharded
+            .try_summarize_batch(&batch, method)
+            .expect("failover hides transient faults");
+        for s in &got {
+            assert_same(s, &want);
+        }
+    }
+    assert_eq!(injector.budget_left(), 0, "tape was actually consumed");
+}
+
+#[test]
+fn sharded_single_replica_total_failure_is_recoverable() {
+    let ex = xsum::core::table1_example();
+    let input = ex.input();
+    let method = BatchMethod::SteinerFast(SteinerConfig::default());
+    // One replica, and enough budget that the failover retry on the
+    // same replica can fail too (via its pool hook): the batch call
+    // errs instead of panicking, and the engine recovers afterwards.
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        rate: 1.0,
+        budget: 2,
+        panics: false,
+        delays: false,
+        ..FaultPlan::seeded(5)
+    }));
+    let mut sharded = ShardedEngine::with_threads(&ex.graph, 1, 1);
+    sharded.set_fault_injector(Some(Arc::clone(&injector)));
+    let batch = vec![input.clone()];
+    let mut saw_error = false;
+    for _ in 0..4 {
+        match sharded.try_summarize_batch(&batch, method) {
+            Ok(got) => assert_same(&got[0], &method.run(&ex.graph, &input)),
+            Err(_) => saw_error = true,
+        }
+    }
+    assert!(saw_error, "total replica failure surfaced as an error");
+    assert_eq!(injector.budget_left(), 0);
+    // Tape exhausted: clean serving resumes on the same instance.
+    let got = sharded
+        .try_summarize_batch(&batch, method)
+        .expect("replica serves again");
+    assert_same(&got[0], &method.run(&ex.graph, &input));
+}
+
+#[test]
+fn admission_layer_resolves_everything_under_chaos() {
+    let ex = xsum::core::table1_example();
+    let input = ex.input();
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(99)));
+    let mut sharded = ShardedEngine::with_threads(&ex.graph, 2, 1);
+    sharded.set_fault_injector(Some(Arc::clone(&injector)));
+    let queue = AdmissionQueue::with_faults(
+        sharded,
+        AdmissionConfig {
+            queue_bound: 32,
+            max_batch: 4,
+            linger_tickets: 2,
+        },
+        xsum::core::OverloadPolicy::default(),
+        Some(Arc::clone(&injector)),
+    );
+    let want = method.run(&ex.graph, &input);
+    let bad = hallucinated_input(&input);
+    // Good and malformed traffic interleaved under an active fault
+    // tape: every ticket resolves (no hangs), malformed tickets always
+    // fail, good tickets either succeed bit-identically or carry a
+    // recoverable engine error from the tape.
+    for round in 0..6 {
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                let submit = if (round + i) % 4 == 3 {
+                    bad.clone()
+                } else {
+                    input.clone()
+                };
+                (i, queue.submit(submit, method).expect("admits"))
+            })
+            .collect();
+        for (i, t) in tickets {
+            match t.wait() {
+                Ok(got) => {
+                    assert_ne!((round + i) % 4, 3, "malformed input cannot succeed");
+                    assert_same(&got, &want);
+                }
+                Err(AdmissionError::Engine(_)) => {}
+                Err(other) => panic!("unexpected admission error: {other:?}"),
+            }
+        }
+    }
+    // Stats never drift from the ticket outcomes.
+    let stats = queue.stats();
+    assert_eq!(stats.submitted, 24);
+    assert_eq!(stats.completed + stats.failed, 24);
+    queue.shutdown();
 }
