@@ -6,7 +6,7 @@
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!            userstudy ablation fairness quality_stfast bench_batch
-//!            bench_shard bench_admission all
+//!            bench_shard bench_admission bench_traffic all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
 //! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
@@ -16,6 +16,12 @@
 //! full per-shard-count scatter/gather sweep behind the JSON's
 //! `shardN_batch_summaries_per_sec` keys, and `bench_admission` the
 //! producer-count × linger-window sweep behind its `admission_*` keys.
+//! `bench_traffic` replays the seeded open-loop arrival tape (Zipf
+//! inputs, on/off bursts, mixed methods, mutation barriers) at fixed
+//! offered loads and *merges* the `traffic_*` keys — p50/p99/p99.9
+//! ticket latency, offered-vs-served ratio, shed/expiry/degrade
+//! counts — into `BENCH_batch.json`, leaving every other key as
+//! `bench_batch` wrote it.
 //! ```
 //!
 //! Output is TSV (scenario, baseline, method, x, metric, value) matching
@@ -94,6 +100,69 @@ fn ctx_config(a: &Args) -> CtxConfig {
         top_k: a.top_k,
         ..CtxConfig::default()
     }
+}
+
+/// Merge the `traffic_*` keys of `report` into the flat JSON object at
+/// `path`: every pre-existing non-`traffic_` line passes through
+/// byte-identical, any stale `traffic_` lines are replaced, and a
+/// missing file starts a fresh object. The writer relies on the
+/// one-key-per-line shape `BatchBenchReport::to_json` emits.
+fn merge_traffic_keys(path: &str, report: &xsum_bench::traffic::TrafficReport) {
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let mut lines: Vec<String> = base
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.starts_with("\"traffic_") && !t.is_empty() && t != "}"
+        })
+        .map(str::to_string)
+        .collect();
+    if lines.is_empty() {
+        lines.push("{".to_string());
+    }
+    // The line before our block must carry a trailing comma unless it
+    // opens the object.
+    if let Some(last) = lines.last_mut() {
+        let t = last.trim_end();
+        if !t.ends_with('{') && !t.ends_with(',') {
+            *last = format!("{t},");
+        }
+    }
+    let served_rps = report.served_rps.max(1e-12);
+    lines.push(format!(
+        concat!(
+            "  \"traffic_offered_rps\": {:.3},\n",
+            "  \"traffic_served_rps\": {:.3},\n",
+            "  \"traffic_offered_vs_served_rps\": {:.4},\n",
+            "  \"traffic_p50_latency_ms\": {:.6},\n",
+            "  \"traffic_p99_latency_ms\": {:.6},\n",
+            "  \"traffic_p999_latency_ms\": {:.6},\n",
+            "  \"traffic_submitted\": {},\n",
+            "  \"traffic_served\": {},\n",
+            "  \"traffic_shed\": {},\n",
+            "  \"traffic_expired\": {},\n",
+            "  \"traffic_degraded\": {},\n",
+            "  \"traffic_failed\": {},\n",
+            "  \"traffic_mutations\": {}"
+        ),
+        report.offered_rps,
+        report.served_rps,
+        report.offered_rps / served_rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.p999_ms,
+        report.submitted,
+        report.served,
+        report.shed,
+        report.expired,
+        report.degraded,
+        report.failed,
+        report.mutations,
+    ));
+    lines.push("}".to_string());
+    let mut out = lines.join("\n");
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
 fn main() {
@@ -262,6 +331,74 @@ fn main() {
             );
             print_rows(&rows);
         }
+        "bench_traffic" => {
+            // Open-loop serving trajectory: replay the seeded arrival
+            // tape at fixed offered loads against a fresh admission
+            // queue, print the per-load sweep as TSV, and merge the
+            // highest load's `traffic_*` keys into BENCH_batch.json
+            // (all pre-existing keys pass through byte-identical).
+            let (ds, inputs) = perf::batch_inputs(
+                xsum_datasets::ScalingLevel::G5,
+                args.scale,
+                args.seed,
+                (2 * args.users_per_gender).max(32),
+                args.top_k,
+            );
+            let g = &ds.kg.graph;
+            g.freeze();
+            let mut rows = Vec::new();
+            let mut last = None;
+            for &rps in &[100.0f64, 400.0] {
+                let mut tcfg = xsum_bench::traffic::TrafficConfig::new(rps, 256);
+                tcfg.seed = args.seed;
+                tcfg.policy = xsum_core::OverloadPolicy {
+                    shed_watermark: 512,
+                    degrade_watermark: 64,
+                };
+                tcfg.expire_after = Some(std::time::Duration::from_millis(500));
+                let report = xsum_bench::traffic::run_traffic(g, &inputs, &tcfg);
+                let x = format!("{rps:.0}rps");
+                for (metric, value) in [
+                    ("traffic_served_rps", report.served_rps),
+                    ("traffic_p50_latency_ms", report.p50_ms),
+                    ("traffic_p99_latency_ms", report.p99_ms),
+                    ("traffic_p999_latency_ms", report.p999_ms),
+                    ("traffic_shed", report.shed as f64),
+                    ("traffic_expired", report.expired as f64),
+                    ("traffic_degraded", report.degraded as f64),
+                ] {
+                    rows.push(Row::new(
+                        "user-centric",
+                        "random",
+                        "mixed",
+                        x.clone(),
+                        metric,
+                        value,
+                    ));
+                }
+                last = Some(report);
+            }
+            print_rows(&rows);
+            let report = last.expect("at least one offered load ran");
+            merge_traffic_keys("BENCH_batch.json", &report);
+            eprintln!(
+                "bench_traffic: offered {:.0} rps, served {:.1} rps, p50 {:.3} ms, \
+                 p99 {:.3} ms, p99.9 {:.3} ms; {} served / {} shed / {} expired / \
+                 {} degraded / {} failed ({} mutations); merged traffic_* keys into \
+                 BENCH_batch.json",
+                report.offered_rps,
+                report.served_rps,
+                report.p50_ms,
+                report.p99_ms,
+                report.p999_ms,
+                report.served,
+                report.shed,
+                report.expired,
+                report.degraded,
+                report.failed,
+                report.mutations,
+            );
+        }
         "bench_admission" => {
             // Coalesced admission throughput + ticket latency across
             // producer counts × linger windows on the bench_batch
@@ -332,7 +469,7 @@ fn main() {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
                 "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
-                 quality_stfast bench_batch bench_shard bench_admission all"
+                 quality_stfast bench_batch bench_shard bench_admission bench_traffic all"
             );
             std::process::exit(2);
         }

@@ -150,6 +150,13 @@ pub struct LevelPoint {
     pub speedup: f64,
     /// ST-fast batch throughput over seed-path throughput.
     pub fast_speedup: f64,
+    /// Post-dedup terminal count of the level's user-group input
+    /// (0 when the level yielded no group paths).
+    pub group_terminals: usize,
+    /// Warm KMB throughput on the group input (summaries / second).
+    pub group_per_sec: f64,
+    /// Warm ST-fast throughput on the group input.
+    pub group_fast_per_sec: f64,
 }
 
 impl BatchBenchReport {
@@ -220,12 +227,18 @@ impl BatchBenchReport {
                     ",\n  \"level{n}_batch_summaries_per_sec\": {:.3}",
                     ",\n  \"level{n}_fast_batch_summaries_per_sec\": {:.3}",
                     ",\n  \"level{n}_speedup_vs_seed\": {:.3}",
-                    ",\n  \"level{n}_fast_speedup_vs_seed\": {:.3}"
+                    ",\n  \"level{n}_fast_speedup_vs_seed\": {:.3}",
+                    ",\n  \"level{n}_group_terminals\": {}",
+                    ",\n  \"level{n}_group_summaries_per_sec\": {:.3}",
+                    ",\n  \"level{n}_group_fast_summaries_per_sec\": {:.3}"
                 ),
                 lp.batch_per_sec,
                 lp.fast_batch_per_sec,
                 lp.speedup,
                 lp.fast_speedup,
+                lp.group_terminals,
+                lp.group_per_sec,
+                lp.group_fast_per_sec,
                 n = lp.num,
             ));
         }
@@ -261,6 +274,46 @@ pub fn batch_inputs(
     }
     (ds, inputs)
 }
+
+/// Build the sweep's user-group input: the first `group_size` users of
+/// the BENCH workload pooled into one [`Scenario::UserGroup`] problem
+/// (same synthetic-path recipe as [`batch_inputs`], so terminals are
+/// the group's user nodes plus every distinct recommended item).
+/// `None` when no sampled user yields a path.
+///
+/// [`Scenario::UserGroup`]: xsum_core::Scenario::UserGroup
+pub fn group_input(
+    ds: &xsum_datasets::Dataset,
+    group_size: usize,
+    seed: u64,
+    k: usize,
+) -> Option<SummaryInput> {
+    let mut group_nodes: Vec<NodeId> = Vec::new();
+    let mut all_paths = Vec::new();
+    for u in 0..group_size.min(ds.kg.n_users()) {
+        let before = all_paths.len();
+        for i in 0..k {
+            if let Some(p) =
+                random_explanation_path(ds, u, 3, seed ^ (u as u64) << 8 ^ i as u64, 30)
+            {
+                all_paths.push(xsum_graph::LoosePath::from_path(&p));
+            }
+        }
+        if all_paths.len() > before {
+            group_nodes.push(ds.kg.user_node(u));
+        }
+    }
+    if group_nodes.is_empty() {
+        return None;
+    }
+    Some(SummaryInput::user_group(&group_nodes, all_paths))
+}
+
+/// Users pooled into the G1–G5 sweep's group input: large enough that
+/// the post-dedup terminal set clears the engine's parallel-closure
+/// threshold (|T| ≥ 24) on every level at default scales, so the sweep
+/// exercises the big-|T| regime ST's |T|-dependence makes interesting.
+pub const GROUP_USERS: usize = 16;
 
 /// Measure the engine against the seed path on the `level` workload.
 ///
@@ -567,18 +620,33 @@ pub fn level_sweep(scale: f64, seed: u64, users: usize, k: usize) -> Vec<LevelPo
         });
         let seed_single_ms = seed_m.elapsed.as_secs_f64() * 1e3 / n;
 
-        let throughput = |method: BatchMethod| -> f64 {
-            std::hint::black_box(summarize_batch(g, &inputs, method)); // warm
+        let throughput = |method: BatchMethod, workload: &[SummaryInput]| -> f64 {
+            std::hint::black_box(summarize_batch(g, workload, method)); // warm
             let mut times = Vec::with_capacity(LEVEL_REPS);
             for _ in 0..LEVEL_REPS {
                 let t = std::time::Instant::now();
-                std::hint::black_box(summarize_batch(g, &inputs, method));
+                std::hint::black_box(summarize_batch(g, workload, method));
                 times.push(t.elapsed().as_secs_f64());
             }
-            n / trimmed_mean(&mut times).max(1e-12)
+            workload.len() as f64 / trimmed_mean(&mut times).max(1e-12)
         };
-        let batch_per_sec = throughput(BatchMethod::Steiner(cfg));
-        let fast_batch_per_sec = throughput(BatchMethod::SteinerFast(cfg));
+        let batch_per_sec = throughput(BatchMethod::Steiner(cfg), &inputs);
+        let fast_batch_per_sec = throughput(BatchMethod::SteinerFast(cfg), &inputs);
+
+        // Group-scenario point: one pooled user-group input whose
+        // post-dedup |T| clears the parallel-closure threshold.
+        let group = group_input(&ds, GROUP_USERS, seed, k);
+        let (group_terminals, group_per_sec, group_fast_per_sec) = match &group {
+            Some(gi) => {
+                let workload = std::slice::from_ref(gi);
+                (
+                    gi.terminals.len(),
+                    throughput(BatchMethod::Steiner(cfg), workload),
+                    throughput(BatchMethod::SteinerFast(cfg), workload),
+                )
+            }
+            None => (0, 0.0, 0.0),
+        };
 
         out.push(LevelPoint {
             level: level.name(),
@@ -589,6 +657,9 @@ pub fn level_sweep(scale: f64, seed: u64, users: usize, k: usize) -> Vec<LevelPo
             fast_batch_per_sec,
             speedup: seed_single_ms * batch_per_sec / 1e3,
             fast_speedup: seed_single_ms * fast_batch_per_sec / 1e3,
+            group_terminals,
+            group_per_sec,
+            group_fast_per_sec,
         });
     }
     out

@@ -18,8 +18,12 @@ pub mod methods;
 pub mod plot;
 pub mod seedpath;
 pub mod table;
+pub mod traffic;
 
 pub use ctx::{Baseline, Ctx, CtxConfig};
 pub use methods::{summarize_views, Method};
 pub use plot::{chart, sparklines};
 pub use table::{print_rows, Row};
+pub use traffic::{
+    run_traffic, run_traffic_on, schedule, Arrival, ArrivalKind, TrafficConfig, TrafficReport,
+};

@@ -118,9 +118,51 @@
 //!   post-recovery results are bit-identical to a fresh stack that
 //!   never saw the failed barrier (`tests/prop_faults.rs`).
 //!
+//! # Streaming serving
+//!
+//! One consumer thread can drain many producers' tickets through a
+//! [`TicketSet`] — the readiness-queue-shaped completion surface built
+//! for the wire front-end ([`crate::wire`]):
+//!
+//! * **Ticket sets.** [`TicketSet::add`] registers an admitted
+//!   [`SummaryTicket`] under a caller-chosen `u64` tag (the wire layer
+//!   uses the request id). The moment the dispatcher resolves a
+//!   watched ticket, its membership lands on the set's shared
+//!   condvar'd ready list — [`TicketSet::wait_any`] /
+//!   [`TicketSet::wait_any_timeout`] pop resolutions in **completion
+//!   order**, and [`TicketSet::poll`] is the non-blocking probe. Every
+//!   added ticket is yielded exactly once, as a [`CompletedTicket`]
+//!   carrying the tag plus the same outcome pair
+//!   [`SummaryTicket::wait_meta`] would have returned — bit-identical
+//!   results, same [`DispatchMeta`].
+//! * **No-deadlock discipline.** Before blocking, `wait_any` closes
+//!   the linger window up to the highest-seq member of each queue it
+//!   watches (the same flush-up-to-own-seq rule as a single
+//!   [`SummaryTicket::wait`]), so a lingering coalescer can never
+//!   deadlock the multiplexed consumer either. A *dropped* set behaves
+//!   like shutdown-drain: the member tickets drop, but the dispatcher
+//!   still resolves every slot — nothing hangs, nothing leaks.
+//! * **Wire framing.** [`crate::wire`] carries versioned request/
+//!   response records over any `Read`/`Write` pair in a compact
+//!   length-prefixed binary framing (all `f64` params round-trip
+//!   bit-exact via `to_bits`, the same fingerprint discipline as the
+//!   coalescer's [`CostModelKey`](crate::steiner::CostModelKey)).
+//!   Frame layout (all integers little-endian):
+//!
+//!   | bytes | field | meaning |
+//!   |---|---|---|
+//!   | 4 | `len: u32` | payload length (version byte onward) |
+//!   | 1 | `version: u8` | wire version ([`crate::wire::WIRE_VERSION`]) |
+//!   | 1 | `kind: u8` | record kind (summary/mutation request/response) |
+//!   | `len − 2` | body | the record's fields, field-by-field |
+//!
+//!   [`crate::wire::serve_stream`] decodes frames, submits through the
+//!   queue, and writes responses back in completion order with
+//!   request-id correlation (the id is the ticket-set tag).
+//!
 //! [`FaultSite::AdmissionDispatch`]: crate::faults::FaultSite::AdmissionDispatch
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -472,15 +514,63 @@ impl<T> Slot<T> {
             }
         }
     }
+}
+
+type TicketOutcome = (Result<Summary, AdmissionError>, DispatchMeta);
+
+/// The completion slot behind one [`SummaryTicket`]: the same one-shot
+/// condvar slot as [`Slot`], plus an optional *watch* — a registration
+/// in a [`TicketSet`]'s shared ready list that fires exactly once when
+/// the slot resolves, whichever of resolution and registration happens
+/// first.
+#[derive(Debug)]
+struct TicketSlot {
+    value: Mutex<Option<TicketOutcome>>,
+    cv: Condvar,
+    /// One-shot: consumed by `put` when it resolves a watched slot, or
+    /// fired immediately (never stored) by `watch` on an
+    /// already-resolved one — the two cases are disjoint under the
+    /// `watch` lock, so a member lands on the ready list exactly once.
+    watch: Mutex<Option<SetWatch>>,
+}
+
+impl TicketSlot {
+    fn new() -> Self {
+        TicketSlot {
+            value: Mutex::new(None),
+            cv: Condvar::new(),
+            watch: Mutex::new(None),
+        }
+    }
+
+    fn put(&self, v: TicketOutcome) {
+        *lock_recovering(&self.value) = Some(v);
+        self.cv.notify_all();
+        if let Some(w) = lock_recovering(&self.watch).take() {
+            w.fire();
+        }
+    }
+
+    fn wait(&self) -> TicketOutcome {
+        let mut guard = lock_recovering(&self.value);
+        loop {
+            match guard.take() {
+                Some(v) => return v,
+                None => {
+                    guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
 
     /// Take the value if present, without blocking.
-    fn try_take(&self) -> Option<T> {
+    fn try_take(&self) -> Option<TicketOutcome> {
         lock_recovering(&self.value).take()
     }
 
-    /// [`Slot::wait`] bounded by `timeout`; `None` on timeout (the
-    /// value, when it arrives later, stays takeable).
-    fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+    /// [`TicketSlot::wait`] bounded by `timeout`; `None` on timeout
+    /// (the value, when it arrives later, stays takeable).
+    fn wait_timeout(&self, timeout: Duration) -> Option<TicketOutcome> {
         let deadline = Instant::now() + timeout;
         let mut guard = lock_recovering(&self.value);
         loop {
@@ -502,10 +592,48 @@ impl<T> Slot<T> {
     fn is_ready(&self) -> bool {
         lock_recovering(&self.value).is_some()
     }
+
+    /// Register this slot in a set's ready list under `member`. If the
+    /// slot already resolved, the membership is pushed immediately;
+    /// otherwise [`TicketSlot::put`] pushes it on resolution. Holding
+    /// the `watch` lock across the readiness check closes the race
+    /// with a concurrent `put`: either `put` finds the stored watch
+    /// and fires it, or this call observes the value and fires itself
+    /// — never both, never neither.
+    fn watch(&self, sink: Arc<ReadySink>, member: u64) {
+        let mut watch = lock_recovering(&self.watch);
+        let w = SetWatch { sink, member };
+        if self.is_ready() {
+            drop(watch);
+            w.fire();
+        } else {
+            *watch = Some(w);
+        }
+    }
 }
 
-type TicketOutcome = (Result<Summary, AdmissionError>, DispatchMeta);
-type TicketSlot = Slot<TicketOutcome>;
+/// The shared ready list of one [`TicketSet`]: resolved members land
+/// here in completion order, and `wait_any` consumers block on the
+/// condvar.
+#[derive(Debug)]
+struct ReadySink {
+    ready: Mutex<VecDeque<u64>>,
+    cv: Condvar,
+}
+
+/// One slot's registration in a [`ReadySink`].
+#[derive(Debug)]
+struct SetWatch {
+    sink: Arc<ReadySink>,
+    member: u64,
+}
+
+impl SetWatch {
+    fn fire(self) {
+        lock_recovering(&self.sink.ready).push_back(self.member);
+        self.sink.cv.notify_all();
+    }
+}
 
 /// The completion ticket of one admitted request. Resolve it with
 /// [`SummaryTicket::wait`] / [`SummaryTicket::wait_meta`]; waiting
@@ -584,6 +712,218 @@ impl SummaryTicket {
     /// Non-blocking readiness probe (does not flush the queue).
     pub fn is_ready(&self) -> bool {
         self.slot.is_ready()
+    }
+}
+
+/// One resolved member of a [`TicketSet`]: the caller's tag plus the
+/// exact outcome pair [`SummaryTicket::wait_meta`] would have returned
+/// for the same ticket — results are bit-identical whichever surface
+/// resolves them.
+#[derive(Debug)]
+pub struct CompletedTicket {
+    /// The tag the ticket was [`TicketSet::add`]ed under (the wire
+    /// layer's request id; tags need not be unique).
+    pub tag: u64,
+    /// The summary, or the [`AdmissionError`] describing why not.
+    pub result: Result<Summary, AdmissionError>,
+    /// Where and how the request dispatched.
+    pub meta: DispatchMeta,
+}
+
+/// Completion multiplexer over [`SummaryTicket`]s: N producers add
+/// tickets under caller-chosen tags, one (or more) consumers drain
+/// resolutions in **completion order** via [`TicketSet::wait_any`] —
+/// the readiness-queue surface of the module-level *Streaming serving*
+/// section. Every added ticket is yielded exactly once.
+///
+/// All methods take `&self`, so a set can be shared by reference
+/// across producer and consumer threads without external locking.
+///
+/// ```
+/// use xsum_core::admission::{AdmissionConfig, AdmissionQueue, TicketSet};
+/// use xsum_core::render::table1_example;
+/// use xsum_core::{BatchMethod, SteinerConfig, SummaryEngine};
+///
+/// let ex = table1_example();
+/// let queue = AdmissionQueue::for_engine(
+///     ex.graph.clone(),
+///     SummaryEngine::with_threads(2),
+///     AdmissionConfig::default(),
+/// );
+/// let method = BatchMethod::Steiner(SteinerConfig::default());
+/// let set = TicketSet::new();
+/// for id in 0..4u64 {
+///     set.add(id, queue.submit(ex.input(), method).unwrap());
+/// }
+/// let mut seen = Vec::new();
+/// while let Some(done) = set.wait_any() {
+///     assert!(done.result.is_ok());
+///     seen.push(done.tag);
+/// }
+/// seen.sort_unstable();
+/// assert_eq!(seen, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct TicketSet {
+    sink: Arc<ReadySink>,
+    inner: Mutex<SetInner>,
+}
+
+#[derive(Debug)]
+struct SetInner {
+    next_member: u64,
+    /// member id → (tag, ticket). The set owns its tickets; a member
+    /// leaves the map exactly when its resolution is yielded.
+    members: HashMap<u64, (u64, SummaryTicket)>,
+}
+
+impl Default for TicketSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TicketSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        TicketSet {
+            sink: Arc::new(ReadySink {
+                ready: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }),
+            inner: Mutex::new(SetInner {
+                next_member: 0,
+                members: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Add `ticket` under `tag`. An already-resolved ticket is
+    /// immediately ready; tags need not be unique (each membership is
+    /// tracked separately).
+    pub fn add(&self, tag: u64, ticket: SummaryTicket) {
+        let mut inner = lock_recovering(&self.inner);
+        let member = inner.next_member;
+        inner.next_member += 1;
+        // Register the watch *before* releasing `inner`: a concurrent
+        // `wait_any` that pops this member blocks on `inner` until the
+        // insert below lands, so pop → lookup can never miss.
+        ticket.slot.watch(Arc::clone(&self.sink), member);
+        inner.members.insert(member, (tag, ticket));
+    }
+
+    /// Members whose resolution has not been yielded yet (ready-but-
+    /// unclaimed members count).
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.inner).members.len()
+    }
+
+    /// Whether every added ticket has been yielded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking drain probe: the next resolution in completion
+    /// order, or `None` if nothing is ready right now. Does not flush
+    /// the queue (a pure poll, like [`SummaryTicket::try_wait`]).
+    pub fn poll(&self) -> Option<CompletedTicket> {
+        loop {
+            let member = lock_recovering(&self.sink.ready).pop_front()?;
+            let mut inner = lock_recovering(&self.inner);
+            if let Some((tag, ticket)) = inner.members.remove(&member) {
+                drop(inner);
+                let (result, meta) = ticket
+                    .slot
+                    .try_take()
+                    .expect("a member on the ready list has resolved");
+                return Some(CompletedTicket { tag, result, meta });
+            }
+            // A stale entry can only exist if a membership was yielded
+            // through another path; skip defensively rather than wedge.
+        }
+    }
+
+    /// Block until any member resolves and yield it (completion
+    /// order); `None` once the set is empty. Before blocking this
+    /// flushes the linger window up to every member's own request —
+    /// the [`SummaryTicket::wait`] no-deadlock discipline, extended to
+    /// the whole set — so a lingering coalescer can never deadlock the
+    /// multiplexed consumer.
+    pub fn wait_any(&self) -> Option<CompletedTicket> {
+        self.wait_inner(None)
+    }
+
+    /// [`TicketSet::wait_any`] bounded by `timeout`: `None` on an
+    /// empty set *or* when nothing resolved in time (check
+    /// [`TicketSet::is_empty`] to tell the two apart; the members stay
+    /// in the set and a later wait yields them).
+    pub fn wait_any_timeout(&self, timeout: Duration) -> Option<CompletedTicket> {
+        self.wait_inner(Some(Instant::now() + timeout))
+    }
+
+    fn wait_inner(&self, deadline: Option<Instant>) -> Option<CompletedTicket> {
+        loop {
+            if let Some(done) = self.poll() {
+                return Some(done);
+            }
+            {
+                let inner = lock_recovering(&self.inner);
+                if inner.members.is_empty() {
+                    return None;
+                }
+                // Flush the highest-seq member per distinct queue:
+                // `flush_up_to` is a high-water mark, so that one
+                // flush covers every lower-seq member of the same
+                // queue (a set may multiplex several queues).
+                let mut latest: Vec<&SummaryTicket> = Vec::new();
+                for (_, ticket) in inner.members.values() {
+                    let key = Arc::as_ptr(&ticket.shared);
+                    match latest
+                        .iter_mut()
+                        .find(|t| std::ptr::eq(Arc::as_ptr(&t.shared), key))
+                    {
+                        Some(t) if t.seq >= ticket.seq => {}
+                        Some(t) => *t = ticket,
+                        None => latest.push(ticket),
+                    }
+                }
+                for ticket in latest {
+                    ticket.flush_own_request();
+                }
+            }
+            // Block on the sink only while it is verifiably empty (the
+            // push path needs the same lock, so no wakeup is lost).
+            // `inner` is NOT held here: `add` takes `inner` → sink, so
+            // holding `inner` across this wait would deadlock a
+            // producer.
+            let ready = lock_recovering(&self.sink.ready);
+            if !ready.is_empty() {
+                continue;
+            }
+            match deadline {
+                None => {
+                    drop(
+                        self.sink
+                            .cv
+                            .wait(ready)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    );
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    drop(
+                        self.sink
+                            .cv
+                            .wait_timeout(ready, d - now)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -2091,5 +2431,154 @@ mod tests {
         }
         assert!(injector.total_injected() <= 3);
         assert_eq!(injector.budget_left(), 0, "rate-1.0 tape spends the budget");
+    }
+
+    #[test]
+    fn ticket_set_yields_every_member_exactly_once() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig::default(),
+        );
+        let set = TicketSet::new();
+        for tag in 0..8u64 {
+            set.add(tag + 100, queue.submit(ex.input(), st_method()).unwrap());
+        }
+        assert_eq!(set.len(), 8);
+        let want = st_method().run(&ex.graph, &ex.input());
+        let mut tags = Vec::new();
+        while let Some(done) = set.wait_any() {
+            assert_same(&done.result.unwrap(), &want);
+            assert!(done.meta.batch > 0, "served members carry dispatch meta");
+            tags.push(done.tag);
+        }
+        tags.sort_unstable();
+        assert_eq!(tags, (100..108u64).collect::<Vec<_>>());
+        assert!(set.is_empty());
+        assert!(set.wait_any().is_none(), "an empty set never blocks");
+    }
+
+    #[test]
+    fn ticket_set_wait_any_flushes_a_lingering_queue() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX, // only the set's flush can close it
+            },
+        );
+        let set = TicketSet::new();
+        set.add(1, queue.submit(ex.input(), st_method()).unwrap());
+        set.add(2, queue.submit(ex.input(), st_method()).unwrap());
+        // wait_any must apply the flush-up-to-own-seq discipline for
+        // its members, or this would deadlock on the open window.
+        assert!(set.wait_any().unwrap().result.is_ok());
+        assert!(set.wait_any().unwrap().result.is_ok());
+        assert!(set.wait_any().is_none());
+    }
+
+    #[test]
+    fn ticket_set_poll_is_pure_and_timeout_bounds_the_wait() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                linger_tickets: usize::MAX,
+            },
+        );
+        let set = TicketSet::new();
+        set.add(7, queue.submit(ex.input(), st_method()).unwrap());
+        // Pure poll: the linger window is open and poll must not flush.
+        assert!(set.poll().is_none());
+        assert_eq!(set.len(), 1);
+        // The bounded wait flushes like the unbounded one, so it
+        // resolves well within a generous timeout.
+        let done = set
+            .wait_any_timeout(Duration::from_secs(30))
+            .expect("flushed member resolves in time");
+        assert_eq!(done.tag, 7);
+        assert!(done.result.is_ok());
+        // An already-resolved ticket added later is immediately ready.
+        let t = queue.submit(ex.input(), st_method()).unwrap();
+        queue.drain();
+        assert!(t.is_ready());
+        set.add(8, t);
+        let done = set.poll().expect("resolved member polls ready");
+        assert_eq!(done.tag, 8);
+    }
+
+    #[test]
+    fn dropped_ticket_set_resolves_like_shutdown_drain() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig::default(),
+        );
+        {
+            let set = TicketSet::new();
+            for tag in 0..4u64 {
+                set.add(tag, queue.submit(ex.input(), st_method()).unwrap());
+            }
+            // Dropped with every member outstanding.
+        }
+        // The dispatcher still resolves every slot: drain returns and
+        // the stats account for all four submissions.
+        queue.drain();
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn ticket_set_single_consumer_drains_concurrent_producers() {
+        let ex = table1_example();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig {
+                queue_bound: 256,
+                max_batch: 8,
+                linger_tickets: 4,
+            },
+        );
+        let set = TicketSet::new();
+        let producers = 4usize;
+        let per = 6u64;
+        let drained = std::thread::scope(|scope| {
+            for p in 0..producers as u64 {
+                let (set, queue, ex) = (&set, &queue, &ex);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        set.add(p * per + i, queue.submit(ex.input(), st_method()).unwrap());
+                    }
+                });
+            }
+            // One consumer drains everything the producers add; the
+            // bounded wait tolerates briefly observing an empty set
+            // while producers are still adding.
+            let mut got = Vec::new();
+            while got.len() < producers * per as usize {
+                if let Some(done) = set.wait_any_timeout(Duration::from_millis(50)) {
+                    assert!(done.result.is_ok());
+                    got.push(done.tag);
+                }
+            }
+            got
+        });
+        let mut tags = drained;
+        tags.sort_unstable();
+        let want: Vec<u64> = (0..producers as u64 * per).collect();
+        assert_eq!(tags, want, "every tag exactly once");
+        assert!(set.is_empty());
     }
 }

@@ -37,7 +37,7 @@ use crate::steiner::{steiner_summary, steiner_summary_fast, SteinerConfig};
 use crate::summary::Summary;
 
 /// Which summarizer a batch runs, with its configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BatchMethod {
     /// Algorithm 1 (KMB Steiner tree) with the given config.
     Steiner(SteinerConfig),

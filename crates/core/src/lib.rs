@@ -67,7 +67,14 @@
 //!   [`SummaryTicket`]s, applying graph mutations as barriers, and
 //!   isolating worker panics to exactly the affected tickets —
 //!   bit-identical to direct [`SummaryEngine::summarize_batch`] calls
-//!   (`tests/prop_admission.rs`).
+//!   (`tests/prop_admission.rs`);
+//! * [`wire`] puts the queue on the network's terms: versioned
+//!   request/response records in a compact length-prefixed binary
+//!   framing (bit-exact `f64` params via `to_bits`), and
+//!   [`serve_stream`] — a loop that decodes frames from any byte
+//!   stream, submits through the queue, multiplexes completions with
+//!   a [`TicketSet`], and writes responses back in completion order
+//!   with request-id correlation.
 //!
 //! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
@@ -90,10 +97,12 @@ pub mod shard;
 pub mod steiner;
 pub mod summary;
 pub mod weighting;
+pub mod wire;
 
 pub use admission::{
     AdmissionBackend, AdmissionConfig, AdmissionError, AdmissionQueue, AdmissionStats,
-    DegradePolicy, DispatchMeta, EngineBackend, OverloadPolicy, SubmitOptions, SummaryTicket,
+    CompletedTicket, DegradePolicy, DispatchMeta, EngineBackend, OverloadPolicy, SubmitOptions,
+    SummaryTicket, TicketSet,
 };
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
 pub use engine::{EngineError, SummaryEngine};
@@ -122,3 +131,8 @@ pub use steiner::{
 };
 pub use summary::Summary;
 pub use weighting::adjusted_weights;
+pub use wire::{
+    decode_frame, encode_frame, read_frame, serve_stream, write_frame, MutationRequest,
+    MutationResponse, ServeReport, SummaryRequest, SummaryResponse, WireError, WireFrame,
+    WireMutation, WireSummary, MAX_FRAME_LEN, WIRE_VERSION,
+};

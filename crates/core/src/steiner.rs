@@ -396,6 +396,9 @@ pub struct SteinerWorkspace {
     /// Deduplicated-terminal count from which the metric closure fans
     /// out: 0 = the built-in [`PARALLEL_TERMINAL_THRESHOLD`] default.
     parallel_threshold: usize,
+    /// Worker count the most recent metric closure actually ran with
+    /// (1 = sequential); 0 until the first closure builds.
+    last_closure_workers: usize,
 }
 
 impl SteinerWorkspace {
@@ -427,6 +430,20 @@ impl SteinerWorkspace {
         };
     }
 
+    /// How many workers the most recent metric closure actually used:
+    /// `1` means the sequential branch ran, `> 1` the parallel
+    /// fan-out, `0` that no closure has been built yet. A probe for
+    /// workload tests asserting that [`set_parallel_threshold`] /
+    /// [`set_parallelism`] really flip the gate — results are
+    /// bit-identical either way, so only this observable can tell the
+    /// branches apart.
+    ///
+    /// [`set_parallel_threshold`]: SteinerWorkspace::set_parallel_threshold
+    /// [`set_parallelism`]: SteinerWorkspace::set_parallelism
+    pub fn last_closure_workers(&self) -> usize {
+        self.last_closure_workers
+    }
+
     /// The active fan-out gate (post-dedup terminal count).
     fn parallel_threshold(&self) -> usize {
         match self.parallel_threshold {
@@ -456,6 +473,7 @@ impl SteinerWorkspace {
         } else {
             1
         };
+        self.last_closure_workers = workers;
         if self.workers.len() < workers {
             self.workers.resize_with(workers, DijkstraWorkspace::new);
         }

@@ -41,6 +41,18 @@ impl LoosePath {
         }
     }
 
+    /// Reassemble a walk from its raw parts — the graph-free inverse
+    /// of [`LoosePath::nodes`] + [`LoosePath::hops`], used by wire
+    /// decoding where no [`Graph`] is at hand to re-ground against.
+    /// Returns `None` (never panics) unless `nodes` is non-empty and
+    /// `hops` has exactly one entry per consecutive node pair.
+    pub fn from_parts(nodes: Vec<NodeId>, hops: Vec<Option<EdgeId>>) -> Option<Self> {
+        if nodes.is_empty() || hops.len() != nodes.len() - 1 {
+            return None;
+        }
+        Some(LoosePath { nodes, edges: hops })
+    }
+
     /// Node sequence.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes

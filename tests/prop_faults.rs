@@ -19,6 +19,7 @@ use xsum::core::{
     SubmitOptions, Summary, SummaryEngine, SummaryInput,
 };
 use xsum::graph::{EdgeId, EdgeKind, Graph, LoosePath, NodeId, NodeKind};
+use xsum_bench::traffic::{run_traffic_on, schedule, TrafficConfig};
 
 /// The `prop_admission`/`prop_shard` random KG generator: users, items,
 /// entities, random interaction and attribute edges, plus guaranteed
@@ -514,5 +515,74 @@ proptest! {
         let stats = queue.stats();
         prop_assert_eq!(stats.recoveries, 1);
         prop_assert_eq!(stats.mutations_applied, 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The open-loop traffic harness replayed against a faulted
+    /// sharded backend: the tape is deterministic in its config, every
+    /// offered request is accounted for exactly once (admitted →
+    /// served/failed, or refused at admission), the replay returns at
+    /// all (liveness — a lost wakeup or wedged barrier hangs the
+    /// test), and the queue's own ledger agrees with the report's.
+    #[test]
+    fn traffic_harness_survives_chaos_tapes(
+        kg in arb_kg(),
+        seed in 0u64..1_000_000,
+        sharded in 0usize..2,
+    ) {
+        let inputs = inputs_for(&kg, 2);
+        let mut cfg = TrafficConfig::new(2_000.0, 48);
+        cfg.seed = seed;
+        cfg.mutation_every = 12;
+        cfg.expire_after = None; // no expiry: admitted ⇒ served or failed
+
+        // The tape is pure in (config, input count, edge count).
+        let tape = schedule(&cfg, inputs.len(), kg.g.edge_count());
+        prop_assert_eq!(&tape, &schedule(&cfg, inputs.len(), kg.g.edge_count()));
+        let planned_mutations = tape.len() - cfg.requests;
+
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(seed)));
+        let queue = chaos_queue(
+            &kg.g,
+            [None, Some(2usize)][sharded],
+            &injector,
+            cfg.admission,
+        );
+        let report = run_traffic_on(&queue, &inputs, kg.g.edge_count(), &cfg);
+
+        // Every summary arrival lands in exactly one bucket at
+        // admission, and every admitted ticket resolves exactly once.
+        prop_assert_eq!(report.submitted + report.refused, cfg.requests as u64);
+        prop_assert_eq!(report.served + report.failed, report.submitted);
+        prop_assert_eq!(report.mutations + report.mutation_failures, planned_mutations as u64);
+        prop_assert_eq!(report.shed, 0);
+        prop_assert_eq!(report.expired, 0);
+
+        // The queue's ledger agrees: nothing queued or in flight, and
+        // completions plus failures cover every submission it saw.
+        // (`drain` quiesces the dispatcher's bookkeeping first — a
+        // ticket resolves to its waiter a beat before the in-flight
+        // counter decrements.)
+        queue.drain();
+        let stats = queue.stats();
+        prop_assert_eq!(stats.queued, 0);
+        prop_assert_eq!(stats.in_flight, 0);
+        prop_assert_eq!(stats.completed + stats.failed, stats.submitted);
+        prop_assert_eq!(stats.submitted, report.submitted);
+        prop_assert!(injector.total_injected() <= u64::from(injector.plan().budget));
+
+        // The drained queue still serves, bit-identically to the
+        // (possibly mutated) live graph — read it back through a
+        // fault-free barrier-synchronised submission pair.
+        let method = METHODS[(seed % 3) as usize]();
+        let t = queue.submit(inputs[0].clone(), method);
+        if let Ok(t) = t {
+            if let Ok(got) = t.wait() {
+                prop_assert_eq!(got.method, method.name());
+            }
+        }
     }
 }
