@@ -6,7 +6,8 @@
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!            userstudy ablation fairness quality_stfast bench_batch
-//!            bench_shard bench_admission bench_traffic all
+//!            bench_shard bench_admission bench_traffic lint modelcheck
+//!            all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
 //! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
@@ -21,7 +22,12 @@
 //! offered loads and *merges* the `traffic_*` keys — p50/p99/p99.9
 //! ticket latency, offered-vs-served ratio, shed/expiry/degrade
 //! counts — into `BENCH_batch.json`, leaving every other key as
-//! `bench_batch` wrote it.
+//! `bench_batch` wrote it. `lint` runs the repo-invariant lint engine
+//! (same scan as `cargo run --bin xlint`; non-zero exit on findings),
+//! and `modelcheck` — in a `RUSTFLAGS="--cfg xsum_loom"` build — runs
+//! the model-checked concurrency scenarios and merges their
+//! `modelcheck_*` stats (schedules explored, wall time) into
+//! `BENCH_batch.json` the same way.
 //! ```
 //!
 //! Output is TSV (scenario, baseline, method, x, metric, value) matching
@@ -163,6 +169,148 @@ fn merge_traffic_keys(path: &str, report: &xsum_bench::traffic::TrafficReport) {
     let mut out = lines.join("\n");
     out.push('\n');
     std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Merge `modelcheck_*` keys (schedules explored + wall time per model
+/// scenario) into the flat JSON object at `path`, with the same
+/// pass-through discipline as [`merge_traffic_keys`]: pre-existing
+/// non-`modelcheck_` lines stay byte-identical.
+#[cfg(xsum_loom)]
+fn merge_modelcheck_keys(path: &str, entries: &[(&str, usize, f64)]) {
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let mut lines: Vec<String> = base
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.starts_with("\"modelcheck_") && !t.is_empty() && t != "}"
+        })
+        .map(str::to_string)
+        .collect();
+    if lines.is_empty() {
+        lines.push("{".to_string());
+    }
+    if let Some(last) = lines.last_mut() {
+        let t = last.trim_end();
+        if !t.ends_with('{') && !t.ends_with(',') {
+            *last = format!("{t},");
+        }
+    }
+    for (i, (name, schedules, ms)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        lines.push(format!(
+            "  \"modelcheck_{name}_schedules\": {schedules},\n  \"modelcheck_{name}_ms\": {ms:.3}{comma}"
+        ));
+    }
+    lines.push("}".to_string());
+    let mut out = lines.join("\n");
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// `repro modelcheck` (model-checker build): run every passing model
+/// scenario, print the exploration stats as TSV, and merge
+/// `modelcheck_*` keys into BENCH_batch.json.
+#[cfg(xsum_loom)]
+fn run_modelcheck() {
+    use xsum_core::modelcheck;
+    /// A named model scenario returning (schedules explored, exhausted).
+    type Scenario = (&'static str, fn() -> (usize, bool));
+    let scenarios: &[Scenario] = &[
+        ("pool_map_with_drop", || {
+            let s = modelcheck::pool_map_with_and_drop();
+            (s.schedules_explored, s.exhausted)
+        }),
+        ("pool_shutdown", || {
+            let s = modelcheck::pool_shutdown_protocol(false);
+            (s.schedules_explored, s.exhausted)
+        }),
+        ("ticket_set", || {
+            let s = modelcheck::ticket_set_exactly_once();
+            (s.schedules_explored, s.exhausted)
+        }),
+        ("linger_flush", || {
+            let s = modelcheck::linger_flush_no_deadlock();
+            (s.schedules_explored, s.exhausted)
+        }),
+        ("poison_recover", || {
+            let s = modelcheck::poison_recover_no_lost_ticket();
+            (s.schedules_explored, s.exhausted)
+        }),
+        ("breaker", || {
+            let s = modelcheck::breaker_transitions_race_free();
+            (s.schedules_explored, s.exhausted)
+        }),
+    ];
+    let mut rows = Vec::new();
+    let mut entries: Vec<(&str, usize, f64)> = Vec::new();
+    for (name, run) in scenarios {
+        let start = std::time::Instant::now();
+        let (schedules, exhausted) = run();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        for (metric, value) in [
+            ("modelcheck_schedules", schedules as f64),
+            ("modelcheck_exhausted", exhausted as u8 as f64),
+            ("modelcheck_ms", ms),
+        ] {
+            rows.push(Row::new(
+                "model",
+                "loom",
+                "dfs+random",
+                *name,
+                metric,
+                value,
+            ));
+        }
+        entries.push((name, schedules, ms));
+    }
+    print_rows(&rows);
+    merge_modelcheck_keys("BENCH_batch.json", &entries);
+    eprintln!(
+        "modelcheck: {} scenario(s), {} schedule(s) explored; merged modelcheck_* keys \
+         into BENCH_batch.json",
+        entries.len(),
+        entries.iter().map(|(_, s, _)| s).sum::<usize>(),
+    );
+}
+
+/// `repro modelcheck` in an ordinary build: the scenarios only exist
+/// when the `xsum_graph::sync` facade sits on the loom shim.
+#[cfg(not(xsum_loom))]
+fn run_modelcheck() {
+    eprintln!(
+        "modelcheck: this binary was built without the model checker; rebuild with\n\
+         \n    RUSTFLAGS=\"--cfg xsum_loom\" cargo run -p xsum-bench --bin repro -- modelcheck\n\
+         \nto run the model scenarios (see CONCURRENCY.md)."
+    );
+    std::process::exit(2);
+}
+
+/// `repro lint`: the same workspace scan as `cargo run --bin xlint`,
+/// exposed here so CI's static-analysis job and local repro runs share
+/// one entry point.
+fn run_lint() {
+    // Compile-time manifest dir of this crate → workspace root. The
+    // scan only runs from checkouts, where that path always exists.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match xsum_bench::lint::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}\n");
+            }
+            eprintln!(
+                "lint: {} file(s) scanned, {} finding(s)",
+                report.files_scanned,
+                report.findings.len()
+            );
+            if !report.clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: scan failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -415,6 +563,8 @@ fn main() {
             );
             print_rows(&rows);
         }
+        "lint" => run_lint(),
+        "modelcheck" => run_modelcheck(),
         "all" => {
             println!("== table1 ==\n{}", tables::table1());
             let ctx = Ctx::build(cfg);
@@ -469,7 +619,8 @@ fn main() {
             eprintln!("unknown artifact '{other}'");
             eprintln!(
                 "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
-                 quality_stfast bench_batch bench_shard bench_admission bench_traffic all"
+                 quality_stfast bench_batch bench_shard bench_admission bench_traffic \
+                 lint modelcheck all"
             );
             std::process::exit(2);
         }

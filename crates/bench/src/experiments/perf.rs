@@ -726,6 +726,8 @@ fn admission_run_with(
     let served = std::sync::atomic::AtomicU64::new(0);
     let t0 = std::time::Instant::now();
     for _ in 0..rounds {
+        // xlint: allow(rogue-spawn) — closed-loop producer fan-out for the
+        // latency bench; scoped and joined every round, panics propagate.
         std::thread::scope(|scope| {
             for p in 0..producers {
                 let (queue, latencies, served) = (&queue, &latencies, &served);
@@ -753,7 +755,10 @@ fn admission_run_with(
                             Err(e) => panic!("well-formed input serves: {e:?}"),
                         }
                     }
-                    latencies.lock().unwrap().extend(local);
+                    latencies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
                 });
             }
         });

@@ -12,8 +12,11 @@
 //! The default context scale is 5% of ML1M, which runs every figure in
 //! seconds on a laptop; `--scale 1.0` reproduces the full Table II graph.
 
+#![forbid(unsafe_code)]
+
 pub mod ctx;
 pub mod experiments;
+pub mod lint;
 pub mod methods;
 pub mod plot;
 pub mod seedpath;

@@ -25,7 +25,7 @@
 //! fault-injected backend.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -260,6 +260,9 @@ pub fn run_traffic_on(
     let mut failed = 0u64;
     let mut resolved = 0u64;
 
+    // xlint: allow(rogue-spawn) — open-loop harness needs its own paced
+    // producer; scoped and joined before this function returns, panics
+    // propagate at scope exit.
     std::thread::scope(|scope| {
         scope.spawn(|| {
             for (tag, arrival) in tape.iter().enumerate() {
@@ -298,7 +301,7 @@ pub fn run_traffic_on(
                                 // barrier and retry once so the tape keeps
                                 // offering load (the chaos tests exercise
                                 // exactly this path).
-                                let mut c = counts.lock().unwrap();
+                                let mut c = counts.lock().unwrap_or_else(PoisonError::into_inner);
                                 if queue.recover().is_ok() {
                                     drop(c);
                                     match queue.submit_with(inputs[input].clone(), method, opts) {
@@ -307,7 +310,10 @@ pub fn run_traffic_on(
                                             set.add(tag as u64, ticket);
                                         }
                                         Err(_) => {
-                                            counts.lock().unwrap().2 += 1;
+                                            counts
+                                                .lock()
+                                                .unwrap_or_else(PoisonError::into_inner)
+                                                .2 += 1;
                                         }
                                     }
                                 } else {
@@ -315,12 +321,12 @@ pub fn run_traffic_on(
                                 }
                             }
                             Err(_) => {
-                                counts.lock().unwrap().2 += 1;
+                                counts.lock().unwrap_or_else(PoisonError::into_inner).2 += 1;
                             }
                         }
                     }
                     ArrivalKind::Mutation { edge, weight } => {
-                        let mut c = counts.lock().unwrap();
+                        let mut c = counts.lock().unwrap_or_else(PoisonError::into_inner);
                         match queue.mutate(move |g| g.set_weight(edge, weight)) {
                             Ok(()) => c.0 += 1,
                             Err(_) => {
@@ -374,7 +380,8 @@ pub fn run_traffic_on(
         latencies[((latencies.len() as f64 * q) as usize).min(latencies.len() - 1)] * 1e3
     };
     let stats = queue.stats();
-    let (mutations, mutation_failures, refused) = *counts.lock().unwrap();
+    let (mutations, mutation_failures, refused) =
+        *counts.lock().unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(
         served + shed_or_expired + failed,
         resolved,

@@ -6,7 +6,8 @@
 //! batch would need its own second thread pool, defeating the pinned
 //! [`WorkerPool`](xsum_graph::WorkerPool) design. [`AdmissionQueue`]
 //! closes that gap with plain std primitives — no external async
-//! runtime:
+//! runtime. The queue's locking/signalling protocol, and how it is
+//! model-checked, is documented in `CONCURRENCY.md` at the repo root:
 //!
 //! ```text
 //!  producer threads ──submit()──► bounded queue ──► dispatcher thread
@@ -164,9 +165,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xsum_graph::sync::thread::JoinHandle;
+use xsum_graph::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use xsum_graph::Graph;
 
@@ -571,12 +572,16 @@ impl TicketSlot {
     /// [`TicketSlot::wait`] bounded by `timeout`; `None` on timeout
     /// (the value, when it arrives later, stays takeable).
     fn wait_timeout(&self, timeout: Duration) -> Option<TicketOutcome> {
+        // xlint: allow(wall-clock-in-dispatcher) — caller-side wait bound;
+        // the dispatcher never reads it and linger stays ticket-count based.
         let deadline = Instant::now() + timeout;
         let mut guard = lock_recovering(&self.value);
         loop {
             if let Some(v) = guard.take() {
                 return Some(v);
             }
+            // xlint: allow(wall-clock-in-dispatcher) — caller-side wait bound
+            // re-check between condvar wakes; dispatcher-invisible.
             let now = Instant::now();
             if now >= deadline {
                 return None;
@@ -858,6 +863,8 @@ impl TicketSet {
     /// [`TicketSet::is_empty`] to tell the two apart; the members stay
     /// in the set and a later wait yields them).
     pub fn wait_any_timeout(&self, timeout: Duration) -> Option<CompletedTicket> {
+        // xlint: allow(wall-clock-in-dispatcher) — consumer-side wait bound;
+        // the dispatcher never observes the deadline.
         self.wait_inner(Some(Instant::now() + timeout))
     }
 
@@ -910,6 +917,8 @@ impl TicketSet {
                     );
                 }
                 Some(d) => {
+                    // xlint: allow(wall-clock-in-dispatcher) — consumer-side
+                    // wait bound re-check; dispatcher-invisible.
                     let now = Instant::now();
                     if now >= d {
                         return None;
@@ -1152,7 +1161,7 @@ impl AdmissionQueue {
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let mut backend = backend;
-            std::thread::Builder::new()
+            xsum_graph::sync::thread::Builder::new()
                 .name("xsum-admission".to_string())
                 .spawn(move || dispatcher_loop(&shared, &mut backend))
                 .expect("spawn admission dispatcher")
@@ -1294,6 +1303,8 @@ impl AdmissionQueue {
         // blocked for room above): resolve immediately, consuming no
         // queue room and no worker time.
         if let Some(t) = opts.expires_at {
+            // xlint: allow(wall-clock-in-dispatcher) — expiry stamp comparison
+            // at admission time, opt-in per request; never drives linger.
             if t <= Instant::now() {
                 st.stats.expired += 1;
                 drop(st);
@@ -1721,6 +1732,8 @@ fn next_work(st: &mut QueueState, shared: &QueueShared) -> Option<Work> {
         // One clock read per sweep; the zero-expiry path (every test
         // and workload predating wall-clock deadlines) never gets
         // here, keeping dispatch order bit-identical for them.
+        // xlint: allow(wall-clock-in-dispatcher) — expiry sweep over opt-in
+        // expires_at stamps, gated on expiring > 0; linger stays ticket-count.
         let now = Instant::now();
         let mut kept: VecDeque<QueuedOp> = VecDeque::with_capacity(st.queue.len());
         let mut dropped = 0usize;

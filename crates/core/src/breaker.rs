@@ -1,0 +1,149 @@
+//! The per-replica circuit-breaker state machine, extracted from
+//! [`shard`](crate::shard) so the protocol is a standalone, model-
+//! checkable unit: `tests/model_concurrency.rs` drives *this* code
+//! (behind a facade mutex) under the loom-shim scheduler to pin that
+//! Closed → Open → HalfOpen transitions stay race-free, while
+//! [`ShardedEngine`](crate::ShardedEngine) embeds one breaker per
+//! replica for production routing.
+//!
+//! Time is virtual — a caller-supplied monotone `now` (the sharded
+//! engine passes its per-serve-call `serve_clock`) — so backoff is
+//! deterministic under test and under the model checker, which has no
+//! clock at all.
+
+/// The health of one replica's circuit breaker (see the `shard`
+/// module-level *Failure semantics*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving normally; failures are counted toward the threshold.
+    Closed,
+    /// Tripped: routing prefers other replicas until the cooldown
+    /// (measured in serve calls) elapses.
+    Open,
+    /// Cooldown elapsed: the replica is offered traffic as a probe —
+    /// one success closes it, one failure re-opens it with doubled
+    /// backoff.
+    HalfOpen,
+}
+
+/// Tuning knobs of the per-replica circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// Initial cooldown, in serve calls, before an open breaker is
+    /// probed half-open.
+    pub cooldown: u32,
+    /// Backoff cap: each failed half-open probe doubles the cooldown
+    /// up to this many serve calls.
+    pub max_cooldown: u32,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> Self {
+        CircuitConfig {
+            failure_threshold: 3,
+            cooldown: 8,
+            max_cooldown: 64,
+        }
+    }
+}
+
+/// One replica's breaker: consecutive-failure trip, virtual-time
+/// cooldown, half-open probe with doubled-and-capped backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    cfg: CircuitConfig,
+    state: BreakerState,
+    failures: u32,
+    opened_at: u64,
+    cooldown: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: CircuitConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            failures: 0,
+            opened_at: 0,
+            cooldown: cfg.cooldown,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether routing should offer this replica traffic (closed or
+    /// probing half-open).
+    pub fn admits(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Advance virtual time: promote a cooled-down open breaker to its
+    /// half-open probe. `now` must be monotone across calls.
+    pub fn tick(&mut self, now: u64) {
+        if self.state == BreakerState::Open
+            && now.saturating_sub(self.opened_at) >= self.cooldown as u64
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    /// A successful serve closes the breaker and resets failure count
+    /// and backoff.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+        self.cooldown = self.cfg.cooldown;
+    }
+
+    /// A failed serve: count toward the trip threshold when closed;
+    /// re-open with doubled (capped) backoff when open or probing.
+    pub fn record_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                }
+            }
+            BreakerState::Open | BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.cooldown = self
+                    .cooldown
+                    .saturating_mul(2)
+                    .min(self.cfg.max_cooldown.max(1));
+            }
+        }
+    }
+
+    /// Structural invariants, asserted by the model-concurrency suite
+    /// after every step of every explored interleaving. Cheap enough to
+    /// call anywhere; panics (= fails the model) on violation.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.cooldown >= self.cfg.cooldown.min(self.cfg.max_cooldown.max(1)),
+            "backoff fell below the configured floor"
+        );
+        assert!(
+            self.cooldown <= self.cfg.cooldown.max(self.cfg.max_cooldown.max(1)),
+            "backoff exceeded the configured cap"
+        );
+        match self.state {
+            BreakerState::Closed => {}
+            // An open or probing breaker never carries a partial
+            // failure count toward a *second* trip: the count only
+            // matters while closed.
+            BreakerState::Open | BreakerState::HalfOpen => {
+                assert!(
+                    self.failures >= self.cfg.failure_threshold || self.failures == 0,
+                    "tripped breaker with a partial failure count"
+                );
+            }
+        }
+    }
+}

@@ -80,7 +80,10 @@ pub fn summary_to_dot(g: &Graph, summary: &Summary) -> String {
     }
     for e in summary.subgraph.sorted_edges() {
         let edge = g.edge(e);
-        if edge.weight != 0.0 {
+        // Unweighted edges (either IEEE zero) get no label; NaN is a
+        // label-worthy weight. `abs().to_bits()` keeps exactly those
+        // semantics while comparing bit patterns, not floats.
+        if edge.weight.abs().to_bits() != 0 {
             let _ = writeln!(
                 out,
                 "  {} -- {} [label=\"{:.2}\"];",

@@ -41,9 +41,9 @@
 //! [`WorkerPool`]: xsum_graph::WorkerPool
 //! [`DispatchHook`]: xsum_graph::DispatchHook
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+use xsum_graph::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use xsum_graph::sync::Arc;
 
 use xsum_graph::DispatchHook;
 
@@ -238,7 +238,7 @@ impl FaultInjector {
     /// Sleep the plan's delay iff `kind` is a [`FaultKind::Delay`].
     pub fn sleep_if_delay(&self, kind: FaultKind) {
         if kind == FaultKind::Delay && !self.plan.delay.is_zero() {
-            std::thread::sleep(self.plan.delay);
+            xsum_graph::sync::thread::sleep(self.plan.delay);
         }
     }
 

@@ -78,8 +78,11 @@
 //!
 //! [`DijkstraWorkspace`]: xsum_graph::DijkstraWorkspace
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod batch;
+pub mod breaker;
 pub mod engine;
 pub mod exact;
 pub mod export;
@@ -88,6 +91,8 @@ pub mod gw;
 pub mod incremental;
 pub mod incremental_pcst;
 pub mod input;
+#[cfg(xsum_loom)]
+pub mod modelcheck;
 pub mod pathfree;
 pub mod pcst;
 pub mod prizes;
@@ -105,6 +110,7 @@ pub use admission::{
     SummaryTicket, TicketSet,
 };
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
+pub use breaker::CircuitBreaker;
 pub use engine::{EngineError, SummaryEngine};
 pub use exact::{
     exact_steiner_cost, exact_steiner_tree, optimality_gap, OptimalityGap, MAX_EXACT_TERMINALS,

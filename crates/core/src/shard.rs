@@ -103,7 +103,7 @@
 
 use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use xsum_graph::sync::Arc;
 
 use xsum_graph::{fxhash::FxHasher, num_threads, parallel_zip_map, EdgeId, Graph, NodeId};
 
@@ -195,62 +195,7 @@ struct ShardReplica {
     engine: SummaryEngine,
 }
 
-/// The health of one replica's circuit breaker (see the module-level
-/// *Failure semantics*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    /// Serving normally; failures are counted toward the threshold.
-    Closed,
-    /// Tripped: routing prefers other replicas until the cooldown
-    /// (measured in serve calls) elapses.
-    Open,
-    /// Cooldown elapsed: the replica is offered traffic as a probe —
-    /// one success closes it, one failure re-opens it with doubled
-    /// backoff.
-    HalfOpen,
-}
-
-/// Tuning knobs of the per-replica circuit breaker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CircuitConfig {
-    /// Consecutive failures that trip a closed breaker open.
-    pub failure_threshold: u32,
-    /// Initial cooldown, in serve calls, before an open breaker is
-    /// probed half-open.
-    pub cooldown: u32,
-    /// Backoff cap: each failed half-open probe doubles the cooldown
-    /// up to this many serve calls.
-    pub max_cooldown: u32,
-}
-
-impl Default for CircuitConfig {
-    fn default() -> Self {
-        CircuitConfig {
-            failure_threshold: 3,
-            cooldown: 8,
-            max_cooldown: 64,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ReplicaHealth {
-    state: BreakerState,
-    failures: u32,
-    opened_at: u64,
-    cooldown: u32,
-}
-
-impl ReplicaHealth {
-    fn new(cfg: &CircuitConfig) -> Self {
-        ReplicaHealth {
-            state: BreakerState::Closed,
-            failures: 0,
-            opened_at: 0,
-            cooldown: cfg.cooldown,
-        }
-    }
-}
+pub use crate::breaker::{BreakerState, CircuitBreaker, CircuitConfig};
 
 /// A sharded serving front-end: N [`SummaryEngine`] replicas, each over
 /// its own graph replica, behind a [`ShardRouter`] (see module docs).
@@ -280,7 +225,7 @@ pub struct ShardedEngine {
     replicas: Vec<ShardReplica>,
     router: Box<dyn ShardRouter>,
     /// Per-replica circuit-breaker state, parallel to `replicas`.
-    health: Vec<ReplicaHealth>,
+    health: Vec<CircuitBreaker>,
     circuit: CircuitConfig,
     /// Virtual time for breaker cooldowns: one tick per serve entry
     /// point call, so backoff is deterministic under test.
@@ -325,7 +270,7 @@ impl ShardedEngine {
             })
             .collect();
         ShardedEngine {
-            health: vec![ReplicaHealth::new(&circuit); replicas.len()],
+            health: vec![CircuitBreaker::new(circuit); replicas.len()],
             circuit,
             serve_clock: 0,
             faults: None,
@@ -385,12 +330,12 @@ impl ShardedEngine {
     /// breaker to [`BreakerState::Closed`].
     pub fn set_circuit_config(&mut self, cfg: CircuitConfig) {
         self.circuit = cfg;
-        self.health = vec![ReplicaHealth::new(&cfg); self.replicas.len()];
+        self.health = vec![CircuitBreaker::new(cfg); self.replicas.len()];
     }
 
     /// The breaker state of one replica.
     pub fn breaker_state(&self, shard: usize) -> BreakerState {
-        self.health[shard].state
+        self.health[shard].state()
     }
 
     /// Install (or clear, with `None`) a fault injector: fires at
@@ -412,51 +357,29 @@ impl ShardedEngine {
         self.serve_clock += 1;
         let now = self.serve_clock;
         for h in &mut self.health {
-            if h.state == BreakerState::Open && now.saturating_sub(h.opened_at) >= h.cooldown as u64
-            {
-                h.state = BreakerState::HalfOpen;
-            }
+            h.tick(now);
         }
     }
 
     fn record_success(&mut self, shard: usize) {
-        let h = &mut self.health[shard];
-        h.state = BreakerState::Closed;
-        h.failures = 0;
-        h.cooldown = self.circuit.cooldown;
+        self.health[shard].record_success();
     }
 
     fn record_failure(&mut self, shard: usize) {
-        let now = self.serve_clock;
-        let cfg = self.circuit;
-        let h = &mut self.health[shard];
-        match h.state {
-            BreakerState::Closed => {
-                h.failures += 1;
-                if h.failures >= cfg.failure_threshold {
-                    h.state = BreakerState::Open;
-                    h.opened_at = now;
-                }
-            }
-            BreakerState::Open | BreakerState::HalfOpen => {
-                h.state = BreakerState::Open;
-                h.opened_at = now;
-                h.cooldown = h.cooldown.saturating_mul(2).min(cfg.max_cooldown.max(1));
-            }
-        }
+        self.health[shard].record_failure(self.serve_clock);
     }
 
     /// `home` if its breaker is not open, else the first non-open
     /// replica scanning forward from it; all-open falls back to `home`
     /// (full replicas: serving beats refusing).
     fn healthy_or(&self, home: usize) -> usize {
-        if self.health[home].state != BreakerState::Open {
+        if self.health[home].admits() {
             return home;
         }
         let n = self.replicas.len();
         (1..n)
             .map(|off| (home + off) % n)
-            .find(|&c| self.health[c].state != BreakerState::Open)
+            .find(|&c| self.health[c].admits())
             .unwrap_or(home)
     }
 

@@ -15,6 +15,8 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod generator;
 pub mod io;

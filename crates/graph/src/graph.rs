@@ -199,6 +199,8 @@ pub struct Graph {
 /// (or both are freshly constructed and empty), and in both cases their
 /// edge/weight content is identical.
 fn next_epoch() -> u64 {
+    // xlint: allow(sync-facade) — process-global monotone counter; epoch
+    // uniqueness is interleaving-insensitive, so the model keeps it std.
     static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
     EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }

@@ -57,6 +57,7 @@ pub mod parallel;
 pub mod path;
 pub mod pool;
 pub mod subgraph;
+pub mod sync;
 pub mod traversal;
 pub mod unionfind;
 

@@ -11,7 +11,13 @@
 //! index when free — so skewed item costs (one giant terminal group next
 //! to many small ones) still balance.
 
+// The scoped-parallel helpers predate the worker pool and run on
+// borrowed state via `std::thread::scope`, which the loom shim does not
+// model (its spawn requires 'static closures); their determinism is
+// pinned by the bit-identical prop suites instead.
+// xlint: allow(sync-facade) — scoped-thread layer, see note above.
 use std::sync::atomic::{AtomicUsize, Ordering};
+// xlint: allow(sync-facade) — scoped-thread layer, see note above.
 use std::sync::{Mutex, PoisonError};
 
 /// Number of worker threads parallel regions use: `XSUM_THREADS` if set
@@ -65,6 +71,8 @@ where
     let cursor = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     let (f, cursor_ref, results_ref) = (&f, &cursor, &results);
+    // xlint: allow(sync-facade) — std scoped threads over borrowed state;
+    // no facade equivalent (loom spawn is 'static), prop-suite verified.
     std::thread::scope(|scope| {
         for state in states.iter_mut() {
             scope.spawn(move || {
@@ -143,6 +151,8 @@ where
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let panic_ref = &panic_slot;
+    // xlint: allow(sync-facade) — std scoped threads over borrowed state;
+    // no facade equivalent (loom spawn is 'static), prop-suite verified.
     std::thread::scope(|scope| {
         for ((state, item), slot) in states.iter_mut().zip(items).zip(out.iter_mut()) {
             scope.spawn(

@@ -16,6 +16,11 @@
 //! behind the same `parallel_map_with` signature" slot of the multi-
 //! backend ROADMAP item.
 //!
+//! The pool's dispatch/teardown handshake (seq bump, shutdown flag,
+//! job-slot clear, broadcasts) is documented in `CONCURRENCY.md` at
+//! the repo root and model-checked by `tests/model_concurrency.rs`
+//! (`pool_shutdown_protocol`).
+//!
 //! # Implementation notes
 //!
 //! Jobs borrow caller data (`&Graph`, `&[SummaryInput]`, `&mut` worker
@@ -27,10 +32,10 @@
 //! down like completions (so the caller never deadlocks), and resumed
 //! on the calling thread.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
 
 /// Lock `m`, recovering the guard from a poisoned mutex instead of
 /// panicking. The pool's shared state stays structurally valid across a
@@ -155,7 +160,7 @@ impl WorkerPool {
         self.handles = (0..self.size)
             .map(|idx| {
                 let shared = Arc::clone(&self.shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("xsum-pool-{idx}"))
                     .spawn(move || worker_loop(&shared, idx))
                     .expect("spawn pool worker")
@@ -369,7 +374,7 @@ impl Drop for InFlightJob<'_> {
         // unless we are already unwinding, where a second panic would
         // abort the process.
         if let Some(payload) = payload {
-            if !std::thread::panicking() {
+            if !crate::sync::thread::panicking() {
                 resume_unwind(payload);
             }
         }
@@ -388,7 +393,13 @@ impl<S> SendPtr<S> {
     }
 }
 
+// SAFETY: the pointer targets a caller-owned slice that outlives the
+// dispatch (the dispatcher blocks until every worker is done), and the
+// job body hands each worker a disjoint index, so sending the pointer
+// (and sharing the wrapper) never aliases a `&mut S`.
 unsafe impl<S: Send> Send for SendPtr<S> {}
+// SAFETY: as above — disjoint-index access makes shared `&SendPtr<S>`
+// usable from many workers without aliasing.
 unsafe impl<S: Send> Sync for SendPtr<S> {}
 
 impl Drop for WorkerPool {

@@ -1,0 +1,64 @@
+//! The workspace's synchronization facade.
+//!
+//! Every concurrency module in the serving stack ([`pool`](crate::pool),
+//! `xsum_core`'s admission queue / circuit breaker / fault plane)
+//! imports its primitives from here instead of `std::sync` /
+//! `std::thread`. A normal build re-exports `std` — the facade is
+//! zero-cost and behaviour is bit-identical. Under
+//! `RUSTFLAGS="--cfg xsum_loom"` the same names resolve to the vendored
+//! loom shim's instrumented primitives, so `loom::model` can explore
+//! thread interleavings of the real production protocols (see
+//! `CONCURRENCY.md` for how to run and read the model checker).
+//!
+//! Two deliberate exceptions, both uninstrumented in either mode:
+//!
+//! - [`Arc`] is always `std::sync::Arc`: refcounting is not part of any
+//!   protocol we check, and hooks like
+//!   [`DispatchHook`](crate::pool::DispatchHook) rely on
+//!   `Arc<dyn Fn(..)>` unsize coercions a wrapper type cannot offer.
+//! - [`thread::current`]/[`thread::panicking`] are always `std`: they
+//!   observe the OS thread, which is exactly right even under the model
+//!   (model threads *are* OS threads, just scheduled cooperatively).
+//!
+//! New concurrent code MUST import from this module — the
+//! `sync-facade` lint (`cargo run --bin xlint`) enforces it for the
+//! ported crates.
+
+#[cfg(not(xsum_loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(xsum_loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+// Poison plumbing is shared: the loom shim reuses std's poison types,
+// so `lock_recovering`-style helpers are mode-independent.
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+pub mod atomic {
+    //! Facade over `std::sync::atomic` (model-instrumented under
+    //! `cfg(xsum_loom)`; the shim's atomics are sequentially consistent
+    //! and treat `Ordering` as documentation).
+
+    #[cfg(not(xsum_loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(xsum_loom)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+pub mod thread {
+    //! Facade over `std::thread` (model-instrumented under
+    //! `cfg(xsum_loom)`: `spawn` registers a logical thread with the
+    //! scheduler, `sleep` is a scheduling point, `join` a model-blocking
+    //! operation).
+
+    #[cfg(not(xsum_loom))]
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+
+    #[cfg(xsum_loom)]
+    pub use loom::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+
+    pub use std::thread::{current, panicking};
+}

@@ -14,6 +14,8 @@
 //!   (population sizes, edge counts, degrees, density, average path length,
 //!   diameter).
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod rating;
 pub mod stats;

@@ -82,6 +82,8 @@ fn on_dealloc(size: usize) {
 // SAFETY: delegates directly to `System`, which upholds the GlobalAlloc
 // contract; the atomic bookkeeping has no effect on the returned memory.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: same contract as `System.alloc`, to which this delegates
+    // unchanged; the counter update never touches the returned block.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -90,11 +92,15 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: same contract as `System.dealloc` — `ptr`/`layout` come from
+    // a matching `alloc` per GlobalAlloc's caller obligations.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         on_dealloc(layout.size());
     }
 
+    // SAFETY: same contract as `System.realloc`; bookkeeping only adjusts
+    // counters after the system allocator has done the move.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

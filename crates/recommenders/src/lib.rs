@@ -26,6 +26,8 @@
 //! All emulators implement [`PathRecommender`] and are deterministic given
 //! their seeds.
 
+#![forbid(unsafe_code)]
+
 pub mod cafe;
 pub mod cluster;
 pub mod eval;

@@ -15,6 +15,8 @@
 //! `--bench` style CLI filtering is accepted and ignored; results are
 //! printed to stdout only.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

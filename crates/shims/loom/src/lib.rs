@@ -1,0 +1,191 @@
+//! Offline, API-compatible subset of the `loom` crate (this workspace
+//! builds without a registry): a deterministic model checker for the
+//! repo's hand-rolled concurrency protocols.
+//!
+//! [`model`] runs a closure — which may spawn threads and use the
+//! instrumented [`sync`]/[`thread`] primitives — under a cooperative
+//! scheduler that explores thread interleavings: **bounded exhaustive
+//! enumeration** (depth-first over scheduling decisions, with replay
+//! prefixes) up to `max_schedules`, then a **seeded-random sampling
+//! fallback** for `random_runs` more schedules when the bounded tree
+//! was not exhausted. Any schedule that deadlocks, panics in a thread,
+//! or exceeds the step bound (livelock guard) fails the check with the
+//! decision trace that reached it.
+//!
+//! # Model semantics (deliberate simplifications vs. real loom)
+//!
+//! - **Sequential consistency only.** Atomics take one scheduling point
+//!   per operation; `Ordering` is accepted and ignored. The checker
+//!   explores interleavings, not weak-memory reorderings.
+//! - **No spurious condvar wakeups.** Waiters wake only on
+//!   notification — but `notify_one` with several waiters is a
+//!   nondeterministic choice, and notifying with *no* waiter is a
+//!   silent no-op, so lost-wakeup protocols are modelled faithfully.
+//! - **Timed waits time out only to avert deadlock.** A
+//!   `wait_timeout` wakes with `timed_out() == true` exactly when every
+//!   other live thread is blocked; this keeps timeouts deterministic
+//!   instead of branching "maybe timed out" at every step.
+//! - **`Arc` is uninstrumented** (a `std::sync::Arc` re-export).
+//!
+//! Dual-mode: outside a [`model`] execution every primitive behaves
+//! exactly like its `std` counterpart, so one binary compiled with
+//! `--cfg xsum_loom` can run both model tests and ordinary tests.
+
+#![forbid(unsafe_code)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Configuration for [`model_with`]. The defaults suit protocols with
+/// two to four threads and a few dozen scheduling points.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Bound on exhaustively enumerated schedules (DFS phase).
+    pub max_schedules: usize,
+    /// Seeded-random schedules sampled after a non-exhausted DFS phase.
+    pub random_runs: usize,
+    /// Seed for the random phase.
+    pub seed: u64,
+    /// Per-execution bound on scheduling points (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_schedules: 2_000,
+            random_runs: 200,
+            seed: 0x9e37_79b9_7f4a_7c15,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// What a completed (non-failing) check explored.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelStats {
+    /// Total schedules executed (DFS + random phases).
+    pub schedules_explored: usize,
+    /// The bounded DFS tree was fully enumerated (the check is a proof
+    /// for this model, not a sample).
+    pub exhausted: bool,
+    /// Schedules contributed by the seeded-random fallback phase.
+    pub random_sampled: usize,
+}
+
+/// Run `f` under the model with default configuration, panicking on the
+/// first failing schedule. Mirrors `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(ModelConfig::default(), f);
+}
+
+/// Run `f` under the model, returning exploration statistics. Panics —
+/// with the failure description and the decision trace — on the first
+/// schedule that deadlocks, panics, or livelocks.
+pub fn model_with<F>(cfg: ModelConfig, f: F) -> ModelStats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<rt::Decision> = Vec::new();
+    let mut explored = 0usize;
+    let mut exhausted = false;
+
+    // Phase 1: bounded exhaustive DFS over the decision tree.
+    while explored < cfg.max_schedules {
+        let (schedule, failure) = run_one(f.clone(), std::mem::take(&mut prefix), None, cfg);
+        explored += 1;
+        if let Some(msg) = failure {
+            fail(&msg, explored, &schedule);
+        }
+        match rt::next_prefix(schedule) {
+            Some(p) => prefix = p,
+            None => {
+                exhausted = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: seeded-random sampling past the bound.
+    let mut random_sampled = 0usize;
+    if !exhausted {
+        let mut seed = cfg.seed;
+        for _ in 0..cfg.random_runs {
+            let run_seed = rt::splitmix64(&mut seed);
+            let (schedule, failure) = run_one(f.clone(), Vec::new(), Some(run_seed), cfg);
+            explored += 1;
+            random_sampled += 1;
+            if let Some(msg) = failure {
+                fail(&msg, explored, &schedule);
+            }
+        }
+    }
+
+    ModelStats {
+        schedules_explored: explored,
+        exhausted,
+        random_sampled,
+    }
+}
+
+fn fail(msg: &str, explored: usize, schedule: &[rt::Decision]) -> ! {
+    let trace: Vec<String> = schedule
+        .iter()
+        .map(|d| format!("{}/{}", d.chosen, d.choices))
+        .collect();
+    panic!(
+        "loom model failure after {} schedule(s): {}\nschedule (chosen/choices): [{}]",
+        explored,
+        msg,
+        trace.join(", ")
+    );
+}
+
+/// Execute the closure once under one schedule. Returns the decision
+/// log and the failure (if any).
+fn run_one<F>(
+    f: Arc<F>,
+    prefix: Vec<rt::Decision>,
+    rng: Option<u64>,
+    cfg: ModelConfig,
+) -> (Vec<rt::Decision>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(rt::Execution::new(prefix, rng, cfg.max_steps));
+    let exec_root = exec.clone();
+    let root = std::thread::Builder::new()
+        .name("loom-root".to_string())
+        .spawn(move || {
+            let ctx = rt::Ctx {
+                exec: exec_root.clone(),
+                id: 0,
+            };
+            rt::set_ctx(Some(ctx));
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+            rt::thread_finished(&exec_root, 0, out.as_ref().err().map(|p| p.as_ref()));
+        })
+        .expect("failed to spawn loom root thread");
+
+    // Wait until every logical thread has run its finish bookkeeping.
+    {
+        let mut core = rt::lock_core(&exec);
+        while core.live > 0 {
+            core = exec
+                .cv
+                .wait(core)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let _ = root.join();
+
+    let mut core = rt::lock_core(&exec);
+    (std::mem::take(&mut core.schedule), core.failure.take())
+}

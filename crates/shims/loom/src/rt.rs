@@ -1,0 +1,568 @@
+//! The model-checking runtime: a deterministic cooperative scheduler.
+//!
+//! One *execution* (= one schedule) runs the user closure and every
+//! thread it spawns as real OS threads, but only one logical thread
+//! ever makes progress at a time: a token (`Core::current`) names the
+//! running thread, and every instrumented operation (lock, unlock,
+//! condvar wait/notify, atomic access, spawn, join, yield) is a
+//! *scheduling point* where the token may move. Each point where more
+//! than one continuation is possible (several runnable threads, several
+//! condvar waiters for a `notify_one`) is recorded as a [`Decision`];
+//! the decision log *is* the schedule.
+//!
+//! Exploration is depth-first over the decision tree: after each
+//! execution the last decision with untried alternatives is bumped and
+//! the prefix replayed (see [`next_prefix`]). Past the configured
+//! schedule bound the driver switches to seeded-random sampling of
+//! decisions instead (see `model_with` in the crate root).
+//!
+//! Failures — deadlock (all live threads blocked with no timed waiter
+//! to rescue), an uncaught thread panic, or the per-execution step
+//! bound (livelock guard) — abort the execution: every thread unwinds
+//! via a sentinel payload ([`abort_unwind`], raised with
+//! `resume_unwind` so the panic hook stays quiet) and the driver
+//! reports the failing schedule.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Sentinel unwind payload used to tear down an aborted execution.
+/// Raised with `resume_unwind` so the process panic hook is not run
+/// for the (expected, numerous) teardown unwinds.
+pub(crate) struct AbortUnwind;
+
+pub(crate) fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(AbortUnwind))
+}
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<AbortUnwind>().is_some()
+}
+
+/// Render a panic payload for failure reports.
+pub(crate) fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Model-object ids (mutexes and condvars share the namespace). Ids are
+/// process-global so an object created in one execution can never alias
+/// the per-execution state of an object from another.
+static NEXT_OBJ_ID: StdAtomicUsize = StdAtomicUsize::new(0);
+
+pub(crate) fn new_obj_id() -> usize {
+    NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Which execution a model thread belongs to, and its logical id.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: usize,
+}
+
+/// The context of the calling OS thread, or `None` when the caller is
+/// not part of a model execution (in which case every shim primitive
+/// falls back to plain `std` behaviour).
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Convenience: a scheduling point iff the caller is a model thread.
+pub(crate) fn maybe_yield() {
+    if let Some(ctx) = current_ctx() {
+        yield_point(&ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// One scheduling decision: `chosen` out of `choices` possibilities.
+/// Only points with `choices > 1` are recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Decision {
+    pub(crate) chosen: usize,
+    pub(crate) choices: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// Blocked acquiring a model mutex.
+    Mutex(usize),
+    /// Parked on a condvar; `mutex` is re-acquired on wake. `timed`
+    /// waiters are eligible for the deadlock-avoidance timeout wake.
+    Condvar {
+        cv: usize,
+        mutex: usize,
+        timed: bool,
+    },
+    /// Blocked in `JoinHandle::join` on the target logical thread.
+    Join(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+pub(crate) struct ThreadSlot {
+    pub(crate) status: Status,
+    /// Set when a timed condvar wait was woken by deadlock avoidance
+    /// rather than a notification; read back by `condvar_wait`.
+    pub(crate) timed_out: bool,
+    pub(crate) name: Option<String>,
+}
+
+impl ThreadSlot {
+    fn new(name: Option<String>) -> Self {
+        ThreadSlot {
+            status: Status::Runnable,
+            timed_out: false,
+            name,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct MutexState {
+    pub(crate) locked_by: Option<usize>,
+}
+
+pub(crate) const NO_THREAD: usize = usize::MAX;
+
+pub(crate) struct Core {
+    pub(crate) threads: Vec<ThreadSlot>,
+    /// Logical id of the token holder; `NO_THREAD` once all finished.
+    pub(crate) current: usize,
+    pub(crate) mutexes: HashMap<usize, MutexState>,
+    /// Decisions taken so far in this execution.
+    pub(crate) schedule: Vec<Decision>,
+    /// Replay prefix from DFS backtracking (empty in the random phase).
+    pub(crate) prefix: Vec<Decision>,
+    /// `Some(state)` selects seeded-random decisions past the prefix.
+    pub(crate) rng: Option<u64>,
+    pub(crate) steps: usize,
+    pub(crate) max_steps: usize,
+    pub(crate) failure: Option<String>,
+    pub(crate) aborting: bool,
+    /// OS threads that have not yet run their finish bookkeeping.
+    pub(crate) live: usize,
+}
+
+pub(crate) struct Execution {
+    pub(crate) core: StdMutex<Core>,
+    pub(crate) cv: StdCondvar,
+}
+
+impl Execution {
+    pub(crate) fn new(prefix: Vec<Decision>, rng: Option<u64>, max_steps: usize) -> Self {
+        Execution {
+            core: StdMutex::new(Core {
+                threads: vec![ThreadSlot::new(Some("loom-root".to_string()))],
+                current: 0,
+                mutexes: HashMap::new(),
+                schedule: Vec::new(),
+                prefix,
+                rng,
+                steps: 0,
+                max_steps,
+                failure: None,
+                aborting: false,
+                live: 1,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+}
+
+pub(crate) fn lock_core(exec: &Execution) -> StdMutexGuard<'_, Core> {
+    // The core mutex is only ever poisoned if the runtime itself has a
+    // bug that panics mid-update; recovering keeps teardown orderly.
+    exec.core
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// Pick one of `n` alternatives at the current decision point: replayed
+/// from the prefix while it lasts, then first-untried (DFS) or seeded
+/// random. Also enforces the per-execution step bound.
+fn decide(core: &mut Core, n: usize) -> usize {
+    core.steps += 1;
+    if core.steps > core.max_steps && core.failure.is_none() {
+        core.failure = Some(format!(
+            "step bound exceeded ({} scheduling points): possible livelock",
+            core.max_steps
+        ));
+        core.aborting = true;
+        return 0;
+    }
+    if n <= 1 {
+        return 0;
+    }
+    let k = core.schedule.len();
+    let chosen = match core.prefix.get(k) {
+        // Replaying: the program must be deterministic given the same
+        // earlier choices, so the arity should match. If user code is
+        // nondeterministic outside the model's view (e.g. randomized
+        // hash iteration), fall back to a fresh first choice — every
+        // execution explored is still a real schedule, enumeration is
+        // just less systematic.
+        Some(d) if d.choices == n => d.chosen,
+        Some(_) => 0,
+        None => match core.rng.as_mut() {
+            Some(state) => (splitmix64(state) % n as u64) as usize,
+            None => 0,
+        },
+    };
+    core.schedule.push(Decision { chosen, choices: n });
+    chosen
+}
+
+fn describe_block(core: &Core) -> String {
+    let mut out = String::new();
+    for (i, t) in core.threads.iter().enumerate() {
+        let name = t.name.as_deref().unwrap_or("<unnamed>");
+        out.push_str(&format!("  thread {i} ({name}): {:?}\n", t.status));
+    }
+    out
+}
+
+/// Move the token after the current thread yields, blocks, or
+/// finishes. Detects deadlock (waking a timed condvar waiter first if
+/// one exists) and execution completion.
+fn advance(core: &mut Core) {
+    if core.aborting {
+        return;
+    }
+    let runnable: Vec<usize> = core
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if !runnable.is_empty() {
+        let k = decide(core, runnable.len());
+        core.current = runnable[k];
+        return;
+    }
+    if core.threads.iter().all(|t| t.status == Status::Finished) {
+        core.current = NO_THREAD;
+        return;
+    }
+    // Every live thread is blocked. A timed condvar waiter can escape
+    // by timing out; this is the *only* way a model `wait_timeout`
+    // times out, which keeps timeouts deterministic (they fire exactly
+    // when nothing else can happen) at the cost of never exploring
+    // "timeout raced a notification" — documented in the crate docs.
+    let timed: Vec<usize> = core
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.status, Status::Blocked(Wait::Condvar { timed: true, .. })))
+        .map(|(i, _)| i)
+        .collect();
+    if !timed.is_empty() {
+        let k = decide(core, timed.len());
+        let id = timed[k];
+        core.threads[id].timed_out = true;
+        core.threads[id].status = Status::Runnable;
+        core.current = id;
+        return;
+    }
+    core.failure = Some(format!(
+        "deadlock: every live thread is blocked\n{}",
+        describe_block(core)
+    ));
+    core.aborting = true;
+}
+
+/// Block on the scheduler condvar until this thread holds the token.
+/// Unwinds with the abort sentinel if the execution is being torn down.
+fn wait_for_token<'a>(ctx: &'a Ctx, mut core: StdMutexGuard<'a, Core>) {
+    ctx.exec.cv.notify_all();
+    while core.current != ctx.id && !core.aborting {
+        core = ctx
+            .exec
+            .cv
+            .wait(core)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+}
+
+/// A plain scheduling point: the token may move to any runnable thread
+/// (including staying here).
+pub(crate) fn yield_point(ctx: &Ctx) {
+    let core = lock_core(&ctx.exec);
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+    let mut core = core;
+    advance(&mut core);
+    wait_for_token(ctx, core);
+}
+
+/// First wait of a freshly spawned thread: parked until the scheduler
+/// first hands it the token.
+pub(crate) fn wait_initial_token(ctx: &Ctx) {
+    let mut core = lock_core(&ctx.exec);
+    while core.current != ctx.id && !core.aborting {
+        core = ctx
+            .exec
+            .cv
+            .wait(core)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive operations (called from sync/thread shims, model mode only)
+// ---------------------------------------------------------------------------
+
+fn wake_mutex_waiters(core: &mut Core, mid: usize) {
+    for t in core.threads.iter_mut() {
+        if t.status == Status::Blocked(Wait::Mutex(mid)) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+/// Acquire model ownership of mutex `mid`, blocking while held. The
+/// attempt itself is preceded by a scheduling point so the checker
+/// explores both "we got it first" and "they got it first" orders.
+pub(crate) fn mutex_lock(ctx: &Ctx, mid: usize) {
+    yield_point(ctx);
+    mutex_relock(ctx, mid);
+}
+
+/// The acquire loop without the leading scheduling point (used when
+/// resuming from a condvar wait, which *is* already a scheduling
+/// point).
+pub(crate) fn mutex_relock(ctx: &Ctx, mid: usize) {
+    loop {
+        let mut core = lock_core(&ctx.exec);
+        if core.aborting {
+            drop(core);
+            abort_unwind();
+        }
+        let st = core.mutexes.entry(mid).or_default();
+        if st.locked_by.is_none() {
+            st.locked_by = Some(ctx.id);
+            return;
+        }
+        core.threads[ctx.id].status = Status::Blocked(Wait::Mutex(mid));
+        advance(&mut core);
+        wait_for_token(ctx, core);
+        // Woken runnable with the token: retry (another thread may have
+        // taken the lock between the wake and our turn).
+    }
+}
+
+/// Release model ownership. During a panic-unwind release the token is
+/// not yielded (the unwinding thread must keep running to finish its
+/// teardown), and during an abort teardown the bookkeeping is skipped
+/// entirely — the scheduler is already dead.
+pub(crate) fn mutex_unlock(ctx: &Ctx, mid: usize, during_panic: bool) {
+    {
+        let mut core = lock_core(&ctx.exec);
+        if core.aborting {
+            return;
+        }
+        if let Some(st) = core.mutexes.get_mut(&mid) {
+            st.locked_by = None;
+        }
+        wake_mutex_waiters(&mut core, mid);
+    }
+    if !during_panic {
+        yield_point(ctx);
+    }
+}
+
+/// Atomically release `mid` and park on condvar `cvid`; on wake,
+/// re-acquire model ownership of `mid`. Returns whether the wake was a
+/// deadlock-avoidance timeout (only possible when `timed`).
+pub(crate) fn condvar_wait(ctx: &Ctx, cvid: usize, mid: usize, timed: bool) -> bool {
+    {
+        let mut core = lock_core(&ctx.exec);
+        if core.aborting {
+            drop(core);
+            abort_unwind();
+        }
+        if let Some(st) = core.mutexes.get_mut(&mid) {
+            st.locked_by = None;
+        }
+        wake_mutex_waiters(&mut core, mid);
+        core.threads[ctx.id].timed_out = false;
+        core.threads[ctx.id].status = Status::Blocked(Wait::Condvar {
+            cv: cvid,
+            mutex: mid,
+            timed,
+        });
+        advance(&mut core);
+        wait_for_token(ctx, core);
+    }
+    let timed_out = {
+        let core = lock_core(&ctx.exec);
+        core.threads[ctx.id].timed_out
+    };
+    mutex_relock(ctx, mid);
+    timed_out
+}
+
+/// Wake one (a decision point when several wait) or all waiters of
+/// `cvid`. Waking no one is a silent no-op — the model is faithful to
+/// lost wakeups, which is precisely what the `TicketSet` checks probe.
+pub(crate) fn condvar_notify(ctx: &Ctx, cvid: usize, all: bool) {
+    {
+        let mut core = lock_core(&ctx.exec);
+        if core.aborting {
+            drop(core);
+            abort_unwind();
+        }
+        let waiters: Vec<usize> = core
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(&t.status, Status::Blocked(Wait::Condvar { cv, .. }) if *cv == cvid)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            if all {
+                for &w in &waiters {
+                    core.threads[w].status = Status::Runnable;
+                }
+            } else {
+                let k = decide(&mut core, waiters.len());
+                core.threads[waiters[k]].status = Status::Runnable;
+            }
+        }
+    }
+    yield_point(ctx);
+}
+
+/// Register a new logical thread (runnable, but parked until first
+/// granted the token). Returns its id.
+pub(crate) fn register_thread(ctx: &Ctx, name: Option<String>) -> usize {
+    let mut core = lock_core(&ctx.exec);
+    let id = core.threads.len();
+    core.threads.push(ThreadSlot::new(name));
+    core.live += 1;
+    id
+}
+
+/// Finish bookkeeping for a logical thread. A non-abort panic payload
+/// reaching the top of a model thread is a model failure (the checker's
+/// analogue of a crashed thread).
+pub(crate) fn thread_finished(
+    exec: &Arc<Execution>,
+    id: usize,
+    panic_payload: Option<&(dyn std::any::Any + Send)>,
+) {
+    {
+        let mut core = lock_core(exec);
+        if let Some(p) = panic_payload {
+            if !is_abort(p) && core.failure.is_none() {
+                let name = core.threads[id]
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("thread-{id}"));
+                core.failure = Some(format!("thread '{}' panicked: {}", name, payload_msg(p)));
+            }
+            if !is_abort(p) || core.failure.is_some() {
+                core.aborting = true;
+            }
+        }
+        core.threads[id].status = Status::Finished;
+        for t in core.threads.iter_mut() {
+            if t.status == Status::Blocked(Wait::Join(id)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if !core.aborting && core.current == id {
+            advance(&mut core);
+        }
+        core.live -= 1;
+    }
+    exec.cv.notify_all();
+}
+
+/// Block until the target logical thread has finished.
+pub(crate) fn join_thread(ctx: &Ctx, target: usize) {
+    yield_point(ctx);
+    let mut core = lock_core(&ctx.exec);
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+    if core.threads[target].status != Status::Finished {
+        core.threads[ctx.id].status = Status::Blocked(Wait::Join(target));
+        advance(&mut core);
+        wait_for_token(ctx, core);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS backtracking
+// ---------------------------------------------------------------------------
+
+/// The next DFS prefix after `schedule`: bump the last decision with an
+/// untried alternative, drop everything after it. `None` once the whole
+/// bounded tree is exhausted.
+pub(crate) fn next_prefix(mut schedule: Vec<Decision>) -> Option<Vec<Decision>> {
+    while let Some(last) = schedule.pop() {
+        if last.chosen + 1 < last.choices {
+            schedule.push(Decision {
+                chosen: last.chosen + 1,
+                choices: last.choices,
+            });
+            return Some(schedule);
+        }
+    }
+    None
+}

@@ -1,0 +1,471 @@
+//! Instrumented `std::sync` lookalikes.
+//!
+//! Every type here is *dual-mode*: called from inside a `loom::model`
+//! execution it participates in the deterministic scheduler (the model
+//! serializes threads, so the embedded `std` primitive is always
+//! uncontended and exists only to hold the data — and to carry poison
+//! across an unwinding thread exactly like the real thing); called from
+//! outside it behaves byte-for-byte like `std::sync`. That keeps a
+//! whole test binary working under `--cfg xsum_loom` even though only
+//! the `model_*` tests run closures under the checker.
+//!
+//! `Arc` is deliberately re-exported from `std` (uninstrumented):
+//! reference counting is not part of any protocol this repo checks, and
+//! the facade needs `Arc<dyn Fn(..)>` unsize coercions that a wrapper
+//! type cannot provide.
+
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+use crate::rt;
+use std::sync::OnceLock;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            id: OnceLock::new(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model_id(&self) -> usize {
+        *self.id.get_or_init(rt::new_obj_id)
+    }
+
+    /// Wrap an (uncontended in model mode) inner-lock result in our
+    /// guard, preserving poison.
+    fn wrap<'a>(
+        &'a self,
+        res: Result<StdMutexGuard<'a, T>, PoisonError<StdMutexGuard<'a, T>>>,
+        model: Option<(rt::Ctx, usize)>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match res {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                std: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                std: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current_ctx() {
+            Some(ctx) => {
+                let mid = self.model_id();
+                rt::mutex_lock(&ctx, mid);
+                self.wrap(self.inner.lock(), Some((ctx, mid)))
+            }
+            None => self.wrap(self.inner.lock(), None),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    std: Option<StdMutexGuard<'a, T>>,
+    model: Option<(rt::Ctx, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard accessed mid-wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard accessed mid-wait")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first (poisoning it if this drop runs
+        // during an unwind, exactly like std), then the model lock so
+        // the next model owner finds the inner lock free.
+        self.std.take();
+        if let Some((ctx, mid)) = self.model.take() {
+            rt::mutex_unlock(&ctx, mid, std::thread::panicking());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait. Mirrors `std::sync::WaitTimeoutResult`
+/// (which cannot be constructed outside std).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+pub struct Condvar {
+    id: OnceLock<usize>,
+    inner: StdCondvar,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: OnceLock::new(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn model_id(&self) -> usize {
+        *self.id.get_or_init(rt::new_obj_id)
+    }
+
+    /// Disassemble a model-mode guard (without running its Drop), park
+    /// on the condvar, and rebuild a guard after the model re-grants
+    /// the mutex. Returns the rebuilt guard plus the timeout flag.
+    fn wait_model<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        ctx: rt::Ctx,
+        mid: usize,
+        timed: bool,
+    ) -> (LockResult<MutexGuard<'a, T>>, bool) {
+        let lock = guard.lock;
+        // Drop the real lock while we still hold the token: atomic from
+        // the model's point of view (no other thread runs until the
+        // scheduler releases us inside `condvar_wait`).
+        guard.std.take();
+        guard.model.take();
+        drop(guard); // both fields empty: no-op
+        let timed_out = rt::condvar_wait(&ctx, self.model_id(), mid, timed);
+        // Model ownership re-granted; take the (free) real lock back.
+        (lock.wrap(lock.inner.lock(), Some((ctx, mid))), timed_out)
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            Some((ctx, mid)) => {
+                guard.model = Some((ctx.clone(), mid));
+                self.wait_model(guard, ctx, mid, false).0
+            }
+            None => {
+                let lock = guard.lock;
+                let std_guard = guard.std.take().expect("guard accessed mid-wait");
+                drop(guard);
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        std: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        std: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Model semantics: the wait times out only when the whole
+    /// execution would otherwise deadlock (see the runtime docs). This
+    /// keeps timed waits deterministic instead of exploding the state
+    /// space with a "maybe timed out" branch at every step.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.model.take() {
+            Some((ctx, mid)) => {
+                guard.model = Some((ctx.clone(), mid));
+                let (res, timed_out) = self.wait_model(guard, ctx, mid, true);
+                match res {
+                    Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                    Err(p) => Err(PoisonError::new((
+                        p.into_inner(),
+                        WaitTimeoutResult(timed_out),
+                    ))),
+                }
+            }
+            None => {
+                let lock = guard.lock;
+                let std_guard = guard.std.take().expect("guard accessed mid-wait");
+                drop(guard);
+                match self.inner.wait_timeout(std_guard, dur) {
+                    Ok((g, t)) => Ok((
+                        MutexGuard {
+                            lock,
+                            std: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )),
+                    Err(p) => {
+                        let (g, t) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                std: Some(g),
+                                model: None,
+                            },
+                            WaitTimeoutResult(t.timed_out()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match rt::current_ctx() {
+            Some(ctx) => rt::condvar_notify(&ctx, self.model_id(), false),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current_ctx() {
+            Some(ctx) => rt::condvar_notify(&ctx, self.model_id(), true),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Sequentially-consistent model atomics: each operation is a
+/// scheduling point followed by the operation on an embedded `std`
+/// atomic. Orderings are accepted for API compatibility and ignored —
+/// the model explores interleavings, not weak-memory reorderings.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    rt::maybe_yield();
+                    self.inner.store(v, order)
+                }
+
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.fetch_or(v, order)
+                }
+
+                pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.fetch_and(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    rt::maybe_yield();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::maybe_yield();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::maybe_yield();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$prim, $prim>
+                where
+                    F: FnMut($prim) -> Option<$prim>,
+                {
+                    // One scheduling point for the whole RMW: the model
+                    // treats fetch_update as atomic (it is, on real
+                    // hardware, a CAS loop whose interleavings only
+                    // retry).
+                    rt::maybe_yield();
+                    self.inner.fetch_update(set_order, fetch_order, f)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicU32, AtomicU32, u32);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::maybe_yield();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            rt::maybe_yield();
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            rt::maybe_yield();
+            self.inner.swap(v, order)
+        }
+
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            rt::maybe_yield();
+            self.inner.fetch_or(v, order)
+        }
+
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            rt::maybe_yield();
+            self.inner.fetch_and(v, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::maybe_yield();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}

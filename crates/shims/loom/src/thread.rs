@@ -1,0 +1,140 @@
+//! Instrumented `std::thread` lookalikes (dual-mode, like `sync`).
+//!
+//! Inside a model execution, `spawn` registers a new *logical* thread
+//! with the scheduler (still backed by a real OS thread, which parks
+//! until the scheduler first hands it the token), `join` is a blocking
+//! model operation, and `sleep` is just a scheduling point — model time
+//! does not pass. Outside an execution everything forwards to `std`.
+
+pub use std::thread::{current, panicking};
+
+use crate::rt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// `Some((execution, logical id))` for model-spawned threads.
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some((_, target)), Some(ctx)) = (&self.model, rt::current_ctx()) {
+            rt::join_thread(&ctx, *target);
+            // The logical thread has finished; the OS thread is at most
+            // a few instructions from exiting, so the real join below
+            // cannot block the execution.
+        }
+        self.inner.join()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    pub fn thread(&self) -> &std::thread::Thread {
+        self.inner.thread()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current_ctx() {
+            Some(ctx) => {
+                let id = rt::register_thread(&ctx, self.name.clone());
+                let exec = ctx.exec.clone();
+                let child = rt::Ctx {
+                    exec: exec.clone(),
+                    id,
+                };
+                let mut builder = std::thread::Builder::new();
+                if let Some(n) = &self.name {
+                    builder = builder.name(n.clone());
+                }
+                let inner = builder.spawn(move || {
+                    rt::set_ctx(Some(child.clone()));
+                    // The initial-token wait must sit *inside* the
+                    // catch: an execution aborted before this thread
+                    // ever ran unwinds out of it with the abort
+                    // sentinel, and the finish bookkeeping below still
+                    // has to run or `live` never reaches zero.
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        rt::wait_initial_token(&child);
+                        f()
+                    }));
+                    match out {
+                        Ok(v) => {
+                            rt::thread_finished(&child.exec, child.id, None);
+                            v
+                        }
+                        Err(p) => {
+                            rt::thread_finished(&child.exec, child.id, Some(p.as_ref()));
+                            resume_unwind(p)
+                        }
+                    }
+                })?;
+                // Spawning is itself a scheduling point: the child may
+                // run to completion before the parent's next step, or
+                // not start until much later.
+                rt::yield_point(&ctx);
+                Ok(JoinHandle {
+                    inner,
+                    model: Some((exec, id)),
+                })
+            }
+            None => {
+                let mut builder = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    builder = builder.name(n);
+                }
+                let inner = builder.spawn(f)?;
+                Ok(JoinHandle { inner, model: None })
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+pub fn yield_now() {
+    match rt::current_ctx() {
+        Some(ctx) => rt::yield_point(&ctx),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Model mode: a scheduling point only — model executions have no
+/// clock, so sleeping cannot be load-bearing for correctness (which is
+/// the point).
+pub fn sleep(dur: Duration) {
+    match rt::current_ctx() {
+        Some(ctx) => rt::yield_point(&ctx),
+        None => std::thread::sleep(dur),
+    }
+}

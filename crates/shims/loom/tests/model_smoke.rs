@@ -1,0 +1,230 @@
+//! Sanity checks that the vendored model checker actually explores:
+//! it must *find* planted races/deadlocks (not just run schedules) and
+//! must pass correct protocols deterministically. These run in every
+//! build — the shim's primitives are dual-mode, so no `--cfg xsum_loom`
+//! is needed to test the model runtime itself.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::{model_with, thread, ModelConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn small() -> ModelConfig {
+    ModelConfig {
+        max_schedules: 5_000,
+        random_runs: 100,
+        ..ModelConfig::default()
+    }
+}
+
+/// The checker must catch a classic lost-update race: two threads doing
+/// unsynchronized load-then-store increments on the same atomic.
+#[test]
+fn finds_lost_update_race() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model_with(small(), || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    let err = result.expect_err("model must find the lost-update interleaving");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+/// `fetch_add` is atomic in the model, so the same shape with a proper
+/// RMW must pass — and with two threads the bounded DFS should exhaust.
+#[test]
+fn passes_atomic_rmw_and_exhausts() {
+    let stats = model_with(small(), || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(stats.exhausted, "two-thread fetch_add tree should exhaust");
+    assert!(
+        stats.schedules_explored > 1,
+        "must explore more than one schedule"
+    );
+}
+
+/// Mutexed increments can never lose an update.
+#[test]
+fn passes_mutexed_counter() {
+    let stats = model_with(small(), || {
+        let m = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let mut g = m.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    assert!(stats.schedules_explored >= 1);
+}
+
+/// AB/BA lock ordering: the checker must find the deadlock.
+#[test]
+fn finds_lock_order_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model_with(small(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            let _ = t.join();
+        });
+    }));
+    let err = result.expect_err("model must find the AB/BA deadlock");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// A lost wakeup: consumer checks a flag, *then* parks, while the
+/// producer sets the flag and notifies in between. With `wait` (no
+/// timeout) this deadlocks one schedule; the checker must find it.
+#[test]
+fn finds_lost_wakeup() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model_with(small(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                // BUG (planted): set the flag without holding the lock
+                // around the notify, so the consumer can observe
+                // `false`, lose the notification, then park forever.
+                *p.0.lock().unwrap() = true;
+                p.1.notify_one();
+            });
+            {
+                let (lock, cv) = (&pair.0, &pair.1);
+                let flag = { *lock.lock().unwrap() };
+                if !flag {
+                    let g = lock.lock().unwrap();
+                    // Re-checking here would fix the race; park blindly.
+                    let _g = cv.wait(g).unwrap();
+                }
+            }
+            let _ = t.join();
+        });
+    }));
+    let err = result.expect_err("model must find the lost wakeup");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// The correct condvar protocol (re-check the predicate under the same
+/// lock that guards it) passes.
+#[test]
+fn passes_condvar_handshake() {
+    model_with(small(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let mut g = p.0.lock().unwrap();
+            *g = true;
+            p.1.notify_one();
+        });
+        {
+            let (lock, cv) = (&pair.0, &pair.1);
+            let mut g = lock.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Poisoning: a panic that unwinds through a held guard poisons the
+/// lock; the recovery idiom (`unwrap_or_else(PoisonError::into_inner)`)
+/// still sees the data. The panic is caught by the app (`catch_unwind`,
+/// like the admission dispatcher does around backend calls), so the
+/// model treats it as handled, not as a failure.
+#[test]
+fn poison_carries_through_catch_unwind() {
+    model_with(small(), || {
+        let m = Arc::new(Mutex::new(7usize));
+        let m2 = Arc::clone(&m);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m2.lock().unwrap();
+            // resume_unwind keeps the process panic hook quiet across
+            // the many schedules this runs under.
+            std::panic::resume_unwind(Box::new("intentional"));
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned(), "unwinding through the guard must poison");
+        let g = m.lock().unwrap_or_else(loom::sync::PoisonError::into_inner);
+        assert_eq!(*g, 7);
+    });
+}
+
+/// A panic that reaches the top of a model thread *uncaught* is a model
+/// failure — this is exactly how the re-introduced PR 4 pool mutant
+/// (a worker `.expect()` firing on a racy shutdown) gets reported.
+#[test]
+fn uncaught_thread_panic_is_failure() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model_with(small(), || {
+            let t = thread::spawn(|| {
+                std::panic::resume_unwind(Box::new("worker blew up"));
+            });
+            let _ = t.join();
+        });
+    }));
+    let err = result.expect_err("model must flag the uncaught thread panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("panicked"), "unexpected failure: {msg}");
+}
+
+/// wait_timeout escapes what would otherwise be a deadlock (nobody ever
+/// notifies) with `timed_out() == true`.
+#[test]
+fn wait_timeout_escapes_deadlock() {
+    model_with(small(), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let g = pair.0.lock().unwrap();
+        let (g, res) = pair
+            .1
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(res.timed_out());
+        drop(g);
+    });
+}

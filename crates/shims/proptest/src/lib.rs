@@ -17,6 +17,8 @@
 //! its deterministic case seed, which is enough to reproduce (cases are a
 //! pure function of the test name and case index).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

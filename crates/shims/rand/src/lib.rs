@@ -8,6 +8,8 @@
 //! for synthetic-corpus generation and SGD shuffling; this is not a
 //! cryptographic generator.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface (subset of `rand_core::RngCore`).

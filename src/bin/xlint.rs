@@ -1,0 +1,51 @@
+//! `cargo run --bin xlint` — the repo-invariant lint engine.
+//!
+//! Thin CLI over [`xsum_bench::lint`]: scans the workspace sources,
+//! prints every finding, and exits non-zero when any survive. The
+//! same scan is available as `repro lint` and runs in CI's
+//! `static-analysis` job; `xlint --rules` lists the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--rules" || a == "-r") {
+        for rule in xsum_bench::lint::RULES {
+            let allow = if rule.allowable {
+                "allowlistable"
+            } else {
+                "not allowlistable"
+            };
+            println!("{:<26} {} [{}]", rule.name, rule.summary, allow);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // `cargo run` sets CARGO_MANIFEST_DIR to the workspace root (the
+    // root package); a direct binary invocation falls back to cwd.
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    match xsum_bench::lint::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}\n");
+            }
+            println!(
+                "xlint: {} file(s) scanned, {} finding(s)",
+                report.files_scanned,
+                report.findings.len()
+            );
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xlint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -46,6 +46,8 @@
 //! for one-off summaries from the command line use the `xsum` binary
 //! (`cargo run --bin xsum -- --user 42 --format dot`).
 
+#![forbid(unsafe_code)]
+
 pub use xsum_core as core;
 pub use xsum_datasets as datasets;
 pub use xsum_graph as graph;
