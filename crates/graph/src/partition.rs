@@ -1,0 +1,360 @@
+//! Materialized sub-graph partitions with local↔global id remapping.
+//!
+//! A [`Partition`] turns a *resident node set* (one shard's slice of a
+//! parent graph, as computed by a partitioner) into a standalone
+//! [`Graph`] plus the remap tables a serving layer needs to translate
+//! requests and results across the boundary:
+//!
+//! * the local graph is the sub-graph **induced** by the resident set
+//!   plus a configurable *halo* — the k-hop fringe grown outward from
+//!   every cut edge — so searches that stay near the residents see
+//!   exactly the neighborhood they would see in the parent graph;
+//! * nodes and edges are re-indexed densely in **ascending parent-id
+//!   order** (the same discipline as [`Subgraph::extract`]), so the
+//!   remap is *monotone*: `a < b` in the parent iff
+//!   `local(a) < local(b)`. Every search kernel in this workspace
+//!   breaks ties by id, so a monotone remap preserves tie-break
+//!   decisions bit-for-bit between a local and a parent-graph run;
+//! * *boundary* nodes — local nodes with at least one parent-graph
+//!   neighbor outside the partition — are tracked explicitly. They are
+//!   the only points where a path can leave the partition, which is
+//!   what lets a serving layer certify that a local search was
+//!   equivalent to a global one (see `xsum_core::shard`).
+//!
+//! [`Subgraph::extract`]: crate::subgraph::Subgraph::extract
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// Halo construction parameters for [`Partition::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// How many hops the fringe extends beyond the resident set. Depth
+    /// 0 is the pure induced sub-graph; depth ≥ 1 guarantees every cut
+    /// edge's outside endpoint is present locally.
+    pub halo_depth: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        // One hop keeps every cut edge intact locally at a small
+        // memory premium; serving layers can raise it to push the
+        // certified-local fraction up.
+        PartitionConfig { halo_depth: 1 }
+    }
+}
+
+/// One shard's materialized sub-graph plus its id remap tables.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    graph: Graph,
+    /// Local node id (dense, ascending) → parent node id.
+    to_global_nodes: Vec<NodeId>,
+    /// Parent node id → local node id, for every contained node.
+    to_local_nodes: FxHashMap<NodeId, NodeId>,
+    /// Local edge id (dense, ascending) → parent edge id.
+    to_global_edges: Vec<EdgeId>,
+    /// Parent edge id → local edge id, for every contained edge.
+    to_local_edges: FxHashMap<EdgeId, EdgeId>,
+    /// Parent ids of the resident (pre-halo) nodes.
+    resident: FxHashSet<NodeId>,
+    /// Parent ids of the halo fringe (disjoint from `resident`).
+    halo: FxHashSet<NodeId>,
+    /// Local ids of boundary nodes (ascending): contained nodes with at
+    /// least one parent-graph neighbor outside the partition.
+    boundary: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Materialize the partition of `g` whose residents are `residents`
+    /// (deduplicated internally), growing a `cfg.halo_depth`-hop halo
+    /// outward from every cut edge.
+    ///
+    /// The local graph is the sub-graph of `g` induced by
+    /// `residents ∪ halo`: every parent edge with both endpoints
+    /// contained is present, and no other. Kinds, labels, weights and
+    /// edge kinds are copied; insertion follows ascending parent ids so
+    /// the remap is monotone.
+    pub fn build(g: &Graph, residents: &[NodeId], cfg: &PartitionConfig) -> Self {
+        let resident: FxHashSet<NodeId> = residents.iter().copied().collect();
+        for &n in &resident {
+            assert!(n.index() < g.node_count(), "resident {n} out of range");
+        }
+
+        // Halo: BFS outward from the residents' cut edges, one ring per
+        // depth level. Ring r+1 = outside neighbors of ring r.
+        let mut contained = resident.clone();
+        let mut halo: FxHashSet<NodeId> = FxHashSet::default();
+        let mut ring: Vec<NodeId> = {
+            let mut sorted: Vec<NodeId> = resident.iter().copied().collect();
+            sorted.sort_unstable();
+            sorted
+        };
+        for _ in 0..cfg.halo_depth {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &u in &ring {
+                for &(v, _) in g.neighbors(u) {
+                    if contained.insert(v) {
+                        halo.insert(v);
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            next.sort_unstable();
+            ring = next;
+        }
+
+        // Dense re-index in ascending parent-id order (monotone remap).
+        let mut sorted_nodes: Vec<NodeId> = contained.iter().copied().collect();
+        sorted_nodes.sort_unstable();
+        // Count the contained edges up front: the sub-graph replica is
+        // a long-lived serving structure, so its backing vectors are
+        // sized exactly (no doubling overshoot distorting the
+        // partition-vs-full-replica memory comparison).
+        let edge_cap = g
+            .edge_ids()
+            .filter(|&e| {
+                let edge = g.edge(e);
+                contained.contains(&edge.src) && contained.contains(&edge.dst)
+            })
+            .count();
+        let mut graph = Graph::with_capacity(sorted_nodes.len(), edge_cap);
+        let mut to_local_nodes: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        for &n in &sorted_nodes {
+            let local = graph.add_labeled_node(g.kind(n), g.label(n).to_string());
+            to_local_nodes.insert(n, local);
+        }
+
+        let mut to_global_edges: Vec<EdgeId> = Vec::new();
+        let mut to_local_edges: FxHashMap<EdgeId, EdgeId> = FxHashMap::default();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            if let (Some(&ls), Some(&ld)) =
+                (to_local_nodes.get(&edge.src), to_local_nodes.get(&edge.dst))
+            {
+                let local = graph.add_edge(ls, ld, edge.weight, edge.kind);
+                debug_assert_eq!(local.index(), to_global_edges.len());
+                to_global_edges.push(e);
+                to_local_edges.insert(e, local);
+            }
+        }
+
+        // Boundary: contained nodes whose local degree falls short of
+        // their parent degree — some parent neighbor is outside.
+        graph.freeze();
+        let boundary: Vec<NodeId> = sorted_nodes
+            .iter()
+            .filter(|&&n| graph.degree(to_local_nodes[&n]) < g.degree(n))
+            .map(|&n| to_local_nodes[&n])
+            .collect();
+
+        Partition {
+            graph,
+            to_global_nodes: sorted_nodes,
+            to_local_nodes,
+            to_global_edges,
+            to_local_edges,
+            resident,
+            halo,
+            boundary,
+        }
+    }
+
+    /// The materialized local graph (frozen CSR already built).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the local graph, for weight-coherence updates
+    /// by the owning serving layer. Structural edits would desync the
+    /// remap tables — callers must restrict themselves to weights.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Whether parent node `n` is contained (resident or halo).
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.to_local_nodes.contains_key(&n)
+    }
+
+    /// Whether parent node `n` is a resident (owned, pre-halo) node.
+    pub fn is_resident(&self, n: NodeId) -> bool {
+        self.resident.contains(&n)
+    }
+
+    /// Whether parent node `n` sits in the halo fringe.
+    pub fn is_halo(&self, n: NodeId) -> bool {
+        self.halo.contains(&n)
+    }
+
+    /// Parent → local node id.
+    pub fn to_local(&self, n: NodeId) -> Option<NodeId> {
+        self.to_local_nodes.get(&n).copied()
+    }
+
+    /// Local → parent node id.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.to_global_nodes[local.index()]
+    }
+
+    /// Parent → local edge id (present iff both endpoints contained).
+    pub fn to_local_edge(&self, e: EdgeId) -> Option<EdgeId> {
+        self.to_local_edges.get(&e).copied()
+    }
+
+    /// Local → parent edge id.
+    pub fn to_global_edge(&self, local: EdgeId) -> EdgeId {
+        self.to_global_edges[local.index()]
+    }
+
+    /// Number of resident (owned) nodes.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of halo (fringe) nodes.
+    pub fn halo_count(&self) -> usize {
+        self.halo.len()
+    }
+
+    /// Total contained nodes (`resident_count + halo_count`).
+    pub fn node_count(&self) -> usize {
+        self.to_global_nodes.len()
+    }
+
+    /// Total contained edges.
+    pub fn edge_count(&self) -> usize {
+        self.to_global_edges.len()
+    }
+
+    /// Local ids of the boundary nodes (ascending): the only nodes
+    /// through which a parent-graph path can leave the partition.
+    pub fn boundary_local(&self) -> &[NodeId] {
+        &self.boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::NodeKind;
+
+    /// Path graph 0-1-2-3-4-5 with weights 1..5.
+    fn path_graph() -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..6)
+            .map(|i| {
+                g.add_labeled_node(
+                    if i % 2 == 0 {
+                        NodeKind::User
+                    } else {
+                        NodeKind::Item
+                    },
+                    format!("n{i}"),
+                )
+            })
+            .collect();
+        for w in 0..5 {
+            g.add_edge(
+                nodes[w],
+                nodes[w + 1],
+                (w + 1) as f64,
+                EdgeKind::Interaction,
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn induced_subgraph_no_halo() {
+        let g = path_graph();
+        let residents = [NodeId(1), NodeId(2), NodeId(3)];
+        let p = Partition::build(&g, &residents, &PartitionConfig { halo_depth: 0 });
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.resident_count(), 3);
+        assert_eq!(p.halo_count(), 0);
+        // Only the two interior edges 1-2, 2-3 are induced.
+        assert_eq!(p.edge_count(), 2);
+        // Boundary: 1 (parent neighbor 0 missing) and 3 (4 missing).
+        let boundary_global: Vec<NodeId> =
+            p.boundary_local().iter().map(|&l| p.to_global(l)).collect();
+        assert_eq!(boundary_global, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn halo_contains_cut_endpoints() {
+        let g = path_graph();
+        let residents = [NodeId(2), NodeId(3)];
+        let p = Partition::build(&g, &residents, &PartitionConfig { halo_depth: 1 });
+        // Cut edges 1-2 and 3-4 pull 1 and 4 into the halo.
+        assert_eq!(p.halo_count(), 2);
+        assert!(p.is_halo(NodeId(1)));
+        assert!(p.is_halo(NodeId(4)));
+        assert!(!p.contains(NodeId(0)));
+        // The cut edges themselves are now induced.
+        assert_eq!(p.edge_count(), 3);
+        // New boundary sits on the halo fringe.
+        let boundary_global: Vec<NodeId> =
+            p.boundary_local().iter().map(|&l| p.to_global(l)).collect();
+        assert_eq!(boundary_global, vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn deeper_halo_swallows_the_graph() {
+        let g = path_graph();
+        let p = Partition::build(&g, &[NodeId(2)], &PartitionConfig { halo_depth: 5 });
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.edge_count(), 5);
+        assert!(p.boundary_local().is_empty());
+    }
+
+    #[test]
+    fn remap_round_trips_and_is_monotone() {
+        let g = path_graph();
+        let p = Partition::build(
+            &g,
+            &[NodeId(1), NodeId(4)],
+            &PartitionConfig { halo_depth: 1 },
+        );
+        for local in 0..p.node_count() {
+            let local = NodeId(local as u32);
+            assert_eq!(p.to_local(p.to_global(local)), Some(local));
+        }
+        for local in 0..p.edge_count() {
+            let local = EdgeId(local as u32);
+            assert_eq!(p.to_local_edge(p.to_global_edge(local)), Some(local));
+        }
+        // Monotone: ascending local ids map to ascending parent ids.
+        let globals: Vec<NodeId> = (0..p.node_count())
+            .map(|l| p.to_global(NodeId(l as u32)))
+            .collect();
+        assert!(globals.windows(2).all(|w| w[0] < w[1]));
+        let edge_globals: Vec<EdgeId> = (0..p.edge_count())
+            .map(|l| p.to_global_edge(EdgeId(l as u32)))
+            .collect();
+        assert!(edge_globals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn weights_kinds_labels_copied() {
+        let g = path_graph();
+        let p = Partition::build(&g, &[NodeId(2), NodeId(3)], &PartitionConfig::default());
+        let local = p.to_local(NodeId(2)).unwrap();
+        assert_eq!(p.graph().kind(local), NodeKind::User);
+        assert_eq!(p.graph().label(local), "n2");
+        let le = p.to_local_edge(EdgeId(2)).unwrap();
+        assert_eq!(p.graph().weight(le), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_resident_panics() {
+        let g = path_graph();
+        Partition::build(&g, &[NodeId(99)], &PartitionConfig::default());
+    }
+}

@@ -1,0 +1,341 @@
+//! Property tests pinning the partitioned serving mode to the single-
+//! engine path, and the partition substrate to its structural
+//! invariants. Across random knowledge graphs, shard counts {1, 2, 4},
+//! mixed ST / ST-fast / PCST batches, and interleaved weight mutations,
+//! a partitioned `ShardedEngine` (true sub-graph replicas + coverage)
+//! must be **bit-identical** to one `SummaryEngine` — the
+//! certify-or-escalate split must be invisible in the outputs.
+//!
+//! Substrate invariants pinned here:
+//! * the partitioner's resident sets cover every node, and ownership is
+//!   total, in-range, and deterministic;
+//! * local↔global id remaps round-trip for every resident and halo
+//!   node and every materialized edge;
+//! * every cut edge's outside endpoint is materialized in the halo
+//!   (depth 1), so owned-edge weight sync reaches all copies;
+//! * ownership balance respects the partitioner's floor
+//!   (`≥ max(1, ⌊0.5·n/shards⌋)` owned nodes per shard).
+
+use proptest::prelude::*;
+
+use xsum::core::{
+    BatchMethod, PcstConfig, ShardedEngine, SteinerConfig, Summary, SummaryEngine, SummaryInput,
+};
+use xsum::graph::{
+    EdgeId, EdgeKind, Graph, LoosePath, NodeId, NodeKind, Partition, PartitionConfig,
+};
+use xsum::kg::{partition_nodes, PartitionerConfig};
+
+/// A random small KG shape: users, items, entities, random interaction
+/// and attribute edges, plus guaranteed 3-hop paths (the `prop_shard`
+/// generator).
+#[derive(Debug, Clone)]
+struct RandomKg {
+    g: Graph,
+    users: Vec<NodeId>,
+    paths: Vec<LoosePath>,
+    /// Paths sourced at `users[1]` — a second routing anchor.
+    alt_paths: Vec<LoosePath>,
+}
+
+fn arb_kg() -> impl Strategy<Value = RandomKg> {
+    (
+        2usize..5, // users
+        3usize..8, // items
+        2usize..5, // entities
+        proptest::collection::vec((0usize..64, 0usize..64, 1u8..=5), 5..40),
+        proptest::collection::vec((0usize..64, 0usize..64), 4..30),
+        0usize..1000, // path-shape selector
+    )
+        .prop_map(|(nu, ni, na, interactions, attributes, path_sel)| {
+            let mut g = Graph::new();
+            let users: Vec<NodeId> = (0..nu).map(|_| g.add_node(NodeKind::User)).collect();
+            let items: Vec<NodeId> = (0..ni).map(|_| g.add_node(NodeKind::Item)).collect();
+            let entities: Vec<NodeId> = (0..na).map(|_| g.add_node(NodeKind::Entity)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for (u, i, r) in interactions {
+                let (u, i) = (u % nu, i % ni);
+                if seen.insert((u, i)) {
+                    g.add_edge(users[u], items[i], r as f64, EdgeKind::Interaction);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for (i, a) in attributes {
+                let (i, a) = (i % ni, a % na);
+                if seen.insert((i, a)) {
+                    g.add_edge(items[i], entities[a], 0.0, EdgeKind::Attribute);
+                }
+            }
+            if g.find_edge(users[0], items[0]).is_none() {
+                g.add_edge(users[0], items[0], 5.0, EdgeKind::Interaction);
+            }
+            if g.find_edge(users[1], items[0]).is_none() {
+                g.add_edge(users[1], items[0], 4.0, EdgeKind::Interaction);
+            }
+            if g.find_edge(items[0], entities[0]).is_none() {
+                g.add_edge(items[0], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            if g.find_edge(items[1], entities[0]).is_none() {
+                g.add_edge(items[1], entities[0], 0.0, EdgeKind::Attribute);
+            }
+            let mut paths = vec![LoosePath::ground(
+                &g,
+                vec![users[0], items[0], entities[0], items[1]],
+            )];
+            let extra: Vec<NodeId> = g
+                .neighbors(entities[0])
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| g.kind(*n) == NodeKind::Item && *n != items[0] && *n != items[1])
+                .collect();
+            if !extra.is_empty() {
+                let pick = extra[path_sel % extra.len()];
+                paths.push(LoosePath::ground(
+                    &g,
+                    vec![users[0], items[0], entities[0], pick],
+                ));
+            }
+            let alt_paths = vec![LoosePath::ground(
+                &g,
+                vec![users[1], items[0], entities[0], items[1]],
+            )];
+            RandomKg {
+                g,
+                users,
+                paths,
+                alt_paths,
+            }
+        })
+}
+
+fn inputs_for(kg: &RandomKg) -> Vec<SummaryInput> {
+    vec![
+        SummaryInput::user_centric(kg.users[0], kg.paths.clone()),
+        SummaryInput::user_centric(kg.users[1], kg.alt_paths.clone()),
+        SummaryInput::user_group(&kg.users, kg.paths.clone()),
+        SummaryInput::item_centric(kg.alt_paths[0].target(), kg.alt_paths.clone()),
+    ]
+}
+
+fn assert_bit_identical(want: &Summary, got: &Summary) -> Result<(), TestCaseError> {
+    prop_assert_eq!(want.method, got.method);
+    prop_assert_eq!(&want.terminals, &got.terminals);
+    prop_assert_eq!(want.subgraph.sorted_edges(), got.subgraph.sorted_edges());
+    prop_assert_eq!(want.subgraph.sorted_nodes(), got.subgraph.sorted_nodes());
+    Ok(())
+}
+
+const METHODS: [fn() -> BatchMethod; 3] = [
+    || BatchMethod::Steiner(SteinerConfig::default()),
+    || BatchMethod::SteinerFast(SteinerConfig::default()),
+    || BatchMethod::Pcst(PcstConfig::default()),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_plan_and_substrate_invariants(kg in arb_kg(), seed in 0u64..1000) {
+        let g = &kg.g;
+        let n = g.node_count();
+        for shards in [1usize, 2, 4] {
+            let cfg = PartitionerConfig::default();
+            let plan = partition_nodes(g, shards, seed, &cfg);
+            prop_assert_eq!(&plan, &partition_nodes(g, shards, seed, &cfg),
+                "partitioner must be deterministic");
+            prop_assert_eq!(plan.owner.len(), n);
+            prop_assert!(plan.owner.iter().all(|&s| (s as usize) < shards));
+
+            // Ownership balance floor.
+            let mut owned = vec![0usize; shards];
+            for &s in &plan.owner {
+                owned[s as usize] += 1;
+            }
+            let floor = (((n as f64 / shards as f64) * 0.5).floor() as usize).max(1);
+            for (s, &c) in owned.iter().enumerate() {
+                prop_assert!(c >= floor, "shard {} owns {} < floor {}", s, c, floor);
+            }
+
+            // Resident cover, remap round-trips, halo containment.
+            let mut covered = vec![false; n];
+            let hcfg = PartitionConfig::default();
+            for (s, res) in plan.residents.iter().enumerate() {
+                let part = Partition::build(g, res, &hcfg);
+                prop_assert_eq!(part.resident_count(), res.len());
+                for &v in res {
+                    covered[v.index()] = true;
+                    let lv = part.to_local(v).expect("resident node must be materialized");
+                    prop_assert_eq!(part.to_global(lv), v, "node remap must round-trip");
+                    prop_assert!(part.is_resident(v) && !part.is_halo(v));
+                    // Depth-1 halo: every global neighbor of a resident
+                    // is materialized (resident or halo), so every cut
+                    // edge's outside endpoint holds a synced copy.
+                    for &(w, _) in g.neighbors(v) {
+                        prop_assert!(
+                            part.to_local(w).is_some(),
+                            "shard {}: cut-edge endpoint {:?} of resident {:?} not in halo",
+                            s, w, v
+                        );
+                    }
+                }
+                for le in 0..part.edge_count() {
+                    let le = EdgeId(le as u32);
+                    let ge = part.to_global_edge(le);
+                    prop_assert_eq!(part.to_local_edge(ge), Some(le), "edge remap must round-trip");
+                    prop_assert_eq!(
+                        part.graph().weight(le).to_bits(),
+                        g.weight(ge).to_bits(),
+                        "materialized weights must equal the global graph's"
+                    );
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c), "resident union must cover V");
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_single_engine_across_shard_counts(kg in arb_kg()) {
+        // Shard counts {1, 2, 4} × mixed ST / ST-fast / PCST batches,
+        // warm engines on both sides (two passes each): the
+        // certify-or-escalate split must be invisible.
+        let inputs = inputs_for(&kg);
+        for shards in [1usize, 2, 4] {
+            let mut parted = ShardedEngine::new_partitioned(&kg.g, shards, 42);
+            prop_assert!(parted.is_partitioned());
+            let mut single = SummaryEngine::with_threads(2);
+            for make_method in METHODS {
+                let method = make_method();
+                for _ in 0..2 {
+                    let got = parted.summarize_batch(&inputs, method);
+                    let want = single.summarize_batch(&kg.g, &inputs, method);
+                    prop_assert_eq!(got.len(), inputs.len());
+                    for (w, s) in want.iter().zip(&got) {
+                        assert_bit_identical(w, s)?;
+                    }
+                }
+            }
+            // Every serve accounted exactly once, locally or on coverage.
+            let (local, coverage) = parted.partition_stats();
+            prop_assert_eq!(
+                local + coverage,
+                (inputs.len() * METHODS.len() * 2) as u64,
+                "partition_stats must account for every serve"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_tracks_interleaved_weight_mutations(
+        mut kg in arb_kg(),
+        weights in proptest::collection::vec(1u8..=200, 1..4),
+        edge_sel in 0usize..1000,
+    ) {
+        // Serving loop with mutations interleaved between batches:
+        // after every mutation (fast-path `set_weight` on one engine,
+        // closure `mutate` on the other) partitioned serving must agree
+        // with a single engine over an identically mutated graph.
+        let inputs = inputs_for(&kg);
+        let mut parted2 = ShardedEngine::new_partitioned(&kg.g, 2, 7);
+        let mut parted4 = ShardedEngine::new_partitioned(&kg.g, 4, 7);
+        let mut single = SummaryEngine::with_threads(2);
+        for (round, w) in weights.iter().enumerate() {
+            let method = METHODS[round % METHODS.len()]();
+            let want = single.summarize_batch(&kg.g, &inputs, method);
+            let got2 = parted2.summarize_batch(&inputs, method);
+            let got4 = parted4.summarize_batch(&inputs, method);
+            for ((w, s2), s4) in want.iter().zip(&got2).zip(&got4) {
+                assert_bit_identical(w, s2)?;
+                assert_bit_identical(w, s4)?;
+            }
+            let e = EdgeId((edge_sel % kg.g.edge_count().max(1)) as u32);
+            let new_w = *w as f64 * 0.05;
+            parted2.set_weight(e, new_w);
+            parted4.mutate(|g| g.set_weight(e, new_w));
+            kg.g.set_weight(e, new_w);
+        }
+        // Final post-mutation agreement, including the single-summary
+        // routing path.
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let want = single.summarize_batch(&kg.g, &inputs, method);
+        let got2 = parted2.summarize_batch(&inputs, method);
+        for (w, s) in want.iter().zip(&got2) {
+            assert_bit_identical(w, s)?;
+        }
+        for input in &inputs {
+            assert_bit_identical(
+                &single.summarize(&kg.g, input, method),
+                &parted4.summarize(input, method),
+            )?;
+        }
+    }
+}
+
+/// Two weight-identical communities with no edges between them: a
+/// separating partitioning has empty boundaries and equal local/global
+/// maximum weights, so community-local requests certify and serve
+/// entirely inside their home partitions — pinning that the local path
+/// genuinely runs (a front-end escalating everything would pass the
+/// bit-identity properties above vacuously).
+#[test]
+fn separated_communities_serve_locally() {
+    let mut g = Graph::new();
+    let mut inputs = Vec::new();
+    for _c in 0..2 {
+        let users: Vec<NodeId> = (0..5).map(|_| g.add_node(NodeKind::User)).collect();
+        let items: Vec<NodeId> = (0..5).map(|_| g.add_node(NodeKind::Item)).collect();
+        for i in 0..5 {
+            g.add_edge(
+                users[i],
+                items[i],
+                1.0 + i as f64 * 0.1,
+                EdgeKind::Interaction,
+            );
+            g.add_edge(items[i], users[(i + 1) % 5], 0.5, EdgeKind::Interaction);
+        }
+        // Identical per-community maximum weight: certification's
+        // cost-anchor condition holds in both partitions.
+        g.add_edge(users[0], items[3], 2.0, EdgeKind::Interaction);
+        let path = LoosePath::ground(&g, vec![users[0], items[0], users[1]]);
+        inputs.push(SummaryInput::user_centric(users[0], vec![path]));
+        let path2 = LoosePath::ground(&g, vec![users[2], items[2], users[3]]);
+        inputs.push(SummaryInput::user_centric(users[2], vec![path2]));
+    }
+    let n = g.node_count();
+    let community = |v: usize| v / (n / 2);
+    // The partitioner is deterministic: scan for a seed whose Voronoi
+    // seeds land one per community, making the cut empty.
+    let seed = (0..64u64)
+        .find(|&s| {
+            let plan = partition_nodes(&g, 2, s, &PartitionerConfig::default());
+            (0..n).all(|v| plan.owner[v] == plan.owner[community(v) * (n / 2)])
+                && plan.owner[0] != plan.owner[n / 2]
+        })
+        .expect("some seed must separate two equal disjoint communities");
+    let mut parted = ShardedEngine::partitioned_with(
+        &g,
+        2,
+        seed,
+        1,
+        PartitionerConfig::default(),
+        PartitionConfig::default(),
+    );
+    let method = BatchMethod::Steiner(SteinerConfig::default());
+    let want: Vec<Summary> = inputs
+        .iter()
+        .map(|i| {
+            let mut single = SummaryEngine::with_threads(1);
+            single.summarize(&g, i, method)
+        })
+        .collect();
+    let got = parted.summarize_batch(&inputs, method);
+    for (w, s) in want.iter().zip(&got) {
+        assert_eq!(w.terminals, s.terminals);
+        assert_eq!(w.subgraph.sorted_edges(), s.subgraph.sorted_edges());
+        assert_eq!(w.subgraph.sorted_nodes(), s.subgraph.sorted_nodes());
+    }
+    assert_eq!(
+        parted.partition_stats(),
+        (inputs.len() as u64, 0),
+        "all community-local requests must certify and serve locally"
+    );
+}
