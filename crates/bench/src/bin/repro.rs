@@ -6,8 +6,8 @@
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!            userstudy ablation fairness quality_stfast bench_batch
-//!            bench_shard bench_admission bench_traffic lint modelcheck
-//!            all
+//!            bench_shard bench_admission bench_traffic bench_mutation
+//!            lint modelcheck all
 //!
 //! `bench_batch` additionally writes `BENCH_batch.json` (single-summary
 //! latency, batch throughput at sizes 1/4/16 and full, sharded 2/4-
@@ -27,7 +27,12 @@
 //! offered loads and *merges* the `traffic_*` keys — p50/p99/p99.9
 //! ticket latency, offered-vs-served ratio, shed/expiry/degrade
 //! counts — into `BENCH_batch.json`, leaving every other key as
-//! `bench_batch` wrote it. `lint` runs the repo-invariant lint engine
+//! `bench_batch` wrote it. `bench_mutation` measures the delta-aware
+//! mutation pipeline — O(|touched|) ledger patching vs a rebuild-from-
+//! scratch oracle, session survival under an anchor-safe 1% delta, and
+//! serving throughput with a live non-barrier weight-update stream —
+//! and *merges* its `mutation_*` / `session_survival_fraction` /
+//! `admission_live_*` keys the same way. `lint` runs the repo-invariant lint engine
 //! (same scan as `cargo run --bin xlint`; non-zero exit on findings),
 //! and `modelcheck` — in a `RUSTFLAGS="--cfg xsum_loom"` build — runs
 //! the model-checked concurrency scenarios and merges their
@@ -248,6 +253,49 @@ fn merge_partition_keys(path: &str, report: &xsum_bench::experiments::perf::Part
         "  \"partition_local_serves\": {},\n  \"partition_coverage_serves\": {},\n  \
          \"partition_cross_shard_fraction\": {:.4}",
         report.local_serves, report.coverage_serves, report.cross_shard_fraction,
+    ));
+    lines.push("}".to_string());
+    let mut out = lines.join("\n");
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Merge the delta-mutation-pipeline keys of `report` into the flat
+/// JSON object at `path`, with the same pass-through discipline as
+/// [`merge_traffic_keys`]: stale `mutation_*` / `session_survival*` /
+/// `admission_live_*` lines are replaced, every other pre-existing
+/// line stays byte-identical.
+fn merge_mutation_keys(path: &str, report: &xsum_bench::experiments::perf::MutationReport) {
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let mut lines: Vec<String> = base
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            let stale = t.starts_with("\"mutation_")
+                || t.starts_with("\"session_survival")
+                || t.starts_with("\"admission_live_");
+            !stale && !t.is_empty() && t != "}"
+        })
+        .map(str::to_string)
+        .collect();
+    if lines.is_empty() {
+        lines.push("{".to_string());
+    }
+    if let Some(last) = lines.last_mut() {
+        let t = last.trim_end();
+        if !t.ends_with('{') && !t.ends_with(',') {
+            *last = format!("{t},");
+        }
+    }
+    lines.push(format!(
+        "  \"mutation_full_rebuild_ms\": {:.4},\n  \"mutation_delta_patch_ms\": {:.4},\n  \
+         \"mutation_delta_speedup\": {:.2},\n  \"session_survival_fraction\": {:.4},\n  \
+         \"admission_live_update_summaries_per_sec\": {:.1}",
+        report.full_rebuild_ms,
+        report.delta_patch_ms,
+        report.speedup,
+        report.session_survival_fraction,
+        report.live_update_summaries_per_sec,
     ));
     lines.push("}".to_string());
     let mut out = lines.join("\n");
@@ -642,6 +690,40 @@ fn main() {
             );
             print_rows(&rows);
         }
+        "bench_mutation" => {
+            // Delta-aware mutation pipeline: O(|touched|) ledger patch
+            // vs rebuild-from-scratch, session survival under an
+            // anchor-safe 1% delta, and serving throughput with a live
+            // non-barrier weight-update stream; merges `mutation_*` /
+            // `session_survival_fraction` / `admission_live_*` keys into
+            // BENCH_batch.json (all pre-existing keys pass through
+            // byte-identical).
+            let (rows, report) = perf::mutation_bench(
+                xsum_datasets::ScalingLevel::G5,
+                args.scale,
+                args.seed,
+                (2 * args.users_per_gender).max(32),
+                args.top_k,
+            );
+            print_rows(&rows);
+            merge_mutation_keys("BENCH_batch.json", &report);
+            eprintln!(
+                "bench_mutation: {} edges, {}-edge deltas — rebuild {:.3} ms vs ledger patch \
+                 {:.3} ms ({:.1}x, {} cache patches); {:.1}% of sessions survived a 1% delta; \
+                 {:.0} summaries/s with a live update stream ({} edge updates applied); merged \
+                 mutation_* / session_survival_fraction / admission_live_* keys into \
+                 BENCH_batch.json",
+                report.edges,
+                report.delta_edges,
+                report.full_rebuild_ms,
+                report.delta_patch_ms,
+                report.speedup,
+                report.cache_patches,
+                report.session_survival_fraction * 100.0,
+                report.live_update_summaries_per_sec,
+                report.live_updates_applied,
+            );
+        }
         "lint" => run_lint(),
         "modelcheck" => run_modelcheck(),
         "all" => {
@@ -699,7 +781,7 @@ fn main() {
             eprintln!(
                 "expected: table1 table2 table3 fig2..fig17 userstudy ablation fairness \
                  quality_stfast bench_batch bench_shard bench_admission bench_traffic \
-                 lint modelcheck all"
+                 bench_mutation lint modelcheck all"
             );
             std::process::exit(2);
         }

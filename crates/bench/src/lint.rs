@@ -27,6 +27,13 @@
 //!   (`crates/graph/src`, `crates/core/src`). Those modules must go
 //!   through the `xsum_graph::sync` facade so `--cfg xsum_loom` can
 //!   swap the primitives for the loom shim's instrumented ones.
+//! * **`raw-epoch-bump`** — `next_epoch(…)` calls or direct writes to
+//!   an `epoch` / `structural_epoch` field outside
+//!   `crates/graph/src/graph.rs`. Epochs are minted only by the graph's
+//!   mutation entry points so every bump leaves a weight-delta ledger
+//!   record (or a structural invalidation) behind; a bump anywhere else
+//!   would advance cache keys without telling the delta machinery what
+//!   changed. Caching an *observed* epoch (`… = Some(epoch)`) is fine.
 //! * **`unsafe-without-safety`** — an `unsafe` token with no
 //!   `// SAFETY:` comment (or `# Safety` doc section) directly above
 //!   it. This rule is **not allowlistable**: an unsafe block either
@@ -101,6 +108,11 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "sync-facade",
         summary: "bare std::sync/std::thread primitive in the model-checked layer; use xsum_graph::sync",
+        allowable: true,
+    },
+    Rule {
+        name: "raw-epoch-bump",
+        summary: "epoch minted or epoch field written outside graph.rs; bumps must go through the delta ledger",
         allowable: true,
     },
     Rule {
@@ -289,6 +301,17 @@ fn check_line(path: &str, code: &str, compact: &str) -> Vec<(&'static str, Strin
         ));
     }
 
+    if !path.ends_with("graph/src/graph.rs") && raw_epoch_bump(compact) {
+        hits.push((
+            "raw-epoch-bump",
+            "epochs are minted only by graph.rs mutation entry points \
+             (set_weight/apply_delta/structural mutators), which record \
+             the change in the weight-delta ledger; a raw bump here \
+             advances cache keys behind the ledger's back"
+                .to_string(),
+        ));
+    }
+
     if has_unsafe_token(code) {
         hits.push((
             "unsafe-without-safety",
@@ -427,6 +450,30 @@ fn float_literal_before(before: &str) -> bool {
         }
     }
     dots == 1 && !tail.ends_with("..")
+}
+
+/// An epoch mint (`next_epoch(`) or a direct write to an
+/// `epoch`/`structural_epoch` field. Storing an observed epoch into an
+/// `Option` (`= Some(epoch)` / `= None`) is a cache of someone else's
+/// bump, not a bump, and stays clean.
+fn raw_epoch_bump(compact: &str) -> bool {
+    if compact.contains("next_epoch(") {
+        return true;
+    }
+    for pat in [".epoch=", ".structural_epoch="] {
+        let mut start = 0;
+        while let Some(i) = compact[start..].find(pat) {
+            let after = start + i + pat.len();
+            let rest = &compact[after..];
+            // `==` is a comparison; `Some(`/`None` records an observed
+            // epoch rather than minting one.
+            if !rest.starts_with('=') && !rest.starts_with("Some(") && !rest.starts_with("None") {
+                return true;
+            }
+            start = after;
+        }
+    }
+    false
 }
 
 /// An `unsafe` keyword token (not `unsafe_code` etc.) in stripped code.
@@ -799,6 +846,48 @@ mod tests {
         assert!(lint_source(NEUTRAL, "use std::sync::Mutex;\n").is_empty());
         // The facade itself is the one sanctioned site.
         assert!(lint_source("crates/graph/src/sync.rs", "pub use std::sync::Mutex;\n").is_empty());
+    }
+
+    // ---- raw-epoch-bump -----------------------------------------------
+
+    #[test]
+    fn raw_epoch_bump_positive() {
+        for src in [
+            "self.epoch = next_epoch();\n",
+            "let e = next_epoch();\n",
+            "g.structural_epoch = e;\n",
+            "self.epoch = self.epoch + 1;\n",
+        ] {
+            let f = lint_source(GRAPH, src);
+            assert_eq!(rules_of(&f), ["raw-epoch-bump"], "missed bump in {src:?}");
+        }
+    }
+
+    #[test]
+    fn raw_epoch_bump_negative() {
+        for src in [
+            // Observing/caching an epoch is not minting one.
+            "self.epoch = Some(epoch);\n",
+            "self.epoch = None;\n",
+            "if self.epoch == Some(epoch) { return; }\n",
+            "let e = g.epoch();\n",
+        ] {
+            assert!(
+                lint_source(GRAPH, src).is_empty(),
+                "false positive on {src:?}"
+            );
+        }
+        // graph.rs itself is the one sanctioned minting site.
+        assert!(
+            lint_source("crates/graph/src/graph.rs", "self.epoch = next_epoch();\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn raw_epoch_bump_allowlisted() {
+        let src = "// xlint: allow(raw-epoch-bump) — test-only epoch forgery to probe stale-key handling\n\
+                   self.epoch = next_epoch();\n";
+        assert!(lint_source(GRAPH, src).is_empty());
     }
 
     // ---- unsafe-without-safety ---------------------------------------

@@ -59,6 +59,21 @@
 //!   the linger window for the segment in front of it). On the sharded
 //!   backend the closure is applied coherently to every replica via
 //!   [`ShardedEngine::mutate`].
+//! * **Non-barrier weight updates.**
+//!   [`AdmissionQueue::submit_weight_update`] enqueues a weight-only
+//!   delta that is **not** a barrier: it never closes the linger
+//!   window, and every update queued in the head segment is coalesced
+//!   — in admission order, later writes to the same edge winning —
+//!   into one [`AdmissionBackend::apply_weight_delta`] call (one
+//!   ledger record, one epoch bump per backend graph) dispatched ahead
+//!   of that segment's summaries. Summaries therefore observe either
+//!   the pre- or post-delta weights, whichever the dispatcher reaches
+//!   first — the freshness trade a live rating stream wants. Updates
+//!   never cross a mutation/recovery barrier in either direction
+//!   (structural mutations may renumber edges), and a failed update
+//!   poisons the queue exactly like a failed barrier. The delta-epoch
+//!   protocol downstream of this seam is documented in
+//!   `CONCURRENCY.md`.
 //! * **Panic isolation.** A worker panic inside a coalesced batch is
 //!   caught by the backend (`try_*` paths) and the dispatcher retries
 //!   each member of the failed batch individually, so the
@@ -169,7 +184,7 @@ use std::time::{Duration, Instant};
 use xsum_graph::sync::thread::JoinHandle;
 use xsum_graph::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use xsum_graph::Graph;
+use xsum_graph::{EdgeId, Graph};
 
 use crate::batch::BatchMethod;
 use crate::engine::{EngineError, SummaryEngine};
@@ -366,6 +381,12 @@ pub struct AdmissionStats {
     pub degraded: u64,
     /// Successful [`AdmissionQueue::recover`] barriers applied.
     pub recoveries: u64,
+    /// Individual edge-weight updates applied through
+    /// [`AdmissionQueue::submit_weight_update`] (counts edges, not
+    /// coalesced dispatches).
+    pub weight_updates_applied: u64,
+    /// Coalesced non-barrier weight-delta dispatches onto the backend.
+    pub weight_update_batches: u64,
 }
 
 /// The serving tier behind an [`AdmissionQueue`]: anything that can run
@@ -395,6 +416,14 @@ pub trait AdmissionBackend: Send + 'static {
     /// diverged, a graph half-mutated) until
     /// [`AdmissionBackend::recover_coherence`] runs.
     fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError>;
+
+    /// Apply one coalesced weight-only delta coherently (every replica,
+    /// one ledger batch per backend graph). Unlike
+    /// [`AdmissionBackend::mutate_graph`] this is not a barrier at the
+    /// queue level, but the same failure contract holds: a panic must
+    /// surface as `Err`, after which the backend may be incoherent
+    /// until [`AdmissionBackend::recover_coherence`] runs.
+    fn apply_weight_delta(&mut self, updates: &[(EdgeId, f64)]) -> Result<(), EngineError>;
 
     /// Restore the backend to its last mutation-coherent state (the
     /// graph as of the most recent successful mutation) after a failed
@@ -462,6 +491,13 @@ impl AdmissionBackend for EngineBackend {
         Ok(())
     }
 
+    fn apply_weight_delta(&mut self, updates: &[(EdgeId, f64)]) -> Result<(), EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.graph.apply_delta(updates)))
+            .map_err(EngineError::from_panic)?;
+        self.last_good = self.graph.clone();
+        Ok(())
+    }
+
     fn recover_coherence(&mut self) -> Result<(), EngineError> {
         self.graph = self.last_good.clone();
         self.graph.freeze();
@@ -492,6 +528,13 @@ impl AdmissionBackend for ShardedEngine {
 
     fn mutate_graph(&mut self, f: &mut dyn FnMut(&mut Graph)) -> Result<(), EngineError> {
         self.try_mutate(f)
+    }
+
+    fn apply_weight_delta(&mut self, updates: &[(EdgeId, f64)]) -> Result<(), EngineError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            ShardedEngine::apply_weight_delta(self, updates)
+        }))
+        .map_err(EngineError::from_panic)
     }
 
     fn recover_coherence(&mut self) -> Result<(), EngineError> {
@@ -737,6 +780,30 @@ impl SummaryTicket {
     /// Non-blocking readiness probe (does not flush the queue).
     pub fn is_ready(&self) -> bool {
         self.slot.is_ready()
+    }
+}
+
+/// The completion ticket of one
+/// [`AdmissionQueue::submit_weight_update`]. Waiting is optional:
+/// dropping the ticket makes the update fire-and-forget (it still
+/// applies; only the acknowledgement is discarded).
+pub struct WeightUpdateTicket {
+    done: Arc<Slot<Result<(), EngineError>>>,
+}
+
+impl std::fmt::Debug for WeightUpdateTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightUpdateTicket").finish_non_exhaustive()
+    }
+}
+
+impl WeightUpdateTicket {
+    /// Block until the delta was applied (possibly coalesced with
+    /// other updates into one backend apply). `Err` means the apply
+    /// failed and the queue is poisoned, or the queue was poisoned by
+    /// an earlier failure before this update reached the backend.
+    pub fn wait(self) -> Result<(), AdmissionError> {
+        self.done.wait().map_err(AdmissionError::Engine)
     }
 }
 
@@ -996,6 +1063,14 @@ enum QueuedOp {
     /// A recovery barrier ([`AdmissionQueue::recover`]): restore
     /// backend coherence and un-poison the queue.
     Recover {
+        done: Arc<Slot<Result<(), EngineError>>>,
+    },
+    /// A non-barrier weight-only delta
+    /// ([`AdmissionQueue::submit_weight_update`]): coalesced with every
+    /// other update in its segment and dispatched ahead of that
+    /// segment's summaries, never across a barrier.
+    WeightUpdate {
+        updates: Vec<(EdgeId, f64)>,
         done: Arc<Slot<Result<(), EngineError>>>,
     },
 }
@@ -1457,6 +1532,39 @@ impl AdmissionQueue {
         done.wait().map_err(AdmissionError::Engine)
     }
 
+    /// Enqueue a weight-only delta **without** a barrier: the updates
+    /// are coalesced with every other weight update queued in the same
+    /// segment (admission order, later writes to the same edge winning)
+    /// and applied through [`AdmissionBackend::apply_weight_delta`]
+    /// ahead of that segment's summaries. Unlike
+    /// [`AdmissionQueue::mutate`] this returns immediately with a
+    /// [`WeightUpdateTicket`]; dropping the ticket makes the update
+    /// fire-and-forget. Summaries already queued may serve either side
+    /// of the delta; updates never cross a structural barrier in either
+    /// direction. A panic while applying poisons the queue exactly like
+    /// a failed mutation barrier.
+    pub fn submit_weight_update(
+        &self,
+        updates: Vec<(EdgeId, f64)>,
+    ) -> Result<WeightUpdateTicket, AdmissionError> {
+        let done = Arc::new(Slot::new());
+        {
+            let mut st = lock_recovering(&self.shared.state);
+            if st.shutdown {
+                return Err(AdmissionError::ShutDown);
+            }
+            if st.poisoned {
+                return Err(AdmissionError::Poisoned);
+            }
+            st.queue.push_back(QueuedOp::WeightUpdate {
+                updates,
+                done: Arc::clone(&done),
+            });
+        }
+        self.shared.work_cv.notify_all();
+        Ok(WeightUpdateTicket { done })
+    }
+
     /// Close the linger window for everything currently queued (without
     /// waiting for it to complete).
     pub fn flush(&self) {
@@ -1539,6 +1647,46 @@ enum Work {
     Recovery {
         done: Arc<Slot<Result<(), EngineError>>>,
     },
+    /// Every weight update drained from the head segment, concatenated
+    /// in admission order (so later writes to the same edge win inside
+    /// the backend's single ledger batch).
+    WeightUpdates {
+        updates: Vec<(EdgeId, f64)>,
+        dones: Vec<Arc<Slot<Result<(), EngineError>>>>,
+    },
+}
+
+/// Poison the queue after a failed mutation or weight-delta apply:
+/// fail everything queued and refuse new admissions, but keep the
+/// dispatcher alive so a `recover` barrier can restore coherence.
+/// Callers resolve the failing op's own slot(s) and notify `space_cv`.
+fn poison_and_drain(st: &mut QueueState) {
+    st.poisoned = true;
+    let poisoned: Vec<QueuedOp> = st.queue.drain(..).collect();
+    st.queued_summaries = 0;
+    st.expiring = 0;
+    for op in poisoned {
+        match op {
+            QueuedOp::Summary(req) => {
+                st.stats.failed += 1;
+                req.slot
+                    .put((Err(AdmissionError::Poisoned), DispatchMeta::unserved()));
+            }
+            QueuedOp::Mutate { done, .. } | QueuedOp::WeightUpdate { done, .. } => {
+                done.put(Err(EngineError::from_message(
+                    "admission queue poisoned by a failed mutation",
+                )));
+            }
+            QueuedOp::Recover { done } => {
+                // Can't happen (recover is only admitted while already
+                // poisoned) but resolve it anyway: no slot may ever be
+                // left unresolved.
+                done.put(Err(EngineError::from_message(
+                    "admission queue poisoned by a failed mutation",
+                )));
+            }
+        }
+    }
 }
 
 /// Draw one decision at `site`: `Ok(())` to proceed (sleeping through
@@ -1683,40 +1831,48 @@ fn dispatcher_loop(shared: &QueueShared, backend: &mut dyn AdmissionBackend) {
                     }
                     Err(e) => {
                         // The backend may be incoherent (replicas
-                        // diverged mid-closure): poison — fail
-                        // everything queued, refuse new admissions —
-                        // but keep the dispatcher alive so a
-                        // `recover` barrier can restore coherence.
-                        st.poisoned = true;
-                        let poisoned: Vec<QueuedOp> = st.queue.drain(..).collect();
-                        st.queued_summaries = 0;
-                        st.expiring = 0;
-                        for op in poisoned {
-                            match op {
-                                QueuedOp::Summary(req) => {
-                                    st.stats.failed += 1;
-                                    req.slot.put((
-                                        Err(AdmissionError::Poisoned),
-                                        DispatchMeta::unserved(),
-                                    ));
-                                }
-                                QueuedOp::Mutate { done, .. } => {
-                                    done.put(Err(EngineError::from_message(
-                                        "admission queue poisoned by a failed mutation",
-                                    )));
-                                }
-                                QueuedOp::Recover { done } => {
-                                    // Can't happen (recover is only
-                                    // admitted while already poisoned)
-                                    // but resolve it anyway: no slot
-                                    // may ever be left unresolved.
-                                    done.put(Err(EngineError::from_message(
-                                        "admission queue poisoned by a failed mutation",
-                                    )));
-                                }
-                            }
-                        }
+                        // diverged mid-closure): poison.
+                        poison_and_drain(&mut st);
                         done.put(Err(e));
+                        shared.space_cv.notify_all();
+                    }
+                }
+                if st.queue.is_empty() {
+                    shared.idle_cv.notify_all();
+                }
+            }
+            Work::WeightUpdates { updates, dones } => {
+                let edges = updates.len() as u64;
+                let outcome = match draw_fault(
+                    shared,
+                    FaultSite::AdmissionMutate,
+                    "injected admission-mutation fault",
+                ) {
+                    // Like a mutation barrier, an injected fault
+                    // poisons *without* applying the delta.
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        catch_unwind(AssertUnwindSafe(|| backend.apply_weight_delta(&updates)))
+                            .unwrap_or_else(|payload| Err(EngineError::from_panic(payload)))
+                    }
+                };
+                let mut st = lock_recovering(&shared.state);
+                match outcome {
+                    Ok(()) => {
+                        st.stats.weight_update_batches += 1;
+                        st.stats.weight_updates_applied += edges;
+                        for done in dones {
+                            done.put(Ok(()));
+                        }
+                    }
+                    Err(e) => {
+                        // Same contract as a failed barrier: the
+                        // backend may have applied the delta to some
+                        // replicas and not others.
+                        poison_and_drain(&mut st);
+                        for done in dones {
+                            done.put(Err(e.clone()));
+                        }
                         shared.space_cv.notify_all();
                     }
                 }
@@ -1796,6 +1952,37 @@ fn next_work(st: &mut QueueState, shared: &QueueShared) -> Option<Work> {
             _ => unreachable!("front() said Recover"),
         },
         _ => {}
+    }
+    // Weight updates dispatch ahead of their segment's summaries, all
+    // of them coalesced into one backend apply (admission order, so
+    // later writes to the same edge win). The drain never crosses a
+    // mutation/recovery barrier: a structural mutation may renumber
+    // edges, so an update queued behind one must wait for it.
+    let head_end = st
+        .queue
+        .iter()
+        .position(|op| matches!(op, QueuedOp::Mutate { .. } | QueuedOp::Recover { .. }))
+        .unwrap_or(st.queue.len());
+    if st
+        .queue
+        .iter()
+        .take(head_end)
+        .any(|op| matches!(op, QueuedOp::WeightUpdate { .. }))
+    {
+        let mut updates = Vec::new();
+        let mut dones = Vec::new();
+        let mut rest: VecDeque<QueuedOp> = VecDeque::with_capacity(st.queue.len());
+        for (i, op) in st.queue.drain(..).enumerate() {
+            match op {
+                QueuedOp::WeightUpdate { updates: u, done } if i < head_end => {
+                    updates.extend(u);
+                    dones.push(done);
+                }
+                other => rest.push_back(other),
+            }
+        }
+        st.queue = rest;
+        return Some(Work::WeightUpdates { updates, dones });
     }
     // The head segment: contiguous summary requests before the next
     // barrier (coalescing never crosses a mutation or recovery).
@@ -2619,5 +2806,173 @@ mod tests {
         let want: Vec<u64> = (0..producers as u64 * per).collect();
         assert_eq!(tags, want, "every tag exactly once");
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn weight_update_applies_without_a_barrier() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig::default(),
+        );
+        let e = xsum_graph::EdgeId(5); // attribute edge, anchor-safe
+        queue
+            .submit_weight_update(vec![(e, 0.5)])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut reference = ex.graph.clone();
+        reference.set_weight(e, 0.5);
+        let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+        assert_same(&got, &method.run(&reference, &input));
+        let stats = queue.stats();
+        assert_eq!(stats.weight_updates_applied, 1);
+        assert_eq!(stats.weight_update_batches, 1);
+        assert_eq!(stats.mutations_applied, 0, "not a barrier, not a mutation");
+    }
+
+    #[test]
+    fn queued_weight_updates_coalesce_in_admission_order() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(1),
+            AdmissionConfig {
+                queue_bound: 64,
+                max_batch: 8,
+                // The window never closes on its own, so all three
+                // updates are queued together when the dispatcher
+                // finally runs — one coalesced backend apply.
+                linger_tickets: usize::MAX,
+            },
+        );
+        let a = xsum_graph::EdgeId(5);
+        let b = xsum_graph::EdgeId(6);
+        let t1 = queue.submit_weight_update(vec![(a, 0.5)]).unwrap();
+        let t2 = queue.submit_weight_update(vec![(b, 1.25)]).unwrap();
+        // Later write to the same edge wins inside the coalesced batch.
+        let t3 = queue.submit_weight_update(vec![(a, 0.75)]).unwrap();
+        for t in [t1, t2, t3] {
+            t.wait().unwrap();
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.weight_updates_applied, 3, "three edges counted");
+        assert_eq!(stats.weight_update_batches, 1, "one coalesced apply");
+        let mut reference = ex.graph.clone();
+        reference.apply_delta(&[(a, 0.5), (b, 1.25), (a, 0.75)]);
+        let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+        assert_same(&got, &method.run(&reference, &input));
+    }
+
+    #[test]
+    fn weight_update_waits_behind_a_structural_barrier() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        let queue = AdmissionQueue::for_engine(
+            ex.graph.clone(),
+            SummaryEngine::with_threads(2),
+            AdmissionConfig::default(),
+        );
+        // A structural mutation (barrier) queued ahead of the weight
+        // update: the update must apply to the post-mutation graph —
+        // in particular to the edge id space after the added edge.
+        let u = xsum_graph::NodeId(0);
+        let v = xsum_graph::NodeId(1);
+        let mut reference = ex.graph.clone();
+        let new_edge = {
+            let mut probe = ex.graph.clone();
+            probe.add_edge(u, v, 1.0, xsum_graph::EdgeKind::Interaction)
+        };
+        queue
+            .mutate(move |g| {
+                g.add_edge(u, v, 1.0, xsum_graph::EdgeKind::Interaction);
+            })
+            .unwrap();
+        queue
+            .submit_weight_update(vec![(new_edge, 2.5)])
+            .unwrap()
+            .wait()
+            .unwrap();
+        reference.add_edge(u, v, 1.0, xsum_graph::EdgeKind::Interaction);
+        reference.set_weight(new_edge, 2.5);
+        let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+        assert_same(&got, &method.run(&reference, &input));
+        let stats = queue.stats();
+        assert_eq!(stats.mutations_applied, 1);
+        assert_eq!(stats.weight_updates_applied, 1);
+    }
+
+    #[test]
+    fn failed_weight_update_poisons_like_a_failed_mutation() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let ex = table1_example();
+        // rate-1.0, budget-1 tape: the first draw — the weight
+        // update's AdmissionMutate hook — fires, nothing after it.
+        let injector = Arc::new(FaultInjector::new(FaultPlan {
+            panics: false,
+            delays: false,
+            rate: 1.0,
+            budget: 1,
+            ..FaultPlan::seeded(11)
+        }));
+        let queue = AdmissionQueue::with_faults(
+            EngineBackend::new(ex.graph.clone(), SummaryEngine::with_threads(1)),
+            AdmissionConfig::default(),
+            OverloadPolicy::default(),
+            Some(Arc::clone(&injector)),
+        );
+        let err = queue
+            .submit_weight_update(vec![(xsum_graph::EdgeId(5), 0.5)])
+            .unwrap()
+            .wait();
+        assert!(matches!(err, Err(AdmissionError::Engine(_))));
+        // Poisoned exactly like a failed barrier: no new admissions of
+        // any kind until recovery.
+        assert!(matches!(
+            queue.submit_weight_update(vec![(xsum_graph::EdgeId(5), 0.5)]),
+            Err(AdmissionError::Poisoned)
+        ));
+        match queue.submit(ex.input(), st_method()) {
+            Err(AdmissionError::Poisoned) => {}
+            Ok(t) => assert!(t.wait().is_err()),
+            Err(other) => panic!("unexpected admission error: {other:?}"),
+        }
+        // Recovery rolls back to the last coherent snapshot; the failed
+        // update is a no-op and serving matches the pristine graph.
+        queue.recover().unwrap();
+        let got = queue
+            .submit(ex.input(), st_method())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_same(&got, &st_method().run(&ex.graph, &ex.input()));
+        assert_eq!(queue.stats().weight_updates_applied, 0);
+    }
+
+    #[test]
+    fn sharded_backend_applies_weight_updates_coherently() {
+        let ex = table1_example();
+        let input = ex.input();
+        let method = st_method();
+        for shards in [1usize, 2, 4] {
+            let sharded = ShardedEngine::with_threads(&ex.graph, shards, 1);
+            let queue = AdmissionQueue::for_sharded(sharded, AdmissionConfig::default());
+            let e = xsum_graph::EdgeId(5);
+            queue
+                .submit_weight_update(vec![(e, 0.5)])
+                .unwrap()
+                .wait()
+                .unwrap();
+            let mut reference = ex.graph.clone();
+            reference.set_weight(e, 0.5);
+            let got = queue.submit(input.clone(), method).unwrap().wait().unwrap();
+            assert_same(&got, &method.run(&reference, &input));
+        }
     }
 }

@@ -21,6 +21,19 @@
 //!   per-user sessions (k grows as the user scrolls), with LRU eviction
 //!   and graph-epoch invalidation.
 //!
+//! The whole stack is **delta-aware**: a weight-only mutation recorded
+//! in the [`Graph::delta_since`] ledger is absorbed in O(|touched
+//! edges|) at every layer instead of cascading into O(|E| + caches +
+//! sessions) of rebuild. The [`CostModelCache`] patches its resident
+//! Eq. 1 table in place ([`CostModelCache::patches`] counts these);
+//! each [`EngineWorker`]'s private cost buffer refreshes only the
+//! touched entries when its recorded anchor bits match the new model's
+//! ([`EngineWorker::begin_summary`]); and the session store keeps every
+//! session whose touched-edge fingerprint is disjoint from the delta.
+//! Structural mutations (or an anchor-moving delta) still take the
+//! rebuild path — the ledger only certifies what is provably
+//! bit-identical.
+//!
 //! Everything the engine produces is **bit-identical** to the free
 //! functions ([`steiner_summary`](crate::steiner_summary) /
 //! [`steiner_summary_fast`](crate::steiner_summary_fast) /
@@ -99,28 +112,47 @@ struct EngineWorker {
     /// each summary. `None` until first use.
     costs: Option<EdgeCosts>,
     /// Which (epoch, config) model `costs` mirrors; a key mismatch (new
-    /// graph epoch, different λ/δ) triggers one base re-copy.
+    /// graph epoch, different λ/δ) triggers a base re-sync.
     costs_key: Option<CostModelKey>,
+    /// `base_max` bits of the model `costs` mirrors — the anchor every
+    /// entry of the buffer was derived from. When a same-config key
+    /// change keeps these bits, the old and new bases are bit-identical
+    /// off the delta-touched edges, so the buffer re-syncs in
+    /// O(|touched|) instead of one full memcpy.
+    costs_anchor: u64,
     /// Touched-edge log for patch/unpatch.
     touched: Vec<(EdgeId, u32)>,
 }
 
 impl EngineWorker {
-    /// Synchronize the worker's cost buffer to `model` (one memcpy on
-    /// key change, free when already warm) and mark it **in flight**:
-    /// `costs_key` stays `None` until [`EngineWorker::finish_summary`]
-    /// restores it after a successful unpatch. A panic mid-summary
-    /// (e.g. an out-of-range terminal id unwinding out of the tree
-    /// construction) therefore leaves the buffer flagged dirty, and the
-    /// next call re-copies the base instead of silently computing
-    /// against leftover patched costs. Callers borrow `self.costs`
-    /// directly so `touched` and `ws` stay independently borrowable.
-    fn begin_summary(&mut self, key: CostModelKey, model: &SteinerCostModel) {
+    /// Synchronize the worker's cost buffer to `model` (free when
+    /// already warm; O(|touched|) across a ledger-covered weight delta
+    /// with an unmoved anchor; one memcpy otherwise) and mark it **in
+    /// flight**: `costs_key` stays `None` until
+    /// [`EngineWorker::finish_summary`] restores it after a successful
+    /// unpatch. A panic mid-summary (e.g. an out-of-range terminal id
+    /// unwinding out of the tree construction) therefore leaves the
+    /// buffer flagged dirty, and the next call re-syncs the base
+    /// instead of silently computing against leftover patched costs.
+    /// Callers borrow `self.costs` directly so `touched` and `ws` stay
+    /// independently borrowable.
+    fn begin_summary(&mut self, g: &Graph, key: CostModelKey, model: &SteinerCostModel) {
         if self.costs_key != Some(key) {
-            match &mut self.costs {
-                Some(c) => model.copy_base_into(c),
-                None => self.costs = Some(model.fresh_costs()),
+            // Delta fast path: the buffer mirrors an earlier epoch of
+            // the same config, the ledger covers the gap, and the Eq. 1
+            // anchor bits are unchanged — only the touched entries of
+            // the two bases can differ.
+            let delta = self
+                .costs_key
+                .filter(|old| old.same_config(&key))
+                .filter(|_| model.base_max().to_bits() == self.costs_anchor)
+                .and_then(|old| g.delta_since(old.epoch()));
+            match (&mut self.costs, delta) {
+                (Some(c), Some(touched)) => model.copy_touched_into(c, &touched),
+                (Some(c), None) => model.copy_base_into(c),
+                (None, _) => self.costs = Some(model.fresh_costs()),
             }
+            self.costs_anchor = model.base_max().to_bits();
         }
         self.costs_key = None;
     }
@@ -142,7 +174,7 @@ impl EngineWorker {
         fast: bool,
         label: &'static str,
     ) -> Summary {
-        self.begin_summary(key, model);
+        self.begin_summary(g, key, model);
         let costs = self.costs.as_mut().expect("buffer just synced");
         model.patch(g, input, costs, &mut self.touched);
         let subgraph = if fast {
@@ -263,11 +295,18 @@ impl SummaryEngine {
     }
 
     /// `(hits, misses)` of the engine's cost-model cache — a miss is one
-    /// O(|E|) Eq. 1 base-table build. Mutating the graph (any weight or
-    /// structural change) moves its epoch and shows up here as a miss on
-    /// the next call.
+    /// O(|E|) Eq. 1 base-table build. A structural mutation moves the
+    /// epoch and shows up here as a miss on the next call; a
+    /// ledger-covered weight-only delta is absorbed as a *patch*
+    /// ([`SummaryEngine::cost_cache_patches`]) instead.
     pub fn cost_cache_stats(&self) -> (u64, u64) {
         (self.models.hits(), self.models.misses())
+    }
+
+    /// Resident cost models patched in O(|touched|) across a weight-only
+    /// delta instead of being rebuilt.
+    pub fn cost_cache_patches(&self) -> u64 {
+        self.models.patches()
     }
 
     /// The engine's incremental-session store (per-user growing
@@ -495,6 +534,36 @@ mod tests {
     }
 
     #[test]
+    fn anchor_safe_weight_delta_patches_instead_of_missing() {
+        let mut ex = table1_example();
+        let input = ex.input();
+        let method = BatchMethod::Steiner(SteinerConfig::default());
+        let mut engine = SummaryEngine::with_threads(2);
+        engine.summarize(&ex.graph, &input, method);
+        // Raise a zero-weight attribute edge (EdgeId 5) to 0.5: below
+        // the 5.0 anchor and not an anchor witness — patchable.
+        ex.graph.set_weight(xsum_graph::EdgeId(5), 0.5);
+        let warm = engine.summarize(&ex.graph, &input, method);
+        let (_, misses) = engine.cost_cache_stats();
+        assert_eq!(misses, 1, "covered delta must not rebuild the model");
+        assert_eq!(engine.cost_cache_patches(), 1);
+        // Bit-identical to a cold engine on the mutated graph.
+        let cold = SummaryEngine::with_threads(2).summarize(&ex.graph, &input, method);
+        assert_same(&warm, &cold);
+        // Batches keep matching too (worker buffers re-synced via the
+        // touched-entry fast path).
+        ex.graph
+            .apply_delta(&[(xsum_graph::EdgeId(5), 0.25), (xsum_graph::EdgeId(6), 1.5)]);
+        let inputs = vec![input.clone(), input.clone(), input.clone()];
+        let batch = engine.summarize_batch(&ex.graph, &inputs, method);
+        let free = crate::summarize_batch(&ex.graph, &inputs, method);
+        for (a, b) in batch.iter().zip(&free) {
+            assert_same(a, b);
+        }
+        assert_eq!(engine.cost_cache_patches(), 2);
+    }
+
+    #[test]
     fn lambda_sweep_populates_distinct_models() {
         let ex = table1_example();
         let input = ex.input();
@@ -569,7 +638,7 @@ mod tests {
         let variant = crate::input::SummaryInput::user_centric(ex.user1, vec![ex.paths[0].clone()]);
         let (key, model) = engine.models.get(&ex.graph, &cfg);
         let w = &mut engine.workers[0];
-        w.begin_summary(key, &model);
+        w.begin_summary(&ex.graph, key, &model);
         let costs = w.costs.as_mut().expect("warm buffer");
         model.patch(&ex.graph, &variant, costs, &mut w.touched);
         // ...unwind here: no unpatch, no finish_summary.

@@ -13,10 +13,12 @@
 //! continuity (`S_k ⊆ S_{k+1}`), which maximizes the consistency metric
 //! by construction.
 
-use xsum_graph::{DijkstraWorkspace, EdgeCosts, Graph, NodeId, Subgraph};
+use xsum_graph::{
+    DijkstraWorkspace, EdgeCosts, FxHashSet, Graph, NodeId, Subgraph, WeightDeltaRec,
+};
 
 use crate::input::{Scenario, SummaryInput};
-use crate::steiner::{cached_steiner_costs, SteinerConfig};
+use crate::steiner::{cached_cost_model, delta_keeps_anchor, SteinerConfig};
 use crate::summary::Summary;
 
 /// A summary grown one terminal at a time.
@@ -29,6 +31,18 @@ pub struct IncrementalSteiner {
     /// Reused across increments: one session performs one Dijkstra per
     /// added terminal with zero allocation after the first.
     ws: DijkstraWorkspace,
+    /// Every edge whose cost this session has *observed*: the λ-boosted
+    /// input-path edges (whose patched value would need the boost
+    /// factor), plus all edges incident to any node a past Dijkstra
+    /// settled (relaxation reads an edge's cost only when an endpoint
+    /// settles, so this is a conservative superset of the read set). A
+    /// weight delta disjoint from this set provably cannot have changed
+    /// any decision the session made — see
+    /// [`IncrementalSteiner::try_apply_weight_delta`].
+    fingerprint: FxHashSet<xsum_graph::EdgeId>,
+    /// The Eq. 1 anchor the session's cost table was derived from.
+    base_max: f64,
+    cfg: SteinerConfig,
 }
 
 impl IncrementalSteiner {
@@ -53,12 +67,23 @@ impl IncrementalSteiner {
         cfg: &SteinerConfig,
         ws: DijkstraWorkspace,
     ) -> Self {
+        let model = cached_cost_model(g, cfg);
+        let mut costs = model.fresh_costs();
+        let mut touched = Vec::new();
+        model.patch(g, input, &mut costs, &mut touched);
+        // The boosted path edges seed the session's touched-edge
+        // fingerprint: a later weight delta hitting one of them cannot be
+        // absorbed without re-deriving the boost.
+        let fingerprint = touched.iter().map(|&(e, _)| e).collect();
         IncrementalSteiner {
-            costs: cached_steiner_costs(g, input, cfg),
+            costs,
             scenario: input.scenario,
             subgraph: Subgraph::new(),
             terminals: Vec::new(),
             ws,
+            fingerprint,
+            base_max: model.base_max(),
+            cfg: *cfg,
         }
     }
 
@@ -87,6 +112,14 @@ impl IncrementalSteiner {
         // Dijkstra from the new terminal until any tree node settles.
         let tree_nodes: Vec<NodeId> = self.subgraph.sorted_nodes();
         self.ws.run(g, &self.costs, t, &tree_nodes);
+        // Fold this search's cost read-set into the fingerprint: the
+        // kernel reads an edge's cost only when relaxing out of a
+        // settled endpoint.
+        self.ws.for_each_settled(|n| {
+            for &(_, e) in g.neighbors(n) {
+                self.fingerprint.insert(e);
+            }
+        });
         // Cheapest settled tree node.
         let best = tree_nodes
             .iter()
@@ -104,6 +137,36 @@ impl IncrementalSteiner {
             }
         }
         added
+    }
+
+    /// Absorb a weight-only delta in place, or report `false` (leaving
+    /// the session untouched) when the session must be rebuilt.
+    ///
+    /// Survival is sound when (a) no touched edge is in the session's
+    /// [`fingerprint`](Self::fingerprint) — every cost the session ever
+    /// *read* is bit-unchanged, so its tree, terminals, and workspace
+    /// state are exactly what a rebuilt session replaying the same
+    /// `add_terminal` calls would hold — and (b) the delta provably
+    /// leaves the Eq. 1 anchor alone, so every *unread* entry of a
+    /// rebuilt cost table differs from ours only at the touched edges,
+    /// which we patch here with the rebuild's exact expression. Checked
+    /// in O(|delta|); on success future increments are bit-identical to
+    /// a rebuilt-from-scratch session.
+    pub(crate) fn try_apply_weight_delta(&mut self, touched: &[WeightDeltaRec]) -> bool {
+        if !delta_keeps_anchor(self.base_max, touched) {
+            return false;
+        }
+        if touched.iter().any(|rec| {
+            rec.edge.index() >= self.costs.0.len() || self.fingerprint.contains(&rec.edge)
+        }) {
+            return false;
+        }
+        let floor = self.cfg.delta * 1e-2;
+        for rec in touched {
+            let w = f64::from_bits(rec.new_bits);
+            self.costs.0[rec.edge.index()] = ((self.base_max + self.cfg.delta) - w).max(floor);
+        }
+        true
     }
 
     /// The current summary snapshot.
@@ -226,6 +289,84 @@ mod tests {
         assert!(s.subgraph.contains_node(lonely));
         assert_eq!(s.terminal_coverage(), 1.0);
         assert_eq!(s.subgraph.edge_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_delta_survives_bit_identically() {
+        let mut ex = table1_example();
+        // An edge the session will never observe: its own component,
+        // weight safely below the anchor.
+        let a = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let b = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let far = ex
+            .graph
+            .add_edge(a, b, 0.5, xsum_graph::EdgeKind::Attribute);
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut live = IncrementalSteiner::new(&ex.graph, &input, &cfg);
+        live.add_terminal(&ex.graph, ex.user1);
+        live.add_terminal(&ex.graph, ex.items[0]);
+        let before = ex.graph.epoch();
+        ex.graph.apply_delta(&[(far, 0.75)]);
+        let touched = ex.graph.delta_since(before).expect("weight-only chain");
+        assert!(
+            live.try_apply_weight_delta(&touched),
+            "a disjoint, anchor-safe delta must be absorbed"
+        );
+        // A session rebuilt on the mutated graph and replayed must match
+        // bit-for-bit, including across further growth.
+        let mut rebuilt = IncrementalSteiner::new(&ex.graph, &input, &cfg);
+        rebuilt.add_terminal(&ex.graph, ex.user1);
+        rebuilt.add_terminal(&ex.graph, ex.items[0]);
+        for (x, y) in live.costs.0.iter().zip(rebuilt.costs.0.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "patched costs == rebuilt costs");
+        }
+        live.add_terminal(&ex.graph, ex.items[1]);
+        rebuilt.add_terminal(&ex.graph, ex.items[1]);
+        assert_eq!(
+            live.summary().subgraph.sorted_edges(),
+            rebuilt.summary().subgraph.sorted_edges()
+        );
+    }
+
+    #[test]
+    fn observed_or_anchor_deltas_are_refused() {
+        let mut ex = table1_example();
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut inc = IncrementalSteiner::new(&ex.graph, &input, &cfg);
+        inc.add_terminal(&ex.graph, ex.user1);
+        inc.add_terminal(&ex.graph, ex.items[0]);
+        // An input-path edge is always in the fingerprint.
+        let path_edge = input.paths[0]
+            .grounded_edges()
+            .next()
+            .expect("grounded path");
+        let before = ex.graph.epoch();
+        let w = ex.graph.weight(path_edge);
+        ex.graph.apply_delta(&[(path_edge, w * 0.5)]);
+        let touched = ex.graph.delta_since(before).expect("weight-only chain");
+        assert!(
+            !inc.try_apply_weight_delta(&touched),
+            "observed-edge deltas must force a rebuild"
+        );
+        // An anchor-raising delta is refused even on an unobserved edge.
+        let mut ex = table1_example();
+        let a = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let b = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let far = ex
+            .graph
+            .add_edge(a, b, 0.5, xsum_graph::EdgeKind::Attribute);
+        let input = ex.input();
+        let mut inc = IncrementalSteiner::new(&ex.graph, &input, &cfg);
+        inc.add_terminal(&ex.graph, ex.user1);
+        let before = ex.graph.epoch();
+        ex.graph.apply_delta(&[(far, 1e9)]);
+        let touched = ex.graph.delta_since(before).expect("weight-only chain");
+        assert!(
+            !inc.try_apply_weight_delta(&touched),
+            "anchor-raising deltas must force a rebuild"
+        );
     }
 
     #[test]

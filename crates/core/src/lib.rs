@@ -112,7 +112,7 @@ pub mod wire;
 pub use admission::{
     AdmissionBackend, AdmissionConfig, AdmissionError, AdmissionQueue, AdmissionStats,
     CompletedTicket, DegradePolicy, DispatchMeta, EngineBackend, OverloadPolicy, SubmitOptions,
-    SummaryTicket, TicketSet,
+    SummaryTicket, TicketSet, WeightUpdateTicket,
 };
 pub use batch::{summarize_batch, summarize_batch_threads, BatchMethod};
 pub use breaker::CircuitBreaker;

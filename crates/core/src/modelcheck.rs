@@ -120,6 +120,16 @@ impl AdmissionBackend for MockBackend {
         Ok(())
     }
 
+    fn apply_weight_delta(
+        &mut self,
+        _updates: &[(xsum_graph::EdgeId, f64)],
+    ) -> Result<(), EngineError> {
+        // Weight-only deltas never fail on the mock: the scenarios it
+        // backs exercise barrier/poison interleavings, which the
+        // non-barrier path shares with `mutate_graph`.
+        Ok(())
+    }
+
     fn recover_coherence(&mut self) -> Result<(), EngineError> {
         Ok(())
     }
@@ -608,6 +618,13 @@ pub fn partitioned_scatter_mutation_barrier() -> ModelStats {
             // its next serve escalates.
             self.authority += 1;
             self.parts[0] = self.authority;
+            Ok(())
+        }
+
+        fn apply_weight_delta(
+            &mut self,
+            _updates: &[(xsum_graph::EdgeId, f64)],
+        ) -> Result<(), EngineError> {
             Ok(())
         }
 

@@ -13,12 +13,22 @@
 //! * [`SessionKey`] — identity of a session: (user id, baseline input
 //!   label), the pair the paper's per-baseline experiments key on;
 //! * [`SessionStore`] — an LRU map of sessions with a configurable
-//!   capacity, graph-epoch invalidation (any graph mutation orphans the
-//!   stored costs and subgraphs, so all sessions are dropped), and
-//!   workspace recycling: evicted ST sessions donate their warm
-//!   [`DijkstraWorkspace`] to successor sessions.
+//!   capacity, graph-epoch invalidation, and workspace recycling:
+//!   evicted ST sessions donate their warm [`DijkstraWorkspace`] to
+//!   successor sessions.
+//!
+//! Epoch validation is **delta-aware**: when the graph's mutation since
+//! the store's epoch is a weight-only delta covered by the
+//! [`Graph::delta_since`] ledger, each session is checked individually —
+//! one whose touched-edge fingerprint is disjoint from the delta (and
+//! whose Eq. 1 anchor is provably unmoved) absorbs the delta in place
+//! and **survives**, bit-identical to a rebuilt session; the rest are
+//! dropped. Structural mutations (or a broken delta chain) still drop
+//! everything. The split is observable via
+//! [`SessionStore::invalidated_structural`] /
+//! [`SessionStore::invalidated_delta`] / [`SessionStore::survived_delta`].
 
-use xsum_graph::{DijkstraWorkspace, FxHashMap, Graph, LoosePath, NodeId};
+use xsum_graph::{DijkstraWorkspace, FxHashMap, Graph, LoosePath, NodeId, WeightDeltaRec};
 
 use crate::incremental::IncrementalSteiner;
 use crate::incremental_pcst::IncrementalPcst;
@@ -148,6 +158,19 @@ impl EngineSession {
         }
     }
 
+    /// Absorb a weight-only delta in place, or report `false` when the
+    /// session must be rebuilt. ST sessions survive iff the delta is
+    /// disjoint from their touched-edge fingerprint and keeps the Eq. 1
+    /// anchor (see [`IncrementalSteiner::try_apply_weight_delta`]); PCST
+    /// sessions grow by unit-cost BFS and never read weights, so they
+    /// survive any weight-only delta unconditionally.
+    pub(crate) fn try_apply_weight_delta(&mut self, touched: &[WeightDeltaRec]) -> bool {
+        match &mut self.inner {
+            SessionInner::Steiner(s) => s.try_apply_weight_delta(touched),
+            SessionInner::Pcst(_) => true,
+        }
+    }
+
     /// Tear down, recovering the Dijkstra workspace of an ST session.
     fn harvest_workspace(self) -> Option<DijkstraWorkspace> {
         match self.inner {
@@ -193,7 +216,17 @@ pub struct SessionStore {
     hits: u64,
     misses: u64,
     evictions: u64,
-    invalidations: u64,
+    /// Sessions dropped because a structural mutation (or a delta chain
+    /// the ledger no longer covers) moved the epoch.
+    invalidated_structural: u64,
+    /// Sessions dropped by a weight-only delta that overlapped their
+    /// fingerprint or moved the Eq. 1 anchor.
+    invalidated_delta: u64,
+    /// Sessions that absorbed a weight-only delta in place and lived on.
+    survived_delta: u64,
+    /// Revalidation passes that dropped ≥ 1 session (event-shaped; see
+    /// [`SessionStore::invalidations`]).
+    invalidation_events: u64,
 }
 
 /// A stored session plus the exact config it was built under and its
@@ -283,7 +316,10 @@ impl SessionStore {
             hits: 0,
             misses: 0,
             evictions: 0,
-            invalidations: 0,
+            invalidated_structural: 0,
+            invalidated_delta: 0,
+            survived_delta: 0,
+            invalidation_events: 0,
         }
     }
 
@@ -337,9 +373,33 @@ impl SessionStore {
         self.evictions
     }
 
-    /// Whole-store drops caused by a graph-epoch change.
+    /// Epoch-invalidation **events**: revalidation passes that dropped
+    /// at least one session. A wholesale structural clear counts once,
+    /// and so does a delta pass regardless of how many sessions it
+    /// dropped — the historical counter, kept event-shaped so one
+    /// mutation reads as one invalidation. Per-session magnitudes are
+    /// in [`SessionStore::invalidated_structural`] /
+    /// [`SessionStore::invalidated_delta`] /
+    /// [`SessionStore::survived_delta`].
     pub fn invalidations(&self) -> u64 {
-        self.invalidations
+        self.invalidation_events
+    }
+
+    /// Sessions dropped because a structural mutation moved the epoch
+    /// (or the delta ledger no longer covered the gap).
+    pub fn invalidated_structural(&self) -> u64 {
+        self.invalidated_structural
+    }
+
+    /// Sessions dropped by a weight-only delta that overlapped their
+    /// touched-edge fingerprint or moved the Eq. 1 anchor.
+    pub fn invalidated_delta(&self) -> u64 {
+        self.invalidated_delta
+    }
+
+    /// Sessions that absorbed a weight-only delta in place and survived.
+    pub fn survived_delta(&self) -> u64 {
+        self.survived_delta
     }
 
     /// Drop every session (retained workspaces are recycled; a
@@ -442,17 +502,51 @@ impl SessionStore {
         &mut self.entries.entry(key).or_insert(stored).session
     }
 
-    /// Drop all sessions if the graph's epoch moved since they were
-    /// built — their derived costs and subgraphs are pre-mutation state.
+    /// Reconcile the store with the graph's current epoch.
+    ///
+    /// No move: nothing to do. A weight-only move covered by the delta
+    /// ledger: each session individually absorbs the delta
+    /// ([`EngineSession::try_apply_weight_delta`], O(|delta|) per
+    /// session) or is dropped. Anything else (structural mutation,
+    /// truncated ledger): every session's derived costs and subgraphs
+    /// are pre-mutation state — drop them all.
     fn validate_epoch(&mut self, g: &Graph) {
         let epoch = g.epoch();
-        if self.epoch != Some(epoch) {
-            if !self.entries.is_empty() {
-                self.invalidations += 1;
-                self.clear();
-            }
-            self.epoch = Some(epoch);
+        if self.epoch == Some(epoch) {
+            return;
         }
+        if !self.entries.is_empty() {
+            match self.epoch.and_then(|e| g.delta_since(e)) {
+                Some(touched) => {
+                    let keys: Vec<SessionKey> = self.entries.keys().cloned().collect();
+                    let mut dropped = false;
+                    for k in keys {
+                        let survives = self
+                            .entries
+                            .get_mut(&k)
+                            .is_some_and(|e| e.session.try_apply_weight_delta(&touched));
+                        if survives {
+                            self.survived_delta += 1;
+                        } else {
+                            self.invalidated_delta += 1;
+                            dropped = true;
+                            if let Some(entry) = self.entries.remove(&k) {
+                                self.recycle(entry.session);
+                            }
+                        }
+                    }
+                    if dropped {
+                        self.invalidation_events += 1;
+                    }
+                }
+                None => {
+                    self.invalidated_structural += self.entries.len() as u64;
+                    self.invalidation_events += 1;
+                    self.clear();
+                }
+            }
+        }
+        self.epoch = Some(epoch);
     }
 
     fn evict_lru(&mut self) {
@@ -632,12 +726,68 @@ mod tests {
         s.add_terminal(&ex.graph, ex.user1);
         store.steiner_session(&ex.graph, key(2), &input, &cfg);
         assert_eq!(store.len(), 2);
-        // Any mutation moves the epoch; stored sessions are stale.
+        // Raising a weight to 9.0 moves the Eq. 1 anchor: even though
+        // the mutation is weight-only, no session can absorb it.
         ex.graph.set_weight(xsum_graph::EdgeId(0), 9.0);
         let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
         assert_eq!(s.terminal_count(), 0, "post-mutation session is fresh");
-        assert_eq!(store.invalidations(), 1);
+        assert_eq!(store.invalidations(), 1, "one mutation, one event");
+        assert_eq!(store.invalidated_delta(), 2, "both stale sessions dropped");
+        assert_eq!(store.invalidated_structural(), 0);
         assert_eq!(store.len(), 1);
+        // A structural mutation drops everything, counted separately.
+        store.steiner_session(&ex.graph, key(2), &input, &cfg);
+        let n = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        ex.graph
+            .add_edge(ex.user1, n, 1.0, xsum_graph::EdgeKind::Attribute);
+        store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(store.invalidated_structural(), 2);
+        assert_eq!(store.invalidations(), 2, "two mutations, two events");
+    }
+
+    #[test]
+    fn disjoint_weight_delta_lets_sessions_survive() {
+        let mut ex = table1_example();
+        // A far component edge no session will ever observe.
+        let a = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let b = ex.graph.add_node(xsum_graph::NodeKind::Entity);
+        let far = ex
+            .graph
+            .add_edge(a, b, 0.5, xsum_graph::EdgeKind::Attribute);
+        let input = ex.input();
+        let cfg = SteinerConfig::default();
+        let mut store = SessionStore::new(4);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.user1);
+        s.add_terminal(&ex.graph, ex.items[0]);
+        let grown = s.size();
+        // A PCST session never reads weights: it always survives.
+        store.pcst_session(
+            &ex.graph,
+            key(2),
+            Scenario::UserCentric,
+            PcstConfig::default(),
+        );
+        // Anchor-safe, disjoint delta: both sessions live on.
+        ex.graph.apply_delta(&[(far, 0.75)]);
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        assert_eq!(s.terminal_count(), 2, "ST session survived the delta");
+        assert_eq!(s.size(), grown);
+        assert_eq!(store.survived_delta(), 2);
+        assert_eq!(store.invalidations(), 0);
+        assert_eq!((store.hits(), store.misses()), (1, 2));
+        // The survivor keeps growing exactly like a rebuilt session.
+        let mut oracle = SessionStore::new(4);
+        let o = oracle.steiner_session(&ex.graph, key(1), &input, &cfg);
+        o.add_terminal(&ex.graph, ex.user1);
+        o.add_terminal(&ex.graph, ex.items[0]);
+        o.add_terminal(&ex.graph, ex.items[1]);
+        let want = o.summary();
+        let s = store.steiner_session(&ex.graph, key(1), &input, &cfg);
+        s.add_terminal(&ex.graph, ex.items[1]);
+        let got = s.summary();
+        assert_eq!(got.subgraph.sorted_edges(), want.subgraph.sorted_edges());
+        assert_eq!(got.subgraph.sorted_nodes(), want.subgraph.sorted_nodes());
     }
 
     #[test]

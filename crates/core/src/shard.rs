@@ -898,6 +898,25 @@ impl ShardedEngine {
         }
     }
 
+    /// Per-shard count of cost models patched across a weight-only
+    /// delta instead of rebuilt (same ordering as
+    /// [`ShardedEngine::cost_cache_stats`]).
+    pub fn cost_cache_patches(&self) -> Vec<u64> {
+        match &self.partitioned {
+            Some(p) => p
+                .parts
+                .iter()
+                .map(|r| r.engine.cost_cache_patches())
+                .chain(std::iter::once(p.coverage.engine.cost_cache_patches()))
+                .collect(),
+            None => self
+                .replicas
+                .iter()
+                .map(|r| r.engine.cost_cache_patches())
+                .collect(),
+        }
+    }
+
     /// Forward
     /// [`SummaryEngine::set_metric_closure_threshold`] to every replica
     /// — shard replicas run few outer workers, so lowering the gate
@@ -1525,19 +1544,47 @@ impl ShardedEngine {
     /// take a local write — instead of the full-replica mode's N
     /// whole-graph applications.
     pub fn set_weight(&mut self, e: EdgeId, weight: f64) {
+        self.apply_weight_delta(&[(e, weight)]);
+    }
+
+    /// Apply one batched weight-only delta to every replica — the
+    /// coalesced sibling of [`ShardedEngine::set_weight`], and the
+    /// backend of the admission queue's non-barrier
+    /// [`submit_weight_update`](crate::admission::AdmissionQueue::submit_weight_update)
+    /// path. Each graph records the whole batch as **one**
+    /// [`Graph::apply_delta`] ledger entry (one epoch bump), so every
+    /// downstream cache and session store sees a single covered delta.
+    ///
+    /// In partitioned mode the coverage authority takes the batch, and
+    /// only the partitions actually holding a copy of a touched edge
+    /// (owner + halo) take a targeted local batch; untouched partitions
+    /// keep their mutation epoch — and with it their warm cost-model
+    /// caches and serve certificates. No re-certification, no
+    /// re-partition, no per-edge sync sweep.
+    pub fn apply_weight_delta(&mut self, updates: &[(EdgeId, f64)]) {
+        if updates.is_empty() {
+            return;
+        }
         if let Some(state) = self.partitioned.as_mut() {
-            state.coverage.graph.set_weight(e, weight);
+            state.coverage.graph.apply_delta(updates);
             state.global_max_bits = None;
             for p in &mut state.parts {
-                if let Some(le) = p.part.to_local_edge(e) {
-                    p.part.graph_mut().set_weight(le, weight);
+                let local: Vec<(EdgeId, f64)> = updates
+                    .iter()
+                    .filter_map(|&(e, w)| p.part.to_local_edge(e).map(|le| (le, w)))
+                    .collect();
+                if !local.is_empty() {
+                    p.part.graph_mut().apply_delta(&local);
                     p.cert.max_bits = None;
                 }
             }
             self.last_good = state.coverage.graph.clone();
             return;
         }
-        self.mutate(|g| g.set_weight(e, weight));
+        for r in &mut self.replicas {
+            r.graph.apply_delta(updates);
+        }
+        self.last_good = self.replicas[0].graph.clone();
     }
 
     /// Serve one growing per-user session request on the shard that
@@ -1704,11 +1751,14 @@ mod tests {
         for (input, s) in inputs.iter().zip(&after) {
             assert_same(s, &method.run(&reference, input));
         }
-        // Every replica that served traffic rebuilt its cost model.
+        // Every replica that served traffic refreshed its cost model —
+        // by a rebuild or (for this anchor-safe weight delta) an
+        // O(|touched|) patch. Either way, never stale.
+        let patches = sharded.cost_cache_patches();
         for (shard, &(_, misses)) in sharded.cost_cache_stats().iter().enumerate() {
             if misses_before[shard] > 0 {
                 assert!(
-                    misses > misses_before[shard],
+                    misses > misses_before[shard] || patches[shard] > 0,
                     "shard {shard} served stale cost state after mutate"
                 );
             }

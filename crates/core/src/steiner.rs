@@ -40,7 +40,7 @@ use std::cell::RefCell;
 
 use xsum_graph::{
     kruskal, num_threads, parallel_map_with, DijkstraWorkspace, EdgeCosts, EdgeId, FxHashMap,
-    FxHashSet, Graph, MstEdge, NodeId, Subgraph,
+    FxHashSet, Graph, MstEdge, NodeId, Subgraph, WeightDeltaRec,
 };
 
 use crate::input::SummaryInput;
@@ -157,6 +157,32 @@ impl SteinerCostModel {
         &self.cfg
     }
 
+    /// The unadjusted maximum weight the transform anchors on.
+    pub fn base_max(&self) -> f64 {
+        self.base_max
+    }
+
+    /// Patch the resident base table across a weight-only delta in
+    /// O(|touched|), or report `false` (leaving the table untouched)
+    /// when the delta may move the `base_max` anchor — in which case
+    /// every entry of a rebuilt table could change and a full rebuild is
+    /// the only bit-faithful option. On success the table is
+    /// bit-identical to [`SteinerCostModel::new`] on the post-delta
+    /// graph: the per-entry expression is the same, and
+    /// [`delta_keeps_anchor`] guarantees the rebuilt fold would produce
+    /// the same anchor.
+    pub fn patch_weight_delta(&mut self, touched: &[WeightDeltaRec]) -> bool {
+        if !delta_keeps_anchor(self.base_max, touched) {
+            return false;
+        }
+        let floor = self.cfg.delta * 1e-2;
+        for rec in touched {
+            let w = f64::from_bits(rec.new_bits);
+            self.base[rec.edge.index()] = ((self.base_max + self.cfg.delta) - w).max(floor);
+        }
+        true
+    }
+
     /// A fresh full copy of the base table (per-worker warmup).
     pub fn fresh_costs(&self) -> EdgeCosts {
         EdgeCosts(self.base.clone())
@@ -217,6 +243,42 @@ impl SteinerCostModel {
     pub fn copy_base_into(&self, costs: &mut EdgeCosts) {
         costs.0.clone_from(&self.base);
     }
+
+    /// Refresh only the delta-touched entries of `costs` from the base
+    /// table — the O(|touched|) sibling of
+    /// [`SteinerCostModel::copy_base_into`] for a buffer that already
+    /// mirrors a previous epoch's base of the **same config and anchor
+    /// bits** (off-delta entries of the two bases are then bit-identical
+    /// by the shared expression, so only the touched ones can differ).
+    pub fn copy_touched_into(&self, costs: &mut EdgeCosts, touched: &[WeightDeltaRec]) {
+        debug_assert_eq!(costs.len(), self.base.len(), "cost buffer shape mismatch");
+        for rec in touched {
+            costs.0[rec.edge.index()] = self.base[rec.edge.index()];
+        }
+    }
+}
+
+/// Whether a weight-only delta provably leaves the Eq. 1 anchor
+/// (`base_max = fold(0.0, max)` over the raw weights) bit-unchanged —
+/// the soundness condition for O(|touched|) patching of any state
+/// derived from the transform.
+///
+/// Checked per touched edge, O(|delta|) total:
+/// * a new weight strictly above the anchor raises it → rebuild;
+/// * an old weight whose bits *equalled* the anchor may have been its
+///   sole witness, so lowering it may shrink the anchor → rebuild
+///   (conservative: another edge might still attain it, but finding out
+///   costs O(|E|));
+/// * everything else (including NaN, which `f64::max` folds away, and
+///   `-0.0`, whose bits never equal the `0.0`-seeded fold's) cannot move
+///   the fold.
+pub(crate) fn delta_keeps_anchor(base_max: f64, touched: &[WeightDeltaRec]) -> bool {
+    let anchor_bits = base_max.to_bits();
+    touched.iter().all(|rec| {
+        let raises = f64::from_bits(rec.new_bits) > base_max;
+        let shrinks = rec.old_bits == anchor_bits && rec.new_bits != anchor_bits;
+        !raises && !shrinks
+    })
 }
 
 /// Identity of one Eq. 1 cost model: the graph's mutation epoch plus the
@@ -242,6 +304,17 @@ impl CostModelKey {
             delta_bits: cfg.delta.to_bits(),
         }
     }
+
+    /// The graph epoch this key was taken at.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether two keys share the exact config bits (epochs may differ)
+    /// — the precondition for bridging them with a weight-only delta.
+    pub(crate) fn same_config(&self, other: &CostModelKey) -> bool {
+        self.lambda_bits == other.lambda_bits && self.delta_bits == other.delta_bits
+    }
 }
 
 /// A small LRU cache of [`SteinerCostModel`]s keyed by
@@ -260,6 +333,7 @@ pub struct CostModelCache {
     entries: Vec<(CostModelKey, std::sync::Arc<SteinerCostModel>)>,
     hits: u64,
     misses: u64,
+    patches: u64,
 }
 
 impl CostModelCache {
@@ -270,11 +344,21 @@ impl CostModelCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            patches: 0,
         }
     }
 
-    /// The model for `(g, cfg)`, built on miss. Returns the key alongside
-    /// so callers can tag per-worker cost buffers derived from the model.
+    /// The model for `(g, cfg)`: a keyed hit, a resident model **patched
+    /// across a weight-only delta** in O(|touched|), or a full build, in
+    /// that preference order. Returns the key alongside so callers can
+    /// tag per-worker cost buffers derived from the model.
+    ///
+    /// The patch path fires when a resident entry has the same config
+    /// bits, the graph's [`Graph::delta_since`] ledger covers the epoch
+    /// gap, and [`delta_keeps_anchor`] holds — then the entry's table is
+    /// rewritten in place (bit-identical to a rebuild) and re-keyed to
+    /// the current epoch. Anything else misses wholesale, exactly as
+    /// before the ledger existed.
     pub fn get(
         &mut self,
         g: &Graph,
@@ -287,6 +371,30 @@ impl CostModelCache {
             self.entries.push(entry);
             self.hits += 1;
             return (key, model);
+        }
+        // Delta patch: a same-config entry whose epoch the ledger chains
+        // to the current one.
+        let candidate = self.entries.iter().enumerate().find_map(|(pos, (k, _))| {
+            if k.lambda_bits == key.lambda_bits && k.delta_bits == key.delta_bits {
+                g.delta_since(k.epoch).map(|touched| (pos, touched))
+            } else {
+                None
+            }
+        });
+        if let Some((pos, touched)) = candidate {
+            let (stale_key, mut model) = self.entries.remove(pos);
+            // `make_mut` is O(1) when the Arc is unshared (the steady
+            // state — workers hold copies of the *table*, not the Arc);
+            // a shared Arc clones once, which is no worse than the
+            // rebuild it replaces.
+            if std::sync::Arc::make_mut(&mut model).patch_weight_delta(&touched) {
+                self.patches += 1;
+                self.entries.push((key, model.clone()));
+                return (key, model);
+            }
+            // Anchor moved: the stale entry is still valid *for its own
+            // epoch* (an unmutated clone may yet hit it) — keep it.
+            self.entries.insert(pos, (stale_key, model));
         }
         self.misses += 1;
         let model = std::sync::Arc::new(SteinerCostModel::new(g, cfg));
@@ -305,6 +413,12 @@ impl CostModelCache {
     /// Cache misses (model builds) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Resident models patched across a weight-only delta instead of
+    /// being rebuilt.
+    pub fn patches(&self) -> u64 {
+        self.patches
     }
 
     /// Number of models currently retained.
@@ -1041,6 +1155,111 @@ mod tests {
             (cache.hits(), cache.misses()),
             (1, 4),
             "evicted key must rebuild"
+        );
+    }
+
+    /// A fixture with *distinct* weights so the Eq. 1 anchor (max
+    /// weight) sits on a known edge and other edges can move freely.
+    fn ramp_graph() -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..6).map(|_| g.add_node(NodeKind::Entity)).collect();
+        for (i, w) in [1.0, 2.0, 3.0, 4.0, 5.0].iter().enumerate() {
+            g.add_edge(nodes[i], nodes[i + 1], *w, EdgeKind::Attribute);
+        }
+        g
+    }
+
+    #[test]
+    fn cost_model_cache_patches_weight_deltas() {
+        let mut g = ramp_graph();
+        let cfg = SteinerConfig::default();
+        let mut cache = CostModelCache::new(2);
+        cache.get(&g, &cfg);
+        assert_eq!((cache.misses(), cache.patches()), (1, 0));
+        // Anchor-safe delta: lower a non-max edge.
+        g.apply_delta(&[(xsum_graph::EdgeId(1), 0.25)]);
+        let (_, model) = cache.get(&g, &cfg);
+        assert_eq!(
+            (cache.misses(), cache.patches()),
+            (1, 1),
+            "a covered weight-only delta must patch, not rebuild"
+        );
+        let rebuilt = SteinerCostModel::new(&g, &cfg);
+        assert_eq!(
+            model.fresh_costs().0,
+            rebuilt.fresh_costs().0,
+            "patched table must be bit-identical to a rebuild"
+        );
+        // The re-keyed entry now hits directly.
+        cache.get(&g, &cfg);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn anchor_moving_delta_forces_rebuild() {
+        let cfg = SteinerConfig::default();
+        // Raising an edge above the anchor changes base_max: no patch.
+        let mut g = ramp_graph();
+        let mut cache = CostModelCache::new(2);
+        cache.get(&g, &cfg);
+        g.apply_delta(&[(xsum_graph::EdgeId(0), 9.0)]);
+        let (_, model) = cache.get(&g, &cfg);
+        assert_eq!((cache.misses(), cache.patches()), (2, 0));
+        assert_eq!(
+            model.fresh_costs().0,
+            SteinerCostModel::new(&g, &cfg).fresh_costs().0
+        );
+
+        // Lowering the anchor edge itself also changes base_max: no patch.
+        let mut g = ramp_graph();
+        let mut cache = CostModelCache::new(2);
+        cache.get(&g, &cfg);
+        g.apply_delta(&[(xsum_graph::EdgeId(4), 0.5)]);
+        let (_, model) = cache.get(&g, &cfg);
+        assert_eq!((cache.misses(), cache.patches()), (2, 0));
+        assert_eq!(
+            model.fresh_costs().0,
+            SteinerCostModel::new(&g, &cfg).fresh_costs().0
+        );
+    }
+
+    #[test]
+    fn patched_model_matches_rebuild_on_nan_and_negative_zero() {
+        let cfg = SteinerConfig::default();
+        let mut g = ramp_graph();
+        let mut cache = CostModelCache::new(2);
+        cache.get(&g, &cfg);
+        // NaN folds away under f64::max and −0.0 can't raise the anchor:
+        // both are patchable, and the patch must reproduce the rebuild's
+        // exact bits (NaN weight ⇒ the `.max(floor)` clamp fires).
+        g.apply_delta(&[
+            (xsum_graph::EdgeId(1), f64::NAN),
+            (xsum_graph::EdgeId(2), -0.0),
+        ]);
+        let (_, model) = cache.get(&g, &cfg);
+        assert_eq!((cache.misses(), cache.patches()), (1, 1));
+        let rebuilt = SteinerCostModel::new(&g, &cfg);
+        let (got, want) = (model.fresh_costs().0, rebuilt.fresh_costs().0);
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-identity incl. NaN payloads");
+        }
+    }
+
+    #[test]
+    fn structural_mutation_still_misses_wholesale() {
+        let mut g = ramp_graph();
+        let cfg = SteinerConfig::default();
+        let mut cache = CostModelCache::new(2);
+        cache.get(&g, &cfg);
+        let a = g.add_node(NodeKind::Entity);
+        let b = g.add_node(NodeKind::Entity);
+        g.add_edge(a, b, 1.0, EdgeKind::Attribute);
+        cache.get(&g, &cfg);
+        assert_eq!(
+            (cache.misses(), cache.patches()),
+            (2, 0),
+            "structural epochs break the delta chain"
         );
     }
 

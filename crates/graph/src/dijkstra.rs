@@ -351,6 +351,23 @@ impl DijkstraWorkspace {
         true
     }
 
+    /// Visit every node the most recent run **settled**, in node-id
+    /// order (an O(|V|) stamp scan — not for hot loops).
+    ///
+    /// The settled set is exactly the set of nodes whose incident edge
+    /// costs the run read: relaxation streams a node's CSR row only when
+    /// it settles. Consumers tracking which edges a search depended on —
+    /// e.g. the per-session touched-edge fingerprints behind
+    /// weight-delta session survival — take the union of incident edges
+    /// over this set as a sound (conservative) read-set bound.
+    pub fn for_each_settled(&self, mut f: impl FnMut(NodeId)) {
+        for (i, &s) in self.settled.iter().enumerate() {
+            if s == self.generation {
+                f(NodeId(i as u32));
+            }
+        }
+    }
+
     /// Whether `v` has a valid entry from the last run (total: ids
     /// beyond the buffers — e.g. on a fresh workspace — are unreached,
     /// not a panic).

@@ -10,6 +10,7 @@
 
 use std::sync::OnceLock;
 
+use crate::fxhash::FxHashMap;
 use crate::ids::{EdgeId, NodeId, NodeKind};
 
 /// Classification of edges in the knowledge-based graph.
@@ -170,6 +171,56 @@ impl<'a> CsrView<'a> {
     }
 }
 
+/// One recorded weight overwrite: the edge plus the exact pre- and
+/// post-mutation `f64` bit patterns. Bits — not values — so NaN payloads
+/// and signed zeros round-trip exactly, and an inverse delta
+/// (`new_bits → old_bits`) restores the graph bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightDeltaRec {
+    /// The rewritten edge.
+    pub edge: EdgeId,
+    /// `f64::to_bits` of the weight before the overwrite.
+    pub old_bits: u64,
+    /// `f64::to_bits` of the weight after the overwrite.
+    pub new_bits: u64,
+}
+
+impl WeightDeltaRec {
+    /// The record undoing this one (swap old/new bits).
+    pub fn inverse(&self) -> WeightDeltaRec {
+        WeightDeltaRec {
+            edge: self.edge,
+            old_bits: self.new_bits,
+            new_bits: self.old_bits,
+        }
+    }
+}
+
+/// One entry of the graph's weight-delta ledger: the epoch transition a
+/// weight-only mutation performed, plus exactly what it rewrote.
+#[derive(Debug, Clone)]
+struct DeltaRecord {
+    /// Epoch the graph held before the mutation.
+    from_epoch: u64,
+    /// Epoch the mutation stamped (a *delta* epoch — reached from
+    /// `from_epoch` without any structural change).
+    to_epoch: u64,
+    /// The rewritten edges, in write order.
+    touched: Vec<WeightDeltaRec>,
+}
+
+/// Upper bound on retained ledger records. The ledger exists so
+/// downstream caches can patch across *recent* mutations; a consumer
+/// older than the window simply rebuilds (exactly what it did before the
+/// ledger existed), so truncation is a performance knob, never a
+/// correctness one.
+const MAX_DELTA_RECORDS: usize = 64;
+
+/// Upper bound on the total rewritten-edge records the ledger retains
+/// across all its entries — a delta stream touching huge swaths of the
+/// graph should cost rebuilds, not unbounded ledger memory.
+const MAX_DELTA_EDGES: usize = 1 << 16;
+
 /// The knowledge-based graph `G(V, E, w)`.
 ///
 /// Storage is index-based: nodes and edges live in contiguous arrays, and
@@ -191,6 +242,16 @@ pub struct Graph {
     /// Mutation epoch: bumped to a process-globally-unique value by every
     /// structure- or weight-changing mutation (see [`Graph::epoch`]).
     epoch: u64,
+    /// Epoch of the last *structural* mutation (node/edge insertion or
+    /// [`Graph::edge_mut`]). Weight-only mutations move [`Graph::epoch`]
+    /// but not this, which is what lets downstream distinguish
+    /// "patchable" from "rebuild" (see [`Graph::delta_since`]).
+    structural_epoch: u64,
+    /// The weight-delta ledger: one record per weight-only mutation
+    /// since the last structural mutation (bounded; see
+    /// [`MAX_DELTA_RECORDS`]). Structural mutations clear it — there is
+    /// no patch path across a structure change.
+    delta_log: Vec<DeltaRecord>,
 }
 
 /// Process-global epoch source. Drawing every mutation stamp from one
@@ -219,6 +280,8 @@ impl Graph {
             edges: Vec::with_capacity(edges),
             csr: OnceLock::new(),
             epoch: 0,
+            structural_epoch: 0,
+            delta_log: Vec::new(),
         }
     }
 
@@ -230,11 +293,15 @@ impl Graph {
             .get_or_init(|| CsrAdj::build(self.kinds.len(), &self.edges))
     }
 
-    /// Drop the cached CSR after a structural mutation.
+    /// Drop the cached CSR after a structural mutation. Also advances the
+    /// structural epoch and clears the weight-delta ledger: no delta
+    /// chain crosses a structure change.
     #[inline]
     fn invalidate_csr(&mut self) {
         self.csr = OnceLock::new();
         self.epoch = next_epoch();
+        self.structural_epoch = self.epoch;
+        self.delta_log.clear();
     }
 
     /// The graph's mutation epoch.
@@ -364,12 +431,154 @@ impl Graph {
 
     /// Overwrite one edge's weight without touching the adjacency —
     /// the CSR stores no weights, so reweight sweeps (Fig. 16) keep the
-    /// frozen layout. Still bumps the mutation epoch: derived cost
-    /// tables do depend on weights.
+    /// frozen layout. Still bumps the mutation epoch (derived cost
+    /// tables do depend on weights), but the bump is a **delta epoch**:
+    /// the overwrite is recorded in the weight-delta ledger so caches
+    /// can patch in O(1) via [`Graph::delta_since`] instead of
+    /// rebuilding.
     #[inline]
     pub fn set_weight(&mut self, e: EdgeId, weight: f64) {
-        self.edges[e.index()].weight = weight;
+        self.apply_delta(&[(e, weight)]);
+    }
+
+    /// Apply a batch of weight overwrites as **one** mutation: one new
+    /// delta epoch, one ledger record holding the batch's net effect
+    /// (later entries win on duplicate edges, like sequential
+    /// [`Graph::set_weight`] calls would). Returns the delta epoch
+    /// stamped.
+    ///
+    /// The stored record is **canonical** — one entry per distinct edge
+    /// (first old bits, last new bits), bit-no-op rewrites dropped — so
+    /// a single-record [`Graph::delta_since`] chain needs no merge pass.
+    ///
+    /// This is the batched fast path for live update streams: downstream
+    /// caches observe a single epoch transition covering the whole batch
+    /// and patch all touched entries at once.
+    pub fn apply_delta(&mut self, updates: &[(EdgeId, f64)]) -> u64 {
+        let from_epoch = self.epoch;
+        let mut touched: Vec<WeightDeltaRec> = Vec::with_capacity(updates.len());
+        let mut index: FxHashMap<EdgeId, usize> =
+            FxHashMap::with_capacity_and_hasher(updates.len(), Default::default());
+        for &(e, weight) in updates {
+            let slot = &mut self.edges[e.index()].weight;
+            let old_bits = slot.to_bits();
+            let new_bits = weight.to_bits();
+            *slot = weight;
+            match index.entry(e) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    touched[*slot.get()].new_bits = new_bits;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(touched.len());
+                    touched.push(WeightDeltaRec {
+                        edge: e,
+                        old_bits,
+                        new_bits,
+                    });
+                }
+            }
+        }
+        touched.retain(|t| t.old_bits != t.new_bits);
         self.epoch = next_epoch();
+        self.delta_log.push(DeltaRecord {
+            from_epoch,
+            to_epoch: self.epoch,
+            touched,
+        });
+        self.trim_delta_log();
+        self.epoch
+    }
+
+    /// Keep the ledger within its record and edge budgets by dropping
+    /// the oldest records (consumers older than the window rebuild).
+    fn trim_delta_log(&mut self) {
+        let mut drop_front = self.delta_log.len().saturating_sub(MAX_DELTA_RECORDS);
+        let mut edges: usize = self.delta_log[drop_front..]
+            .iter()
+            .map(|r| r.touched.len())
+            .sum();
+        while edges > MAX_DELTA_EDGES && drop_front < self.delta_log.len() {
+            edges -= self.delta_log[drop_front].touched.len();
+            drop_front += 1;
+        }
+        if drop_front > 0 {
+            self.delta_log.drain(..drop_front);
+        }
+    }
+
+    /// Epoch of the last structural mutation. Weight-only mutations
+    /// ([`Graph::set_weight`] / [`Graph::apply_delta`]) advance
+    /// [`Graph::epoch`] past this value without moving it; equality of
+    /// structural epochs is necessary (not sufficient — the ledger is
+    /// bounded) for a patch path to exist between two epochs.
+    #[inline]
+    pub fn structural_epoch(&self) -> u64 {
+        self.structural_epoch
+    }
+
+    /// The combined weight delta that takes the graph's content at
+    /// `epoch` to its current content, if that transition was
+    /// **weight-only** and is still covered by the ledger.
+    ///
+    /// * `Some(vec![])` — `epoch` is current (or every rewrite between
+    ///   the epochs was a bit-level no-op): nothing to patch.
+    /// * `Some(touched)` — exactly the edges whose weight bits differ,
+    ///   each with its bits at `epoch` (`old_bits`) and now
+    ///   (`new_bits`): a consumer holding state keyed at `epoch` patches
+    ///   those edges and is bit-identical to a rebuild.
+    /// * `None` — a structural mutation intervened, `epoch` predates the
+    ///   ledger window, or `epoch` was never this graph's: rebuild.
+    ///
+    /// Cost: O(|records| + |touched|) — proportional to the delta, never
+    /// to `|E|`.
+    pub fn delta_since(&self, epoch: u64) -> Option<Vec<WeightDeltaRec>> {
+        if epoch == self.epoch {
+            return Some(Vec::new());
+        }
+        let start = self.delta_log.iter().position(|r| r.from_epoch == epoch)?;
+        // One-record chain — the steady state of a consumer that keeps
+        // itself current after every batch: the record's touched list
+        // already is the merged delta (records store only bit-changing
+        // writes), so skip the hash merge and hand out a copy.
+        if start + 1 == self.delta_log.len() {
+            let rec = &self.delta_log[start];
+            if rec.to_epoch != self.epoch {
+                return None;
+            }
+            return Some(rec.touched.clone());
+        }
+        // Merge the chain: first-seen old bits, last-seen new bits per
+        // edge, dropping edges that round-tripped back to their start.
+        let mut expected = epoch;
+        let mut merged: FxHashMap<EdgeId, (usize, WeightDeltaRec)> = FxHashMap::default();
+        let mut order = 0usize;
+        for rec in &self.delta_log[start..] {
+            // Records are appended sequentially, so the chain from
+            // `start` is contiguous by construction; the check is
+            // defensive.
+            if rec.from_epoch != expected {
+                return None;
+            }
+            expected = rec.to_epoch;
+            for t in &rec.touched {
+                match merged.get_mut(&t.edge) {
+                    Some((_, m)) => m.new_bits = t.new_bits,
+                    None => {
+                        merged.insert(t.edge, (order, *t));
+                        order += 1;
+                    }
+                }
+            }
+        }
+        if expected != self.epoch {
+            return None;
+        }
+        let mut out: Vec<(usize, WeightDeltaRec)> = merged
+            .into_values()
+            .filter(|(_, t)| t.old_bits != t.new_bits)
+            .collect();
+        out.sort_unstable_by_key(|&(ord, _)| ord);
+        Some(out.into_iter().map(|(_, t)| t).collect())
     }
 
     /// Weight `w(e)`.
@@ -701,6 +910,129 @@ mod tests {
         let before = g.epoch();
         g.set_label(ids[0], "renamed");
         assert_eq!(g.epoch(), before);
+    }
+
+    #[test]
+    fn delta_ledger_records_weight_only_transitions() {
+        let (mut g, _) = tiny();
+        let e0 = g.epoch();
+        assert_eq!(g.delta_since(e0), Some(vec![]), "current epoch: no delta");
+        g.set_weight(EdgeId(0), 9.5);
+        let d = g.delta_since(e0).expect("weight-only chain is patchable");
+        assert_eq!(
+            d,
+            vec![WeightDeltaRec {
+                edge: EdgeId(0),
+                old_bits: 5.0f64.to_bits(),
+                new_bits: 9.5f64.to_bits(),
+            }]
+        );
+        // A second overwrite chains: one merged record, old bits from the
+        // original content, new bits from the latest.
+        g.set_weight(EdgeId(0), 2.0);
+        g.set_weight(EdgeId(1), 4.0);
+        let d = g.delta_since(e0).expect("chains merge");
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0],
+            WeightDeltaRec {
+                edge: EdgeId(0),
+                old_bits: 5.0f64.to_bits(),
+                new_bits: 2.0f64.to_bits(),
+            }
+        );
+        assert_eq!(d[1].edge, EdgeId(1));
+        // Weight-only transitions leave the structural epoch alone.
+        let structural = g.structural_epoch();
+        g.set_weight(EdgeId(2), 1.0);
+        assert_eq!(g.structural_epoch(), structural);
+        assert!(g.epoch() > structural);
+    }
+
+    #[test]
+    fn structural_mutation_breaks_the_delta_chain() {
+        let (mut g, ids) = tiny();
+        let e0 = g.epoch();
+        g.set_weight(EdgeId(0), 9.5);
+        let n = g.add_node(NodeKind::Entity);
+        g.add_edge(ids[0], n, 1.0, EdgeKind::Attribute);
+        assert_eq!(g.delta_since(e0), None, "structure change ⇒ rebuild");
+        assert_eq!(g.structural_epoch(), g.epoch());
+        // A fresh weight delta after the structural change chains from
+        // the new structural epoch.
+        let e1 = g.epoch();
+        g.set_weight(EdgeId(0), 1.25);
+        assert_eq!(g.delta_since(e1).map(|d| d.len()), Some(1));
+        // edge_mut may rewrite endpoints: also structural.
+        let e2 = g.epoch();
+        g.edge_mut(EdgeId(0)).weight = 3.0;
+        assert_eq!(g.delta_since(e2), None);
+    }
+
+    #[test]
+    fn apply_delta_batches_into_one_epoch() {
+        let (mut g, _) = tiny();
+        let e0 = g.epoch();
+        let stamped = g.apply_delta(&[
+            (EdgeId(0), 7.0),
+            (EdgeId(1), 8.0),
+            (EdgeId(0), 6.0), // later write wins, old bits stay original
+        ]);
+        assert_eq!(stamped, g.epoch());
+        assert_eq!(g.weight(EdgeId(0)), 6.0);
+        let d = g.delta_since(e0).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0],
+            WeightDeltaRec {
+                edge: EdgeId(0),
+                old_bits: 5.0f64.to_bits(),
+                new_bits: 6.0f64.to_bits(),
+            }
+        );
+        // Bit-level no-op rewrites merge away entirely.
+        let e1 = g.epoch();
+        g.apply_delta(&[(EdgeId(0), 6.0)]);
+        assert_eq!(g.delta_since(e1), Some(vec![]));
+        // A round-trip back to the original bits also merges away.
+        g.apply_delta(&[(EdgeId(0), 1.5)]);
+        g.apply_delta(&[(EdgeId(0), 6.0)]);
+        assert_eq!(g.delta_since(e1), Some(vec![]));
+    }
+
+    #[test]
+    fn delta_preserves_exact_bits_for_nan_and_negative_zero() {
+        let (mut g, _) = tiny();
+        let e0 = g.epoch();
+        let payload_nan = f64::from_bits(f64::NAN.to_bits() ^ 0x5);
+        g.apply_delta(&[(EdgeId(0), payload_nan), (EdgeId(1), -0.0)]);
+        let d = g.delta_since(e0).unwrap();
+        assert_eq!(d[0].new_bits, payload_nan.to_bits(), "NaN payload kept");
+        assert_eq!(d[1].new_bits, (-0.0f64).to_bits(), "-0.0 ≠ 0.0 in bits");
+        // Undo via the inverse records: graph content restored exactly.
+        let undo: Vec<(EdgeId, f64)> = d
+            .iter()
+            .rev()
+            .map(|r| (r.edge, f64::from_bits(r.inverse().new_bits)))
+            .collect();
+        g.apply_delta(&undo);
+        assert_eq!(g.weight(EdgeId(0)).to_bits(), 5.0f64.to_bits());
+        assert_eq!(g.weight(EdgeId(1)).to_bits(), 3.0f64.to_bits());
+        assert_eq!(g.delta_since(e0), Some(vec![]), "round-trip is a no-op");
+    }
+
+    #[test]
+    fn ledger_truncation_forces_rebuild_not_corruption() {
+        let (mut g, _) = tiny();
+        let e0 = g.epoch();
+        for i in 0..(super::MAX_DELTA_RECORDS + 4) {
+            g.set_weight(EdgeId(0), i as f64 + 0.5);
+        }
+        assert_eq!(g.delta_since(e0), None, "window exceeded ⇒ rebuild");
+        // Recent epochs are still patchable.
+        let recent = g.epoch();
+        g.set_weight(EdgeId(1), 42.0);
+        assert_eq!(g.delta_since(recent).map(|d| d.len()), Some(1));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use centrality::{betweenness_centrality, closeness_centrality, degree_centra
 pub use dheap::IndexedDaryHeap;
 pub use dijkstra::{dijkstra, shortest_path, DijkstraResult, DijkstraWorkspace};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{CsrView, Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder};
+pub use graph::{CsrView, Edge, EdgeCosts, EdgeKind, Graph, GraphBuilder, WeightDeltaRec};
 pub use ids::{EdgeId, NodeId, NodeKind};
 pub use loosepath::LoosePath;
 pub use mst::{kruskal, prim, prim_with, MstEdge, PrimWorkspace};
